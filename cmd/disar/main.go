@@ -1,0 +1,111 @@
+// Command disar runs one transparently cloud-deployed Solvency II valuation
+// end to end: it generates (or reuses) an Italian-style portfolio, lets the
+// ML-based provisioner pick the deploy under the given deadline, runs the
+// real distributed nested Monte Carlo valuation, and reports BEL, SCR, the
+// selected configuration, the simulated execution time and the cost.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"disarcloud"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "disar:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	var (
+		portfolioIdx = flag.Int("portfolio", 0, "portfolio archetype 0..2 (savings/mixed/annuity)")
+		contracts    = flag.Int("contracts", 20, "representative contracts to generate")
+		outer        = flag.Int("outer", 200, "n_P real-world scenarios")
+		inner        = flag.Int("inner", 10, "n_Q risk-neutral scenarios per outer path")
+		tmax         = flag.Float64("tmax", 900, "deadline in (simulated) seconds")
+		maxNodes     = flag.Int("maxnodes", 8, "maximum VMs explored by Algorithm 1")
+		epsilon      = flag.Float64("epsilon", 0.05, "exploration probability")
+		seed         = flag.Uint64("seed", 42, "root seed")
+		kbPath       = flag.String("kb", "", "knowledge-base JSON to load and update")
+		workers      = flag.Int("workers", 8, "in-process valuation workers")
+	)
+	flag.Parse()
+
+	specs := disarcloud.ItalianCompanySpecs()
+	if *portfolioIdx < 0 || *portfolioIdx >= len(specs) {
+		return fmt.Errorf("portfolio index %d outside 0..%d", *portfolioIdx, len(specs)-1)
+	}
+	spec := specs[*portfolioIdx]
+	spec.NumContracts = *contracts
+
+	opts := []disarcloud.Option{}
+	if *kbPath != "" {
+		if k, err := disarcloud.LoadKnowledgeBase(*kbPath); err == nil {
+			opts = append(opts, disarcloud.WithKnowledgeBase(k))
+			fmt.Printf("loaded knowledge base: %d samples\n", k.Len())
+		} else {
+			fmt.Printf("starting a fresh knowledge base (%v)\n", err)
+		}
+	}
+	d, err := disarcloud.NewDeployer(*seed, opts...)
+	if err != nil {
+		return err
+	}
+	p, err := disarcloud.GeneratePortfolio(*seed+1, spec)
+	if err != nil {
+		return err
+	}
+	market := disarcloud.DefaultMarket(p.MaxTerm())
+	fmt.Printf("portfolio %q: %d representative contracts, %d policies, max term %dy\n",
+		p.Name, p.NumRepresentative(), p.TotalPolicies(), p.MaxTerm())
+
+	rep, err := d.RunSimulation(disarcloud.SimulationSpec{
+		Portfolio: p,
+		Fund:      disarcloud.TypicalItalianFund(6, market),
+		Market:    market,
+		Outer:     *outer,
+		Inner:     *inner,
+		Constraints: disarcloud.Constraints{
+			TmaxSeconds: *tmax, MaxNodes: *maxNodes, Epsilon: *epsilon,
+		},
+		MaxWorkers: *workers,
+		Seed:       *seed,
+	})
+	if err != nil {
+		return err
+	}
+
+	fmt.Printf("\nSolvency II results (n_P=%d, n_Q=%d):\n", *outer, *inner)
+	fmt.Printf("  best-estimate liability (BEL): %14.2f\n", rep.BEL)
+	fmt.Printf("  solvency capital req.   (SCR): %14.2f\n", rep.SCR)
+	fmt.Printf("  blocks valued: %d\n", len(rep.Results))
+
+	dr := rep.Deploy
+	mode := "ML-selected"
+	if dr.Bootstrap {
+		mode = "bootstrap (knowledge base still too small)"
+	}
+	if dr.Fallback {
+		mode = "fastest-available fallback (deadline infeasible)"
+	}
+	fmt.Printf("\ncloud deploy [%s]:\n", mode)
+	fmt.Printf("  configuration: %s\n", dr.Choice.String())
+	if dr.PredictedSeconds > 0 {
+		fmt.Printf("  predicted time: %8.1f s\n", dr.PredictedSeconds)
+	}
+	fmt.Printf("  simulated time: %8.1f s (deadline %0.0f s)\n", dr.ActualSeconds, *tmax)
+	fmt.Printf("  cost: %.3f$ pro-rata, %.2f$ billed (hourly rounding)\n", dr.ProRataUSD, dr.BilledUSD)
+	fmt.Printf("  knowledge base now holds %d samples\n", dr.KBSize)
+
+	if *kbPath != "" {
+		if err := d.KB().SaveFile(*kbPath); err != nil {
+			return err
+		}
+		fmt.Printf("knowledge base saved to %s\n", *kbPath)
+	}
+	return nil
+}

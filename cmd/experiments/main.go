@@ -1,0 +1,171 @@
+// Command experiments regenerates the tables and figures of the paper's
+// Section IV on the simulated substrate:
+//
+//	tableI   delta-bar per classifier per architecture
+//	tableII  per-simulation average cost per architecture
+//	fig2     real vs predicted execution time scatter
+//	fig3     histogram of (predicted - real)
+//	fig4     speedup of cloud deploys vs sequential execution
+//	final    forced high-end / forced cheapest vs ML-selected
+//	ablation ensemble, exploration, retraining and heterogeneity ablations
+//	all      everything above
+//
+// A knowledge base of -kb samples is built through the self-optimizing loop
+// first (or loaded from -kbfile when present).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"disarcloud/internal/cloud"
+	"disarcloud/internal/core"
+	"disarcloud/internal/experiments"
+	"disarcloud/internal/kb"
+	"disarcloud/internal/provision"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "experiments:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	var (
+		which   = flag.String("run", "all", "experiment: tableI|tableII|fig2|fig3|fig4|final|ablation|all")
+		kbSize  = flag.Int("kb", 1500, "knowledge-base samples to build (paper: ~1500)")
+		kbFile  = flag.String("kbfile", "", "load the knowledge base from this JSON instead of building it")
+		seed    = flag.Uint64("seed", 2016, "root seed")
+		stride  = flag.Int("stride", 25, "print every n-th Figure 2 point")
+		retrain = flag.Int("retrain-every", 5, "retraining cadence while building the KB")
+	)
+	flag.Parse()
+	out := os.Stdout
+
+	campaign, err := experiments.NewCampaign(*seed, core.WithRetrainEvery(*retrain))
+	if err != nil {
+		return err
+	}
+	var base *kb.KB
+	if *kbFile != "" {
+		base, err = kb.LoadFile(*kbFile)
+		if err != nil {
+			return err
+		}
+		fmt.Fprintf(out, "loaded %d samples from %s\n\n", base.Len(), *kbFile)
+	} else {
+		fmt.Fprintf(out, "building knowledge base of %d samples through the self-optimizing loop...\n", *kbSize)
+		if err := campaign.BuildKB(*kbSize); err != nil {
+			return err
+		}
+		base = campaign.Deployer.KB()
+		fmt.Fprintf(out, "done: %d samples across %d architectures\n\n", base.Len(), len(base.Architectures()))
+	}
+
+	want := func(name string) bool { return *which == "all" || strings.EqualFold(*which, name) }
+	ranAny := false
+
+	var acc *experiments.AccuracyResult
+	needAccuracy := want("tableI") || want("fig2") || want("fig3")
+	if needAccuracy {
+		acc, err = experiments.EvaluateAccuracy(base, *seed+1, 0.4)
+		if err != nil {
+			return err
+		}
+	}
+	if want("tableI") {
+		acc.PrintTableI(out)
+		fmt.Fprintln(out)
+		ranAny = true
+	}
+	if want("fig2") {
+		acc.PrintFigure2(out, *stride)
+		fmt.Fprintln(out)
+		ranAny = true
+	}
+	if want("fig3") {
+		acc.PrintFigure3(out)
+		fmt.Fprintln(out)
+		ranAny = true
+	}
+	if want("tableII") {
+		costs, err := experiments.EvaluateCosts(base)
+		if err != nil {
+			return err
+		}
+		costs.PrintTableII(out)
+		fmt.Fprintln(out)
+		ranAny = true
+	}
+	if want("fig4") {
+		sp, err := experiments.EvaluateSpeedup(cloud.DefaultPerfModel(), campaign.Workloads)
+		if err != nil {
+			return err
+		}
+		sp.PrintFigure4(out)
+		fmt.Fprintln(out)
+		ranAny = true
+	}
+	if want("final") {
+		// Retrain the campaign predictor on the final KB, then compare on
+		// the largest EEB with a loose deadline.
+		if err := campaign.Deployer.Predictor().Retrain(base); err != nil {
+			return err
+		}
+		f := campaign.Workloads[0]
+		for _, w := range campaign.Workloads {
+			if w.Complexity() > f.Complexity() {
+				f = w
+			}
+		}
+		fin, err := experiments.EvaluateFinalComparison(
+			campaign.Deployer.Selector(), cloud.DefaultPerfModel(), f,
+			provision.Constraints{TmaxSeconds: 0, MaxNodes: 8, Epsilon: 0})
+		if err != nil {
+			return err
+		}
+		fin.PrintFinal(out)
+		fmt.Fprintln(out)
+		ranAny = true
+	}
+	if want("ablation") {
+		ens, err := experiments.EvaluateEnsembleAblation(base, *seed+2)
+		if err != nil {
+			return err
+		}
+		ens.Print(out)
+		fmt.Fprintln(out)
+
+		eps, err := experiments.EvaluateEpsilonAblation(*seed+3, []float64{0, 0.1, 0.3}, 120)
+		if err != nil {
+			return err
+		}
+		eps.Print(out)
+		fmt.Fprintln(out)
+
+		ret, err := experiments.EvaluateRetrainAblation(*seed+4, 120)
+		if err != nil {
+			return err
+		}
+		ret.Print(out)
+		fmt.Fprintln(out)
+
+		het, err := experiments.EvaluateHeterogeneousAblation(
+			cloud.DefaultPerfModel(), campaign.Workloads[4],
+			[]float64{1.6, 1.3, 1.0, 0.85}, 6, *seed+5)
+		if err != nil {
+			return err
+		}
+		het.Print(out)
+		fmt.Fprintln(out)
+		ranAny = true
+	}
+	if !ranAny {
+		return fmt.Errorf("unknown experiment %q", *which)
+	}
+	return nil
+}

@@ -1,0 +1,48 @@
+// Command kbgen bootstraps a knowledge base by driving the self-optimizing
+// loop over the paper's Section IV campaign (3 portfolios, 15 EEBs) until
+// the requested number of samples is recorded, then writes it to JSON. The
+// resulting file warm-starts cmd/disar and cmd/experiments.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"disarcloud/internal/core"
+	"disarcloud/internal/experiments"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "kbgen:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	var (
+		n       = flag.Int("n", 1500, "target number of samples (paper: ~1500)")
+		out     = flag.String("o", "kb.json", "output path")
+		seed    = flag.Uint64("seed", 2016, "root seed")
+		retrain = flag.Int("retrain-every", 5, "retraining cadence during the campaign")
+	)
+	flag.Parse()
+
+	c, err := experiments.NewCampaign(*seed, core.WithRetrainEvery(*retrain))
+	if err != nil {
+		return err
+	}
+	fmt.Printf("campaign: %d EEBs over 3 Italian-style portfolios\n", len(c.Workloads))
+	if err := c.BuildKB(*n); err != nil {
+		return err
+	}
+	k := c.Deployer.KB()
+	fmt.Printf("knowledge base built: %d samples across %d architectures\n",
+		k.Len(), len(k.Architectures()))
+	if err := k.SaveFile(*out); err != nil {
+		return err
+	}
+	fmt.Printf("saved to %s\n", *out)
+	return nil
+}

@@ -1,0 +1,190 @@
+// Package disarcloud is a from-scratch reproduction of "Machine
+// Learning-Based Elastic Cloud Resource Provisioning in the Solvency II
+// Framework" (La Rizza et al., ICDCS 2016): a DISAR-style distributed
+// Solvency II valuation engine (nested Monte Carlo + LSMC over
+// profit-sharing life portfolios), a simulated EC2/Starcluster substrate,
+// six Weka-style regression learners, and the paper's contribution — an
+// ML-based transparent deploy system organised as a self-optimizing loop
+// that picks the cheapest cloud configuration meeting the regulatory
+// deadline (Algorithm 1).
+//
+// This package is the public API: it re-exports the stable surface of the
+// internal packages. A minimal session:
+//
+//	d, _ := disarcloud.NewDeployer(42)
+//	p, _ := disarcloud.GeneratePortfolio(7, disarcloud.ItalianCompanySpecs()[0])
+//	market := disarcloud.DefaultMarket(p.MaxTerm())
+//	rep, _ := d.RunSimulation(disarcloud.SimulationSpec{
+//		Portfolio:   p,
+//		Fund:        disarcloud.TypicalItalianFund(6, market),
+//		Market:      market,
+//		Outer:       1000,
+//		Inner:       50,
+//		Constraints: disarcloud.Constraints{TmaxSeconds: 900, MaxNodes: 8, Epsilon: 0.05},
+//		Seed:        42,
+//	})
+//	fmt.Println(rep.SCR, rep.Deploy.Choice)
+//
+// See DESIGN.md for the system inventory and EXPERIMENTS.md for the
+// paper-versus-measured record of every table and figure.
+package disarcloud
+
+import (
+	"disarcloud/internal/actuarial"
+	"disarcloud/internal/alm"
+	"disarcloud/internal/cloud"
+	"disarcloud/internal/core"
+	"disarcloud/internal/eeb"
+	"disarcloud/internal/finmath"
+	"disarcloud/internal/fund"
+	"disarcloud/internal/kb"
+	"disarcloud/internal/policy"
+	"disarcloud/internal/provision"
+	"disarcloud/internal/stochastic"
+)
+
+// Liability-side types.
+type (
+	// Portfolio is a book of representative profit-sharing contracts.
+	Portfolio = policy.Portfolio
+	// Contract is one representative contract (Eqs. 1-5 mechanics).
+	Contract = policy.Contract
+	// ContractKind enumerates the supported contract types.
+	ContractKind = policy.Kind
+	// GeneratorSpec parameterises the synthetic portfolio generator.
+	GeneratorSpec = policy.GeneratorSpec
+	// Gender selects the mortality table.
+	Gender = actuarial.Gender
+)
+
+// Contract kinds.
+const (
+	PureEndowment = policy.PureEndowment
+	Endowment     = policy.Endowment
+	TermInsurance = policy.TermInsurance
+	WholeLife     = policy.WholeLife
+	Annuity       = policy.Annuity
+)
+
+// Genders.
+const (
+	Male   = actuarial.Male
+	Female = actuarial.Female
+)
+
+// Market- and fund-side types.
+type (
+	// MarketConfig is the joint risk-driver model (Vasicek short rate, GBM
+	// equities/currencies, CIR credit intensity).
+	MarketConfig = stochastic.Config
+	// FundConfig describes a segregated fund and its smoothing strategy.
+	FundConfig = fund.Config
+	// ValuationResult carries BEL, SCR and the one-year value distribution.
+	ValuationResult = alm.Result
+)
+
+// Cloud-side and provisioning types.
+type (
+	// InstanceType is one virtualized architecture of the EC2 catalog.
+	InstanceType = cloud.InstanceType
+	// PerfModel is the calibrated ground-truth performance model.
+	PerfModel = cloud.PerfModel
+	// CharacteristicParams are the workload features the ML models use.
+	CharacteristicParams = eeb.CharacteristicParams
+	// Constraints are the Algorithm 1 inputs (Tmax, node bound, epsilon).
+	Constraints = provision.Constraints
+	// Choice is a selected deploy configuration.
+	Choice = provision.Choice
+	// KnowledgeBase stores (architecture, nodes, params) -> seconds samples.
+	KnowledgeBase = kb.KB
+	// Sample is one knowledge-base record.
+	Sample = kb.Sample
+	// Deployer runs the select -> execute -> record -> retrain loop.
+	Deployer = core.Deployer
+	// Option customises a Deployer.
+	Option = core.Option
+	// Report describes one completed deploy.
+	Report = core.Report
+	// SimulationSpec is a complete valuation request.
+	SimulationSpec = core.SimulationSpec
+	// SimulationReport is the end-to-end outcome (SCR + deploy record).
+	SimulationReport = core.SimulationReport
+)
+
+// NewDeployer wires a transparent deploy system rooted at seed.
+func NewDeployer(seed uint64, opts ...Option) (*Deployer, error) {
+	return core.NewDeployer(seed, opts...)
+}
+
+// Deployer options.
+var (
+	// WithKnowledgeBase warm-starts from an existing knowledge base.
+	WithKnowledgeBase = core.WithKnowledgeBase
+	// WithCatalog restricts the instance types considered.
+	WithCatalog = core.WithCatalog
+	// WithPerfModel overrides the simulated-cloud performance model.
+	WithPerfModel = core.WithPerfModel
+	// WithHeterogeneous enables mixed-type deploys (the paper's future work).
+	WithHeterogeneous = core.WithHeterogeneous
+	// WithRetrainEvery relaxes the retraining cadence for long campaigns.
+	WithRetrainEvery = core.WithRetrainEvery
+)
+
+// GeneratePortfolio synthesises a portfolio from the spec, deterministically
+// in seed.
+func GeneratePortfolio(seed uint64, spec GeneratorSpec) (*Portfolio, error) {
+	return policy.Generate(finmath.NewRNG(seed), spec)
+}
+
+// ItalianCompanySpecs returns the three portfolio archetypes of the paper's
+// experimental assessment.
+func ItalianCompanySpecs() []GeneratorSpec { return policy.ItalianCompanySpecs() }
+
+// Catalog returns the six EC2 instance types of Section IV.
+func Catalog() []InstanceType { return cloud.Catalog() }
+
+// TypeByName looks an instance type up by name.
+func TypeByName(name string) (InstanceType, bool) { return cloud.TypeByName(name) }
+
+// DefaultPerfModel returns the calibrated cloud performance model.
+func DefaultPerfModel() PerfModel { return cloud.DefaultPerfModel() }
+
+// TypicalItalianFund returns a segregated-fund configuration resembling the
+// Italian funds of the paper's era, with the given number of asset sleeves.
+func TypicalItalianFund(numAssets int, market MarketConfig) FundConfig {
+	return fund.TypicalItalianFund(numAssets, market)
+}
+
+// DefaultMarket returns a market model with one equity index, typical
+// euro-area rate/credit parameters of the mid-2010s, and the given horizon
+// in years.
+func DefaultMarket(horizonYears int) MarketConfig {
+	return stochastic.Config{
+		Horizon:      horizonYears,
+		StepsPerYear: 1,
+		Rate: stochastic.VasicekParams{
+			R0: 0.015, Speed: 0.25, MeanP: 0.03, MeanQ: 0.025, Sigma: 0.009,
+		},
+		Equities: []stochastic.GBMParams{{S0: 100, Mu: 0.06, Sigma: 0.18}},
+		Credit:   stochastic.CIRParams{L0: 0.008, Speed: 0.5, Mean: 0.012, Sigma: 0.03},
+	}
+}
+
+// LongevityStress returns the Solvency II standard-formula longevity shock
+// of a mortality model (a permanent 20% decrease of death probabilities),
+// for computing the longevity SCR sub-module on annuity-heavy books.
+func LongevityStress(base actuarial.MortalityModel) actuarial.MortalityModel {
+	return actuarial.LongevityStress(base)
+}
+
+// MortalityStress returns the Solvency II mortality shock (+15% death
+// probabilities).
+func MortalityStress(base actuarial.MortalityModel) actuarial.MortalityModel {
+	return actuarial.MortalityStress(base)
+}
+
+// NewKnowledgeBase returns an empty knowledge base.
+func NewKnowledgeBase() *KnowledgeBase { return kb.New() }
+
+// LoadKnowledgeBase reads a knowledge base saved with KnowledgeBase.SaveFile.
+func LoadKnowledgeBase(path string) (*KnowledgeBase, error) { return kb.LoadFile(path) }

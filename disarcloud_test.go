@@ -1,0 +1,100 @@
+package disarcloud_test
+
+import (
+	"path/filepath"
+	"testing"
+
+	"disarcloud"
+)
+
+// TestPublicAPIQuickstart exercises the documented minimal session end to
+// end through the public surface only.
+func TestPublicAPIQuickstart(t *testing.T) {
+	d, err := disarcloud.NewDeployer(42)
+	if err != nil {
+		t.Fatal(err)
+	}
+	spec := disarcloud.ItalianCompanySpecs()[0]
+	spec.NumContracts = 6 // keep the real valuation quick
+	p, err := disarcloud.GeneratePortfolio(7, spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	market := disarcloud.DefaultMarket(p.MaxTerm())
+	rep, err := d.RunSimulation(disarcloud.SimulationSpec{
+		Portfolio:   p,
+		Fund:        disarcloud.TypicalItalianFund(4, market),
+		Market:      market,
+		Outer:       30,
+		Inner:       4,
+		Constraints: disarcloud.Constraints{TmaxSeconds: 3600, MaxNodes: 4, Epsilon: 0},
+		MaxWorkers:  4,
+		Seed:        42,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.SCR <= 0 || rep.BEL <= 0 {
+		t.Fatalf("degenerate result: BEL=%v SCR=%v", rep.BEL, rep.SCR)
+	}
+	if rep.Deploy.ActualSeconds <= 0 {
+		t.Fatal("no deploy record")
+	}
+}
+
+func TestPublicAPICatalog(t *testing.T) {
+	if len(disarcloud.Catalog()) != 6 {
+		t.Fatal("catalog must list the six Section IV architectures")
+	}
+	it, ok := disarcloud.TypeByName("m4.10xlarge")
+	if !ok || it.VCPUs != 40 {
+		t.Fatal("TypeByName lookup broken")
+	}
+	if err := disarcloud.DefaultPerfModel().Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPublicAPIKnowledgeBasePersistence(t *testing.T) {
+	k := disarcloud.NewKnowledgeBase()
+	if err := k.Add(disarcloud.Sample{
+		Architecture: "c3.4xlarge",
+		Nodes:        2,
+		Params: disarcloud.CharacteristicParams{
+			RepresentativeContracts: 10, MaxHorizon: 20, FundAssets: 4,
+			RiskFactors: 3, OuterPaths: 1000, InnerPaths: 50,
+		},
+		Seconds: 220,
+	}); err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(t.TempDir(), "kb.json")
+	if err := k.SaveFile(path); err != nil {
+		t.Fatal(err)
+	}
+	loaded, err := disarcloud.LoadKnowledgeBase(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if loaded.Len() != 1 {
+		t.Fatal("knowledge base round trip failed")
+	}
+	// Warm start a deployer from the loaded KB through the public option.
+	if _, err := disarcloud.NewDeployer(1, disarcloud.WithKnowledgeBase(loaded)); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPublicAPIContractMechanics(t *testing.T) {
+	c := disarcloud.Contract{
+		Kind: disarcloud.Endowment, Age: 45, Gender: disarcloud.Male,
+		Term: 10, InsuredSum: 50000, Beta: 0.8, TechnicalRate: 0.02, Count: 10,
+	}
+	if err := c.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	p := &disarcloud.Portfolio{Name: "api", Contracts: []disarcloud.Contract{c}}
+	if p.MaxTerm() != 10 || p.TotalPolicies() != 10 {
+		t.Fatal("portfolio aggregates broken through the facade")
+	}
+}

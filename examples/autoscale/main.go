@@ -1,0 +1,63 @@
+// Autoscale: the self-optimizing loop in action. A simulation campaign runs
+// through the deployer; every run's measured time enters the knowledge base
+// and retrains the six prediction models, so the relative prediction error
+// falls and the selected configurations get cheaper as the system learns —
+// the paper's core claim ("every computation ... is used as well to give
+// better predictions for later deploys").
+package main
+
+import (
+	"fmt"
+	"log"
+	"math"
+
+	"disarcloud/internal/core"
+	"disarcloud/internal/experiments"
+	"disarcloud/internal/provision"
+)
+
+func main() {
+	campaign, err := experiments.NewCampaign(2016, core.WithRetrainEvery(5))
+	if err != nil {
+		log.Fatal(err)
+	}
+	d := campaign.Deployer
+
+	// Early manual training phase: cycle every architecture a few times.
+	if err := d.Bootstrap(campaign.Workloads, provision.MinSamplesToTrain, 8); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("bootstrap done: %d samples in the knowledge base\n\n", d.KB().Len())
+	fmt.Println("batch  KB size  mean |pred-real|/real  mean cost$  explored")
+
+	const batches, perBatch = 10, 30
+	for b := 0; b < batches; b++ {
+		var relErr, cost float64
+		var mlRuns, explored int
+		for i := 0; i < perBatch; i++ {
+			f := campaign.Workloads[(b*perBatch+i)%len(campaign.Workloads)]
+			rep, err := d.Deploy(f, provision.Constraints{
+				TmaxSeconds: 900, MaxNodes: 8, Epsilon: 0.15,
+			})
+			if err != nil {
+				log.Fatal(err)
+			}
+			cost += rep.ProRataUSD
+			if rep.Choice.Explored {
+				explored++
+			}
+			if !rep.Bootstrap && rep.PredictedSeconds > 0 {
+				relErr += math.Abs(rep.PredictedSeconds-rep.ActualSeconds) / rep.ActualSeconds
+				mlRuns++
+			}
+		}
+		if mlRuns == 0 {
+			mlRuns = 1
+		}
+		fmt.Printf("%5d  %7d  %20.1f%%  %10.3f  %8d\n",
+			b+1, d.KB().Len(), 100*relErr/float64(mlRuns), cost/perBatch, explored)
+	}
+
+	fmt.Println("\nthe error column shrinks as the knowledge base grows — the")
+	fmt.Println("self-optimizing loop is learning from its own useful work.")
+}

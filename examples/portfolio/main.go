@@ -1,0 +1,92 @@
+// Portfolio valuation: the actuarial heart of DISAR without the cloud layer
+// — value the three Italian-style books with full nested Monte Carlo,
+// compare against the LSMC acceleration (Section II of the paper), and show
+// the distributed grid matching the sequential result bit for bit.
+package main
+
+import (
+	"fmt"
+	"log"
+	"time"
+
+	"disarcloud/internal/alm"
+	"disarcloud/internal/eeb"
+	"disarcloud/internal/finmath"
+	"disarcloud/internal/fund"
+	"disarcloud/internal/grid"
+	"disarcloud/internal/policy"
+	"disarcloud/internal/stochastic"
+)
+
+func market(horizon int) stochastic.Config {
+	return stochastic.Config{
+		Horizon:      horizon,
+		StepsPerYear: 1,
+		Rate: stochastic.VasicekParams{
+			R0: 0.015, Speed: 0.25, MeanP: 0.03, MeanQ: 0.025, Sigma: 0.009,
+		},
+		Equities: []stochastic.GBMParams{{S0: 100, Mu: 0.06, Sigma: 0.18}},
+		Credit:   stochastic.CIRParams{L0: 0.008, Speed: 0.5, Mean: 0.012, Sigma: 0.03},
+	}
+}
+
+func main() {
+	rng := finmath.NewRNG(2016)
+	for _, spec := range policy.ItalianCompanySpecs() {
+		spec.NumContracts = 10 // scaled down so the example runs in seconds
+		p, err := policy.Generate(rng.Split(), spec)
+		if err != nil {
+			log.Fatal(err)
+		}
+		m := market(spec.MaxTerm)
+		fundCfg := fund.TypicalItalianFund(5, m)
+		block := &eeb.Block{
+			ID: p.Name + "/B", Type: eeb.ALMValuation, Portfolio: p,
+			Fund: fundCfg, Market: m, Outer: 400, Inner: 25,
+		}
+		v, err := alm.NewValuer(block, 99)
+		if err != nil {
+			log.Fatal(err)
+		}
+
+		t0 := time.Now()
+		nested, err := v.ValueNested()
+		if err != nil {
+			log.Fatal(err)
+		}
+		tNested := time.Since(t0)
+
+		t0 = time.Now()
+		lsmc, err := v.ValueLSMC(alm.LSMCSpec{CalibOuter: 120, CalibInner: 25, Degree: 2})
+		if err != nil {
+			log.Fatal(err)
+		}
+		tLSMC := time.Since(t0)
+
+		// The same block distributed over 8 in-process workers must give
+		// the identical answer (data-separation correctness).
+		blocks, err := eeb.SplitPortfolio(p, fundCfg, m, eeb.SplitSpec{Outer: 400, Inner: 25})
+		if err != nil {
+			log.Fatal(err)
+		}
+		master := &grid.Master{Workers: 8, Seed: 99}
+		dist, err := master.Run(blocks)
+		if err != nil {
+			log.Fatal(err)
+		}
+		var distBEL float64
+		for _, r := range dist {
+			distBEL += r.BEL
+		}
+
+		fmt.Printf("portfolio %-14s  policies %6d  max term %2dy\n",
+			p.Name, p.TotalPolicies(), p.MaxTerm())
+		fmt.Printf("  nested MC : BEL %12.0f  SCR %11.0f  (+-%0.0f, %s)\n",
+			nested.BEL, nested.SCR, nested.StdErr, tNested.Round(time.Millisecond))
+		fmt.Printf("  LSMC      : BEL %12.0f  SCR %11.0f  (%s, %.1fx faster)\n",
+			lsmc.BEL, lsmc.SCR, tLSMC.Round(time.Millisecond),
+			float64(tNested)/float64(tLSMC))
+		fmt.Printf("  8-worker distributed BEL %12.0f (== sequential: %v)\n\n",
+			distBEL, distBEL == nested.BEL)
+	}
+}

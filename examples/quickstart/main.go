@@ -1,0 +1,61 @@
+// Quickstart: the smallest end-to-end session with the public API — build a
+// portfolio, let the ML provisioner pick a cloud deploy under a deadline,
+// run the real distributed valuation, and print the Solvency II numbers
+// next to the cloud-side record.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"disarcloud"
+)
+
+func main() {
+	// A deployer owns the knowledge base, the six prediction models and the
+	// (simulated) EC2 provider. The seed makes the whole session
+	// reproducible.
+	d, err := disarcloud.NewDeployer(42)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// A small savings-heavy Italian portfolio.
+	spec := disarcloud.ItalianCompanySpecs()[0]
+	spec.NumContracts = 12
+	portfolio, err := disarcloud.GeneratePortfolio(7, spec)
+	if err != nil {
+		log.Fatal(err)
+	}
+	market := disarcloud.DefaultMarket(portfolio.MaxTerm())
+
+	report, err := d.RunSimulation(disarcloud.SimulationSpec{
+		Portfolio: portfolio,
+		Fund:      disarcloud.TypicalItalianFund(5, market),
+		Market:    market,
+		Outer:     100, // n_P (paper uses 1,000-100,000)
+		Inner:     10,  // n_Q (paper uses 50 with LSMC)
+		Constraints: disarcloud.Constraints{
+			TmaxSeconds: 900, // the Solvency II deadline
+			MaxNodes:    8,
+			Epsilon:     0.05,
+		},
+		MaxWorkers: 8,
+		Seed:       42,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Printf("portfolio: %d contracts, %d policies\n",
+		portfolio.NumRepresentative(), portfolio.TotalPolicies())
+	fmt.Printf("best-estimate liability: %.0f\n", report.BEL)
+	fmt.Printf("SCR (99.5%% VaR, 1y):     %.0f\n", report.SCR)
+	fmt.Printf("deploy: %s\n", report.Deploy.Choice.String())
+	fmt.Printf("simulated execution: %.0fs, cost %.3f$ (billed %.2f$)\n",
+		report.Deploy.ActualSeconds, report.Deploy.ProRataUSD, report.Deploy.BilledUSD)
+	if report.Deploy.Bootstrap {
+		fmt.Println("note: first runs bootstrap the knowledge base with random configs;")
+		fmt.Println("      rerun a few times (or use examples/autoscale) to see ML selection.")
+	}
+}

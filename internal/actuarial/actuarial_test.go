@@ -1,0 +1,274 @@
+package actuarial
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestGompertzMakehamValidate(t *testing.T) {
+	good := ItalianMales2016()
+	if err := good.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	bad := GompertzMakeham{A: -1, B: 1e-5, C: 1.1}
+	if err := bad.Validate(); err == nil {
+		t.Fatal("negative A accepted")
+	}
+	if err := (GompertzMakeham{A: 0, B: 1e-5, C: 0.9}).Validate(); err == nil {
+		t.Fatal("C <= 1 accepted")
+	}
+}
+
+func TestMortalityIncreasingWithAge(t *testing.T) {
+	m := ItalianMales2016()
+	prev := 0.0
+	for age := 20; age <= 110; age++ {
+		q := m.AnnualDeathProb(age)
+		if q < prev {
+			t.Fatalf("q_x not increasing at age %d: %v < %v", age, q, prev)
+		}
+		if q < 0 || q > 1 {
+			t.Fatalf("q_%d = %v outside [0,1]", age, q)
+		}
+		prev = q
+	}
+}
+
+func TestMortalityPlausibleLevels(t *testing.T) {
+	m := ItalianMales2016()
+	q40 := m.AnnualDeathProb(40)
+	q65 := m.AnnualDeathProb(65)
+	q85 := m.AnnualDeathProb(85)
+	if q40 < 1e-4 || q40 > 5e-3 {
+		t.Errorf("q_40 = %v implausible", q40)
+	}
+	if q65 < 3e-3 || q65 > 4e-2 {
+		t.Errorf("q_65 = %v implausible", q65)
+	}
+	if q85 < 3e-2 || q85 > 0.3 {
+		t.Errorf("q_85 = %v implausible", q85)
+	}
+}
+
+func TestFemaleLighterMortality(t *testing.T) {
+	male, female := ItalianMales2016(), ItalianFemales2016()
+	for age := 30; age <= 90; age += 10 {
+		if female.AnnualDeathProb(age) >= male.AnnualDeathProb(age) {
+			t.Fatalf("female mortality >= male at age %d", age)
+		}
+	}
+}
+
+func TestForGender(t *testing.T) {
+	if ForGender(Female).AnnualDeathProb(60) >= ForGender(Male).AnnualDeathProb(60) {
+		t.Fatal("ForGender mapping wrong")
+	}
+	if Male.String() != "M" || Female.String() != "F" {
+		t.Fatal("Gender.String mismatch")
+	}
+}
+
+func TestLifeExpectancyPlausible(t *testing.T) {
+	e40 := CurtateExpectation(ItalianMales2016(), 40, 120)
+	// Italian male e_40 is around 40 more years.
+	if e40 < 33 || e40 > 47 {
+		t.Fatalf("male e_40 = %v implausible", e40)
+	}
+	ef40 := CurtateExpectation(ItalianFemales2016(), 40, 120)
+	if ef40 <= e40 {
+		t.Fatalf("female expectancy %v <= male %v", ef40, e40)
+	}
+}
+
+func TestLifeTableRoundTrip(t *testing.T) {
+	law := ItalianMales2016()
+	table := TableFromLaw(law, 120)
+	for age := 0; age <= 120; age += 7 {
+		if table.AnnualDeathProb(age) != law.AnnualDeathProb(age) {
+			t.Fatalf("table mismatch at age %d", age)
+		}
+	}
+	if table.AnnualDeathProb(121) != 1 {
+		t.Fatal("beyond-table age should be certain death")
+	}
+	if table.AnnualDeathProb(-3) != table.AnnualDeathProb(0) {
+		t.Fatal("negative age should clamp to 0")
+	}
+	if table.MaxAge() != 120 {
+		t.Fatalf("MaxAge = %d", table.MaxAge())
+	}
+}
+
+func TestNewLifeTableValidation(t *testing.T) {
+	if _, err := NewLifeTable(nil); err == nil {
+		t.Fatal("empty table accepted")
+	}
+	if _, err := NewLifeTable([]float64{0.5, 1.5}); err == nil {
+		t.Fatal("q > 1 accepted")
+	}
+	lt, err := NewLifeTable([]float64{0.01, 0.02})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if lt.AnnualDeathProb(1) != 0.02 {
+		t.Fatal("table lookup wrong")
+	}
+}
+
+func TestSurvivalProbProperties(t *testing.T) {
+	m := ItalianMales2016()
+	if got := SurvivalProb(m, 40, 0); got != 1 {
+		t.Fatalf("0-year survival = %v, want 1", got)
+	}
+	// Survival decreasing in horizon.
+	prev := 1.0
+	for years := 1; years <= 60; years++ {
+		p := SurvivalProb(m, 40, years)
+		if p > prev {
+			t.Fatalf("survival increasing at %d years", years)
+		}
+		prev = p
+	}
+	// Chapman-Kolmogorov: (t+s)Px = tPx * sP(x+t).
+	lhs := SurvivalProb(m, 40, 25)
+	rhs := SurvivalProb(m, 40, 10) * SurvivalProb(m, 50, 15)
+	if math.Abs(lhs-rhs) > 1e-12 {
+		t.Fatalf("Chapman-Kolmogorov violated: %v != %v", lhs, rhs)
+	}
+}
+
+func TestConstantLapse(t *testing.T) {
+	l := ConstantLapse{Rate: 0.05}
+	if err := l.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if l.AnnualLapseProb(0) != 0.05 || l.AnnualLapseProb(30) != 0.05 {
+		t.Fatal("constant lapse not constant")
+	}
+	if err := (ConstantLapse{Rate: 1.2}).Validate(); err == nil {
+		t.Fatal("rate > 1 accepted")
+	}
+}
+
+func TestDurationLapseDecay(t *testing.T) {
+	l := DurationLapse{Initial: 0.10, Ultimate: 0.02, Decay: 0.7}
+	if err := l.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if got := l.AnnualLapseProb(0); math.Abs(got-0.10) > 1e-12 {
+		t.Fatalf("initial lapse = %v", got)
+	}
+	prev := 1.0
+	for d := 0; d < 30; d++ {
+		p := l.AnnualLapseProb(d)
+		if p > prev {
+			t.Fatalf("lapse not decaying at duration %d", d)
+		}
+		prev = p
+	}
+	if got := l.AnnualLapseProb(100); math.Abs(got-0.02) > 1e-3 {
+		t.Fatalf("ultimate lapse = %v, want ~0.02", got)
+	}
+}
+
+func TestDurationLapseValidate(t *testing.T) {
+	bad := []DurationLapse{
+		{Initial: -0.1, Ultimate: 0.02, Decay: 0.5},
+		{Initial: 0.1, Ultimate: 1.5, Decay: 0.5},
+		{Initial: 0.1, Ultimate: 0.02, Decay: 0},
+		{Initial: 0.1, Ultimate: 0.02, Decay: 1.5},
+	}
+	for i, l := range bad {
+		if err := l.Validate(); err == nil {
+			t.Errorf("case %d: invalid lapse accepted", i)
+		}
+	}
+}
+
+func TestNewEngineValidation(t *testing.T) {
+	if _, err := NewEngine(nil, NoLapse{}); err == nil {
+		t.Fatal("nil mortality accepted")
+	}
+	if _, err := NewEngine(ItalianMales2016(), nil); err == nil {
+		t.Fatal("nil lapse accepted")
+	}
+}
+
+func TestDecrementsConservation(t *testing.T) {
+	eng, err := NewEngine(ItalianMales2016(), DurationLapse{Initial: 0.08, Ultimate: 0.02, Decay: 0.8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	table, err := eng.Decrements(45, 40)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := table.TotalProbability(); math.Abs(got-1) > 1e-12 {
+		t.Fatalf("probability not conserved: %v", got)
+	}
+	if table.Years() != 40 {
+		t.Fatalf("Years = %d", table.Years())
+	}
+}
+
+func TestDecrementsConservationProperty(t *testing.T) {
+	eng, _ := NewEngine(ItalianMales2016(), ConstantLapse{Rate: 0.03})
+	if err := quick.Check(func(ageRaw, yearsRaw uint8) bool {
+		age := int(ageRaw % 80)
+		years := int(yearsRaw%60) + 1
+		table, err := eng.Decrements(age, years)
+		if err != nil {
+			return false
+		}
+		return math.Abs(table.TotalProbability()-1) < 1e-9
+	}, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDecrementsMonotoneInForce(t *testing.T) {
+	eng, _ := NewEngine(ItalianMales2016(), ConstantLapse{Rate: 0.05})
+	table, _ := eng.Decrements(50, 30)
+	prev := 1.0
+	for _, p := range table.InForce {
+		if p > prev {
+			t.Fatal("in-force probability increased")
+		}
+		prev = p
+	}
+}
+
+func TestDecrementsNoLapse(t *testing.T) {
+	eng, _ := NewEngine(ItalianMales2016(), NoLapse{})
+	table, _ := eng.Decrements(40, 20)
+	for k, l := range table.Lapse {
+		if l != 0 {
+			t.Fatalf("lapse probability %v at year %d with NoLapse", l, k)
+		}
+	}
+	// In-force must equal pure survival.
+	want := SurvivalProb(ItalianMales2016(), 40, 20)
+	if got := table.InForce[19]; math.Abs(got-want) > 1e-12 {
+		t.Fatalf("in-force %v != survival %v", got, want)
+	}
+}
+
+func TestDecrementsRejectsBadInput(t *testing.T) {
+	eng, _ := NewEngine(ItalianMales2016(), NoLapse{})
+	if _, err := eng.Decrements(-1, 10); err == nil {
+		t.Fatal("negative age accepted")
+	}
+	if _, err := eng.Decrements(40, 0); err == nil {
+		t.Fatal("zero horizon accepted")
+	}
+}
+
+func TestEngineAccessors(t *testing.T) {
+	m := ItalianMales2016()
+	l := ConstantLapse{Rate: 0.01}
+	eng, _ := NewEngine(m, l)
+	if eng.Mortality() == nil || eng.Lapse() == nil {
+		t.Fatal("accessors returned nil")
+	}
+}

@@ -1,0 +1,326 @@
+package alm
+
+import (
+	"math"
+	"testing"
+
+	"disarcloud/internal/actuarial"
+	"disarcloud/internal/eeb"
+	"disarcloud/internal/fund"
+	"disarcloud/internal/policy"
+	"disarcloud/internal/stochastic"
+)
+
+func stochasticMarket(horizon int) stochastic.Config {
+	return stochastic.Config{
+		Horizon:      horizon,
+		StepsPerYear: 1,
+		Rate: stochastic.VasicekParams{
+			R0: 0.02, Speed: 0.3, MeanP: 0.03, MeanQ: 0.025, Sigma: 0.008,
+		},
+		Equities: []stochastic.GBMParams{{S0: 100, Mu: 0.06, Sigma: 0.18}},
+		Credit:   stochastic.CIRParams{L0: 0.008, Speed: 0.5, Mean: 0.012, Sigma: 0.03},
+	}
+}
+
+func smallBlock(t *testing.T, outer, inner int) *eeb.Block {
+	t.Helper()
+	market := stochasticMarket(15)
+	contracts := []policy.Contract{
+		{Kind: policy.Endowment, Age: 45, Gender: actuarial.Male, Term: 10,
+			InsuredSum: 10000, Beta: 0.8, TechnicalRate: 0.02, Count: 50},
+		{Kind: policy.PureEndowment, Age: 50, Gender: actuarial.Female, Term: 15,
+			InsuredSum: 20000, Beta: 0.85, TechnicalRate: 0.01, Count: 30},
+		{Kind: policy.Annuity, Age: 62, Gender: actuarial.Male, Term: 12,
+			InsuredSum: 1200, Beta: 0.75, TechnicalRate: 0.0, Count: 40},
+	}
+	p := &policy.Portfolio{Name: "alm-test", Contracts: contracts}
+	b := &eeb.Block{
+		ID: "alm-test/B1", Type: eeb.ALMValuation, Portfolio: p,
+		Fund: fund.TypicalItalianFund(4, market), Market: market,
+		Outer: outer, Inner: inner,
+	}
+	if err := b.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	return b
+}
+
+func TestNewValuerValidation(t *testing.T) {
+	if _, err := NewValuer(nil, 1); err == nil {
+		t.Fatal("nil block accepted")
+	}
+	b := smallBlock(t, 10, 5)
+	b.Type = eeb.ActuarialValuation
+	if _, err := NewValuer(b, 1); err == nil {
+		t.Fatal("type-A block accepted by ALM valuer")
+	}
+}
+
+func TestValueNestedDeterministic(t *testing.T) {
+	b := smallBlock(t, 50, 5)
+	v1, err := NewValuer(b, 42)
+	if err != nil {
+		t.Fatal(err)
+	}
+	v2, _ := NewValuer(b, 42)
+	r1, err := v1.ValueNested()
+	if err != nil {
+		t.Fatal(err)
+	}
+	r2, _ := v2.ValueNested()
+	if r1.BEL != r2.BEL || r1.SCR != r2.SCR {
+		t.Fatal("valuation not deterministic in seed")
+	}
+	v3, _ := NewValuer(b, 43)
+	r3, _ := v3.ValueNested()
+	if r1.BEL == r3.BEL {
+		t.Fatal("different seeds produced identical BEL")
+	}
+}
+
+func TestPartitionIndependence(t *testing.T) {
+	// The distributed correctness property: computing outer slices in any
+	// partition yields exactly the values of the monolithic run.
+	b := smallBlock(t, 40, 5)
+	v, err := NewValuer(b, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	whole, err := v.OuterSlice(0, 40)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Recreate the valuer to prove no hidden state is consumed.
+	v2, _ := NewValuer(b, 7)
+	part1, _ := v2.OuterSlice(0, 13)
+	part2, _ := v2.OuterSlice(13, 29)
+	part3, _ := v2.OuterSlice(29, 40)
+	glued := append(append(append([]float64{}, part1...), part2...), part3...)
+	if len(glued) != len(whole) {
+		t.Fatalf("glued length %d != %d", len(glued), len(whole))
+	}
+	for i := range whole {
+		if whole[i] != glued[i] {
+			t.Fatalf("outer %d: monolithic %v != partitioned %v", i, whole[i], glued[i])
+		}
+	}
+}
+
+func TestOuterSliceBadRange(t *testing.T) {
+	v, _ := NewValuer(smallBlock(t, 10, 2), 1)
+	if _, err := v.OuterSlice(-1, 5); err == nil {
+		t.Fatal("negative from accepted")
+	}
+	if _, err := v.OuterSlice(5, 2); err == nil {
+		t.Fatal("inverted range accepted")
+	}
+}
+
+func TestResultSanity(t *testing.T) {
+	b := smallBlock(t, 200, 10)
+	v, _ := NewValuer(b, 11)
+	r, err := v.ValueNested()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.BEL <= 0 {
+		t.Fatalf("BEL = %v, want positive (liabilities)", r.BEL)
+	}
+	if r.SCR <= 0 {
+		t.Fatalf("SCR = %v, want positive", r.SCR)
+	}
+	if r.SCR >= r.BEL {
+		t.Fatalf("SCR %v should be well below BEL %v for a diversified book", r.SCR, r.BEL)
+	}
+	if len(r.Y1) != 200 || len(r.DiscountedY1) != 200 {
+		t.Fatal("per-scenario vectors wrong length")
+	}
+	if r.StdErr <= 0 {
+		t.Fatal("zero standard error")
+	}
+	if r.Method != "nested" {
+		t.Fatalf("method = %q", r.Method)
+	}
+}
+
+func TestAssembleMatchesValueNested(t *testing.T) {
+	b := smallBlock(t, 30, 5)
+	v, _ := NewValuer(b, 3)
+	direct, _ := v.ValueNested()
+	y1, _ := v.OuterSlice(0, 30)
+	assembled, err := v.Assemble(y1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if direct.BEL != assembled.BEL || direct.SCR != assembled.SCR {
+		t.Fatal("Assemble result differs from monolithic valuation")
+	}
+	if _, err := v.Assemble(y1[:10]); err == nil {
+		t.Fatal("short assembly accepted")
+	}
+}
+
+// deterministicBlock builds a world with (nearly) zero randomness so that the
+// nested valuation can be checked against a closed-form computation.
+func deterministicBlock(t *testing.T) (*eeb.Block, float64) {
+	t.Helper()
+	const r = 0.03
+	market := stochastic.Config{
+		Horizon:      10,
+		StepsPerYear: 1,
+		Rate: stochastic.VasicekParams{
+			R0: r, Speed: 0.5, MeanP: r, MeanQ: r, Sigma: 1e-9,
+		},
+		Credit: stochastic.CIRParams{L0: 0, Speed: 0.5, Mean: 0, Sigma: 0},
+	}
+	contract := policy.Contract{
+		Kind: policy.Endowment, Age: 50, Gender: actuarial.Male, Term: 10,
+		InsuredSum: 1000, Beta: 0.8, TechnicalRate: 0.02, Count: 1,
+	}
+	p := &policy.Portfolio{Name: "det", Contracts: []policy.Contract{contract}}
+	fundCfg := fund.Config{
+		Name:   "det-fund",
+		Assets: []fund.Asset{{Kind: fund.GovernmentBond, Weight: 1, Maturity: 5}},
+	}
+	b := &eeb.Block{
+		ID: "det/B1", Type: eeb.ALMValuation, Portfolio: p,
+		Fund: fundCfg, Market: market, Outer: 20, Inner: 3,
+	}
+	if err := b.Validate(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Closed form: fund returns are exactly r every year, so the revalued
+	// sums follow rho = (max(beta*r, i) - i)/(1+i) deterministically; the
+	// decrements come from the same engine the valuer uses; discounting is
+	// exp(-r t).
+	eng, err := actuarial.NewEngine(actuarial.ForGender(contract.Gender), DefaultLapse())
+	if err != nil {
+		t.Fatal(err)
+	}
+	dec, err := eng.Decrements(contract.Age, contract.Term)
+	if err != nil {
+		t.Fatal(err)
+	}
+	returns := make([]float64, contract.Term)
+	for i := range returns {
+		returns[i] = r
+	}
+	sums := policy.RevaluedSums(contract.InsuredSum, contract.Beta, contract.TechnicalRate, returns)
+	want := 0.0
+	for k := 0; k < contract.Term; k++ {
+		tYear := float64(k + 1)
+		disc := math.Exp(-r * tYear)
+		// Endowment with no penalty: death and lapse both pay the revalued sum.
+		want += disc * (dec.Death[k]*sums[k] + dec.Lapse[k]*sums[k])
+	}
+	want += math.Exp(-r*float64(contract.Term)) * dec.InForce[contract.Term-1] * sums[contract.Term-1]
+	return b, want
+}
+
+func TestNestedMatchesClosedForm(t *testing.T) {
+	b, want := deterministicBlock(t)
+	v, err := NewValuer(b, 99)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r, err := v.ValueNested()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(r.BEL-want)/want > 1e-6 {
+		t.Fatalf("BEL = %v, closed form %v", r.BEL, want)
+	}
+	// Deterministic world: essentially no dispersion, SCR ~ 0.
+	if r.SCR > want*1e-6 {
+		t.Fatalf("SCR = %v in a deterministic world", r.SCR)
+	}
+}
+
+func TestLSMCSpecValidate(t *testing.T) {
+	if err := (LSMCSpec{CalibOuter: 0, CalibInner: 1, Degree: 2}).Validate(3); err == nil {
+		t.Fatal("zero calibration outer accepted")
+	}
+	if err := (LSMCSpec{CalibOuter: 100, CalibInner: 1, Degree: 0}).Validate(3); err == nil {
+		t.Fatal("zero degree accepted")
+	}
+	// 4 features, degree 2 -> 15 basis functions; 20 < 30 paths must fail.
+	if err := (LSMCSpec{CalibOuter: 20, CalibInner: 5, Degree: 2}).Validate(4); err == nil {
+		t.Fatal("underdetermined calibration accepted")
+	}
+	if err := (LSMCSpec{CalibOuter: 100, CalibInner: 5, Degree: 2}).Validate(4); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestLSMCApproximatesNested(t *testing.T) {
+	b := smallBlock(t, 300, 40)
+	v, err := NewValuer(b, 2024)
+	if err != nil {
+		t.Fatal(err)
+	}
+	nested, err := v.ValueNested()
+	if err != nil {
+		t.Fatal(err)
+	}
+	lsmc, err := v.ValueLSMC(LSMCSpec{CalibOuter: 150, CalibInner: 40, Degree: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if lsmc.Method != "lsmc" {
+		t.Fatalf("method = %q", lsmc.Method)
+	}
+	relBEL := math.Abs(lsmc.BEL-nested.BEL) / nested.BEL
+	if relBEL > 0.03 {
+		t.Fatalf("LSMC BEL %v deviates %.1f%% from nested %v", lsmc.BEL, 100*relBEL, nested.BEL)
+	}
+	// SCR from a degree-2 proxy is noisier; require same order of magnitude.
+	if lsmc.SCR <= 0 {
+		t.Fatalf("LSMC SCR = %v", lsmc.SCR)
+	}
+	ratio := lsmc.SCR / nested.SCR
+	if ratio < 0.4 || ratio > 2.5 {
+		t.Fatalf("LSMC SCR %v vs nested %v (ratio %v)", lsmc.SCR, nested.SCR, ratio)
+	}
+}
+
+func TestProxyEvaluateDeterministic(t *testing.T) {
+	b := smallBlock(t, 100, 10)
+	v, _ := NewValuer(b, 5)
+	proxy, err := v.CalibrateProxy(LSMCSpec{CalibOuter: 120, CalibInner: 10, Degree: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if proxy.NumCoefficients() == 0 {
+		t.Fatal("empty proxy")
+	}
+	f := v.Features(v.GenerateOuter(0))
+	if proxy.Evaluate(f) != proxy.Evaluate(f) {
+		t.Fatal("proxy evaluation not deterministic")
+	}
+}
+
+func TestFeaturesShape(t *testing.T) {
+	b := smallBlock(t, 10, 2)
+	v, _ := NewValuer(b, 1)
+	f := v.Features(v.GenerateOuter(0))
+	// rate + fund return + credit + 1 equity.
+	if len(f) != 4 {
+		t.Fatalf("feature dimension = %d, want 4", len(f))
+	}
+}
+
+func TestMoreInnerPathsReduceBias(t *testing.T) {
+	// With very few inner paths the 99.5% quantile of Y1 is inflated by
+	// inner noise (the bias the paper warns about when n_Q is too small).
+	b1 := smallBlock(t, 150, 1)
+	bN := smallBlock(t, 150, 30)
+	v1, _ := NewValuer(b1, 77)
+	vN, _ := NewValuer(bN, 77)
+	r1, _ := v1.ValueNested()
+	rN, _ := vN.ValueNested()
+	if r1.SCR <= rN.SCR {
+		t.Fatalf("inner-noise bias not visible: SCR(nQ=1)=%v <= SCR(nQ=30)=%v", r1.SCR, rN.SCR)
+	}
+}

@@ -1,0 +1,67 @@
+package alm
+
+import (
+	"fmt"
+	"sort"
+
+	"disarcloud/internal/finmath"
+)
+
+// Result is the outcome of a type-B valuation.
+type Result struct {
+	// BEL is the best-estimate liability at time 0: the discounted mean of
+	// the one-year value distribution.
+	BEL float64
+	// SCR is the Solvency Capital Requirement: the 99.5% Value-at-Risk of
+	// the discounted one-year value distribution (Solvency II, Art. 101).
+	SCR float64
+	// Y1 holds the per-outer-scenario time-1 values (undiscounted).
+	Y1 []float64
+	// DiscountedY1 holds D(0,1)*Y1 per outer scenario.
+	DiscountedY1 []float64
+	// StdErr is the Monte Carlo standard error of BEL.
+	StdErr float64
+	// Method records how the valuation was produced ("nested" or "lsmc").
+	Method string
+}
+
+// summarize fills the aggregate fields from the per-scenario values.
+func summarize(y1, discounted []float64, method string) *Result {
+	r := &Result{Y1: y1, DiscountedY1: discounted, Method: method}
+	r.BEL = finmath.Mean(discounted)
+	sorted := make([]float64, len(discounted))
+	copy(sorted, discounted)
+	sort.Float64s(sorted)
+	// Liability risk is the value at t=1 exceeding its expectation: the SCR
+	// is the distance from the mean to the 99.5th percentile.
+	r.SCR = finmath.QuantileSorted(sorted, 0.995) - r.BEL
+	r.StdErr = finmath.StandardError(discounted)
+	return r
+}
+
+// ValueNested runs the full two-stage nested Monte Carlo of Section II:
+// block.Outer real-world paths, each with block.Inner risk-neutral
+// conditional paths. The computation is deterministic in the valuer's seed
+// and independent of any partitioning of the outer range.
+func (v *Valuer) ValueNested() (*Result, error) {
+	y1, err := v.OuterSlice(0, v.block.Outer)
+	if err != nil {
+		return nil, err
+	}
+	return v.Assemble(y1)
+}
+
+// Assemble turns gathered per-outer-path Y1 values (for the complete range
+// [0, block.Outer), in order) into a Result. It is used by the distributed
+// driver after collecting OuterSlice results from the computing nodes.
+func (v *Valuer) Assemble(y1 []float64) (*Result, error) {
+	if len(y1) != v.block.Outer {
+		return nil, fmt.Errorf("alm: assembled %d outer values, want %d", len(y1), v.block.Outer)
+	}
+	discounted := make([]float64, len(y1))
+	for i, y := range y1 {
+		outer := v.GenerateOuter(i)
+		discounted[i] = outer.Discount * y
+	}
+	return summarize(y1, discounted, "nested"), nil
+}

@@ -1,0 +1,145 @@
+package alm
+
+import (
+	"errors"
+	"fmt"
+
+	"disarcloud/internal/actuarial"
+	"disarcloud/internal/eeb"
+	"disarcloud/internal/fund"
+	"disarcloud/internal/stochastic"
+)
+
+// Assumptions overrides the biometric models of a valuation — the hook for
+// the Solvency II standard-formula stresses (longevity, mortality, lapse)
+// computed as deltas of the best-estimate liability.
+type Assumptions struct {
+	// Mortality maps a gender to its mortality model; nil selects the
+	// standard tables.
+	Mortality func(actuarial.Gender) actuarial.MortalityModel
+	// Lapse overrides the lapse model; nil selects DefaultLapse.
+	Lapse actuarial.LapseModel
+}
+
+func (a Assumptions) mortality(g actuarial.Gender) actuarial.MortalityModel {
+	if a.Mortality != nil {
+		return a.Mortality(g)
+	}
+	return actuarial.ForGender(g)
+}
+
+func (a Assumptions) lapse() actuarial.LapseModel {
+	if a.Lapse != nil {
+		return a.Lapse
+	}
+	return DefaultLapse()
+}
+
+// NewValuerWithAssumptions is NewValuer with explicit biometric models.
+// Identical seeds and assumptions yield identical results.
+func NewValuerWithAssumptions(b *eeb.Block, seed uint64, assume Assumptions) (*Valuer, error) {
+	if b == nil {
+		return nil, errors.New("alm: nil block")
+	}
+	if err := b.Validate(); err != nil {
+		return nil, err
+	}
+	if b.Type != eeb.ALMValuation {
+		return nil, fmt.Errorf("alm: block %s is type %s, want B", b.ID, b.Type)
+	}
+	gen, err := stochastic.NewGenerator(b.Market)
+	if err != nil {
+		return nil, err
+	}
+	fd, err := fund.New(b.Fund, b.Market)
+	if err != nil {
+		return nil, err
+	}
+	v := &Valuer{block: b, gen: gen, fund: fd, seed: seed}
+	v.decrements = make([]*actuarial.DecrementTable, len(b.Portfolio.Contracts))
+	for i, c := range b.Portfolio.Contracts {
+		eng, err := actuarial.NewEngine(assume.mortality(c.Gender), assume.lapse())
+		if err != nil {
+			return nil, err
+		}
+		dec, err := eng.Decrements(c.Age, c.Term)
+		if err != nil {
+			return nil, fmt.Errorf("alm: contract %d: %w", i, err)
+		}
+		v.decrements[i] = dec
+	}
+	return v, nil
+}
+
+// BiometricStresses holds the standard-formula SCR sub-modules computed as
+// stressed-BEL minus base-BEL (floored at zero: a stress that reduces the
+// liability carries no capital requirement).
+type BiometricStresses struct {
+	BaseBEL      float64
+	Longevity    float64 // 20% permanent mortality decrease
+	Mortality    float64 // 15% permanent mortality increase
+	LapseUp      float64 // +50% lapse rates
+	LapseDown    float64 // -50% lapse rates
+	LapseOnerous float64 // max(LapseUp, LapseDown)
+}
+
+// ValueBiometricStresses runs the base and the four stressed valuations on
+// identical scenario streams (common random numbers), so the deltas are
+// pure assumption effects with no Monte Carlo noise between them.
+func ValueBiometricStresses(b *eeb.Block, seed uint64) (*BiometricStresses, error) {
+	value := func(assume Assumptions) (float64, error) {
+		v, err := NewValuerWithAssumptions(b, seed, assume)
+		if err != nil {
+			return 0, err
+		}
+		r, err := v.ValueNested()
+		if err != nil {
+			return 0, err
+		}
+		return r.BEL, nil
+	}
+
+	base, err := value(Assumptions{})
+	if err != nil {
+		return nil, err
+	}
+	longevity, err := value(Assumptions{Mortality: func(g actuarial.Gender) actuarial.MortalityModel {
+		return actuarial.LongevityStress(actuarial.ForGender(g))
+	}})
+	if err != nil {
+		return nil, err
+	}
+	mortality, err := value(Assumptions{Mortality: func(g actuarial.Gender) actuarial.MortalityModel {
+		return actuarial.MortalityStress(actuarial.ForGender(g))
+	}})
+	if err != nil {
+		return nil, err
+	}
+	lapseUp, err := value(Assumptions{Lapse: actuarial.LapseStress{Base: DefaultLapse(), Factor: 1.5}})
+	if err != nil {
+		return nil, err
+	}
+	lapseDown, err := value(Assumptions{Lapse: actuarial.LapseStress{Base: DefaultLapse(), Factor: 0.5}})
+	if err != nil {
+		return nil, err
+	}
+
+	floor0 := func(x float64) float64 {
+		if x < 0 {
+			return 0
+		}
+		return x
+	}
+	out := &BiometricStresses{
+		BaseBEL:   base,
+		Longevity: floor0(longevity - base),
+		Mortality: floor0(mortality - base),
+		LapseUp:   floor0(lapseUp - base),
+		LapseDown: floor0(lapseDown - base),
+	}
+	out.LapseOnerous = out.LapseUp
+	if out.LapseDown > out.LapseOnerous {
+		out.LapseOnerous = out.LapseDown
+	}
+	return out, nil
+}

@@ -1,0 +1,130 @@
+package alm
+
+import (
+	"testing"
+
+	"disarcloud/internal/actuarial"
+	"disarcloud/internal/eeb"
+	"disarcloud/internal/fund"
+	"disarcloud/internal/policy"
+)
+
+// annuityBlock builds an annuity-heavy block, where the longevity stress
+// must bite.
+func annuityBlock(t *testing.T) *eeb.Block {
+	t.Helper()
+	market := stochasticMarket(25)
+	contracts := []policy.Contract{
+		{Kind: policy.Annuity, Age: 65, Gender: actuarial.Male, Term: 25,
+			InsuredSum: 2000, Beta: 0.8, TechnicalRate: 0.0, Count: 50},
+		{Kind: policy.Annuity, Age: 70, Gender: actuarial.Female, Term: 20,
+			InsuredSum: 1500, Beta: 0.8, TechnicalRate: 0.0, Count: 40},
+	}
+	p := &policy.Portfolio{Name: "annuities", Contracts: contracts}
+	b := &eeb.Block{
+		ID: "annuities/B1", Type: eeb.ALMValuation, Portfolio: p,
+		Fund: fund.TypicalItalianFund(4, market), Market: market,
+		Outer: 60, Inner: 5,
+	}
+	if err := b.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	return b
+}
+
+// protectionBlock builds a term-insurance block, where the mortality stress
+// must bite instead.
+func protectionBlock(t *testing.T) *eeb.Block {
+	t.Helper()
+	market := stochasticMarket(15)
+	contracts := []policy.Contract{
+		{Kind: policy.TermInsurance, Age: 40, Gender: actuarial.Male, Term: 15,
+			InsuredSum: 100000, Beta: 0.8, TechnicalRate: 0.0, Count: 80},
+	}
+	p := &policy.Portfolio{Name: "protection", Contracts: contracts}
+	b := &eeb.Block{
+		ID: "protection/B1", Type: eeb.ALMValuation, Portfolio: p,
+		Fund: fund.TypicalItalianFund(4, market), Market: market,
+		Outer: 60, Inner: 5,
+	}
+	if err := b.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	return b
+}
+
+func TestNewValuerWithAssumptionsDefaultsMatchNewValuer(t *testing.T) {
+	b := annuityBlock(t)
+	v1, err := NewValuer(b, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	v2, err := NewValuerWithAssumptions(b, 7, Assumptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	r1, _ := v1.ValueNested()
+	r2, _ := v2.ValueNested()
+	if r1.BEL != r2.BEL || r1.SCR != r2.SCR {
+		t.Fatal("default assumptions diverge from NewValuer")
+	}
+}
+
+func TestLongevityStressBitesAnnuities(t *testing.T) {
+	res, err := ValueBiometricStresses(annuityBlock(t), 11)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.BaseBEL <= 0 {
+		t.Fatalf("base BEL = %v", res.BaseBEL)
+	}
+	if res.Longevity <= 0 {
+		t.Fatalf("longevity stress did not raise annuity liability: %v", res.Longevity)
+	}
+	// On annuities, longevity dominates mortality.
+	if res.Mortality >= res.Longevity {
+		t.Fatalf("mortality SCR %v >= longevity SCR %v on an annuity book",
+			res.Mortality, res.Longevity)
+	}
+	// The onerous lapse direction is the max of the two.
+	if res.LapseOnerous < res.LapseUp || res.LapseOnerous < res.LapseDown {
+		t.Fatal("onerous lapse not the max of the two directions")
+	}
+}
+
+func TestMortalityStressBitesProtection(t *testing.T) {
+	res, err := ValueBiometricStresses(protectionBlock(t), 13)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Mortality <= 0 {
+		t.Fatalf("mortality stress did not raise term-insurance liability: %v", res.Mortality)
+	}
+	if res.Longevity >= res.Mortality {
+		t.Fatalf("longevity SCR %v >= mortality SCR %v on a protection book",
+			res.Longevity, res.Mortality)
+	}
+}
+
+func TestStressesDeterministic(t *testing.T) {
+	b := annuityBlock(t)
+	r1, err := ValueBiometricStresses(b, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r2, _ := ValueBiometricStresses(b, 3)
+	if *r1 != *r2 {
+		t.Fatal("stressed valuations not reproducible")
+	}
+}
+
+func TestAssumptionsValidation(t *testing.T) {
+	if _, err := NewValuerWithAssumptions(nil, 1, Assumptions{}); err == nil {
+		t.Fatal("nil block accepted")
+	}
+	b := annuityBlock(t)
+	b.Type = eeb.ActuarialValuation
+	if _, err := NewValuerWithAssumptions(b, 1, Assumptions{}); err == nil {
+		t.Fatal("type-A block accepted")
+	}
+}

@@ -1,0 +1,185 @@
+// Package alm implements the type-B elementary elaboration blocks of DISAR:
+// market-consistent valuation of profit-sharing liabilities through nested
+// Monte Carlo simulation (outer real-world paths x inner risk-neutral
+// paths) and its Least-Squares Monte Carlo (LSMC) acceleration, as
+// described in Section II of the paper. The package also computes the
+// Solvency Capital Requirement as the 99.5% Value-at-Risk of the one-year
+// value distribution.
+package alm
+
+import (
+	"errors"
+	"fmt"
+
+	"disarcloud/internal/actuarial"
+	"disarcloud/internal/eeb"
+	"disarcloud/internal/finmath"
+	"disarcloud/internal/fund"
+	"disarcloud/internal/stochastic"
+)
+
+// DefaultLapse is the lapse assumption used when a block does not override
+// it: elevated early surrenders decaying to an ultimate level, typical of
+// Italian profit-sharing business.
+func DefaultLapse() actuarial.LapseModel {
+	return actuarial.DurationLapse{Initial: 0.06, Ultimate: 0.015, Decay: 0.75}
+}
+
+// Valuer executes type-B EEBs: it owns the scenario generator, the fund
+// evaluator and the per-contract decrement tables (the type-A inputs), and
+// exposes both plain nested Monte Carlo and LSMC valuation. A Valuer is
+// immutable after construction and safe for concurrent use provided each
+// goroutine uses its own RNG.
+type Valuer struct {
+	block      *eeb.Block
+	gen        *stochastic.Generator
+	fund       *fund.Fund
+	decrements []*actuarial.DecrementTable // one per contract, aligned with portfolio
+	seed       uint64
+}
+
+// NewValuer prepares a valuer for the block, computing the type-A decrement
+// tables for every representative contract. seed roots all the valuer's
+// random streams: two valuers with the same block and seed produce
+// bit-identical results regardless of how work is partitioned.
+func NewValuer(b *eeb.Block, seed uint64) (*Valuer, error) {
+	if b == nil {
+		return nil, errors.New("alm: nil block")
+	}
+	if err := b.Validate(); err != nil {
+		return nil, err
+	}
+	if b.Type != eeb.ALMValuation {
+		return nil, fmt.Errorf("alm: block %s is type %s, want B", b.ID, b.Type)
+	}
+	gen, err := stochastic.NewGenerator(b.Market)
+	if err != nil {
+		return nil, err
+	}
+	fd, err := fund.New(b.Fund, b.Market)
+	if err != nil {
+		return nil, err
+	}
+	v := &Valuer{block: b, gen: gen, fund: fd, seed: seed}
+	lapse := DefaultLapse()
+	v.decrements = make([]*actuarial.DecrementTable, len(b.Portfolio.Contracts))
+	for i, c := range b.Portfolio.Contracts {
+		eng, err := actuarial.NewEngine(actuarial.ForGender(c.Gender), lapse)
+		if err != nil {
+			return nil, err
+		}
+		dec, err := eng.Decrements(c.Age, c.Term)
+		if err != nil {
+			return nil, fmt.Errorf("alm: contract %d: %w", i, err)
+		}
+		v.decrements[i] = dec
+	}
+	return v, nil
+}
+
+// Block returns the block the valuer executes.
+func (v *Valuer) Block() *eeb.Block { return v.block }
+
+// presentValue computes the time-1 present value of the portfolio's
+// liability cash flows along one inner risk-neutral scenario, given the
+// year-1 fund return realised on the outer path. fundReturns[0] must be the
+// outer year-1 book return; entries 1.. are the inner path's book returns
+// for policy years 2..T. Flows at policy year t are discounted with the
+// inner path's discount factor from time 1 to time t.
+func (v *Valuer) presentValue(outerReturn float64, inner *stochastic.Scenario) float64 {
+	maxTerm := v.block.Portfolio.MaxTerm()
+	returns := make([]float64, maxTerm)
+	returns[0] = outerReturn
+	innerReturns := v.fund.Returns(inner, maxTerm) // years 2..T use entries 0..T-2
+	copy(returns[1:], innerReturns)
+
+	total := 0.0
+	for ci, c := range v.block.Portfolio.Contracts {
+		flows, err := c.Flows(returns)
+		if err != nil {
+			// Impossible by construction: returns covers MaxTerm >= c.Term.
+			panic(fmt.Sprintf("alm: internal flow error: %v", err))
+		}
+		dec := v.decrements[ci]
+		pv := 0.0
+		for t := 1; t <= c.Term; t++ {
+			// Policy year t is paid at time t; from the time-1 viewpoint the
+			// discount spans t-1 years on the inner grid.
+			disc := inner.Discount(float64(t - 1))
+			k := t - 1
+			pv += disc * (dec.Death[k]*flows.Death[k] +
+				dec.Lapse[k]*flows.Surrender[k] +
+				dec.InForce[k]*flows.Survival[k])
+		}
+		pv += inner.Discount(float64(c.Term-1)) * dec.InForce[c.Term-1] * flows.Maturity
+		total += pv
+	}
+	return total
+}
+
+// outerRNG returns the deterministic stream for outer path i, independent of
+// work partitioning.
+func (v *Valuer) outerRNG(i int) *finmath.RNG {
+	return finmath.NewRNG(v.seed ^ (0x9e3779b97f4a7c15 * uint64(i+1)))
+}
+
+// innerRNG returns the deterministic stream for inner path j of outer path i.
+func (v *Valuer) innerRNG(i, j int) *finmath.RNG {
+	return finmath.NewRNG(v.seed ^ (0x9e3779b97f4a7c15 * uint64(i+1)) ^ (0xc2b2ae3d27d4eb4f * uint64(j+1)))
+}
+
+// OuterState captures the F1-measurable state of an outer path used both to
+// condition inner simulations and as the LSMC regression features.
+type OuterState struct {
+	Scenario   *stochastic.Scenario
+	FundReturn float64 // year-1 book return I_1
+	Discount   float64 // D(0,1) on the outer path
+}
+
+// GenerateOuter simulates outer path i (real-world measure, 0 to 1 year).
+func (v *Valuer) GenerateOuter(i int) OuterState {
+	s := v.gen.Generate(v.outerRNG(i), stochastic.RealWorld)
+	returns := v.fund.Returns(s, 1)
+	return OuterState{Scenario: s, FundReturn: returns[0], Discount: s.Discount(1)}
+}
+
+// ValueOuter computes Y1 for outer path i: the inner risk-neutral average of
+// the time-1 present value, using nInner conditional paths.
+func (v *Valuer) ValueOuter(i, nInner int) float64 {
+	outer := v.GenerateOuter(i)
+	sum := 0.0
+	for j := 0; j < nInner; j++ {
+		inner := v.gen.GenerateFrom(v.innerRNG(i, j), stochastic.RiskNeutral, outer.Scenario, 1)
+		sum += v.presentValue(outer.FundReturn, inner)
+	}
+	return sum / float64(nInner)
+}
+
+// OuterSlice computes the Y1 values for outer paths [from, to) — the unit of
+// distribution: DISAR scatters disjoint outer ranges across computing nodes
+// and gathers the local results, which is exactly the data-separation
+// pattern Section III describes.
+func (v *Valuer) OuterSlice(from, to int) ([]float64, error) {
+	if from < 0 || to < from {
+		return nil, fmt.Errorf("alm: bad outer slice [%d,%d)", from, to)
+	}
+	out := make([]float64, 0, to-from)
+	for i := from; i < to; i++ {
+		out = append(out, v.ValueOuter(i, v.block.Inner))
+	}
+	return out, nil
+}
+
+// Features returns the LSMC regression features of an outer state:
+// the year-1 short rate, the year-1 fund book return, the year-1 credit
+// intensity, and the log-level of each equity index at year 1.
+func (v *Valuer) Features(o OuterState) []float64 {
+	s := o.Scenario
+	idx := s.IndexOfYear(1)
+	feats := make([]float64, 0, 3+len(s.Equities))
+	feats = append(feats, s.Rates[idx], o.FundReturn, s.Credit[idx])
+	for _, eq := range s.Equities {
+		feats = append(feats, eq[idx]/eq[0]-1)
+	}
+	return feats
+}

@@ -1,0 +1,45 @@
+package cloud
+
+import (
+	"testing"
+
+	"disarcloud/internal/finmath"
+)
+
+// BenchmarkMeanExecSeconds measures one ground-truth evaluation (the inner
+// loop of Algorithm 1's candidate enumeration when using an oracle).
+func BenchmarkMeanExecSeconds(b *testing.B) {
+	pm := DefaultPerfModel()
+	it, _ := TypeByName("c4.8xlarge")
+	f := typicalParams()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = pm.MeanExecSeconds(it, 4, f)
+	}
+}
+
+// BenchmarkClusterLifecycle measures launch -> run -> terminate of a 4-VM
+// cluster, the per-simulation provider overhead. Boot failures are disabled:
+// at benchmark iteration counts the 0.02^4 quadruple-failure tail would
+// otherwise fire and abort the run.
+func BenchmarkClusterLifecycle(b *testing.B) {
+	p, err := NewProvider(DefaultPerfModel())
+	if err != nil {
+		b.Fatal(err)
+	}
+	p.BootFailureProb = 0
+	it, _ := TypeByName("c3.4xlarge")
+	f := typicalParams()
+	rng := finmath.NewRNG(1)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		c, err := p.Launch(rng, it, 4)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if _, err := c.RunBlock(rng, f); err != nil {
+			b.Fatal(err)
+		}
+		_ = c.Terminate()
+	}
+}

@@ -1,0 +1,72 @@
+// Package cloud simulates the Amazon EC2 substrate of the paper's
+// experiments: the six virtualized architectures of Section IV with their
+// vCPU/RAM capabilities and per-hour prices, Starcluster-style cluster
+// provisioning with boot latency and failure/retry, per-hour and pro-rata
+// billing, and a calibrated stochastic performance model that converts a
+// type-B EEB workload into ground-truth execution seconds.
+//
+// The performance model substitutes for the real EC2 testbed (see
+// DESIGN.md): the machine-learning layer only ever observes (architecture,
+// node count, characteristic parameters) -> seconds samples, so a noisy
+// model with the right monotonicities and crossovers poses the same
+// learning problem the paper's system faces.
+package cloud
+
+import (
+	"fmt"
+	"sort"
+)
+
+// InstanceType describes one virtualized architecture.
+type InstanceType struct {
+	Name      string
+	VCPUs     int
+	MemGiB    float64
+	HourlyUSD float64
+	// CoreSpeed is per-core throughput relative to the reference core of the
+	// performance model (c4 Haswell > c3 Ivy Bridge > m4 Broadwell at the
+	// lower clock).
+	CoreSpeed float64
+	// MemBandwidth is a relative memory-bandwidth factor that throttles
+	// highly parallel runs on the memory-lean compute instances.
+	MemBandwidth float64
+}
+
+// String implements fmt.Stringer.
+func (it InstanceType) String() string {
+	return fmt.Sprintf("%s (%d vCPU, %g GiB, $%.3f/h)", it.Name, it.VCPUs, it.MemGiB, it.HourlyUSD)
+}
+
+// Catalog returns the six instance types used in the paper's experimental
+// assessment, with approximate 2016 us-east-1 Linux on-demand prices.
+func Catalog() []InstanceType {
+	return []InstanceType{
+		{Name: "m4.4xlarge", VCPUs: 16, MemGiB: 64, HourlyUSD: 0.862, CoreSpeed: 0.95, MemBandwidth: 1.10},
+		{Name: "m4.10xlarge", VCPUs: 40, MemGiB: 160, HourlyUSD: 2.155, CoreSpeed: 0.95, MemBandwidth: 1.05},
+		{Name: "c3.4xlarge", VCPUs: 16, MemGiB: 30, HourlyUSD: 0.840, CoreSpeed: 1.05, MemBandwidth: 1.00},
+		{Name: "c3.8xlarge", VCPUs: 32, MemGiB: 60, HourlyUSD: 1.680, CoreSpeed: 1.05, MemBandwidth: 0.95},
+		{Name: "c4.4xlarge", VCPUs: 16, MemGiB: 30, HourlyUSD: 0.838, CoreSpeed: 1.15, MemBandwidth: 1.00},
+		{Name: "c4.8xlarge", VCPUs: 36, MemGiB: 60, HourlyUSD: 1.675, CoreSpeed: 1.15, MemBandwidth: 0.95},
+	}
+}
+
+// TypeByName looks an instance type up in the catalog.
+func TypeByName(name string) (InstanceType, bool) {
+	for _, it := range Catalog() {
+		if it.Name == name {
+			return it, true
+		}
+	}
+	return InstanceType{}, false
+}
+
+// CatalogNames returns the catalog's names in a stable order.
+func CatalogNames() []string {
+	cat := Catalog()
+	names := make([]string, len(cat))
+	for i, it := range cat {
+		names[i] = it.Name
+	}
+	sort.Strings(names)
+	return names
+}

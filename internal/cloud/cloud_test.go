@@ -1,0 +1,331 @@
+package cloud
+
+import (
+	"math"
+	"strings"
+	"testing"
+
+	"disarcloud/internal/eeb"
+	"disarcloud/internal/finmath"
+)
+
+func typicalParams() eeb.CharacteristicParams {
+	return eeb.CharacteristicParams{
+		RepresentativeContracts: 15,
+		MaxHorizon:              25,
+		FundAssets:              8,
+		RiskFactors:             3,
+		OuterPaths:              1000,
+		InnerPaths:              50,
+	}
+}
+
+func TestCatalogShape(t *testing.T) {
+	cat := Catalog()
+	if len(cat) != 6 {
+		t.Fatalf("catalog has %d types, want 6", len(cat))
+	}
+	want := map[string]int{
+		"m4.4xlarge": 16, "m4.10xlarge": 40,
+		"c3.4xlarge": 16, "c3.8xlarge": 32,
+		"c4.4xlarge": 16, "c4.8xlarge": 36,
+	}
+	for _, it := range cat {
+		if vc, ok := want[it.Name]; !ok || vc != it.VCPUs {
+			t.Fatalf("unexpected catalog entry %v", it)
+		}
+		if it.HourlyUSD <= 0 || it.MemGiB <= 0 || it.CoreSpeed <= 0 {
+			t.Fatalf("degenerate catalog entry %v", it)
+		}
+	}
+}
+
+func TestTypeByName(t *testing.T) {
+	it, ok := TypeByName("c4.8xlarge")
+	if !ok || it.VCPUs != 36 {
+		t.Fatalf("lookup failed: %v %v", it, ok)
+	}
+	if _, ok := TypeByName("t2.micro"); ok {
+		t.Fatal("unknown type found")
+	}
+	names := CatalogNames()
+	if len(names) != 6 {
+		t.Fatalf("CatalogNames = %v", names)
+	}
+}
+
+func TestInstanceTypeString(t *testing.T) {
+	it, _ := TypeByName("m4.4xlarge")
+	s := it.String()
+	if !strings.Contains(s, "m4.4xlarge") || !strings.Contains(s, "16 vCPU") {
+		t.Fatalf("String() = %q", s)
+	}
+}
+
+func TestPerfModelValidate(t *testing.T) {
+	if err := DefaultPerfModel().Validate(); err != nil {
+		t.Fatal(err)
+	}
+	bad := DefaultPerfModel()
+	bad.OpsPerSecond = 0
+	if err := bad.Validate(); err == nil {
+		t.Fatal("zero throughput accepted")
+	}
+	bad = DefaultPerfModel()
+	bad.ParallelFraction = 1
+	if err := bad.Validate(); err == nil {
+		t.Fatal("parallel fraction 1 accepted")
+	}
+}
+
+func TestExecTimesInPaperBand(t *testing.T) {
+	// The Section IV workloads must land in the paper's 100-4000 s range on
+	// single-VM deploys.
+	pm := DefaultPerfModel()
+	f := typicalParams()
+	for _, it := range Catalog() {
+		mean := pm.MeanExecSeconds(it, 1, f)
+		if mean < 100 || mean > 4000 {
+			t.Errorf("%s: typical workload mean %v s outside paper band", it.Name, mean)
+		}
+	}
+}
+
+func TestCostsInPaperBand(t *testing.T) {
+	// Pro-rata per-simulation cost should land in Table II's $0.04-$0.13.
+	pm := DefaultPerfModel()
+	f := typicalParams()
+	for _, it := range Catalog() {
+		cost := ProRataCost(it, 1, pm.MeanExecSeconds(it, 1, f))
+		if cost < 0.02 || cost > 0.30 {
+			t.Errorf("%s: per-simulation cost $%.3f far outside Table II band", it.Name, cost)
+		}
+	}
+}
+
+func TestMoreVMsFasterUntilCommDominates(t *testing.T) {
+	pm := DefaultPerfModel()
+	f := typicalParams()
+	it, _ := TypeByName("c3.4xlarge")
+	t1 := pm.MeanExecSeconds(it, 1, f)
+	t2 := pm.MeanExecSeconds(it, 2, f)
+	t4 := pm.MeanExecSeconds(it, 4, f)
+	if !(t2 < t1 && t4 < t2) {
+		t.Fatalf("no parallel gain: %v %v %v", t1, t2, t4)
+	}
+	// Eventually communication overhead makes huge clusters WORSE for this
+	// moderate workload — the effect the ML provisioner must learn.
+	t64 := pm.MeanExecSeconds(it, 64, f)
+	if t64 < t4 {
+		t.Fatalf("comm overhead never bites: t4=%v t64=%v", t4, t64)
+	}
+}
+
+func TestSpeedupShapeOfFigure4(t *testing.T) {
+	// Qualitative shape of Figure 4: all single-VM speedups in (3, 10);
+	// within a family the bigger instance is faster; the compute-optimised
+	// 8xlarge instances give the largest speedups.
+	pm := DefaultPerfModel()
+	f := typicalParams()
+	sp := map[string]float64{}
+	for _, it := range Catalog() {
+		sp[it.Name] = pm.Speedup(it, 1, f)
+		if sp[it.Name] < 3 || sp[it.Name] > 10 {
+			t.Errorf("%s speedup %v outside Figure 4 range", it.Name, sp[it.Name])
+		}
+	}
+	if sp["c3.8xlarge"] <= sp["c3.4xlarge"] || sp["c4.8xlarge"] <= sp["c4.4xlarge"] ||
+		sp["m4.10xlarge"] <= sp["m4.4xlarge"] {
+		t.Fatalf("within-family speedup ordering broken: %v", sp)
+	}
+	maxName := ""
+	maxV := 0.0
+	for n, v := range sp {
+		if v > maxV {
+			maxName, maxV = n, v
+		}
+	}
+	if maxName != "c4.8xlarge" && maxName != "m4.10xlarge" {
+		t.Fatalf("largest speedup on %s, want a big compute instance (%v)", maxName, sp)
+	}
+}
+
+func TestMemoryPressureCrossover(t *testing.T) {
+	// Big EEBs must run comparatively better on the memory-rich m4.4xlarge
+	// than small ones do: the crossover that justifies exploring different
+	// architectures.
+	pm := DefaultPerfModel()
+	small := typicalParams()
+	big := typicalParams()
+	big.RepresentativeContracts = 90
+	big.MaxHorizon = 40
+	c34, _ := TypeByName("c3.4xlarge")
+	m44, _ := TypeByName("m4.4xlarge")
+	ratioSmall := pm.MeanExecSeconds(m44, 1, small) / pm.MeanExecSeconds(c34, 1, small)
+	ratioBig := pm.MeanExecSeconds(m44, 1, big) / pm.MeanExecSeconds(c34, 1, big)
+	if ratioBig >= ratioSmall {
+		t.Fatalf("no crossover: m4/c3 ratio small=%v big=%v", ratioSmall, ratioBig)
+	}
+}
+
+func TestExecSecondsNoiseProperties(t *testing.T) {
+	pm := DefaultPerfModel()
+	f := typicalParams()
+	it, _ := TypeByName("c4.4xlarge")
+	rng := finmath.NewRNG(42)
+	mean := pm.MeanExecSeconds(it, 2, f)
+	n := 4000
+	sum := 0.0
+	for i := 0; i < n; i++ {
+		d := pm.ExecSeconds(rng, it, 2, f)
+		if d <= 0 {
+			t.Fatal("non-positive duration")
+		}
+		sum += d
+	}
+	avg := sum / float64(n)
+	// Stragglers push the average a few percent above the noise-free mean.
+	if avg < mean*0.98 || avg > mean*1.10 {
+		t.Fatalf("noisy average %v vs mean %v", avg, mean)
+	}
+}
+
+func TestExecSecondsDeterministicInSeed(t *testing.T) {
+	pm := DefaultPerfModel()
+	f := typicalParams()
+	it, _ := TypeByName("m4.10xlarge")
+	a := pm.ExecSeconds(finmath.NewRNG(7), it, 3, f)
+	b := pm.ExecSeconds(finmath.NewRNG(7), it, 3, f)
+	if a != b {
+		t.Fatal("noise not reproducible")
+	}
+}
+
+func TestLaunchAndBilling(t *testing.T) {
+	p, err := NewProvider(DefaultPerfModel())
+	if err != nil {
+		t.Fatal(err)
+	}
+	it, _ := TypeByName("c3.4xlarge")
+	rng := finmath.NewRNG(1)
+	c, err := p.Launch(rng, it, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.Size() != 4 || c.InstanceType().Name != "c3.4xlarge" {
+		t.Fatal("cluster metadata wrong")
+	}
+	boot := c.ElapsedSeconds()
+	if boot < 30 || boot > 600 {
+		t.Fatalf("implausible boot time %v s", boot)
+	}
+	d, err := c.RunBlock(rng, typicalParams())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d <= 0 {
+		t.Fatal("non-positive run duration")
+	}
+	if c.Runs() != 1 || c.ElapsedSeconds() <= boot {
+		t.Fatal("clock not advancing")
+	}
+	cost := c.Terminate()
+	wantMin := BilledCost(it, 4, boot+d)
+	if cost != wantMin {
+		t.Fatalf("terminate billed %v, want %v", cost, wantMin)
+	}
+	// Running on a terminated cluster fails; double terminate is free.
+	if _, err := c.RunBlock(rng, typicalParams()); err == nil {
+		t.Fatal("run on terminated cluster accepted")
+	}
+	if c.Terminate() != 0 {
+		t.Fatal("double terminate billed")
+	}
+}
+
+func TestLaunchValidation(t *testing.T) {
+	p, _ := NewProvider(DefaultPerfModel())
+	rng := finmath.NewRNG(2)
+	it, _ := TypeByName("c3.4xlarge")
+	if _, err := p.Launch(rng, it, 0); err == nil {
+		t.Fatal("zero-size cluster accepted")
+	}
+	if _, err := p.Launch(rng, InstanceType{Name: "x1.fake"}, 1); err == nil {
+		t.Fatal("unknown type accepted")
+	}
+}
+
+func TestBootRetriesLengthenStartup(t *testing.T) {
+	flaky := DefaultPerfModel()
+	p, _ := NewProvider(flaky)
+	p.BootFailureProb = 0.5
+	p.MaxBootRetries = 50
+	reliable, _ := NewProvider(flaky)
+	reliable.BootFailureProb = 0
+	it, _ := TypeByName("m4.4xlarge")
+	var flakySum, reliableSum float64
+	for i := 0; i < 50; i++ {
+		cf, err := p.Launch(finmath.NewRNG(uint64(i)), it, 3)
+		if err != nil {
+			t.Fatal(err)
+		}
+		cr, _ := reliable.Launch(finmath.NewRNG(uint64(i)), it, 3)
+		flakySum += cf.ElapsedSeconds()
+		reliableSum += cr.ElapsedSeconds()
+	}
+	if flakySum <= reliableSum {
+		t.Fatalf("boot failures did not lengthen startup: %v <= %v", flakySum, reliableSum)
+	}
+}
+
+func TestLaunchFailsAfterRetryBudget(t *testing.T) {
+	p, _ := NewProvider(DefaultPerfModel())
+	p.BootFailureProb = 1.0
+	p.MaxBootRetries = 2
+	it, _ := TypeByName("c4.4xlarge")
+	if _, err := p.Launch(finmath.NewRNG(3), it, 1); err == nil {
+		t.Fatal("permanently failing boot accepted")
+	}
+}
+
+func TestBilledVsProRata(t *testing.T) {
+	it, _ := TypeByName("c3.8xlarge")
+	// 30 minutes on 2 VMs: billed rounds to a full hour each.
+	billed := BilledCost(it, 2, 1800)
+	if math.Abs(billed-2*it.HourlyUSD) > 1e-9 {
+		t.Fatalf("billed = %v, want %v", billed, 2*it.HourlyUSD)
+	}
+	pro := ProRataCost(it, 2, 1800)
+	if math.Abs(pro-it.HourlyUSD) > 1e-9 {
+		t.Fatalf("pro-rata = %v, want %v", pro, it.HourlyUSD)
+	}
+	if BilledCost(it, 1, 0) != 0 {
+		t.Fatal("zero usage should bill zero")
+	}
+	// 61 minutes bills 2 hours.
+	if got := BilledCost(it, 1, 3660); math.Abs(got-2*it.HourlyUSD) > 1e-9 {
+		t.Fatalf("61 min billed %v", got)
+	}
+}
+
+func TestSerialSecondsMonotoneInWork(t *testing.T) {
+	pm := DefaultPerfModel()
+	small := typicalParams()
+	big := small
+	big.OuterPaths *= 2
+	if pm.SerialSeconds(big) <= pm.SerialSeconds(small) {
+		t.Fatal("serial time not increasing in work")
+	}
+}
+
+func TestRunBlockRejectsBadParams(t *testing.T) {
+	p, _ := NewProvider(DefaultPerfModel())
+	it, _ := TypeByName("c3.4xlarge")
+	rng := finmath.NewRNG(5)
+	c, _ := p.Launch(rng, it, 1)
+	bad := typicalParams()
+	bad.MaxHorizon = 0
+	if _, err := c.RunBlock(rng, bad); err == nil {
+		t.Fatal("invalid params accepted")
+	}
+}

@@ -1,0 +1,143 @@
+package cloud
+
+import (
+	"errors"
+	"fmt"
+	"math"
+
+	"disarcloud/internal/eeb"
+	"disarcloud/internal/finmath"
+)
+
+// Provider simulates an EC2-like IaaS endpoint: it launches clusters of
+// identical VMs (the paper's Starcluster deploy is homogeneous), tracks
+// virtual time per cluster and bills usage. All time is virtual — nothing
+// sleeps — so thousand-run campaigns finish instantly while the recorded
+// durations look like the real thing.
+type Provider struct {
+	perf PerfModel
+	// BootMeanSeconds / BootSigma parameterise the per-VM boot latency.
+	BootMeanSeconds float64
+	BootSigma       float64
+	// BootFailureProb is the chance any single VM fails to boot and must be
+	// relaunched (Starcluster retries transparently; the cluster just takes
+	// longer to come up).
+	BootFailureProb float64
+	// MaxBootRetries bounds relaunch attempts per VM before Launch fails.
+	MaxBootRetries int
+}
+
+// NewProvider returns a provider with the given performance model and
+// realistic boot behaviour.
+func NewProvider(perf PerfModel) (*Provider, error) {
+	if err := perf.Validate(); err != nil {
+		return nil, err
+	}
+	return &Provider{
+		perf:            perf,
+		BootMeanSeconds: 95,
+		BootSigma:       0.25,
+		BootFailureProb: 0.02,
+		MaxBootRetries:  3,
+	}, nil
+}
+
+// Perf returns the provider's performance model.
+func (p *Provider) Perf() PerfModel { return p.perf }
+
+// Cluster is a set of n booted VMs of one instance type. Its lifetime
+// accumulates virtual seconds: boot, runs, and idle gaps the caller adds.
+type Cluster struct {
+	inst     InstanceType
+	n        int
+	provider *Provider
+	elapsed  float64 // virtual seconds since launch request
+	booted   bool
+	runs     int
+}
+
+// Launch boots a cluster of n VMs of the given type. The cluster is ready
+// when the slowest VM is up (Starcluster blocks on the full set); failed
+// boots are retried up to MaxBootRetries times each.
+func (p *Provider) Launch(rng *finmath.RNG, inst InstanceType, n int) (*Cluster, error) {
+	if n <= 0 {
+		return nil, errors.New("cloud: cluster size must be positive")
+	}
+	if _, ok := TypeByName(inst.Name); !ok {
+		return nil, fmt.Errorf("cloud: unknown instance type %q", inst.Name)
+	}
+	slowest := 0.0
+	for vm := 0; vm < n; vm++ {
+		t := 0.0
+		attempts := 0
+		for {
+			attempts++
+			boot := p.BootMeanSeconds * rng.LogNormal(-0.5*p.BootSigma*p.BootSigma, p.BootSigma)
+			t += boot
+			if rng.Float64() >= p.BootFailureProb {
+				break
+			}
+			if attempts > p.MaxBootRetries {
+				return nil, fmt.Errorf("cloud: VM %d failed to boot after %d attempts", vm, attempts)
+			}
+		}
+		if t > slowest {
+			slowest = t
+		}
+	}
+	return &Cluster{inst: inst, n: n, provider: p, elapsed: slowest, booted: true}, nil
+}
+
+// InstanceType returns the cluster's instance type.
+func (c *Cluster) InstanceType() InstanceType { return c.inst }
+
+// Size returns the number of VMs.
+func (c *Cluster) Size() int { return c.n }
+
+// ElapsedSeconds returns the cluster's virtual lifetime so far.
+func (c *Cluster) ElapsedSeconds() float64 { return c.elapsed }
+
+// Runs returns how many block executions the cluster has performed.
+func (c *Cluster) Runs() int { return c.runs }
+
+// RunBlock executes one type-B workload on the cluster and returns its
+// simulated duration in seconds, advancing the cluster clock.
+func (c *Cluster) RunBlock(rng *finmath.RNG, f eeb.CharacteristicParams) (float64, error) {
+	if !c.booted {
+		return 0, errors.New("cloud: cluster already terminated")
+	}
+	if err := f.Validate(); err != nil {
+		return 0, err
+	}
+	d := c.provider.perf.ExecSeconds(rng, c.inst, c.n, f)
+	c.elapsed += d
+	c.runs++
+	return d, nil
+}
+
+// Terminate shuts the cluster down and returns the total billed cost under
+// EC2's 2016 per-hour rounding.
+func (c *Cluster) Terminate() float64 {
+	if !c.booted {
+		return 0
+	}
+	c.booted = false
+	return BilledCost(c.inst, c.n, c.elapsed)
+}
+
+// BilledCost is the hour-rounded (2016 EC2) cost of running n VMs of the
+// given type for the given duration.
+func BilledCost(inst InstanceType, n int, seconds float64) float64 {
+	hours := math.Ceil(seconds / 3600)
+	if hours < 1 && seconds > 0 {
+		hours = 1
+	}
+	return hours * inst.HourlyUSD * float64(n)
+}
+
+// ProRataCost is the exact-duration cost attribution used by the paper's
+// Table II (average per-simulation cost): hourly price scaled by the
+// simulation's share of the hour.
+func ProRataCost(inst InstanceType, n int, seconds float64) float64 {
+	return inst.HourlyUSD * float64(n) * seconds / 3600
+}

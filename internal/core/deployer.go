@@ -1,0 +1,288 @@
+// Package core ties the system together into the paper's contribution: the
+// ML-based transparent deploy system organised as a self-optimizing loop
+// (Section III). Every deploy selects the cheapest configuration whose
+// predicted time meets the Solvency II deadline (Algorithm 1), runs the
+// workload on the simulated cloud, records the measured execution time in
+// the knowledge base and retrains the prediction models — so useful
+// computations double as training data and the system improves while it
+// works.
+package core
+
+import (
+	"errors"
+	"fmt"
+
+	"disarcloud/internal/cloud"
+	"disarcloud/internal/eeb"
+	"disarcloud/internal/finmath"
+	"disarcloud/internal/kb"
+	"disarcloud/internal/provision"
+)
+
+// Deployer is the DISAR-interface-side component (DiInt in Figure 1) that
+// owns the knowledge base, the predictor and the cloud provider, and runs
+// the select -> execute -> record -> retrain loop.
+type Deployer struct {
+	provider     *cloud.Provider
+	kb           *kb.KB
+	pred         *provision.EnsemblePredictor
+	sel          *provision.Selector
+	rng          *finmath.RNG
+	catalog      []cloud.InstanceType
+	retrainEvery int
+}
+
+// Option customises a Deployer.
+type Option func(*deployerConfig)
+
+type deployerConfig struct {
+	perf          cloud.PerfModel
+	kb            *kb.KB
+	catalog       []cloud.InstanceType
+	heterogeneous bool
+	retrainEvery  int
+}
+
+// WithRetrainEvery retrains the affected architecture's models only every
+// k-th recorded sample (default 1 = after every execution, the paper's
+// behaviour). Large campaigns can relax the cadence; accuracy evaluations
+// retrain explicitly anyway.
+func WithRetrainEvery(k int) Option {
+	return func(c *deployerConfig) { c.retrainEvery = k }
+}
+
+// WithPerfModel overrides the cloud performance model.
+func WithPerfModel(pm cloud.PerfModel) Option {
+	return func(c *deployerConfig) { c.perf = pm }
+}
+
+// WithKnowledgeBase starts from an existing knowledge base (e.g. loaded
+// from disk), enabling warm starts.
+func WithKnowledgeBase(k *kb.KB) Option {
+	return func(c *deployerConfig) { c.kb = k }
+}
+
+// WithCatalog restricts the instance types considered.
+func WithCatalog(cat []cloud.InstanceType) Option {
+	return func(c *deployerConfig) { c.catalog = cat }
+}
+
+// WithHeterogeneous enables the heterogeneous-deploy extension (the paper's
+// future work).
+func WithHeterogeneous(on bool) Option {
+	return func(c *deployerConfig) { c.heterogeneous = on }
+}
+
+// NewDeployer wires a deployer rooted at seed. The same seed reproduces the
+// entire campaign: exploration, noise and all.
+func NewDeployer(seed uint64, opts ...Option) (*Deployer, error) {
+	cfg := deployerConfig{perf: cloud.DefaultPerfModel(), kb: kb.New(), catalog: cloud.Catalog()}
+	for _, opt := range opts {
+		opt(&cfg)
+	}
+	provider, err := cloud.NewProvider(cfg.perf)
+	if err != nil {
+		return nil, err
+	}
+	rng := finmath.NewRNG(seed)
+	pred := provision.NewEnsemblePredictor(seed ^ 0xabcdef)
+	sel, err := provision.NewSelector(pred, cfg.catalog, rng.Split())
+	if err != nil {
+		return nil, err
+	}
+	sel.Heterogeneous = cfg.heterogeneous
+	if cfg.retrainEvery < 1 {
+		cfg.retrainEvery = 1
+	}
+	d := &Deployer{
+		provider:     provider,
+		kb:           cfg.kb,
+		pred:         pred,
+		sel:          sel,
+		rng:          rng,
+		catalog:      cfg.catalog,
+		retrainEvery: cfg.retrainEvery,
+	}
+	if d.kb.Len() > 0 {
+		if err := d.pred.Retrain(d.kb); err != nil {
+			return nil, err
+		}
+	}
+	return d, nil
+}
+
+// KB exposes the knowledge base (read-mostly: inspect, persist).
+func (d *Deployer) KB() *kb.KB { return d.kb }
+
+// Predictor exposes the ensemble predictor (for evaluation harnesses).
+func (d *Deployer) Predictor() *provision.EnsemblePredictor { return d.pred }
+
+// Selector exposes the Algorithm 1 selector.
+func (d *Deployer) Selector() *provision.Selector { return d.sel }
+
+// Provider exposes the simulated cloud provider.
+func (d *Deployer) Provider() *cloud.Provider { return d.provider }
+
+// Report describes one completed deploy.
+type Report struct {
+	Choice           provision.Choice
+	PredictedSeconds float64 // 0 when bootstrapped without a model
+	ActualSeconds    float64
+	ProRataUSD       float64 // cost attributed to the simulation (Table II)
+	BilledUSD        float64 // hour-rounded bill including boot time
+	Bootstrap        bool    // true when the config was chosen without ML
+	Fallback         bool    // true when no config met Tmax and the fastest was used
+	KBSize           int     // knowledge-base size after recording
+}
+
+// Deploy runs the full loop for one workload: Algorithm 1 selection (with
+// bootstrap and no-feasible fallbacks), simulated execution, knowledge-base
+// recording and model retraining.
+func (d *Deployer) Deploy(f eeb.CharacteristicParams, c provision.Constraints) (*Report, error) {
+	if err := f.Validate(); err != nil {
+		return nil, err
+	}
+	if err := c.Validate(); err != nil {
+		return nil, err
+	}
+	choice, bootstrap, fallback, err := d.choose(f, c)
+	if err != nil {
+		return nil, err
+	}
+	rep, err := d.execute(choice, f, true)
+	if err != nil {
+		return nil, err
+	}
+	rep.Bootstrap = bootstrap
+	rep.Fallback = fallback
+	return rep, nil
+}
+
+// DeployManual supersedes the ML selection with an explicit configuration —
+// the paper's early manual training mode, used to artificially grow the
+// knowledge base at the beginning of the system's lifetime.
+func (d *Deployer) DeployManual(architecture string, nodes int, f eeb.CharacteristicParams) (*Report, error) {
+	if err := f.Validate(); err != nil {
+		return nil, err
+	}
+	it, ok := cloud.TypeByName(architecture)
+	if !ok {
+		return nil, fmt.Errorf("core: unknown architecture %q", architecture)
+	}
+	if nodes <= 0 {
+		return nil, errors.New("core: node count must be positive")
+	}
+	choice := provision.Choice{Slots: []provision.Slot{{Type: it, Nodes: nodes}}}
+	rep, err := d.execute(choice, f, true)
+	if err != nil {
+		return nil, err
+	}
+	rep.Bootstrap = true
+	return rep, nil
+}
+
+// choose applies Algorithm 1 with the two boundary policies: random
+// configuration while the knowledge base is too small (manual-training
+// phase surrogate) and fastest-available when nothing meets the deadline.
+func (d *Deployer) choose(f eeb.CharacteristicParams, c provision.Constraints) (choice provision.Choice, bootstrap, fallback bool, err error) {
+	choice, err = d.sel.Select(f, c)
+	switch {
+	case err == nil:
+		return choice, false, false, nil
+	case errors.Is(err, provision.ErrUntrained):
+		it := d.catalog[d.rng.Intn(len(d.catalog))]
+		n := 1 + d.rng.Intn(c.MaxNodes)
+		return provision.Choice{Slots: []provision.Slot{{Type: it, Nodes: n}}}, true, false, nil
+	case errors.Is(err, provision.ErrNoFeasible):
+		choice, err = d.sel.SelectFastest(f, c.MaxNodes)
+		if err != nil {
+			return provision.Choice{}, false, false, err
+		}
+		return choice, false, true, nil
+	default:
+		return provision.Choice{}, false, false, err
+	}
+}
+
+// execute launches the chosen deploy, runs the workload, terminates the
+// cluster, records the sample(s) and — when retrain is set — rebuilds the
+// models of the affected architecture (the incremental self-optimizing
+// step).
+func (d *Deployer) execute(choice provision.Choice, f eeb.CharacteristicParams, retrain bool) (*Report, error) {
+	rep := &Report{Choice: choice, PredictedSeconds: choice.PredictedSeconds}
+	switch len(choice.Slots) {
+	case 1:
+		slot := choice.Slots[0]
+		cluster, err := d.provider.Launch(d.rng, slot.Type, slot.Nodes)
+		if err != nil {
+			return nil, err
+		}
+		secs, err := cluster.RunBlock(d.rng, f)
+		if err != nil {
+			return nil, err
+		}
+		rep.ActualSeconds = secs
+		rep.ProRataUSD = cloud.ProRataCost(slot.Type, slot.Nodes, secs)
+		rep.BilledUSD = cluster.Terminate()
+		if err := d.kb.Add(kb.Sample{
+			Architecture: slot.Type.Name, Nodes: slot.Nodes, Params: f, Seconds: secs,
+		}); err != nil {
+			return nil, err
+		}
+		if retrain && d.kb.Len()%d.retrainEvery == 0 {
+			if err := d.pred.RetrainArchitecture(d.kb, slot.Type.Name); err != nil {
+				return nil, err
+			}
+		}
+	case 2:
+		// Heterogeneous extension: both slots run the proportional split and
+		// finish together; the combined duration composes the slot rates.
+		var rates, prorata, billed float64
+		for _, slot := range choice.Slots {
+			cluster, err := d.provider.Launch(d.rng, slot.Type, slot.Nodes)
+			if err != nil {
+				return nil, err
+			}
+			secs, err := cluster.RunBlock(d.rng, f)
+			if err != nil {
+				return nil, err
+			}
+			rates += 1 / secs
+			billed += cluster.Terminate()
+			prorata += slot.Type.HourlyUSD * float64(slot.Nodes)
+		}
+		rep.ActualSeconds = 1 / rates
+		rep.ProRataUSD = prorata * rep.ActualSeconds / 3600
+		rep.BilledUSD = billed
+		// Heterogeneous runs are not recorded: the per-architecture training
+		// sets assume a full-workload execution on one architecture.
+	default:
+		return nil, fmt.Errorf("core: unsupported deploy with %d slots", len(choice.Slots))
+	}
+	rep.KBSize = d.kb.Len()
+	return rep, nil
+}
+
+// Bootstrap seeds the knowledge base by cycling through the catalog with
+// random node counts over the given workloads — the "early manual training
+// phase, which could be used to artificially grow the knowledge base" of
+// Section III — and retrains the models once at the end.
+func (d *Deployer) Bootstrap(workloads []eeb.CharacteristicParams, runsPerArch, maxNodes int) error {
+	if len(workloads) == 0 {
+		return errors.New("core: no bootstrap workloads")
+	}
+	if runsPerArch <= 0 || maxNodes <= 0 {
+		return errors.New("core: bootstrap needs positive runs and node bound")
+	}
+	for _, it := range d.catalog {
+		for r := 0; r < runsPerArch; r++ {
+			f := workloads[d.rng.Intn(len(workloads))]
+			n := 1 + d.rng.Intn(maxNodes)
+			choice := provision.Choice{Slots: []provision.Slot{{Type: it, Nodes: n}}}
+			if _, err := d.execute(choice, f, false); err != nil {
+				return fmt.Errorf("core: bootstrap %s: %w", it.Name, err)
+			}
+		}
+	}
+	return d.pred.Retrain(d.kb)
+}

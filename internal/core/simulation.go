@@ -1,0 +1,125 @@
+package core
+
+import (
+	"fmt"
+
+	"disarcloud/internal/alm"
+	"disarcloud/internal/eeb"
+	"disarcloud/internal/fund"
+	"disarcloud/internal/grid"
+	"disarcloud/internal/policy"
+	"disarcloud/internal/provision"
+	"disarcloud/internal/stochastic"
+)
+
+// SimulationSpec is a complete Solvency II valuation request as the DISAR
+// user submits it through the interface: a portfolio backed by a segregated
+// fund, the market model, the nested Monte Carlo sample sizes and the
+// deadline-driven deploy constraints.
+type SimulationSpec struct {
+	Portfolio   *policy.Portfolio
+	Fund        fund.Config
+	Market      stochastic.Config
+	Outer       int // n_P real-world scenarios
+	Inner       int // n_Q risk-neutral scenarios per outer path
+	Constraints provision.Constraints
+	// MaxWorkers caps the in-process worker goroutines used for the real
+	// valuation; 0 derives it from the selected deploy's total vCPUs,
+	// capped at 32.
+	MaxWorkers int
+	// Seed roots the valuation streams.
+	Seed uint64
+}
+
+// Validate reports whether the spec is well-formed.
+func (s SimulationSpec) Validate() error {
+	if s.Portfolio == nil {
+		return fmt.Errorf("core: simulation without portfolio")
+	}
+	if err := s.Portfolio.Validate(); err != nil {
+		return err
+	}
+	if s.Outer <= 0 || s.Inner <= 0 {
+		return fmt.Errorf("core: non-positive Monte Carlo sample sizes")
+	}
+	return s.Constraints.Validate()
+}
+
+// SimulationReport is the outcome of a transparently deployed valuation:
+// the actual Solvency II quantities from the real computation plus the
+// cloud-side deploy record.
+type SimulationReport struct {
+	// Results holds the per-block valuation results keyed by block ID.
+	Results map[string]*alm.Result
+	// BEL and SCR aggregate the portfolio: sum of block BELs and of block
+	// SCRs (a conservative aggregation without inter-block diversification).
+	BEL float64
+	SCR float64
+	// Deploy is the cloud-side record (selection, time, cost, KB growth).
+	Deploy *Report
+	// Params are the characteristic parameters the deploy was selected on.
+	Params eeb.CharacteristicParams
+}
+
+// RunSimulation performs the paper's end-to-end flow: the interface
+// extracts the workload's characteristic parameters, Algorithm 1 picks the
+// deploy, the required VMs are activated (virtually), the distributed
+// valuation actually runs (in-process, partition-independent), the measured
+// time enters the knowledge base and the models retrain.
+func (d *Deployer) RunSimulation(spec SimulationSpec) (*SimulationReport, error) {
+	if err := spec.Validate(); err != nil {
+		return nil, err
+	}
+	// One aggregate type-B block describes the whole simulation for the
+	// predictor, mirroring the paper's per-simulation samples.
+	whole := &eeb.Block{
+		ID:        spec.Portfolio.Name + "/sim",
+		Type:      eeb.ALMValuation,
+		Portfolio: spec.Portfolio,
+		Fund:      spec.Fund,
+		Market:    spec.Market,
+		Outer:     spec.Outer,
+		Inner:     spec.Inner,
+	}
+	if err := whole.Validate(); err != nil {
+		return nil, err
+	}
+	f := whole.Params()
+
+	deployRep, err := d.Deploy(f, spec.Constraints)
+	if err != nil {
+		return nil, err
+	}
+
+	// Real computation on the DISAR grid, sized like the chosen deploy.
+	workers := spec.MaxWorkers
+	if workers <= 0 {
+		workers = deployRep.Choice.TotalNodes() * deployRep.Choice.Primary().Type.VCPUs
+		if workers > 32 {
+			workers = 32
+		}
+	}
+	if workers < 1 {
+		workers = 1
+	}
+	blocks, err := eeb.SplitPortfolio(spec.Portfolio, spec.Fund, spec.Market, eeb.SplitSpec{
+		MaxContractsPerBlock: 25,
+		Outer:                spec.Outer,
+		Inner:                spec.Inner,
+	})
+	if err != nil {
+		return nil, err
+	}
+	master := &grid.Master{Workers: workers, Seed: spec.Seed}
+	results, err := master.Run(blocks)
+	if err != nil {
+		return nil, err
+	}
+
+	rep := &SimulationReport{Results: results, Deploy: deployRep, Params: f}
+	for _, r := range results {
+		rep.BEL += r.BEL
+		rep.SCR += r.SCR
+	}
+	return rep, nil
+}

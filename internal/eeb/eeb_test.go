@@ -1,0 +1,250 @@
+package eeb
+
+import (
+	"strings"
+	"testing"
+
+	"disarcloud/internal/actuarial"
+	"disarcloud/internal/finmath"
+	"disarcloud/internal/fund"
+	"disarcloud/internal/policy"
+	"disarcloud/internal/stochastic"
+)
+
+func testMarket(horizon int) stochastic.Config {
+	return stochastic.Config{
+		Horizon:      horizon,
+		StepsPerYear: 1,
+		Rate: stochastic.VasicekParams{
+			R0: 0.02, Speed: 0.3, MeanP: 0.03, MeanQ: 0.025, Sigma: 0.01,
+		},
+		Equities: []stochastic.GBMParams{{S0: 100, Mu: 0.06, Sigma: 0.18}},
+		Credit:   stochastic.CIRParams{L0: 0.01, Speed: 0.5, Mean: 0.015, Sigma: 0.04},
+	}
+}
+
+func testPortfolio(t *testing.T, n int) *policy.Portfolio {
+	t.Helper()
+	contracts := make([]policy.Contract, n)
+	for i := range contracts {
+		contracts[i] = policy.Contract{
+			Kind: policy.Endowment, Age: 40 + i, Gender: actuarial.Male,
+			Term: 10 + i%5, InsuredSum: 10000, Beta: 0.8, TechnicalRate: 0.02,
+			Count: 100,
+		}
+	}
+	p := &policy.Portfolio{Name: "test", Contracts: contracts}
+	if err := p.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	return p
+}
+
+func testBlock(t *testing.T) *Block {
+	t.Helper()
+	market := testMarket(20)
+	return &Block{
+		ID:        "test/B1",
+		Type:      ALMValuation,
+		Portfolio: testPortfolio(t, 6),
+		Fund:      fund.TypicalItalianFund(4, market),
+		Market:    market,
+		Outer:     100,
+		Inner:     10,
+	}
+}
+
+func TestBlockValidate(t *testing.T) {
+	b := testBlock(t)
+	if err := b.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	cases := []struct {
+		name   string
+		mutate func(*Block)
+	}{
+		{"no id", func(b *Block) { b.ID = "" }},
+		{"bad type", func(b *Block) { b.Type = 0 }},
+		{"nil portfolio", func(b *Block) { b.Portfolio = nil }},
+		{"zero outer", func(b *Block) { b.Outer = 0 }},
+		{"zero inner", func(b *Block) { b.Inner = 0 }},
+		{"short horizon", func(b *Block) { b.Market.Horizon = 5 }},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			bb := testBlock(t)
+			tc.mutate(bb)
+			if err := bb.Validate(); err == nil {
+				t.Fatal("invalid block accepted")
+			}
+		})
+	}
+}
+
+func TestTypeString(t *testing.T) {
+	if ActuarialValuation.String() != "A" || ALMValuation.String() != "B" {
+		t.Fatal("Type.String mismatch")
+	}
+	if Type(7).String() != "Type(7)" {
+		t.Fatal("unknown type formatting")
+	}
+}
+
+func TestParamsExtraction(t *testing.T) {
+	b := testBlock(t)
+	p := b.Params()
+	if p.RepresentativeContracts != 6 {
+		t.Fatalf("contracts = %d", p.RepresentativeContracts)
+	}
+	if p.MaxHorizon != 14 { // terms are 10..14
+		t.Fatalf("horizon = %d", p.MaxHorizon)
+	}
+	if p.FundAssets != 4 {
+		t.Fatalf("assets = %d", p.FundAssets)
+	}
+	if p.RiskFactors != 3 { // rate + 1 equity + credit
+		t.Fatalf("risk factors = %d", p.RiskFactors)
+	}
+	if p.OuterPaths != 100 || p.InnerPaths != 10 {
+		t.Fatalf("paths = %d/%d", p.OuterPaths, p.InnerPaths)
+	}
+	if err := p.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestParamsValidate(t *testing.T) {
+	p := CharacteristicParams{1, 1, 1, 1, 1, 1}
+	if err := p.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	p.MaxHorizon = 0
+	if err := p.Validate(); err == nil {
+		t.Fatal("zero horizon accepted")
+	}
+}
+
+func TestFeaturesOrder(t *testing.T) {
+	p := CharacteristicParams{10, 20, 5, 4, 1000, 50}
+	f := p.Features()
+	want := []float64{10, 20, 5, 4, 1000, 50}
+	if len(f) != len(want) || len(f) != len(FeatureNames()) {
+		t.Fatalf("feature vector length %d", len(f))
+	}
+	for i := range want {
+		if f[i] != want[i] {
+			t.Fatalf("feature %d = %v, want %v", i, f[i], want[i])
+		}
+	}
+}
+
+func TestComplexityMonotone(t *testing.T) {
+	base := CharacteristicParams{10, 20, 5, 4, 1000, 50}
+	c0 := base.Complexity()
+	for name, mutate := range map[string]func(*CharacteristicParams){
+		"contracts": func(p *CharacteristicParams) { p.RepresentativeContracts *= 2 },
+		"horizon":   func(p *CharacteristicParams) { p.MaxHorizon *= 2 },
+		"assets":    func(p *CharacteristicParams) { p.FundAssets *= 2 },
+		"factors":   func(p *CharacteristicParams) { p.RiskFactors *= 2 },
+		"outer":     func(p *CharacteristicParams) { p.OuterPaths *= 2 },
+		"inner":     func(p *CharacteristicParams) { p.InnerPaths *= 2 },
+	} {
+		p := base
+		mutate(&p)
+		if p.Complexity() <= c0 {
+			t.Errorf("complexity not increasing in %s", name)
+		}
+	}
+}
+
+func TestSplitPortfolio(t *testing.T) {
+	market := testMarket(20)
+	p := testPortfolio(t, 10)
+	f := fund.TypicalItalianFund(4, market)
+	blocks, err := SplitPortfolio(p, f, market, SplitSpec{
+		MaxContractsPerBlock: 4, Outer: 100, Inner: 10,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 1 type-A + ceil(10/4)=3 type-B.
+	if len(blocks) != 4 {
+		t.Fatalf("got %d blocks, want 4", len(blocks))
+	}
+	if blocks[0].Type != ActuarialValuation {
+		t.Fatal("first block should be type A")
+	}
+	bBlocks := TypeB(blocks)
+	if len(bBlocks) != 3 {
+		t.Fatalf("got %d type-B blocks", len(bBlocks))
+	}
+	covered := 0
+	for _, b := range bBlocks {
+		covered += b.Portfolio.NumRepresentative()
+		if !strings.HasPrefix(b.ID, "test/B") {
+			t.Fatalf("bad block ID %q", b.ID)
+		}
+	}
+	if covered != 10 {
+		t.Fatalf("type-B blocks cover %d contracts, want 10", covered)
+	}
+}
+
+func TestSplitPortfolioNoSlicing(t *testing.T) {
+	market := testMarket(20)
+	p := testPortfolio(t, 5)
+	blocks, err := SplitPortfolio(p, fund.TypicalItalianFund(3, market), market,
+		SplitSpec{Outer: 10, Inner: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(blocks) != 2 { // A + single B
+		t.Fatalf("got %d blocks", len(blocks))
+	}
+}
+
+func TestSplitNilPortfolio(t *testing.T) {
+	market := testMarket(20)
+	if _, err := SplitPortfolio(nil, fund.TypicalItalianFund(3, market), market,
+		SplitSpec{Outer: 1, Inner: 1}); err == nil {
+		t.Fatal("nil portfolio accepted")
+	}
+}
+
+func TestSortByComplexity(t *testing.T) {
+	market := testMarket(20)
+	p := testPortfolio(t, 9)
+	blocks, err := SplitPortfolio(p, fund.TypicalItalianFund(3, market), market,
+		SplitSpec{MaxContractsPerBlock: 2, Outer: 100, Inner: 10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	bs := TypeB(blocks)
+	SortByComplexity(bs)
+	for i := 1; i < len(bs); i++ {
+		if bs[i].Complexity() > bs[i-1].Complexity() {
+			t.Fatal("blocks not sorted by decreasing complexity")
+		}
+	}
+}
+
+func TestGeneratedPortfolioSplit(t *testing.T) {
+	// End-to-end: generator output splits into valid blocks.
+	rng := finmath.NewRNG(1)
+	spec := policy.ItalianCompanySpecs()[1]
+	p, err := policy.Generate(rng, spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	market := testMarket(spec.MaxTerm)
+	blocks, err := SplitPortfolio(p, fund.TypicalItalianFund(8, market), market,
+		SplitSpec{MaxContractsPerBlock: 20, Outer: 1000, Inner: 50})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, b := range blocks {
+		if err := b.Validate(); err != nil {
+			t.Fatalf("block %s invalid: %v", b.ID, err)
+		}
+	}
+}

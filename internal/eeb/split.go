@@ -1,0 +1,81 @@
+package eeb
+
+import (
+	"fmt"
+	"sort"
+
+	"disarcloud/internal/fund"
+	"disarcloud/internal/policy"
+	"disarcloud/internal/stochastic"
+)
+
+// SplitSpec controls how a simulation request is decomposed into EEBs.
+type SplitSpec struct {
+	// MaxContractsPerBlock bounds the representative contracts in one block;
+	// larger portfolios are sliced. Zero means no slicing.
+	MaxContractsPerBlock int
+	// Outer and Inner are the Monte Carlo sample sizes for type-B blocks.
+	Outer, Inner int
+}
+
+// SplitPortfolio decomposes one portfolio backed by one fund into the DISAR
+// work units: one type-A block (the actuarial schedules are cheap and
+// computed once) and one or more type-B blocks, slicing the portfolio when
+// it exceeds MaxContractsPerBlock. This mirrors DiMaS "dividing all the
+// input data in EEBs".
+func SplitPortfolio(p *policy.Portfolio, f fund.Config, market stochastic.Config, spec SplitSpec) ([]*Block, error) {
+	if p == nil {
+		return nil, fmt.Errorf("eeb: nil portfolio")
+	}
+	nSlices := 1
+	if spec.MaxContractsPerBlock > 0 {
+		nSlices = (p.NumRepresentative() + spec.MaxContractsPerBlock - 1) / spec.MaxContractsPerBlock
+	}
+	slices := p.Slice(nSlices)
+
+	blocks := make([]*Block, 0, len(slices)+1)
+	blocks = append(blocks, &Block{
+		ID:        fmt.Sprintf("%s/A", p.Name),
+		Type:      ActuarialValuation,
+		Portfolio: p,
+		Fund:      f,
+		Market:    market,
+	})
+	for i, sub := range slices {
+		blocks = append(blocks, &Block{
+			ID:        fmt.Sprintf("%s/B%d", p.Name, i+1),
+			Type:      ALMValuation,
+			Portfolio: sub,
+			Fund:      f,
+			Market:    market,
+			Outer:     spec.Outer,
+			Inner:     spec.Inner,
+		})
+	}
+	for _, b := range blocks {
+		if err := b.Validate(); err != nil {
+			return nil, err
+		}
+	}
+	return blocks, nil
+}
+
+// TypeB filters the type-B blocks of a split — the cloud-distributed part.
+func TypeB(blocks []*Block) []*Block {
+	out := make([]*Block, 0, len(blocks))
+	for _, b := range blocks {
+		if b.Type == ALMValuation {
+			out = append(out, b)
+		}
+	}
+	return out
+}
+
+// SortByComplexity orders blocks by decreasing complexity estimate, the
+// longest-processing-time-first heuristic DiMaS uses when distributing
+// blocks so stragglers start early.
+func SortByComplexity(blocks []*Block) {
+	sort.SliceStable(blocks, func(i, j int) bool {
+		return blocks[i].Complexity() > blocks[j].Complexity()
+	})
+}

@@ -1,0 +1,264 @@
+package experiments
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"math"
+	"sort"
+
+	"disarcloud/internal/cloud"
+	"disarcloud/internal/core"
+	"disarcloud/internal/eeb"
+	"disarcloud/internal/finmath"
+	"disarcloud/internal/kb"
+	"disarcloud/internal/provision"
+)
+
+// EnsembleAblation compares each single learner's accuracy against the
+// across-model average — the design choice Section III motivates ("this
+// allows to reduce the impact of prediction errors by some of the models").
+type EnsembleAblation struct {
+	// MAE per model name, pooled across architectures; "Ensemble" is the
+	// averaged predictor.
+	MAE map[string]float64
+	// WorstSingle is the highest single-model MAE.
+	WorstSingle float64
+}
+
+// EvaluateEnsembleAblation reuses the Table I splits.
+func EvaluateEnsembleAblation(k *kb.KB, seed uint64) (*EnsembleAblation, error) {
+	res, err := EvaluateAccuracy(k, seed, 0.4)
+	if err != nil {
+		return nil, err
+	}
+	out := &EnsembleAblation{MAE: make(map[string]float64)}
+	for name, pairs := range res.Pairs {
+		sum := 0.0
+		for _, p := range pairs {
+			sum += math.Abs(p[1] - p[0])
+		}
+		mae := sum / float64(len(pairs))
+		out.MAE[name] = mae
+		if mae > out.WorstSingle {
+			out.WorstSingle = mae
+		}
+	}
+	sum := 0.0
+	for _, e := range res.EnsembleErrors {
+		sum += math.Abs(e)
+	}
+	out.MAE["Ensemble"] = sum / float64(len(res.EnsembleErrors))
+	return out, nil
+}
+
+// Print writes the ablation rows, ensemble last.
+func (a *EnsembleAblation) Print(w io.Writer) {
+	fmt.Fprintln(w, "ABLATION: single models vs prediction-averaging ensemble (pooled MAE, seconds)")
+	names := make([]string, 0, len(a.MAE))
+	for n := range a.MAE {
+		if n != "Ensemble" {
+			names = append(names, n)
+		}
+	}
+	sort.Strings(names)
+	for _, n := range names {
+		fmt.Fprintf(w, "%-10s %8.1f\n", n, a.MAE[n])
+	}
+	fmt.Fprintf(w, "%-10s %8.1f\n", "Ensemble", a.MAE["Ensemble"])
+}
+
+// EpsilonAblation measures what exploration buys: the number of distinct
+// (architecture, nodes) configurations present in the knowledge base after
+// identical campaigns run with different epsilon values.
+type EpsilonAblation struct {
+	Epsilons        []float64
+	DistinctConfigs []int
+	MeanCostUSD     []float64
+}
+
+// EvaluateEpsilonAblation runs one fresh small campaign per epsilon.
+func EvaluateEpsilonAblation(seed uint64, epsilons []float64, runs int) (*EpsilonAblation, error) {
+	out := &EpsilonAblation{Epsilons: epsilons}
+	for _, eps := range epsilons {
+		c, err := NewCampaign(seed, core.WithRetrainEvery(5))
+		if err != nil {
+			return nil, err
+		}
+		if err := c.Deployer.Bootstrap(c.Workloads, provision.MinSamplesToTrain, 8); err != nil {
+			return nil, err
+		}
+		totalCost := 0.0
+		for i := 0; i < runs; i++ {
+			rep, err := c.Deployer.Deploy(c.Workloads[i%len(c.Workloads)], provision.Constraints{
+				TmaxSeconds: 900, MaxNodes: 8, Epsilon: eps,
+			})
+			if err != nil {
+				return nil, err
+			}
+			totalCost += rep.ProRataUSD
+		}
+		distinct := map[string]bool{}
+		for _, s := range c.Deployer.KB().Samples() {
+			distinct[fmt.Sprintf("%s/%d", s.Architecture, s.Nodes)] = true
+		}
+		out.DistinctConfigs = append(out.DistinctConfigs, len(distinct))
+		out.MeanCostUSD = append(out.MeanCostUSD, totalCost/float64(runs))
+	}
+	return out, nil
+}
+
+// Print writes the exploration ablation rows.
+func (a *EpsilonAblation) Print(w io.Writer) {
+	fmt.Fprintln(w, "ABLATION: epsilon-greedy exploration (identical campaigns, varying epsilon)")
+	for i, eps := range a.Epsilons {
+		fmt.Fprintf(w, "epsilon=%.2f  distinct configs=%3d  mean cost=%.3f$\n",
+			eps, a.DistinctConfigs[i], a.MeanCostUSD[i])
+	}
+}
+
+// RetrainAblation compares the self-optimizing loop (retrain after every
+// run) against a model frozen right after bootstrap, measuring prediction
+// MAE over the same stream of workloads.
+type RetrainAblation struct {
+	FrozenMAE     float64
+	RetrainedMAE  float64
+	StreamedRuns  int
+	ImprovementPc float64
+}
+
+// EvaluateRetrainAblation runs the paired experiment: two campaigns with
+// the same seed and the same deploy stream, one retraining after every
+// execution (the paper's loop), one whose models stay frozen right after
+// bootstrap (retrain cadence pushed past the campaign length).
+func EvaluateRetrainAblation(seed uint64, runs int) (*RetrainAblation, error) {
+	type variant struct {
+		campaign *Campaign
+		absErr   []float64
+	}
+	frozen, err := NewCampaign(seed, core.WithRetrainEvery(1<<30))
+	if err != nil {
+		return nil, err
+	}
+	live, err := NewCampaign(seed, core.WithRetrainEvery(1))
+	if err != nil {
+		return nil, err
+	}
+	variants := []*variant{{campaign: frozen}, {campaign: live}}
+	for _, v := range variants {
+		// Bootstrap trains both variants once; the frozen arm never
+		// retrains afterwards because of its cadence.
+		if err := v.campaign.Deployer.Bootstrap(v.campaign.Workloads, provision.MinSamplesToTrain, 8); err != nil {
+			return nil, err
+		}
+		for i := 0; i < runs; i++ {
+			f := v.campaign.Workloads[i%len(v.campaign.Workloads)]
+			rep, err := v.campaign.Deployer.Deploy(f, provision.Constraints{
+				TmaxSeconds: 900, MaxNodes: 8, Epsilon: 0.15,
+			})
+			if err != nil {
+				return nil, err
+			}
+			// Score only the second half, after the live arm has had time
+			// to learn from the stream.
+			if i >= runs/2 && !rep.Bootstrap && rep.PredictedSeconds > 0 {
+				v.absErr = append(v.absErr, math.Abs(rep.PredictedSeconds-rep.ActualSeconds))
+			}
+		}
+	}
+	out := &RetrainAblation{StreamedRuns: runs}
+	out.FrozenMAE = finmath.Mean(variants[0].absErr)
+	out.RetrainedMAE = finmath.Mean(variants[1].absErr)
+	if out.FrozenMAE > 0 {
+		out.ImprovementPc = 100 * (1 - out.RetrainedMAE/out.FrozenMAE)
+	}
+	return out, nil
+}
+
+// Print writes the retraining ablation.
+func (a *RetrainAblation) Print(w io.Writer) {
+	fmt.Fprintln(w, "ABLATION: self-optimizing retraining vs frozen-after-bootstrap models")
+	fmt.Fprintf(w, "frozen MAE:    %8.1f s\n", a.FrozenMAE)
+	fmt.Fprintf(w, "retrained MAE: %8.1f s\n", a.RetrainedMAE)
+	fmt.Fprintf(w, "improvement:   %8.1f %% over %d runs\n", a.ImprovementPc, a.StreamedRuns)
+}
+
+// HeterogeneousAblation compares the best homogeneous deploy against the
+// best heterogeneous mix for a range of deadlines — the paper's future-work
+// extension quantified.
+type HeterogeneousAblation struct {
+	Deadlines  []float64
+	HomoCost   []float64
+	HeteroCost []float64
+}
+
+// EvaluateHeterogeneousAblation uses the oracle performance model as
+// predictor so the ablation isolates the deploy-shape question from ML
+// noise. deadlineFactors are multiples of the FASTEST single-VM time (so
+// factors <= ~1.2 force multi-VM deploys, the regime where mixes can fill
+// the gaps between integer homogeneous sizes). Factors whose deadline no
+// configuration meets are skipped.
+func EvaluateHeterogeneousAblation(pm cloud.PerfModel, f eeb.CharacteristicParams,
+	deadlineFactors []float64, maxNodes int, seed uint64) (*HeterogeneousAblation, error) {
+
+	oracle := perfOracle{pm: pm}
+	rng := finmath.NewRNG(seed)
+	homoSel, err := provision.NewSelector(oracle, nil, rng.Split())
+	if err != nil {
+		return nil, err
+	}
+	hetSel, err := provision.NewSelector(oracle, nil, rng.Split())
+	if err != nil {
+		return nil, err
+	}
+	hetSel.Heterogeneous = true
+
+	out := &HeterogeneousAblation{}
+	for _, factor := range deadlineFactors {
+		tmax := BindingDeadline(pm, f, factor)
+		cons := provision.Constraints{TmaxSeconds: tmax, MaxNodes: maxNodes, Epsilon: 0}
+		homo, err := homoSel.Select(f, cons)
+		if errors.Is(err, provision.ErrNoFeasible) {
+			continue
+		}
+		if err != nil {
+			return nil, fmt.Errorf("experiments: homogeneous at Tmax=%v: %w", tmax, err)
+		}
+		het, err := hetSel.Select(f, cons)
+		if err != nil {
+			return nil, fmt.Errorf("experiments: heterogeneous at Tmax=%v: %w", tmax, err)
+		}
+		out.Deadlines = append(out.Deadlines, tmax)
+		out.HomoCost = append(out.HomoCost, homo.PredictedCost)
+		out.HeteroCost = append(out.HeteroCost, het.PredictedCost)
+	}
+	if len(out.Deadlines) == 0 {
+		return nil, fmt.Errorf("experiments: no feasible deadline in the ablation")
+	}
+	return out, nil
+}
+
+// Print writes the heterogeneous ablation rows.
+func (a *HeterogeneousAblation) Print(w io.Writer) {
+	fmt.Fprintln(w, "ABLATION: homogeneous-only vs heterogeneous deploys (oracle predictor)")
+	for i, tmax := range a.Deadlines {
+		gain := 100 * (1 - a.HeteroCost[i]/a.HomoCost[i])
+		fmt.Fprintf(w, "Tmax=%6.0fs  homo=%.3f$  hetero=%.3f$  gain=%5.1f%%\n",
+			tmax, a.HomoCost[i], a.HeteroCost[i], gain)
+	}
+}
+
+// perfOracle adapts the ground-truth performance model to the Predictor
+// interface for oracle-driven ablations.
+type perfOracle struct {
+	pm cloud.PerfModel
+}
+
+// PredictSeconds implements provision.Predictor.
+func (o perfOracle) PredictSeconds(arch string, nodes int, f eeb.CharacteristicParams) (float64, error) {
+	it, ok := cloud.TypeByName(arch)
+	if !ok {
+		return 0, fmt.Errorf("experiments: unknown architecture %q", arch)
+	}
+	return o.pm.MeanExecSeconds(it, nodes, f), nil
+}

@@ -1,0 +1,135 @@
+// Package experiments regenerates every table and figure of the paper's
+// experimental assessment (Section IV) on the simulated substrate, plus the
+// ablations DESIGN.md calls out. The common setting mirrors the paper:
+// three portfolios mimicking typical Italian insurance books, 15 EEBs,
+// n_Q = 50 risk-neutral iterations, n_P = 1,000 natural iterations, a
+// knowledge base of ~1,500 samples, and a 40%/60% train/test split.
+package experiments
+
+import (
+	"fmt"
+
+	"disarcloud/internal/cloud"
+	"disarcloud/internal/core"
+	"disarcloud/internal/eeb"
+	"disarcloud/internal/finmath"
+	"disarcloud/internal/fund"
+	"disarcloud/internal/policy"
+	"disarcloud/internal/provision"
+	"disarcloud/internal/stochastic"
+)
+
+// Campaign is the shared experimental setting.
+type Campaign struct {
+	Deployer  *core.Deployer
+	Workloads []eeb.CharacteristicParams // the 15 EEBs
+	Blocks    []*eeb.Block               // the underlying type-B blocks
+	Seed      uint64
+	rng       *finmath.RNG
+}
+
+// marketFor builds the market model of portfolio i; the equity/currency
+// counts differ across portfolios so the risk-factor characteristic
+// parameter actually varies in the knowledge base.
+func marketFor(i, horizon int) stochastic.Config {
+	cfg := stochastic.Config{
+		Horizon:      horizon,
+		StepsPerYear: 1,
+		Rate: stochastic.VasicekParams{
+			R0: 0.015, Speed: 0.25, MeanP: 0.03, MeanQ: 0.025, Sigma: 0.009,
+		},
+		Credit: stochastic.CIRParams{L0: 0.008, Speed: 0.5, Mean: 0.012, Sigma: 0.03},
+	}
+	switch i % 3 {
+	case 0:
+		cfg.Equities = []stochastic.GBMParams{{S0: 100, Mu: 0.06, Sigma: 0.18}}
+	case 1:
+		cfg.Equities = []stochastic.GBMParams{
+			{S0: 100, Mu: 0.06, Sigma: 0.18},
+			{S0: 250, Mu: 0.05, Sigma: 0.15},
+		}
+		cfg.Currencies = []stochastic.GBMParams{{S0: 1.1, Mu: 0.01, Sigma: 0.08}}
+	default:
+		cfg.Equities = []stochastic.GBMParams{
+			{S0: 100, Mu: 0.06, Sigma: 0.18},
+			{S0: 250, Mu: 0.05, Sigma: 0.15},
+			{S0: 50, Mu: 0.07, Sigma: 0.22},
+		}
+	}
+	return cfg
+}
+
+// NewCampaign builds the Section IV setting: three synthetic Italian
+// portfolios split into 15 type-B EEBs with n_P=1000, n_Q=50.
+func NewCampaign(seed uint64, opts ...core.Option) (*Campaign, error) {
+	rng := finmath.NewRNG(seed)
+	var blocks []*eeb.Block
+	for i, spec := range policy.ItalianCompanySpecs() {
+		p, err := policy.Generate(rng.Split(), spec)
+		if err != nil {
+			return nil, err
+		}
+		market := marketFor(i, spec.MaxTerm)
+		fundCfg := fund.TypicalItalianFund(4+3*i, market) // 4, 7, 10 assets
+		split, err := eeb.SplitPortfolio(p, fundCfg, market, eeb.SplitSpec{
+			MaxContractsPerBlock: (p.NumRepresentative() + 4) / 5, // 5 B-blocks each
+			Outer:                1000,
+			Inner:                50,
+		})
+		if err != nil {
+			return nil, err
+		}
+		blocks = append(blocks, eeb.TypeB(split)...)
+	}
+	if len(blocks) != 15 {
+		return nil, fmt.Errorf("experiments: built %d EEBs, want 15", len(blocks))
+	}
+	workloads := make([]eeb.CharacteristicParams, len(blocks))
+	for i, b := range blocks {
+		workloads[i] = b.Params()
+	}
+	d, err := core.NewDeployer(seed, opts...)
+	if err != nil {
+		return nil, err
+	}
+	return &Campaign{
+		Deployer:  d,
+		Workloads: workloads,
+		Blocks:    blocks,
+		Seed:      seed,
+		rng:       rng,
+	}, nil
+}
+
+// BuildKB drives the self-optimizing loop until the knowledge base holds
+// about `total` samples (the paper's ~1,500): an initial bootstrap cycle
+// through all architectures followed by ML-driven deploys with exploration
+// and varying deadlines, exactly the usage pattern of a production system.
+func (c *Campaign) BuildKB(total int) error {
+	if total <= 0 {
+		return fmt.Errorf("experiments: non-positive KB target")
+	}
+	perArch := provision.MinSamplesToTrain
+	if err := c.Deployer.Bootstrap(c.Workloads, perArch, 8); err != nil {
+		return err
+	}
+	deadlines := []float64{250, 400, 600, 900, 1500, 3000}
+	i := 0
+	for c.Deployer.KB().Len() < total {
+		f := c.Workloads[i%len(c.Workloads)]
+		cons := provision.Constraints{
+			TmaxSeconds: deadlines[c.rng.Intn(len(deadlines))],
+			MaxNodes:    8,
+			Epsilon:     0.15,
+		}
+		if _, err := c.Deployer.Deploy(f, cons); err != nil {
+			return fmt.Errorf("experiments: campaign deploy %d: %w", i, err)
+		}
+		i++
+	}
+	return nil
+}
+
+// Catalog returns the instance types of the campaign's deployer in catalog
+// order.
+func (c *Campaign) Catalog() []cloud.InstanceType { return cloud.Catalog() }

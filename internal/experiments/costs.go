@@ -1,0 +1,72 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+	"sort"
+
+	"disarcloud/internal/cloud"
+	"disarcloud/internal/kb"
+)
+
+// CostResult is Table II: the average pro-rata cost of one simulation on
+// each virtualized infrastructure, over the knowledge-base runs, plus the
+// campaign's total outlay (the paper reports 128$ for 1,500 runs).
+type CostResult struct {
+	Architectures []string
+	AvgCostUSD    map[string]float64
+	RunsPerArch   map[string]int
+	TotalUSD      float64
+	TotalRuns     int
+}
+
+// EvaluateCosts computes Table II from the knowledge base.
+func EvaluateCosts(k *kb.KB) (*CostResult, error) {
+	samples := k.Samples()
+	if len(samples) == 0 {
+		return nil, fmt.Errorf("experiments: empty knowledge base")
+	}
+	res := &CostResult{
+		AvgCostUSD:  make(map[string]float64),
+		RunsPerArch: make(map[string]int),
+	}
+	sums := make(map[string]float64)
+	for _, s := range samples {
+		it, ok := cloud.TypeByName(s.Architecture)
+		if !ok {
+			return nil, fmt.Errorf("experiments: sample with unknown architecture %q", s.Architecture)
+		}
+		cost := cloud.ProRataCost(it, s.Nodes, s.Seconds)
+		sums[s.Architecture] += cost
+		res.RunsPerArch[s.Architecture]++
+		res.TotalUSD += cost
+		res.TotalRuns++
+	}
+	for arch, sum := range sums {
+		res.Architectures = append(res.Architectures, arch)
+		res.AvgCostUSD[arch] = sum / float64(res.RunsPerArch[arch])
+	}
+	sort.Strings(res.Architectures)
+	return res, nil
+}
+
+// Cheapest returns the architecture with the lowest average per-simulation
+// cost.
+func (r *CostResult) Cheapest() string {
+	best, bestCost := "", 0.0
+	for _, a := range r.Architectures {
+		if best == "" || r.AvgCostUSD[a] < bestCost {
+			best, bestCost = a, r.AvgCostUSD[a]
+		}
+	}
+	return best
+}
+
+// PrintTableII writes the per-simulation average cost rows.
+func (r *CostResult) PrintTableII(w io.Writer) {
+	fmt.Fprintln(w, "TABLE II: per-simulation average cost")
+	for _, a := range r.Architectures {
+		fmt.Fprintf(w, "%-14s %7.3f$  (%d runs)\n", a, r.AvgCostUSD[a], r.RunsPerArch[a])
+	}
+	fmt.Fprintf(w, "total: %d runs, %.0f$\n", r.TotalRuns, r.TotalUSD)
+}

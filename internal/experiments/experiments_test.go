@@ -1,0 +1,277 @@
+package experiments
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"disarcloud/internal/cloud"
+	"disarcloud/internal/core"
+	"disarcloud/internal/provision"
+)
+
+// sharedCampaign builds one moderately sized campaign reused across tests
+// (KB construction dominates test time).
+var sharedCampaignKB = func() *Campaign {
+	c, err := NewCampaign(2016, core.WithRetrainEvery(10))
+	if err != nil {
+		panic(err)
+	}
+	if err := c.BuildKB(700); err != nil {
+		panic(err)
+	}
+	return c
+}()
+
+func TestCampaignShape(t *testing.T) {
+	c, err := NewCampaign(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(c.Workloads) != 15 {
+		t.Fatalf("%d EEBs, want 15 (paper Section IV)", len(c.Workloads))
+	}
+	for i, f := range c.Workloads {
+		if f.OuterPaths != 1000 || f.InnerPaths != 50 {
+			t.Fatalf("EEB %d has n_P=%d n_Q=%d, want 1000/50", i, f.OuterPaths, f.InnerPaths)
+		}
+		if err := f.Validate(); err != nil {
+			t.Fatalf("EEB %d invalid: %v", i, err)
+		}
+	}
+	// Risk factors must vary across portfolios for the ML feature to matter.
+	distinct := map[int]bool{}
+	for _, f := range c.Workloads {
+		distinct[f.RiskFactors] = true
+	}
+	if len(distinct) < 2 {
+		t.Fatal("risk-factor parameter does not vary across EEBs")
+	}
+}
+
+func TestBuildKBReachesTarget(t *testing.T) {
+	c := sharedCampaignKB
+	if got := c.Deployer.KB().Len(); got < 700 {
+		t.Fatalf("KB has %d samples, want >= 700", got)
+	}
+	// All six architectures must appear (bootstrap guarantees it).
+	if got := len(c.Deployer.KB().Architectures()); got != 6 {
+		t.Fatalf("KB covers %d architectures, want 6", got)
+	}
+}
+
+func TestTableIShape(t *testing.T) {
+	res, err := EvaluateAccuracy(sharedCampaignKB.Deployer.KB(), 7, 0.4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Architectures) != 6 || len(res.Models) != 6 {
+		t.Fatalf("table is %dx%d, want 6x6", len(res.Models), len(res.Architectures))
+	}
+	for _, m := range res.Models {
+		for _, a := range res.Architectures {
+			d, ok := res.DeltaBar[m][a]
+			if !ok {
+				t.Fatalf("missing cell %s/%s", m, a)
+			}
+			// Magnitude band of Table I: tens to low hundreds of seconds.
+			if d < -800 || d > 800 {
+				t.Errorf("delta-bar %s/%s = %v s, far outside the paper's band", m, a, d)
+			}
+		}
+	}
+	var buf bytes.Buffer
+	res.PrintTableI(&buf)
+	if !strings.Contains(buf.String(), "TABLE I") || !strings.Contains(buf.String(), "MLP") {
+		t.Fatal("PrintTableI output malformed")
+	}
+}
+
+func TestFigure2Clustering(t *testing.T) {
+	res, err := EvaluateAccuracy(sharedCampaignKB.Deployer.KB(), 7, 0.4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	corr := res.Figure2Correlation()
+	for name, c := range corr {
+		// The paper's Figure 2 clusters all models along the diagonal at
+		// ~1500 samples; this reduced 700-sample KB allows the weakest
+		// learners slightly more scatter.
+		if c < 0.85 {
+			t.Errorf("%s: predicted-vs-real correlation %.3f — point cloud not on the diagonal", name, c)
+		}
+	}
+	var buf bytes.Buffer
+	res.PrintFigure2(&buf, 50)
+	if !strings.Contains(buf.String(), "FIGURE 2") {
+		t.Fatal("PrintFigure2 output malformed")
+	}
+}
+
+func TestFigure3ErrorConcentration(t *testing.T) {
+	res, err := EvaluateAccuracy(sharedCampaignKB.Deployer.KB(), 7, 0.4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Paper: ~80% of predictions within 200 s. Require at least 70%.
+	if share := res.ShareWithin(200); share < 0.70 {
+		t.Fatalf("only %.0f%% of ensemble predictions within 200s", 100*share)
+	}
+	centers, pct := res.Figure3Histogram(-1000, 1000, 20)
+	if len(centers) != 20 || len(pct) != 20 {
+		t.Fatal("histogram shape wrong")
+	}
+	total := 0.0
+	for _, p := range pct {
+		total += p
+	}
+	if total < 99.9 || total > 100.1 {
+		t.Fatalf("histogram percentages sum to %v", total)
+	}
+	var buf bytes.Buffer
+	res.PrintFigure3(&buf)
+	if !strings.Contains(buf.String(), "FIGURE 3") {
+		t.Fatal("PrintFigure3 output malformed")
+	}
+}
+
+func TestTableIICosts(t *testing.T) {
+	res, err := EvaluateCosts(sharedCampaignKB.Deployer.KB())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Architectures) != 6 {
+		t.Fatalf("Table II has %d rows", len(res.Architectures))
+	}
+	for _, a := range res.Architectures {
+		c := res.AvgCostUSD[a]
+		// Paper band: $0.041-$0.121 per simulation; allow a generous
+		// simulated band.
+		if c < 0.01 || c > 0.8 {
+			t.Errorf("%s: per-simulation cost %v$ far outside Table II band", a, c)
+		}
+	}
+	// The compute-value ordering: c3.4xlarge must be among the two cheapest.
+	cheapest := res.Cheapest()
+	if cheapest != "c3.4xlarge" && cheapest != "c4.4xlarge" && cheapest != "m4.4xlarge" {
+		t.Errorf("cheapest architecture is %s — expected a 4xlarge", cheapest)
+	}
+	var buf bytes.Buffer
+	res.PrintTableII(&buf)
+	if !strings.Contains(buf.String(), "TABLE II") {
+		t.Fatal("PrintTableII output malformed")
+	}
+}
+
+func TestFigure4Speedups(t *testing.T) {
+	res, err := EvaluateSpeedup(cloud.DefaultPerfModel(), sharedCampaignKB.Workloads)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Architectures) != 6 {
+		t.Fatal("Figure 4 must have six bars")
+	}
+	for _, a := range res.Architectures {
+		s := res.Speedup[a]
+		if s < 2 || s > 10 {
+			t.Errorf("%s speedup %v outside the paper's 0-9 axis range", a, s)
+		}
+	}
+	if res.Speedup["c3.8xlarge"] <= res.Speedup["c3.4xlarge"] {
+		t.Error("bigger c3 instance not faster")
+	}
+	var buf bytes.Buffer
+	res.PrintFigure4(&buf)
+	if !strings.Contains(buf.String(), "FIGURE 4") {
+		t.Fatal("PrintFigure4 output malformed")
+	}
+}
+
+func TestFinalComparisonShape(t *testing.T) {
+	// Use the largest campaign workload with a loose deadline.
+	c := sharedCampaignKB
+	f := c.Workloads[0]
+	for _, w := range c.Workloads {
+		if w.Complexity() > f.Complexity() {
+			f = w
+		}
+	}
+	res, err := EvaluateFinalComparison(c.Deployer.Selector(), cloud.DefaultPerfModel(), f,
+		provision.Constraints{TmaxSeconds: 0, MaxNodes: 8, Epsilon: 0}) // binding deadline
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Shape criteria of the paper's closing experiment: ML strictly cheaper
+	// than forced high-end AND strictly faster than the forced
+	// most-cost-effective single VM, by tens of percent both ways.
+	if res.MLCostUSD >= res.HighCostUSD {
+		t.Fatalf("ML cost %v$ not below high-end %v$", res.MLCostUSD, res.HighCostUSD)
+	}
+	if res.MLSeconds >= res.EffSeconds {
+		t.Fatalf("ML time %vs not below cost-effective %vs", res.MLSeconds, res.EffSeconds)
+	}
+	if res.CostDecrease <= 0.05 {
+		t.Fatalf("cost decrease only %.1f%%", 100*res.CostDecrease)
+	}
+	if res.TimeReduction <= 0.05 {
+		t.Fatalf("time reduction only %.1f%%", 100*res.TimeReduction)
+	}
+	var buf bytes.Buffer
+	res.PrintFinal(&buf)
+	if !strings.Contains(buf.String(), "FINAL COMPARISON") {
+		t.Fatal("PrintFinal output malformed")
+	}
+}
+
+func TestEnsembleAblation(t *testing.T) {
+	res, err := EvaluateEnsembleAblation(sharedCampaignKB.Deployer.KB(), 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.MAE) != 7 { // six models + ensemble
+		t.Fatalf("%d MAE rows", len(res.MAE))
+	}
+	if res.MAE["Ensemble"] >= res.WorstSingle {
+		t.Fatalf("ensemble MAE %v not below worst single %v", res.MAE["Ensemble"], res.WorstSingle)
+	}
+	var buf bytes.Buffer
+	res.Print(&buf)
+	if !strings.Contains(buf.String(), "Ensemble") {
+		t.Fatal("ablation print malformed")
+	}
+}
+
+func TestHeterogeneousAblation(t *testing.T) {
+	f := sharedCampaignKB.Workloads[3]
+	res, err := EvaluateHeterogeneousAblation(cloud.DefaultPerfModel(), f,
+		[]float64{1.6, 1.1, 0.9}, 4, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range res.Deadlines {
+		// The heterogeneous pool contains every homogeneous candidate, so
+		// its optimum can never be worse.
+		if res.HeteroCost[i] > res.HomoCost[i]+1e-9 {
+			t.Fatalf("deadline %v: heterogeneous optimum %v worse than homogeneous %v",
+				res.Deadlines[i], res.HeteroCost[i], res.HomoCost[i])
+		}
+	}
+	var buf bytes.Buffer
+	res.Print(&buf)
+	if !strings.Contains(buf.String(), "heterogeneous") {
+		t.Fatal("ablation print malformed")
+	}
+}
+
+func TestEpsilonAblationSmall(t *testing.T) {
+	if testing.Short() {
+		t.Skip("campaign-scale ablation")
+	}
+	res, err := EvaluateEpsilonAblation(11, []float64{0, 0.3}, 60)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.DistinctConfigs[1] <= res.DistinctConfigs[0] {
+		t.Fatalf("exploration did not widen coverage: %v", res.DistinctConfigs)
+	}
+}

@@ -1,0 +1,143 @@
+package experiments
+
+import (
+	"errors"
+	"fmt"
+	"io"
+
+	"disarcloud/internal/cloud"
+	"disarcloud/internal/eeb"
+	"disarcloud/internal/provision"
+)
+
+// FinalComparison is the closing experiment of Section IV: force a large
+// configuration onto (a) the higher-end VM and (b) the most cost-effective
+// one, and compare against the ML-selected configuration. The paper reports
+// a cost decrease up to 54% versus the higher-end machine and an execution
+// time reduction up to 48% versus the most cost-effective one.
+type FinalComparison struct {
+	Workload eeb.CharacteristicParams
+
+	MLChoice    provision.Choice
+	MLSeconds   float64
+	MLCostUSD   float64
+	HighEnd     provision.Choice
+	HighSeconds float64
+	HighCostUSD float64
+	CostEff     provision.Choice
+	EffSeconds  float64
+	EffCostUSD  float64
+
+	// CostDecrease = 1 - ML cost / high-end cost.
+	CostDecrease float64
+	// TimeReduction = 1 - ML time / cost-effective time.
+	TimeReduction float64
+}
+
+// BindingDeadline returns a Tmax that the cheapest single-VM deploy cannot
+// meet (factor < 1 of its ground-truth time), so the selector must trade
+// money for speed — the regime of the paper's final comparison.
+func BindingDeadline(pm cloud.PerfModel, f eeb.CharacteristicParams, factor float64) float64 {
+	best := 0.0
+	for _, it := range cloud.Catalog() {
+		t := pm.MeanExecSeconds(it, 1, f)
+		if best == 0 || t < best {
+			best = t
+		}
+	}
+	return best * factor
+}
+
+// EvaluateFinalComparison runs the three deploys on the noise-free
+// performance model so the comparison is about configuration choice, not
+// noise. The ML choice comes from the trained selector with the given
+// deadline; the forced baselines use one VM of, respectively, the most
+// expensive and the cheapest-per-simulation architecture. Pass
+// cons.TmaxSeconds <= 0 to auto-pick a binding deadline (75% of the
+// cost-effective machine's time).
+func EvaluateFinalComparison(sel *provision.Selector, pm cloud.PerfModel,
+	f eeb.CharacteristicParams, cons provision.Constraints) (*FinalComparison, error) {
+
+	if cons.TmaxSeconds <= 0 {
+		cons.TmaxSeconds = BindingDeadline(pm, f, 0.85)
+	}
+	choice, err := sel.Select(f, cons)
+	if errors.Is(err, provision.ErrNoFeasible) {
+		// Same policy as the deployer: when the models believe nothing meets
+		// the deadline, take the predicted-fastest configuration.
+		choice, err = sel.SelectFastest(f, cons.MaxNodes)
+	}
+	if err != nil {
+		return nil, fmt.Errorf("experiments: ML selection: %w", err)
+	}
+
+	// Higher-end VM: highest hourly price in the catalog (m4.10xlarge).
+	var highEnd cloud.InstanceType
+	for _, it := range cloud.Catalog() {
+		if it.HourlyUSD > highEnd.HourlyUSD {
+			highEnd = it
+		}
+	}
+	// Most cost-effective: the architecture minimising single-VM pro-rata
+	// cost on this very workload under the ground-truth model.
+	var costEff cloud.InstanceType
+	bestCost := 0.0
+	for _, it := range cloud.Catalog() {
+		c := cloud.ProRataCost(it, 1, pm.MeanExecSeconds(it, 1, f))
+		if costEff.Name == "" || c < bestCost {
+			costEff, bestCost = it, c
+		}
+	}
+
+	res := &FinalComparison{Workload: f, MLChoice: choice}
+	res.MLSeconds, res.MLCostUSD = deployGroundTruth(pm, choice, f)
+	res.HighEnd = provision.Choice{Slots: []provision.Slot{{Type: highEnd, Nodes: 1}}}
+	res.HighSeconds = pm.MeanExecSeconds(highEnd, 1, f)
+	res.HighCostUSD = cloud.ProRataCost(highEnd, 1, res.HighSeconds)
+	res.CostEff = provision.Choice{Slots: []provision.Slot{{Type: costEff, Nodes: 1}}}
+	res.EffSeconds = pm.MeanExecSeconds(costEff, 1, f)
+	res.EffCostUSD = cloud.ProRataCost(costEff, 1, res.EffSeconds)
+
+	res.CostDecrease = 1 - res.MLCostUSD/res.HighCostUSD
+	res.TimeReduction = 1 - res.MLSeconds/res.EffSeconds
+	return res, nil
+}
+
+// deployGroundTruth evaluates a (possibly heterogeneous) choice on the
+// noise-free performance model, composing slot rates for mixes: the
+// comparison judges the ML system by what its chosen configuration REALLY
+// costs, not by what it predicted.
+func deployGroundTruth(pm cloud.PerfModel, c provision.Choice, f eeb.CharacteristicParams) (seconds, costUSD float64) {
+	rate := 0.0
+	hourly := 0.0
+	for _, s := range c.Slots {
+		t := pm.MeanExecSeconds(s.Type, s.Nodes, f)
+		rate += 1 / t
+		hourly += s.Type.HourlyUSD * float64(s.Nodes)
+	}
+	seconds = 1 / rate
+	costUSD = hourly * seconds / 3600
+	return seconds, costUSD
+}
+
+// PrintFinal writes the comparison in the paper's terms.
+func (r *FinalComparison) PrintFinal(w io.Writer) {
+	fmt.Fprintln(w, "FINAL COMPARISON (Section IV): forced deploys vs ML-selected")
+	fmt.Fprintf(w, " ML-selected:    %-16s time %7.0fs cost %6.3f$\n", slotsOf(r.MLChoice), r.MLSeconds, r.MLCostUSD)
+	fmt.Fprintf(w, " higher-end:     %-16s time %7.0fs cost %6.3f$\n", slotsOf(r.HighEnd), r.HighSeconds, r.HighCostUSD)
+	fmt.Fprintf(w, " cost-effective: %-16s time %7.0fs cost %6.3f$\n", slotsOf(r.CostEff), r.EffSeconds, r.EffCostUSD)
+	fmt.Fprintf(w, " cost decrease vs higher-end:      %5.1f%% (paper: up to 54%%)\n", 100*r.CostDecrease)
+	fmt.Fprintf(w, " time reduction vs cost-effective: %5.1f%% (paper: up to 48%%)\n", 100*r.TimeReduction)
+}
+
+// slotsOf formats only the configuration shape of a choice.
+func slotsOf(c provision.Choice) string {
+	s := ""
+	for i, slot := range c.Slots {
+		if i > 0 {
+			s += "+"
+		}
+		s += fmt.Sprintf("%dx%s", slot.Nodes, slot.Type.Name)
+	}
+	return s
+}

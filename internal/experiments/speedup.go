@@ -1,0 +1,48 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+
+	"disarcloud/internal/cloud"
+	"disarcloud/internal/eeb"
+)
+
+// SpeedupResult is Figure 4: the average speedup of the cloud-based deploy
+// (one full VM of each type) over the sequential single-core execution,
+// averaged across the campaign workloads.
+type SpeedupResult struct {
+	Architectures []string
+	Speedup       map[string]float64
+}
+
+// EvaluateSpeedup computes Figure 4 from the noise-free performance model
+// over the given workloads.
+func EvaluateSpeedup(pm cloud.PerfModel, workloads []eeb.CharacteristicParams) (*SpeedupResult, error) {
+	if len(workloads) == 0 {
+		return nil, fmt.Errorf("experiments: no workloads")
+	}
+	res := &SpeedupResult{Speedup: make(map[string]float64)}
+	for _, it := range cloud.Catalog() {
+		sum := 0.0
+		for _, f := range workloads {
+			sum += pm.Speedup(it, 1, f)
+		}
+		res.Architectures = append(res.Architectures, it.Name)
+		res.Speedup[it.Name] = sum / float64(len(workloads))
+	}
+	return res, nil
+}
+
+// PrintFigure4 writes the per-architecture speedup bars.
+func (r *SpeedupResult) PrintFigure4(w io.Writer) {
+	fmt.Fprintln(w, "FIGURE 4: speedup of the cloud-based execution wrt the sequential one")
+	for _, a := range r.Architectures {
+		s := r.Speedup[a]
+		fmt.Fprintf(w, "%-14s %5.2fx ", a, s)
+		for i := 0; i < int(s*4); i++ {
+			fmt.Fprint(w, "#")
+		}
+		fmt.Fprintln(w)
+	}
+}

@@ -1,0 +1,86 @@
+package finmath
+
+import "testing"
+
+// BenchmarkRNGUint64 measures the raw generator.
+func BenchmarkRNGUint64(b *testing.B) {
+	r := NewRNG(1)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = r.Uint64()
+	}
+}
+
+// BenchmarkNormFloat64 measures one Gaussian draw (the inner-loop cost of
+// every scenario step).
+func BenchmarkNormFloat64(b *testing.B) {
+	r := NewRNG(1)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = r.NormFloat64()
+	}
+}
+
+// BenchmarkQuantile measures the 99.5% quantile on a 10k-sample
+// distribution (the SCR computation).
+func BenchmarkQuantile(b *testing.B) {
+	r := NewRNG(2)
+	xs := make([]float64, 10000)
+	for i := range xs {
+		xs[i] = r.NormFloat64()
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = Quantile(xs, 0.995)
+	}
+}
+
+// BenchmarkSolveLeastSquares measures the LSMC-style regression: 200x21
+// design (degree-2 tensor Hermite basis over 5 features).
+func BenchmarkSolveLeastSquares(b *testing.B) {
+	r := NewRNG(3)
+	rows := make([][]float64, 200)
+	rhs := make([]float64, 200)
+	for i := range rows {
+		x := make([]float64, 5)
+		for k := range x {
+			x[k] = r.NormFloat64()
+		}
+		rows[i] = TensorBasis(x, 2, HermiteBasis)
+		rhs[i] = r.NormFloat64()
+	}
+	a := NewMatrixFrom(rows)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := SolveLeastSquares(a, rhs); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkCholesky measures the correlation-matrix factorisation.
+func BenchmarkCholesky(b *testing.B) {
+	n := 6
+	m := Identity(n)
+	for i := 0; i < n; i++ {
+		for j := 0; j < i; j++ {
+			m.Set(i, j, 0.3)
+			m.Set(j, i, 0.3)
+		}
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := m.Cholesky(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkTensorBasis measures one regression-feature expansion.
+func BenchmarkTensorBasis(b *testing.B) {
+	x := []float64{0.3, -0.5, 1.1, 0.2}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = TensorBasis(x, 2, HermiteBasis)
+	}
+}

@@ -1,0 +1,90 @@
+package finmath
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestNormCDFKnownValues(t *testing.T) {
+	cases := []struct{ x, want float64 }{
+		{0, 0.5},
+		{1.6449, 0.95},
+		{2.5758, 0.995},
+		{-1.96, 0.025},
+	}
+	for _, tc := range cases {
+		if got := NormCDF(tc.x); math.Abs(got-tc.want) > 5e-4 {
+			t.Errorf("NormCDF(%v) = %v, want %v", tc.x, got, tc.want)
+		}
+	}
+}
+
+func TestNormInvCDFRoundTrip(t *testing.T) {
+	if err := quick.Check(func(raw uint16) bool {
+		p := (float64(raw) + 1) / 65537 // strictly inside (0,1)
+		x := NormInvCDF(p)
+		return math.Abs(NormCDF(x)-p) < 1e-10
+	}, &quick.Config{MaxCount: 500}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestNormInvCDFTails(t *testing.T) {
+	if got := NormInvCDF(0.005); math.Abs(got+2.5758) > 1e-3 {
+		t.Fatalf("q(0.005) = %v, want ~-2.5758", got)
+	}
+	if got := NormInvCDF(0.995); math.Abs(got-2.5758) > 1e-3 {
+		t.Fatalf("q(0.995) = %v, want ~2.5758", got)
+	}
+}
+
+func TestNormInvCDFPanics(t *testing.T) {
+	for _, p := range []float64{0, 1, -0.1, 1.1} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("NormInvCDF(%v) did not panic", p)
+				}
+			}()
+			NormInvCDF(p)
+		}()
+	}
+}
+
+func TestNormPDFIntegratesToOne(t *testing.T) {
+	sum := 0.0
+	h := 0.001
+	for x := -8.0; x <= 8.0; x += h {
+		sum += NormPDF(x) * h
+	}
+	if math.Abs(sum-1) > 1e-4 {
+		t.Fatalf("PDF integral = %v", sum)
+	}
+}
+
+func TestCorrelatedNormals(t *testing.T) {
+	rho := 0.7
+	corr := NewMatrixFrom([][]float64{{1, rho}, {rho, 1}})
+	chol, err := corr.Cholesky()
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := NewRNG(888)
+	n := 200000
+	xs := make([]float64, n)
+	ys := make([]float64, n)
+	for i := 0; i < n; i++ {
+		v := CorrelatedNormals(rng, chol)
+		xs[i], ys[i] = v[0], v[1]
+	}
+	if got := Correlation(xs, ys); math.Abs(got-rho) > 0.01 {
+		t.Fatalf("empirical correlation = %v, want ~%v", got, rho)
+	}
+	if m := Mean(xs); math.Abs(m) > 0.01 {
+		t.Fatalf("marginal mean = %v, want ~0", m)
+	}
+	if sd := StdDev(ys); math.Abs(sd-1) > 0.01 {
+		t.Fatalf("marginal stddev = %v, want ~1", sd)
+	}
+}

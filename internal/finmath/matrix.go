@@ -1,0 +1,326 @@
+package finmath
+
+import (
+	"errors"
+	"fmt"
+	"math"
+)
+
+// Matrix is a dense row-major matrix of float64.
+type Matrix struct {
+	rows, cols int
+	data       []float64
+}
+
+// ErrSingular is returned when a factorisation or solve encounters a
+// numerically singular system.
+var ErrSingular = errors.New("finmath: matrix is singular to working precision")
+
+// NewMatrix returns a zero rows×cols matrix. It panics on non-positive
+// dimensions.
+func NewMatrix(rows, cols int) *Matrix {
+	if rows <= 0 || cols <= 0 {
+		panic("finmath: NewMatrix with non-positive dimensions")
+	}
+	return &Matrix{rows: rows, cols: cols, data: make([]float64, rows*cols)}
+}
+
+// NewMatrixFrom builds a matrix from a slice of rows, copying the data.
+// It panics if rows are empty or ragged.
+func NewMatrixFrom(rows [][]float64) *Matrix {
+	if len(rows) == 0 || len(rows[0]) == 0 {
+		panic("finmath: NewMatrixFrom with empty data")
+	}
+	m := NewMatrix(len(rows), len(rows[0]))
+	for i, r := range rows {
+		if len(r) != m.cols {
+			panic("finmath: NewMatrixFrom with ragged rows")
+		}
+		copy(m.data[i*m.cols:(i+1)*m.cols], r)
+	}
+	return m
+}
+
+// Identity returns the n×n identity matrix.
+func Identity(n int) *Matrix {
+	m := NewMatrix(n, n)
+	for i := 0; i < n; i++ {
+		m.Set(i, i, 1)
+	}
+	return m
+}
+
+// Rows returns the number of rows.
+func (m *Matrix) Rows() int { return m.rows }
+
+// Cols returns the number of columns.
+func (m *Matrix) Cols() int { return m.cols }
+
+// At returns the element at (i, j).
+func (m *Matrix) At(i, j int) float64 { return m.data[i*m.cols+j] }
+
+// Set assigns the element at (i, j).
+func (m *Matrix) Set(i, j int, v float64) { m.data[i*m.cols+j] = v }
+
+// Clone returns a deep copy of the matrix.
+func (m *Matrix) Clone() *Matrix {
+	c := NewMatrix(m.rows, m.cols)
+	copy(c.data, m.data)
+	return c
+}
+
+// Row returns a copy of row i.
+func (m *Matrix) Row(i int) []float64 {
+	out := make([]float64, m.cols)
+	copy(out, m.data[i*m.cols:(i+1)*m.cols])
+	return out
+}
+
+// MulVec returns m·x. It panics if len(x) != Cols().
+func (m *Matrix) MulVec(x []float64) []float64 {
+	if len(x) != m.cols {
+		panic(fmt.Sprintf("finmath: MulVec dimension mismatch %d != %d", len(x), m.cols))
+	}
+	out := make([]float64, m.rows)
+	for i := 0; i < m.rows; i++ {
+		row := m.data[i*m.cols : (i+1)*m.cols]
+		s := 0.0
+		for j, v := range row {
+			s += v * x[j]
+		}
+		out[i] = s
+	}
+	return out
+}
+
+// Mul returns the matrix product m·b. It panics on inner-dimension mismatch.
+func (m *Matrix) Mul(b *Matrix) *Matrix {
+	if m.cols != b.rows {
+		panic("finmath: Mul inner dimension mismatch")
+	}
+	out := NewMatrix(m.rows, b.cols)
+	for i := 0; i < m.rows; i++ {
+		for k := 0; k < m.cols; k++ {
+			a := m.At(i, k)
+			if a == 0 {
+				continue
+			}
+			for j := 0; j < b.cols; j++ {
+				out.data[i*out.cols+j] += a * b.At(k, j)
+			}
+		}
+	}
+	return out
+}
+
+// Transpose returns mᵀ.
+func (m *Matrix) Transpose() *Matrix {
+	t := NewMatrix(m.cols, m.rows)
+	for i := 0; i < m.rows; i++ {
+		for j := 0; j < m.cols; j++ {
+			t.Set(j, i, m.At(i, j))
+		}
+	}
+	return t
+}
+
+// Cholesky returns the lower-triangular L with L·Lᵀ = m for a symmetric
+// positive-definite matrix. It returns ErrSingular when the matrix is not
+// positive definite to working precision.
+func (m *Matrix) Cholesky() (*Matrix, error) {
+	if m.rows != m.cols {
+		return nil, errors.New("finmath: Cholesky of non-square matrix")
+	}
+	n := m.rows
+	l := NewMatrix(n, n)
+	for j := 0; j < n; j++ {
+		d := m.At(j, j)
+		for k := 0; k < j; k++ {
+			d -= l.At(j, k) * l.At(j, k)
+		}
+		if d <= 1e-14 {
+			return nil, fmt.Errorf("pivot %d: %w", j, ErrSingular)
+		}
+		l.Set(j, j, math.Sqrt(d))
+		for i := j + 1; i < n; i++ {
+			s := m.At(i, j)
+			for k := 0; k < j; k++ {
+				s -= l.At(i, k) * l.At(j, k)
+			}
+			l.Set(i, j, s/l.At(j, j))
+		}
+	}
+	return l, nil
+}
+
+// SolveLeastSquares returns the x minimising ||A·x - b||₂ using Householder
+// QR with column scaling, which is numerically robust for the ill-conditioned
+// Vandermonde-like design matrices produced by LSMC regression. It returns
+// ErrSingular if A is rank deficient.
+func SolveLeastSquares(a *Matrix, b []float64) ([]float64, error) {
+	if len(b) != a.rows {
+		return nil, fmt.Errorf("finmath: SolveLeastSquares rhs length %d != rows %d", len(b), a.rows)
+	}
+	if a.rows < a.cols {
+		return nil, errors.New("finmath: SolveLeastSquares underdetermined system")
+	}
+	qr := a.Clone()
+	rhs := make([]float64, len(b))
+	copy(rhs, b)
+	nRows, nCols := qr.rows, qr.cols
+	// rdiag holds the diagonal of R; the diagonal slots of qr hold the heads
+	// of the Householder vectors instead.
+	rdiag := make([]float64, nCols)
+
+	// Rank-deficiency threshold relative to the largest column norm, so that
+	// exactly dependent columns (which leave tiny floating-point residue
+	// after elimination) are detected.
+	maxColNorm := 0.0
+	for j := 0; j < nCols; j++ {
+		cn := 0.0
+		for i := 0; i < nRows; i++ {
+			cn = math.Hypot(cn, qr.At(i, j))
+		}
+		if cn > maxColNorm {
+			maxColNorm = cn
+		}
+	}
+	tol := 1e-12 * maxColNorm
+	if tol < 1e-300 {
+		tol = 1e-300
+	}
+
+	for k := 0; k < nCols; k++ {
+		norm := 0.0
+		for i := k; i < nRows; i++ {
+			norm = math.Hypot(norm, qr.At(i, k))
+		}
+		if norm < tol {
+			return nil, fmt.Errorf("column %d: %w", k, ErrSingular)
+		}
+		if qr.At(k, k) < 0 {
+			norm = -norm
+		}
+		for i := k; i < nRows; i++ {
+			qr.Set(i, k, qr.At(i, k)/norm)
+		}
+		qr.Set(k, k, qr.At(k, k)+1)
+		rdiag[k] = -norm
+
+		// Apply the reflector to the remaining columns and the RHS.
+		for j := k + 1; j < nCols; j++ {
+			s := 0.0
+			for i := k; i < nRows; i++ {
+				s += qr.At(i, k) * qr.At(i, j)
+			}
+			s = -s / qr.At(k, k)
+			for i := k; i < nRows; i++ {
+				qr.Set(i, j, qr.At(i, j)+s*qr.At(i, k))
+			}
+		}
+		s := 0.0
+		for i := k; i < nRows; i++ {
+			s += qr.At(i, k) * rhs[i]
+		}
+		s = -s / qr.At(k, k)
+		for i := k; i < nRows; i++ {
+			rhs[i] += s * qr.At(i, k)
+		}
+	}
+
+	// Back substitution on R.
+	x := make([]float64, nCols)
+	for k := nCols - 1; k >= 0; k-- {
+		s := rhs[k]
+		for j := k + 1; j < nCols; j++ {
+			s -= qr.At(k, j) * x[j]
+		}
+		if math.Abs(rdiag[k]) < 1e-300 {
+			return nil, fmt.Errorf("diagonal %d: %w", k, ErrSingular)
+		}
+		x[k] = s / rdiag[k]
+	}
+	return x, nil
+}
+
+// SolveRidge returns the x minimising ||A·x - b||₂² + lambda·||x||₂² by
+// augmenting the system with sqrt(lambda)·I rows and solving the padded
+// least-squares problem. Ridge regularisation keeps nearly collinear design
+// matrices (common in LSMC polynomial regressions) well conditioned. It
+// panics if lambda < 0.
+func SolveRidge(a *Matrix, b []float64, lambda float64) ([]float64, error) {
+	if lambda < 0 {
+		panic("finmath: SolveRidge with negative lambda")
+	}
+	if lambda == 0 {
+		return SolveLeastSquares(a, b)
+	}
+	n, d := a.rows, a.cols
+	aug := NewMatrix(n+d, d)
+	for i := 0; i < n; i++ {
+		for j := 0; j < d; j++ {
+			aug.Set(i, j, a.At(i, j))
+		}
+	}
+	sq := math.Sqrt(lambda)
+	for k := 0; k < d; k++ {
+		aug.Set(n+k, k, sq)
+	}
+	rhs := make([]float64, n+d)
+	copy(rhs, b)
+	return SolveLeastSquares(aug, rhs)
+}
+
+// SolveLinear solves the square system A·x = b via Gaussian elimination with
+// partial pivoting. It returns ErrSingular for singular systems.
+func SolveLinear(a *Matrix, b []float64) ([]float64, error) {
+	if a.rows != a.cols {
+		return nil, errors.New("finmath: SolveLinear of non-square matrix")
+	}
+	if len(b) != a.rows {
+		return nil, errors.New("finmath: SolveLinear rhs length mismatch")
+	}
+	n := a.rows
+	aug := a.Clone()
+	x := make([]float64, n)
+	copy(x, b)
+
+	for k := 0; k < n; k++ {
+		// Partial pivot.
+		pivot, pivotVal := k, math.Abs(aug.At(k, k))
+		for i := k + 1; i < n; i++ {
+			if v := math.Abs(aug.At(i, k)); v > pivotVal {
+				pivot, pivotVal = i, v
+			}
+		}
+		if pivotVal < 1e-300 {
+			return nil, fmt.Errorf("pivot %d: %w", k, ErrSingular)
+		}
+		if pivot != k {
+			for j := 0; j < n; j++ {
+				v1, v2 := aug.At(k, j), aug.At(pivot, j)
+				aug.Set(k, j, v2)
+				aug.Set(pivot, j, v1)
+			}
+			x[k], x[pivot] = x[pivot], x[k]
+		}
+		for i := k + 1; i < n; i++ {
+			f := aug.At(i, k) / aug.At(k, k)
+			if f == 0 {
+				continue
+			}
+			for j := k; j < n; j++ {
+				aug.Set(i, j, aug.At(i, j)-f*aug.At(k, j))
+			}
+			x[i] -= f * x[k]
+		}
+	}
+	for k := n - 1; k >= 0; k-- {
+		s := x[k]
+		for j := k + 1; j < n; j++ {
+			s -= aug.At(k, j) * x[j]
+		}
+		x[k] = s / aug.At(k, k)
+	}
+	return x, nil
+}

@@ -1,0 +1,269 @@
+package finmath
+
+import (
+	"errors"
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestMatrixBasics(t *testing.T) {
+	m := NewMatrix(2, 3)
+	m.Set(0, 0, 1)
+	m.Set(1, 2, 5)
+	if m.Rows() != 2 || m.Cols() != 3 {
+		t.Fatalf("dims = %dx%d", m.Rows(), m.Cols())
+	}
+	if m.At(0, 0) != 1 || m.At(1, 2) != 5 || m.At(0, 1) != 0 {
+		t.Fatal("At/Set mismatch")
+	}
+}
+
+func TestNewMatrixFromRejectsRagged(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("ragged input did not panic")
+		}
+	}()
+	NewMatrixFrom([][]float64{{1, 2}, {3}})
+}
+
+func TestMulVec(t *testing.T) {
+	m := NewMatrixFrom([][]float64{{1, 2}, {3, 4}})
+	got := m.MulVec([]float64{5, 6})
+	if got[0] != 17 || got[1] != 39 {
+		t.Fatalf("MulVec = %v, want [17 39]", got)
+	}
+}
+
+func TestMulIdentity(t *testing.T) {
+	m := NewMatrixFrom([][]float64{{1, 2}, {3, 4}})
+	p := m.Mul(Identity(2))
+	for i := 0; i < 2; i++ {
+		for j := 0; j < 2; j++ {
+			if p.At(i, j) != m.At(i, j) {
+				t.Fatal("M·I != M")
+			}
+		}
+	}
+}
+
+func TestTransposeInvolution(t *testing.T) {
+	m := NewMatrixFrom([][]float64{{1, 2, 3}, {4, 5, 6}})
+	tt := m.Transpose().Transpose()
+	for i := 0; i < m.Rows(); i++ {
+		for j := 0; j < m.Cols(); j++ {
+			if tt.At(i, j) != m.At(i, j) {
+				t.Fatal("(Mᵀ)ᵀ != M")
+			}
+		}
+	}
+}
+
+func TestCholeskyReconstruction(t *testing.T) {
+	m := NewMatrixFrom([][]float64{
+		{4, 2, 0.6},
+		{2, 3, 0.4},
+		{0.6, 0.4, 2},
+	})
+	l, err := m.Cholesky()
+	if err != nil {
+		t.Fatal(err)
+	}
+	recon := l.Mul(l.Transpose())
+	for i := 0; i < 3; i++ {
+		for j := 0; j < 3; j++ {
+			if !almostEqual(recon.At(i, j), m.At(i, j), 1e-10) {
+				t.Fatalf("L·Lᵀ[%d][%d] = %v, want %v", i, j, recon.At(i, j), m.At(i, j))
+			}
+		}
+	}
+}
+
+func TestCholeskyRejectsIndefinite(t *testing.T) {
+	m := NewMatrixFrom([][]float64{{1, 2}, {2, 1}}) // eigenvalues 3, -1
+	if _, err := m.Cholesky(); !errors.Is(err, ErrSingular) {
+		t.Fatalf("expected ErrSingular, got %v", err)
+	}
+}
+
+func TestCholeskyCorrelationProperty(t *testing.T) {
+	// Any correlation matrix built as rho on the off-diagonal is PD for
+	// |rho| < 1 in 2D; verify Cholesky succeeds and reconstructs.
+	if err := quick.Check(func(seed uint64) bool {
+		rng := NewRNG(seed)
+		rho := 2*rng.Float64() - 1
+		rho *= 0.99
+		m := NewMatrixFrom([][]float64{{1, rho}, {rho, 1}})
+		l, err := m.Cholesky()
+		if err != nil {
+			return false
+		}
+		r := l.Mul(l.Transpose())
+		return almostEqual(r.At(0, 1), rho, 1e-10)
+	}, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSolveLinearKnownSystem(t *testing.T) {
+	a := NewMatrixFrom([][]float64{
+		{2, 1, -1},
+		{-3, -1, 2},
+		{-2, 1, 2},
+	})
+	x, err := SolveLinear(a, []float64{8, -11, -3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []float64{2, 3, -1}
+	for i := range want {
+		if !almostEqual(x[i], want[i], 1e-10) {
+			t.Fatalf("x = %v, want %v", x, want)
+		}
+	}
+}
+
+func TestSolveLinearSingular(t *testing.T) {
+	a := NewMatrixFrom([][]float64{{1, 2}, {2, 4}})
+	if _, err := SolveLinear(a, []float64{1, 2}); !errors.Is(err, ErrSingular) {
+		t.Fatalf("expected ErrSingular, got %v", err)
+	}
+}
+
+func TestSolveLeastSquaresExact(t *testing.T) {
+	// Square full-rank system: least squares must equal exact solution.
+	a := NewMatrixFrom([][]float64{{1, 1}, {1, 2}, {1, 3}})
+	// y = 1 + 2x exactly.
+	x, err := SolveLeastSquares(a, []float64{3, 5, 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !almostEqual(x[0], 1, 1e-10) || !almostEqual(x[1], 2, 1e-10) {
+		t.Fatalf("coefficients = %v, want [1 2]", x)
+	}
+}
+
+func TestSolveLeastSquaresOverdetermined(t *testing.T) {
+	// Fit y = 2x + noise; check recovered slope close to 2 and residual
+	// orthogonality Aᵀ(Ax-b) ≈ 0.
+	rng := NewRNG(2024)
+	n := 200
+	rows := make([][]float64, n)
+	b := make([]float64, n)
+	for i := 0; i < n; i++ {
+		xi := float64(i) / 10
+		rows[i] = []float64{1, xi}
+		b[i] = 2*xi + 0.1*rng.NormFloat64()
+	}
+	a := NewMatrixFrom(rows)
+	x, err := SolveLeastSquares(a, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(x[1]-2) > 0.01 {
+		t.Fatalf("slope = %v, want ~2", x[1])
+	}
+	// Residual orthogonality.
+	pred := a.MulVec(x)
+	res := make([]float64, n)
+	for i := range res {
+		res[i] = pred[i] - b[i]
+	}
+	at := a.Transpose()
+	g := at.MulVec(res)
+	for _, v := range g {
+		if math.Abs(v) > 1e-8 {
+			t.Fatalf("normal equations violated: Aᵀr = %v", g)
+		}
+	}
+}
+
+func TestSolveLeastSquaresRankDeficient(t *testing.T) {
+	a := NewMatrixFrom([][]float64{{1, 2}, {2, 4}, {3, 6}})
+	if _, err := SolveLeastSquares(a, []float64{1, 2, 3}); !errors.Is(err, ErrSingular) {
+		t.Fatalf("expected ErrSingular, got %v", err)
+	}
+}
+
+func TestSolveLeastSquaresUnderdetermined(t *testing.T) {
+	a := NewMatrixFrom([][]float64{{1, 2, 3}})
+	if _, err := SolveLeastSquares(a, []float64{1}); err == nil {
+		t.Fatal("underdetermined system should error")
+	}
+}
+
+func TestSolveRidgeShrinksTowardZero(t *testing.T) {
+	// On an exactly determined system, lambda -> 0 recovers OLS and large
+	// lambda shrinks the coefficients.
+	a := NewMatrixFrom([][]float64{{1, 1}, {1, 2}, {1, 3}})
+	b := []float64{3, 5, 7} // y = 1 + 2x
+	small, err := SolveRidge(a, b, 1e-12)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !almostEqual(small[1], 2, 1e-5) {
+		t.Fatalf("tiny ridge slope = %v, want ~2", small[1])
+	}
+	big, err := SolveRidge(a, b, 1e6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(big[1]) >= math.Abs(small[1]) {
+		t.Fatalf("large ridge did not shrink: %v vs %v", big[1], small[1])
+	}
+}
+
+func TestSolveRidgeHandlesCollinearity(t *testing.T) {
+	// Exactly collinear columns break OLS but not ridge.
+	a := NewMatrixFrom([][]float64{{1, 2}, {2, 4}, {3, 6}})
+	b := []float64{1, 2, 3}
+	if _, err := SolveLeastSquares(a, b); err == nil {
+		t.Fatal("OLS should fail on collinear design")
+	}
+	x, err := SolveRidge(a, b, 1e-6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The ridge solution still fits the (consistent) system well.
+	pred := a.MulVec(x)
+	for i := range b {
+		if math.Abs(pred[i]-b[i]) > 1e-3 {
+			t.Fatalf("ridge fit %v, want %v", pred, b)
+		}
+	}
+}
+
+func TestSolveRidgeZeroLambdaIsOLS(t *testing.T) {
+	a := NewMatrixFrom([][]float64{{1, 1}, {1, 2}, {1, 3}})
+	b := []float64{3, 5, 7}
+	x1, err := SolveRidge(a, b, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	x2, _ := SolveLeastSquares(a, b)
+	for i := range x1 {
+		if x1[i] != x2[i] {
+			t.Fatal("lambda=0 should delegate to OLS")
+		}
+	}
+}
+
+func TestSolveRidgePanicsOnNegativeLambda(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("negative lambda did not panic")
+		}
+	}()
+	a := NewMatrixFrom([][]float64{{1}, {1}})
+	_, _ = SolveRidge(a, []float64{1, 1}, -1)
+}
+
+func TestCloneIsDeep(t *testing.T) {
+	m := NewMatrixFrom([][]float64{{1, 2}, {3, 4}})
+	c := m.Clone()
+	c.Set(0, 0, 99)
+	if m.At(0, 0) != 1 {
+		t.Fatal("Clone shares storage with original")
+	}
+}

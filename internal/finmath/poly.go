@@ -1,0 +1,93 @@
+package finmath
+
+import "math"
+
+// Orthonormal polynomial bases used by the LSMC regression (Section II of the
+// paper: "truncated series expansion in orthonormal polynomials").
+
+// LegendreBasis evaluates the first degree+1 Legendre polynomials at x,
+// normalised to be orthonormal on [-1, 1] with respect to the uniform
+// weight: phi_k(x) = sqrt((2k+1)/2) * P_k(x).
+func LegendreBasis(x float64, degree int) []float64 {
+	out := make([]float64, degree+1)
+	pPrev, p := 1.0, x // P_0, P_1
+	for k := 0; k <= degree; k++ {
+		var pk float64
+		switch k {
+		case 0:
+			pk = pPrev
+		case 1:
+			pk = p
+		default:
+			pk = ((2*float64(k)-1)*x*p - (float64(k)-1)*pPrev) / float64(k)
+			pPrev, p = p, pk
+		}
+		out[k] = math.Sqrt((2*float64(k)+1)/2) * pk
+	}
+	return out
+}
+
+// HermiteBasis evaluates the first degree+1 probabilists' Hermite
+// polynomials He_k(x), normalised by 1/sqrt(k!) so they are orthonormal
+// under the standard normal weight. This is the natural basis for LSMC on
+// Gaussian risk drivers.
+func HermiteBasis(x float64, degree int) []float64 {
+	out := make([]float64, degree+1)
+	hPrev, h := 1.0, x // He_0, He_1
+	fact := 1.0
+	for k := 0; k <= degree; k++ {
+		var hk float64
+		switch k {
+		case 0:
+			hk = hPrev
+		case 1:
+			hk = h
+		default:
+			hk = x*h - float64(k-1)*hPrev
+			hPrev, h = h, hk
+		}
+		if k > 0 {
+			fact *= float64(k)
+		}
+		out[k] = hk / math.Sqrt(fact)
+	}
+	return out
+}
+
+// TensorBasis builds a multi-dimensional regression basis from per-dimension
+// univariate bases by taking all monomial products of total degree <= degree.
+// basis1D is applied independently to each coordinate of x. The resulting
+// feature vector always starts with the constant term.
+func TensorBasis(x []float64, degree int, basis1D func(float64, int) []float64) []float64 {
+	if len(x) == 0 {
+		return []float64{1}
+	}
+	per := make([][]float64, len(x))
+	for i, xi := range x {
+		per[i] = basis1D(xi, degree)
+	}
+	var out []float64
+	var rec func(dim, remaining int, prod float64)
+	rec = func(dim, remaining int, prod float64) {
+		if dim == len(x) {
+			out = append(out, prod)
+			return
+		}
+		for d := 0; d <= remaining; d++ {
+			rec(dim+1, remaining-d, prod*per[dim][d])
+		}
+	}
+	rec(0, degree, 1)
+	return out
+}
+
+// TensorBasisSize returns the length of the vector produced by TensorBasis
+// for the given input dimension and total degree: C(dims+degree, degree).
+func TensorBasisSize(dims, degree int) int {
+	num, den := 1, 1
+	for i := 1; i <= degree; i++ {
+		num *= dims + i
+		den *= i
+	}
+	return num / den
+}

@@ -1,0 +1,123 @@
+package finmath
+
+import (
+	"math"
+	"testing"
+)
+
+func TestLegendreOrthonormality(t *testing.T) {
+	// Numerically integrate phi_i phi_j over [-1,1] with Gauss-like fine grid.
+	const degree = 4
+	const steps = 20000
+	gram := make([][]float64, degree+1)
+	for i := range gram {
+		gram[i] = make([]float64, degree+1)
+	}
+	h := 2.0 / steps
+	for s := 0; s < steps; s++ {
+		x := -1 + (float64(s)+0.5)*h
+		phi := LegendreBasis(x, degree)
+		for i := 0; i <= degree; i++ {
+			for j := 0; j <= degree; j++ {
+				gram[i][j] += phi[i] * phi[j] * h
+			}
+		}
+	}
+	for i := 0; i <= degree; i++ {
+		for j := 0; j <= degree; j++ {
+			want := 0.0
+			if i == j {
+				want = 1.0
+			}
+			if math.Abs(gram[i][j]-want) > 1e-4 {
+				t.Fatalf("gram[%d][%d] = %v, want %v", i, j, gram[i][j], want)
+			}
+		}
+	}
+}
+
+func TestHermiteOrthonormalityMC(t *testing.T) {
+	// Orthonormal under the standard normal weight; verify by Monte Carlo.
+	const degree = 3
+	rng := NewRNG(17)
+	n := 400000
+	gram := make([][]float64, degree+1)
+	for i := range gram {
+		gram[i] = make([]float64, degree+1)
+	}
+	for s := 0; s < n; s++ {
+		x := rng.NormFloat64()
+		phi := HermiteBasis(x, degree)
+		for i := 0; i <= degree; i++ {
+			for j := 0; j <= degree; j++ {
+				gram[i][j] += phi[i] * phi[j]
+			}
+		}
+	}
+	for i := 0; i <= degree; i++ {
+		for j := 0; j <= degree; j++ {
+			got := gram[i][j] / float64(n)
+			want := 0.0
+			if i == j {
+				want = 1.0
+			}
+			if math.Abs(got-want) > 0.05 {
+				t.Fatalf("E[He_%d He_%d] = %v, want %v", i, j, got, want)
+			}
+		}
+	}
+}
+
+func TestHermiteValues(t *testing.T) {
+	// He_2(x) = x^2 - 1, normalised by sqrt(2!).
+	phi := HermiteBasis(2, 3)
+	if !almostEqual(phi[0], 1, 1e-12) {
+		t.Fatalf("He_0 = %v", phi[0])
+	}
+	if !almostEqual(phi[1], 2, 1e-12) {
+		t.Fatalf("He_1(2) = %v", phi[1])
+	}
+	if !almostEqual(phi[2], 3/math.Sqrt(2), 1e-12) {
+		t.Fatalf("He_2(2)/sqrt(2) = %v, want %v", phi[2], 3/math.Sqrt(2))
+	}
+	// He_3(x) = x^3 - 3x = 2 at x=2, normalised by sqrt(6).
+	if !almostEqual(phi[3], 2/math.Sqrt(6), 1e-12) {
+		t.Fatalf("He_3(2)/sqrt(6) = %v, want %v", phi[3], 2/math.Sqrt(6))
+	}
+}
+
+func TestTensorBasisSize(t *testing.T) {
+	cases := []struct{ dims, degree, want int }{
+		{1, 3, 4},
+		{2, 2, 6},
+		{3, 2, 10},
+		{4, 1, 5},
+	}
+	for _, tc := range cases {
+		if got := TensorBasisSize(tc.dims, tc.degree); got != tc.want {
+			t.Errorf("TensorBasisSize(%d,%d) = %d, want %d", tc.dims, tc.degree, got, tc.want)
+		}
+		x := make([]float64, tc.dims)
+		for i := range x {
+			x[i] = 0.3 * float64(i+1)
+		}
+		if got := len(TensorBasis(x, tc.degree, HermiteBasis)); got != tc.want {
+			t.Errorf("len(TensorBasis) dims=%d deg=%d = %d, want %d", tc.dims, tc.degree, got, tc.want)
+		}
+	}
+}
+
+func TestTensorBasisConstantFirst(t *testing.T) {
+	b := TensorBasis([]float64{0.5, -0.2}, 2, LegendreBasis)
+	// First element is the product of the two constant terms sqrt(1/2)*sqrt(1/2).
+	if !almostEqual(b[0], 0.5, 1e-12) {
+		t.Fatalf("constant term = %v, want 0.5", b[0])
+	}
+}
+
+func TestTensorBasisEmptyInput(t *testing.T) {
+	b := TensorBasis(nil, 3, HermiteBasis)
+	if len(b) != 1 || b[0] != 1 {
+		t.Fatalf("TensorBasis(nil) = %v, want [1]", b)
+	}
+}

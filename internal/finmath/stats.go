@@ -1,0 +1,194 @@
+package finmath
+
+import (
+	"math"
+	"sort"
+)
+
+// Mean returns the arithmetic mean of xs, or 0 for an empty slice.
+func Mean(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	sum := 0.0
+	for _, x := range xs {
+		sum += x
+	}
+	return sum / float64(len(xs))
+}
+
+// Variance returns the unbiased sample variance of xs (n-1 denominator),
+// or 0 when fewer than two samples are available.
+func Variance(xs []float64) float64 {
+	n := len(xs)
+	if n < 2 {
+		return 0
+	}
+	m := Mean(xs)
+	ss := 0.0
+	for _, x := range xs {
+		d := x - m
+		ss += d * d
+	}
+	return ss / float64(n-1)
+}
+
+// StdDev returns the unbiased sample standard deviation of xs.
+func StdDev(xs []float64) float64 { return math.Sqrt(Variance(xs)) }
+
+// Min returns the smallest element of xs; it panics on an empty slice.
+func Min(xs []float64) float64 {
+	if len(xs) == 0 {
+		panic("finmath: Min of empty slice")
+	}
+	m := xs[0]
+	for _, x := range xs[1:] {
+		if x < m {
+			m = x
+		}
+	}
+	return m
+}
+
+// Max returns the largest element of xs; it panics on an empty slice.
+func Max(xs []float64) float64 {
+	if len(xs) == 0 {
+		panic("finmath: Max of empty slice")
+	}
+	m := xs[0]
+	for _, x := range xs[1:] {
+		if x > m {
+			m = x
+		}
+	}
+	return m
+}
+
+// Quantile returns the empirical p-quantile of xs (0 <= p <= 1) using linear
+// interpolation between order statistics (Hyndman-Fan type 7, the default of
+// R and NumPy). It does not modify xs. It panics if xs is empty or p is
+// outside [0, 1].
+func Quantile(xs []float64, p float64) float64 {
+	if len(xs) == 0 {
+		panic("finmath: Quantile of empty slice")
+	}
+	if p < 0 || p > 1 {
+		panic("finmath: Quantile probability outside [0,1]")
+	}
+	sorted := make([]float64, len(xs))
+	copy(sorted, xs)
+	sort.Float64s(sorted)
+	return quantileSorted(sorted, p)
+}
+
+// QuantileSorted is Quantile for data already in ascending order; it avoids
+// the copy-and-sort, which matters inside tight Monte Carlo loops.
+func QuantileSorted(sorted []float64, p float64) float64 {
+	if len(sorted) == 0 {
+		panic("finmath: QuantileSorted of empty slice")
+	}
+	if p < 0 || p > 1 {
+		panic("finmath: QuantileSorted probability outside [0,1]")
+	}
+	return quantileSorted(sorted, p)
+}
+
+func quantileSorted(sorted []float64, p float64) float64 {
+	n := len(sorted)
+	if n == 1 {
+		return sorted[0]
+	}
+	h := p * float64(n-1)
+	lo := int(math.Floor(h))
+	hi := lo + 1
+	if hi >= n {
+		return sorted[n-1]
+	}
+	frac := h - float64(lo)
+	// Convex-combination form: bounded by max(|lo|,|hi|), so it cannot
+	// overflow even for values near the float64 limits.
+	return sorted[lo]*(1-frac) + sorted[hi]*frac
+}
+
+// ValueAtRisk returns the level-confidence Value-at-Risk of the loss
+// distribution implied by the value samples: VaR = E[V] - Q_{1-confidence}(V).
+// With confidence 0.995 this is the Solvency II SCR definition on a one-year
+// horizon. It panics if values is empty.
+func ValueAtRisk(values []float64, confidence float64) float64 {
+	q := Quantile(values, 1-confidence)
+	return Mean(values) - q
+}
+
+// Correlation returns the Pearson correlation of xs and ys. It panics if the
+// slices differ in length; it returns 0 when either series is constant.
+func Correlation(xs, ys []float64) float64 {
+	if len(xs) != len(ys) {
+		panic("finmath: Correlation length mismatch")
+	}
+	if len(xs) < 2 {
+		return 0
+	}
+	mx, my := Mean(xs), Mean(ys)
+	var sxy, sxx, syy float64
+	for i := range xs {
+		dx, dy := xs[i]-mx, ys[i]-my
+		sxy += dx * dy
+		sxx += dx * dx
+		syy += dy * dy
+	}
+	if sxx == 0 || syy == 0 {
+		return 0
+	}
+	return sxy / math.Sqrt(sxx*syy)
+}
+
+// StandardError returns the Monte Carlo standard error of the sample mean.
+func StandardError(xs []float64) float64 {
+	if len(xs) < 2 {
+		return 0
+	}
+	return StdDev(xs) / math.Sqrt(float64(len(xs)))
+}
+
+// Histogram bins xs into nbins equal-width buckets spanning [lo, hi] and
+// returns the per-bin counts. Values outside the range are clamped into the
+// first/last bin so that counts always sum to len(xs). It panics if nbins <= 0
+// or hi <= lo.
+func Histogram(xs []float64, lo, hi float64, nbins int) []int {
+	if nbins <= 0 {
+		panic("finmath: Histogram with non-positive bin count")
+	}
+	if hi <= lo {
+		panic("finmath: Histogram with empty range")
+	}
+	counts := make([]int, nbins)
+	width := (hi - lo) / float64(nbins)
+	for _, x := range xs {
+		idx := int((x - lo) / width)
+		if idx < 0 {
+			idx = 0
+		}
+		if idx >= nbins {
+			idx = nbins - 1
+		}
+		counts[idx]++
+	}
+	return counts
+}
+
+// MeanSigned returns the signed mean of (pred[i] - real[i]) — the paper's
+// delta-bar accuracy metric (Eq. 6). It panics on length mismatch and
+// returns 0 for empty input.
+func MeanSigned(pred, real []float64) float64 {
+	if len(pred) != len(real) {
+		panic("finmath: MeanSigned length mismatch")
+	}
+	if len(pred) == 0 {
+		return 0
+	}
+	sum := 0.0
+	for i := range pred {
+		sum += pred[i] - real[i]
+	}
+	return sum / float64(len(pred))
+}

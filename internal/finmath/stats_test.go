@@ -1,0 +1,185 @@
+package finmath
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func almostEqual(a, b, tol float64) bool { return math.Abs(a-b) <= tol }
+
+func TestMean(t *testing.T) {
+	cases := []struct {
+		name string
+		in   []float64
+		want float64
+	}{
+		{"empty", nil, 0},
+		{"single", []float64{4}, 4},
+		{"several", []float64{1, 2, 3, 4}, 2.5},
+		{"negative", []float64{-2, 2}, 0},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			if got := Mean(tc.in); !almostEqual(got, tc.want, 1e-12) {
+				t.Fatalf("Mean(%v) = %v, want %v", tc.in, got, tc.want)
+			}
+		})
+	}
+}
+
+func TestVarianceAndStdDev(t *testing.T) {
+	xs := []float64{2, 4, 4, 4, 5, 5, 7, 9}
+	// Sample variance with n-1 denominator: 32/7.
+	want := 32.0 / 7.0
+	if got := Variance(xs); !almostEqual(got, want, 1e-12) {
+		t.Fatalf("Variance = %v, want %v", got, want)
+	}
+	if got := StdDev(xs); !almostEqual(got, math.Sqrt(want), 1e-12) {
+		t.Fatalf("StdDev = %v, want %v", got, math.Sqrt(want))
+	}
+	if Variance([]float64{1}) != 0 {
+		t.Fatal("Variance of singleton should be 0")
+	}
+}
+
+func TestMinMax(t *testing.T) {
+	xs := []float64{3, -1, 7, 0}
+	if Min(xs) != -1 || Max(xs) != 7 {
+		t.Fatalf("Min/Max = %v/%v, want -1/7", Min(xs), Max(xs))
+	}
+}
+
+func TestQuantileInterpolation(t *testing.T) {
+	xs := []float64{1, 2, 3, 4, 5}
+	cases := []struct{ p, want float64 }{
+		{0, 1}, {1, 5}, {0.5, 3}, {0.25, 2}, {0.125, 1.5},
+	}
+	for _, tc := range cases {
+		if got := Quantile(xs, tc.p); !almostEqual(got, tc.want, 1e-12) {
+			t.Errorf("Quantile(p=%v) = %v, want %v", tc.p, got, tc.want)
+		}
+	}
+}
+
+func TestQuantileDoesNotMutate(t *testing.T) {
+	xs := []float64{5, 1, 3}
+	Quantile(xs, 0.5)
+	if xs[0] != 5 || xs[1] != 1 || xs[2] != 3 {
+		t.Fatal("Quantile mutated its input")
+	}
+}
+
+func TestQuantileBoundsProperty(t *testing.T) {
+	if err := quick.Check(func(raw []float64, pRaw uint8) bool {
+		if len(raw) == 0 {
+			return true
+		}
+		for _, v := range raw {
+			if math.IsNaN(v) || math.IsInf(v, 0) {
+				return true
+			}
+		}
+		p := float64(pRaw) / 255
+		q := Quantile(raw, p)
+		return q >= Min(raw)-1e-9 && q <= Max(raw)+1e-9
+	}, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestQuantileMonotoneInP(t *testing.T) {
+	rng := NewRNG(77)
+	xs := make([]float64, 500)
+	for i := range xs {
+		xs[i] = rng.NormFloat64()
+	}
+	prev := math.Inf(-1)
+	for p := 0.0; p <= 1.0; p += 0.01 {
+		q := Quantile(xs, p)
+		if q < prev-1e-12 {
+			t.Fatalf("quantile not monotone at p=%v: %v < %v", p, q, prev)
+		}
+		prev = q
+	}
+}
+
+func TestValueAtRiskNormal(t *testing.T) {
+	// For a normal sample, VaR_99.5 = mean - q_0.005 ≈ 2.576σ.
+	rng := NewRNG(123)
+	xs := make([]float64, 400000)
+	for i := range xs {
+		xs[i] = 100 + 10*rng.NormFloat64()
+	}
+	got := ValueAtRisk(xs, 0.995)
+	want := 10 * 2.5758
+	if math.Abs(got-want) > 0.6 {
+		t.Fatalf("VaR = %v, want ~%v", got, want)
+	}
+}
+
+func TestCorrelation(t *testing.T) {
+	xs := []float64{1, 2, 3, 4, 5}
+	ys := []float64{2, 4, 6, 8, 10}
+	if got := Correlation(xs, ys); !almostEqual(got, 1, 1e-12) {
+		t.Fatalf("perfect positive correlation = %v", got)
+	}
+	neg := []float64{10, 8, 6, 4, 2}
+	if got := Correlation(xs, neg); !almostEqual(got, -1, 1e-12) {
+		t.Fatalf("perfect negative correlation = %v", got)
+	}
+	constant := []float64{3, 3, 3, 3, 3}
+	if got := Correlation(xs, constant); got != 0 {
+		t.Fatalf("correlation with constant = %v, want 0", got)
+	}
+}
+
+func TestHistogramSumsToN(t *testing.T) {
+	rng := NewRNG(9)
+	xs := make([]float64, 1000)
+	for i := range xs {
+		xs[i] = rng.NormFloat64() * 100
+	}
+	counts := Histogram(xs, -300, 300, 12)
+	total := 0
+	for _, c := range counts {
+		total += c
+	}
+	if total != len(xs) {
+		t.Fatalf("histogram counts sum to %d, want %d", total, len(xs))
+	}
+}
+
+func TestHistogramClampsOutliers(t *testing.T) {
+	counts := Histogram([]float64{-1000, 1000, 0}, -10, 10, 4)
+	if counts[0] != 1 || counts[3] != 1 {
+		t.Fatalf("outliers not clamped into edge bins: %v", counts)
+	}
+}
+
+func TestMeanSigned(t *testing.T) {
+	pred := []float64{10, 20, 30}
+	real := []float64{12, 18, 33}
+	// (−2 + 2 − 3)/3 = −1
+	if got := MeanSigned(pred, real); !almostEqual(got, -1, 1e-12) {
+		t.Fatalf("MeanSigned = %v, want -1", got)
+	}
+	if MeanSigned(nil, nil) != 0 {
+		t.Fatal("MeanSigned of empty should be 0")
+	}
+}
+
+func TestStandardErrorShrinks(t *testing.T) {
+	rng := NewRNG(50)
+	small := make([]float64, 100)
+	large := make([]float64, 10000)
+	for i := range small {
+		small[i] = rng.NormFloat64()
+	}
+	for i := range large {
+		large[i] = rng.NormFloat64()
+	}
+	if StandardError(large) >= StandardError(small) {
+		t.Fatal("standard error should shrink with sample size")
+	}
+}

@@ -1,0 +1,258 @@
+// Package fund models the segregated fund ("gestione separata") backing
+// Italian profit-sharing policies. The key feature, stressed in Section II
+// of the paper, is that the credited return I_t is computed on BOOK values,
+// not market values, so the fund manager can strategically smooth returns by
+// choosing when to realise capital gains. The package implements a bond +
+// equity asset mix whose market returns are driven by the stochastic
+// scenario, a gain-realisation management strategy, and the resulting
+// book-value return path I_1..I_T of Eq. (4).
+package fund
+
+import (
+	"errors"
+	"fmt"
+	"math"
+
+	"disarcloud/internal/stochastic"
+)
+
+// AssetKind distinguishes the sleeves of the segregated fund.
+type AssetKind int
+
+const (
+	// GovernmentBond is a default-free rolling bond sleeve priced off the
+	// Vasicek short rate.
+	GovernmentBond AssetKind = iota + 1
+	// CorporateBond is a bond sleeve that additionally carries credit risk:
+	// expected default losses proportional to the CIR intensity.
+	CorporateBond
+	// Equity tracks one of the scenario's GBM equity indices.
+	Equity
+)
+
+// String implements fmt.Stringer.
+func (k AssetKind) String() string {
+	switch k {
+	case GovernmentBond:
+		return "govt-bond"
+	case CorporateBond:
+		return "corp-bond"
+	case Equity:
+		return "equity"
+	default:
+		return fmt.Sprintf("AssetKind(%d)", int(k))
+	}
+}
+
+// Asset is one sleeve of the segregated fund.
+type Asset struct {
+	Kind             AssetKind
+	Weight           float64 // target allocation weight; weights must sum to 1
+	Maturity         float64 // rolling bond maturity in years (bond kinds)
+	EquityIndex      int     // index into Scenario.Equities (Equity kind)
+	LossGivenDefault float64 // fraction lost on default (CorporateBond kind)
+}
+
+// Config describes a segregated fund and its management strategy.
+type Config struct {
+	Name   string
+	Assets []Asset
+
+	// TargetReturn is the book return the manager steers toward by
+	// realising or deferring capital gains.
+	TargetReturn float64
+	// SmoothingFraction in [0,1] is the share of excess market return
+	// stashed into the unrealised-gain buffer in good years (0 disables
+	// smoothing and book returns equal market returns).
+	SmoothingFraction float64
+	// MaxBuffer caps the unrealised-gain buffer as a fraction of fund value.
+	MaxBuffer float64
+}
+
+// Validate reports whether the fund configuration is admissible against the
+// given market model (equity indices must exist).
+func (c Config) Validate(market stochastic.Config) error {
+	if len(c.Assets) == 0 {
+		return errors.New("fund: no assets")
+	}
+	total := 0.0
+	for i, a := range c.Assets {
+		if a.Weight < 0 {
+			return fmt.Errorf("fund: asset %d has negative weight", i)
+		}
+		total += a.Weight
+		switch a.Kind {
+		case GovernmentBond, CorporateBond:
+			if a.Maturity <= 0 {
+				return fmt.Errorf("fund: bond asset %d needs positive maturity", i)
+			}
+			if a.Kind == CorporateBond && (a.LossGivenDefault < 0 || a.LossGivenDefault > 1) {
+				return fmt.Errorf("fund: asset %d LGD outside [0,1]", i)
+			}
+		case Equity:
+			if a.EquityIndex < 0 || a.EquityIndex >= len(market.Equities) {
+				return fmt.Errorf("fund: asset %d references equity %d of %d",
+					i, a.EquityIndex, len(market.Equities))
+			}
+		default:
+			return fmt.Errorf("fund: asset %d has unknown kind %d", i, int(a.Kind))
+		}
+	}
+	if math.Abs(total-1) > 1e-9 {
+		return fmt.Errorf("fund: weights sum to %v, want 1", total)
+	}
+	if c.SmoothingFraction < 0 || c.SmoothingFraction > 1 {
+		return errors.New("fund: smoothing fraction outside [0,1]")
+	}
+	if c.MaxBuffer < 0 {
+		return errors.New("fund: negative buffer cap")
+	}
+	return nil
+}
+
+// NumAssets returns the number of fund sleeves — the "segregated fund asset
+// number" characteristic parameter of the ML models.
+func (c Config) NumAssets() int { return len(c.Assets) }
+
+// Fund evaluates book-value return paths along scenarios.
+type Fund struct {
+	cfg  Config
+	rate stochastic.VasicekParams
+}
+
+// New builds a fund evaluator. rate must be the same short-rate model used
+// to generate the scenarios the fund will be evaluated on.
+func New(cfg Config, market stochastic.Config) (*Fund, error) {
+	if err := cfg.Validate(market); err != nil {
+		return nil, err
+	}
+	return &Fund{cfg: cfg, rate: market.Rate}, nil
+}
+
+// Config returns the fund configuration.
+func (f *Fund) Config() Config { return f.cfg }
+
+// MarketReturns returns the fund's annual MARKET-value returns along the
+// scenario for the first `years` years (before management smoothing).
+func (f *Fund) MarketReturns(s *stochastic.Scenario, years int) []float64 {
+	out := make([]float64, years)
+	for t := 1; t <= years; t++ {
+		ret := 0.0
+		for _, a := range f.cfg.Assets {
+			ret += a.Weight * f.assetReturn(a, s, t)
+		}
+		out[t-1] = ret
+	}
+	return out
+}
+
+// assetReturn is the market return of one sleeve over year [t-1, t].
+func (f *Fund) assetReturn(a Asset, s *stochastic.Scenario, t int) float64 {
+	switch a.Kind {
+	case Equity:
+		p0 := s.Equities[a.EquityIndex][s.IndexOfYear(float64(t-1))]
+		p1 := s.Equities[a.EquityIndex][s.IndexOfYear(float64(t))]
+		return p1/p0 - 1
+	case GovernmentBond, CorporateBond:
+		// Rolling bond sleeve: carry at last year's yield plus the price
+		// effect of the yield change over a duration of ~0.85*maturity.
+		r0 := s.RateAtYear(float64(t - 1))
+		r1 := s.RateAtYear(float64(t))
+		y0 := stochastic.ImpliedYield(f.rate, r0, a.Maturity)
+		y1 := stochastic.ImpliedYield(f.rate, r1, a.Maturity)
+		duration := 0.85 * a.Maturity
+		ret := y0 - duration*(y1-y0)
+		if a.Kind == CorporateBond {
+			// Credit carry spread minus expected default loss at the
+			// prevailing intensity.
+			lambda := math.Max(s.Credit[s.IndexOfYear(float64(t))], 0)
+			ret += 1.5*lambda - a.LossGivenDefault*lambda
+		}
+		return ret
+	default:
+		return 0
+	}
+}
+
+// Returns computes the BOOK-value return path I_1..I_years of Eq. (4) along
+// the scenario, applying the gain-realisation smoothing strategy: in years
+// when the market outperforms the target, a SmoothingFraction of the excess
+// is left unrealised (capped at MaxBuffer); in lean years the manager
+// realises buffered gains to lift the credited return toward the target.
+func (f *Fund) Returns(s *stochastic.Scenario, years int) []float64 {
+	market := f.MarketReturns(s, years)
+	if f.cfg.SmoothingFraction == 0 {
+		return market
+	}
+	out := make([]float64, years)
+	buffer := 0.0
+	for t, m := range market {
+		credited := m
+		if m > f.cfg.TargetReturn {
+			stash := f.cfg.SmoothingFraction * (m - f.cfg.TargetReturn)
+			if buffer+stash > f.cfg.MaxBuffer {
+				stash = math.Max(f.cfg.MaxBuffer-buffer, 0)
+			}
+			credited = m - stash
+			buffer += stash
+		} else if buffer > 0 {
+			release := math.Min(buffer, f.cfg.TargetReturn-m)
+			credited = m + release
+			buffer -= release
+		}
+		out[t] = credited
+	}
+	return out
+}
+
+// TypicalItalianFund returns a fund configuration resembling a real Italian
+// segregated fund of the paper's era: government-bond heavy with corporate
+// and equity sleeves, 2% target and moderate smoothing. numAssets >= 3
+// controls how many sleeves the fund is split into (more sleeves = more
+// valuation work per scenario, one of the ML characteristic parameters).
+func TypicalItalianFund(numAssets int, market stochastic.Config) Config {
+	if numAssets < 3 {
+		numAssets = 3
+	}
+	assets := make([]Asset, 0, numAssets)
+	// One equity sleeve per available index, round-robin; the rest bonds
+	// with laddered maturities, 70/30 government/corporate.
+	nEq := len(market.Equities)
+	equitySleeves := numAssets / 4
+	if equitySleeves < 1 && nEq > 0 {
+		equitySleeves = 1
+	}
+	bondSleeves := numAssets - equitySleeves
+	eqWeight := 0.15
+	if equitySleeves == 0 {
+		eqWeight = 0
+	}
+	for i := 0; i < equitySleeves; i++ {
+		assets = append(assets, Asset{
+			Kind:        Equity,
+			Weight:      eqWeight / float64(equitySleeves),
+			EquityIndex: i % nEq,
+		})
+	}
+	bondWeight := (1 - eqWeight) / float64(bondSleeves)
+	for i := 0; i < bondSleeves; i++ {
+		maturity := 2 + 2*float64(i%6) // ladder: 2..12y
+		if i%3 == 2 {
+			assets = append(assets, Asset{
+				Kind: CorporateBond, Weight: bondWeight,
+				Maturity: maturity, LossGivenDefault: 0.6,
+			})
+		} else {
+			assets = append(assets, Asset{
+				Kind: GovernmentBond, Weight: bondWeight, Maturity: maturity,
+			})
+		}
+	}
+	return Config{
+		Name:              fmt.Sprintf("segfund-%d", numAssets),
+		Assets:            assets,
+		TargetReturn:      0.02,
+		SmoothingFraction: 0.5,
+		MaxBuffer:         0.08,
+	}
+}

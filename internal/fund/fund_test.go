@@ -1,0 +1,219 @@
+package fund
+
+import (
+	"math"
+	"testing"
+
+	"disarcloud/internal/finmath"
+	"disarcloud/internal/stochastic"
+)
+
+func testMarket() stochastic.Config {
+	return stochastic.Config{
+		Horizon:      30,
+		StepsPerYear: 1,
+		Rate: stochastic.VasicekParams{
+			R0: 0.02, Speed: 0.3, MeanP: 0.03, MeanQ: 0.025, Sigma: 0.01,
+		},
+		Equities: []stochastic.GBMParams{
+			{S0: 100, Mu: 0.06, Sigma: 0.18},
+			{S0: 200, Mu: 0.05, Sigma: 0.15},
+		},
+		Credit: stochastic.CIRParams{L0: 0.01, Speed: 0.5, Mean: 0.015, Sigma: 0.04},
+	}
+}
+
+func simpleConfig() Config {
+	return Config{
+		Name: "test",
+		Assets: []Asset{
+			{Kind: GovernmentBond, Weight: 0.5, Maturity: 5},
+			{Kind: CorporateBond, Weight: 0.3, Maturity: 7, LossGivenDefault: 0.6},
+			{Kind: Equity, Weight: 0.2, EquityIndex: 0},
+		},
+		TargetReturn:      0.02,
+		SmoothingFraction: 0.5,
+		MaxBuffer:         0.08,
+	}
+}
+
+func TestConfigValidate(t *testing.T) {
+	market := testMarket()
+	if err := simpleConfig().Validate(market); err != nil {
+		t.Fatal(err)
+	}
+	cases := []struct {
+		name   string
+		mutate func(*Config)
+	}{
+		{"no assets", func(c *Config) { c.Assets = nil }},
+		{"weights != 1", func(c *Config) { c.Assets[0].Weight = 0.9 }},
+		{"negative weight", func(c *Config) { c.Assets[0].Weight = -0.5; c.Assets[1].Weight = 1.3 }},
+		{"bond no maturity", func(c *Config) { c.Assets[0].Maturity = 0 }},
+		{"bad equity index", func(c *Config) { c.Assets[2].EquityIndex = 5 }},
+		{"bad LGD", func(c *Config) { c.Assets[1].LossGivenDefault = 1.5 }},
+		{"bad smoothing", func(c *Config) { c.SmoothingFraction = 1.5 }},
+		{"negative buffer", func(c *Config) { c.MaxBuffer = -0.1 }},
+		{"unknown kind", func(c *Config) { c.Assets[0].Kind = 0 }},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			cfg := simpleConfig()
+			tc.mutate(&cfg)
+			if err := cfg.Validate(market); err == nil {
+				t.Fatal("invalid config accepted")
+			}
+		})
+	}
+}
+
+func TestReturnsLengthAndDeterminism(t *testing.T) {
+	market := testMarket()
+	f, err := New(simpleConfig(), market)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g, _ := stochastic.NewGenerator(market)
+	s1 := g.Generate(finmath.NewRNG(42), stochastic.RealWorld)
+	s2 := g.Generate(finmath.NewRNG(42), stochastic.RealWorld)
+	r1 := f.Returns(s1, 20)
+	r2 := f.Returns(s2, 20)
+	if len(r1) != 20 {
+		t.Fatalf("len = %d", len(r1))
+	}
+	for i := range r1 {
+		if r1[i] != r2[i] {
+			t.Fatal("returns not deterministic")
+		}
+	}
+}
+
+func TestSmoothingReducesVolatility(t *testing.T) {
+	market := testMarket()
+	smooth := simpleConfig()
+	raw := simpleConfig()
+	raw.SmoothingFraction = 0
+	fs, _ := New(smooth, market)
+	fr, _ := New(raw, market)
+	g, _ := stochastic.NewGenerator(market)
+	rng := finmath.NewRNG(31)
+	var volSmooth, volRaw float64
+	n := 200
+	for i := 0; i < n; i++ {
+		s := g.Generate(rng, stochastic.RealWorld)
+		volSmooth += finmath.StdDev(fs.Returns(s, 25))
+		volRaw += finmath.StdDev(fr.Returns(s, 25))
+	}
+	if volSmooth >= volRaw {
+		t.Fatalf("smoothing did not reduce volatility: %v >= %v", volSmooth/float64(n), volRaw/float64(n))
+	}
+}
+
+func TestSmoothingPreservesLongRunMean(t *testing.T) {
+	// The buffer defers gains but does not create or destroy them beyond the
+	// cap, so long-run mean book return should be close to mean market
+	// return.
+	market := testMarket()
+	f, _ := New(simpleConfig(), market)
+	g, _ := stochastic.NewGenerator(market)
+	rng := finmath.NewRNG(17)
+	var meanBook, meanMkt float64
+	n := 300
+	for i := 0; i < n; i++ {
+		s := g.Generate(rng, stochastic.RealWorld)
+		meanBook += finmath.Mean(f.Returns(s, 30))
+		meanMkt += finmath.Mean(f.MarketReturns(s, 30))
+	}
+	meanBook /= float64(n)
+	meanMkt /= float64(n)
+	if math.Abs(meanBook-meanMkt) > 0.005 {
+		t.Fatalf("book mean %v drifted from market mean %v", meanBook, meanMkt)
+	}
+}
+
+func TestNoSmoothingIdentity(t *testing.T) {
+	market := testMarket()
+	cfg := simpleConfig()
+	cfg.SmoothingFraction = 0
+	f, _ := New(cfg, market)
+	g, _ := stochastic.NewGenerator(market)
+	s := g.Generate(finmath.NewRNG(3), stochastic.RealWorld)
+	book := f.Returns(s, 15)
+	mkt := f.MarketReturns(s, 15)
+	for i := range book {
+		if book[i] != mkt[i] {
+			t.Fatal("zero smoothing should leave returns untouched")
+		}
+	}
+}
+
+func TestBufferCapRespected(t *testing.T) {
+	// With a zero cap, smoothing can never stash anything, so book == market.
+	market := testMarket()
+	cfg := simpleConfig()
+	cfg.MaxBuffer = 0
+	f, _ := New(cfg, market)
+	g, _ := stochastic.NewGenerator(market)
+	s := g.Generate(finmath.NewRNG(13), stochastic.RealWorld)
+	book := f.Returns(s, 20)
+	mkt := f.MarketReturns(s, 20)
+	for i := range book {
+		if math.Abs(book[i]-mkt[i]) > 1e-12 {
+			t.Fatal("zero-cap buffer still altered returns")
+		}
+	}
+}
+
+func TestTypicalItalianFundValid(t *testing.T) {
+	market := testMarket()
+	for _, n := range []int{3, 5, 8, 12, 20} {
+		cfg := TypicalItalianFund(n, market)
+		if err := cfg.Validate(market); err != nil {
+			t.Fatalf("TypicalItalianFund(%d): %v", n, err)
+		}
+		if cfg.NumAssets() != n {
+			t.Fatalf("TypicalItalianFund(%d) has %d assets", n, cfg.NumAssets())
+		}
+	}
+	// Degenerate request clamps to 3.
+	if got := TypicalItalianFund(1, market).NumAssets(); got != 3 {
+		t.Fatalf("clamp failed: %d assets", got)
+	}
+}
+
+func TestAssetKindString(t *testing.T) {
+	if GovernmentBond.String() != "govt-bond" || Equity.String() != "equity" ||
+		CorporateBond.String() != "corp-bond" {
+		t.Fatal("AssetKind.String mismatch")
+	}
+	if AssetKind(9).String() != "AssetKind(9)" {
+		t.Fatal("unknown kind formatting")
+	}
+}
+
+func TestBondReturnsTrackRates(t *testing.T) {
+	// A pure government-bond fund in a near-deterministic rate world should
+	// return roughly the implied yield.
+	market := testMarket()
+	market.Rate.Sigma = 1e-9
+	market.Rate.R0 = 0.03
+	market.Rate.MeanP = 0.03
+	market.Rate.MeanQ = 0.03
+	cfg := Config{
+		Name:   "bonds",
+		Assets: []Asset{{Kind: GovernmentBond, Weight: 1, Maturity: 5}},
+	}
+	f, err := New(cfg, market)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g, _ := stochastic.NewGenerator(market)
+	s := g.Generate(finmath.NewRNG(7), stochastic.RealWorld)
+	rets := f.Returns(s, 10)
+	want := stochastic.ImpliedYield(market.Rate, 0.03, 5)
+	for _, r := range rets {
+		if math.Abs(r-want) > 1e-3 {
+			t.Fatalf("bond return %v, want ~%v", r, want)
+		}
+	}
+}

@@ -1,0 +1,62 @@
+package grid
+
+import (
+	"fmt"
+	"testing"
+
+	"disarcloud/internal/actuarial"
+	"disarcloud/internal/eeb"
+	"disarcloud/internal/fund"
+	"disarcloud/internal/policy"
+)
+
+func benchBlocks(b *testing.B) []*eeb.Block {
+	b.Helper()
+	market := testMarket(15)
+	contracts := []policy.Contract{
+		{Kind: policy.Endowment, Age: 45, Gender: actuarial.Male, Term: 10,
+			InsuredSum: 10000, Beta: 0.8, TechnicalRate: 0.02, Count: 50},
+		{Kind: policy.Annuity, Age: 60, Gender: actuarial.Female, Term: 15,
+			InsuredSum: 1500, Beta: 0.8, TechnicalRate: 0.0, Count: 25},
+		{Kind: policy.PureEndowment, Age: 35, Gender: actuarial.Male, Term: 12,
+			InsuredSum: 15000, Beta: 0.9, TechnicalRate: 0.01, Count: 40},
+		{Kind: policy.TermInsurance, Age: 40, Gender: actuarial.Male, Term: 8,
+			InsuredSum: 80000, Beta: 0.8, TechnicalRate: 0.0, Count: 60},
+	}
+	p := &policy.Portfolio{Name: "grid-bench", Contracts: contracts}
+	blocks, err := eeb.SplitPortfolio(p, fund.TypicalItalianFund(4, market), market,
+		eeb.SplitSpec{MaxContractsPerBlock: 2, Outer: 60, Inner: 5})
+	if err != nil {
+		b.Fatal(err)
+	}
+	return blocks
+}
+
+// BenchmarkDistributedRun measures a full DiMaS-orchestrated run of the
+// fixture blocks, per worker count (the real-computation speedup the
+// examples report).
+func BenchmarkDistributedRun(b *testing.B) {
+	for _, workers := range []int{1, 2, 4, 8} {
+		b.Run(fmt.Sprintf("workers=%d", workers), func(b *testing.B) {
+			blocks := benchBlocks(b)
+			m := &Master{Workers: workers, Seed: 1}
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := m.Run(blocks); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkSequentialRun is the single-unit baseline of Figure 4's ratio.
+func BenchmarkSequentialRun(b *testing.B) {
+	blocks := benchBlocks(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := RunSequential(blocks, 1); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

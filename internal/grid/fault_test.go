@@ -1,0 +1,84 @@
+package grid
+
+import (
+	"errors"
+	"sync/atomic"
+	"testing"
+
+	"disarcloud/internal/eeb"
+)
+
+// flakyExecutor fails the first `failures` ExecuteSlice calls across all
+// workers, then behaves like the real engine — a transient-fault model.
+type flakyExecutor struct {
+	inner    *Engine
+	failures *atomic.Int64
+}
+
+func (f *flakyExecutor) ExecuteSlice(b *eeb.Block, from, to int, onDone func()) ([]float64, error) {
+	if f.failures.Add(-1) >= 0 {
+		return nil, errors.New("injected transient fault")
+	}
+	return f.inner.ExecuteSlice(b, from, to, onDone)
+}
+
+func TestTransientFaultsAbsorbedByRetry(t *testing.T) {
+	blocks := testBlocks(t)
+	want, err := RunSequential(blocks, 42)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Four injected failures against MaxRetries=4: even if one unlucky
+	// slice absorbs every failure it still succeeds on its fifth attempt,
+	// so the run must come out clean and numerically identical.
+	var failures atomic.Int64
+	failures.Store(4)
+	m := &Master{
+		Workers:    3,
+		Seed:       42,
+		MaxRetries: 4,
+		newExecutor: func(seed uint64) executor {
+			return &flakyExecutor{inner: NewEngine(seed), failures: &failures}
+		},
+	}
+	got, err := m.Run(blocks)
+	if err != nil {
+		t.Fatalf("retries did not absorb transient faults: %v", err)
+	}
+	for id, w := range want {
+		g, ok := got[id]
+		if !ok {
+			t.Fatalf("missing block %s", id)
+		}
+		if g.BEL != w.BEL || g.SCR != w.SCR {
+			t.Fatalf("block %s: faulty run changed the numbers (BEL %v vs %v)",
+				id, g.BEL, w.BEL)
+		}
+	}
+}
+
+func TestPermanentFaultFailsTheRun(t *testing.T) {
+	blocks := testBlocks(t)
+	var failures atomic.Int64
+	failures.Store(1 << 30) // everything fails forever
+	m := &Master{
+		Workers:    2,
+		Seed:       1,
+		MaxRetries: 1,
+		newExecutor: func(seed uint64) executor {
+			return &flakyExecutor{inner: NewEngine(seed), failures: &failures}
+		},
+	}
+	if _, err := m.Run(blocks); err == nil {
+		t.Fatal("permanent faults must fail the run")
+	}
+}
+
+func TestZeroRetriesStillWorksWhenHealthy(t *testing.T) {
+	blocks := testBlocks(t)
+	m := &Master{Workers: 2, Seed: 7} // MaxRetries zero by default
+	if _, err := m.Run(blocks); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,244 @@
+// Package grid implements the distributed DISAR architecture of Figure 1 of
+// the paper: a Master service (DiMaS) that splits the input into elementary
+// elaboration blocks, schedules them, distributes work to computing units
+// and monitors progress; and an Engine service (DiEng) on each unit that
+// executes type-A blocks through the actuarial engine (DiActEng) and type-B
+// blocks through the ALM engine (DiAlmEng). Work is scattered and gathered
+// with the mpi package, following the data-separation pattern of Section
+// III: each node computes local values over a disjoint range of outer
+// scenarios and the master combines them into the global result.
+package grid
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+
+	"disarcloud/internal/actuarial"
+	"disarcloud/internal/alm"
+	"disarcloud/internal/eeb"
+	"disarcloud/internal/mpi"
+)
+
+// Progress is a monitoring event emitted as outer scenarios complete.
+type Progress struct {
+	BlockID string
+	Done    int // outer paths completed so far (across all ranks)
+	Total   int // total outer paths of the block
+}
+
+// Engine is the DiEng node service: it executes block work on one computing
+// unit, delegating to DiActEng (type A) or DiAlmEng (type B).
+type Engine struct {
+	seed uint64
+}
+
+// NewEngine builds a node engine whose valuations are rooted at seed.
+func NewEngine(seed uint64) *Engine { return &Engine{seed: seed} }
+
+// ExecuteTypeA runs an actuarial-valuation block: the probabilized decrement
+// schedules for every representative contract.
+func (e *Engine) ExecuteTypeA(b *eeb.Block) ([]*actuarial.DecrementTable, error) {
+	if b.Type != eeb.ActuarialValuation {
+		return nil, fmt.Errorf("grid: block %s is type %s, want A", b.ID, b.Type)
+	}
+	if err := b.Validate(); err != nil {
+		return nil, err
+	}
+	lapse := alm.DefaultLapse()
+	out := make([]*actuarial.DecrementTable, len(b.Portfolio.Contracts))
+	for i, c := range b.Portfolio.Contracts {
+		eng, err := actuarial.NewEngine(actuarial.ForGender(c.Gender), lapse)
+		if err != nil {
+			return nil, err
+		}
+		dec, err := eng.Decrements(c.Age, c.Term)
+		if err != nil {
+			return nil, fmt.Errorf("grid: block %s contract %d: %w", b.ID, i, err)
+		}
+		out[i] = dec
+	}
+	return out, nil
+}
+
+// ExecuteSlice runs the outer-path range [from, to) of a type-B block,
+// invoking onDone after each completed path when non-nil. The result is the
+// local Y1 values, ready to be gathered by the master.
+func (e *Engine) ExecuteSlice(b *eeb.Block, from, to int, onDone func()) ([]float64, error) {
+	v, err := alm.NewValuer(b, e.seed)
+	if err != nil {
+		return nil, err
+	}
+	out := make([]float64, 0, to-from)
+	for i := from; i < to; i++ {
+		out = append(out, v.ValueOuter(i, b.Inner))
+		if onDone != nil {
+			onDone()
+		}
+	}
+	return out, nil
+}
+
+// executor abstracts the DiEng slice execution so fault-injection tests can
+// wrap it with transient failures.
+type executor interface {
+	ExecuteSlice(b *eeb.Block, from, to int, onDone func()) ([]float64, error)
+}
+
+var _ executor = (*Engine)(nil)
+
+// Master is the DiMaS orchestrator.
+type Master struct {
+	// Workers is the number of computing units (MPI ranks).
+	Workers int
+	// Seed roots every valuation stream; results are independent of Workers.
+	Seed uint64
+	// OnProgress, when non-nil, receives monitoring events. Calls are
+	// serialised by the master.
+	OnProgress func(Progress)
+	// MaxRetries re-executes a failed outer-range slice up to this many
+	// extra times before the whole run fails. The valuation is
+	// deterministic, so a retried slice returns exactly the values the
+	// failed attempt would have — transient worker faults are absorbed
+	// without changing any number.
+	MaxRetries int
+
+	// newExecutor is a test seam for fault injection; nil means NewEngine.
+	newExecutor func(seed uint64) executor
+}
+
+func (m *Master) executor() executor {
+	if m.newExecutor != nil {
+		return m.newExecutor(m.Seed)
+	}
+	return NewEngine(m.Seed)
+}
+
+// executeWithRetry runs one slice, absorbing up to MaxRetries transient
+// failures.
+func (m *Master) executeWithRetry(eng executor, b *eeb.Block, from, to int, onDone func()) ([]float64, error) {
+	var lastErr error
+	for attempt := 0; attempt <= m.MaxRetries; attempt++ {
+		local, err := eng.ExecuteSlice(b, from, to, onDone)
+		if err == nil {
+			return local, nil
+		}
+		lastErr = err
+	}
+	return nil, fmt.Errorf("grid: slice [%d,%d) of %s failed after %d attempts: %w",
+		from, to, b.ID, m.MaxRetries+1, lastErr)
+}
+
+// Run executes every type-B block in blocks across the master's workers and
+// returns the assembled results keyed by block ID. Blocks are processed in
+// decreasing complexity order (longest first); within a block the outer
+// scenarios are scattered evenly across all ranks. Type-A blocks in the
+// input are executed locally first (they are orders of magnitude cheaper),
+// and their presence is required only insofar as the portfolio needs them —
+// the valuer recomputes decrements internally, so A-blocks are validated and
+// skipped in the distribution.
+func (m *Master) Run(blocks []*eeb.Block) (map[string]*alm.Result, error) {
+	if m.Workers <= 0 {
+		return nil, errors.New("grid: master needs at least one worker")
+	}
+	for _, b := range blocks {
+		if err := b.Validate(); err != nil {
+			return nil, err
+		}
+	}
+	typeB := eeb.TypeB(blocks)
+	ordered := make([]*eeb.Block, len(typeB))
+	copy(ordered, typeB)
+	eeb.SortByComplexity(ordered)
+
+	results := make(map[string]*alm.Result, len(ordered))
+	var progressMu sync.Mutex
+	done := make(map[string]int, len(ordered))
+
+	world := mpi.NewWorld(m.Workers)
+	err := world.Run(func(c *mpi.Comm) error {
+		engine := m.executor()
+		// A rank whose slice fails permanently must KEEP participating in
+		// the collectives (gathering a nil marker) — leaving early would
+		// deadlock the healthy ranks. The error is returned after the
+		// lockstep loop completes.
+		var rankErr error
+		for _, b := range ordered {
+			from, to := mpi.SplitRange(b.Outer, c.Size(), c.Rank())
+			var onDone func()
+			if m.OnProgress != nil {
+				blockID, total := b.ID, b.Outer
+				onDone = func() {
+					progressMu.Lock()
+					done[blockID]++
+					ev := Progress{BlockID: blockID, Done: done[blockID], Total: total}
+					progressMu.Unlock()
+					m.OnProgress(ev)
+				}
+			}
+			var local []float64
+			if rankErr == nil {
+				var err error
+				local, err = m.executeWithRetry(engine, b, from, to, onDone)
+				if err != nil {
+					rankErr = err
+					local = nil
+				}
+			}
+			parts, err := c.Gather(0, local)
+			if err != nil {
+				return err
+			}
+			if c.Rank() == 0 && rankErr == nil {
+				y1 := make([]float64, 0, b.Outer)
+				for _, p := range parts {
+					y1 = append(y1, p...)
+				}
+				if len(y1) != b.Outer {
+					// Some rank contributed a failure marker; surface it
+					// from the master side too.
+					rankErr = fmt.Errorf("grid: block %s gathered %d of %d outer values (worker failure)",
+						b.ID, len(y1), b.Outer)
+				} else {
+					v, err := alm.NewValuer(b, m.Seed)
+					if err != nil {
+						return err
+					}
+					res, err := v.Assemble(y1)
+					if err != nil {
+						return err
+					}
+					results[b.ID] = res
+				}
+			}
+			// Keep ranks in lockstep across blocks so the gather origin is
+			// unambiguous.
+			if err := c.Barrier(); err != nil {
+				return err
+			}
+		}
+		return rankErr
+	})
+	if err != nil {
+		return nil, err
+	}
+	return results, nil
+}
+
+// RunSequential executes every type-B block on a single computing unit —
+// the baseline the paper's Figure 4 speedups are measured against.
+func RunSequential(blocks []*eeb.Block, seed uint64) (map[string]*alm.Result, error) {
+	results := make(map[string]*alm.Result)
+	for _, b := range eeb.TypeB(blocks) {
+		v, err := alm.NewValuer(b, seed)
+		if err != nil {
+			return nil, err
+		}
+		res, err := v.ValueNested()
+		if err != nil {
+			return nil, err
+		}
+		results[b.ID] = res
+	}
+	return results, nil
+}

@@ -1,0 +1,182 @@
+package grid
+
+import (
+	"sync/atomic"
+	"testing"
+
+	"disarcloud/internal/actuarial"
+	"disarcloud/internal/eeb"
+	"disarcloud/internal/fund"
+	"disarcloud/internal/policy"
+	"disarcloud/internal/stochastic"
+)
+
+func testMarket(horizon int) stochastic.Config {
+	return stochastic.Config{
+		Horizon:      horizon,
+		StepsPerYear: 1,
+		Rate: stochastic.VasicekParams{
+			R0: 0.02, Speed: 0.3, MeanP: 0.03, MeanQ: 0.025, Sigma: 0.008,
+		},
+		Equities: []stochastic.GBMParams{{S0: 100, Mu: 0.06, Sigma: 0.18}},
+		Credit:   stochastic.CIRParams{L0: 0.008, Speed: 0.5, Mean: 0.012, Sigma: 0.03},
+	}
+}
+
+func testBlocks(t *testing.T) []*eeb.Block {
+	t.Helper()
+	market := testMarket(15)
+	contracts := []policy.Contract{
+		{Kind: policy.Endowment, Age: 45, Gender: actuarial.Male, Term: 10,
+			InsuredSum: 10000, Beta: 0.8, TechnicalRate: 0.02, Count: 50},
+		{Kind: policy.Annuity, Age: 60, Gender: actuarial.Female, Term: 15,
+			InsuredSum: 1500, Beta: 0.8, TechnicalRate: 0.0, Count: 25},
+		{Kind: policy.PureEndowment, Age: 35, Gender: actuarial.Male, Term: 12,
+			InsuredSum: 15000, Beta: 0.9, TechnicalRate: 0.01, Count: 40},
+		{Kind: policy.TermInsurance, Age: 40, Gender: actuarial.Male, Term: 8,
+			InsuredSum: 80000, Beta: 0.8, TechnicalRate: 0.0, Count: 60},
+	}
+	p := &policy.Portfolio{Name: "grid-test", Contracts: contracts}
+	blocks, err := eeb.SplitPortfolio(p, fund.TypicalItalianFund(4, market), market,
+		eeb.SplitSpec{MaxContractsPerBlock: 2, Outer: 30, Inner: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return blocks
+}
+
+func TestDistributedMatchesSequential(t *testing.T) {
+	blocks := testBlocks(t)
+	seq, err := RunSequential(blocks, 42)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, workers := range []int{1, 2, 3, 7} {
+		m := &Master{Workers: workers, Seed: 42}
+		dist, err := m.Run(blocks)
+		if err != nil {
+			t.Fatalf("workers=%d: %v", workers, err)
+		}
+		if len(dist) != len(seq) {
+			t.Fatalf("workers=%d: %d results, want %d", workers, len(dist), len(seq))
+		}
+		for id, want := range seq {
+			got, ok := dist[id]
+			if !ok {
+				t.Fatalf("workers=%d: missing block %s", workers, id)
+			}
+			if got.BEL != want.BEL || got.SCR != want.SCR {
+				t.Fatalf("workers=%d block %s: BEL %v/%v SCR %v/%v — distribution changed the numbers",
+					workers, id, got.BEL, want.BEL, got.SCR, want.SCR)
+			}
+		}
+	}
+}
+
+func TestMasterValidation(t *testing.T) {
+	m := &Master{Workers: 0, Seed: 1}
+	if _, err := m.Run(testBlocks(t)); err == nil {
+		t.Fatal("zero workers accepted")
+	}
+	bad := testBlocks(t)
+	bad[1].Outer = 0
+	m = &Master{Workers: 2, Seed: 1}
+	if _, err := m.Run(bad); err == nil {
+		t.Fatal("invalid block accepted")
+	}
+}
+
+func TestProgressMonitoring(t *testing.T) {
+	blocks := testBlocks(t)
+	var events atomic.Int64
+	finals := make(map[string]int)
+	m := &Master{
+		Workers: 3,
+		Seed:    7,
+		OnProgress: func(p Progress) {
+			events.Add(1)
+			if p.Done == p.Total {
+				finals[p.BlockID] = p.Total
+			}
+		},
+	}
+	if _, err := m.Run(blocks); err != nil {
+		t.Fatal(err)
+	}
+	typeB := eeb.TypeB(blocks)
+	wantEvents := 0
+	for _, b := range typeB {
+		wantEvents += b.Outer
+	}
+	if got := int(events.Load()); got != wantEvents {
+		t.Fatalf("progress events = %d, want %d", got, wantEvents)
+	}
+	if len(finals) != len(typeB) {
+		t.Fatalf("completion events for %d blocks, want %d", len(finals), len(typeB))
+	}
+}
+
+func TestExecuteTypeA(t *testing.T) {
+	blocks := testBlocks(t)
+	var typeA *eeb.Block
+	for _, b := range blocks {
+		if b.Type == eeb.ActuarialValuation {
+			typeA = b
+			break
+		}
+	}
+	if typeA == nil {
+		t.Fatal("no type-A block in split")
+	}
+	eng := NewEngine(1)
+	tables, err := eng.ExecuteTypeA(typeA)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tables) != typeA.Portfolio.NumRepresentative() {
+		t.Fatalf("%d tables for %d contracts", len(tables), typeA.Portfolio.NumRepresentative())
+	}
+	for i, table := range tables {
+		if got := table.TotalProbability(); got < 0.999999 || got > 1.000001 {
+			t.Fatalf("table %d probability %v", i, got)
+		}
+	}
+	// Type-B block rejected.
+	if _, err := eng.ExecuteTypeA(eeb.TypeB(blocks)[0]); err == nil {
+		t.Fatal("type-B block accepted by ExecuteTypeA")
+	}
+}
+
+func TestExecuteSliceMatchesRange(t *testing.T) {
+	b := eeb.TypeB(testBlocks(t))[0]
+	eng := NewEngine(9)
+	out, err := eng.ExecuteSlice(b, 3, 9, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(out) != 6 {
+		t.Fatalf("slice length %d, want 6", len(out))
+	}
+	count := 0
+	if _, err := eng.ExecuteSlice(b, 0, 4, func() { count++ }); err != nil {
+		t.Fatal(err)
+	}
+	if count != 4 {
+		t.Fatalf("onDone fired %d times, want 4", count)
+	}
+}
+
+func TestMoreWorkersThanOuterPaths(t *testing.T) {
+	blocks := testBlocks(t)
+	m := &Master{Workers: 64, Seed: 42} // more ranks than outer paths
+	dist, err := m.Run(blocks)
+	if err != nil {
+		t.Fatal(err)
+	}
+	seq, _ := RunSequential(blocks, 42)
+	for id, want := range seq {
+		if dist[id].BEL != want.BEL {
+			t.Fatalf("block %s BEL mismatch with oversubscribed workers", id)
+		}
+	}
+}

@@ -1,0 +1,180 @@
+// Package kb implements the knowledge base of the self-optimizing loop: a
+// thread-safe store of execution samples (architecture, node count,
+// characteristic parameters, measured seconds) that grows with every real
+// simulation and feeds the per-architecture training sets of the ML
+// prediction models (Section III of the paper).
+package kb
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"os"
+	"sync"
+
+	"disarcloud/internal/eeb"
+	"disarcloud/internal/ml"
+)
+
+// Sample is one recorded execution of a type-B workload on a cloud deploy.
+type Sample struct {
+	Architecture string                   `json:"architecture"`
+	Nodes        int                      `json:"nodes"`
+	Params       eeb.CharacteristicParams `json:"params"`
+	Seconds      float64                  `json:"seconds"`
+}
+
+// Validate reports whether the sample is well-formed.
+func (s Sample) Validate() error {
+	if s.Architecture == "" {
+		return errors.New("kb: sample without architecture")
+	}
+	if s.Nodes <= 0 {
+		return errors.New("kb: sample with non-positive node count")
+	}
+	if err := s.Params.Validate(); err != nil {
+		return err
+	}
+	if s.Seconds <= 0 {
+		return errors.New("kb: sample with non-positive duration")
+	}
+	return nil
+}
+
+// KB is the sample store. The zero value is ready to use.
+type KB struct {
+	mu      sync.RWMutex
+	samples []Sample
+}
+
+// New returns an empty knowledge base.
+func New() *KB { return &KB{} }
+
+// Add validates and appends a sample.
+func (k *KB) Add(s Sample) error {
+	if err := s.Validate(); err != nil {
+		return err
+	}
+	k.mu.Lock()
+	defer k.mu.Unlock()
+	k.samples = append(k.samples, s)
+	return nil
+}
+
+// Len returns the number of stored samples.
+func (k *KB) Len() int {
+	k.mu.RLock()
+	defer k.mu.RUnlock()
+	return len(k.samples)
+}
+
+// Samples returns a copy of all samples.
+func (k *KB) Samples() []Sample {
+	k.mu.RLock()
+	defer k.mu.RUnlock()
+	return append([]Sample(nil), k.samples...)
+}
+
+// ByArchitecture returns the samples recorded on one instance type.
+func (k *KB) ByArchitecture(name string) []Sample {
+	k.mu.RLock()
+	defer k.mu.RUnlock()
+	var out []Sample
+	for _, s := range k.samples {
+		if s.Architecture == name {
+			out = append(out, s)
+		}
+	}
+	return out
+}
+
+// Architectures returns the distinct architecture names present, in first-
+// seen order.
+func (k *KB) Architectures() []string {
+	k.mu.RLock()
+	defer k.mu.RUnlock()
+	seen := map[string]bool{}
+	var out []string
+	for _, s := range k.samples {
+		if !seen[s.Architecture] {
+			seen[s.Architecture] = true
+			out = append(out, s.Architecture)
+		}
+	}
+	return out
+}
+
+// FeatureNames returns the ML feature schema of Dataset rows:
+// the node count followed by the characteristic parameters.
+func FeatureNames() []string {
+	return append([]string{"nodes"}, eeb.FeatureNames()...)
+}
+
+// Features returns the ML feature vector of a sample.
+func (s Sample) Features() []float64 {
+	return append([]float64{float64(s.Nodes)}, s.Params.Features()...)
+}
+
+// Dataset builds the training set for one architecture: features are
+// [nodes, contracts, horizon, assets, riskfactors, outer, inner], target is
+// the measured seconds. The paper trains one model set per architecture
+// ("each of the six training set").
+func (k *KB) Dataset(architecture string) *ml.Dataset {
+	d := ml.NewDataset(FeatureNames())
+	for _, s := range k.ByArchitecture(architecture) {
+		// Add cannot fail here: features always match the schema.
+		if err := d.Add(s.Features(), s.Seconds); err != nil {
+			panic(fmt.Sprintf("kb: internal schema error: %v", err))
+		}
+	}
+	return d
+}
+
+// Save writes the knowledge base as JSON.
+func (k *KB) Save(w io.Writer) error {
+	k.mu.RLock()
+	defer k.mu.RUnlock()
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", " ")
+	return enc.Encode(k.samples)
+}
+
+// Load reads a knowledge base previously written by Save, validating every
+// sample.
+func Load(r io.Reader) (*KB, error) {
+	var samples []Sample
+	if err := json.NewDecoder(r).Decode(&samples); err != nil {
+		return nil, fmt.Errorf("kb: decode: %w", err)
+	}
+	k := New()
+	for i, s := range samples {
+		if err := k.Add(s); err != nil {
+			return nil, fmt.Errorf("kb: sample %d: %w", i, err)
+		}
+	}
+	return k, nil
+}
+
+// SaveFile writes the knowledge base to a file path.
+func (k *KB) SaveFile(path string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return fmt.Errorf("kb: %w", err)
+	}
+	defer f.Close()
+	if err := k.Save(f); err != nil {
+		return err
+	}
+	return f.Close()
+}
+
+// LoadFile reads a knowledge base from a file path.
+func LoadFile(path string) (*KB, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, fmt.Errorf("kb: %w", err)
+	}
+	defer f.Close()
+	return Load(f)
+}

@@ -1,0 +1,83 @@
+package ml
+
+import (
+	"testing"
+
+	"disarcloud/internal/finmath"
+)
+
+func benchDataset(n int) *Dataset {
+	return execTimeDataset(finmath.NewRNG(1), n)
+}
+
+func benchmarkTrain(b *testing.B, build func() Model, n int) {
+	d := benchDataset(n)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		m := build()
+		if err := m.Train(d); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func benchmarkPredict(b *testing.B, build func() Model, n int) {
+	d := benchDataset(n)
+	m := build()
+	if err := m.Train(d); err != nil {
+		b.Fatal(err)
+	}
+	probe := []float64{4, 30, 20}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = m.Predict(probe)
+	}
+}
+
+func BenchmarkMLPTrain250(b *testing.B) {
+	benchmarkTrain(b, func() Model { return NewMLP(1) }, 250)
+}
+
+func BenchmarkRandomTreeTrain250(b *testing.B) {
+	benchmarkTrain(b, func() Model { return NewRandomTree(1) }, 250)
+}
+
+func BenchmarkRandomForestTrain250(b *testing.B) {
+	benchmarkTrain(b, func() Model { return NewRandomForest(1) }, 250)
+}
+
+func BenchmarkIBkTrain250(b *testing.B) {
+	benchmarkTrain(b, func() Model { return NewIBk() }, 250)
+}
+
+func BenchmarkKStarTrain250(b *testing.B) {
+	benchmarkTrain(b, func() Model { return NewKStar() }, 250)
+}
+
+func BenchmarkDecisionTableTrain250(b *testing.B) {
+	benchmarkTrain(b, func() Model { return NewDecisionTable() }, 250)
+}
+
+func BenchmarkMLPPredict(b *testing.B) {
+	benchmarkPredict(b, func() Model { return NewMLP(1) }, 250)
+}
+
+func BenchmarkRandomForestPredict(b *testing.B) {
+	benchmarkPredict(b, func() Model { return NewRandomForest(1) }, 250)
+}
+
+func BenchmarkIBkPredict(b *testing.B) {
+	benchmarkPredict(b, func() Model { return NewIBk() }, 250)
+}
+
+func BenchmarkKStarPredict(b *testing.B) {
+	benchmarkPredict(b, func() Model { return NewKStar() }, 250)
+}
+
+func BenchmarkEnsembleTrain250(b *testing.B) {
+	benchmarkTrain(b, func() Model { return NewEnsemble(1) }, 250)
+}
+
+func BenchmarkEnsemblePredict(b *testing.B) {
+	benchmarkPredict(b, func() Model { return NewEnsemble(1) }, 250)
+}

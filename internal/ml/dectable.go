@@ -1,0 +1,207 @@
+package ml
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"disarcloud/internal/finmath"
+)
+
+// DecisionTable is the Decision Table Majority learner (Kohavi 1995) as in
+// Weka: a lookup table over a selected feature subset, with the subset
+// chosen by forward best-first search driven by leave-one-out
+// cross-validation. Numeric features are discretised into equal-frequency
+// bins; cells predict the mean target of their training instances, and
+// unmatched cells fall back to the global mean (Weka's non-IBk fallback).
+type DecisionTable struct {
+	Bins int // equal-frequency bins per feature; 0 = 8
+	// MaxStale stops the search after this many non-improving expansions
+	// (Weka's best-first patience); 0 = 5.
+	MaxStale int
+
+	selected   []int
+	edges      [][]float64 // per original feature: bin upper edges
+	table      map[string]float64
+	globalMean float64
+	trained    bool
+}
+
+// NewDecisionTable returns a decision table with Weka-like defaults.
+func NewDecisionTable() *DecisionTable { return &DecisionTable{} }
+
+// Name implements Model.
+func (m *DecisionTable) Name() string { return "DT" }
+
+// Train implements Model.
+func (m *DecisionTable) Train(d *Dataset) error {
+	if d.Len() == 0 {
+		return ErrEmptyDataset
+	}
+	bins := m.Bins
+	if bins <= 0 {
+		bins = 8
+	}
+	maxStale := m.MaxStale
+	if maxStale <= 0 {
+		maxStale = 5
+	}
+	dim := d.NumFeatures()
+	m.globalMean = finmath.Mean(d.Targets())
+
+	// Equal-frequency bin edges per feature.
+	m.edges = make([][]float64, dim)
+	for f := 0; f < dim; f++ {
+		vals := make([]float64, d.Len())
+		for i, in := range d.Instances {
+			vals[i] = in.Features[f]
+		}
+		sort.Float64s(vals)
+		edges := make([]float64, 0, bins-1)
+		for b := 1; b < bins; b++ {
+			edges = append(edges, finmath.QuantileSorted(vals, float64(b)/float64(bins)))
+		}
+		m.edges[f] = edges
+	}
+
+	// Pre-discretise all instances once.
+	coded := make([][]int, d.Len())
+	for i, in := range d.Instances {
+		coded[i] = make([]int, dim)
+		for f := 0; f < dim; f++ {
+			coded[i][f] = m.binOf(f, in.Features[f])
+		}
+	}
+
+	// Greedy forward best-first search on LOO-CV mean absolute error.
+	selected := []int{}
+	bestScore := m.looScore(d, coded, selected)
+	stale := 0
+	inSet := make([]bool, dim)
+	for stale < maxStale {
+		bestFeat := -1
+		bestFeatScore := bestScore
+		for f := 0; f < dim; f++ {
+			if inSet[f] {
+				continue
+			}
+			cand := append(append([]int{}, selected...), f)
+			score := m.looScore(d, coded, cand)
+			if score < bestFeatScore {
+				bestFeat, bestFeatScore = f, score
+			}
+		}
+		if bestFeat < 0 {
+			stale++
+			// No single addition improves; with a pure greedy expansion
+			// there is nothing else to try.
+			break
+		}
+		selected = append(selected, bestFeat)
+		inSet[bestFeat] = true
+		bestScore = bestFeatScore
+		stale = 0
+	}
+	m.selected = selected
+
+	// Final table over the chosen subset.
+	m.table = make(map[string]float64)
+	counts := make(map[string]int)
+	sums := make(map[string]float64)
+	for i, in := range d.Instances {
+		k := cellKey(coded[i], selected)
+		sums[k] += in.Target
+		counts[k]++
+	}
+	for k, s := range sums {
+		m.table[k] = s / float64(counts[k])
+	}
+	m.trained = true
+	return nil
+}
+
+// looScore returns the leave-one-out MAE of the table induced by the given
+// feature subset.
+func (m *DecisionTable) looScore(d *Dataset, coded [][]int, subset []int) float64 {
+	sums := make(map[string]float64)
+	counts := make(map[string]int)
+	keys := make([]string, d.Len())
+	for i, in := range d.Instances {
+		k := cellKey(coded[i], subset)
+		keys[i] = k
+		sums[k] += in.Target
+		counts[k]++
+	}
+	totalSum := 0.0
+	for _, in := range d.Instances {
+		totalSum += in.Target
+	}
+	n := d.Len()
+	mae := 0.0
+	for i, in := range d.Instances {
+		k := keys[i]
+		var pred float64
+		if counts[k] > 1 {
+			pred = (sums[k] - in.Target) / float64(counts[k]-1)
+		} else if n > 1 {
+			pred = (totalSum - in.Target) / float64(n-1)
+		} else {
+			pred = in.Target
+		}
+		diff := pred - in.Target
+		if diff < 0 {
+			diff = -diff
+		}
+		mae += diff
+	}
+	return mae / float64(n)
+}
+
+func (m *DecisionTable) binOf(feature int, v float64) int {
+	edges := m.edges[feature]
+	// Binary search over the (small) sorted edge list.
+	lo, hi := 0, len(edges)
+	for lo < hi {
+		mid := (lo + hi) / 2
+		if v <= edges[mid] {
+			hi = mid
+		} else {
+			lo = mid + 1
+		}
+	}
+	return lo
+}
+
+func cellKey(codes []int, subset []int) string {
+	if len(subset) == 0 {
+		return ""
+	}
+	var b strings.Builder
+	for _, f := range subset {
+		fmt.Fprintf(&b, "%d,", codes[f])
+	}
+	return b.String()
+}
+
+// Predict implements Model.
+func (m *DecisionTable) Predict(features []float64) float64 {
+	if !m.trained {
+		return 0
+	}
+	codes := make([]int, len(features))
+	for f := range features {
+		codes[f] = m.binOf(f, features[f])
+	}
+	if v, ok := m.table[cellKey(codes, m.selected)]; ok {
+		return v
+	}
+	return m.globalMean
+}
+
+// SelectedFeatures returns the indices chosen by the search (for tests and
+// diagnostics).
+func (m *DecisionTable) SelectedFeatures() []int {
+	return append([]int(nil), m.selected...)
+}
+
+var _ Model = (*DecisionTable)(nil)

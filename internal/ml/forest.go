@@ -1,0 +1,67 @@
+package ml
+
+import (
+	"fmt"
+
+	"disarcloud/internal/finmath"
+)
+
+// RandomForest is a bagged ensemble of RandomTrees (Breiman 2001, the
+// paper's "RF"): each tree trains on a bootstrap resample of the data with
+// a random feature subset per split, and predictions are averaged.
+type RandomForest struct {
+	Trees   int // 0 = 60
+	K       int // per-split feature subset, passed to the trees
+	MinLeaf int
+	Seed    uint64
+
+	members []*RandomTree
+	trained bool
+}
+
+// NewRandomForest returns a forest with defaults rooted at seed.
+func NewRandomForest(seed uint64) *RandomForest { return &RandomForest{Seed: seed} }
+
+// Name implements Model.
+func (f *RandomForest) Name() string { return "RF" }
+
+// Train implements Model.
+func (f *RandomForest) Train(d *Dataset) error {
+	if d.Len() == 0 {
+		return ErrEmptyDataset
+	}
+	nTrees := f.Trees
+	if nTrees <= 0 {
+		nTrees = 60
+	}
+	rng := finmath.NewRNG(f.Seed)
+	f.members = make([]*RandomTree, nTrees)
+	for t := 0; t < nTrees; t++ {
+		boot := NewDataset(d.Names)
+		boot.Instances = make([]Instance, d.Len())
+		for i := range boot.Instances {
+			boot.Instances[i] = d.Instances[rng.Intn(d.Len())]
+		}
+		tree := &RandomTree{K: f.K, MinLeaf: f.MinLeaf, Seed: rng.Uint64()}
+		if err := tree.Train(boot); err != nil {
+			return fmt.Errorf("ml: forest tree %d: %w", t, err)
+		}
+		f.members[t] = tree
+	}
+	f.trained = true
+	return nil
+}
+
+// Predict implements Model.
+func (f *RandomForest) Predict(features []float64) float64 {
+	if !f.trained {
+		return 0
+	}
+	sum := 0.0
+	for _, t := range f.members {
+		sum += t.Predict(features)
+	}
+	return sum / float64(len(f.members))
+}
+
+var _ Model = (*RandomForest)(nil)

@@ -1,0 +1,76 @@
+package ml
+
+import (
+	"fmt"
+
+	"disarcloud/internal/finmath"
+)
+
+// LinearRegression is an ordinary-least-squares baseline with a small ridge
+// term for stability. It is NOT part of the paper's six-learner suite — it
+// exists as the ablation baseline quantifying why the paper reaches for
+// nonlinear learners: execution time is strongly non-linear in the node
+// count (hyperbolic Amdahl term), which a linear model cannot represent.
+type LinearRegression struct {
+	// Ridge is the L2 penalty; 0 selects a tiny default.
+	Ridge float64
+
+	coeffs []float64 // intercept first
+	norm   *normalizer
+	tMean  float64
+}
+
+// NewLinearRegression returns an OLS baseline.
+func NewLinearRegression() *LinearRegression { return &LinearRegression{} }
+
+// Name implements Model.
+func (m *LinearRegression) Name() string { return "OLS" }
+
+// Train implements Model.
+func (m *LinearRegression) Train(d *Dataset) error {
+	if d.Len() == 0 {
+		return ErrEmptyDataset
+	}
+	dim := d.NumFeatures()
+	if d.Len() < dim+1 {
+		return fmt.Errorf("ml: OLS needs at least %d instances, have %d", dim+1, d.Len())
+	}
+	m.norm = fitNormalizer(d)
+	m.tMean = finmath.Mean(d.Targets())
+
+	rows := make([][]float64, d.Len())
+	rhs := make([]float64, d.Len())
+	for i, in := range d.Instances {
+		x := m.norm.apply(in.Features)
+		row := make([]float64, dim+1)
+		row[0] = 1
+		copy(row[1:], x)
+		rows[i] = row
+		rhs[i] = in.Target - m.tMean
+	}
+	ridge := m.Ridge
+	if ridge <= 0 {
+		ridge = 1e-8 * float64(d.Len())
+	}
+	coeffs, err := finmath.SolveRidge(finmath.NewMatrixFrom(rows), rhs, ridge)
+	if err != nil {
+		return fmt.Errorf("ml: OLS: %w", err)
+	}
+	m.coeffs = coeffs
+	return nil
+}
+
+// Predict implements Model.
+func (m *LinearRegression) Predict(features []float64) float64 {
+	if m.coeffs == nil {
+		return 0
+	}
+	x := m.norm.apply(features)
+	out := m.tMean + m.coeffs[0]
+	for k, v := range x {
+		out += m.coeffs[k+1] * v
+	}
+	return out
+}
+
+var _ Model = (*LinearRegression)(nil)

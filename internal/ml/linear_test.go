@@ -1,0 +1,71 @@
+package ml
+
+import (
+	"math"
+	"testing"
+
+	"disarcloud/internal/finmath"
+)
+
+func TestLinearRegressionRecoversPlane(t *testing.T) {
+	d := linearDataset(finmath.NewRNG(1), 300, 0.3)
+	train, test := d.Split(finmath.NewRNG(2), 0.5)
+	m := NewLinearRegression()
+	if err := m.Train(train); err != nil {
+		t.Fatal(err)
+	}
+	ev, err := Evaluate(m, test)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ev.R2 < 0.98 {
+		t.Fatalf("OLS R2 = %v on an exactly linear problem", ev.R2)
+	}
+}
+
+func TestLinearRegressionUnderfitsAmdahl(t *testing.T) {
+	// The ablation claim: on the 1/n execution-time response the linear
+	// baseline is clearly worse than the nonlinear suite members.
+	d := execTimeDataset(finmath.NewRNG(3), 600)
+	train, test := d.Split(finmath.NewRNG(4), 0.4)
+	ols := NewLinearRegression()
+	if err := ols.Train(train); err != nil {
+		t.Fatal(err)
+	}
+	rf := NewRandomForest(1)
+	if err := rf.Train(train); err != nil {
+		t.Fatal(err)
+	}
+	evOLS, _ := Evaluate(ols, test)
+	evRF, _ := Evaluate(rf, test)
+	if evOLS.MAE <= evRF.MAE {
+		t.Fatalf("OLS (%v) not worse than RF (%v) on the Amdahl-shaped response",
+			evOLS.MAE, evRF.MAE)
+	}
+}
+
+func TestLinearRegressionValidation(t *testing.T) {
+	m := NewLinearRegression()
+	if err := m.Train(NewDataset(nil)); err == nil {
+		t.Fatal("empty dataset accepted")
+	}
+	tiny := NewDataset(nil)
+	_ = tiny.Add([]float64{1, 2, 3}, 1)
+	if err := m.Train(tiny); err == nil {
+		t.Fatal("underdetermined dataset accepted")
+	}
+	if m.Predict([]float64{1, 2, 3}) != 0 {
+		t.Fatal("untrained predict should be 0")
+	}
+}
+
+func TestLinearRegressionDeterministic(t *testing.T) {
+	d := linearDataset(finmath.NewRNG(5), 100, 0.1)
+	a, b := NewLinearRegression(), NewLinearRegression()
+	_ = a.Train(d)
+	_ = b.Train(d)
+	probe := []float64{3, 1}
+	if math.Abs(a.Predict(probe)-b.Predict(probe)) > 1e-12 {
+		t.Fatal("OLS not deterministic")
+	}
+}

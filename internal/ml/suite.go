@@ -1,0 +1,25 @@
+package ml
+
+// NewSuite returns fresh untrained instances of the six learners the paper
+// selects (Section III): MLP, Random Tree, Random Forest, IBk, KStar and
+// Decision Table, each rooted at a distinct stream of the given seed.
+func NewSuite(seed uint64) []Model {
+	return []Model{
+		NewMLP(seed),
+		NewRandomTree(seed + 1),
+		NewRandomForest(seed + 2),
+		NewIBk(),
+		NewKStar(),
+		NewDecisionTable(),
+	}
+}
+
+// SuiteNames returns the learner names in the order produced by NewSuite.
+func SuiteNames() []string {
+	return []string{"MLP", "RT", "RF", "IBk", "KStar", "DT"}
+}
+
+// NewEnsemble returns the paper's averaging ensemble over a fresh suite.
+func NewEnsemble(seed uint64) *Ensemble {
+	return &Ensemble{Models: NewSuite(seed)}
+}

@@ -1,0 +1,198 @@
+package ml
+
+import (
+	"math"
+	"sort"
+
+	"disarcloud/internal/finmath"
+)
+
+// RandomTree is a regression tree that, like Weka's RandomTree, considers a
+// random subset of K features at each split (variance-reduction criterion)
+// and grows without pruning down to MinLeaf instances. It is both a usable
+// learner on its own (the paper's "RT") and the base learner of the random
+// forest.
+type RandomTree struct {
+	K        int // features tried per split; 0 = ceil(sqrt(dim))
+	MinLeaf  int // minimum instances per leaf; 0 = 2
+	MaxDepth int // 0 = unlimited
+	Seed     uint64
+
+	root    *treeNode
+	trained bool
+}
+
+// NewRandomTree returns a tree with Weka-like defaults rooted at seed.
+func NewRandomTree(seed uint64) *RandomTree { return &RandomTree{Seed: seed} }
+
+// Name implements Model.
+func (t *RandomTree) Name() string { return "RT" }
+
+type treeNode struct {
+	feature   int // -1 for leaf
+	threshold float64
+	left      *treeNode
+	right     *treeNode
+	value     float64
+}
+
+// Train implements Model.
+func (t *RandomTree) Train(d *Dataset) error {
+	if d.Len() == 0 {
+		return ErrEmptyDataset
+	}
+	k := t.K
+	if k <= 0 {
+		k = int(math.Ceil(math.Sqrt(float64(d.NumFeatures()))))
+	}
+	minLeaf := t.MinLeaf
+	if minLeaf <= 0 {
+		minLeaf = 2
+	}
+	rng := finmath.NewRNG(t.Seed)
+	idx := make([]int, d.Len())
+	for i := range idx {
+		idx[i] = i
+	}
+	t.root = t.grow(d, idx, k, minLeaf, 0, rng)
+	t.trained = true
+	return nil
+}
+
+func (t *RandomTree) grow(d *Dataset, idx []int, k, minLeaf, depth int, rng *finmath.RNG) *treeNode {
+	if len(idx) < 2*minLeaf || (t.MaxDepth > 0 && depth >= t.MaxDepth) || constantTargets(d, idx) {
+		return &treeNode{feature: -1, value: meanTarget(d, idx)}
+	}
+	dim := d.NumFeatures()
+	bestFeat, bestThr, bestScore := -1, 0.0, math.Inf(1)
+
+	// Random feature subset without replacement.
+	perm := rng.Perm(dim)
+	tried := 0
+	for _, f := range perm {
+		if tried >= k {
+			break
+		}
+		tried++
+		thr, score, ok := bestSplitOnFeature(d, idx, f, minLeaf)
+		if ok && score < bestScore {
+			bestFeat, bestThr, bestScore = f, thr, score
+		}
+	}
+	if bestFeat < 0 {
+		return &treeNode{feature: -1, value: meanTarget(d, idx)}
+	}
+	var left, right []int
+	for _, i := range idx {
+		if d.Instances[i].Features[bestFeat] <= bestThr {
+			left = append(left, i)
+		} else {
+			right = append(right, i)
+		}
+	}
+	if len(left) < minLeaf || len(right) < minLeaf {
+		return &treeNode{feature: -1, value: meanTarget(d, idx)}
+	}
+	return &treeNode{
+		feature:   bestFeat,
+		threshold: bestThr,
+		left:      t.grow(d, left, k, minLeaf, depth+1, rng),
+		right:     t.grow(d, right, k, minLeaf, depth+1, rng),
+	}
+}
+
+// bestSplitOnFeature scans the sorted unique values of feature f and returns
+// the threshold minimising the weighted sum of child variances (total sum of
+// squared deviations), requiring minLeaf instances on each side.
+func bestSplitOnFeature(d *Dataset, idx []int, f, minLeaf int) (thr, score float64, ok bool) {
+	type pair struct{ x, y float64 }
+	pairs := make([]pair, len(idx))
+	for i, id := range idx {
+		pairs[i] = pair{d.Instances[id].Features[f], d.Instances[id].Target}
+	}
+	sort.Slice(pairs, func(i, j int) bool { return pairs[i].x < pairs[j].x })
+
+	// Prefix sums for O(n) variance-at-split evaluation.
+	n := len(pairs)
+	prefSum := make([]float64, n+1)
+	prefSq := make([]float64, n+1)
+	for i, p := range pairs {
+		prefSum[i+1] = prefSum[i] + p.y
+		prefSq[i+1] = prefSq[i] + p.y*p.y
+	}
+	sse := func(lo, hi int) float64 { // [lo, hi)
+		cnt := float64(hi - lo)
+		if cnt == 0 {
+			return 0
+		}
+		s := prefSum[hi] - prefSum[lo]
+		sq := prefSq[hi] - prefSq[lo]
+		return sq - s*s/cnt
+	}
+
+	best := math.Inf(1)
+	bestThr := 0.0
+	found := false
+	for i := minLeaf; i <= n-minLeaf; i++ {
+		if pairs[i-1].x == pairs[i].x {
+			continue // cannot split between equal values
+		}
+		sc := sse(0, i) + sse(i, n)
+		if sc < best {
+			best = sc
+			bestThr = (pairs[i-1].x + pairs[i].x) / 2
+			found = true
+		}
+	}
+	return bestThr, best, found
+}
+
+func meanTarget(d *Dataset, idx []int) float64 {
+	s := 0.0
+	for _, i := range idx {
+		s += d.Instances[i].Target
+	}
+	return s / float64(len(idx))
+}
+
+func constantTargets(d *Dataset, idx []int) bool {
+	first := d.Instances[idx[0]].Target
+	for _, i := range idx[1:] {
+		if d.Instances[i].Target != first {
+			return false
+		}
+	}
+	return true
+}
+
+// Predict implements Model.
+func (t *RandomTree) Predict(features []float64) float64 {
+	if !t.trained {
+		return 0
+	}
+	node := t.root
+	for node.feature >= 0 {
+		if features[node.feature] <= node.threshold {
+			node = node.left
+		} else {
+			node = node.right
+		}
+	}
+	return node.value
+}
+
+// Depth returns the tree depth (useful in tests).
+func (t *RandomTree) Depth() int { return depthOf(t.root) }
+
+func depthOf(n *treeNode) int {
+	if n == nil || n.feature < 0 {
+		return 0
+	}
+	l, r := depthOf(n.left), depthOf(n.right)
+	if l > r {
+		return l + 1
+	}
+	return r + 1
+}
+
+var _ Model = (*RandomTree)(nil)

@@ -1,0 +1,93 @@
+package mpi
+
+import "testing"
+
+// BenchmarkSendRecv measures one point-to-point round trip.
+func BenchmarkSendRecv(b *testing.B) {
+	w := NewWorld(2)
+	done := make(chan struct{})
+	go func() {
+		c := w.Rank(1)
+		for i := 0; i < b.N; i++ {
+			v, _ := c.Recv(0, TagUser)
+			_ = c.Send(0, TagUser, v)
+		}
+		close(done)
+	}()
+	c := w.Rank(0)
+	payload := make([]float64, 128)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = c.Send(1, TagUser, payload)
+		_, _ = c.Recv(1, TagUser)
+	}
+	<-done
+}
+
+// BenchmarkBarrier8 measures a full 8-rank barrier.
+func BenchmarkBarrier8(b *testing.B) {
+	w := NewWorld(8)
+	b.ResetTimer()
+	err := w.Run(func(c *Comm) error {
+		for i := 0; i < b.N; i++ {
+			if err := c.Barrier(); err != nil {
+				return err
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+}
+
+// BenchmarkScatterGather8 measures the scatter+gather pattern of one
+// distributed block over 8 ranks.
+func BenchmarkScatterGather8(b *testing.B) {
+	w := NewWorld(8)
+	parts := make([][]float64, 8)
+	for i := range parts {
+		parts[i] = make([]float64, 125)
+	}
+	b.ResetTimer()
+	err := w.Run(func(c *Comm) error {
+		for i := 0; i < b.N; i++ {
+			var p [][]float64
+			if c.Rank() == 0 {
+				p = parts
+			}
+			mine, err := c.Scatter(0, p)
+			if err != nil {
+				return err
+			}
+			if _, err := c.Gather(0, mine); err != nil {
+				return err
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+}
+
+// BenchmarkAllreduce8 measures an 8-rank sum allreduce of a 64-vector.
+func BenchmarkAllreduce8(b *testing.B) {
+	w := NewWorld(8)
+	b.ResetTimer()
+	err := w.Run(func(c *Comm) error {
+		local := make([]float64, 64)
+		for i := range local {
+			local[i] = float64(c.Rank())
+		}
+		for i := 0; i < b.N; i++ {
+			if _, err := c.Allreduce(local, SumOp); err != nil {
+				return err
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+}

@@ -1,0 +1,306 @@
+// Package mpi provides a Message Passing Interface-style communication
+// substrate for the distributed DISAR computation: a fixed-size world of
+// ranks with point-to-point sends/receives and the collective operations the
+// valuation needs (Barrier, Bcast, Scatter, Gather, Reduce, Allreduce). The
+// paper distributes type-B EEBs with MPI primitives; this package supplies
+// the same data-separation pattern over Go channels, so the distributed
+// engine actually runs concurrently inside one process.
+package mpi
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+)
+
+// Tag distinguishes message streams between the same pair of ranks.
+type Tag int
+
+// Reserved tags used by the collectives; user code should use tags >= TagUser.
+const (
+	tagBarrier Tag = -1 - iota
+	tagBcast
+	tagScatter
+	tagGather
+	tagReduce
+	// TagUser is the first tag value free for application use.
+	TagUser Tag = 0
+)
+
+type packet struct {
+	tag     Tag
+	payload any
+}
+
+// World is a communicator domain of Size ranks wired all-to-all with
+// buffered channels. Create one with NewWorld, then either call Run to spawn
+// one goroutine per rank or wire ranks into existing goroutines with Rank.
+type World struct {
+	size  int
+	chans [][]chan packet // chans[from][to]
+}
+
+// NewWorld builds a world of n ranks. It panics if n <= 0.
+func NewWorld(n int) *World {
+	if n <= 0 {
+		panic("mpi: world size must be positive")
+	}
+	w := &World{size: n, chans: make([][]chan packet, n)}
+	for i := range w.chans {
+		w.chans[i] = make([]chan packet, n)
+		for j := range w.chans[i] {
+			w.chans[i][j] = make(chan packet, 64)
+		}
+	}
+	return w
+}
+
+// Size returns the number of ranks.
+func (w *World) Size() int { return w.size }
+
+// Rank returns the communicator endpoint for rank i.
+func (w *World) Rank(i int) *Comm {
+	if i < 0 || i >= w.size {
+		panic(fmt.Sprintf("mpi: rank %d outside world of size %d", i, w.size))
+	}
+	return &Comm{rank: i, world: w}
+}
+
+// Run spawns fn once per rank, each in its own goroutine, and waits for all
+// of them. The first non-nil error is returned (all goroutines are always
+// waited for, so no rank leaks).
+func (w *World) Run(fn func(*Comm) error) error {
+	var wg sync.WaitGroup
+	errs := make([]error, w.size)
+	for i := 0; i < w.size; i++ {
+		wg.Add(1)
+		go func(rank int) {
+			defer wg.Done()
+			defer func() {
+				if r := recover(); r != nil {
+					errs[rank] = fmt.Errorf("mpi: rank %d panicked: %v", rank, r)
+				}
+			}()
+			errs[rank] = fn(w.Rank(rank))
+		}(i)
+	}
+	wg.Wait()
+	return errors.Join(errs...)
+}
+
+// Comm is one rank's endpoint in a World. A Comm must only be used from one
+// goroutine at a time.
+type Comm struct {
+	rank  int
+	world *World
+	// pending holds messages received while waiting for a different tag,
+	// keyed by source rank, preserving arrival order per source.
+	pending map[int][]packet
+}
+
+// Rank returns this endpoint's rank.
+func (c *Comm) Rank() int { return c.rank }
+
+// Size returns the world size.
+func (c *Comm) Size() int { return c.world.size }
+
+// Send delivers payload to rank `to` under the given tag. It blocks only
+// when the destination's buffer is full.
+func (c *Comm) Send(to int, tag Tag, payload any) error {
+	if to < 0 || to >= c.world.size {
+		return fmt.Errorf("mpi: send to rank %d outside world of size %d", to, c.world.size)
+	}
+	c.world.chans[c.rank][to] <- packet{tag: tag, payload: payload}
+	return nil
+}
+
+// Recv blocks until a message with the given tag arrives from rank `from`.
+// Messages with other tags from the same source are buffered and delivered
+// to later matching Recv calls in order.
+func (c *Comm) Recv(from int, tag Tag) (any, error) {
+	if from < 0 || from >= c.world.size {
+		return nil, fmt.Errorf("mpi: recv from rank %d outside world of size %d", from, c.world.size)
+	}
+	if c.pending == nil {
+		c.pending = make(map[int][]packet)
+	}
+	// Check the stash first.
+	queue := c.pending[from]
+	for i, p := range queue {
+		if p.tag == tag {
+			c.pending[from] = append(queue[:i:i], queue[i+1:]...)
+			return p.payload, nil
+		}
+	}
+	for {
+		p := <-c.world.chans[from][c.rank]
+		if p.tag == tag {
+			return p.payload, nil
+		}
+		c.pending[from] = append(c.pending[from], p)
+	}
+}
+
+// Barrier blocks until every rank in the world has entered it.
+func (c *Comm) Barrier() error {
+	if c.rank == 0 {
+		for r := 1; r < c.Size(); r++ {
+			if _, err := c.Recv(r, tagBarrier); err != nil {
+				return err
+			}
+		}
+		for r := 1; r < c.Size(); r++ {
+			if err := c.Send(r, tagBarrier, nil); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	if err := c.Send(0, tagBarrier, nil); err != nil {
+		return err
+	}
+	_, err := c.Recv(0, tagBarrier)
+	return err
+}
+
+// Bcast distributes root's data to every rank and returns it. Non-root ranks
+// ignore their data argument.
+func (c *Comm) Bcast(root int, data []float64) ([]float64, error) {
+	if c.rank == root {
+		for r := 0; r < c.Size(); r++ {
+			if r == root {
+				continue
+			}
+			if err := c.Send(r, tagBcast, data); err != nil {
+				return nil, err
+			}
+		}
+		return data, nil
+	}
+	v, err := c.Recv(root, tagBcast)
+	if err != nil {
+		return nil, err
+	}
+	return v.([]float64), nil
+}
+
+// Scatter hands parts[i] to rank i and returns this rank's part. Only the
+// root's parts argument is consulted; it must have exactly Size elements.
+func (c *Comm) Scatter(root int, parts [][]float64) ([]float64, error) {
+	if c.rank == root {
+		if len(parts) != c.Size() {
+			return nil, fmt.Errorf("mpi: scatter of %d parts to %d ranks", len(parts), c.Size())
+		}
+		for r := 0; r < c.Size(); r++ {
+			if r == root {
+				continue
+			}
+			if err := c.Send(r, tagScatter, parts[r]); err != nil {
+				return nil, err
+			}
+		}
+		return parts[root], nil
+	}
+	v, err := c.Recv(root, tagScatter)
+	if err != nil {
+		return nil, err
+	}
+	return v.([]float64), nil
+}
+
+// Gather collects every rank's local slice at the root, in rank order.
+// Non-root ranks receive nil.
+func (c *Comm) Gather(root int, local []float64) ([][]float64, error) {
+	if c.rank == root {
+		out := make([][]float64, c.Size())
+		out[root] = local
+		for r := 0; r < c.Size(); r++ {
+			if r == root {
+				continue
+			}
+			v, err := c.Recv(r, tagGather)
+			if err != nil {
+				return nil, err
+			}
+			out[r] = v.([]float64)
+		}
+		return out, nil
+	}
+	return nil, c.Send(root, tagGather, local)
+}
+
+// ReduceOp combines two equal-length vectors element-wise.
+type ReduceOp func(acc, x []float64) []float64
+
+// SumOp adds vectors element-wise.
+func SumOp(acc, x []float64) []float64 {
+	for i := range x {
+		acc[i] += x[i]
+	}
+	return acc
+}
+
+// MaxOp keeps the element-wise maximum.
+func MaxOp(acc, x []float64) []float64 {
+	for i := range x {
+		if x[i] > acc[i] {
+			acc[i] = x[i]
+		}
+	}
+	return acc
+}
+
+// Reduce folds every rank's local vector at the root with op. Non-root
+// ranks receive nil. All locals must share one length.
+func (c *Comm) Reduce(root int, local []float64, op ReduceOp) ([]float64, error) {
+	if c.rank != root {
+		return nil, c.Send(root, tagReduce, local)
+	}
+	acc := make([]float64, len(local))
+	copy(acc, local)
+	for r := 0; r < c.Size(); r++ {
+		if r == root {
+			continue
+		}
+		v, err := c.Recv(r, tagReduce)
+		if err != nil {
+			return nil, err
+		}
+		x := v.([]float64)
+		if len(x) != len(acc) {
+			return nil, fmt.Errorf("mpi: reduce length mismatch: %d != %d", len(x), len(acc))
+		}
+		acc = op(acc, x)
+	}
+	return acc, nil
+}
+
+// Allreduce is Reduce followed by Bcast: every rank receives the fold.
+func (c *Comm) Allreduce(local []float64, op ReduceOp) ([]float64, error) {
+	red, err := c.Reduce(0, local, op)
+	if err != nil {
+		return nil, err
+	}
+	return c.Bcast(0, red)
+}
+
+// SplitRange partitions [0, n) into size near-equal contiguous chunks and
+// returns the half-open bounds of chunk `rank`. Extra elements go to the
+// lowest ranks, matching the scatter used for outer-path distribution.
+func SplitRange(n, size, rank int) (from, to int) {
+	per := n / size
+	rem := n % size
+	from = rank*per + min(rank, rem)
+	to = from + per
+	if rank < rem {
+		to++
+	}
+	return from, to
+}
+
+func min(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,305 @@
+package mpi
+
+import (
+	"fmt"
+	"sync/atomic"
+	"testing"
+	"testing/quick"
+)
+
+func TestSendRecv(t *testing.T) {
+	w := NewWorld(2)
+	err := w.Run(func(c *Comm) error {
+		if c.Rank() == 0 {
+			return c.Send(1, TagUser, []float64{1, 2, 3})
+		}
+		v, err := c.Recv(0, TagUser)
+		if err != nil {
+			return err
+		}
+		data := v.([]float64)
+		if len(data) != 3 || data[2] != 3 {
+			return fmt.Errorf("bad payload %v", data)
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRecvTagStashing(t *testing.T) {
+	// A message with a different tag must not be lost while waiting.
+	w := NewWorld(2)
+	err := w.Run(func(c *Comm) error {
+		if c.Rank() == 0 {
+			if err := c.Send(1, Tag(5), "later"); err != nil {
+				return err
+			}
+			return c.Send(1, Tag(6), "first")
+		}
+		v6, err := c.Recv(0, Tag(6))
+		if err != nil {
+			return err
+		}
+		v5, err := c.Recv(0, Tag(5))
+		if err != nil {
+			return err
+		}
+		if v6.(string) != "first" || v5.(string) != "later" {
+			return fmt.Errorf("tag routing broken: %v %v", v6, v5)
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSendRecvBounds(t *testing.T) {
+	w := NewWorld(2)
+	c := w.Rank(0)
+	if err := c.Send(5, TagUser, nil); err == nil {
+		t.Fatal("out-of-range send accepted")
+	}
+	if _, err := c.Recv(-1, TagUser); err == nil {
+		t.Fatal("out-of-range recv accepted")
+	}
+}
+
+func TestBarrierSynchronises(t *testing.T) {
+	const n = 8
+	w := NewWorld(n)
+	var before, after atomic.Int32
+	err := w.Run(func(c *Comm) error {
+		before.Add(1)
+		if err := c.Barrier(); err != nil {
+			return err
+		}
+		// After the barrier every rank must have incremented before.
+		if got := before.Load(); got != n {
+			return fmt.Errorf("rank %d passed barrier with before=%d", c.Rank(), got)
+		}
+		after.Add(1)
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if after.Load() != n {
+		t.Fatalf("after = %d", after.Load())
+	}
+}
+
+func TestBcast(t *testing.T) {
+	w := NewWorld(5)
+	err := w.Run(func(c *Comm) error {
+		var data []float64
+		if c.Rank() == 2 {
+			data = []float64{3.14, 2.71}
+		}
+		got, err := c.Bcast(2, data)
+		if err != nil {
+			return err
+		}
+		if len(got) != 2 || got[0] != 3.14 {
+			return fmt.Errorf("rank %d got %v", c.Rank(), got)
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestScatterGatherRoundTrip(t *testing.T) {
+	const n = 4
+	w := NewWorld(n)
+	err := w.Run(func(c *Comm) error {
+		var parts [][]float64
+		if c.Rank() == 0 {
+			parts = [][]float64{{0}, {1, 1}, {2, 2, 2}, {3, 3, 3, 3}}
+		}
+		mine, err := c.Scatter(0, parts)
+		if err != nil {
+			return err
+		}
+		if len(mine) != c.Rank()+1 {
+			return fmt.Errorf("rank %d got %v", c.Rank(), mine)
+		}
+		all, err := c.Gather(0, mine)
+		if err != nil {
+			return err
+		}
+		if c.Rank() == 0 {
+			for r := 0; r < n; r++ {
+				if len(all[r]) != r+1 || all[r][0] != float64(r) {
+					return fmt.Errorf("gathered %v at rank %d", all[r], r)
+				}
+			}
+		} else if all != nil {
+			return fmt.Errorf("non-root rank received gather output")
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestScatterWrongParts(t *testing.T) {
+	w := NewWorld(3)
+	errs := make(chan error, 1)
+	go func() {
+		_, err := w.Rank(0).Scatter(0, [][]float64{{1}})
+		errs <- err
+	}()
+	if err := <-errs; err == nil {
+		t.Fatal("scatter with wrong part count accepted")
+	}
+}
+
+func TestReduceSum(t *testing.T) {
+	const n = 6
+	w := NewWorld(n)
+	err := w.Run(func(c *Comm) error {
+		local := []float64{float64(c.Rank()), 1}
+		red, err := c.Reduce(0, local, SumOp)
+		if err != nil {
+			return err
+		}
+		if c.Rank() == 0 {
+			if red[0] != 15 || red[1] != 6 { // 0+..+5, six ones
+				return fmt.Errorf("reduce got %v", red)
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestAllreduceMax(t *testing.T) {
+	const n = 5
+	w := NewWorld(n)
+	err := w.Run(func(c *Comm) error {
+		local := []float64{float64(c.Rank() * c.Rank())}
+		red, err := c.Allreduce(local, MaxOp)
+		if err != nil {
+			return err
+		}
+		if red[0] != 16 {
+			return fmt.Errorf("rank %d allreduce got %v", c.Rank(), red)
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunPropagatesErrors(t *testing.T) {
+	w := NewWorld(3)
+	err := w.Run(func(c *Comm) error {
+		if c.Rank() == 1 {
+			return fmt.Errorf("rank 1 boom")
+		}
+		return nil
+	})
+	if err == nil {
+		t.Fatal("error swallowed")
+	}
+}
+
+func TestRunRecoversPanics(t *testing.T) {
+	w := NewWorld(2)
+	err := w.Run(func(c *Comm) error {
+		if c.Rank() == 0 {
+			panic("deliberate")
+		}
+		return nil
+	})
+	if err == nil {
+		t.Fatal("panic not converted to error")
+	}
+}
+
+func TestSplitRangeCoversExactly(t *testing.T) {
+	if err := quick.Check(func(nRaw uint16, sizeRaw uint8) bool {
+		n := int(nRaw % 5000)
+		size := int(sizeRaw%32) + 1
+		covered := 0
+		prevTo := 0
+		for r := 0; r < size; r++ {
+			from, to := SplitRange(n, size, r)
+			if from != prevTo || to < from {
+				return false
+			}
+			covered += to - from
+			prevTo = to
+		}
+		return covered == n && prevTo == n
+	}, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSplitRangeBalance(t *testing.T) {
+	// Chunk sizes differ by at most one.
+	for _, tc := range []struct{ n, size int }{{10, 3}, {100, 7}, {5, 8}, {0, 4}} {
+		minSz, maxSz := 1<<30, 0
+		for r := 0; r < tc.size; r++ {
+			from, to := SplitRange(tc.n, tc.size, r)
+			sz := to - from
+			if sz < minSz {
+				minSz = sz
+			}
+			if sz > maxSz {
+				maxSz = sz
+			}
+		}
+		if maxSz-minSz > 1 {
+			t.Fatalf("n=%d size=%d: chunk sizes range [%d,%d]", tc.n, tc.size, minSz, maxSz)
+		}
+	}
+}
+
+func TestWorldPanicsOnBadSize(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("NewWorld(0) did not panic")
+		}
+	}()
+	NewWorld(0)
+}
+
+func TestManyMessagesNoDeadlock(t *testing.T) {
+	// Exceed the per-channel buffer to exercise blocking sends with a
+	// concurrent receiver.
+	w := NewWorld(2)
+	const msgs = 1000
+	err := w.Run(func(c *Comm) error {
+		if c.Rank() == 0 {
+			for i := 0; i < msgs; i++ {
+				if err := c.Send(1, TagUser, i); err != nil {
+					return err
+				}
+			}
+			return nil
+		}
+		for i := 0; i < msgs; i++ {
+			v, err := c.Recv(0, TagUser)
+			if err != nil {
+				return err
+			}
+			if v.(int) != i {
+				return fmt.Errorf("out of order: got %v want %d", v, i)
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,92 @@
+package policy
+
+import (
+	"errors"
+	"fmt"
+)
+
+// Portfolio is a book of representative contracts backed by one segregated
+// fund. The portfolio-level quantities (representative-contract count,
+// maximum time horizon) are the liability-side characteristic parameters the
+// ML models use to predict execution time.
+type Portfolio struct {
+	Name      string
+	Contracts []Contract
+}
+
+// Validate checks every contract in the portfolio.
+func (p *Portfolio) Validate() error {
+	if len(p.Contracts) == 0 {
+		return errors.New("policy: empty portfolio")
+	}
+	for i, c := range p.Contracts {
+		if err := c.Validate(); err != nil {
+			return fmt.Errorf("contract %d: %w", i, err)
+		}
+	}
+	return nil
+}
+
+// MaxTerm returns the maximum remaining term across contracts — the "maximum
+// time horizon of the policies" characteristic parameter.
+func (p *Portfolio) MaxTerm() int {
+	maxTerm := 0
+	for _, c := range p.Contracts {
+		if c.Term > maxTerm {
+			maxTerm = c.Term
+		}
+	}
+	return maxTerm
+}
+
+// NumRepresentative returns the number of representative contracts.
+func (p *Portfolio) NumRepresentative() int { return len(p.Contracts) }
+
+// TotalPolicies returns the total number of underlying policies.
+func (p *Portfolio) TotalPolicies() int {
+	total := 0
+	for _, c := range p.Contracts {
+		total += c.Count
+	}
+	return total
+}
+
+// TotalInsuredSum returns the aggregate insured amount, weighting each
+// representative contract by its multiplicity.
+func (p *Portfolio) TotalInsuredSum() float64 {
+	total := 0.0
+	for _, c := range p.Contracts {
+		total += c.InsuredSum * float64(c.Count)
+	}
+	return total
+}
+
+// Slice partitions the portfolio into n sub-portfolios of near-equal
+// representative-contract counts, preserving order. It is the unit of work
+// distribution used when a portfolio is too large for a single EEB. Slices
+// may be fewer than n when the portfolio has fewer contracts.
+func (p *Portfolio) Slice(n int) []*Portfolio {
+	if n <= 1 || len(p.Contracts) <= 1 {
+		return []*Portfolio{p}
+	}
+	if n > len(p.Contracts) {
+		n = len(p.Contracts)
+	}
+	out := make([]*Portfolio, 0, n)
+	per := len(p.Contracts) / n
+	rem := len(p.Contracts) % n
+	start := 0
+	for i := 0; i < n; i++ {
+		size := per
+		if i < rem {
+			size++
+		}
+		sub := &Portfolio{
+			Name:      fmt.Sprintf("%s[%d/%d]", p.Name, i+1, n),
+			Contracts: p.Contracts[start : start+size],
+		}
+		out = append(out, sub)
+		start += size
+	}
+	return out
+}

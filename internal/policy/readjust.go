@@ -1,0 +1,57 @@
+// Package policy models the liability side of the DISAR engine: Italian
+// profit-sharing ("rivalutabili") life contracts with minimum guarantees,
+// their readjustment mechanics (Eqs. 1-5 of the paper), representative
+// contracts, and portfolio construction.
+package policy
+
+import "math"
+
+// ReadjustmentRate returns rho_t of Eq. (3):
+//
+//	rho_t = (max(beta*I_t, i) - i) / (1 + i)
+//
+// where beta is the participation coefficient, i the technical rate and I_t
+// the segregated-fund return for the year.
+func ReadjustmentRate(beta, technical, fundReturn float64) float64 {
+	return (math.Max(beta*fundReturn, technical) - technical) / (1 + technical)
+}
+
+// ReadjustmentFactor returns Phi_T of Eq. (2), the cumulative readjustment
+// factor over the given sequence of annual fund returns:
+//
+//	Phi_T = prod_t (1 + rho_t)
+func ReadjustmentFactor(beta, technical float64, fundReturns []float64) float64 {
+	phi := 1.0
+	for _, it := range fundReturns {
+		phi *= 1 + ReadjustmentRate(beta, technical, it)
+	}
+	return phi
+}
+
+// ReadjustmentFactorAlt computes Phi_T through the algebraically equivalent
+// second form of Eq. (2):
+//
+//	Phi_T = (1+i)^-T * prod_t (1 + max(beta*I_t, i))
+//
+// It exists so tests can verify the identity between the two published
+// forms; production code uses ReadjustmentFactor.
+func ReadjustmentFactorAlt(beta, technical float64, fundReturns []float64) float64 {
+	prod := 1.0
+	for _, it := range fundReturns {
+		prod *= 1 + math.Max(beta*it, technical)
+	}
+	return math.Pow(1+technical, -float64(len(fundReturns))) * prod
+}
+
+// RevaluedSums returns the insured-sum path C_1..C_T of Eq. (5),
+// C_t = C_{t-1} (1 + rho_t), starting from initialSum with one entry per
+// element of fundReturns.
+func RevaluedSums(initialSum, beta, technical float64, fundReturns []float64) []float64 {
+	out := make([]float64, len(fundReturns))
+	c := initialSum
+	for t, it := range fundReturns {
+		c *= 1 + ReadjustmentRate(beta, technical, it)
+		out[t] = c
+	}
+	return out
+}

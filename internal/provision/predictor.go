@@ -1,0 +1,129 @@
+// Package provision implements the ML-based deploy selection of Section III
+// of the paper: a family of per-architecture prediction models p_x(m, n, f)
+// built from the knowledge base, the ensemble averaging that damps
+// individual-model errors, and Algorithm 1 — enumerate every candidate
+// configuration, discard those whose predicted time exceeds Tmax, choose the
+// cheapest, and with probability epsilon explore a random feasible one.
+package provision
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+
+	"disarcloud/internal/eeb"
+	"disarcloud/internal/kb"
+	"disarcloud/internal/ml"
+)
+
+// ErrUntrained is returned when a prediction is requested for an
+// architecture with no trained models (knowledge base too small) — the
+// caller should fall back to the manual early-training mode the paper
+// describes.
+var ErrUntrained = errors.New("provision: no trained model for architecture")
+
+// MinSamplesToTrain is the minimum number of knowledge-base samples an
+// architecture needs before its model suite is trained.
+const MinSamplesToTrain = 12
+
+// Predictor estimates execution seconds of a workload on a deploy
+// configuration.
+type Predictor interface {
+	// PredictSeconds returns the expected execution time of workload f on
+	// nodes VMs of the named architecture. It returns ErrUntrained when the
+	// architecture has no usable models yet.
+	PredictSeconds(architecture string, nodes int, f eeb.CharacteristicParams) (float64, error)
+}
+
+// EnsemblePredictor is the paper's predictor: per architecture, the suite of
+// six Weka-style learners trained on that architecture's slice of the
+// knowledge base; predictions are the across-model average. Retrain after
+// every recorded execution implements the self-optimizing loop.
+type EnsemblePredictor struct {
+	seed uint64
+
+	mu     sync.RWMutex
+	suites map[string][]ml.Model
+}
+
+// NewEnsemblePredictor returns an untrained predictor rooted at seed.
+func NewEnsemblePredictor(seed uint64) *EnsemblePredictor {
+	return &EnsemblePredictor{seed: seed, suites: make(map[string][]ml.Model)}
+}
+
+// Retrain rebuilds the model suites of every architecture that has at least
+// MinSamplesToTrain samples in the knowledge base. Architectures below the
+// threshold keep (or stay without) their previous models.
+func (p *EnsemblePredictor) Retrain(k *kb.KB) error {
+	for _, arch := range k.Architectures() {
+		if err := p.RetrainArchitecture(k, arch); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// RetrainArchitecture rebuilds the suite of one architecture — the
+// incremental step of the self-optimizing loop after a run on that
+// architecture. Below the sample threshold it is a no-op.
+func (p *EnsemblePredictor) RetrainArchitecture(k *kb.KB, arch string) error {
+	ds := k.Dataset(arch)
+	if ds.Len() < MinSamplesToTrain {
+		return nil
+	}
+	suite := ml.NewSuite(p.seed)
+	for _, m := range suite {
+		if err := m.Train(ds); err != nil {
+			return fmt.Errorf("provision: training %s on %s: %w", m.Name(), arch, err)
+		}
+	}
+	p.mu.Lock()
+	p.suites[arch] = suite
+	p.mu.Unlock()
+	return nil
+}
+
+// Trained reports whether the architecture has a usable model suite.
+func (p *EnsemblePredictor) Trained(architecture string) bool {
+	p.mu.RLock()
+	defer p.mu.RUnlock()
+	return len(p.suites[architecture]) > 0
+}
+
+// PredictSeconds implements Predictor with the ensemble average.
+func (p *EnsemblePredictor) PredictSeconds(architecture string, nodes int, f eeb.CharacteristicParams) (float64, error) {
+	per, err := p.PredictPerModel(architecture, nodes, f)
+	if err != nil {
+		return 0, err
+	}
+	sum := 0.0
+	for _, v := range per {
+		sum += v
+	}
+	return sum / float64(len(per)), nil
+}
+
+// PredictPerModel returns each learner's individual prediction, keyed by
+// learner name — the quantities behind Table I and Figure 2.
+func (p *EnsemblePredictor) PredictPerModel(architecture string, nodes int, f eeb.CharacteristicParams) (map[string]float64, error) {
+	p.mu.RLock()
+	suite := p.suites[architecture]
+	p.mu.RUnlock()
+	if len(suite) == 0 {
+		return nil, fmt.Errorf("%w: %s", ErrUntrained, architecture)
+	}
+	features := kb.Sample{Nodes: nodes, Params: f}.Features()
+	out := make(map[string]float64, len(suite))
+	for _, m := range suite {
+		pred := m.Predict(features)
+		if pred < 1 {
+			// Execution times are bounded away from zero; clip pathological
+			// extrapolations.
+			pred = 1
+		}
+		out[m.Name()] = pred
+	}
+	return out, nil
+}
+
+var _ Predictor = (*EnsemblePredictor)(nil)

@@ -1,0 +1,245 @@
+package provision
+
+import (
+	"errors"
+	"fmt"
+
+	"disarcloud/internal/cloud"
+	"disarcloud/internal/eeb"
+	"disarcloud/internal/finmath"
+)
+
+// ErrNoFeasible is returned when no configuration meets the deadline.
+var ErrNoFeasible = errors.New("provision: no configuration meets the time constraint")
+
+// Constraints are the user-side inputs to Algorithm 1.
+type Constraints struct {
+	// TmaxSeconds is the Solvency II-driven deadline for the simulation.
+	TmaxSeconds float64
+	// MaxNodes bounds the number of VMs explored (the algorithm's N = [1, max]).
+	MaxNodes int
+	// Epsilon is the exploration probability: with chance Epsilon a random
+	// feasible configuration is selected instead of the cheapest.
+	Epsilon float64
+}
+
+// Validate reports whether the constraints are admissible.
+func (c Constraints) Validate() error {
+	if c.TmaxSeconds <= 0 {
+		return errors.New("provision: Tmax must be positive")
+	}
+	if c.MaxNodes <= 0 {
+		return errors.New("provision: MaxNodes must be positive")
+	}
+	if c.Epsilon < 0 || c.Epsilon > 1 {
+		return errors.New("provision: epsilon outside [0,1]")
+	}
+	return nil
+}
+
+// Slot is one homogeneous group of VMs in a deploy.
+type Slot struct {
+	Type  cloud.InstanceType
+	Nodes int
+}
+
+// Choice is a selected deploy configuration.
+type Choice struct {
+	// Slots has one entry for homogeneous deploys (the paper's setting) and
+	// two for the heterogeneous extension (the paper's future work).
+	Slots []Slot
+	// PredictedSeconds is the ensemble-predicted execution time.
+	PredictedSeconds float64
+	// PredictedCost is the expected pro-rata cost in dollars:
+	// hour_cost * time (Algorithm 1).
+	PredictedCost float64
+	// Explored is true when the epsilon-greedy branch picked a random
+	// feasible configuration.
+	Explored bool
+}
+
+// Primary returns the first slot (the whole deploy when homogeneous).
+func (c Choice) Primary() Slot { return c.Slots[0] }
+
+// TotalNodes returns the VM count across slots.
+func (c Choice) TotalNodes() int {
+	n := 0
+	for _, s := range c.Slots {
+		n += s.Nodes
+	}
+	return n
+}
+
+// String implements fmt.Stringer.
+func (c Choice) String() string {
+	s := ""
+	for i, slot := range c.Slots {
+		if i > 0 {
+			s += "+"
+		}
+		s += fmt.Sprintf("%dx%s", slot.Nodes, slot.Type.Name)
+	}
+	return fmt.Sprintf("%s (pred %.0fs, $%.3f)", s, c.PredictedSeconds, c.PredictedCost)
+}
+
+// Selector implements Algorithm 1 over a predictor and an instance catalog.
+type Selector struct {
+	pred    Predictor
+	catalog []cloud.InstanceType
+	rng     *finmath.RNG
+	// Heterogeneous enables the future-work extension: two-slot deploys
+	// mixing distinct instance types, with work split proportionally to
+	// each slot's predicted throughput.
+	Heterogeneous bool
+}
+
+// NewSelector builds a selector over the given catalog (nil = full catalog).
+func NewSelector(pred Predictor, catalog []cloud.InstanceType, rng *finmath.RNG) (*Selector, error) {
+	if pred == nil {
+		return nil, errors.New("provision: nil predictor")
+	}
+	if rng == nil {
+		return nil, errors.New("provision: nil rng")
+	}
+	if catalog == nil {
+		catalog = cloud.Catalog()
+	}
+	if len(catalog) == 0 {
+		return nil, errors.New("provision: empty catalog")
+	}
+	return &Selector{pred: pred, catalog: catalog, rng: rng}, nil
+}
+
+// Candidates enumerates every feasible configuration for the workload: all
+// (architecture, node count) pairs whose ensemble-predicted time is within
+// Tmax, each annotated with its expected cost. Architectures without
+// trained models are skipped; if every architecture is untrained the
+// returned error wraps ErrUntrained.
+func (s *Selector) Candidates(f eeb.CharacteristicParams, c Constraints) ([]Choice, error) {
+	if err := c.Validate(); err != nil {
+		return nil, err
+	}
+	var out []Choice
+	trainedAny := false
+	for _, it := range s.catalog {
+		for n := 1; n <= c.MaxNodes; n++ {
+			secs, err := s.pred.PredictSeconds(it.Name, n, f)
+			if errors.Is(err, ErrUntrained) {
+				break // no model for this architecture at any n
+			}
+			if err != nil {
+				return nil, err
+			}
+			trainedAny = true
+			if secs > c.TmaxSeconds {
+				continue
+			}
+			out = append(out, Choice{
+				Slots:            []Slot{{Type: it, Nodes: n}},
+				PredictedSeconds: secs,
+				PredictedCost:    cloud.ProRataCost(it, n, secs),
+			})
+		}
+	}
+	if s.Heterogeneous {
+		het, err := s.heterogeneousCandidates(f, c)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, het...)
+	}
+	if !trainedAny {
+		return nil, fmt.Errorf("%w: all architectures", ErrUntrained)
+	}
+	return out, nil
+}
+
+// heterogeneousCandidates enumerates two-slot mixes of distinct types. The
+// combined time models a proportional split of the outer scenarios: each
+// slot processes work at rate 1/t_slot, so the mix finishes in
+// 1/(1/tA + 1/tB) — both slots run for the full duration and are billed for
+// it.
+func (s *Selector) heterogeneousCandidates(f eeb.CharacteristicParams, c Constraints) ([]Choice, error) {
+	var out []Choice
+	for i, a := range s.catalog {
+		for _, b := range s.catalog[i+1:] {
+			for na := 1; na < c.MaxNodes; na++ {
+				ta, errA := s.pred.PredictSeconds(a.Name, na, f)
+				if errors.Is(errA, ErrUntrained) {
+					break
+				}
+				if errA != nil {
+					return nil, errA
+				}
+				for nb := 1; na+nb <= c.MaxNodes; nb++ {
+					tb, errB := s.pred.PredictSeconds(b.Name, nb, f)
+					if errors.Is(errB, ErrUntrained) {
+						break
+					}
+					if errB != nil {
+						return nil, errB
+					}
+					t := 1 / (1/ta + 1/tb)
+					if t > c.TmaxSeconds {
+						continue
+					}
+					cost := cloud.ProRataCost(a, na, t) + cloud.ProRataCost(b, nb, t)
+					out = append(out, Choice{
+						Slots:            []Slot{{Type: a, Nodes: na}, {Type: b, Nodes: nb}},
+						PredictedSeconds: t,
+						PredictedCost:    cost,
+					})
+				}
+			}
+		}
+	}
+	return out, nil
+}
+
+// Select runs Algorithm 1: among feasible candidates pick the cheapest, or
+// with probability epsilon a uniformly random feasible one (exploration,
+// which enlarges the knowledge base and reduces false positives on the
+// expected execution time).
+func (s *Selector) Select(f eeb.CharacteristicParams, c Constraints) (Choice, error) {
+	cands, err := s.Candidates(f, c)
+	if err != nil {
+		return Choice{}, err
+	}
+	if len(cands) == 0 {
+		return Choice{}, ErrNoFeasible
+	}
+	if s.rng.Float64() < c.Epsilon {
+		ch := cands[s.rng.Intn(len(cands))]
+		ch.Explored = true
+		return ch, nil
+	}
+	best := cands[0]
+	for _, ch := range cands[1:] {
+		if ch.PredictedCost < best.PredictedCost {
+			best = ch
+		}
+	}
+	return best, nil
+}
+
+// SelectFastest returns the feasibility-unconstrained minimum-time
+// configuration — the fallback when no candidate meets Tmax and the
+// baseline for the paper's final comparison against the "higher-end VM".
+func (s *Selector) SelectFastest(f eeb.CharacteristicParams, maxNodes int) (Choice, error) {
+	cands, err := s.Candidates(f, Constraints{
+		TmaxSeconds: 1e18, MaxNodes: maxNodes, Epsilon: 0,
+	})
+	if err != nil {
+		return Choice{}, err
+	}
+	if len(cands) == 0 {
+		return Choice{}, ErrNoFeasible
+	}
+	best := cands[0]
+	for _, ch := range cands[1:] {
+		if ch.PredictedSeconds < best.PredictedSeconds {
+			best = ch
+		}
+	}
+	return best, nil
+}

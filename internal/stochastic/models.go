@@ -1,0 +1,157 @@
+// Package stochastic implements the financial risk-driver models used by the
+// DISAR valuation engine: a Vasicek short-rate model, geometric Brownian
+// motion equity and currency indices, and a CIR credit-intensity process.
+// Drivers are simulated jointly with a user-supplied correlation structure,
+// under either the real-world measure P (outer scenarios) or the risk-neutral
+// measure Q (inner scenarios), as required by the nested Monte Carlo
+// procedure of Section II of the paper.
+package stochastic
+
+import (
+	"errors"
+	"fmt"
+	"math"
+)
+
+// Measure selects the probability measure a scenario is generated under.
+type Measure int
+
+const (
+	// RealWorld is the physical measure P used for outer scenarios.
+	RealWorld Measure = iota + 1
+	// RiskNeutral is the pricing measure Q used for inner scenarios.
+	RiskNeutral
+)
+
+// String implements fmt.Stringer.
+func (m Measure) String() string {
+	switch m {
+	case RealWorld:
+		return "P"
+	case RiskNeutral:
+		return "Q"
+	default:
+		return fmt.Sprintf("Measure(%d)", int(m))
+	}
+}
+
+// VasicekParams parameterises the Ornstein-Uhlenbeck short-rate model
+// dr = a(b - r)dt + sigma dW. MeanP is the long-run mean under the
+// real-world measure; MeanQ under the risk-neutral one (they differ by the
+// market price of interest-rate risk).
+type VasicekParams struct {
+	R0    float64 // initial short rate
+	Speed float64 // mean-reversion speed a
+	MeanP float64 // long-run mean b under P
+	MeanQ float64 // long-run mean b under Q
+	Sigma float64 // instantaneous volatility
+}
+
+// Validate reports whether the parameters define a well-posed model.
+func (p VasicekParams) Validate() error {
+	if p.Speed <= 0 {
+		return errors.New("stochastic: Vasicek mean-reversion speed must be positive")
+	}
+	if p.Sigma < 0 {
+		return errors.New("stochastic: Vasicek volatility must be non-negative")
+	}
+	return nil
+}
+
+// step advances the short rate by dt using the exact transition density of
+// the OU process, so the discretisation is bias-free on any grid.
+func (p VasicekParams) step(r, dt, z float64, m Measure) float64 {
+	mean := p.MeanP
+	if m == RiskNeutral {
+		mean = p.MeanQ
+	}
+	e := math.Exp(-p.Speed * dt)
+	sd := p.Sigma * math.Sqrt((1-e*e)/(2*p.Speed))
+	return r*e + mean*(1-e) + sd*z
+}
+
+// GBMParams parameterises a geometric Brownian motion index
+// dS = mu S dt + sigma S dW. Under Q the drift is replaced by the current
+// short rate (risk-neutral drift), optionally reduced by a dividend yield.
+type GBMParams struct {
+	S0       float64 // initial index level
+	Mu       float64 // drift under P
+	Sigma    float64 // volatility
+	Dividend float64 // continuous dividend yield
+}
+
+// Validate reports whether the parameters define a well-posed model.
+func (p GBMParams) Validate() error {
+	if p.S0 <= 0 {
+		return errors.New("stochastic: GBM initial level must be positive")
+	}
+	if p.Sigma < 0 {
+		return errors.New("stochastic: GBM volatility must be non-negative")
+	}
+	return nil
+}
+
+// step advances the index by dt with the exact log-normal transition. rate is
+// the prevailing short rate, used as the drift under Q.
+func (p GBMParams) step(s, rate, dt, z float64, m Measure) float64 {
+	drift := p.Mu
+	if m == RiskNeutral {
+		drift = rate
+	}
+	drift -= p.Dividend
+	return s * math.Exp((drift-0.5*p.Sigma*p.Sigma)*dt+p.Sigma*math.Sqrt(dt)*z)
+}
+
+// CIRParams parameterises the square-root credit-intensity process
+// dl = a(b - l)dt + sigma sqrt(l) dW, simulated with full-truncation Euler
+// so the intensity stays non-negative.
+type CIRParams struct {
+	L0    float64 // initial intensity
+	Speed float64 // mean-reversion speed a
+	Mean  float64 // long-run mean b
+	Sigma float64 // volatility of the square-root diffusion
+}
+
+// Validate reports whether the parameters define a well-posed model.
+func (p CIRParams) Validate() error {
+	if p.L0 < 0 {
+		return errors.New("stochastic: CIR initial intensity must be non-negative")
+	}
+	if p.Speed <= 0 {
+		return errors.New("stochastic: CIR mean-reversion speed must be positive")
+	}
+	if p.Mean < 0 || p.Sigma < 0 {
+		return errors.New("stochastic: CIR mean and volatility must be non-negative")
+	}
+	return nil
+}
+
+// step advances the intensity by dt (full-truncation Euler).
+func (p CIRParams) step(l, dt, z float64) float64 {
+	lPos := math.Max(l, 0)
+	next := l + p.Speed*(p.Mean-lPos)*dt + p.Sigma*math.Sqrt(lPos*dt)*z
+	return next
+}
+
+// ZeroCouponPrice returns the Vasicek analytic price at short rate r of a
+// zero-coupon bond maturing in tau years, using the risk-neutral long-run
+// mean. This prices the bond leg of the segregated fund consistently with
+// the simulated rate paths.
+func ZeroCouponPrice(p VasicekParams, r, tau float64) float64 {
+	if tau <= 0 {
+		return 1
+	}
+	a, b, sigma := p.Speed, p.MeanQ, p.Sigma
+	bTau := (1 - math.Exp(-a*tau)) / a
+	logA := (bTau-tau)*(b-sigma*sigma/(2*a*a)) - sigma*sigma*bTau*bTau/(4*a)
+	return math.Exp(logA - bTau*r)
+}
+
+// ImpliedYield returns the continuously compounded yield implied by the
+// Vasicek zero-coupon price for maturity tau.
+func ImpliedYield(p VasicekParams, r, tau float64) float64 {
+	if tau <= 0 {
+		return r
+	}
+	return -math.Log(ZeroCouponPrice(p, r, tau)) / tau
+}
