@@ -13,6 +13,7 @@ package disarcloud_test
 // bands.
 
 import (
+	"context"
 	"math"
 	"os"
 	"sync"
@@ -268,7 +269,7 @@ func BenchmarkSelfOptimizingLoop(b *testing.B) {
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		f := c.Workloads[i%len(c.Workloads)]
-		if _, err := c.Deployer.Deploy(f, cons); err != nil {
+		if _, err := c.Deployer.Deploy(context.Background(), f, cons); err != nil {
 			b.Fatal(err)
 		}
 	}
@@ -282,7 +283,7 @@ func BenchmarkAlgorithm1Selection(b *testing.B) {
 	f := c.Workloads[0]
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		if _, err := c.Deployer.Selector().Select(f, cons); err != nil {
+		if _, err := c.Deployer.Selector().Select(context.Background(), f, cons); err != nil {
 			b.Fatal(err)
 		}
 	}

@@ -6,9 +6,11 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
 
 	"disarcloud"
 )
@@ -63,7 +65,18 @@ func run() error {
 	fmt.Printf("portfolio %q: %d representative contracts, %d policies, max term %dy\n",
 		p.Name, p.NumRepresentative(), p.TotalPolicies(), p.MaxTerm())
 
-	rep, err := d.RunSimulation(disarcloud.SimulationSpec{
+	// Ctrl-C cancels the submitted job; the service then reports
+	// context.Canceled instead of leaving a half-done valuation behind.
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	defer stop()
+
+	svc, err := disarcloud.NewService(d, disarcloud.WithWorkers(1))
+	if err != nil {
+		return err
+	}
+	defer svc.Close()
+
+	id, err := svc.Submit(ctx, disarcloud.SimulationSpec{
 		Portfolio: p,
 		Fund:      disarcloud.TypicalItalianFund(6, market),
 		Market:    market,
@@ -75,6 +88,23 @@ func run() error {
 		MaxWorkers: *workers,
 		Seed:       *seed,
 	})
+	if err != nil {
+		return err
+	}
+	events, unsub, err := svc.Progress(id)
+	if err != nil {
+		return err
+	}
+	defer unsub()
+	go func() {
+		for ev := range events {
+			if ev.Done == ev.Total || ev.Done%50 == 0 {
+				fmt.Printf("  progress: block %s %d/%d outer paths\n", ev.BlockID, ev.Done, ev.Total)
+			}
+		}
+	}()
+
+	rep, err := svc.Result(ctx, id)
 	if err != nil {
 		return err
 	}

@@ -9,12 +9,17 @@
 // deadline (Algorithm 1).
 //
 // This package is the public API: it re-exports the stable surface of the
-// internal packages. A minimal session:
+// internal packages. The primary entry point is the valuation Service — a
+// long-lived front door that accepts concurrent job submissions over one
+// shared self-optimizing deployer:
 //
+//	ctx := context.Background()
 //	d, _ := disarcloud.NewDeployer(42)
+//	svc, _ := disarcloud.NewService(d, disarcloud.WithWorkers(4))
+//	defer svc.Close()
 //	p, _ := disarcloud.GeneratePortfolio(7, disarcloud.ItalianCompanySpecs()[0])
 //	market := disarcloud.DefaultMarket(p.MaxTerm())
-//	rep, _ := d.RunSimulation(disarcloud.SimulationSpec{
+//	id, _ := svc.Submit(ctx, disarcloud.SimulationSpec{
 //		Portfolio:   p,
 //		Fund:        disarcloud.TypicalItalianFund(6, market),
 //		Market:      market,
@@ -23,10 +28,17 @@
 //		Constraints: disarcloud.Constraints{TmaxSeconds: 900, MaxNodes: 8, Epsilon: 0.05},
 //		Seed:        42,
 //	})
+//	rep, _ := svc.Result(ctx, id)
 //	fmt.Println(rep.SCR, rep.Deploy.Choice)
 //
-// See DESIGN.md for the system inventory and EXPERIMENTS.md for the
-// paper-versus-measured record of every table and figure.
+// Single valuations can still call Deployer.RunSimulation(ctx, spec)
+// directly; the Service adds queuing, bounded concurrency, cancellation,
+// per-job progress streams and status inspection on top. cmd/disard serves
+// the same API over HTTP/JSON.
+//
+// See DESIGN.md for the system architecture (job lifecycle, concurrency
+// model, context semantics) and EXPERIMENTS.md for the paper-versus-
+// measured record of every table and figure.
 package disarcloud
 
 import (
@@ -37,6 +49,7 @@ import (
 	"disarcloud/internal/eeb"
 	"disarcloud/internal/finmath"
 	"disarcloud/internal/fund"
+	"disarcloud/internal/grid"
 	"disarcloud/internal/kb"
 	"disarcloud/internal/policy"
 	"disarcloud/internal/provision"
@@ -109,6 +122,56 @@ type (
 	SimulationSpec = core.SimulationSpec
 	// SimulationReport is the end-to-end outcome (SCR + deploy record).
 	SimulationReport = core.SimulationReport
+)
+
+// Service-side types: the concurrent job-submission API.
+type (
+	// Service is the valuation front door: concurrent job submission over a
+	// bounded worker pool sharing one self-optimizing Deployer.
+	Service = core.Service
+	// ServiceOption customises a Service.
+	ServiceOption = core.ServiceOption
+	// JobID identifies a submitted valuation job.
+	JobID = core.JobID
+	// JobStatus is a job's lifecycle state.
+	JobStatus = core.JobStatus
+	// JobSnapshot is a point-in-time view of a job.
+	JobSnapshot = core.JobSnapshot
+	// Progress is one grid monitoring event (outer paths completed).
+	Progress = grid.Progress
+)
+
+// Job lifecycle states.
+const (
+	JobQueued   = core.JobQueued
+	JobRunning  = core.JobRunning
+	JobDone     = core.JobDone
+	JobFailed   = core.JobFailed
+	JobCanceled = core.JobCanceled
+)
+
+// Service construction.
+var (
+	// NewService starts a valuation service over a deployer.
+	NewService = core.NewService
+	// WithWorkers sets the number of concurrently running valuations.
+	WithWorkers = core.WithWorkers
+	// WithQueueDepth sets the accepted-but-unstarted job capacity.
+	WithQueueDepth = core.WithQueueDepth
+	// WithRetention sets how many terminal jobs stay queryable.
+	WithRetention = core.WithRetention
+)
+
+// Service errors.
+var (
+	// ErrServiceClosed is returned by Submit after Close.
+	ErrServiceClosed = core.ErrServiceClosed
+	// ErrUnknownJob is returned for a JobID the service does not know.
+	ErrUnknownJob = core.ErrUnknownJob
+	// ErrQueueFull is Submit's backpressure signal: retry later.
+	ErrQueueFull = core.ErrQueueFull
+	// ErrDegenerateMeasurement flags a non-positive measured execution time.
+	ErrDegenerateMeasurement = core.ErrDegenerateMeasurement
 )
 
 // NewDeployer wires a transparent deploy system rooted at seed.

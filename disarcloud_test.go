@@ -1,6 +1,8 @@
 package disarcloud_test
 
 import (
+	"context"
+	"errors"
 	"path/filepath"
 	"testing"
 
@@ -21,7 +23,7 @@ func TestPublicAPIQuickstart(t *testing.T) {
 		t.Fatal(err)
 	}
 	market := disarcloud.DefaultMarket(p.MaxTerm())
-	rep, err := d.RunSimulation(disarcloud.SimulationSpec{
+	rep, err := d.RunSimulation(context.Background(), disarcloud.SimulationSpec{
 		Portfolio:   p,
 		Fund:        disarcloud.TypicalItalianFund(4, market),
 		Market:      market,
@@ -39,6 +41,67 @@ func TestPublicAPIQuickstart(t *testing.T) {
 	}
 	if rep.Deploy.ActualSeconds <= 0 {
 		t.Fatal("no deploy record")
+	}
+}
+
+// TestPublicAPIService exercises the service surface through the facade:
+// submit, progress, result, status, and cancellation semantics.
+func TestPublicAPIService(t *testing.T) {
+	d, err := disarcloud.NewDeployer(43)
+	if err != nil {
+		t.Fatal(err)
+	}
+	svc, err := disarcloud.NewService(d, disarcloud.WithWorkers(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer svc.Close()
+
+	spec := disarcloud.ItalianCompanySpecs()[0]
+	spec.NumContracts = 6
+	p, err := disarcloud.GeneratePortfolio(7, spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	market := disarcloud.DefaultMarket(p.MaxTerm())
+	ctx := context.Background()
+	id, err := svc.Submit(ctx, disarcloud.SimulationSpec{
+		Portfolio:   p,
+		Fund:        disarcloud.TypicalItalianFund(4, market),
+		Market:      market,
+		Outer:       30,
+		Inner:       4,
+		Constraints: disarcloud.Constraints{TmaxSeconds: 3600, MaxNodes: 4, Epsilon: 0},
+		MaxWorkers:  2,
+		Seed:        43,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	events, unsub, err := svc.Progress(id)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer unsub()
+	rep, err := svc.Result(ctx, id)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.BEL <= 0 || rep.SCR <= 0 {
+		t.Fatalf("degenerate result: BEL=%v SCR=%v", rep.BEL, rep.SCR)
+	}
+	// The stream must have closed with the job.
+	for range events {
+	}
+	snap, err := svc.Status(id)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if snap.Status != disarcloud.JobDone {
+		t.Fatalf("status %s, want done", snap.Status)
+	}
+	if _, err := svc.Status("job-unknown"); !errors.Is(err, disarcloud.ErrUnknownJob) {
+		t.Fatalf("unknown job error = %v", err)
 	}
 }
 

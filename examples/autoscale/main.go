@@ -7,6 +7,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 	"math"
@@ -24,7 +25,8 @@ func main() {
 	d := campaign.Deployer
 
 	// Early manual training phase: cycle every architecture a few times.
-	if err := d.Bootstrap(campaign.Workloads, provision.MinSamplesToTrain, 8); err != nil {
+	ctx := context.Background()
+	if err := d.Bootstrap(ctx, campaign.Workloads, provision.MinSamplesToTrain, 8); err != nil {
 		log.Fatal(err)
 	}
 	fmt.Printf("bootstrap done: %d samples in the knowledge base\n\n", d.KB().Len())
@@ -36,7 +38,7 @@ func main() {
 		var mlRuns, explored int
 		for i := 0; i < perBatch; i++ {
 			f := campaign.Workloads[(b*perBatch+i)%len(campaign.Workloads)]
-			rep, err := d.Deploy(f, provision.Constraints{
+			rep, err := d.Deploy(ctx, f, provision.Constraints{
 				TmaxSeconds: 900, MaxNodes: 8, Epsilon: 0.15,
 			})
 			if err != nil {

@@ -5,6 +5,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 	"time"
@@ -70,7 +71,7 @@ func main() {
 			log.Fatal(err)
 		}
 		master := &grid.Master{Workers: 8, Seed: 99}
-		dist, err := master.Run(blocks)
+		dist, err := master.Run(context.Background(), blocks)
 		if err != nil {
 			log.Fatal(err)
 		}

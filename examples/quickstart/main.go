@@ -5,6 +5,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -29,7 +30,16 @@ func main() {
 	}
 	market := disarcloud.DefaultMarket(portfolio.MaxTerm())
 
-	report, err := d.RunSimulation(disarcloud.SimulationSpec{
+	// The service front door: jobs are submitted with a context and run on
+	// a bounded worker pool; here a single job is submitted and awaited.
+	svc, err := disarcloud.NewService(d)
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer svc.Close()
+
+	ctx := context.Background()
+	id, err := svc.Submit(ctx, disarcloud.SimulationSpec{
 		Portfolio: portfolio,
 		Fund:      disarcloud.TypicalItalianFund(5, market),
 		Market:    market,
@@ -43,6 +53,10 @@ func main() {
 		MaxWorkers: 8,
 		Seed:       42,
 	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	report, err := svc.Result(ctx, id)
 	if err != nil {
 		log.Fatal(err)
 	}

@@ -1,0 +1,3 @@
+module disarcloud
+
+go 1.24

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"math"
 	"testing"
 
@@ -45,7 +46,7 @@ func TestDeployerBootstrapPhase(t *testing.T) {
 		t.Fatal(err)
 	}
 	// First deploys run without any trained model: bootstrap mode.
-	rep, err := d.Deploy(workload(), constraints())
+	rep, err := d.Deploy(context.Background(), workload(), constraints())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -65,10 +66,10 @@ func TestSelfOptimizingLoopLeavesBootstrap(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if err := d.Bootstrap(workloadMix(), provision.MinSamplesToTrain, 6); err != nil {
+	if err := d.Bootstrap(context.Background(), workloadMix(), provision.MinSamplesToTrain, 6); err != nil {
 		t.Fatal(err)
 	}
-	rep, err := d.Deploy(workload(), constraints())
+	rep, err := d.Deploy(context.Background(), workload(), constraints())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -85,11 +86,11 @@ func TestSelfOptimizingLoopLeavesBootstrap(t *testing.T) {
 
 func TestDeployRecordsAndRetrains(t *testing.T) {
 	d, _ := NewDeployer(11)
-	if err := d.Bootstrap(workloadMix(), provision.MinSamplesToTrain, 6); err != nil {
+	if err := d.Bootstrap(context.Background(), workloadMix(), provision.MinSamplesToTrain, 6); err != nil {
 		t.Fatal(err)
 	}
 	before := d.KB().Len()
-	if _, err := d.Deploy(workload(), constraints()); err != nil {
+	if _, err := d.Deploy(context.Background(), workload(), constraints()); err != nil {
 		t.Fatal(err)
 	}
 	if d.KB().Len() != before+1 {
@@ -99,7 +100,7 @@ func TestDeployRecordsAndRetrains(t *testing.T) {
 
 func TestDeployManual(t *testing.T) {
 	d, _ := NewDeployer(3)
-	rep, err := d.DeployManual("c3.4xlarge", 2, workload())
+	rep, err := d.DeployManual(context.Background(), "c3.4xlarge", 2, workload())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -109,10 +110,10 @@ func TestDeployManual(t *testing.T) {
 	if got := rep.Choice.Primary().Type.Name; got != "c3.4xlarge" {
 		t.Fatalf("manual deploy used %s", got)
 	}
-	if _, err := d.DeployManual("bogus", 2, workload()); err == nil {
+	if _, err := d.DeployManual(context.Background(), "bogus", 2, workload()); err == nil {
 		t.Fatal("unknown architecture accepted")
 	}
-	if _, err := d.DeployManual("c3.4xlarge", 0, workload()); err == nil {
+	if _, err := d.DeployManual(context.Background(), "c3.4xlarge", 0, workload()); err == nil {
 		t.Fatal("zero nodes accepted")
 	}
 }
@@ -121,20 +122,20 @@ func TestDeployValidation(t *testing.T) {
 	d, _ := NewDeployer(5)
 	bad := workload()
 	bad.MaxHorizon = 0
-	if _, err := d.Deploy(bad, constraints()); err == nil {
+	if _, err := d.Deploy(context.Background(), bad, constraints()); err == nil {
 		t.Fatal("invalid workload accepted")
 	}
-	if _, err := d.Deploy(workload(), provision.Constraints{}); err == nil {
+	if _, err := d.Deploy(context.Background(), workload(), provision.Constraints{}); err == nil {
 		t.Fatal("invalid constraints accepted")
 	}
 }
 
 func TestDeployFallbackOnImpossibleDeadline(t *testing.T) {
 	d, _ := NewDeployer(13)
-	if err := d.Bootstrap(workloadMix(), provision.MinSamplesToTrain, 6); err != nil {
+	if err := d.Bootstrap(context.Background(), workloadMix(), provision.MinSamplesToTrain, 6); err != nil {
 		t.Fatal(err)
 	}
-	rep, err := d.Deploy(workload(), provision.Constraints{
+	rep, err := d.Deploy(context.Background(), workload(), provision.Constraints{
 		TmaxSeconds: 1, MaxNodes: 6, Epsilon: 0,
 	})
 	if err != nil {
@@ -148,10 +149,10 @@ func TestDeployFallbackOnImpossibleDeadline(t *testing.T) {
 func TestDeployDeterministicCampaign(t *testing.T) {
 	run := func() []float64 {
 		d, _ := NewDeployer(21)
-		_ = d.Bootstrap(workloadMix(), provision.MinSamplesToTrain, 4)
+		_ = d.Bootstrap(context.Background(), workloadMix(), provision.MinSamplesToTrain, 4)
 		var times []float64
 		for i := 0; i < 5; i++ {
-			rep, err := d.Deploy(workload(), constraints())
+			rep, err := d.Deploy(context.Background(), workload(), constraints())
 			if err != nil {
 				t.Fatal(err)
 			}
@@ -171,14 +172,14 @@ func TestPredictionErrorShrinksWithKB(t *testing.T) {
 	// The self-optimizing property: relative prediction error with a large
 	// knowledge base is smaller than right after minimal bootstrap.
 	d, _ := NewDeployer(31)
-	if err := d.Bootstrap(workloadMix(), provision.MinSamplesToTrain, 6); err != nil {
+	if err := d.Bootstrap(context.Background(), workloadMix(), provision.MinSamplesToTrain, 6); err != nil {
 		t.Fatal(err)
 	}
 	relErr := func(n int) float64 {
 		sum := 0.0
 		cnt := 0
 		for i := 0; i < n; i++ {
-			rep, err := d.Deploy(workloadMix()[i%len(workloadMix())], constraints())
+			rep, err := d.Deploy(context.Background(), workloadMix()[i%len(workloadMix())], constraints())
 			if err != nil {
 				t.Fatal(err)
 			}
@@ -196,7 +197,7 @@ func TestPredictionErrorShrinksWithKB(t *testing.T) {
 	early := relErr(30)
 	// Feed many more observations through the loop.
 	for i := 0; i < 150; i++ {
-		if _, err := d.Deploy(workloadMix()[i%len(workloadMix())], provision.Constraints{
+		if _, err := d.Deploy(context.Background(), workloadMix()[i%len(workloadMix())], provision.Constraints{
 			TmaxSeconds: 900, MaxNodes: 6, Epsilon: 0.3, // exploration-heavy
 		}); err != nil {
 			t.Fatal(err)
@@ -211,7 +212,7 @@ func TestPredictionErrorShrinksWithKB(t *testing.T) {
 func TestWithKnowledgeBaseWarmStart(t *testing.T) {
 	// Build a KB with one deployer, hand it to a fresh one: no bootstrap.
 	d1, _ := NewDeployer(41)
-	if err := d1.Bootstrap(workloadMix(), provision.MinSamplesToTrain, 4); err != nil {
+	if err := d1.Bootstrap(context.Background(), workloadMix(), provision.MinSamplesToTrain, 4); err != nil {
 		t.Fatal(err)
 	}
 	snapshot := kb.New()
@@ -224,7 +225,7 @@ func TestWithKnowledgeBaseWarmStart(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	rep, err := d2.Deploy(workload(), constraints())
+	rep, err := d2.Deploy(context.Background(), workload(), constraints())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -238,14 +239,14 @@ func TestHeterogeneousDeployExtension(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if err := d.Bootstrap(workloadMix(), provision.MinSamplesToTrain, 4); err != nil {
+	if err := d.Bootstrap(context.Background(), workloadMix(), provision.MinSamplesToTrain, 4); err != nil {
 		t.Fatal(err)
 	}
 	// Run several ML deploys; heterogeneous candidates are in the pool, and
 	// whatever is selected must execute and bill correctly.
 	sawRun := false
 	for i := 0; i < 10; i++ {
-		rep, err := d.Deploy(workload(), provision.Constraints{
+		rep, err := d.Deploy(context.Background(), workload(), provision.Constraints{
 			TmaxSeconds: 600, MaxNodes: 4, Epsilon: 0.5,
 		})
 		if err != nil {
@@ -291,7 +292,7 @@ func TestRunSimulationEndToEnd(t *testing.T) {
 		MaxWorkers:  4,
 		Seed:        99,
 	}
-	rep, err := d.RunSimulation(spec)
+	rep, err := d.RunSimulation(context.Background(), spec)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -314,7 +315,7 @@ func TestRunSimulationEndToEnd(t *testing.T) {
 
 func TestRunSimulationValidation(t *testing.T) {
 	d, _ := NewDeployer(71)
-	if _, err := d.RunSimulation(SimulationSpec{}); err == nil {
+	if _, err := d.RunSimulation(context.Background(), SimulationSpec{}); err == nil {
 		t.Fatal("empty spec accepted")
 	}
 }
@@ -326,7 +327,7 @@ func TestWithCatalogRestriction(t *testing.T) {
 		t.Fatal(err)
 	}
 	for i := 0; i < 5; i++ {
-		rep, err := d.Deploy(workload(), constraints())
+		rep, err := d.Deploy(context.Background(), workload(), constraints())
 		if err != nil {
 			t.Fatal(err)
 		}

@@ -9,8 +9,11 @@
 package core
 
 import (
+	"context"
 	"errors"
 	"fmt"
+	"math"
+	"sync"
 
 	"disarcloud/internal/cloud"
 	"disarcloud/internal/eeb"
@@ -19,9 +22,28 @@ import (
 	"disarcloud/internal/provision"
 )
 
+// ErrDegenerateMeasurement is returned when the (simulated) cloud reports a
+// non-positive or non-finite execution time for a slot — a measurement that
+// would otherwise poison the knowledge base and the heterogeneous rate
+// composition with Inf/NaN.
+var ErrDegenerateMeasurement = errors.New("core: degenerate measured execution time")
+
+// MaxManualNodes bounds the node count accepted by DeployManual and
+// Bootstrap, mirroring the Constraints.MaxNodes bound of Algorithm 1's
+// search space. Without it the knowledge base could record configurations no
+// selector request could ever choose, skewing the training sets.
+const MaxManualNodes = 64
+
 // Deployer is the DISAR-interface-side component (DiInt in Figure 1) that
 // owns the knowledge base, the predictor and the cloud provider, and runs
 // the select -> execute -> record -> retrain loop.
+//
+// A Deployer is safe for concurrent use: the whole select -> execute ->
+// record -> retrain critical section is serialised by an internal mutex, so
+// concurrent jobs' measured times enter the knowledge base one at a time
+// and every retrain sees a consistent snapshot. The simulated execution is
+// virtual time (nothing sleeps), so holding the lock across it is cheap;
+// the real valuation work runs outside the lock.
 type Deployer struct {
 	provider     *cloud.Provider
 	kb           *kb.KB
@@ -30,6 +52,10 @@ type Deployer struct {
 	rng          *finmath.RNG
 	catalog      []cloud.InstanceType
 	retrainEvery int
+
+	// mu serialises the deploy loop (selection randomness, cloud noise,
+	// knowledge-base record, retrain).
+	mu sync.Mutex
 }
 
 // Option customises a Deployer.
@@ -137,19 +163,44 @@ type Report struct {
 
 // Deploy runs the full loop for one workload: Algorithm 1 selection (with
 // bootstrap and no-feasible fallbacks), simulated execution, knowledge-base
-// recording and model retraining.
-func (d *Deployer) Deploy(f eeb.CharacteristicParams, c provision.Constraints) (*Report, error) {
+// recording and model retraining. The context is honoured throughout
+// selection and execution; a cancelled ctx returns ctx.Err() without
+// recording anything.
+func (d *Deployer) Deploy(ctx context.Context, f eeb.CharacteristicParams, c provision.Constraints) (*Report, error) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return d.deployLocked(ctx, f, c, d.rng)
+}
+
+// DeploySeeded is Deploy with the cloud-side noise (boot latency, execution
+// jitter) drawn from a private stream rooted at seed instead of the
+// deployer's shared one. Concurrent jobs use it so each job's measured time
+// is a deterministic function of its own seed, independent of how the jobs
+// interleave.
+func (d *Deployer) DeploySeeded(ctx context.Context, f eeb.CharacteristicParams, c provision.Constraints, seed uint64) (*Report, error) {
+	rng := finmath.NewRNG(seed ^ 0x9d15a7c10bd5eed5)
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return d.deployLocked(ctx, f, c, rng)
+}
+
+// deployLocked is the body of Deploy; d.mu must be held. The execution rng
+// is passed explicitly so per-job seed splits can bypass the shared stream.
+func (d *Deployer) deployLocked(ctx context.Context, f eeb.CharacteristicParams, c provision.Constraints, rng *finmath.RNG) (*Report, error) {
 	if err := f.Validate(); err != nil {
 		return nil, err
 	}
 	if err := c.Validate(); err != nil {
 		return nil, err
 	}
-	choice, bootstrap, fallback, err := d.choose(f, c)
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	choice, bootstrap, fallback, err := d.choose(ctx, f, c)
 	if err != nil {
 		return nil, err
 	}
-	rep, err := d.execute(choice, f, true)
+	rep, err := d.execute(choice, f, rng, true)
 	if err != nil {
 		return nil, err
 	}
@@ -160,8 +211,11 @@ func (d *Deployer) Deploy(f eeb.CharacteristicParams, c provision.Constraints) (
 
 // DeployManual supersedes the ML selection with an explicit configuration —
 // the paper's early manual training mode, used to artificially grow the
-// knowledge base at the beginning of the system's lifetime.
-func (d *Deployer) DeployManual(architecture string, nodes int, f eeb.CharacteristicParams) (*Report, error) {
+// knowledge base at the beginning of the system's lifetime. The node count
+// is validated against the same kind of bound Algorithm 1 operates under
+// (1..MaxManualNodes), so manual runs cannot record configurations the
+// selector could never choose.
+func (d *Deployer) DeployManual(ctx context.Context, architecture string, nodes int, f eeb.CharacteristicParams) (*Report, error) {
 	if err := f.Validate(); err != nil {
 		return nil, err
 	}
@@ -172,8 +226,16 @@ func (d *Deployer) DeployManual(architecture string, nodes int, f eeb.Characteri
 	if nodes <= 0 {
 		return nil, errors.New("core: node count must be positive")
 	}
+	if nodes > MaxManualNodes {
+		return nil, fmt.Errorf("core: node count %d exceeds the manual bound %d", nodes, MaxManualNodes)
+	}
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
 	choice := provision.Choice{Slots: []provision.Slot{{Type: it, Nodes: nodes}}}
-	rep, err := d.execute(choice, f, true)
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	rep, err := d.execute(choice, f, d.rng, true)
 	if err != nil {
 		return nil, err
 	}
@@ -184,8 +246,8 @@ func (d *Deployer) DeployManual(architecture string, nodes int, f eeb.Characteri
 // choose applies Algorithm 1 with the two boundary policies: random
 // configuration while the knowledge base is too small (manual-training
 // phase surrogate) and fastest-available when nothing meets the deadline.
-func (d *Deployer) choose(f eeb.CharacteristicParams, c provision.Constraints) (choice provision.Choice, bootstrap, fallback bool, err error) {
-	choice, err = d.sel.Select(f, c)
+func (d *Deployer) choose(ctx context.Context, f eeb.CharacteristicParams, c provision.Constraints) (choice provision.Choice, bootstrap, fallback bool, err error) {
+	choice, err = d.sel.Select(ctx, f, c)
 	switch {
 	case err == nil:
 		return choice, false, false, nil
@@ -194,7 +256,7 @@ func (d *Deployer) choose(f eeb.CharacteristicParams, c provision.Constraints) (
 		n := 1 + d.rng.Intn(c.MaxNodes)
 		return provision.Choice{Slots: []provision.Slot{{Type: it, Nodes: n}}}, true, false, nil
 	case errors.Is(err, provision.ErrNoFeasible):
-		choice, err = d.sel.SelectFastest(f, c.MaxNodes)
+		choice, err = d.sel.SelectFastest(ctx, f, c.MaxNodes)
 		if err != nil {
 			return provision.Choice{}, false, false, err
 		}
@@ -207,18 +269,21 @@ func (d *Deployer) choose(f eeb.CharacteristicParams, c provision.Constraints) (
 // execute launches the chosen deploy, runs the workload, terminates the
 // cluster, records the sample(s) and — when retrain is set — rebuilds the
 // models of the affected architecture (the incremental self-optimizing
-// step).
-func (d *Deployer) execute(choice provision.Choice, f eeb.CharacteristicParams, retrain bool) (*Report, error) {
+// step). Cloud noise is drawn from rng; d.mu must be held.
+func (d *Deployer) execute(choice provision.Choice, f eeb.CharacteristicParams, rng *finmath.RNG, retrain bool) (*Report, error) {
 	rep := &Report{Choice: choice, PredictedSeconds: choice.PredictedSeconds}
 	switch len(choice.Slots) {
 	case 1:
 		slot := choice.Slots[0]
-		cluster, err := d.provider.Launch(d.rng, slot.Type, slot.Nodes)
+		cluster, err := d.provider.Launch(rng, slot.Type, slot.Nodes)
 		if err != nil {
 			return nil, err
 		}
-		secs, err := cluster.RunBlock(d.rng, f)
+		secs, err := cluster.RunBlock(rng, f)
 		if err != nil {
+			return nil, err
+		}
+		if err := checkMeasurement(slot, secs); err != nil {
 			return nil, err
 		}
 		rep.ActualSeconds = secs
@@ -239,12 +304,15 @@ func (d *Deployer) execute(choice provision.Choice, f eeb.CharacteristicParams, 
 		// finish together; the combined duration composes the slot rates.
 		var rates, prorata, billed float64
 		for _, slot := range choice.Slots {
-			cluster, err := d.provider.Launch(d.rng, slot.Type, slot.Nodes)
+			cluster, err := d.provider.Launch(rng, slot.Type, slot.Nodes)
 			if err != nil {
 				return nil, err
 			}
-			secs, err := cluster.RunBlock(d.rng, f)
+			secs, err := cluster.RunBlock(rng, f)
 			if err != nil {
+				return nil, err
+			}
+			if err := checkMeasurement(slot, secs); err != nil {
 				return nil, err
 			}
 			rates += 1 / secs
@@ -263,23 +331,41 @@ func (d *Deployer) execute(choice provision.Choice, f eeb.CharacteristicParams, 
 	return rep, nil
 }
 
+// checkMeasurement rejects non-positive or non-finite slot durations before
+// they reach the knowledge base or the 1/secs rate composition.
+func checkMeasurement(slot provision.Slot, secs float64) error {
+	if secs <= 0 || math.IsNaN(secs) || math.IsInf(secs, 0) {
+		return fmt.Errorf("%w: %gs on %dx%s", ErrDegenerateMeasurement, secs, slot.Nodes, slot.Type.Name)
+	}
+	return nil
+}
+
 // Bootstrap seeds the knowledge base by cycling through the catalog with
 // random node counts over the given workloads — the "early manual training
 // phase, which could be used to artificially grow the knowledge base" of
-// Section III — and retrains the models once at the end.
-func (d *Deployer) Bootstrap(workloads []eeb.CharacteristicParams, runsPerArch, maxNodes int) error {
+// Section III — and retrains the models once at the end. The context is
+// checked between runs.
+func (d *Deployer) Bootstrap(ctx context.Context, workloads []eeb.CharacteristicParams, runsPerArch, maxNodes int) error {
 	if len(workloads) == 0 {
 		return errors.New("core: no bootstrap workloads")
 	}
 	if runsPerArch <= 0 || maxNodes <= 0 {
 		return errors.New("core: bootstrap needs positive runs and node bound")
 	}
+	if maxNodes > MaxManualNodes {
+		return fmt.Errorf("core: bootstrap node bound %d exceeds the manual bound %d", maxNodes, MaxManualNodes)
+	}
+	d.mu.Lock()
+	defer d.mu.Unlock()
 	for _, it := range d.catalog {
 		for r := 0; r < runsPerArch; r++ {
+			if err := ctx.Err(); err != nil {
+				return err
+			}
 			f := workloads[d.rng.Intn(len(workloads))]
 			n := 1 + d.rng.Intn(maxNodes)
 			choice := provision.Choice{Slots: []provision.Slot{{Type: it, Nodes: n}}}
-			if _, err := d.execute(choice, f, false); err != nil {
+			if _, err := d.execute(choice, f, d.rng, false); err != nil {
 				return fmt.Errorf("core: bootstrap %s: %w", it.Name, err)
 			}
 		}

@@ -1,0 +1,216 @@
+package core
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+	"time"
+
+	"disarcloud/internal/grid"
+)
+
+// JobID identifies one submitted valuation job within a Service.
+type JobID string
+
+// JobStatus is the lifecycle state of a job.
+type JobStatus int
+
+const (
+	// JobQueued means the job is accepted and waiting for a worker.
+	JobQueued JobStatus = iota + 1
+	// JobRunning means a worker is executing the valuation.
+	JobRunning
+	// JobDone means the valuation completed and the report is available.
+	JobDone
+	// JobFailed means the valuation returned an error other than
+	// cancellation.
+	JobFailed
+	// JobCanceled means the job's context was cancelled (or its deadline
+	// expired) before the valuation completed.
+	JobCanceled
+)
+
+// String implements fmt.Stringer.
+func (s JobStatus) String() string {
+	switch s {
+	case JobQueued:
+		return "queued"
+	case JobRunning:
+		return "running"
+	case JobDone:
+		return "done"
+	case JobFailed:
+		return "failed"
+	case JobCanceled:
+		return "canceled"
+	default:
+		return fmt.Sprintf("JobStatus(%d)", int(s))
+	}
+}
+
+// Terminal reports whether the status is final.
+func (s JobStatus) Terminal() bool {
+	return s == JobDone || s == JobFailed || s == JobCanceled
+}
+
+// JobSnapshot is a point-in-time view of a job, safe to hand across API
+// boundaries (it shares no mutable state with the service).
+type JobSnapshot struct {
+	ID     JobID
+	Status JobStatus
+	// Error is the failure or cancellation message; empty otherwise.
+	Error string
+	// Done/Total track outer-path completion across all blocks of the
+	// valuation; Total is 0 until the grid run starts.
+	Done  int
+	Total int
+	// Lifecycle timestamps; zero until the corresponding transition.
+	SubmittedAt time.Time
+	StartedAt   time.Time
+	FinishedAt  time.Time
+}
+
+// job is the service-internal job record.
+type job struct {
+	id     JobID
+	spec   SimulationSpec
+	ctx    context.Context
+	cancel context.CancelFunc
+
+	mu          sync.Mutex
+	status      JobStatus
+	report      *SimulationReport
+	err         error
+	done        int // outer paths completed across blocks
+	total       int // outer paths expected across blocks
+	submittedAt time.Time
+	startedAt   time.Time
+	finishedAt  time.Time
+	subs        []chan grid.Progress
+	doneCh      chan struct{}
+}
+
+func newJob(id JobID, spec SimulationSpec, ctx context.Context, cancel context.CancelFunc) *job {
+	return &job{
+		id:          id,
+		spec:        spec,
+		ctx:         ctx,
+		cancel:      cancel,
+		status:      JobQueued,
+		submittedAt: time.Now(),
+		doneCh:      make(chan struct{}),
+	}
+}
+
+// start transitions queued -> running. It is a no-op on a terminal job.
+func (j *job) start() {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if j.status != JobQueued {
+		return
+	}
+	j.status = JobRunning
+	j.startedAt = time.Now()
+}
+
+// finish records the outcome exactly once, classifies cancellation, closes
+// the done channel and releases progress subscribers.
+func (j *job) finish(rep *SimulationReport, err error) {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if j.status.Terminal() {
+		return
+	}
+	j.report = rep
+	j.err = err
+	// The spec (portfolio, fund, market, hooks) is only needed to run; drop
+	// it so retained terminal jobs hold just the report and metadata.
+	j.spec = SimulationSpec{}
+	switch {
+	case err == nil:
+		j.status = JobDone
+	case errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded):
+		j.status = JobCanceled
+	default:
+		j.status = JobFailed
+	}
+	j.finishedAt = time.Now()
+	for _, ch := range j.subs {
+		close(ch)
+	}
+	j.subs = nil
+	close(j.doneCh)
+}
+
+// publish fans one grid monitoring event out to the subscribers. Slow
+// subscribers lose events rather than stalling the valuation: progress is a
+// monitoring stream, not a ledger.
+func (j *job) publish(ev grid.Progress) {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	j.done++
+	if j.total > 0 && j.done > j.total {
+		j.done = j.total
+	}
+	for _, ch := range j.subs {
+		select {
+		case ch <- ev:
+		default:
+		}
+	}
+}
+
+// subscribe registers a progress channel. On terminal jobs it returns an
+// already-closed channel. The returned func unsubscribes (idempotent).
+func (j *job) subscribe(buffer int) (<-chan grid.Progress, func()) {
+	ch := make(chan grid.Progress, buffer)
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if j.status.Terminal() {
+		close(ch)
+		return ch, func() {}
+	}
+	j.subs = append(j.subs, ch)
+	var once sync.Once
+	return ch, func() {
+		once.Do(func() {
+			j.mu.Lock()
+			defer j.mu.Unlock()
+			for i, c := range j.subs {
+				if c == ch {
+					j.subs = append(j.subs[:i], j.subs[i+1:]...)
+					close(ch)
+					return
+				}
+			}
+		})
+	}
+}
+
+// terminal reports whether the job has settled, without building a
+// snapshot.
+func (j *job) terminal() bool {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.status.Terminal()
+}
+
+// snapshot returns the queryable view.
+func (j *job) snapshot() JobSnapshot {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	s := JobSnapshot{
+		ID:          j.id,
+		Status:      j.status,
+		Done:        j.done,
+		Total:       j.total,
+		SubmittedAt: j.submittedAt,
+		StartedAt:   j.startedAt,
+		FinishedAt:  j.finishedAt,
+	}
+	if j.err != nil {
+		s.Error = j.err.Error()
+	}
+	return s
+}

@@ -1,0 +1,319 @@
+package core
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+
+	"disarcloud/internal/eeb"
+	"disarcloud/internal/grid"
+)
+
+// ErrServiceClosed is returned by Submit after Close.
+var ErrServiceClosed = errors.New("core: service closed")
+
+// ErrUnknownJob is returned when a JobID does not name a job of this
+// service (including jobs already evicted past the retention cap).
+var ErrUnknownJob = errors.New("core: unknown job")
+
+// ErrQueueFull is returned by Submit when the accepted-but-unstarted queue
+// is at capacity — the service's backpressure signal. Callers that want to
+// wait should retry; a front-end should surface it as "try again later".
+var ErrQueueFull = errors.New("core: submit queue full")
+
+// DefaultWorkers is the worker-pool size when WithWorkers is not given.
+const DefaultWorkers = 4
+
+// DefaultQueueDepth is the submit-queue capacity when WithQueueDepth is not
+// given; Submit fails fast with ErrQueueFull when it is exceeded.
+const DefaultQueueDepth = 64
+
+// DefaultRetention is how many terminal jobs the service keeps queryable
+// when WithRetention is not given. Older terminal jobs are evicted so a
+// long-lived service does not grow without bound.
+const DefaultRetention = 4096
+
+// ServiceOption customises a Service.
+type ServiceOption func(*serviceConfig)
+
+type serviceConfig struct {
+	workers    int
+	queueDepth int
+	retention  int
+}
+
+// WithWorkers sets the number of valuations the service runs concurrently.
+func WithWorkers(n int) ServiceOption {
+	return func(c *serviceConfig) { c.workers = n }
+}
+
+// WithQueueDepth sets how many accepted-but-unstarted jobs the service
+// holds before Submit fails with ErrQueueFull.
+func WithQueueDepth(n int) ServiceOption {
+	return func(c *serviceConfig) { c.queueDepth = n }
+}
+
+// WithRetention sets how many terminal jobs stay queryable before the
+// oldest are evicted (their Status/Result then return ErrUnknownJob).
+func WithRetention(n int) ServiceOption {
+	return func(c *serviceConfig) { c.retention = n }
+}
+
+// Service is the valuation front door: a long-lived component that accepts
+// a stream of concurrent SimulationSpec submissions, runs them on a bounded
+// worker pool over one shared self-optimizing Deployer, and exposes job
+// status, results and a progress event stream.
+//
+// Every job's measured execution time feeds the shared knowledge base and
+// retrains the prediction models, so the service as a whole improves while
+// it serves — the paper's self-optimizing loop, lifted from a single-caller
+// library function to a many-tenant service.
+type Service struct {
+	d         *Deployer
+	queue     chan *job
+	retention int
+
+	baseCtx    context.Context
+	baseCancel context.CancelFunc
+	wg         sync.WaitGroup
+
+	mu     sync.Mutex
+	jobs   map[JobID]*job
+	order  []JobID
+	nextID uint64
+	closed bool
+}
+
+// NewService starts a service over the given deployer. The returned service
+// owns its worker pool; call Close to drain it.
+func NewService(d *Deployer, opts ...ServiceOption) (*Service, error) {
+	if d == nil {
+		return nil, errors.New("core: service needs a deployer")
+	}
+	cfg := serviceConfig{workers: DefaultWorkers, queueDepth: DefaultQueueDepth, retention: DefaultRetention}
+	for _, opt := range opts {
+		opt(&cfg)
+	}
+	if cfg.workers <= 0 {
+		return nil, errors.New("core: service needs at least one worker")
+	}
+	if cfg.queueDepth < 1 {
+		return nil, errors.New("core: service queue depth must be positive")
+	}
+	if cfg.retention < 1 {
+		return nil, errors.New("core: service retention must be positive")
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	s := &Service{
+		d:          d,
+		queue:      make(chan *job, cfg.queueDepth),
+		retention:  cfg.retention,
+		baseCtx:    ctx,
+		baseCancel: cancel,
+		jobs:       make(map[JobID]*job),
+	}
+	for i := 0; i < cfg.workers; i++ {
+		s.wg.Add(1)
+		go s.worker()
+	}
+	return s, nil
+}
+
+// Deployer exposes the shared deployer (knowledge base inspection,
+// persistence).
+func (s *Service) Deployer() *Deployer { return s.d }
+
+// Submit validates and enqueues a valuation job. The given context governs
+// the job's whole lifetime: cancelling it — before or during execution —
+// stops the job, and Result then returns context.Canceled. Submit never
+// blocks: when the queue is at capacity it fails fast with ErrQueueFull
+// (the service's backpressure signal) and records nothing.
+func (s *Service) Submit(ctx context.Context, spec SimulationSpec) (JobID, error) {
+	if err := spec.Validate(); err != nil {
+		return "", err
+	}
+	if err := ctx.Err(); err != nil {
+		return "", err
+	}
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return "", ErrServiceClosed
+	}
+	s.nextID++
+	id := JobID(fmt.Sprintf("job-%06d", s.nextID))
+	jobCtx, cancel := context.WithCancel(ctx)
+	j := newJob(id, spec, jobCtx, cancel)
+	// The portfolio splits into type-B blocks of spec.Outer paths each; that
+	// is the progress denominator.
+	j.total = eeb.NumTypeBBlocks(spec.Portfolio.NumRepresentative(), maxContractsPerBlock) * spec.Outer
+	// Fan grid monitoring out to the job's subscribers, preserving any
+	// caller-supplied hook.
+	userHook := spec.OnProgress
+	j.spec.OnProgress = func(ev grid.Progress) {
+		j.publish(ev)
+		if userHook != nil {
+			userHook(ev)
+		}
+	}
+	select {
+	case s.queue <- j:
+		s.jobs[id] = j
+		s.order = append(s.order, id)
+		s.mu.Unlock()
+		return id, nil
+	default:
+		s.mu.Unlock()
+		cancel()
+		return "", fmt.Errorf("%w (depth %d)", ErrQueueFull, cap(s.queue))
+	}
+}
+
+// Status returns a snapshot of the job.
+func (s *Service) Status(id JobID) (JobSnapshot, error) {
+	j, err := s.job(id)
+	if err != nil {
+		return JobSnapshot{}, err
+	}
+	return j.snapshot(), nil
+}
+
+// Jobs returns snapshots of every job in submission order.
+func (s *Service) Jobs() []JobSnapshot {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := make([]JobSnapshot, 0, len(s.order))
+	for _, id := range s.order {
+		out = append(out, s.jobs[id].snapshot())
+	}
+	return out
+}
+
+// Result blocks until the job reaches a terminal state (or ctx is
+// cancelled) and returns its report. A job whose own context was cancelled
+// yields an error matching context.Canceled (or context.DeadlineExceeded
+// when the Tmax-derived deadline expired).
+func (s *Service) Result(ctx context.Context, id JobID) (*SimulationReport, error) {
+	j, err := s.job(id)
+	if err != nil {
+		return nil, err
+	}
+	select {
+	case <-j.doneCh:
+		j.mu.Lock()
+		defer j.mu.Unlock()
+		return j.report, j.err
+	case <-ctx.Done():
+		return nil, ctx.Err()
+	}
+}
+
+// Progress subscribes to the job's monitoring stream. Events are grid
+// per-path completions; the channel closes when the job terminates. The
+// returned func unsubscribes early. Slow consumers lose events rather than
+// slowing the valuation down.
+func (s *Service) Progress(id JobID) (<-chan grid.Progress, func(), error) {
+	j, err := s.job(id)
+	if err != nil {
+		return nil, nil, err
+	}
+	ch, unsub := j.subscribe(64)
+	return ch, unsub, nil
+}
+
+// Cancel requests cancellation of a job. Terminal jobs are unaffected.
+func (s *Service) Cancel(id JobID) error {
+	j, err := s.job(id)
+	if err != nil {
+		return err
+	}
+	j.cancel()
+	return nil
+}
+
+// Close stops accepting submissions, cancels every live job, and waits for
+// the workers to drain. It is idempotent.
+func (s *Service) Close() {
+	s.mu.Lock()
+	alreadyClosed := s.closed
+	s.closed = true
+	live := make([]*job, 0, len(s.jobs))
+	for _, j := range s.jobs {
+		live = append(live, j)
+	}
+	s.mu.Unlock()
+	if alreadyClosed {
+		s.wg.Wait()
+		return
+	}
+	s.baseCancel()
+	for _, j := range live {
+		j.cancel()
+	}
+	s.wg.Wait()
+	// Jobs still queued when the workers exited never ran; mark them
+	// canceled so Result and Status settle.
+	for _, j := range live {
+		j.finish(nil, context.Canceled)
+	}
+}
+
+func (s *Service) job(id JobID) (*job, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	j, ok := s.jobs[id]
+	if !ok {
+		return nil, fmt.Errorf("%w: %s", ErrUnknownJob, id)
+	}
+	return j, nil
+}
+
+// worker drains the queue until the service closes.
+func (s *Service) worker() {
+	defer s.wg.Done()
+	for {
+		select {
+		case <-s.baseCtx.Done():
+			return
+		case j := <-s.queue:
+			s.run(j)
+		}
+	}
+}
+
+// run executes one job end to end and settles its terminal state.
+func (s *Service) run(j *job) {
+	j.start()
+	rep, err := s.d.RunSimulation(j.ctx, j.spec)
+	j.finish(rep, err)
+	j.cancel() // release the job context's resources
+	s.evict()
+}
+
+// evict drops the oldest terminal jobs beyond the retention cap so a
+// long-lived service stays bounded. Live (queued/running) jobs are never
+// evicted.
+func (s *Service) evict() {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	terminal := 0
+	for _, id := range s.order {
+		if s.jobs[id].terminal() {
+			terminal++
+		}
+	}
+	if terminal <= s.retention {
+		return
+	}
+	kept := s.order[:0]
+	for _, id := range s.order {
+		if terminal > s.retention && s.jobs[id].terminal() {
+			delete(s.jobs, id)
+			terminal--
+			continue
+		}
+		kept = append(kept, id)
+	}
+	s.order = kept
+}

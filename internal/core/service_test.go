@@ -1,0 +1,396 @@
+package core
+
+import (
+	"context"
+	"errors"
+	"sync"
+	"testing"
+	"time"
+
+	"disarcloud/internal/actuarial"
+	"disarcloud/internal/fund"
+	"disarcloud/internal/policy"
+	"disarcloud/internal/provision"
+	"disarcloud/internal/stochastic"
+)
+
+func serviceMarket() stochastic.Config {
+	return stochastic.Config{
+		Horizon:      10,
+		StepsPerYear: 1,
+		Rate: stochastic.VasicekParams{
+			R0: 0.02, Speed: 0.3, MeanP: 0.03, MeanQ: 0.025, Sigma: 0.008,
+		},
+		Equities: []stochastic.GBMParams{{S0: 100, Mu: 0.06, Sigma: 0.18}},
+		Credit:   stochastic.CIRParams{L0: 0.008, Speed: 0.5, Mean: 0.012, Sigma: 0.03},
+	}
+}
+
+func servicePortfolio(name string) *policy.Portfolio {
+	return &policy.Portfolio{Name: name, Contracts: []policy.Contract{
+		{Kind: policy.Endowment, Age: 45, Gender: actuarial.Male, Term: 8,
+			InsuredSum: 10000, Beta: 0.8, TechnicalRate: 0.02, Count: 30},
+		{Kind: policy.TermInsurance, Age: 40, Gender: actuarial.Female, Term: 10,
+			InsuredSum: 20000, Beta: 0.8, TechnicalRate: 0.01, Count: 20},
+	}}
+}
+
+func serviceSpec(name string, outer int, seed uint64) SimulationSpec {
+	market := serviceMarket()
+	return SimulationSpec{
+		Portfolio:   servicePortfolio(name),
+		Fund:        fund.TypicalItalianFund(4, market),
+		Market:      market,
+		Outer:       outer,
+		Inner:       3,
+		Constraints: provision.Constraints{TmaxSeconds: 3600, MaxNodes: 4, Epsilon: 0},
+		MaxWorkers:  2,
+		Seed:        seed,
+	}
+}
+
+// TestServiceConcurrentSubmits drives eight concurrent jobs through one
+// shared service and checks every one completes, feeds the shared knowledge
+// base, and that same-seed jobs produce identical Solvency II numbers
+// regardless of how the workers interleaved them.
+func TestServiceConcurrentSubmits(t *testing.T) {
+	d, err := NewDeployer(17)
+	if err != nil {
+		t.Fatal(err)
+	}
+	svc, err := NewService(d, WithWorkers(4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer svc.Close()
+
+	const n = 8
+	ctx := context.Background()
+	ids := make([]JobID, n)
+	var wg sync.WaitGroup
+	errs := make([]error, n)
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			// Jobs i and i+4 share a seed: their valuations must agree.
+			id, err := svc.Submit(ctx, serviceSpec("svc", 20, uint64(100+i%4)))
+			ids[i] = id
+			errs[i] = err
+		}(i)
+	}
+	wg.Wait()
+	for i, err := range errs {
+		if err != nil {
+			t.Fatalf("submit %d: %v", i, err)
+		}
+	}
+
+	reports := make([]*SimulationReport, n)
+	for i, id := range ids {
+		rep, err := svc.Result(ctx, id)
+		if err != nil {
+			t.Fatalf("job %s: %v", id, err)
+		}
+		if rep.BEL <= 0 || rep.SCR <= 0 {
+			t.Fatalf("job %s degenerate: BEL=%v SCR=%v", id, rep.BEL, rep.SCR)
+		}
+		reports[i] = rep
+	}
+	for i := 0; i < 4; i++ {
+		a, b := reports[i], reports[i+4]
+		if a.BEL != b.BEL || a.SCR != b.SCR {
+			t.Fatalf("same-seed jobs disagree: BEL %v vs %v, SCR %v vs %v",
+				a.BEL, b.BEL, a.SCR, b.SCR)
+		}
+	}
+
+	// Every job's measured time must have entered the shared KB, and every
+	// stored sample must be valid (no degenerate record slipped in).
+	if got := d.KB().Len(); got != n {
+		t.Fatalf("KB holds %d samples after %d jobs", got, n)
+	}
+	for i, s := range d.KB().Samples() {
+		if err := s.Validate(); err != nil {
+			t.Fatalf("KB sample %d invalid: %v", i, err)
+		}
+	}
+
+	for _, id := range ids {
+		snap, err := svc.Status(id)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if snap.Status != JobDone {
+			t.Fatalf("job %s status %s, want done", id, snap.Status)
+		}
+		if snap.FinishedAt.IsZero() || snap.StartedAt.IsZero() {
+			t.Fatalf("job %s missing lifecycle timestamps: %+v", id, snap)
+		}
+	}
+}
+
+// TestServiceCancellation cancels a mid-run job and checks Result returns
+// context.Canceled, the status settles on canceled, and the knowledge base
+// stays consistent for subsequent jobs.
+func TestServiceCancellation(t *testing.T) {
+	d, err := NewDeployer(19)
+	if err != nil {
+		t.Fatal(err)
+	}
+	svc, err := NewService(d, WithWorkers(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer svc.Close()
+
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	// A deliberately long job (many outer paths) so cancellation lands
+	// mid-valuation.
+	id, err := svc.Submit(ctx, serviceSpec("cancelme", 100000, 7))
+	if err != nil {
+		t.Fatal(err)
+	}
+	events, unsub, err := svc.Progress(id)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer unsub()
+	select {
+	case ev, ok := <-events:
+		if !ok {
+			t.Fatal("progress stream closed before any event")
+		}
+		if ev.Total != 100000 {
+			t.Fatalf("progress total %d, want 100000", ev.Total)
+		}
+	case <-time.After(30 * time.Second):
+		t.Fatal("no progress event within 30s")
+	}
+	cancel() // the job is provably mid-run now
+
+	if _, err := svc.Result(context.Background(), id); !errors.Is(err, context.Canceled) {
+		t.Fatalf("Result after cancel = %v, want context.Canceled", err)
+	}
+	snap, err := svc.Status(id)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if snap.Status != JobCanceled {
+		t.Fatalf("status %s, want canceled", snap.Status)
+	}
+
+	// The KB must remain consistent: every sample valid, and a fresh job on
+	// the same service still runs to completion.
+	for i, s := range d.KB().Samples() {
+		if err := s.Validate(); err != nil {
+			t.Fatalf("KB sample %d invalid after cancellation: %v", i, err)
+		}
+	}
+	id2, err := svc.Submit(context.Background(), serviceSpec("after", 20, 8))
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, err := svc.Result(context.Background(), id2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.BEL <= 0 {
+		t.Fatal("post-cancellation job degenerate")
+	}
+}
+
+// TestServiceSubmitCancelledBeforeStart cancels a job before a worker picks
+// it up (single busy worker): it must settle canceled without running.
+func TestServiceSubmitCancelledBeforeStart(t *testing.T) {
+	d, err := NewDeployer(23)
+	if err != nil {
+		t.Fatal(err)
+	}
+	svc, err := NewService(d, WithWorkers(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer svc.Close()
+
+	// Occupy the only worker.
+	blockerCtx, cancelBlocker := context.WithCancel(context.Background())
+	defer cancelBlocker()
+	blocker, err := svc.Submit(blockerCtx, serviceSpec("blocker", 100000, 3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	queued, err := svc.Submit(ctx, serviceSpec("queued", 20, 4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	cancel()        // cancelled while still queued
+	cancelBlocker() // free the worker so the queue drains
+	if _, err := svc.Result(context.Background(), queued); !errors.Is(err, context.Canceled) {
+		t.Fatalf("queued-then-cancelled Result = %v, want context.Canceled", err)
+	}
+	if _, err := svc.Result(context.Background(), blocker); !errors.Is(err, context.Canceled) {
+		t.Fatalf("blocker Result = %v, want context.Canceled", err)
+	}
+}
+
+func TestServiceUnknownJobAndClose(t *testing.T) {
+	d, err := NewDeployer(29)
+	if err != nil {
+		t.Fatal(err)
+	}
+	svc, err := NewService(d, WithWorkers(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := svc.Status("job-nope"); !errors.Is(err, ErrUnknownJob) {
+		t.Fatalf("Status(unknown) = %v, want ErrUnknownJob", err)
+	}
+	if _, err := svc.Result(context.Background(), "job-nope"); !errors.Is(err, ErrUnknownJob) {
+		t.Fatalf("Result(unknown) = %v, want ErrUnknownJob", err)
+	}
+	if err := svc.Cancel("job-nope"); !errors.Is(err, ErrUnknownJob) {
+		t.Fatalf("Cancel(unknown) = %v, want ErrUnknownJob", err)
+	}
+	svc.Close()
+	if _, err := svc.Submit(context.Background(), serviceSpec("late", 10, 1)); !errors.Is(err, ErrServiceClosed) {
+		t.Fatalf("Submit after Close = %v, want ErrServiceClosed", err)
+	}
+	svc.Close() // idempotent
+}
+
+func TestServiceRejectsInvalidSpec(t *testing.T) {
+	d, err := NewDeployer(31)
+	if err != nil {
+		t.Fatal(err)
+	}
+	svc, err := NewService(d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer svc.Close()
+	if _, err := svc.Submit(context.Background(), SimulationSpec{}); err == nil {
+		t.Fatal("empty spec accepted")
+	}
+	if len(svc.Jobs()) != 0 {
+		t.Fatal("invalid spec left a job record behind")
+	}
+}
+
+func TestDeployManualBounds(t *testing.T) {
+	d, err := NewDeployer(37)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx := context.Background()
+	if _, err := d.DeployManual(ctx, "c3.4xlarge", MaxManualNodes+1, workload()); err == nil {
+		t.Fatal("node count beyond MaxManualNodes accepted")
+	}
+	if err := d.Bootstrap(ctx, workloadMix(), 1, MaxManualNodes+1); err == nil {
+		t.Fatal("bootstrap node bound beyond MaxManualNodes accepted")
+	}
+	if _, err := d.DeployManual(ctx, "c3.4xlarge", MaxManualNodes, workload()); err != nil {
+		t.Fatalf("node count at the bound rejected: %v", err)
+	}
+}
+
+func TestDeployHonoursCancelledContext(t *testing.T) {
+	d, err := NewDeployer(41)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	before := d.KB().Len()
+	if _, err := d.Deploy(ctx, workload(), constraints()); !errors.Is(err, context.Canceled) {
+		t.Fatalf("Deploy with cancelled ctx = %v, want context.Canceled", err)
+	}
+	if d.KB().Len() != before {
+		t.Fatal("cancelled deploy recorded a sample")
+	}
+}
+
+// TestServiceQueueFullBackpressure fills the queue behind a busy worker and
+// checks Submit fails fast with ErrQueueFull instead of blocking.
+func TestServiceQueueFullBackpressure(t *testing.T) {
+	d, err := NewDeployer(43)
+	if err != nil {
+		t.Fatal(err)
+	}
+	svc, err := NewService(d, WithWorkers(1), WithQueueDepth(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer svc.Close()
+
+	blockerCtx, cancelBlocker := context.WithCancel(context.Background())
+	defer cancelBlocker()
+	blocker, err := svc.Submit(blockerCtx, serviceSpec("blocker", 100000, 3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Wait for the worker to pick the blocker up so the queue is free.
+	deadline := time.Now().Add(30 * time.Second)
+	for {
+		snap, err := svc.Status(blocker)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if snap.Status == JobRunning {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("blocker never started")
+		}
+		time.Sleep(time.Millisecond)
+	}
+	if _, err := svc.Submit(context.Background(), serviceSpec("fill", 100000, 4)); err != nil {
+		t.Fatalf("queue slot submit: %v", err)
+	}
+	if _, err := svc.Submit(context.Background(), serviceSpec("overflow", 10, 5)); !errors.Is(err, ErrQueueFull) {
+		t.Fatalf("overflow submit = %v, want ErrQueueFull", err)
+	}
+	// The rejected submission must leave no job record behind.
+	if got := len(svc.Jobs()); got != 2 {
+		t.Fatalf("job records after rejection: %d, want 2", got)
+	}
+}
+
+// TestServiceRetentionEvictsTerminalJobs runs more jobs than the retention
+// cap and checks old terminal jobs are evicted while results stay available
+// within the cap.
+func TestServiceRetentionEvictsTerminalJobs(t *testing.T) {
+	d, err := NewDeployer(47)
+	if err != nil {
+		t.Fatal(err)
+	}
+	svc, err := NewService(d, WithWorkers(1), WithRetention(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer svc.Close()
+
+	ctx := context.Background()
+	var ids []JobID
+	for i := 0; i < 5; i++ {
+		id, err := svc.Submit(ctx, serviceSpec("evict", 10, uint64(50+i)))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := svc.Result(ctx, id); err != nil {
+			t.Fatal(err)
+		}
+		ids = append(ids, id)
+	}
+	if got := len(svc.Jobs()); got > 2 {
+		t.Fatalf("retained %d terminal jobs, cap is 2", got)
+	}
+	if _, err := svc.Status(ids[0]); !errors.Is(err, ErrUnknownJob) {
+		t.Fatalf("oldest job status = %v, want ErrUnknownJob after eviction", err)
+	}
+	if snap, err := svc.Status(ids[4]); err != nil || snap.Status != JobDone {
+		t.Fatalf("newest job should survive eviction: %v %v", snap, err)
+	}
+}

@@ -1,7 +1,10 @@
 package core
 
 import (
+	"context"
 	"fmt"
+	"math"
+	"time"
 
 	"disarcloud/internal/alm"
 	"disarcloud/internal/eeb"
@@ -11,6 +14,10 @@ import (
 	"disarcloud/internal/provision"
 	"disarcloud/internal/stochastic"
 )
+
+// maxContractsPerBlock is the type-B block granularity RunSimulation splits
+// a portfolio into; the Service uses it to size job progress totals.
+const maxContractsPerBlock = 25
 
 // SimulationSpec is a complete Solvency II valuation request as the DISAR
 // user submits it through the interface: a portfolio backed by a segregated
@@ -27,8 +34,12 @@ type SimulationSpec struct {
 	// valuation; 0 derives it from the selected deploy's total vCPUs,
 	// capped at 32.
 	MaxWorkers int
-	// Seed roots the valuation streams.
+	// Seed roots the valuation streams and, for jobs run through a Service,
+	// the per-job cloud-noise split.
 	Seed uint64
+	// OnProgress, when non-nil, receives grid monitoring events as outer
+	// paths complete. Calls are serialised by the valuation master.
+	OnProgress func(grid.Progress)
 }
 
 // Validate reports whether the spec is well-formed.
@@ -66,9 +77,29 @@ type SimulationReport struct {
 // deploy, the required VMs are activated (virtually), the distributed
 // valuation actually runs (in-process, partition-independent), the measured
 // time enters the knowledge base and the models retrain.
-func (d *Deployer) RunSimulation(spec SimulationSpec) (*SimulationReport, error) {
+//
+// The context governs the whole flow: cancelling it stops the valuation
+// between outer paths and returns ctx.Err(). The regulatory deadline
+// Constraints.TmaxSeconds additionally bounds the real wall-clock run — a
+// valuation that cannot finish inside it fails with
+// context.DeadlineExceeded rather than silently overrunning.
+//
+// RunSimulation is safe for concurrent use. The valuation results (BEL,
+// SCR) and the cloud-side noise stream are deterministic in spec.Seed
+// regardless of concurrent-job interleaving; the deploy *selection* may
+// still differ across interleavings, because it consults the shared,
+// growing knowledge base and the deployer's exploration stream.
+func (d *Deployer) RunSimulation(ctx context.Context, spec SimulationSpec) (*SimulationReport, error) {
 	if err := spec.Validate(); err != nil {
 		return nil, err
+	}
+	// Huge Tmax values (e.g. 1e18 as an "effectively no deadline" sentinel)
+	// would overflow time.Duration into a negative, already-expired timeout;
+	// treat anything past the representable range as unbounded.
+	if tmax := spec.Constraints.TmaxSeconds; tmax > 0 && tmax < float64(math.MaxInt64)/float64(time.Second) {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, time.Duration(tmax*float64(time.Second)))
+		defer cancel()
 	}
 	// One aggregate type-B block describes the whole simulation for the
 	// predictor, mirroring the paper's per-simulation samples.
@@ -86,7 +117,7 @@ func (d *Deployer) RunSimulation(spec SimulationSpec) (*SimulationReport, error)
 	}
 	f := whole.Params()
 
-	deployRep, err := d.Deploy(f, spec.Constraints)
+	deployRep, err := d.DeploySeeded(ctx, f, spec.Constraints, spec.Seed)
 	if err != nil {
 		return nil, err
 	}
@@ -103,15 +134,15 @@ func (d *Deployer) RunSimulation(spec SimulationSpec) (*SimulationReport, error)
 		workers = 1
 	}
 	blocks, err := eeb.SplitPortfolio(spec.Portfolio, spec.Fund, spec.Market, eeb.SplitSpec{
-		MaxContractsPerBlock: 25,
+		MaxContractsPerBlock: maxContractsPerBlock,
 		Outer:                spec.Outer,
 		Inner:                spec.Inner,
 	})
 	if err != nil {
 		return nil, err
 	}
-	master := &grid.Master{Workers: workers, Seed: spec.Seed}
-	results, err := master.Run(blocks)
+	master := &grid.Master{Workers: workers, Seed: spec.Seed, OnProgress: spec.OnProgress}
+	results, err := master.Run(ctx, blocks)
 	if err != nil {
 		return nil, err
 	}

@@ -18,6 +18,16 @@ type SplitSpec struct {
 	Outer, Inner int
 }
 
+// NumTypeBBlocks returns how many type-B blocks SplitPortfolio will produce
+// for a portfolio of the given representative-contract count — the single
+// source of truth callers use to size progress totals.
+func NumTypeBBlocks(contracts, maxContractsPerBlock int) int {
+	if maxContractsPerBlock <= 0 {
+		return 1
+	}
+	return (contracts + maxContractsPerBlock - 1) / maxContractsPerBlock
+}
+
 // SplitPortfolio decomposes one portfolio backed by one fund into the DISAR
 // work units: one type-A block (the actuarial schedules are cheap and
 // computed once) and one or more type-B blocks, slicing the portfolio when
@@ -27,10 +37,7 @@ func SplitPortfolio(p *policy.Portfolio, f fund.Config, market stochastic.Config
 	if p == nil {
 		return nil, fmt.Errorf("eeb: nil portfolio")
 	}
-	nSlices := 1
-	if spec.MaxContractsPerBlock > 0 {
-		nSlices = (p.NumRepresentative() + spec.MaxContractsPerBlock - 1) / spec.MaxContractsPerBlock
-	}
+	nSlices := NumTypeBBlocks(p.NumRepresentative(), spec.MaxContractsPerBlock)
 	slices := p.Slice(nSlices)
 
 	blocks := make([]*Block, 0, len(slices)+1)

@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"io"
@@ -85,12 +86,12 @@ func EvaluateEpsilonAblation(seed uint64, epsilons []float64, runs int) (*Epsilo
 		if err != nil {
 			return nil, err
 		}
-		if err := c.Deployer.Bootstrap(c.Workloads, provision.MinSamplesToTrain, 8); err != nil {
+		if err := c.Deployer.Bootstrap(context.Background(), c.Workloads, provision.MinSamplesToTrain, 8); err != nil {
 			return nil, err
 		}
 		totalCost := 0.0
 		for i := 0; i < runs; i++ {
-			rep, err := c.Deployer.Deploy(c.Workloads[i%len(c.Workloads)], provision.Constraints{
+			rep, err := c.Deployer.Deploy(context.Background(), c.Workloads[i%len(c.Workloads)], provision.Constraints{
 				TmaxSeconds: 900, MaxNodes: 8, Epsilon: eps,
 			})
 			if err != nil {
@@ -148,12 +149,12 @@ func EvaluateRetrainAblation(seed uint64, runs int) (*RetrainAblation, error) {
 	for _, v := range variants {
 		// Bootstrap trains both variants once; the frozen arm never
 		// retrains afterwards because of its cadence.
-		if err := v.campaign.Deployer.Bootstrap(v.campaign.Workloads, provision.MinSamplesToTrain, 8); err != nil {
+		if err := v.campaign.Deployer.Bootstrap(context.Background(), v.campaign.Workloads, provision.MinSamplesToTrain, 8); err != nil {
 			return nil, err
 		}
 		for i := 0; i < runs; i++ {
 			f := v.campaign.Workloads[i%len(v.campaign.Workloads)]
-			rep, err := v.campaign.Deployer.Deploy(f, provision.Constraints{
+			rep, err := v.campaign.Deployer.Deploy(context.Background(), f, provision.Constraints{
 				TmaxSeconds: 900, MaxNodes: 8, Epsilon: 0.15,
 			})
 			if err != nil {
@@ -217,14 +218,14 @@ func EvaluateHeterogeneousAblation(pm cloud.PerfModel, f eeb.CharacteristicParam
 	for _, factor := range deadlineFactors {
 		tmax := BindingDeadline(pm, f, factor)
 		cons := provision.Constraints{TmaxSeconds: tmax, MaxNodes: maxNodes, Epsilon: 0}
-		homo, err := homoSel.Select(f, cons)
+		homo, err := homoSel.Select(context.Background(), f, cons)
 		if errors.Is(err, provision.ErrNoFeasible) {
 			continue
 		}
 		if err != nil {
 			return nil, fmt.Errorf("experiments: homogeneous at Tmax=%v: %w", tmax, err)
 		}
-		het, err := hetSel.Select(f, cons)
+		het, err := hetSel.Select(context.Background(), f, cons)
 		if err != nil {
 			return nil, fmt.Errorf("experiments: heterogeneous at Tmax=%v: %w", tmax, err)
 		}

@@ -7,6 +7,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 
 	"disarcloud/internal/cloud"
@@ -110,7 +111,8 @@ func (c *Campaign) BuildKB(total int) error {
 		return fmt.Errorf("experiments: non-positive KB target")
 	}
 	perArch := provision.MinSamplesToTrain
-	if err := c.Deployer.Bootstrap(c.Workloads, perArch, 8); err != nil {
+	ctx := context.Background()
+	if err := c.Deployer.Bootstrap(ctx, c.Workloads, perArch, 8); err != nil {
 		return err
 	}
 	deadlines := []float64{250, 400, 600, 900, 1500, 3000}
@@ -122,7 +124,7 @@ func (c *Campaign) BuildKB(total int) error {
 			MaxNodes:    8,
 			Epsilon:     0.15,
 		}
-		if _, err := c.Deployer.Deploy(f, cons); err != nil {
+		if _, err := c.Deployer.Deploy(ctx, f, cons); err != nil {
 			return fmt.Errorf("experiments: campaign deploy %d: %w", i, err)
 		}
 		i++

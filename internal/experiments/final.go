@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"io"
@@ -61,11 +62,11 @@ func EvaluateFinalComparison(sel *provision.Selector, pm cloud.PerfModel,
 	if cons.TmaxSeconds <= 0 {
 		cons.TmaxSeconds = BindingDeadline(pm, f, 0.85)
 	}
-	choice, err := sel.Select(f, cons)
+	choice, err := sel.Select(context.Background(), f, cons)
 	if errors.Is(err, provision.ErrNoFeasible) {
 		// Same policy as the deployer: when the models believe nothing meets
 		// the deadline, take the predicted-fastest configuration.
-		choice, err = sel.SelectFastest(f, cons.MaxNodes)
+		choice, err = sel.SelectFastest(context.Background(), f, cons.MaxNodes)
 	}
 	if err != nil {
 		return nil, fmt.Errorf("experiments: ML selection: %w", err)

@@ -1,6 +1,7 @@
 package grid
 
 import (
+	"context"
 	"fmt"
 	"testing"
 
@@ -42,7 +43,7 @@ func BenchmarkDistributedRun(b *testing.B) {
 			m := &Master{Workers: workers, Seed: 1}
 			b.ResetTimer()
 			for i := 0; i < b.N; i++ {
-				if _, err := m.Run(blocks); err != nil {
+				if _, err := m.Run(context.Background(), blocks); err != nil {
 					b.Fatal(err)
 				}
 			}
@@ -55,7 +56,7 @@ func BenchmarkSequentialRun(b *testing.B) {
 	blocks := benchBlocks(b)
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		if _, err := RunSequential(blocks, 1); err != nil {
+		if _, err := RunSequential(context.Background(), blocks, 1); err != nil {
 			b.Fatal(err)
 		}
 	}

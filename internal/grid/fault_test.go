@@ -1,6 +1,7 @@
 package grid
 
 import (
+	"context"
 	"errors"
 	"sync/atomic"
 	"testing"
@@ -15,16 +16,16 @@ type flakyExecutor struct {
 	failures *atomic.Int64
 }
 
-func (f *flakyExecutor) ExecuteSlice(b *eeb.Block, from, to int, onDone func()) ([]float64, error) {
+func (f *flakyExecutor) ExecuteSlice(ctx context.Context, b *eeb.Block, from, to int, onDone func()) ([]float64, error) {
 	if f.failures.Add(-1) >= 0 {
 		return nil, errors.New("injected transient fault")
 	}
-	return f.inner.ExecuteSlice(b, from, to, onDone)
+	return f.inner.ExecuteSlice(ctx, b, from, to, onDone)
 }
 
 func TestTransientFaultsAbsorbedByRetry(t *testing.T) {
 	blocks := testBlocks(t)
-	want, err := RunSequential(blocks, 42)
+	want, err := RunSequential(context.Background(), blocks, 42)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -42,7 +43,7 @@ func TestTransientFaultsAbsorbedByRetry(t *testing.T) {
 			return &flakyExecutor{inner: NewEngine(seed), failures: &failures}
 		},
 	}
-	got, err := m.Run(blocks)
+	got, err := m.Run(context.Background(), blocks)
 	if err != nil {
 		t.Fatalf("retries did not absorb transient faults: %v", err)
 	}
@@ -70,7 +71,7 @@ func TestPermanentFaultFailsTheRun(t *testing.T) {
 			return &flakyExecutor{inner: NewEngine(seed), failures: &failures}
 		},
 	}
-	if _, err := m.Run(blocks); err == nil {
+	if _, err := m.Run(context.Background(), blocks); err == nil {
 		t.Fatal("permanent faults must fail the run")
 	}
 }
@@ -78,7 +79,7 @@ func TestPermanentFaultFailsTheRun(t *testing.T) {
 func TestZeroRetriesStillWorksWhenHealthy(t *testing.T) {
 	blocks := testBlocks(t)
 	m := &Master{Workers: 2, Seed: 7} // MaxRetries zero by default
-	if _, err := m.Run(blocks); err != nil {
+	if _, err := m.Run(context.Background(), blocks); err != nil {
 		t.Fatal(err)
 	}
 }

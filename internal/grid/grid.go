@@ -10,6 +10,7 @@
 package grid
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"sync"
@@ -63,14 +64,19 @@ func (e *Engine) ExecuteTypeA(b *eeb.Block) ([]*actuarial.DecrementTable, error)
 
 // ExecuteSlice runs the outer-path range [from, to) of a type-B block,
 // invoking onDone after each completed path when non-nil. The result is the
-// local Y1 values, ready to be gathered by the master.
-func (e *Engine) ExecuteSlice(b *eeb.Block, from, to int, onDone func()) ([]float64, error) {
+// local Y1 values, ready to be gathered by the master. Cancellation is
+// checked between outer paths: a cancelled ctx aborts the slice and returns
+// ctx.Err().
+func (e *Engine) ExecuteSlice(ctx context.Context, b *eeb.Block, from, to int, onDone func()) ([]float64, error) {
 	v, err := alm.NewValuer(b, e.seed)
 	if err != nil {
 		return nil, err
 	}
 	out := make([]float64, 0, to-from)
 	for i := from; i < to; i++ {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
 		out = append(out, v.ValueOuter(i, b.Inner))
 		if onDone != nil {
 			onDone()
@@ -82,7 +88,7 @@ func (e *Engine) ExecuteSlice(b *eeb.Block, from, to int, onDone func()) ([]floa
 // executor abstracts the DiEng slice execution so fault-injection tests can
 // wrap it with transient failures.
 type executor interface {
-	ExecuteSlice(b *eeb.Block, from, to int, onDone func()) ([]float64, error)
+	ExecuteSlice(ctx context.Context, b *eeb.Block, from, to int, onDone func()) ([]float64, error)
 }
 
 var _ executor = (*Engine)(nil)
@@ -115,13 +121,17 @@ func (m *Master) executor() executor {
 }
 
 // executeWithRetry runs one slice, absorbing up to MaxRetries transient
-// failures.
-func (m *Master) executeWithRetry(eng executor, b *eeb.Block, from, to int, onDone func()) ([]float64, error) {
+// failures. Cancellation is never retried: it propagates immediately and
+// unwrapped so callers can match it with errors.Is.
+func (m *Master) executeWithRetry(ctx context.Context, eng executor, b *eeb.Block, from, to int, onDone func()) ([]float64, error) {
 	var lastErr error
 	for attempt := 0; attempt <= m.MaxRetries; attempt++ {
-		local, err := eng.ExecuteSlice(b, from, to, onDone)
+		local, err := eng.ExecuteSlice(ctx, b, from, to, onDone)
 		if err == nil {
 			return local, nil
+		}
+		if ctx.Err() != nil {
+			return nil, ctx.Err()
 		}
 		lastErr = err
 	}
@@ -137,7 +147,10 @@ func (m *Master) executeWithRetry(eng executor, b *eeb.Block, from, to int, onDo
 // and their presence is required only insofar as the portfolio needs them —
 // the valuer recomputes decrements internally, so A-blocks are validated and
 // skipped in the distribution.
-func (m *Master) Run(blocks []*eeb.Block) (map[string]*alm.Result, error) {
+//
+// Cancelling ctx stops every rank between outer paths; the ranks stay in
+// lockstep through the collectives and Run returns ctx.Err().
+func (m *Master) Run(ctx context.Context, blocks []*eeb.Block) (map[string]*alm.Result, error) {
 	if m.Workers <= 0 {
 		return nil, errors.New("grid: master needs at least one worker")
 	}
@@ -169,17 +182,19 @@ func (m *Master) Run(blocks []*eeb.Block) (map[string]*alm.Result, error) {
 			if m.OnProgress != nil {
 				blockID, total := b.ID, b.Outer
 				onDone = func() {
+					// The hook runs under the mutex so calls are serialised
+					// across ranks, as the OnProgress contract promises; keep
+					// user hooks fast.
 					progressMu.Lock()
 					done[blockID]++
-					ev := Progress{BlockID: blockID, Done: done[blockID], Total: total}
+					m.OnProgress(Progress{BlockID: blockID, Done: done[blockID], Total: total})
 					progressMu.Unlock()
-					m.OnProgress(ev)
 				}
 			}
 			var local []float64
 			if rankErr == nil {
 				var err error
-				local, err = m.executeWithRetry(engine, b, from, to, onDone)
+				local, err = m.executeWithRetry(ctx, engine, b, from, to, onDone)
 				if err != nil {
 					rankErr = err
 					local = nil
@@ -220,16 +235,27 @@ func (m *Master) Run(blocks []*eeb.Block) (map[string]*alm.Result, error) {
 		return rankErr
 	})
 	if err != nil {
+		// Prefer the plain context error over the joined per-rank errors so
+		// callers can match cancellation with errors.Is — but only when the
+		// ranks actually failed on the cancellation, so a genuine fault that
+		// raced the deadline keeps its diagnostics.
+		if ctxErr := ctx.Err(); ctxErr != nil && errors.Is(err, ctxErr) {
+			return nil, ctxErr
+		}
 		return nil, err
 	}
 	return results, nil
 }
 
 // RunSequential executes every type-B block on a single computing unit —
-// the baseline the paper's Figure 4 speedups are measured against.
-func RunSequential(blocks []*eeb.Block, seed uint64) (map[string]*alm.Result, error) {
+// the baseline the paper's Figure 4 speedups are measured against. The
+// context is checked between blocks.
+func RunSequential(ctx context.Context, blocks []*eeb.Block, seed uint64) (map[string]*alm.Result, error) {
 	results := make(map[string]*alm.Result)
 	for _, b := range eeb.TypeB(blocks) {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
 		v, err := alm.NewValuer(b, seed)
 		if err != nil {
 			return nil, err

@@ -1,6 +1,8 @@
 package grid
 
 import (
+	"context"
+	"errors"
 	"sync/atomic"
 	"testing"
 
@@ -47,13 +49,13 @@ func testBlocks(t *testing.T) []*eeb.Block {
 
 func TestDistributedMatchesSequential(t *testing.T) {
 	blocks := testBlocks(t)
-	seq, err := RunSequential(blocks, 42)
+	seq, err := RunSequential(context.Background(), blocks, 42)
 	if err != nil {
 		t.Fatal(err)
 	}
 	for _, workers := range []int{1, 2, 3, 7} {
 		m := &Master{Workers: workers, Seed: 42}
-		dist, err := m.Run(blocks)
+		dist, err := m.Run(context.Background(), blocks)
 		if err != nil {
 			t.Fatalf("workers=%d: %v", workers, err)
 		}
@@ -75,13 +77,13 @@ func TestDistributedMatchesSequential(t *testing.T) {
 
 func TestMasterValidation(t *testing.T) {
 	m := &Master{Workers: 0, Seed: 1}
-	if _, err := m.Run(testBlocks(t)); err == nil {
+	if _, err := m.Run(context.Background(), testBlocks(t)); err == nil {
 		t.Fatal("zero workers accepted")
 	}
 	bad := testBlocks(t)
 	bad[1].Outer = 0
 	m = &Master{Workers: 2, Seed: 1}
-	if _, err := m.Run(bad); err == nil {
+	if _, err := m.Run(context.Background(), bad); err == nil {
 		t.Fatal("invalid block accepted")
 	}
 }
@@ -100,7 +102,7 @@ func TestProgressMonitoring(t *testing.T) {
 			}
 		},
 	}
-	if _, err := m.Run(blocks); err != nil {
+	if _, err := m.Run(context.Background(), blocks); err != nil {
 		t.Fatal(err)
 	}
 	typeB := eeb.TypeB(blocks)
@@ -150,7 +152,7 @@ func TestExecuteTypeA(t *testing.T) {
 func TestExecuteSliceMatchesRange(t *testing.T) {
 	b := eeb.TypeB(testBlocks(t))[0]
 	eng := NewEngine(9)
-	out, err := eng.ExecuteSlice(b, 3, 9, nil)
+	out, err := eng.ExecuteSlice(context.Background(), b, 3, 9, nil)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -158,7 +160,7 @@ func TestExecuteSliceMatchesRange(t *testing.T) {
 		t.Fatalf("slice length %d, want 6", len(out))
 	}
 	count := 0
-	if _, err := eng.ExecuteSlice(b, 0, 4, func() { count++ }); err != nil {
+	if _, err := eng.ExecuteSlice(context.Background(), b, 0, 4, func() { count++ }); err != nil {
 		t.Fatal(err)
 	}
 	if count != 4 {
@@ -169,14 +171,50 @@ func TestExecuteSliceMatchesRange(t *testing.T) {
 func TestMoreWorkersThanOuterPaths(t *testing.T) {
 	blocks := testBlocks(t)
 	m := &Master{Workers: 64, Seed: 42} // more ranks than outer paths
-	dist, err := m.Run(blocks)
+	dist, err := m.Run(context.Background(), blocks)
 	if err != nil {
 		t.Fatal(err)
 	}
-	seq, _ := RunSequential(blocks, 42)
+	seq, _ := RunSequential(context.Background(), blocks, 42)
 	for id, want := range seq {
 		if dist[id].BEL != want.BEL {
 			t.Fatalf("block %s BEL mismatch with oversubscribed workers", id)
 		}
+	}
+}
+
+func TestRunHonoursCancellation(t *testing.T) {
+	blocks := testBlocks(t)
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	// Cancel from inside the monitoring hook once the run is provably in
+	// flight; every rank must stop between outer paths and Run must
+	// surface the context error, not a partial result.
+	var fired atomic.Bool
+	m := &Master{
+		Workers: 3,
+		Seed:    42,
+		OnProgress: func(Progress) {
+			if fired.CompareAndSwap(false, true) {
+				cancel()
+			}
+		},
+	}
+	res, err := m.Run(ctx, blocks)
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("cancelled Run returned %v, want context.Canceled", err)
+	}
+	if res != nil {
+		t.Fatal("cancelled Run returned partial results")
+	}
+}
+
+func TestExecuteSliceHonoursCancellation(t *testing.T) {
+	b := eeb.TypeB(testBlocks(t))[0]
+	eng := NewEngine(9)
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := eng.ExecuteSlice(ctx, b, 0, b.Outer, nil); !errors.Is(err, context.Canceled) {
+		t.Fatalf("ExecuteSlice with cancelled ctx = %v, want context.Canceled", err)
 	}
 }

@@ -1,6 +1,7 @@
 package provision
 
 import (
+	"context"
 	"errors"
 	"math"
 	"strings"
@@ -77,7 +78,7 @@ func TestSelectPicksCheapestFeasible(t *testing.T) {
 		t.Fatal(err)
 	}
 	c := Constraints{TmaxSeconds: 400, MaxNodes: 8, Epsilon: 0}
-	choice, err := s.Select(params(), c)
+	choice, err := s.Select(context.Background(), params(), c)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -85,7 +86,7 @@ func TestSelectPicksCheapestFeasible(t *testing.T) {
 		t.Fatalf("selected config misses deadline: %v", choice)
 	}
 	// Exhaustively verify minimality against the oracle.
-	cands, _ := s.Candidates(params(), c)
+	cands, _ := s.Candidates(context.Background(), params(), c)
 	for _, cand := range cands {
 		if cand.PredictedCost < choice.PredictedCost {
 			t.Fatalf("cheaper feasible candidate exists: %v < %v", cand, choice)
@@ -99,11 +100,11 @@ func TestSelectPicksCheapestFeasible(t *testing.T) {
 func TestSelectRespectsTightDeadline(t *testing.T) {
 	s, _ := NewSelector(newOracle(), nil, finmath.NewRNG(1))
 	// A tight deadline forces bigger (more expensive) configurations.
-	loose, err := s.Select(params(), Constraints{TmaxSeconds: 500, MaxNodes: 8, Epsilon: 0})
+	loose, err := s.Select(context.Background(), params(), Constraints{TmaxSeconds: 500, MaxNodes: 8, Epsilon: 0})
 	if err != nil {
 		t.Fatal(err)
 	}
-	tight, err := s.Select(params(), Constraints{TmaxSeconds: 220, MaxNodes: 8, Epsilon: 0})
+	tight, err := s.Select(context.Background(), params(), Constraints{TmaxSeconds: 220, MaxNodes: 8, Epsilon: 0})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -117,7 +118,7 @@ func TestSelectRespectsTightDeadline(t *testing.T) {
 
 func TestSelectNoFeasible(t *testing.T) {
 	s, _ := NewSelector(newOracle(), nil, finmath.NewRNG(1))
-	_, err := s.Select(params(), Constraints{TmaxSeconds: 1, MaxNodes: 2, Epsilon: 0})
+	_, err := s.Select(context.Background(), params(), Constraints{TmaxSeconds: 1, MaxNodes: 2, Epsilon: 0})
 	if !errors.Is(err, ErrNoFeasible) {
 		t.Fatalf("want ErrNoFeasible, got %v", err)
 	}
@@ -130,7 +131,7 @@ func TestSelectUntrainedArchitecturesSkipped(t *testing.T) {
 	}
 	oracle.untrained["c3.4xlarge"] = false
 	s, _ := NewSelector(oracle, nil, finmath.NewRNG(1))
-	choice, err := s.Select(params(), Constraints{TmaxSeconds: 600, MaxNodes: 8, Epsilon: 0})
+	choice, err := s.Select(context.Background(), params(), Constraints{TmaxSeconds: 600, MaxNodes: 8, Epsilon: 0})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -145,7 +146,7 @@ func TestSelectAllUntrained(t *testing.T) {
 		oracle.untrained[it.Name] = true
 	}
 	s, _ := NewSelector(oracle, nil, finmath.NewRNG(1))
-	_, err := s.Select(params(), Constraints{TmaxSeconds: 600, MaxNodes: 4, Epsilon: 0})
+	_, err := s.Select(context.Background(), params(), Constraints{TmaxSeconds: 600, MaxNodes: 4, Epsilon: 0})
 	if !errors.Is(err, ErrUntrained) {
 		t.Fatalf("want ErrUntrained, got %v", err)
 	}
@@ -156,7 +157,7 @@ func TestEpsilonGreedyExplores(t *testing.T) {
 	c := Constraints{TmaxSeconds: 600, MaxNodes: 8, Epsilon: 0.5}
 	explored, exploited := 0, 0
 	for i := 0; i < 200; i++ {
-		choice, err := s.Select(params(), c)
+		choice, err := s.Select(context.Background(), params(), c)
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -179,11 +180,11 @@ func TestEpsilonGreedyExplores(t *testing.T) {
 
 func TestSelectFastest(t *testing.T) {
 	s, _ := NewSelector(newOracle(), nil, finmath.NewRNG(1))
-	fast, err := s.SelectFastest(params(), 8)
+	fast, err := s.SelectFastest(context.Background(), params(), 8)
 	if err != nil {
 		t.Fatal(err)
 	}
-	cands, _ := s.Candidates(params(), Constraints{TmaxSeconds: 1e18, MaxNodes: 8, Epsilon: 0})
+	cands, _ := s.Candidates(context.Background(), params(), Constraints{TmaxSeconds: 1e18, MaxNodes: 8, Epsilon: 0})
 	for _, cand := range cands {
 		if cand.PredictedSeconds < fast.PredictedSeconds {
 			t.Fatalf("faster candidate exists: %v < %v", cand, fast)
@@ -195,7 +196,7 @@ func TestHeterogeneousExtension(t *testing.T) {
 	s, _ := NewSelector(newOracle(), nil, finmath.NewRNG(3))
 	s.Heterogeneous = true
 	c := Constraints{TmaxSeconds: 600, MaxNodes: 4, Epsilon: 0}
-	cands, err := s.Candidates(params(), c)
+	cands, err := s.Candidates(context.Background(), params(), c)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -218,7 +219,7 @@ func TestHeterogeneousExtension(t *testing.T) {
 		t.Fatal("no heterogeneous candidates generated")
 	}
 	// A mix is never slower than its slower half run alone.
-	choice, err := s.Select(params(), c)
+	choice, err := s.Select(context.Background(), params(), c)
 	if err != nil {
 		t.Fatal(err)
 	}

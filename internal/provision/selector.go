@@ -1,6 +1,7 @@
 package provision
 
 import (
+	"context"
 	"errors"
 	"fmt"
 
@@ -114,14 +115,18 @@ func NewSelector(pred Predictor, catalog []cloud.InstanceType, rng *finmath.RNG)
 // (architecture, node count) pairs whose ensemble-predicted time is within
 // Tmax, each annotated with its expected cost. Architectures without
 // trained models are skipped; if every architecture is untrained the
-// returned error wraps ErrUntrained.
-func (s *Selector) Candidates(f eeb.CharacteristicParams, c Constraints) ([]Choice, error) {
+// returned error wraps ErrUntrained. The enumeration honours ctx: a
+// cancelled context aborts mid-catalog and returns ctx.Err().
+func (s *Selector) Candidates(ctx context.Context, f eeb.CharacteristicParams, c Constraints) ([]Choice, error) {
 	if err := c.Validate(); err != nil {
 		return nil, err
 	}
 	var out []Choice
 	trainedAny := false
 	for _, it := range s.catalog {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
 		for n := 1; n <= c.MaxNodes; n++ {
 			secs, err := s.pred.PredictSeconds(it.Name, n, f)
 			if errors.Is(err, ErrUntrained) {
@@ -142,7 +147,7 @@ func (s *Selector) Candidates(f eeb.CharacteristicParams, c Constraints) ([]Choi
 		}
 	}
 	if s.Heterogeneous {
-		het, err := s.heterogeneousCandidates(f, c)
+		het, err := s.heterogeneousCandidates(ctx, f, c)
 		if err != nil {
 			return nil, err
 		}
@@ -159,10 +164,13 @@ func (s *Selector) Candidates(f eeb.CharacteristicParams, c Constraints) ([]Choi
 // slot processes work at rate 1/t_slot, so the mix finishes in
 // 1/(1/tA + 1/tB) — both slots run for the full duration and are billed for
 // it.
-func (s *Selector) heterogeneousCandidates(f eeb.CharacteristicParams, c Constraints) ([]Choice, error) {
+func (s *Selector) heterogeneousCandidates(ctx context.Context, f eeb.CharacteristicParams, c Constraints) ([]Choice, error) {
 	var out []Choice
 	for i, a := range s.catalog {
 		for _, b := range s.catalog[i+1:] {
+			if err := ctx.Err(); err != nil {
+				return nil, err
+			}
 			for na := 1; na < c.MaxNodes; na++ {
 				ta, errA := s.pred.PredictSeconds(a.Name, na, f)
 				if errors.Is(errA, ErrUntrained) {
@@ -200,8 +208,8 @@ func (s *Selector) heterogeneousCandidates(f eeb.CharacteristicParams, c Constra
 // with probability epsilon a uniformly random feasible one (exploration,
 // which enlarges the knowledge base and reduces false positives on the
 // expected execution time).
-func (s *Selector) Select(f eeb.CharacteristicParams, c Constraints) (Choice, error) {
-	cands, err := s.Candidates(f, c)
+func (s *Selector) Select(ctx context.Context, f eeb.CharacteristicParams, c Constraints) (Choice, error) {
+	cands, err := s.Candidates(ctx, f, c)
 	if err != nil {
 		return Choice{}, err
 	}
@@ -225,8 +233,8 @@ func (s *Selector) Select(f eeb.CharacteristicParams, c Constraints) (Choice, er
 // SelectFastest returns the feasibility-unconstrained minimum-time
 // configuration — the fallback when no candidate meets Tmax and the
 // baseline for the paper's final comparison against the "higher-end VM".
-func (s *Selector) SelectFastest(f eeb.CharacteristicParams, maxNodes int) (Choice, error) {
-	cands, err := s.Candidates(f, Constraints{
+func (s *Selector) SelectFastest(ctx context.Context, f eeb.CharacteristicParams, maxNodes int) (Choice, error) {
+	cands, err := s.Candidates(ctx, f, Constraints{
 		TmaxSeconds: 1e18, MaxNodes: maxNodes, Epsilon: 0,
 	})
 	if err != nil {
