@@ -14,6 +14,7 @@ package disarcloud_test
 
 import (
 	"context"
+	"disarcloud"
 	"math"
 	"os"
 	"sync"
@@ -316,5 +317,92 @@ func BenchmarkGroundTruthSample(b *testing.B) {
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		_ = pm.ExecSeconds(r, it, 4, f)
+	}
+}
+
+// campaignBenchSpec is the base valuation of the stress-campaign benchmarks:
+// big enough that scenario generation is a real share of the work, small
+// enough to iterate.
+func campaignBenchSpec(b *testing.B) disarcloud.SimulationSpec {
+	b.Helper()
+	gen := disarcloud.ItalianCompanySpecs()[0]
+	gen.NumContracts = 15
+	p, err := disarcloud.GeneratePortfolio(43, gen)
+	if err != nil {
+		b.Fatal(err)
+	}
+	// A correlated multi-factor market (two equities, one currency, credit):
+	// the correlation structure makes path generation genuinely expensive —
+	// exactly what the shared scenario set amortises across the modules.
+	market := disarcloud.DefaultMarket(p.MaxTerm())
+	market.Equities = append(market.Equities,
+		disarcloud.DefaultMarket(p.MaxTerm()).Equities[0])
+	market.Equities[1].S0, market.Equities[1].Sigma = 50, 0.22
+	market.Currencies = []disarcloud.GBMParams{{S0: 1.1, Mu: 0.01, Sigma: 0.08}}
+	corr := finmath.Identity(market.NumFactors())
+	set := func(i, j int, v float64) { corr.Set(i, j, v); corr.Set(j, i, v) }
+	set(0, 1, -0.2) // rate / equity 1
+	set(0, 2, -0.15)
+	set(1, 2, 0.6) // the two equities
+	set(1, 3, 0.25)
+	set(0, 4, 0.2) // rate / credit
+	market.Corr = corr
+	return disarcloud.SimulationSpec{
+		Portfolio:   p,
+		Fund:        disarcloud.TypicalItalianFund(6, market),
+		Market:      market,
+		Outer:       200,
+		Inner:       10,
+		Constraints: disarcloud.Constraints{TmaxSeconds: 3600, MaxNodes: 8, Epsilon: 0},
+		MaxWorkers:  4,
+		Seed:        42,
+	}
+}
+
+// runCampaign executes one full 7-module standard-formula campaign on a
+// fresh service and returns the report.
+func runCampaign(b *testing.B, noReuse bool) *disarcloud.CampaignReport {
+	b.Helper()
+	d, err := disarcloud.NewDeployer(2016, disarcloud.WithRetrainEvery(100))
+	if err != nil {
+		b.Fatal(err)
+	}
+	svc, err := disarcloud.NewService(d, disarcloud.WithWorkers(4))
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer svc.Close()
+	id, err := svc.SubmitCampaign(context.Background(), disarcloud.CampaignSpec{
+		Base:            campaignBenchSpec(b),
+		NoScenarioReuse: noReuse,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	rep, err := svc.CampaignResult(context.Background(), id)
+	if err != nil {
+		b.Fatal(err)
+	}
+	if rep.SCR.BSCR <= 0 {
+		b.Fatal("campaign produced no capital requirement")
+	}
+	return rep
+}
+
+// BenchmarkCampaignReuse measures a 7-module standard-formula campaign with
+// the shared scenario set: the base paths are generated once and every
+// module derives its scenarios by shift/rescale.
+func BenchmarkCampaignReuse(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		runCampaign(b, false)
+	}
+}
+
+// BenchmarkCampaignIndependent is the baseline the reuse is measured
+// against: the same campaign with every one of the 8 jobs regenerating its
+// scenario paths (results are bit-identical to the reuse run).
+func BenchmarkCampaignIndependent(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		runCampaign(b, true)
 	}
 }

@@ -3,6 +3,11 @@
 // ML-based provisioner pick the deploy under the given deadline, runs the
 // real distributed nested Monte Carlo valuation, and reports BEL, SCR, the
 // selected configuration, the simulated execution time and the cost.
+//
+// With -stress the single valuation becomes a standard-formula stress
+// campaign: the base job plus seven shocked revaluations sharing one
+// scenario set, reported as per-module delta-BEL and the correlation-
+// aggregated SCR.
 package main
 
 import (
@@ -11,6 +16,7 @@ import (
 	"fmt"
 	"os"
 	"os/signal"
+	"time"
 
 	"disarcloud"
 )
@@ -34,6 +40,8 @@ func run() error {
 		seed         = flag.Uint64("seed", 42, "root seed")
 		kbPath       = flag.String("kb", "", "knowledge-base JSON to load and update")
 		workers      = flag.Int("workers", 8, "in-process valuation workers")
+		stressMode   = flag.Bool("stress", false, "run a standard-formula stress campaign instead of a single valuation")
+		noReuse      = flag.Bool("noreuse", false, "with -stress: regenerate scenarios per module instead of reusing the shared set")
 	)
 	flag.Parse()
 
@@ -70,13 +78,19 @@ func run() error {
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
 	defer stop()
 
-	svc, err := disarcloud.NewService(d, disarcloud.WithWorkers(1))
+	svcWorkers := 1
+	if *stressMode {
+		// A campaign is the base job plus seven shocked revaluations; give
+		// the service enough workers to overlap them.
+		svcWorkers = 4
+	}
+	svc, err := disarcloud.NewService(d, disarcloud.WithWorkers(svcWorkers))
 	if err != nil {
 		return err
 	}
 	defer svc.Close()
 
-	id, err := svc.Submit(ctx, disarcloud.SimulationSpec{
+	simSpec := disarcloud.SimulationSpec{
 		Portfolio: p,
 		Fund:      disarcloud.TypicalItalianFund(6, market),
 		Market:    market,
@@ -87,7 +101,16 @@ func run() error {
 		},
 		MaxWorkers: *workers,
 		Seed:       *seed,
-	})
+	}
+
+	if *stressMode {
+		if err := runStress(ctx, svc, simSpec, *noReuse); err != nil {
+			return err
+		}
+		return saveKB(d, *kbPath)
+	}
+
+	id, err := svc.Submit(ctx, simSpec)
 	if err != nil {
 		return err
 	}
@@ -131,11 +154,59 @@ func run() error {
 	fmt.Printf("  cost: %.3f$ pro-rata, %.2f$ billed (hourly rounding)\n", dr.ProRataUSD, dr.BilledUSD)
 	fmt.Printf("  knowledge base now holds %d samples\n", dr.KBSize)
 
-	if *kbPath != "" {
-		if err := d.KB().SaveFile(*kbPath); err != nil {
-			return err
-		}
-		fmt.Printf("knowledge base saved to %s\n", *kbPath)
+	return saveKB(d, *kbPath)
+}
+
+// saveKB persists the knowledge base when a path was given.
+func saveKB(d *disarcloud.Deployer, path string) error {
+	if path == "" {
+		return nil
 	}
+	if err := d.KB().SaveFile(path); err != nil {
+		return err
+	}
+	fmt.Printf("knowledge base saved to %s\n", path)
+	return nil
+}
+
+// runStress submits the standard-formula campaign and prints the per-module
+// charges and the aggregated SCR.
+func runStress(ctx context.Context, svc *disarcloud.Service, spec disarcloud.SimulationSpec, noReuse bool) error {
+	start := time.Now()
+	id, err := svc.SubmitCampaign(ctx, disarcloud.CampaignSpec{
+		Base:            spec,
+		NoScenarioReuse: noReuse,
+	})
+	if err != nil {
+		return err
+	}
+	rep, err := svc.CampaignResult(ctx, id)
+	if err != nil {
+		return err
+	}
+	elapsed := time.Since(start)
+
+	fmt.Printf("\nstandard-formula stress campaign %s (n_P=%d, n_Q=%d, reuse=%v):\n",
+		id, spec.Outer, spec.Inner, !noReuse)
+	fmt.Printf("  base BEL: %14.2f   (99.5%% VaR SCR of the base job: %.2f)\n",
+		rep.BaseBEL, rep.BaseVaRSCR)
+	fmt.Printf("  %-14s %14s %14s\n", "module", "shocked BEL", "delta BEL")
+	for _, m := range rep.Modules {
+		fmt.Printf("  %-14s %14.2f %14.2f\n", m.Module, m.BEL, m.DeltaBEL)
+	}
+	scr := rep.SCR
+	binding := "up"
+	if scr.InterestDownBinding {
+		binding = "down"
+	}
+	fmt.Printf("\nstandard-formula aggregation:\n")
+	fmt.Printf("  interest (binding: %s): %12.2f\n", binding, scr.Interest)
+	fmt.Printf("  market:                 %12.2f\n", scr.Market)
+	fmt.Printf("  life:                   %12.2f\n", scr.Life)
+	if scr.Other > 0 {
+		fmt.Printf("  other:                  %12.2f\n", scr.Other)
+	}
+	fmt.Printf("  basic SCR:              %12.2f\n", scr.BSCR)
+	fmt.Printf("\ncampaign wall time: %s (%d jobs)\n", elapsed.Round(time.Millisecond), len(rep.Modules)+1)
 	return nil
 }

@@ -6,13 +6,18 @@
 //
 // Endpoints:
 //
-//	POST   /v1/jobs               submit a valuation job (JSON body below)
-//	GET    /v1/jobs               list all jobs
-//	GET    /v1/jobs/{id}          job status snapshot
-//	GET    /v1/jobs/{id}/result   job outcome; ?wait=1 blocks until terminal
-//	GET    /v1/jobs/{id}/progress NDJSON stream of outer-path progress events
-//	DELETE /v1/jobs/{id}          cancel a job
-//	GET    /healthz               liveness + knowledge-base size
+//	POST   /v1/jobs                    submit a valuation job (JSON body below)
+//	GET    /v1/jobs                    list all jobs
+//	GET    /v1/jobs/{id}               job status snapshot
+//	GET    /v1/jobs/{id}/result        job outcome; ?wait=1 blocks until terminal
+//	GET    /v1/jobs/{id}/progress      NDJSON stream of outer-path progress events
+//	DELETE /v1/jobs/{id}               cancel a job
+//	POST   /v1/campaigns               submit a Solvency II stress campaign
+//	GET    /v1/campaigns               list all campaigns
+//	GET    /v1/campaigns/{id}          campaign status snapshot
+//	GET    /v1/campaigns/{id}/result   per-module delta-BEL + aggregated SCR; ?wait=1 blocks
+//	DELETE /v1/campaigns/{id}          cancel every job of a campaign
+//	GET    /healthz                    liveness + knowledge-base size
 //
 // Submit body (defaults in parentheses):
 //
@@ -28,19 +33,19 @@
 //	  "max_workers":  8,      // in-process valuation workers (0 = derive)
 //	  "seed":         42      // valuation seed (0 = server-assigned)
 //	}
+//
+// Campaign bodies accept the same fields plus "no_reuse" (disable
+// scenario-set reuse) and "longevity" (add the longevity module).
 package main
 
 import (
 	"context"
-	"encoding/json"
-	"errors"
 	"flag"
 	"fmt"
 	"log"
 	"net/http"
 	"os"
 	"os/signal"
-	"sync/atomic"
 	"time"
 
 	"disarcloud"
@@ -110,327 +115,4 @@ func run() error {
 		log.Printf("knowledge base saved to %s (%d samples)", *kbPath, d.KB().Len())
 	}
 	return nil
-}
-
-// server binds the HTTP surface to one Service.
-type server struct {
-	svc  *disarcloud.Service
-	d    *disarcloud.Deployer
-	seed uint64
-	// jobSeq derives distinct per-job default seeds; atomic so concurrent
-	// submits never share one.
-	jobSeq atomic.Uint64
-}
-
-func newHandler(svc *disarcloud.Service, d *disarcloud.Deployer, seed uint64) http.Handler {
-	s := &server{svc: svc, d: d, seed: seed}
-	mux := http.NewServeMux()
-	mux.HandleFunc("POST /v1/jobs", s.submit)
-	mux.HandleFunc("GET /v1/jobs", s.list)
-	mux.HandleFunc("GET /v1/jobs/{id}", s.status)
-	mux.HandleFunc("GET /v1/jobs/{id}/result", s.result)
-	mux.HandleFunc("GET /v1/jobs/{id}/progress", s.progress)
-	mux.HandleFunc("DELETE /v1/jobs/{id}", s.cancel)
-	mux.HandleFunc("GET /healthz", s.health)
-	return mux
-}
-
-// jobRequest is the submit body; zero fields take the documented defaults.
-type jobRequest struct {
-	Portfolio   int     `json:"portfolio"`
-	Contracts   int     `json:"contracts"`
-	FundAssets  int     `json:"fund_assets"`
-	Outer       int     `json:"outer"`
-	Inner       int     `json:"inner"`
-	TmaxSeconds float64 `json:"tmax_seconds"`
-	MaxNodes    int     `json:"max_nodes"`
-	// Epsilon is a pointer so an explicit 0 (no exploration) is
-	// distinguishable from an omitted field (default 0.05).
-	Epsilon    *float64 `json:"epsilon"`
-	MaxWorkers int      `json:"max_workers"`
-	Seed       uint64   `json:"seed"`
-}
-
-// Request ceilings: one HTTP client must not be able to pin a worker slot
-// (and the daemon's memory) indefinitely with an arbitrarily large
-// valuation. Legitimate bigger jobs belong on a dedicated deployment with
-// its own limits.
-const (
-	maxReqContracts  = 1000
-	maxReqFundAssets = 64
-	maxReqOuter      = 1_000_000
-	maxReqInner      = 10_000
-	maxReqNodes      = 64
-	maxReqWorkers    = 64
-)
-
-func (r *jobRequest) applyDefaults(serverSeed, jobNumber uint64) {
-	if r.Contracts <= 0 {
-		r.Contracts = 20
-	}
-	if r.FundAssets <= 0 {
-		r.FundAssets = 6
-	}
-	if r.Outer <= 0 {
-		r.Outer = 200
-	}
-	if r.Inner <= 0 {
-		r.Inner = 10
-	}
-	if r.TmaxSeconds <= 0 {
-		r.TmaxSeconds = 900
-	}
-	if r.MaxNodes <= 0 {
-		r.MaxNodes = 8
-	}
-	if r.Epsilon == nil {
-		eps := 0.05
-		r.Epsilon = &eps
-	}
-	if r.Seed == 0 {
-		r.Seed = serverSeed + jobNumber*2654435761 + 1
-	}
-}
-
-func (r *jobRequest) validate() error {
-	switch {
-	case r.Contracts > maxReqContracts:
-		return fmt.Errorf("contracts %d exceeds the limit %d", r.Contracts, maxReqContracts)
-	case r.FundAssets > maxReqFundAssets:
-		return fmt.Errorf("fund_assets %d exceeds the limit %d", r.FundAssets, maxReqFundAssets)
-	case r.Outer > maxReqOuter:
-		return fmt.Errorf("outer %d exceeds the limit %d", r.Outer, maxReqOuter)
-	case r.Inner > maxReqInner:
-		return fmt.Errorf("inner %d exceeds the limit %d", r.Inner, maxReqInner)
-	case r.MaxNodes > maxReqNodes:
-		return fmt.Errorf("max_nodes %d exceeds the limit %d", r.MaxNodes, maxReqNodes)
-	case r.MaxWorkers > maxReqWorkers:
-		return fmt.Errorf("max_workers %d exceeds the limit %d", r.MaxWorkers, maxReqWorkers)
-	}
-	return nil
-}
-
-type jobStatusJSON struct {
-	ID          string    `json:"id"`
-	Status      string    `json:"status"`
-	Error       string    `json:"error,omitempty"`
-	Done        int       `json:"done"`
-	Total       int       `json:"total"`
-	SubmittedAt time.Time `json:"submitted_at"`
-	StartedAt   time.Time `json:"started_at,omitzero"`
-	FinishedAt  time.Time `json:"finished_at,omitzero"`
-}
-
-func snapshotJSON(s disarcloud.JobSnapshot) jobStatusJSON {
-	return jobStatusJSON{
-		ID: string(s.ID), Status: s.Status.String(), Error: s.Error,
-		Done: s.Done, Total: s.Total,
-		SubmittedAt: s.SubmittedAt, StartedAt: s.StartedAt, FinishedAt: s.FinishedAt,
-	}
-}
-
-func (s *server) submit(w http.ResponseWriter, r *http.Request) {
-	var req jobRequest
-	if err := json.NewDecoder(http.MaxBytesReader(w, r.Body, 1<<20)).Decode(&req); err != nil {
-		httpError(w, http.StatusBadRequest, fmt.Errorf("decode request: %w", err))
-		return
-	}
-	req.applyDefaults(s.seed, s.jobSeq.Add(1))
-	if err := req.validate(); err != nil {
-		httpError(w, http.StatusBadRequest, err)
-		return
-	}
-	specs := disarcloud.ItalianCompanySpecs()
-	if req.Portfolio < 0 || req.Portfolio >= len(specs) {
-		httpError(w, http.StatusBadRequest, fmt.Errorf("portfolio index %d outside 0..%d", req.Portfolio, len(specs)-1))
-		return
-	}
-	gen := specs[req.Portfolio]
-	gen.NumContracts = req.Contracts
-	p, err := disarcloud.GeneratePortfolio(req.Seed+1, gen)
-	if err != nil {
-		httpError(w, http.StatusBadRequest, err)
-		return
-	}
-	market := disarcloud.DefaultMarket(p.MaxTerm())
-	// The job must outlive this HTTP request: submit under the server's
-	// context, not the request's, so clients can fire and poll.
-	id, err := s.svc.Submit(context.Background(), disarcloud.SimulationSpec{
-		Portfolio: p,
-		Fund:      disarcloud.TypicalItalianFund(req.FundAssets, market),
-		Market:    market,
-		Outer:     req.Outer,
-		Inner:     req.Inner,
-		Constraints: disarcloud.Constraints{
-			TmaxSeconds: req.TmaxSeconds, MaxNodes: req.MaxNodes, Epsilon: *req.Epsilon,
-		},
-		MaxWorkers: req.MaxWorkers,
-		Seed:       req.Seed,
-	})
-	if err != nil {
-		status := http.StatusBadRequest
-		if errors.Is(err, disarcloud.ErrServiceClosed) {
-			status = http.StatusServiceUnavailable
-		}
-		if errors.Is(err, disarcloud.ErrQueueFull) {
-			w.Header().Set("Retry-After", "1")
-			status = http.StatusServiceUnavailable
-		}
-		httpError(w, status, err)
-		return
-	}
-	writeJSON(w, http.StatusAccepted, map[string]string{"id": string(id)})
-}
-
-func (s *server) list(w http.ResponseWriter, _ *http.Request) {
-	jobs := s.svc.Jobs()
-	out := make([]jobStatusJSON, len(jobs))
-	for i, j := range jobs {
-		out[i] = snapshotJSON(j)
-	}
-	writeJSON(w, http.StatusOK, out)
-}
-
-func (s *server) status(w http.ResponseWriter, r *http.Request) {
-	snap, err := s.svc.Status(disarcloud.JobID(r.PathValue("id")))
-	if err != nil {
-		httpError(w, http.StatusNotFound, err)
-		return
-	}
-	writeJSON(w, http.StatusOK, snapshotJSON(snap))
-}
-
-type blockResultJSON struct {
-	BEL    float64 `json:"bel"`
-	SCR    float64 `json:"scr"`
-	StdErr float64 `json:"stderr"`
-}
-
-type resultJSON struct {
-	Status string                     `json:"status"`
-	BEL    float64                    `json:"bel"`
-	SCR    float64                    `json:"scr"`
-	Blocks map[string]blockResultJSON `json:"blocks"`
-	Deploy deployJSON                 `json:"deploy"`
-}
-
-type deployJSON struct {
-	Choice           string  `json:"choice"`
-	PredictedSeconds float64 `json:"predicted_seconds"`
-	ActualSeconds    float64 `json:"actual_seconds"`
-	ProRataUSD       float64 `json:"prorata_usd"`
-	BilledUSD        float64 `json:"billed_usd"`
-	Bootstrap        bool    `json:"bootstrap"`
-	Fallback         bool    `json:"fallback"`
-	KBSize           int     `json:"kb_size"`
-}
-
-func (s *server) result(w http.ResponseWriter, r *http.Request) {
-	id := disarcloud.JobID(r.PathValue("id"))
-	snap, err := s.svc.Status(id)
-	if err != nil {
-		httpError(w, http.StatusNotFound, err)
-		return
-	}
-	wait := r.URL.Query().Get("wait") != ""
-	if !snap.Status.Terminal() && !wait {
-		writeJSON(w, http.StatusAccepted, snapshotJSON(snap))
-		return
-	}
-	rep, err := s.svc.Result(r.Context(), id)
-	if err != nil {
-		if errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded) {
-			// Either the client went away mid-wait or the job was cancelled;
-			// disambiguate via the job's own state.
-			snap, serr := s.svc.Status(id)
-			if serr == nil && snap.Status.Terminal() {
-				writeJSON(w, http.StatusOK, snapshotJSON(snap))
-				return
-			}
-		}
-		httpError(w, http.StatusInternalServerError, err)
-		return
-	}
-	out := resultJSON{
-		Status: disarcloud.JobDone.String(),
-		BEL:    rep.BEL,
-		SCR:    rep.SCR,
-		Blocks: make(map[string]blockResultJSON, len(rep.Results)),
-		Deploy: deployJSON{
-			Choice:           rep.Deploy.Choice.String(),
-			PredictedSeconds: rep.Deploy.PredictedSeconds,
-			ActualSeconds:    rep.Deploy.ActualSeconds,
-			ProRataUSD:       rep.Deploy.ProRataUSD,
-			BilledUSD:        rep.Deploy.BilledUSD,
-			Bootstrap:        rep.Deploy.Bootstrap,
-			Fallback:         rep.Deploy.Fallback,
-			KBSize:           rep.Deploy.KBSize,
-		},
-	}
-	for bid, res := range rep.Results {
-		out.Blocks[bid] = blockResultJSON{BEL: res.BEL, SCR: res.SCR, StdErr: res.StdErr}
-	}
-	writeJSON(w, http.StatusOK, out)
-}
-
-func (s *server) progress(w http.ResponseWriter, r *http.Request) {
-	id := disarcloud.JobID(r.PathValue("id"))
-	events, unsub, err := s.svc.Progress(id)
-	if err != nil {
-		httpError(w, http.StatusNotFound, err)
-		return
-	}
-	defer unsub()
-	w.Header().Set("Content-Type", "application/x-ndjson")
-	w.WriteHeader(http.StatusOK)
-	flusher, _ := w.(http.Flusher)
-	enc := json.NewEncoder(w)
-	for {
-		select {
-		case <-r.Context().Done():
-			return
-		case ev, ok := <-events:
-			if !ok {
-				// Job terminal: emit the final snapshot as the last line.
-				if snap, err := s.svc.Status(id); err == nil {
-					_ = enc.Encode(snapshotJSON(snap))
-				}
-				return
-			}
-			_ = enc.Encode(map[string]any{
-				"block": ev.BlockID, "done": ev.Done, "total": ev.Total,
-			})
-			if flusher != nil {
-				flusher.Flush()
-			}
-		}
-	}
-}
-
-func (s *server) cancel(w http.ResponseWriter, r *http.Request) {
-	id := disarcloud.JobID(r.PathValue("id"))
-	if err := s.svc.Cancel(id); err != nil {
-		httpError(w, http.StatusNotFound, err)
-		return
-	}
-	snap, _ := s.svc.Status(id)
-	writeJSON(w, http.StatusOK, snapshotJSON(snap))
-}
-
-func (s *server) health(w http.ResponseWriter, _ *http.Request) {
-	writeJSON(w, http.StatusOK, map[string]any{
-		"status":     "ok",
-		"kb_samples": s.d.KB().Len(),
-		"jobs":       len(s.svc.Jobs()),
-	})
-}
-
-func writeJSON(w http.ResponseWriter, status int, v any) {
-	w.Header().Set("Content-Type", "application/json")
-	w.WriteHeader(status)
-	_ = json.NewEncoder(w).Encode(v)
-}
-
-func httpError(w http.ResponseWriter, status int, err error) {
-	writeJSON(w, status, map[string]string{"error": err.Error()})
 }

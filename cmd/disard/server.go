@@ -1,0 +1,514 @@
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"sync/atomic"
+	"time"
+
+	"disarcloud"
+)
+
+// server binds the HTTP surface to one Service. newHandler is the testable
+// constructor: httptest servers wrap it directly, without a listener.
+type server struct {
+	svc  *disarcloud.Service
+	d    *disarcloud.Deployer
+	seed uint64
+	// jobSeq derives distinct per-job default seeds; atomic so concurrent
+	// submits never share one.
+	jobSeq atomic.Uint64
+}
+
+func newHandler(svc *disarcloud.Service, d *disarcloud.Deployer, seed uint64) http.Handler {
+	s := &server{svc: svc, d: d, seed: seed}
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /v1/jobs", s.submit)
+	mux.HandleFunc("GET /v1/jobs", s.list)
+	mux.HandleFunc("GET /v1/jobs/{id}", s.status)
+	mux.HandleFunc("GET /v1/jobs/{id}/result", s.result)
+	mux.HandleFunc("GET /v1/jobs/{id}/progress", s.progress)
+	mux.HandleFunc("DELETE /v1/jobs/{id}", s.cancel)
+	mux.HandleFunc("POST /v1/campaigns", s.submitCampaign)
+	mux.HandleFunc("GET /v1/campaigns", s.listCampaigns)
+	mux.HandleFunc("GET /v1/campaigns/{id}", s.campaignStatus)
+	mux.HandleFunc("GET /v1/campaigns/{id}/result", s.campaignResult)
+	mux.HandleFunc("DELETE /v1/campaigns/{id}", s.cancelCampaign)
+	mux.HandleFunc("GET /healthz", s.health)
+	return mux
+}
+
+// jobRequest is the submit body; zero fields take the documented defaults.
+type jobRequest struct {
+	Portfolio   int     `json:"portfolio"`
+	Contracts   int     `json:"contracts"`
+	FundAssets  int     `json:"fund_assets"`
+	Outer       int     `json:"outer"`
+	Inner       int     `json:"inner"`
+	TmaxSeconds float64 `json:"tmax_seconds"`
+	MaxNodes    int     `json:"max_nodes"`
+	// Epsilon is a pointer so an explicit 0 (no exploration) is
+	// distinguishable from an omitted field (default 0.05).
+	Epsilon    *float64 `json:"epsilon"`
+	MaxWorkers int      `json:"max_workers"`
+	Seed       uint64   `json:"seed"`
+}
+
+// campaignRequest is the stress-campaign submit body: a base valuation
+// request plus campaign switches.
+type campaignRequest struct {
+	jobRequest
+	// NoReuse disables scenario-set reuse (every module regenerates paths).
+	NoReuse bool `json:"no_reuse"`
+	// Longevity adds the optional longevity module to the standard seven.
+	Longevity bool `json:"longevity"`
+}
+
+// Request ceilings: one HTTP client must not be able to pin a worker slot
+// (and the daemon's memory) indefinitely with an arbitrarily large
+// valuation. Legitimate bigger jobs belong on a dedicated deployment with
+// its own limits.
+const (
+	maxReqContracts  = 1000
+	maxReqFundAssets = 64
+	maxReqOuter      = 1_000_000
+	maxReqInner      = 10_000
+	maxReqNodes      = 64
+	maxReqWorkers    = 64
+)
+
+func (r *jobRequest) applyDefaults(serverSeed, jobNumber uint64) {
+	if r.Contracts <= 0 {
+		r.Contracts = 20
+	}
+	if r.FundAssets <= 0 {
+		r.FundAssets = 6
+	}
+	if r.Outer <= 0 {
+		r.Outer = 200
+	}
+	if r.Inner <= 0 {
+		r.Inner = 10
+	}
+	if r.TmaxSeconds <= 0 {
+		r.TmaxSeconds = 900
+	}
+	if r.MaxNodes <= 0 {
+		r.MaxNodes = 8
+	}
+	if r.Epsilon == nil {
+		eps := 0.05
+		r.Epsilon = &eps
+	}
+	if r.Seed == 0 {
+		r.Seed = serverSeed + jobNumber*2654435761 + 1
+	}
+}
+
+func (r *jobRequest) validate() error {
+	switch {
+	case r.Contracts > maxReqContracts:
+		return fmt.Errorf("contracts %d exceeds the limit %d", r.Contracts, maxReqContracts)
+	case r.FundAssets > maxReqFundAssets:
+		return fmt.Errorf("fund_assets %d exceeds the limit %d", r.FundAssets, maxReqFundAssets)
+	case r.Outer > maxReqOuter:
+		return fmt.Errorf("outer %d exceeds the limit %d", r.Outer, maxReqOuter)
+	case r.Inner > maxReqInner:
+		return fmt.Errorf("inner %d exceeds the limit %d", r.Inner, maxReqInner)
+	case r.MaxNodes > maxReqNodes:
+		return fmt.Errorf("max_nodes %d exceeds the limit %d", r.MaxNodes, maxReqNodes)
+	case r.MaxWorkers > maxReqWorkers:
+		return fmt.Errorf("max_workers %d exceeds the limit %d", r.MaxWorkers, maxReqWorkers)
+	}
+	return nil
+}
+
+// buildSpec decodes, defaults and validates a job request into a simulation
+// spec — shared by the single-job and campaign submit paths.
+func (s *server) buildSpec(req *jobRequest) (disarcloud.SimulationSpec, error) {
+	req.applyDefaults(s.seed, s.jobSeq.Add(1))
+	if err := req.validate(); err != nil {
+		return disarcloud.SimulationSpec{}, err
+	}
+	specs := disarcloud.ItalianCompanySpecs()
+	if req.Portfolio < 0 || req.Portfolio >= len(specs) {
+		return disarcloud.SimulationSpec{}, fmt.Errorf("portfolio index %d outside 0..%d", req.Portfolio, len(specs)-1)
+	}
+	gen := specs[req.Portfolio]
+	gen.NumContracts = req.Contracts
+	p, err := disarcloud.GeneratePortfolio(req.Seed+1, gen)
+	if err != nil {
+		return disarcloud.SimulationSpec{}, err
+	}
+	market := disarcloud.DefaultMarket(p.MaxTerm())
+	return disarcloud.SimulationSpec{
+		Portfolio: p,
+		Fund:      disarcloud.TypicalItalianFund(req.FundAssets, market),
+		Market:    market,
+		Outer:     req.Outer,
+		Inner:     req.Inner,
+		Constraints: disarcloud.Constraints{
+			TmaxSeconds: req.TmaxSeconds, MaxNodes: req.MaxNodes, Epsilon: *req.Epsilon,
+		},
+		MaxWorkers: req.MaxWorkers,
+		Seed:       req.Seed,
+	}, nil
+}
+
+// submitStatus maps a Submit/SubmitCampaign error to its HTTP status and
+// stamps backpressure headers.
+func submitStatus(w http.ResponseWriter, err error) int {
+	status := http.StatusBadRequest
+	if errors.Is(err, disarcloud.ErrServiceClosed) {
+		status = http.StatusServiceUnavailable
+	}
+	if errors.Is(err, disarcloud.ErrQueueFull) {
+		w.Header().Set("Retry-After", "1")
+		status = http.StatusServiceUnavailable
+	}
+	return status
+}
+
+type jobStatusJSON struct {
+	ID          string    `json:"id"`
+	Status      string    `json:"status"`
+	Error       string    `json:"error,omitempty"`
+	Done        int       `json:"done"`
+	Total       int       `json:"total"`
+	SubmittedAt time.Time `json:"submitted_at"`
+	StartedAt   time.Time `json:"started_at,omitzero"`
+	FinishedAt  time.Time `json:"finished_at,omitzero"`
+}
+
+func snapshotJSON(s disarcloud.JobSnapshot) jobStatusJSON {
+	return jobStatusJSON{
+		ID: string(s.ID), Status: s.Status.String(), Error: s.Error,
+		Done: s.Done, Total: s.Total,
+		SubmittedAt: s.SubmittedAt, StartedAt: s.StartedAt, FinishedAt: s.FinishedAt,
+	}
+}
+
+func (s *server) submit(w http.ResponseWriter, r *http.Request) {
+	var req jobRequest
+	if err := json.NewDecoder(http.MaxBytesReader(w, r.Body, 1<<20)).Decode(&req); err != nil {
+		httpError(w, http.StatusBadRequest, fmt.Errorf("decode request: %w", err))
+		return
+	}
+	spec, err := s.buildSpec(&req)
+	if err != nil {
+		httpError(w, http.StatusBadRequest, err)
+		return
+	}
+	// The job must outlive this HTTP request: submit under the server's
+	// context, not the request's, so clients can fire and poll.
+	id, err := s.svc.Submit(context.Background(), spec)
+	if err != nil {
+		httpError(w, submitStatus(w, err), err)
+		return
+	}
+	writeJSON(w, http.StatusAccepted, map[string]string{"id": string(id)})
+}
+
+func (s *server) list(w http.ResponseWriter, _ *http.Request) {
+	jobs := s.svc.Jobs()
+	out := make([]jobStatusJSON, len(jobs))
+	for i, j := range jobs {
+		out[i] = snapshotJSON(j)
+	}
+	writeJSON(w, http.StatusOK, out)
+}
+
+func (s *server) status(w http.ResponseWriter, r *http.Request) {
+	snap, err := s.svc.Status(disarcloud.JobID(r.PathValue("id")))
+	if err != nil {
+		httpError(w, http.StatusNotFound, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, snapshotJSON(snap))
+}
+
+type blockResultJSON struct {
+	BEL    float64 `json:"bel"`
+	SCR    float64 `json:"scr"`
+	StdErr float64 `json:"stderr"`
+}
+
+type resultJSON struct {
+	Status string                     `json:"status"`
+	BEL    float64                    `json:"bel"`
+	SCR    float64                    `json:"scr"`
+	Blocks map[string]blockResultJSON `json:"blocks"`
+	Deploy deployJSON                 `json:"deploy"`
+}
+
+type deployJSON struct {
+	Choice           string  `json:"choice"`
+	PredictedSeconds float64 `json:"predicted_seconds"`
+	ActualSeconds    float64 `json:"actual_seconds"`
+	ProRataUSD       float64 `json:"prorata_usd"`
+	BilledUSD        float64 `json:"billed_usd"`
+	Bootstrap        bool    `json:"bootstrap"`
+	Fallback         bool    `json:"fallback"`
+	KBSize           int     `json:"kb_size"`
+}
+
+func (s *server) result(w http.ResponseWriter, r *http.Request) {
+	id := disarcloud.JobID(r.PathValue("id"))
+	snap, err := s.svc.Status(id)
+	if err != nil {
+		httpError(w, http.StatusNotFound, err)
+		return
+	}
+	wait := r.URL.Query().Get("wait") != ""
+	if !snap.Status.Terminal() && !wait {
+		writeJSON(w, http.StatusAccepted, snapshotJSON(snap))
+		return
+	}
+	rep, err := s.svc.Result(r.Context(), id)
+	if err != nil {
+		if errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded) {
+			// Either the client went away mid-wait or the job was cancelled;
+			// disambiguate via the job's own state.
+			snap, serr := s.svc.Status(id)
+			if serr == nil && snap.Status.Terminal() {
+				writeJSON(w, http.StatusOK, snapshotJSON(snap))
+				return
+			}
+		}
+		httpError(w, http.StatusInternalServerError, err)
+		return
+	}
+	out := resultJSON{
+		Status: disarcloud.JobDone.String(),
+		BEL:    rep.BEL,
+		SCR:    rep.SCR,
+		Blocks: make(map[string]blockResultJSON, len(rep.Results)),
+		Deploy: deployJSON{
+			Choice:           rep.Deploy.Choice.String(),
+			PredictedSeconds: rep.Deploy.PredictedSeconds,
+			ActualSeconds:    rep.Deploy.ActualSeconds,
+			ProRataUSD:       rep.Deploy.ProRataUSD,
+			BilledUSD:        rep.Deploy.BilledUSD,
+			Bootstrap:        rep.Deploy.Bootstrap,
+			Fallback:         rep.Deploy.Fallback,
+			KBSize:           rep.Deploy.KBSize,
+		},
+	}
+	for bid, res := range rep.Results {
+		out.Blocks[bid] = blockResultJSON{BEL: res.BEL, SCR: res.SCR, StdErr: res.StdErr}
+	}
+	writeJSON(w, http.StatusOK, out)
+}
+
+func (s *server) progress(w http.ResponseWriter, r *http.Request) {
+	id := disarcloud.JobID(r.PathValue("id"))
+	events, unsub, err := s.svc.Progress(id)
+	if err != nil {
+		httpError(w, http.StatusNotFound, err)
+		return
+	}
+	defer unsub()
+	w.Header().Set("Content-Type", "application/x-ndjson")
+	w.WriteHeader(http.StatusOK)
+	flusher, _ := w.(http.Flusher)
+	enc := json.NewEncoder(w)
+	for {
+		select {
+		case <-r.Context().Done():
+			return
+		case ev, ok := <-events:
+			if !ok {
+				// Job terminal: emit the final snapshot as the last line.
+				if snap, err := s.svc.Status(id); err == nil {
+					_ = enc.Encode(snapshotJSON(snap))
+				}
+				return
+			}
+			_ = enc.Encode(map[string]any{
+				"block": ev.BlockID, "done": ev.Done, "total": ev.Total,
+			})
+			if flusher != nil {
+				flusher.Flush()
+			}
+		}
+	}
+}
+
+func (s *server) cancel(w http.ResponseWriter, r *http.Request) {
+	id := disarcloud.JobID(r.PathValue("id"))
+	if err := s.svc.Cancel(id); err != nil {
+		httpError(w, http.StatusNotFound, err)
+		return
+	}
+	snap, _ := s.svc.Status(id)
+	writeJSON(w, http.StatusOK, snapshotJSON(snap))
+}
+
+type campaignStatusJSON struct {
+	ID          string          `json:"id"`
+	Status      string          `json:"status"`
+	Done        int             `json:"done"`
+	Total       int             `json:"total"`
+	SubmittedAt time.Time       `json:"submitted_at"`
+	Jobs        []jobStatusJSON `json:"jobs"`
+}
+
+func campaignSnapshotJSON(c disarcloud.CampaignSnapshot) campaignStatusJSON {
+	out := campaignStatusJSON{
+		ID: string(c.ID), Status: c.Status.String(),
+		Done: c.Done, Total: c.Total, SubmittedAt: c.SubmittedAt,
+	}
+	for _, j := range c.Jobs {
+		out.Jobs = append(out.Jobs, snapshotJSON(j))
+	}
+	return out
+}
+
+type moduleResultJSON struct {
+	Module   string  `json:"module"`
+	Job      string  `json:"job"`
+	BEL      float64 `json:"bel"`
+	DeltaBEL float64 `json:"delta_bel"`
+}
+
+type campaignResultJSON struct {
+	Status     string             `json:"status"`
+	BaseJob    string             `json:"base_job"`
+	BaseBEL    float64            `json:"base_bel"`
+	BaseVaRSCR float64            `json:"base_var_scr"`
+	Modules    []moduleResultJSON `json:"modules"`
+	SCR        scrJSON            `json:"scr"`
+}
+
+type scrJSON struct {
+	Interest            float64 `json:"interest"`
+	InterestDownBinding bool    `json:"interest_down_binding"`
+	Market              float64 `json:"market"`
+	Life                float64 `json:"life"`
+	Other               float64 `json:"other,omitempty"`
+	BSCR                float64 `json:"bscr"`
+}
+
+func (s *server) submitCampaign(w http.ResponseWriter, r *http.Request) {
+	var req campaignRequest
+	if err := json.NewDecoder(http.MaxBytesReader(w, r.Body, 1<<20)).Decode(&req); err != nil {
+		httpError(w, http.StatusBadRequest, fmt.Errorf("decode request: %w", err))
+		return
+	}
+	spec, err := s.buildSpec(&req.jobRequest)
+	if err != nil {
+		httpError(w, http.StatusBadRequest, err)
+		return
+	}
+	shocks := disarcloud.StandardFormulaShocks()
+	if req.Longevity {
+		shocks = append(shocks, disarcloud.LongevityShock())
+	}
+	// Like single jobs, the campaign outlives the HTTP request.
+	id, err := s.svc.SubmitCampaign(context.Background(), disarcloud.CampaignSpec{
+		Base:            spec,
+		Shocks:          shocks,
+		NoScenarioReuse: req.NoReuse,
+	})
+	if err != nil {
+		httpError(w, submitStatus(w, err), err)
+		return
+	}
+	writeJSON(w, http.StatusAccepted, map[string]string{"id": string(id)})
+}
+
+func (s *server) listCampaigns(w http.ResponseWriter, _ *http.Request) {
+	camps := s.svc.Campaigns()
+	out := make([]campaignStatusJSON, len(camps))
+	for i, c := range camps {
+		out[i] = campaignSnapshotJSON(c)
+	}
+	writeJSON(w, http.StatusOK, out)
+}
+
+func (s *server) campaignStatus(w http.ResponseWriter, r *http.Request) {
+	snap, err := s.svc.CampaignStatus(disarcloud.CampaignID(r.PathValue("id")))
+	if err != nil {
+		httpError(w, http.StatusNotFound, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, campaignSnapshotJSON(snap))
+}
+
+func (s *server) campaignResult(w http.ResponseWriter, r *http.Request) {
+	id := disarcloud.CampaignID(r.PathValue("id"))
+	snap, err := s.svc.CampaignStatus(id)
+	if err != nil {
+		httpError(w, http.StatusNotFound, err)
+		return
+	}
+	wait := r.URL.Query().Get("wait") != ""
+	if !snap.Status.Terminal() && !wait {
+		writeJSON(w, http.StatusAccepted, campaignSnapshotJSON(snap))
+		return
+	}
+	rep, err := s.svc.CampaignResult(r.Context(), id)
+	if err != nil {
+		if errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded) {
+			snap, serr := s.svc.CampaignStatus(id)
+			if serr == nil && snap.Status.Terminal() {
+				writeJSON(w, http.StatusOK, campaignSnapshotJSON(snap))
+				return
+			}
+		}
+		httpError(w, http.StatusInternalServerError, err)
+		return
+	}
+	out := campaignResultJSON{
+		Status:     disarcloud.JobDone.String(),
+		BaseJob:    string(rep.BaseJob),
+		BaseBEL:    rep.BaseBEL,
+		BaseVaRSCR: rep.BaseVaRSCR,
+		SCR: scrJSON{
+			Interest:            rep.SCR.Interest,
+			InterestDownBinding: rep.SCR.InterestDownBinding,
+			Market:              rep.SCR.Market,
+			Life:                rep.SCR.Life,
+			Other:               rep.SCR.Other,
+			BSCR:                rep.SCR.BSCR,
+		},
+	}
+	for _, m := range rep.Modules {
+		out.Modules = append(out.Modules, moduleResultJSON{
+			Module: string(m.Module), Job: string(m.Job), BEL: m.BEL, DeltaBEL: m.DeltaBEL,
+		})
+	}
+	writeJSON(w, http.StatusOK, out)
+}
+
+func (s *server) cancelCampaign(w http.ResponseWriter, r *http.Request) {
+	id := disarcloud.CampaignID(r.PathValue("id"))
+	if err := s.svc.CancelCampaign(id); err != nil {
+		httpError(w, http.StatusNotFound, err)
+		return
+	}
+	snap, _ := s.svc.CampaignStatus(id)
+	writeJSON(w, http.StatusOK, campaignSnapshotJSON(snap))
+}
+
+func (s *server) health(w http.ResponseWriter, _ *http.Request) {
+	writeJSON(w, http.StatusOK, map[string]any{
+		"status":     "ok",
+		"kb_samples": s.d.KB().Len(),
+		"jobs":       s.svc.JobCount(),
+		"campaigns":  s.svc.CampaignCount(),
+	})
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	_ = json.NewEncoder(w).Encode(v)
+}
+
+func httpError(w http.ResponseWriter, status int, err error) {
+	writeJSON(w, status, map[string]string{"error": err.Error()})
+}

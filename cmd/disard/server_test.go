@@ -1,0 +1,397 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+
+	"disarcloud"
+)
+
+// newTestServer wires a real service + deployer behind the HTTP handler,
+// exactly as run() does, and tears everything down with the test.
+func newTestServer(t *testing.T, opts ...disarcloud.ServiceOption) (*httptest.Server, *disarcloud.Service) {
+	t.Helper()
+	d, err := disarcloud.NewDeployer(2016)
+	if err != nil {
+		t.Fatal(err)
+	}
+	svc, err := disarcloud.NewService(d, opts...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := httptest.NewServer(newHandler(svc, d, 2016))
+	t.Cleanup(func() {
+		srv.Close()
+		svc.Close()
+	})
+	return srv, svc
+}
+
+func postJSON(t *testing.T, url string, body any) *http.Response {
+	t.Helper()
+	buf, err := json.Marshal(body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.Post(url, "application/json", bytes.NewReader(buf))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return resp
+}
+
+func decodeJSON[T any](t *testing.T, resp *http.Response) T {
+	t.Helper()
+	defer resp.Body.Close()
+	var out T
+	if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
+		t.Fatal(err)
+	}
+	return out
+}
+
+// smallJob is a fast valuation request for happy-path tests.
+func smallJob() map[string]any {
+	return map[string]any{
+		"contracts": 4, "outer": 20, "inner": 3, "seed": 42, "max_workers": 2,
+	}
+}
+
+// hugeJob is a request big enough to still be running while the test pokes
+// at it.
+func hugeJob(seed int) map[string]any {
+	return map[string]any{
+		"contracts": 40, "outer": 500000, "inner": 50, "seed": seed, "max_workers": 1,
+	}
+}
+
+func TestSubmitStatusResultLifecycle(t *testing.T) {
+	srv, _ := newTestServer(t, disarcloud.WithWorkers(2))
+
+	resp := postJSON(t, srv.URL+"/v1/jobs", smallJob())
+	if resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("submit status %d, want 202", resp.StatusCode)
+	}
+	sub := decodeJSON[map[string]string](t, resp)
+	id := sub["id"]
+	if id == "" {
+		t.Fatal("submit returned no job id")
+	}
+
+	resp, err := http.Get(srv.URL + "/v1/jobs/" + id)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status status %d, want 200", resp.StatusCode)
+	}
+	snap := decodeJSON[map[string]any](t, resp)
+	if snap["id"] != id {
+		t.Fatalf("status id %v, want %s", snap["id"], id)
+	}
+
+	resp, err = http.Get(srv.URL + "/v1/jobs/" + id + "/result?wait=1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("result status %d, want 200", resp.StatusCode)
+	}
+	res := decodeJSON[map[string]any](t, resp)
+	if res["status"] != "done" {
+		t.Fatalf("result status field %v, want done", res["status"])
+	}
+	if bel, _ := res["bel"].(float64); bel <= 0 {
+		t.Fatalf("result BEL %v not positive", res["bel"])
+	}
+	if _, ok := res["deploy"].(map[string]any); !ok {
+		t.Fatal("result missing deploy record")
+	}
+
+	resp, err = http.Get(srv.URL + "/v1/jobs")
+	if err != nil {
+		t.Fatal(err)
+	}
+	list := decodeJSON[[]map[string]any](t, resp)
+	if len(list) != 1 {
+		t.Fatalf("job list has %d entries, want 1", len(list))
+	}
+
+	resp, err = http.Get(srv.URL + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	health := decodeJSON[map[string]any](t, resp)
+	if health["status"] != "ok" {
+		t.Fatalf("healthz %v", health)
+	}
+	if kb, _ := health["kb_samples"].(float64); kb != 1 {
+		t.Fatalf("healthz kb_samples %v, want 1", health["kb_samples"])
+	}
+}
+
+func TestCancelJob(t *testing.T) {
+	srv, _ := newTestServer(t, disarcloud.WithWorkers(1))
+
+	resp := postJSON(t, srv.URL+"/v1/jobs", hugeJob(7))
+	sub := decodeJSON[map[string]string](t, resp)
+	id := sub["id"]
+
+	req, err := http.NewRequest(http.MethodDelete, srv.URL+"/v1/jobs/"+id, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err = http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("cancel status %d, want 200", resp.StatusCode)
+	}
+	resp.Body.Close()
+
+	// The job must settle cancelled.
+	deadline := time.Now().Add(30 * time.Second)
+	for {
+		resp, err := http.Get(srv.URL + "/v1/jobs/" + id)
+		if err != nil {
+			t.Fatal(err)
+		}
+		snap := decodeJSON[map[string]any](t, resp)
+		if snap["status"] == "canceled" {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("job stuck in %v after cancel", snap["status"])
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+}
+
+func TestBadRequestValidation(t *testing.T) {
+	srv, svc := newTestServer(t, disarcloud.WithWorkers(1))
+
+	cases := []struct {
+		name string
+		body string
+	}{
+		{"malformed json", `{"outer": `},
+		{"portfolio out of range", `{"portfolio": 9}`},
+		{"contracts over limit", `{"contracts": 100000}`},
+		{"outer over limit", `{"outer": 2000000}`},
+		{"inner over limit", `{"inner": 100000}`},
+		{"workers over limit", `{"max_workers": 1000}`},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			resp, err := http.Post(srv.URL+"/v1/jobs", "application/json", strings.NewReader(tc.body))
+			if err != nil {
+				t.Fatal(err)
+			}
+			if resp.StatusCode != http.StatusBadRequest {
+				t.Fatalf("status %d, want 400", resp.StatusCode)
+			}
+			body := decodeJSON[map[string]string](t, resp)
+			if body["error"] == "" {
+				t.Fatal("400 without error message")
+			}
+		})
+	}
+	if got := len(svc.Jobs()); got != 0 {
+		t.Fatalf("invalid requests left %d job records", got)
+	}
+
+	// Unknown IDs are 404s.
+	for _, path := range []string{"/v1/jobs/job-nope", "/v1/jobs/job-nope/result", "/v1/campaigns/camp-nope", "/v1/campaigns/camp-nope/result"} {
+		resp, err := http.Get(srv.URL + path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if resp.StatusCode != http.StatusNotFound {
+			t.Fatalf("%s status %d, want 404", path, resp.StatusCode)
+		}
+		resp.Body.Close()
+	}
+}
+
+// TestBackpressure503 fills the one-deep queue behind a busy worker and
+// checks the daemon sheds load with 503 + Retry-After instead of blocking.
+func TestBackpressure503(t *testing.T) {
+	srv, svc := newTestServer(t, disarcloud.WithWorkers(1), disarcloud.WithQueueDepth(1))
+
+	resp := postJSON(t, srv.URL+"/v1/jobs", hugeJob(3))
+	if resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("blocker submit status %d", resp.StatusCode)
+	}
+	blocker := decodeJSON[map[string]string](t, resp)["id"]
+	// Wait until the worker picked the blocker up, freeing the queue slot.
+	deadline := time.Now().Add(30 * time.Second)
+	for {
+		snap, err := svc.Status(disarcloud.JobID(blocker))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if snap.Status == disarcloud.JobRunning {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("blocker never started")
+		}
+		time.Sleep(time.Millisecond)
+	}
+	resp = postJSON(t, srv.URL+"/v1/jobs", hugeJob(4))
+	if resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("queue-fill submit status %d", resp.StatusCode)
+	}
+	resp.Body.Close()
+
+	resp = postJSON(t, srv.URL+"/v1/jobs", smallJob())
+	if resp.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("overflow submit status %d, want 503", resp.StatusCode)
+	}
+	if resp.Header.Get("Retry-After") == "" {
+		t.Fatal("503 without Retry-After header")
+	}
+	body := decodeJSON[map[string]string](t, resp)
+	if body["error"] == "" {
+		t.Fatal("503 without error message")
+	}
+
+	// Campaigns hit the same backpressure (all-or-nothing).
+	resp = postJSON(t, srv.URL+"/v1/campaigns", smallJob())
+	if resp.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("campaign on full queue status %d, want 503", resp.StatusCode)
+	}
+	resp.Body.Close()
+	if got := len(svc.Campaigns()); got != 0 {
+		t.Fatalf("rejected campaign left %d records", got)
+	}
+}
+
+// TestCampaignEndpoint drives a small stress campaign through the HTTP
+// surface: submit, status, blocking result with per-module deltas and the
+// aggregated SCR, then cancellation paths on a second campaign.
+func TestCampaignEndpoint(t *testing.T) {
+	srv, _ := newTestServer(t, disarcloud.WithWorkers(4))
+
+	resp := postJSON(t, srv.URL+"/v1/campaigns", smallJob())
+	if resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("campaign submit status %d, want 202", resp.StatusCode)
+	}
+	id := decodeJSON[map[string]string](t, resp)["id"]
+	if id == "" {
+		t.Fatal("campaign submit returned no id")
+	}
+
+	resp, err := http.Get(srv.URL + "/v1/campaigns/" + id)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("campaign status %d, want 200", resp.StatusCode)
+	}
+	snap := decodeJSON[map[string]any](t, resp)
+	if jobs, _ := snap["jobs"].([]any); len(jobs) != 8 {
+		t.Fatalf("campaign tracks %v jobs, want 8", len(snap["jobs"].([]any)))
+	}
+
+	resp, err = http.Get(srv.URL + "/v1/campaigns/" + id + "/result?wait=1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("campaign result status %d, want 200", resp.StatusCode)
+	}
+	res := decodeJSON[map[string]any](t, resp)
+	if bel, _ := res["base_bel"].(float64); bel <= 0 {
+		t.Fatalf("campaign base BEL %v", res["base_bel"])
+	}
+	modules, _ := res["modules"].([]any)
+	if len(modules) != 7 {
+		t.Fatalf("campaign result has %d modules, want 7", len(modules))
+	}
+	scr, _ := res["scr"].(map[string]any)
+	if scr == nil {
+		t.Fatal("campaign result missing scr block")
+	}
+	if bscr, _ := scr["bscr"].(float64); bscr <= 0 {
+		t.Fatalf("aggregated BSCR %v not positive", scr["bscr"])
+	}
+
+	resp, err = http.Get(srv.URL + "/v1/campaigns")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if list := decodeJSON[[]map[string]any](t, resp); len(list) != 1 {
+		t.Fatalf("campaign list has %d entries, want 1", len(list))
+	}
+
+	// Cancel a second, long-running campaign.
+	resp = postJSON(t, srv.URL+"/v1/campaigns", hugeJob(9))
+	if resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("second campaign submit status %d", resp.StatusCode)
+	}
+	id2 := decodeJSON[map[string]string](t, resp)["id"]
+	req, err := http.NewRequest(http.MethodDelete, srv.URL+"/v1/campaigns/"+id2, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err = http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("campaign cancel status %d, want 200", resp.StatusCode)
+	}
+	resp.Body.Close()
+	deadline := time.Now().Add(30 * time.Second)
+	for {
+		resp, err := http.Get(srv.URL + "/v1/campaigns/" + id2)
+		if err != nil {
+			t.Fatal(err)
+		}
+		snap := decodeJSON[map[string]any](t, resp)
+		if snap["status"] == "canceled" {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("campaign stuck in %v after cancel", snap["status"])
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+}
+
+// TestServerAssignsDistinctDefaultSeeds checks that omitted seeds derive
+// per-job defaults, so two identical bodies do not collapse onto one stream.
+func TestServerAssignsDistinctDefaultSeeds(t *testing.T) {
+	srv, svc := newTestServer(t, disarcloud.WithWorkers(2))
+	body := map[string]any{"contracts": 4, "outer": 10, "inner": 2}
+	var ids []string
+	for i := 0; i < 2; i++ {
+		resp := postJSON(t, srv.URL+"/v1/jobs", body)
+		if resp.StatusCode != http.StatusAccepted {
+			t.Fatalf("submit %d status %d", i, resp.StatusCode)
+		}
+		ids = append(ids, decodeJSON[map[string]string](t, resp)["id"])
+	}
+	var bels []float64
+	for _, id := range ids {
+		resp, err := http.Get(fmt.Sprintf("%s/v1/jobs/%s/result?wait=1", srv.URL, id))
+		if err != nil {
+			t.Fatal(err)
+		}
+		res := decodeJSON[map[string]any](t, resp)
+		bel, _ := res["bel"].(float64)
+		bels = append(bels, bel)
+	}
+	if bels[0] == bels[1] {
+		t.Fatalf("default-seeded jobs share a stream: BEL %v == %v", bels[0], bels[1])
+	}
+	_ = svc
+}

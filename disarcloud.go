@@ -54,6 +54,7 @@ import (
 	"disarcloud/internal/policy"
 	"disarcloud/internal/provision"
 	"disarcloud/internal/stochastic"
+	"disarcloud/internal/stress"
 )
 
 // Liability-side types.
@@ -90,6 +91,14 @@ type (
 	// MarketConfig is the joint risk-driver model (Vasicek short rate, GBM
 	// equities/currencies, CIR credit intensity).
 	MarketConfig = stochastic.Config
+	// VasicekParams parameterises the short-rate model.
+	VasicekParams = stochastic.VasicekParams
+	// GBMParams parameterises an equity or currency index.
+	GBMParams = stochastic.GBMParams
+	// CIRParams parameterises the credit-intensity process.
+	CIRParams = stochastic.CIRParams
+	// RiskMatrix is the dense matrix type of the correlation structure.
+	RiskMatrix = finmath.Matrix
 	// FundConfig describes a segregated fund and its smoothing strategy.
 	FundConfig = fund.Config
 	// ValuationResult carries BEL, SCR and the one-year value distribution.
@@ -148,6 +157,60 @@ const (
 	JobDone     = core.JobDone
 	JobFailed   = core.JobFailed
 	JobCanceled = core.JobCanceled
+)
+
+// Stress-campaign types: the Solvency II standard-formula battery of shocked
+// revaluations run as one campaign over the service's worker pool.
+type (
+	// CampaignSpec fans one base valuation into shocked revaluations.
+	CampaignSpec = core.CampaignSpec
+	// CampaignID identifies a submitted stress campaign.
+	CampaignID = core.CampaignID
+	// CampaignSnapshot is a point-in-time view of a campaign.
+	CampaignSnapshot = core.CampaignSnapshot
+	// CampaignReport carries per-module delta-BEL and the aggregated SCR.
+	CampaignReport = core.CampaignReport
+	// ModuleResult is the outcome of one shocked revaluation.
+	ModuleResult = core.ModuleResult
+	// StressModule names one standard-formula stress module.
+	StressModule = stress.Module
+	// Shock is one stress module: a market transform plus a biometric
+	// scaling.
+	Shock = stress.Shock
+	// SCRBreakdown is the standard-formula aggregation of module charges.
+	SCRBreakdown = stress.SCR
+	// ScenarioTransform is an exact pathwise market shock.
+	ScenarioTransform = stochastic.Transform
+	// ScenarioSet is a memoized scenario pool shared across a campaign.
+	ScenarioSet = stochastic.Set
+	// Biometric scales the decrement assumptions (life stresses).
+	Biometric = eeb.Biometric
+)
+
+// Standard-formula stress modules.
+const (
+	ModuleInterestUp   = stress.InterestUp
+	ModuleInterestDown = stress.InterestDown
+	ModuleEquity       = stress.Equity
+	ModuleCurrency     = stress.Currency
+	ModuleSpread       = stress.Spread
+	ModuleMortality    = stress.Mortality
+	ModuleLapse        = stress.Lapse
+	ModuleLongevity    = stress.Longevity
+)
+
+// Stress-campaign construction.
+var (
+	// StandardFormulaShocks returns the seven standard-formula modules.
+	StandardFormulaShocks = stress.StandardFormula
+	// LongevityShock returns the optional longevity module.
+	LongevityShock = stress.LongevityShock
+	// AggregateSCR combines per-module charges with the regulatory
+	// correlation matrices.
+	AggregateSCR = stress.Aggregate
+	// ErrUnknownCampaign is returned for a CampaignID the service does not
+	// know.
+	ErrUnknownCampaign = core.ErrUnknownCampaign
 )
 
 // Service construction.
@@ -245,6 +308,10 @@ func LongevityStress(base actuarial.MortalityModel) actuarial.MortalityModel {
 func MortalityStress(base actuarial.MortalityModel) actuarial.MortalityModel {
 	return actuarial.MortalityStress(base)
 }
+
+// IdentityMatrix returns the n-by-n identity matrix — the starting point for
+// building the correlation structure of a MarketConfig.
+func IdentityMatrix(n int) *RiskMatrix { return finmath.Identity(n) }
 
 // NewKnowledgeBase returns an empty knowledge base.
 func NewKnowledgeBase() *KnowledgeBase { return kb.New() }

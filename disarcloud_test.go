@@ -161,3 +161,77 @@ func TestPublicAPIContractMechanics(t *testing.T) {
 		t.Fatal("portfolio aggregates broken through the facade")
 	}
 }
+
+// TestPublicAPIStressCampaign is the acceptance check of the stress
+// subsystem through the public surface: a seven-module standard-formula
+// campaign through Service.SubmitCampaign produces per-module delta-BEL and
+// a correlation-aggregated SCR, scenario-set reuse generates the base paths
+// exactly once, and disabling reuse changes nothing but the work done.
+func TestPublicAPIStressCampaign(t *testing.T) {
+	gen := disarcloud.ItalianCompanySpecs()[0]
+	gen.NumContracts = 6
+	p, err := disarcloud.GeneratePortfolio(3, gen)
+	if err != nil {
+		t.Fatal(err)
+	}
+	market := disarcloud.DefaultMarket(p.MaxTerm())
+	base := disarcloud.SimulationSpec{
+		Portfolio:   p,
+		Fund:        disarcloud.TypicalItalianFund(4, market),
+		Market:      market,
+		Outer:       40,
+		Inner:       4,
+		Constraints: disarcloud.Constraints{TmaxSeconds: 3600, MaxNodes: 4, Epsilon: 0},
+		MaxWorkers:  2,
+		Seed:        21,
+	}
+	run := func(noReuse bool) *disarcloud.CampaignReport {
+		d, err := disarcloud.NewDeployer(5)
+		if err != nil {
+			t.Fatal(err)
+		}
+		svc, err := disarcloud.NewService(d, disarcloud.WithWorkers(3))
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer svc.Close()
+		id, err := svc.SubmitCampaign(context.Background(), disarcloud.CampaignSpec{
+			Base: base, NoScenarioReuse: noReuse,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		rep, err := svc.CampaignResult(context.Background(), id)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return rep
+	}
+	rep := run(false)
+	if len(rep.Modules) != 7 {
+		t.Fatalf("standard campaign ran %d modules, want 7", len(rep.Modules))
+	}
+	seen := map[disarcloud.StressModule]bool{}
+	for _, m := range rep.Modules {
+		seen[m.Module] = true
+		if m.DeltaBEL < 0 {
+			t.Fatalf("module %s delta %v below the zero floor", m.Module, m.DeltaBEL)
+		}
+	}
+	for _, want := range []disarcloud.StressModule{
+		disarcloud.ModuleInterestUp, disarcloud.ModuleInterestDown,
+		disarcloud.ModuleEquity, disarcloud.ModuleCurrency, disarcloud.ModuleSpread,
+		disarcloud.ModuleMortality, disarcloud.ModuleLapse,
+	} {
+		if !seen[want] {
+			t.Fatalf("standard campaign missing module %s", want)
+		}
+	}
+	if rep.SCR.BSCR <= 0 {
+		t.Fatalf("aggregated basic SCR %v not positive", rep.SCR.BSCR)
+	}
+	indep := run(true)
+	if rep.BaseBEL != indep.BaseBEL || rep.SCR != indep.SCR {
+		t.Fatal("scenario-set reuse changed the campaign results")
+	}
+}

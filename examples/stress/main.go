@@ -1,0 +1,134 @@
+// Example stress walks through the Solvency II stress-campaign subsystem:
+// one best-estimate valuation fanned into the seven standard-formula shock
+// modules (plus longevity), all sharing one scenario set, aggregated into
+// the basic SCR with the regulatory correlation matrices.
+//
+// The walkthrough shows the three layers of the subsystem:
+//
+//  1. the market model with FX exposure and a correlation structure, so
+//     every module has a real transmission channel into the fund;
+//  2. Service.SubmitCampaign, which generates the base correlated paths
+//     once and derives every module's scenarios by shift/rescale; and
+//  3. the same campaign with NoScenarioReuse, demonstrating that reuse
+//     changes the wall time and not a single digit of the results.
+//
+// Run with: go run ./examples/stress
+package main
+
+import (
+	"context"
+	"fmt"
+	"log"
+	"time"
+
+	"disarcloud"
+)
+
+func main() {
+	// An annuity-tilted book makes the life modules (longevity in
+	// particular) bite alongside the market ones.
+	gen := disarcloud.ItalianCompanySpecs()[2]
+	gen.NumContracts = 12
+	portfolio, err := disarcloud.GeneratePortfolio(7, gen)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// A market with two equity indices, one foreign currency and a full
+	// correlation structure. The FX stress only matters because the fund
+	// below holds a foreign-denominated sleeve.
+	market := disarcloud.DefaultMarket(portfolio.MaxTerm())
+	market.Equities = append(market.Equities,
+		disarcloud.GBMParams{S0: 80, Mu: 0.055, Sigma: 0.22})
+	market.Currencies = []disarcloud.GBMParams{{S0: 1.1, Mu: 0.005, Sigma: 0.09}}
+	corr := disarcloud.IdentityMatrix(market.NumFactors())
+	set := func(i, j int, v float64) { corr.Set(i, j, v); corr.Set(j, i, v) }
+	set(0, 1, -0.2) // rate vs equity 1
+	set(1, 2, 0.6)  // equity 1 vs equity 2
+	set(1, 3, 0.25) // equity 1 vs FX
+	set(0, 4, 0.2)  // rate vs credit
+	market.Corr = corr
+
+	// A segregated fund of eight sleeves; with two equity sleeves, the
+	// second tracks the second index and is foreign-denominated (Currency is
+	// a 1-based index into the market's currency list), giving the FX module
+	// its transmission channel.
+	fund := disarcloud.TypicalItalianFund(8, market)
+	fund.Assets[1].Currency = 1
+
+	base := disarcloud.SimulationSpec{
+		Portfolio:   portfolio,
+		Fund:        fund,
+		Market:      market,
+		Outer:       300,
+		Inner:       10,
+		Constraints: disarcloud.Constraints{TmaxSeconds: 900, MaxNodes: 8, Epsilon: 0.05},
+		Seed:        2024,
+	}
+
+	d, err := disarcloud.NewDeployer(2024)
+	if err != nil {
+		log.Fatal(err)
+	}
+	svc, err := disarcloud.NewService(d, disarcloud.WithWorkers(4))
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer svc.Close()
+	ctx := context.Background()
+
+	// The standard seven modules plus longevity for the annuity book.
+	shocks := append(disarcloud.StandardFormulaShocks(), disarcloud.LongevityShock())
+
+	fmt.Println("== campaign with shared scenario set ==")
+	reuseStart := time.Now()
+	id, err := svc.SubmitCampaign(ctx, disarcloud.CampaignSpec{Base: base, Shocks: shocks})
+	if err != nil {
+		log.Fatal(err)
+	}
+	rep, err := svc.CampaignResult(ctx, id)
+	if err != nil {
+		log.Fatal(err)
+	}
+	reuseElapsed := time.Since(reuseStart)
+	printReport(rep)
+
+	fmt.Println("\n== same campaign, independent scenario generation ==")
+	indepStart := time.Now()
+	id2, err := svc.SubmitCampaign(ctx, disarcloud.CampaignSpec{
+		Base: base, Shocks: shocks, NoScenarioReuse: true,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	rep2, err := svc.CampaignResult(ctx, id2)
+	if err != nil {
+		log.Fatal(err)
+	}
+	indepElapsed := time.Since(indepStart)
+
+	same := rep.BaseBEL == rep2.BaseBEL && rep.SCR == rep2.SCR
+	for i := range rep.Modules {
+		same = same && rep.Modules[i].BEL == rep2.Modules[i].BEL
+	}
+	fmt.Printf("results identical to the reuse campaign: %v\n", same)
+	fmt.Printf("\nwall time: %v with reuse vs %v independent (%d jobs each)\n",
+		reuseElapsed.Round(time.Millisecond), indepElapsed.Round(time.Millisecond), len(rep.Modules)+1)
+	fmt.Printf("knowledge base grew to %d samples — every shocked revaluation trains the deployer\n",
+		d.KB().Len())
+}
+
+func printReport(rep *disarcloud.CampaignReport) {
+	fmt.Printf("base BEL %.0f (base-job 99.5%% VaR: %.0f)\n", rep.BaseBEL, rep.BaseVaRSCR)
+	fmt.Printf("%-14s %14s %14s\n", "module", "shocked BEL", "delta BEL")
+	for _, m := range rep.Modules {
+		fmt.Printf("%-14s %14.0f %14.0f\n", m.Module, m.BEL, m.DeltaBEL)
+	}
+	scr := rep.SCR
+	binding := "up"
+	if scr.InterestDownBinding {
+		binding = "down"
+	}
+	fmt.Printf("interest %.0f (%s binding) | market %.0f | life %.0f | basic SCR %.0f\n",
+		scr.Interest, binding, scr.Market, scr.Life, scr.BSCR)
+}

@@ -5,7 +5,6 @@ import (
 	"fmt"
 
 	"disarcloud/internal/finmath"
-	"disarcloud/internal/stochastic"
 )
 
 // LSMCSpec configures the Least-Squares Monte Carlo acceleration: the plain
@@ -88,7 +87,7 @@ func (v *Valuer) CalibrateProxy(spec LSMCSpec) (*Proxy, error) {
 		feats[i] = v.Features(outer)
 		sum := 0.0
 		for j := 0; j < spec.CalibInner; j++ {
-			inner := v.gen.GenerateFrom(v.innerRNG(i, j), stochastic.RiskNeutral, outer.Scenario, 1)
+			inner := v.src.Inner(i, j, outer.Scenario, 1)
 			sum += v.presentValue(outer.FundReturn, inner)
 		}
 		targets[i] = sum / float64(spec.CalibInner)

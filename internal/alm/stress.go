@@ -36,7 +36,9 @@ func (a Assumptions) lapse() actuarial.LapseModel {
 }
 
 // NewValuerWithAssumptions is NewValuer with explicit biometric models.
-// Identical seeds and assumptions yield identical results.
+// Identical seeds and assumptions yield identical results. A block-level
+// Biometric basis composes multiplicatively on top of the resolved models,
+// so campaign stresses stack cleanly with explicit assumption overrides.
 func NewValuerWithAssumptions(b *eeb.Block, seed uint64, assume Assumptions) (*Valuer, error) {
 	if b == nil {
 		return nil, errors.New("alm: nil block")
@@ -55,10 +57,22 @@ func NewValuerWithAssumptions(b *eeb.Block, seed uint64, assume Assumptions) (*V
 	if err != nil {
 		return nil, err
 	}
-	v := &Valuer{block: b, gen: gen, fund: fd, seed: seed}
+	src := b.Scenarios
+	if src == nil {
+		src = stochastic.NewPathSource(gen, seed)
+	}
+	v := &Valuer{block: b, src: src, fund: fd, seed: seed}
+	lapse := assume.lapse()
+	if f := b.Biometric.LapseScale(); f != 1 {
+		lapse = actuarial.LapseStress{Base: lapse, Factor: f}
+	}
 	v.decrements = make([]*actuarial.DecrementTable, len(b.Portfolio.Contracts))
 	for i, c := range b.Portfolio.Contracts {
-		eng, err := actuarial.NewEngine(assume.mortality(c.Gender), assume.lapse())
+		mort := assume.mortality(c.Gender)
+		if f := b.Biometric.MortalityScale(); f != 1 {
+			mort = actuarial.ScaledMortality{Base: mort, Factor: f}
+		}
+		eng, err := actuarial.NewEngine(mort, lapse)
 		if err != nil {
 			return nil, err
 		}

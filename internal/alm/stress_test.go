@@ -7,6 +7,7 @@ import (
 	"disarcloud/internal/eeb"
 	"disarcloud/internal/fund"
 	"disarcloud/internal/policy"
+	"disarcloud/internal/stochastic"
 )
 
 // annuityBlock builds an annuity-heavy block, where the longevity stress
@@ -126,5 +127,96 @@ func TestAssumptionsValidation(t *testing.T) {
 	b.Type = eeb.ActuarialValuation
 	if _, err := NewValuerWithAssumptions(b, 1, Assumptions{}); err == nil {
 		t.Fatal("type-A block accepted")
+	}
+}
+
+// TestBlockBiometricMatchesExplicitAssumptions checks the campaign path:
+// stamping a Biometric basis on the block must reproduce the explicitly
+// stressed assumptions bit-for-bit (same scenarios, scaled decrements).
+func TestBlockBiometricMatchesExplicitAssumptions(t *testing.T) {
+	b := protectionBlock(t)
+	explicit, err := NewValuerWithAssumptions(b, 5, Assumptions{
+		Mortality: func(g actuarial.Gender) actuarial.MortalityModel {
+			return actuarial.MortalityStress(actuarial.ForGender(g))
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	stamped := *b
+	stamped.Biometric = eeb.Biometric{MortalityFactor: 1.15}
+	viaBlock, err := NewValuer(&stamped, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	re, err := explicit.ValueNested()
+	if err != nil {
+		t.Fatal(err)
+	}
+	rb, err := viaBlock.ValueNested()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if re.BEL != rb.BEL || re.SCR != rb.SCR {
+		t.Fatalf("block-stamped stress (%v, %v) != explicit assumptions (%v, %v)",
+			rb.BEL, rb.SCR, re.BEL, re.SCR)
+	}
+	base, err := NewValuer(b, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r0, err := base.ValueNested()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rb.BEL <= r0.BEL {
+		t.Fatalf("mortality stress did not raise protection BEL: %v <= %v", rb.BEL, r0.BEL)
+	}
+}
+
+// TestValuerUsesBlockScenarioSource checks that a block carrying a shared
+// scenario set values identically to the default seeded generation, while
+// drawing every path from the set.
+func TestValuerUsesBlockScenarioSource(t *testing.T) {
+	b := protectionBlock(t)
+	const seed = 9
+	plain, err := NewValuer(b, seed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := plain.ValueNested()
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	gen, err := stochastic.NewGenerator(b.Market)
+	if err != nil {
+		t.Fatal(err)
+	}
+	set := stochastic.NewSet(gen, seed)
+	withSet := *b
+	withSet.Scenarios = set
+	v, err := NewValuer(&withSet, seed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := v.ValueNested()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.BEL != want.BEL || got.SCR != want.SCR {
+		t.Fatalf("set-backed valuation (%v, %v) != seeded valuation (%v, %v)",
+			got.BEL, got.SCR, want.BEL, want.SCR)
+	}
+	if set.Generated() == 0 {
+		t.Fatal("valuation did not draw from the shared set")
+	}
+	// A second valuation over the same set regenerates nothing.
+	n := set.Generated()
+	if _, err := v.ValueNested(); err != nil {
+		t.Fatal(err)
+	}
+	if set.Generated() != n {
+		t.Fatalf("re-valuation regenerated scenarios: %d -> %d", n, set.Generated())
 	}
 }

@@ -8,12 +8,10 @@
 package alm
 
 import (
-	"errors"
 	"fmt"
 
 	"disarcloud/internal/actuarial"
 	"disarcloud/internal/eeb"
-	"disarcloud/internal/finmath"
 	"disarcloud/internal/fund"
 	"disarcloud/internal/stochastic"
 )
@@ -32,7 +30,7 @@ func DefaultLapse() actuarial.LapseModel {
 // goroutine uses its own RNG.
 type Valuer struct {
 	block      *eeb.Block
-	gen        *stochastic.Generator
+	src        stochastic.Source
 	fund       *fund.Fund
 	decrements []*actuarial.DecrementTable // one per contract, aligned with portfolio
 	seed       uint64
@@ -41,40 +39,12 @@ type Valuer struct {
 // NewValuer prepares a valuer for the block, computing the type-A decrement
 // tables for every representative contract. seed roots all the valuer's
 // random streams: two valuers with the same block and seed produce
-// bit-identical results regardless of how work is partitioned.
+// bit-identical results regardless of how work is partitioned. A block with
+// a Scenarios source draws its paths from there instead (stress-campaign
+// reuse); a block with a Biometric basis has its decrement assumptions
+// scaled accordingly.
 func NewValuer(b *eeb.Block, seed uint64) (*Valuer, error) {
-	if b == nil {
-		return nil, errors.New("alm: nil block")
-	}
-	if err := b.Validate(); err != nil {
-		return nil, err
-	}
-	if b.Type != eeb.ALMValuation {
-		return nil, fmt.Errorf("alm: block %s is type %s, want B", b.ID, b.Type)
-	}
-	gen, err := stochastic.NewGenerator(b.Market)
-	if err != nil {
-		return nil, err
-	}
-	fd, err := fund.New(b.Fund, b.Market)
-	if err != nil {
-		return nil, err
-	}
-	v := &Valuer{block: b, gen: gen, fund: fd, seed: seed}
-	lapse := DefaultLapse()
-	v.decrements = make([]*actuarial.DecrementTable, len(b.Portfolio.Contracts))
-	for i, c := range b.Portfolio.Contracts {
-		eng, err := actuarial.NewEngine(actuarial.ForGender(c.Gender), lapse)
-		if err != nil {
-			return nil, err
-		}
-		dec, err := eng.Decrements(c.Age, c.Term)
-		if err != nil {
-			return nil, fmt.Errorf("alm: contract %d: %w", i, err)
-		}
-		v.decrements[i] = dec
-	}
-	return v, nil
+	return NewValuerWithAssumptions(b, seed, Assumptions{})
 }
 
 // Block returns the block the valuer executes.
@@ -117,17 +87,6 @@ func (v *Valuer) presentValue(outerReturn float64, inner *stochastic.Scenario) f
 	return total
 }
 
-// outerRNG returns the deterministic stream for outer path i, independent of
-// work partitioning.
-func (v *Valuer) outerRNG(i int) *finmath.RNG {
-	return finmath.NewRNG(v.seed ^ (0x9e3779b97f4a7c15 * uint64(i+1)))
-}
-
-// innerRNG returns the deterministic stream for inner path j of outer path i.
-func (v *Valuer) innerRNG(i, j int) *finmath.RNG {
-	return finmath.NewRNG(v.seed ^ (0x9e3779b97f4a7c15 * uint64(i+1)) ^ (0xc2b2ae3d27d4eb4f * uint64(j+1)))
-}
-
 // OuterState captures the F1-measurable state of an outer path used both to
 // condition inner simulations and as the LSMC regression features.
 type OuterState struct {
@@ -136,9 +95,10 @@ type OuterState struct {
 	Discount   float64 // D(0,1) on the outer path
 }
 
-// GenerateOuter simulates outer path i (real-world measure, 0 to 1 year).
+// GenerateOuter supplies outer path i (real-world measure, 0 to 1 year) from
+// the valuer's scenario source.
 func (v *Valuer) GenerateOuter(i int) OuterState {
-	s := v.gen.Generate(v.outerRNG(i), stochastic.RealWorld)
+	s := v.src.Outer(i)
 	returns := v.fund.Returns(s, 1)
 	return OuterState{Scenario: s, FundReturn: returns[0], Discount: s.Discount(1)}
 }
@@ -149,7 +109,7 @@ func (v *Valuer) ValueOuter(i, nInner int) float64 {
 	outer := v.GenerateOuter(i)
 	sum := 0.0
 	for j := 0; j < nInner; j++ {
-		inner := v.gen.GenerateFrom(v.innerRNG(i, j), stochastic.RiskNeutral, outer.Scenario, 1)
+		inner := v.src.Inner(i, j, outer.Scenario, 1)
 		sum += v.presentValue(outer.FundReturn, inner)
 	}
 	return sum / float64(nInner)

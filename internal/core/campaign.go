@@ -1,0 +1,322 @@
+package core
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"time"
+
+	"disarcloud/internal/stochastic"
+	"disarcloud/internal/stress"
+)
+
+// CampaignID identifies one submitted stress campaign within a Service.
+type CampaignID string
+
+// ErrUnknownCampaign is returned when a CampaignID does not name a campaign
+// of this service (including campaigns evicted past the retention cap).
+var ErrUnknownCampaign = errors.New("core: unknown campaign")
+
+// CampaignSpec describes a Solvency II stress campaign: one base valuation
+// fanned into shocked revaluations whose per-module delta-BEL aggregates
+// into the standard-formula SCR.
+type CampaignSpec struct {
+	// Base is the best-estimate valuation every module shocks. Its Scenarios
+	// field must be nil: the campaign owns scenario sourcing.
+	Base SimulationSpec
+	// Shocks are the stress modules; nil selects stress.StandardFormula().
+	Shocks []stress.Shock
+	// NoScenarioReuse makes every job regenerate its paths instead of
+	// deriving them from the campaign's shared base set — the
+	// N-independent-valuations baseline that scenario-set reuse is
+	// benchmarked against. Results are identical either way.
+	NoScenarioReuse bool
+}
+
+// ModuleResult is the outcome of one shocked revaluation.
+type ModuleResult struct {
+	Module stress.Module
+	Job    JobID
+	// BEL is the best-estimate liability under the module's shock.
+	BEL float64
+	// DeltaBEL is the module's capital charge: shocked minus base BEL,
+	// floored at zero.
+	DeltaBEL float64
+}
+
+// CampaignReport is the terminal outcome of a campaign.
+type CampaignReport struct {
+	ID      CampaignID
+	BaseJob JobID
+	// BaseBEL is the unshocked best-estimate liability.
+	BaseBEL float64
+	// BaseVaRSCR is the base job's own 99.5% VaR capital figure, reported
+	// alongside the standard-formula aggregation for comparison.
+	BaseVaRSCR float64
+	// Modules holds the per-module outcomes in submission order.
+	Modules []ModuleResult
+	// SCR is the standard-formula aggregation of the module charges.
+	SCR stress.SCR
+}
+
+// CampaignSnapshot is a point-in-time view of a campaign.
+type CampaignSnapshot struct {
+	ID CampaignID
+	// Status aggregates the job lifecycles: queued until any job starts,
+	// then running; terminal once every job is terminal (failed wins over
+	// canceled wins over done).
+	Status JobStatus
+	// Jobs holds the base job's snapshot first, then one per module.
+	Jobs []JobSnapshot
+	// Done/Total sum outer-path progress across all jobs.
+	Done, Total int
+	SubmittedAt time.Time
+}
+
+// campaign is the service-internal campaign record. It holds the job
+// pointers directly, so job-map eviction never invalidates a live campaign.
+type campaign struct {
+	id          CampaignID
+	base        *job
+	modules     []stress.Module
+	jobs        []*job // aligned with modules
+	submittedAt time.Time
+}
+
+// all returns base plus module jobs.
+func (c *campaign) all() []*job {
+	out := make([]*job, 0, len(c.jobs)+1)
+	out = append(out, c.base)
+	return append(out, c.jobs...)
+}
+
+// terminal reports whether every job of the campaign has settled.
+func (c *campaign) terminal() bool {
+	for _, j := range c.all() {
+		if !j.terminal() {
+			return false
+		}
+	}
+	return true
+}
+
+// SubmitCampaign validates and enqueues a stress campaign: the base job plus
+// one shocked job per module, all over the service's ordinary worker pool
+// and deploy path (each revaluation is transparently deployed and feeds the
+// knowledge base like any single job). Unless NoScenarioReuse is set, the
+// base correlated paths are generated once into a shared scenario set and
+// every module derives its paths from it by shift/rescale.
+//
+// Submission is all-or-nothing: if any job is rejected (queue full, closed
+// service), the already-submitted jobs are cancelled and the error returned.
+// The context governs every job of the campaign.
+func (s *Service) SubmitCampaign(ctx context.Context, cs CampaignSpec) (CampaignID, error) {
+	if err := cs.Base.Validate(); err != nil {
+		return "", err
+	}
+	if cs.Base.Scenarios != nil {
+		return "", errors.New("core: campaign base spec must not carry a scenario source")
+	}
+	shocks := cs.Shocks
+	if len(shocks) == 0 {
+		shocks = stress.StandardFormula()
+	}
+	if err := stress.ValidateShocks(shocks); err != nil {
+		return "", err
+	}
+	gen, err := stochastic.NewGenerator(cs.Base.Market)
+	if err != nil {
+		return "", err
+	}
+	// The campaign's scenario backbone: a memoizing shared set, or a plain
+	// per-access generator when reuse is off. Either way every module's
+	// paths derive from the SAME base streams (common random numbers), so
+	// the per-module deltas carry no Monte Carlo noise between modules and
+	// are identical with and without reuse.
+	var base stochastic.Source
+	if cs.NoScenarioReuse {
+		base = stochastic.NewPathSource(gen, cs.Base.Seed)
+	} else {
+		base = stochastic.NewSet(gen, cs.Base.Seed)
+	}
+
+	baseSpec := cs.Base
+	baseSpec.Scenarios = base
+	// Job pointers are taken at submission time: a lookup through the job
+	// map after the loop could race eviction on a small-retention service.
+	submitted := make([]*job, 0, len(shocks)+1)
+	rollback := func() {
+		for _, j := range submitted {
+			j.cancel()
+		}
+	}
+	baseJob, err := s.submitJob(ctx, baseSpec)
+	if err != nil {
+		return "", fmt.Errorf("core: campaign base job: %w", err)
+	}
+	submitted = append(submitted, baseJob)
+	moduleJobs := make([]*job, len(shocks))
+	modules := make([]stress.Module, len(shocks))
+	for k, sh := range shocks {
+		spec := cs.Base
+		spec.Market = sh.Market.Config(cs.Base.Market)
+		spec.Biometric = cs.Base.Biometric.Compose(sh.Biometric)
+		spec.Scenarios = stochastic.Derived(base, sh.Market)
+		j, err := s.submitJob(ctx, spec)
+		if err != nil {
+			rollback()
+			return "", fmt.Errorf("core: campaign module %s: %w", sh.Module, err)
+		}
+		submitted = append(submitted, j)
+		moduleJobs[k] = j
+		modules[k] = sh.Module
+	}
+
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		// Close raced the submission; the jobs are already being cancelled.
+		return "", ErrServiceClosed
+	}
+	s.nextCampaign++
+	cid := CampaignID(fmt.Sprintf("camp-%04d", s.nextCampaign))
+	c := &campaign{id: cid, base: baseJob, modules: modules, jobs: moduleJobs, submittedAt: time.Now()}
+	s.campaigns[cid] = c
+	s.campaignOrder = append(s.campaignOrder, cid)
+	return cid, nil
+}
+
+// CampaignStatus returns a snapshot of the campaign.
+func (s *Service) CampaignStatus(id CampaignID) (CampaignSnapshot, error) {
+	c, err := s.campaign(id)
+	if err != nil {
+		return CampaignSnapshot{}, err
+	}
+	return c.snapshot(), nil
+}
+
+// Campaigns returns snapshots of every campaign in submission order.
+func (s *Service) Campaigns() []CampaignSnapshot {
+	s.mu.Lock()
+	ids := make([]*campaign, 0, len(s.campaignOrder))
+	for _, id := range s.campaignOrder {
+		ids = append(ids, s.campaigns[id])
+	}
+	s.mu.Unlock()
+	out := make([]CampaignSnapshot, len(ids))
+	for i, c := range ids {
+		out[i] = c.snapshot()
+	}
+	return out
+}
+
+// snapshot builds the queryable view.
+func (c *campaign) snapshot() CampaignSnapshot {
+	out := CampaignSnapshot{ID: c.id, SubmittedAt: c.submittedAt}
+	var anyStarted, anyFailed, anyCanceled bool
+	allTerminal := true
+	for _, j := range c.all() {
+		snap := j.snapshot()
+		out.Jobs = append(out.Jobs, snap)
+		out.Done += snap.Done
+		out.Total += snap.Total
+		if snap.Status != JobQueued {
+			anyStarted = true
+		}
+		switch snap.Status {
+		case JobFailed:
+			anyFailed = true
+		case JobCanceled:
+			anyCanceled = true
+		}
+		if !snap.Status.Terminal() {
+			allTerminal = false
+		}
+	}
+	switch {
+	case allTerminal && anyFailed:
+		out.Status = JobFailed
+	case allTerminal && anyCanceled:
+		out.Status = JobCanceled
+	case allTerminal:
+		out.Status = JobDone
+	case anyStarted:
+		out.Status = JobRunning
+	default:
+		out.Status = JobQueued
+	}
+	return out
+}
+
+// CampaignResult blocks until every job of the campaign reaches a terminal
+// state (or ctx is cancelled) and returns the aggregated report: per-module
+// delta-BEL and the standard-formula SCR. Any failed or cancelled job fails
+// the whole campaign with that job's error.
+func (s *Service) CampaignResult(ctx context.Context, id CampaignID) (*CampaignReport, error) {
+	c, err := s.campaign(id)
+	if err != nil {
+		return nil, err
+	}
+	baseRep, err := awaitJob(ctx, c.base)
+	if err != nil {
+		return nil, fmt.Errorf("core: campaign %s base job: %w", id, err)
+	}
+	rep := &CampaignReport{
+		ID:         id,
+		BaseJob:    c.base.id,
+		BaseBEL:    baseRep.BEL,
+		BaseVaRSCR: baseRep.SCR,
+	}
+	deltas := make(map[stress.Module]float64, len(c.jobs))
+	for k, j := range c.jobs {
+		r, err := awaitJob(ctx, j)
+		if err != nil {
+			return nil, fmt.Errorf("core: campaign %s module %s: %w", id, c.modules[k], err)
+		}
+		delta := r.BEL - baseRep.BEL
+		if delta < 0 {
+			delta = 0
+		}
+		rep.Modules = append(rep.Modules, ModuleResult{
+			Module: c.modules[k], Job: j.id, BEL: r.BEL, DeltaBEL: delta,
+		})
+		deltas[c.modules[k]] = delta
+	}
+	rep.SCR = stress.Aggregate(deltas)
+	return rep, nil
+}
+
+// CancelCampaign requests cancellation of every job of the campaign.
+func (s *Service) CancelCampaign(id CampaignID) error {
+	c, err := s.campaign(id)
+	if err != nil {
+		return err
+	}
+	for _, j := range c.all() {
+		j.cancel()
+	}
+	return nil
+}
+
+// awaitJob waits for a job held by pointer (immune to job-map eviction) and
+// returns its report.
+func awaitJob(ctx context.Context, j *job) (*SimulationReport, error) {
+	select {
+	case <-j.doneCh:
+		j.mu.Lock()
+		defer j.mu.Unlock()
+		return j.report, j.err
+	case <-ctx.Done():
+		return nil, ctx.Err()
+	}
+}
+
+func (s *Service) campaign(id CampaignID) (*campaign, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	c, ok := s.campaigns[id]
+	if !ok {
+		return nil, fmt.Errorf("%w: %s", ErrUnknownCampaign, id)
+	}
+	return c, nil
+}

@@ -78,11 +78,14 @@ type Service struct {
 	baseCancel context.CancelFunc
 	wg         sync.WaitGroup
 
-	mu     sync.Mutex
-	jobs   map[JobID]*job
-	order  []JobID
-	nextID uint64
-	closed bool
+	mu            sync.Mutex
+	jobs          map[JobID]*job
+	order         []JobID
+	nextID        uint64
+	campaigns     map[CampaignID]*campaign
+	campaignOrder []CampaignID
+	nextCampaign  uint64
+	closed        bool
 }
 
 // NewService starts a service over the given deployer. The returned service
@@ -112,6 +115,7 @@ func NewService(d *Deployer, opts ...ServiceOption) (*Service, error) {
 		baseCtx:    ctx,
 		baseCancel: cancel,
 		jobs:       make(map[JobID]*job),
+		campaigns:  make(map[CampaignID]*campaign),
 	}
 	for i := 0; i < cfg.workers; i++ {
 		s.wg.Add(1)
@@ -130,16 +134,27 @@ func (s *Service) Deployer() *Deployer { return s.d }
 // blocks: when the queue is at capacity it fails fast with ErrQueueFull
 // (the service's backpressure signal) and records nothing.
 func (s *Service) Submit(ctx context.Context, spec SimulationSpec) (JobID, error) {
-	if err := spec.Validate(); err != nil {
+	j, err := s.submitJob(ctx, spec)
+	if err != nil {
 		return "", err
 	}
+	return j.id, nil
+}
+
+// submitJob is the body of Submit, returning the job record itself so
+// campaign submission can hold the pointer directly — a lookup through
+// s.jobs after the fact could race eviction on a small-retention service.
+func (s *Service) submitJob(ctx context.Context, spec SimulationSpec) (*job, error) {
+	if err := spec.Validate(); err != nil {
+		return nil, err
+	}
 	if err := ctx.Err(); err != nil {
-		return "", err
+		return nil, err
 	}
 	s.mu.Lock()
 	if s.closed {
 		s.mu.Unlock()
-		return "", ErrServiceClosed
+		return nil, ErrServiceClosed
 	}
 	s.nextID++
 	id := JobID(fmt.Sprintf("job-%06d", s.nextID))
@@ -162,11 +177,11 @@ func (s *Service) Submit(ctx context.Context, spec SimulationSpec) (JobID, error
 		s.jobs[id] = j
 		s.order = append(s.order, id)
 		s.mu.Unlock()
-		return id, nil
+		return j, nil
 	default:
 		s.mu.Unlock()
 		cancel()
-		return "", fmt.Errorf("%w (depth %d)", ErrQueueFull, cap(s.queue))
+		return nil, fmt.Errorf("%w (depth %d)", ErrQueueFull, cap(s.queue))
 	}
 }
 
@@ -177,6 +192,22 @@ func (s *Service) Status(id JobID) (JobSnapshot, error) {
 		return JobSnapshot{}, err
 	}
 	return j.snapshot(), nil
+}
+
+// JobCount returns the number of queryable job records without building
+// snapshots — cheap enough for liveness probes.
+func (s *Service) JobCount() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return len(s.jobs)
+}
+
+// CampaignCount returns the number of queryable campaign records without
+// building snapshots.
+func (s *Service) CampaignCount() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return len(s.campaigns)
 }
 
 // Jobs returns snapshots of every job in submission order.
@@ -199,14 +230,7 @@ func (s *Service) Result(ctx context.Context, id JobID) (*SimulationReport, erro
 	if err != nil {
 		return nil, err
 	}
-	select {
-	case <-j.doneCh:
-		j.mu.Lock()
-		defer j.mu.Unlock()
-		return j.report, j.err
-	case <-ctx.Done():
-		return nil, ctx.Err()
-	}
+	return awaitJob(ctx, j)
 }
 
 // Progress subscribes to the job's monitoring stream. Events are grid
@@ -285,15 +309,29 @@ func (s *Service) worker() {
 // run executes one job end to end and settles its terminal state.
 func (s *Service) run(j *job) {
 	j.start()
-	rep, err := s.d.RunSimulation(j.ctx, j.spec)
+	rep, err := s.runGuarded(j)
 	j.finish(rep, err)
 	j.cancel() // release the job context's resources
 	s.evict()
 }
 
-// evict drops the oldest terminal jobs beyond the retention cap so a
-// long-lived service stays bounded. Live (queued/running) jobs are never
-// evicted.
+// runGuarded executes the valuation, converting a panic (e.g. a degenerate
+// user-supplied spec that slipped past validation) into a failed job — one
+// bad submission must not take the whole service down.
+func (s *Service) runGuarded(j *job) (rep *SimulationReport, err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			rep, err = nil, fmt.Errorf("core: job %s panicked: %v", j.id, r)
+		}
+	}()
+	return s.d.RunSimulation(j.ctx, j.spec)
+}
+
+// evict drops the oldest terminal jobs and campaigns beyond the retention
+// cap so a long-lived service stays bounded. Live (queued/running) jobs and
+// campaigns with any live job are never evicted; campaigns hold their job
+// pointers directly, so an evicted job record stays reachable through its
+// campaign until that is evicted too.
 func (s *Service) evict() {
 	s.mu.Lock()
 	defer s.mu.Unlock()
@@ -303,17 +341,34 @@ func (s *Service) evict() {
 			terminal++
 		}
 	}
-	if terminal <= s.retention {
-		return
-	}
-	kept := s.order[:0]
-	for _, id := range s.order {
-		if terminal > s.retention && s.jobs[id].terminal() {
-			delete(s.jobs, id)
-			terminal--
-			continue
+	if terminal > s.retention {
+		kept := s.order[:0]
+		for _, id := range s.order {
+			if terminal > s.retention && s.jobs[id].terminal() {
+				delete(s.jobs, id)
+				terminal--
+				continue
+			}
+			kept = append(kept, id)
 		}
-		kept = append(kept, id)
+		s.order = kept
 	}
-	s.order = kept
+	terminalCamps := 0
+	for _, id := range s.campaignOrder {
+		if s.campaigns[id].terminal() {
+			terminalCamps++
+		}
+	}
+	if terminalCamps > s.retention {
+		kept := s.campaignOrder[:0]
+		for _, id := range s.campaignOrder {
+			if terminalCamps > s.retention && s.campaigns[id].terminal() {
+				delete(s.campaigns, id)
+				terminalCamps--
+				continue
+			}
+			kept = append(kept, id)
+		}
+		s.campaignOrder = kept
+	}
 }

@@ -37,6 +37,13 @@ type SimulationSpec struct {
 	// Seed roots the valuation streams and, for jobs run through a Service,
 	// the per-job cloud-noise split.
 	Seed uint64
+	// Biometric scales the decrement assumptions — the life side of the
+	// Solvency II stresses. The zero value is the best-estimate basis.
+	Biometric eeb.Biometric
+	// Scenarios, when non-nil, supplies the valuation's scenario paths from
+	// a shared or derived scenario set (stress-campaign reuse) instead of
+	// generating them fresh from Seed.
+	Scenarios stochastic.Source
 	// OnProgress, when non-nil, receives grid monitoring events as outer
 	// paths complete. Calls are serialised by the valuation master.
 	OnProgress func(grid.Progress)
@@ -52,6 +59,9 @@ func (s SimulationSpec) Validate() error {
 	}
 	if s.Outer <= 0 || s.Inner <= 0 {
 		return fmt.Errorf("core: non-positive Monte Carlo sample sizes")
+	}
+	if err := s.Biometric.Validate(); err != nil {
+		return err
 	}
 	return s.Constraints.Validate()
 }
@@ -70,6 +80,26 @@ type SimulationReport struct {
 	Deploy *Report
 	// Params are the characteristic parameters the deploy was selected on.
 	Params eeb.CharacteristicParams
+}
+
+// checkScenarioSource probes a caller-supplied scenario source against the
+// market model. A source built over a different market would index missing
+// driver paths deep inside the fund evaluation (a panic in a worker
+// goroutine); probing one outer path up front turns the mismatch into a
+// clean submission-time error. For the memoized sets of a stress campaign
+// the probed path is cached, so nothing is wasted.
+func checkScenarioSource(src stochastic.Source, market stochastic.Config) error {
+	probe := src.Outer(0)
+	if got, want := len(probe.Equities), len(market.Equities); got != want {
+		return fmt.Errorf("core: scenario source supplies %d equity paths, market has %d", got, want)
+	}
+	if got, want := len(probe.Currencies), len(market.Currencies); got != want {
+		return fmt.Errorf("core: scenario source supplies %d currency paths, market has %d", got, want)
+	}
+	if got, want := probe.Steps(), market.Horizon*market.StepsPerYear; got < want {
+		return fmt.Errorf("core: scenario source paths span %d steps, market horizon needs %d", got, want)
+	}
+	return nil
 }
 
 // RunSimulation performs the paper's end-to-end flow: the interface
@@ -93,6 +123,11 @@ func (d *Deployer) RunSimulation(ctx context.Context, spec SimulationSpec) (*Sim
 	if err := spec.Validate(); err != nil {
 		return nil, err
 	}
+	if spec.Scenarios != nil {
+		if err := checkScenarioSource(spec.Scenarios, spec.Market); err != nil {
+			return nil, err
+		}
+	}
 	// Huge Tmax values (e.g. 1e18 as an "effectively no deadline" sentinel)
 	// would overflow time.Duration into a negative, already-expired timeout;
 	// treat anything past the representable range as unbounded.
@@ -111,6 +146,7 @@ func (d *Deployer) RunSimulation(ctx context.Context, spec SimulationSpec) (*Sim
 		Market:    spec.Market,
 		Outer:     spec.Outer,
 		Inner:     spec.Inner,
+		Biometric: spec.Biometric,
 	}
 	if err := whole.Validate(); err != nil {
 		return nil, err
@@ -137,6 +173,8 @@ func (d *Deployer) RunSimulation(ctx context.Context, spec SimulationSpec) (*Sim
 		MaxContractsPerBlock: maxContractsPerBlock,
 		Outer:                spec.Outer,
 		Inner:                spec.Inner,
+		Biometric:            spec.Biometric,
+		Scenarios:            spec.Scenarios,
 	})
 	if err != nil {
 		return nil, err

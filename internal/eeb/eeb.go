@@ -91,6 +91,58 @@ func (p CharacteristicParams) Complexity() float64 {
 		float64(p.MaxHorizon) * perYear
 }
 
+// Biometric scales the decrement assumptions of a valuation — the workload-
+// description side of the Solvency II life stresses (mortality +15%, lapse
+// ±50%, longevity -20%). Factors multiply the standard assumptions; a zero
+// field means "unshocked" (factor 1), so the zero value is the best-estimate
+// basis.
+type Biometric struct {
+	// MortalityFactor scales every one-year death probability.
+	MortalityFactor float64
+	// LapseFactor scales every one-year lapse probability.
+	LapseFactor float64
+}
+
+// Validate reports whether the scaling factors are admissible.
+func (b Biometric) Validate() error {
+	if b.MortalityFactor < 0 {
+		return fmt.Errorf("eeb: negative mortality factor %v", b.MortalityFactor)
+	}
+	if b.LapseFactor < 0 {
+		return fmt.Errorf("eeb: negative lapse factor %v", b.LapseFactor)
+	}
+	return nil
+}
+
+// MortalityScale returns the effective mortality factor (zero means 1).
+func (b Biometric) MortalityScale() float64 {
+	if b.MortalityFactor == 0 {
+		return 1
+	}
+	return b.MortalityFactor
+}
+
+// LapseScale returns the effective lapse factor (zero means 1).
+func (b Biometric) LapseScale() float64 {
+	if b.LapseFactor == 0 {
+		return 1
+	}
+	return b.LapseFactor
+}
+
+// IsZero reports whether the biometric basis is the unshocked best estimate.
+func (b Biometric) IsZero() bool {
+	return b.MortalityScale() == 1 && b.LapseScale() == 1
+}
+
+// Compose stacks another scaling on top of this one (factors multiply).
+func (b Biometric) Compose(o Biometric) Biometric {
+	return Biometric{
+		MortalityFactor: b.MortalityScale() * o.MortalityScale(),
+		LapseFactor:     b.LapseScale() * o.LapseScale(),
+	}
+}
+
 // Block is one schedulable elaboration unit.
 type Block struct {
 	ID        string
@@ -100,6 +152,13 @@ type Block struct {
 	Market    stochastic.Config
 	Outer     int // n_P real-world paths (type B)
 	Inner     int // n_Q risk-neutral paths per outer path (type B)
+	// Biometric scales the decrement assumptions (Solvency II life stresses);
+	// the zero value is the best-estimate basis.
+	Biometric Biometric
+	// Scenarios, when non-nil, supplies the block's scenario paths — shared
+	// or derived scenario sets of a stress campaign. Nil generates fresh
+	// paths from the valuation seed.
+	Scenarios stochastic.Source
 }
 
 // Validate reports whether the block is well-formed and internally
@@ -121,6 +180,9 @@ func (b *Block) Validate() error {
 		return fmt.Errorf("eeb: block %s: %w", b.ID, err)
 	}
 	if err := b.Fund.Validate(b.Market); err != nil {
+		return fmt.Errorf("eeb: block %s: %w", b.ID, err)
+	}
+	if err := b.Biometric.Validate(); err != nil {
 		return fmt.Errorf("eeb: block %s: %w", b.ID, err)
 	}
 	if b.Type == ALMValuation && (b.Outer <= 0 || b.Inner <= 0) {

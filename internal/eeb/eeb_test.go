@@ -1,6 +1,7 @@
 package eeb
 
 import (
+	"math"
 	"strings"
 	"testing"
 
@@ -245,6 +246,60 @@ func TestGeneratedPortfolioSplit(t *testing.T) {
 	for _, b := range blocks {
 		if err := b.Validate(); err != nil {
 			t.Fatalf("block %s invalid: %v", b.ID, err)
+		}
+	}
+}
+
+func TestBiometricValidateAndScales(t *testing.T) {
+	var zero Biometric
+	if !zero.IsZero() || zero.MortalityScale() != 1 || zero.LapseScale() != 1 {
+		t.Fatal("zero Biometric is not the best-estimate basis")
+	}
+	if err := zero.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if err := (Biometric{MortalityFactor: -0.1}).Validate(); err == nil {
+		t.Fatal("negative mortality factor accepted")
+	}
+	if err := (Biometric{LapseFactor: -1}).Validate(); err == nil {
+		t.Fatal("negative lapse factor accepted")
+	}
+	got := Biometric{MortalityFactor: 1.15}.Compose(Biometric{MortalityFactor: 0.8, LapseFactor: 1.5})
+	if math.Abs(got.MortalityScale()-1.15*0.8) > 1e-12 || got.LapseScale() != 1.5 {
+		t.Fatalf("compose = %+v", got)
+	}
+}
+
+func TestBlockValidateRejectsBadBiometric(t *testing.T) {
+	b := testBlock(t)
+	b.Biometric = Biometric{LapseFactor: -2}
+	if err := b.Validate(); err == nil {
+		t.Fatal("block with negative lapse factor validated")
+	}
+}
+
+func TestSplitPortfolioStampsBiometricAndScenarios(t *testing.T) {
+	market := testMarket(20)
+	p := testPortfolio(t, 30)
+	gen, err := stochastic.NewGenerator(market)
+	if err != nil {
+		t.Fatal(err)
+	}
+	set := stochastic.NewSet(gen, 1)
+	bio := Biometric{MortalityFactor: 1.15}
+	blocks, err := SplitPortfolio(p, fund.TypicalItalianFund(4, market), market, SplitSpec{
+		MaxContractsPerBlock: 10, Outer: 50, Inner: 5,
+		Biometric: bio, Scenarios: set,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, b := range blocks {
+		if b.Biometric != bio {
+			t.Fatalf("block %s biometric %+v, want %+v", b.ID, b.Biometric, bio)
+		}
+		if b.Type == ALMValuation && b.Scenarios != stochastic.Source(set) {
+			t.Fatalf("type-B block %s missing the shared scenario source", b.ID)
 		}
 	}
 }

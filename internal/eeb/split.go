@@ -16,6 +16,11 @@ type SplitSpec struct {
 	MaxContractsPerBlock int
 	// Outer and Inner are the Monte Carlo sample sizes for type-B blocks.
 	Outer, Inner int
+	// Biometric is the decrement-assumption basis stamped on every block.
+	Biometric Biometric
+	// Scenarios, when non-nil, is the shared scenario source stamped on the
+	// type-B blocks (stress-campaign reuse).
+	Scenarios stochastic.Source
 }
 
 // NumTypeBBlocks returns how many type-B blocks SplitPortfolio will produce
@@ -47,6 +52,7 @@ func SplitPortfolio(p *policy.Portfolio, f fund.Config, market stochastic.Config
 		Portfolio: p,
 		Fund:      f,
 		Market:    market,
+		Biometric: spec.Biometric,
 	})
 	for i, sub := range slices {
 		blocks = append(blocks, &Block{
@@ -57,6 +63,8 @@ func SplitPortfolio(p *policy.Portfolio, f fund.Config, market stochastic.Config
 			Market:    market,
 			Outer:     spec.Outer,
 			Inner:     spec.Inner,
+			Biometric: spec.Biometric,
+			Scenarios: spec.Scenarios,
 		})
 	}
 	for _, b := range blocks {

@@ -51,6 +51,12 @@ type Asset struct {
 	Maturity         float64 // rolling bond maturity in years (bond kinds)
 	EquityIndex      int     // index into Scenario.Equities (Equity kind)
 	LossGivenDefault float64 // fraction lost on default (CorporateBond kind)
+	// Currency denominates the sleeve in a foreign currency: 1-based index
+	// into Scenario.Currencies, 0 for the domestic (euro) book. A foreign
+	// sleeve's domestic return compounds the local asset return with the
+	// currency index return, which is what gives the Solvency II FX stress
+	// module a real transmission channel into the fund.
+	Currency int
 }
 
 // Config describes a segregated fund and its management strategy.
@@ -96,6 +102,10 @@ func (c Config) Validate(market stochastic.Config) error {
 			}
 		default:
 			return fmt.Errorf("fund: asset %d has unknown kind %d", i, int(a.Kind))
+		}
+		if a.Currency < 0 || a.Currency > len(market.Currencies) {
+			return fmt.Errorf("fund: asset %d references currency %d of %d",
+				i, a.Currency, len(market.Currencies))
 		}
 	}
 	if math.Abs(total-1) > 1e-9 {
@@ -146,8 +156,21 @@ func (f *Fund) MarketReturns(s *stochastic.Scenario, years int) []float64 {
 	return out
 }
 
-// assetReturn is the market return of one sleeve over year [t-1, t].
+// assetReturn is the market return of one sleeve over year [t-1, t], in
+// domestic terms: foreign sleeves compound the local return with the
+// currency index return.
 func (f *Fund) assetReturn(a Asset, s *stochastic.Scenario, t int) float64 {
+	local := f.localReturn(a, s, t)
+	if a.Currency == 0 {
+		return local
+	}
+	fx0 := s.Currencies[a.Currency-1][s.IndexOfYear(float64(t-1))]
+	fx1 := s.Currencies[a.Currency-1][s.IndexOfYear(float64(t))]
+	return (1+local)*(fx1/fx0) - 1
+}
+
+// localReturn is the sleeve's return in its own denomination currency.
+func (f *Fund) localReturn(a Asset, s *stochastic.Scenario, t int) float64 {
 	switch a.Kind {
 	case Equity:
 		p0 := s.Equities[a.EquityIndex][s.IndexOfYear(float64(t-1))]

@@ -217,3 +217,70 @@ func TestBondReturnsTrackRates(t *testing.T) {
 		}
 	}
 }
+
+// fxMarket extends the test market with one currency index.
+func fxMarket() stochastic.Config {
+	m := testMarket()
+	m.Currencies = []stochastic.GBMParams{{S0: 1.1, Mu: 0.01, Sigma: 0.08}}
+	return m
+}
+
+func TestForeignSleeveValidation(t *testing.T) {
+	m := fxMarket()
+	cfg := simpleConfig()
+	cfg.Assets[2].Currency = 1
+	if err := cfg.Validate(m); err != nil {
+		t.Fatalf("valid foreign sleeve rejected: %v", err)
+	}
+	cfg.Assets[2].Currency = 2
+	if err := cfg.Validate(m); err == nil {
+		t.Fatal("sleeve referencing a missing currency accepted")
+	}
+	cfg.Assets[2].Currency = -1
+	if err := cfg.Validate(m); err == nil {
+		t.Fatal("negative currency index accepted")
+	}
+	// Without currencies in the market, any foreign sleeve is invalid.
+	cfg.Assets[2].Currency = 1
+	if err := cfg.Validate(testMarket()); err == nil {
+		t.Fatal("foreign sleeve accepted against a currency-free market")
+	}
+}
+
+// TestForeignSleeveCompoundsFX checks the domestic return of a foreign
+// sleeve: (1+local)*(1+fx) - 1, so an FX move passes straight into the
+// fund's market return.
+func TestForeignSleeveCompoundsFX(t *testing.T) {
+	m := fxMarket()
+	domestic := Config{
+		Name:   "dom",
+		Assets: []Asset{{Kind: Equity, Weight: 1, EquityIndex: 0}},
+	}
+	foreign := domestic
+	foreign.Name = "for"
+	foreign.Assets = []Asset{{Kind: Equity, Weight: 1, EquityIndex: 0, Currency: 1}}
+
+	fd, err := New(domestic, m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ff, err := New(foreign, m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	gen, err := stochastic.NewGenerator(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := gen.Generate(finmath.NewRNG(5), stochastic.RealWorld)
+	rd := fd.MarketReturns(s, 10)
+	rf := ff.MarketReturns(s, 10)
+	for tt := 1; tt <= 10; tt++ {
+		fx0 := s.Currencies[0][s.IndexOfYear(float64(tt-1))]
+		fx1 := s.Currencies[0][s.IndexOfYear(float64(tt))]
+		want := (1+rd[tt-1])*(fx1/fx0) - 1
+		if math.Abs(rf[tt-1]-want) > 1e-12 {
+			t.Fatalf("year %d: foreign return %v, want %v", tt, rf[tt-1], want)
+		}
+	}
+}

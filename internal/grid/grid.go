@@ -38,7 +38,8 @@ type Engine struct {
 func NewEngine(seed uint64) *Engine { return &Engine{seed: seed} }
 
 // ExecuteTypeA runs an actuarial-valuation block: the probabilized decrement
-// schedules for every representative contract.
+// schedules for every representative contract, on the block's biometric
+// basis (best estimate, or a Solvency II life stress).
 func (e *Engine) ExecuteTypeA(b *eeb.Block) ([]*actuarial.DecrementTable, error) {
 	if b.Type != eeb.ActuarialValuation {
 		return nil, fmt.Errorf("grid: block %s is type %s, want A", b.ID, b.Type)
@@ -46,10 +47,17 @@ func (e *Engine) ExecuteTypeA(b *eeb.Block) ([]*actuarial.DecrementTable, error)
 	if err := b.Validate(); err != nil {
 		return nil, err
 	}
-	lapse := alm.DefaultLapse()
+	var lapse actuarial.LapseModel = alm.DefaultLapse()
+	if f := b.Biometric.LapseScale(); f != 1 {
+		lapse = actuarial.LapseStress{Base: lapse, Factor: f}
+	}
 	out := make([]*actuarial.DecrementTable, len(b.Portfolio.Contracts))
 	for i, c := range b.Portfolio.Contracts {
-		eng, err := actuarial.NewEngine(actuarial.ForGender(c.Gender), lapse)
+		var mort actuarial.MortalityModel = actuarial.ForGender(c.Gender)
+		if f := b.Biometric.MortalityScale(); f != 1 {
+			mort = actuarial.ScaledMortality{Base: mort, Factor: f}
+		}
+		eng, err := actuarial.NewEngine(mort, lapse)
 		if err != nil {
 			return nil, err
 		}

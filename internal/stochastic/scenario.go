@@ -58,6 +58,22 @@ func (c Config) Validate() error {
 			return fmt.Errorf("stochastic: correlation matrix is %dx%d, want %dx%d",
 				c.Corr.Rows(), c.Corr.Cols(), n, n)
 		}
+		for i := 0; i < n; i++ {
+			if d := c.Corr.At(i, i); math.Abs(d-1) > 1e-9 {
+				return fmt.Errorf("stochastic: correlation matrix diagonal entry %d is %v, want 1", i, d)
+			}
+			for j := 0; j < i; j++ {
+				if math.Abs(c.Corr.At(i, j)-c.Corr.At(j, i)) > 1e-9 {
+					return fmt.Errorf("stochastic: correlation matrix is not symmetric at (%d,%d)", i, j)
+				}
+			}
+		}
+		// Catch inadmissible correlation structures here with a clear error
+		// instead of letting them surface later as a Cholesky failure at
+		// generator construction.
+		if _, err := c.Corr.Cholesky(); err != nil {
+			return fmt.Errorf("stochastic: correlation matrix is not positive definite: %w", err)
+		}
 	}
 	return nil
 }

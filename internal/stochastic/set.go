@@ -1,0 +1,173 @@
+package stochastic
+
+import (
+	"sync"
+	"sync/atomic"
+
+	"disarcloud/internal/finmath"
+)
+
+// Source supplies the nested Monte Carlo scenario streams of a valuation:
+// real-world outer paths and risk-neutral inner paths branching off an outer
+// state. Implementations must be safe for concurrent use and must return
+// scenarios the caller treats as read-only — sources are shared across the
+// worker goroutines of one valuation and, in stress campaigns, across
+// concurrent jobs.
+type Source interface {
+	// Outer returns real-world outer path i.
+	Outer(i int) *Scenario
+	// Inner returns risk-neutral inner path j of outer path i, conditioned on
+	// the state of outer at branchYear.
+	Inner(i, j int, outer *Scenario, branchYear float64) *Scenario
+}
+
+// outerSeed and innerSeed derive the per-path RNG seeds from a valuation
+// seed. The derivation is the partition-independence contract of the whole
+// engine: any source rooted at the same seed produces the same path for the
+// same index, no matter how the outer range is sliced across workers.
+func outerSeed(seed uint64, i int) uint64 {
+	return seed ^ (0x9e3779b97f4a7c15 * uint64(i+1))
+}
+
+func innerSeed(seed uint64, i, j int) uint64 {
+	return seed ^ (0x9e3779b97f4a7c15 * uint64(i+1)) ^ (0xc2b2ae3d27d4eb4f * uint64(j+1))
+}
+
+// PathSource is the plain generator-backed source: every access simulates
+// the path afresh from its per-index seed. It holds no state and is the
+// default for standalone valuations.
+type PathSource struct {
+	gen  *Generator
+	seed uint64
+}
+
+// NewPathSource returns a source that generates each requested path from the
+// deterministic per-index stream rooted at seed.
+func NewPathSource(gen *Generator, seed uint64) *PathSource {
+	return &PathSource{gen: gen, seed: seed}
+}
+
+// Outer implements Source.
+func (p *PathSource) Outer(i int) *Scenario {
+	return p.gen.Generate(finmath.NewRNG(outerSeed(p.seed, i)), RealWorld)
+}
+
+// Inner implements Source.
+func (p *PathSource) Inner(i, j int, outer *Scenario, branchYear float64) *Scenario {
+	return p.gen.GenerateFrom(finmath.NewRNG(innerSeed(p.seed, i, j)), RiskNeutral, outer, branchYear)
+}
+
+// Set is a memoizing Source: each outer and inner path is generated at most
+// once and then served from the cache. One Set is the shared scenario pool
+// of a stress campaign — the base job populates it and every shocked job
+// derives its paths from it (Derive) instead of regenerating them, so a
+// 7-module campaign pays the generation cost of roughly one valuation.
+//
+// Memory grows with the number of distinct paths requested (outer +
+// outer*inner scenarios); size campaigns accordingly.
+type Set struct {
+	src *PathSource
+
+	mu    sync.Mutex
+	outer map[int]*setEntry
+	inner map[innerKey]*setEntry
+
+	generated atomic.Int64
+}
+
+type innerKey struct {
+	i, j int
+	year float64
+}
+
+// setEntry lets concurrent readers of the same missing path block on one
+// generation instead of holding the map lock across the simulation.
+type setEntry struct {
+	once sync.Once
+	s    *Scenario
+}
+
+// NewSet returns an empty memoizing source over the generator, rooted at the
+// valuation seed. A Set and a PathSource with the same generator and seed
+// serve identical scenarios.
+func NewSet(gen *Generator, seed uint64) *Set {
+	return &Set{
+		src:   NewPathSource(gen, seed),
+		outer: make(map[int]*setEntry),
+		inner: make(map[innerKey]*setEntry),
+	}
+}
+
+// Outer implements Source.
+func (s *Set) Outer(i int) *Scenario {
+	s.mu.Lock()
+	e, ok := s.outer[i]
+	if !ok {
+		e = &setEntry{}
+		s.outer[i] = e
+	}
+	s.mu.Unlock()
+	e.once.Do(func() {
+		e.s = s.src.Outer(i)
+		s.generated.Add(1)
+	})
+	return e.s
+}
+
+// Inner implements Source. The conditioning outer scenario is part of the
+// source's own state (outer path i), so the passed outer is ignored beyond
+// the index — callers and derived sources stay consistent by construction.
+func (s *Set) Inner(i, j int, _ *Scenario, branchYear float64) *Scenario {
+	k := innerKey{i: i, j: j, year: branchYear}
+	s.mu.Lock()
+	e, ok := s.inner[k]
+	if !ok {
+		e = &setEntry{}
+		s.inner[k] = e
+	}
+	s.mu.Unlock()
+	e.once.Do(func() {
+		e.s = s.src.Inner(i, j, s.Outer(i), branchYear)
+		s.generated.Add(1)
+	})
+	return e.s
+}
+
+// Generated returns how many scenarios the set has simulated so far —
+// derived accesses do not count, which is what makes scenario-set reuse
+// observable in tests and benchmarks.
+func (s *Set) Generated() int64 { return s.generated.Load() }
+
+// Derive returns a source whose paths are the transform applied to this
+// set's paths. Deriving from a populated set performs no scenario
+// generation at all.
+func (s *Set) Derive(t Transform) Source { return Derived(s, t) }
+
+// Derived wraps any source with a shock transform: outer paths through
+// ApplyOuter, inner paths through ApplyInner. The identity transform
+// returns the base source itself.
+func Derived(base Source, t Transform) Source {
+	if t.IsZero() {
+		return base
+	}
+	return &derivedSource{base: base, t: t}
+}
+
+// derivedSource is a shocked view over a shared base source.
+type derivedSource struct {
+	base Source
+	t    Transform
+}
+
+// Outer implements Source.
+func (d *derivedSource) Outer(i int) *Scenario {
+	return d.t.ApplyOuter(d.base.Outer(i))
+}
+
+// Inner implements Source. The base inner path conditions on the BASE outer
+// path; transforming it yields exactly the inner path the shocked model
+// would have generated from the shocked outer state (the transform commutes
+// with the conditioning, see Transform).
+func (d *derivedSource) Inner(i, j int, _ *Scenario, branchYear float64) *Scenario {
+	return d.t.ApplyInner(d.base.Inner(i, j, d.base.Outer(i), branchYear))
+}

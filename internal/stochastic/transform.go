@@ -1,0 +1,167 @@
+package stochastic
+
+import (
+	"errors"
+	"fmt"
+	"math"
+)
+
+// Transform is a market shock expressed as an EXACT pathwise map on
+// generated scenarios — the derivation rule that lets a stress campaign
+// reuse one base scenario set instead of regenerating paths per module:
+//
+//   - RateShift is a parallel shift of the short-rate curve. Vasicek is
+//     linear, so shifting R0/MeanP/MeanQ by delta shifts every rate point by
+//     delta, multiplies the discount factor at year t by exp(-delta*t), and
+//     (under Q, where the index drift is the short rate) adds delta*t of
+//     log-drift to every equity and currency index.
+//   - CreditFactor scales the credit intensity. CIR rescales exactly when L0
+//     and Mean scale by c and Sigma by sqrt(c), which is how Config applies
+//     it.
+//   - EquityFactor and CurrencyFactor are INSTANTANEOUS t=0+ level shocks:
+//     the index jumps to factor*level immediately after time 0 and evolves
+//     from there (GBM is scale invariant, so that is a rescale of every grid
+//     point except the time-0 reference). Keeping the time-0 point at the
+//     pre-shock reference is what transmits the shock into a return-driven
+//     segregated fund: the whole first-year return absorbs the jump, exactly
+//     like an instantaneous revaluation of the asset book.
+//
+// The zero value is the identity. Factor fields equal to zero mean
+// "unshocked" (factor 1), so partial literals shock only what they name.
+type Transform struct {
+	// RateShift is the parallel shift of the short-rate curve (absolute,
+	// e.g. +0.01 for +100bp).
+	RateShift float64
+	// EquityFactor jumps every equity index at t=0+ (0 = unshocked).
+	EquityFactor float64
+	// CurrencyFactor jumps every currency index at t=0+ (0 = unshocked).
+	CurrencyFactor float64
+	// CreditFactor rescales the credit intensity (0 = unshocked).
+	CreditFactor float64
+}
+
+// factorOr1 normalises the "zero means unshocked" convention.
+func factorOr1(f float64) float64 {
+	if f == 0 {
+		return 1
+	}
+	return f
+}
+
+// IsZero reports whether the transform is the identity.
+func (t Transform) IsZero() bool {
+	return t.RateShift == 0 &&
+		factorOr1(t.EquityFactor) == 1 &&
+		factorOr1(t.CurrencyFactor) == 1 &&
+		factorOr1(t.CreditFactor) == 1
+}
+
+// Validate reports whether the transform maps admissible configurations to
+// admissible configurations.
+func (t Transform) Validate() error {
+	if math.IsNaN(t.RateShift) || math.IsInf(t.RateShift, 0) {
+		return errors.New("stochastic: transform rate shift must be finite")
+	}
+	if f := t.EquityFactor; f < 0 || math.IsNaN(f) || math.IsInf(f, 0) {
+		return fmt.Errorf("stochastic: transform equity factor %v must be positive", f)
+	}
+	if f := t.CurrencyFactor; f < 0 || math.IsNaN(f) || math.IsInf(f, 0) {
+		return fmt.Errorf("stochastic: transform currency factor %v must be positive", f)
+	}
+	if f := t.CreditFactor; f < 0 || math.IsNaN(f) || math.IsInf(f, 0) {
+		return fmt.Errorf("stochastic: transform credit factor %v must be non-negative", f)
+	}
+	return nil
+}
+
+// Config returns the shocked model configuration for the parameter-level
+// part of the shock: the rate shift moves R0 and both long-run means, and
+// the credit factor scales L0, Mean and (by square root) Sigma — for these,
+// generating from the shocked config reproduces ApplyOuter of the base
+// paths exactly. The instantaneous equity/currency jumps deliberately leave
+// S0 untouched: rebasing S0 would rescale the whole path including the
+// time-0 reference and never reach a return-driven fund — the jumps exist
+// only pathwise, via ApplyOuter/ApplyInner.
+func (t Transform) Config(cfg Config) Config {
+	out := cfg
+	out.Rate.R0 += t.RateShift
+	out.Rate.MeanP += t.RateShift
+	out.Rate.MeanQ += t.RateShift
+	if c := factorOr1(t.CreditFactor); c != 1 {
+		out.Credit.L0 *= c
+		out.Credit.Mean *= c
+		out.Credit.Sigma *= math.Sqrt(c)
+	}
+	return out
+}
+
+// ApplyOuter derives the shocked outer scenario (real-world, rooted at t=0):
+// rates shift and credit rescales at every point, the discount integral
+// picks up the rate shift, and the equity/currency jumps land from the first
+// grid step on — the time-0 point stays at the pre-shock reference.
+func (t Transform) ApplyOuter(s *Scenario) *Scenario { return t.apply(s, false) }
+
+// ApplyInner derives the shocked inner scenario (risk-neutral, branched off
+// a shocked outer state): the conditioning state already carries the jumped
+// levels, so the equity/currency factors rescale every point, and the
+// shifted short rate additionally contributes RateShift*t of risk-neutral
+// log-drift to the index levels.
+func (t Transform) ApplyInner(s *Scenario) *Scenario { return t.apply(s, true) }
+
+// apply is the shared body; branched selects the inner (risk-neutral,
+// conditioned) semantics. The base scenario is never mutated — scenario sets
+// are shared across concurrent jobs — and the identity transform returns it
+// unchanged.
+func (t Transform) apply(s *Scenario, branched bool) *Scenario {
+	if t.IsZero() {
+		return s
+	}
+	eq := factorOr1(t.EquityFactor)
+	fx := factorOr1(t.CurrencyFactor)
+	cr := factorOr1(t.CreditFactor)
+
+	out := &Scenario{
+		Dt:         s.Dt,
+		Rates:      make([]float64, len(s.Rates)),
+		Equities:   make([][]float64, len(s.Equities)),
+		Currencies: make([][]float64, len(s.Currencies)),
+		Credit:     make([]float64, len(s.Credit)),
+		discount:   make([]float64, len(s.discount)),
+	}
+	for k, r := range s.Rates {
+		out.Rates[k] = r + t.RateShift
+	}
+	for k, d := range s.discount {
+		out.discount[k] = d * math.Exp(-t.RateShift*float64(k)*s.Dt)
+	}
+	// Under Q (branched inner paths) the index drift is the short rate, so
+	// the rate shift compounds into the levels; under P the drift is the
+	// model's Mu, untouched by the shift.
+	driftStep := 0.0
+	if branched {
+		driftStep = t.RateShift * s.Dt
+	}
+	jumpPath := func(path []float64, factor float64) []float64 {
+		outPath := make([]float64, len(path))
+		for k, v := range path {
+			if k > 0 || branched {
+				v *= factor
+			}
+			if driftStep != 0 {
+				v *= math.Exp(driftStep * float64(k))
+			}
+			outPath[k] = v
+		}
+		return outPath
+	}
+	for i, path := range s.Equities {
+		out.Equities[i] = jumpPath(path, eq)
+	}
+	for i, path := range s.Currencies {
+		out.Currencies[i] = jumpPath(path, fx)
+	}
+	for k, l := range s.Credit {
+		out.Credit[k] = l * cr
+	}
+	return out
+}

@@ -1,0 +1,103 @@
+package stress
+
+import "math"
+
+// SCR is the standard-formula aggregation of per-module capital charges
+// (delta-BEL of the shocked revaluations, floored at zero) into market and
+// life sub-SCRs and the basic SCR, via the regulatory correlation matrices.
+type SCR struct {
+	// Interest is the interest-rate sub-module: the more onerous of the up
+	// and down shifts.
+	Interest float64
+	// InterestDownBinding records which shift was binding; it selects the
+	// interest/equity and interest/spread correlation (0.5 when the down
+	// shock binds, 0 otherwise — the standard formula's "A" factor).
+	InterestDownBinding bool
+	// Market aggregates interest, equity, spread and currency.
+	Market float64
+	// Life aggregates mortality, longevity and lapse.
+	Life float64
+	// Other is the quadrature of any non-standard modules in the campaign
+	// (no diversification credit against the standard groups).
+	Other float64
+	// BSCR is the basic SCR: market and life combined at correlation 0.25,
+	// plus Other in quadrature.
+	BSCR float64
+}
+
+// standard tags the modules the regulatory matrices cover; anything else in
+// a campaign lands in SCR.Other.
+var standard = map[Module]bool{
+	InterestUp: true, InterestDown: true, Equity: true, Currency: true,
+	Spread: true, Mortality: true, Lapse: true, Longevity: true,
+}
+
+// quadForm returns sqrt(x' C x), clamped at zero against floating-point
+// dust (the regulatory matrices are positive semi-definite).
+func quadForm(x []float64, corr [][]float64) float64 {
+	s := 0.0
+	for i, xi := range x {
+		for j, xj := range x {
+			s += corr[i][j] * xi * xj
+		}
+	}
+	if s <= 0 {
+		return 0
+	}
+	return math.Sqrt(s)
+}
+
+// Aggregate combines per-module capital charges into the standard-formula
+// SCR. Missing modules contribute zero; negative deltas (a stress that
+// relieves the liability) are floored at zero before aggregation.
+func Aggregate(deltas map[Module]float64) SCR {
+	floor0 := func(m Module) float64 {
+		if d := deltas[m]; d > 0 {
+			return d
+		}
+		return 0
+	}
+	out := SCR{}
+	up, down := floor0(InterestUp), floor0(InterestDown)
+	out.Interest = up
+	if down > up {
+		out.Interest = down
+		out.InterestDownBinding = true
+	}
+	// Market risk: interest, equity, spread, currency with the standard
+	// market matrix; A couples interest with equity and spread only when the
+	// downward shock binds.
+	a := 0.0
+	if out.InterestDownBinding {
+		a = 0.5
+	}
+	out.Market = quadForm(
+		[]float64{out.Interest, floor0(Equity), floor0(Spread), floor0(Currency)},
+		[][]float64{
+			{1, a, a, 0.25},
+			{a, 1, 0.75, 0.25},
+			{a, 0.75, 1, 0.25},
+			{0.25, 0.25, 0.25, 1},
+		})
+	// Life underwriting risk: mortality, longevity, lapse with the standard
+	// life matrix.
+	out.Life = quadForm(
+		[]float64{floor0(Mortality), floor0(Longevity), floor0(Lapse)},
+		[][]float64{
+			{1, -0.25, 0},
+			{-0.25, 1, 0.25},
+			{0, 0.25, 1},
+		})
+	// Campaigns may carry bespoke modules; aggregate them without
+	// diversification credit.
+	other := 0.0
+	for m, d := range deltas {
+		if !standard[m] && d > 0 {
+			other += d * d
+		}
+	}
+	out.Other = math.Sqrt(other)
+	out.BSCR = math.Sqrt(out.Market*out.Market + 2*0.25*out.Market*out.Life +
+		out.Life*out.Life + other)
+	return out
+}

@@ -1,0 +1,122 @@
+// Package stress implements the Solvency II standard-formula stress modules
+// as pure transformations of a valuation request: each module is a market
+// shock (an exact pathwise scenario transform, see stochastic.Transform)
+// and/or a biometric decrement scaling (eeb.Biometric). The standard-formula
+// SCR is a battery of shocked revaluations — per-module delta-BEL —
+// aggregated with the regulatory correlation matrices (Art. 101 ff.; shock
+// magnitudes follow the spirit of the Delegated Regulation with documented
+// simplifications: the maturity-dependent interest stress is a parallel
+// +/-100bp shift on the Vasicek curve, and the spread stress is a 75%
+// widening of the credit intensity).
+package stress
+
+import (
+	"fmt"
+
+	"disarcloud/internal/eeb"
+	"disarcloud/internal/stochastic"
+)
+
+// Module names one standard-formula stress module.
+type Module string
+
+// The standard-formula modules of a default campaign (seven shocked
+// revaluations), plus the optional longevity module for annuity-heavy books.
+const (
+	InterestUp   Module = "interest_up"
+	InterestDown Module = "interest_down"
+	Equity       Module = "equity"
+	Currency     Module = "fx"
+	Spread       Module = "spread"
+	Mortality    Module = "mortality"
+	Lapse        Module = "lapse"
+	Longevity    Module = "longevity"
+)
+
+// Shock magnitudes (standard-formula calibrations, simplified where the
+// risk-driver models require it).
+const (
+	// InterestShift is the parallel short-rate curve shift of the interest
+	// modules (the standard formula's maturity-dependent relative stress,
+	// collapsed to +/-100bp on the one-factor Vasicek curve).
+	InterestShift = 0.01
+	// EquityShockFactor is the 39% type-1 equity stress.
+	EquityShockFactor = 0.61
+	// CurrencyShockFactor is the 25% adverse FX move against every foreign
+	// currency the fund is exposed to.
+	CurrencyShockFactor = 0.75
+	// SpreadIntensityFactor widens the credit intensity by 75%, the spread
+	// stress expressed on the CIR default-intensity driver.
+	SpreadIntensityFactor = 1.75
+	// MortalityShockFactor is the permanent +15% mortality stress.
+	MortalityShockFactor = 1.15
+	// LapseShockFactor is the +50% lapse stress (the up shock; on
+	// guarantee-heavy profit-sharing books the down shock is usually less
+	// onerous, and delta-BEL is floored at zero either way).
+	LapseShockFactor = 1.5
+	// LongevityShockFactor is the permanent -20% mortality stress.
+	LongevityShockFactor = 0.80
+)
+
+// Shock is one stress module as a pure transformation of a valuation: a
+// scenario-level market transform plus a biometric decrement scaling. The
+// zero values of both parts mean "no shock on that side".
+type Shock struct {
+	Module    Module
+	Market    stochastic.Transform
+	Biometric eeb.Biometric
+}
+
+// Validate reports whether the shock is well-formed.
+func (s Shock) Validate() error {
+	if s.Module == "" {
+		return fmt.Errorf("stress: shock without module name")
+	}
+	if err := s.Market.Validate(); err != nil {
+		return fmt.Errorf("stress: module %s: %w", s.Module, err)
+	}
+	if err := s.Biometric.Validate(); err != nil {
+		return fmt.Errorf("stress: module %s: %w", s.Module, err)
+	}
+	return nil
+}
+
+// StandardFormula returns the seven standard-formula shock modules of a
+// default campaign: the two interest shifts, the equity, currency and
+// spread market stresses, and the mortality and lapse life stresses.
+func StandardFormula() []Shock {
+	return []Shock{
+		{Module: InterestUp, Market: stochastic.Transform{RateShift: +InterestShift}},
+		{Module: InterestDown, Market: stochastic.Transform{RateShift: -InterestShift}},
+		{Module: Equity, Market: stochastic.Transform{EquityFactor: EquityShockFactor}},
+		{Module: Currency, Market: stochastic.Transform{CurrencyFactor: CurrencyShockFactor}},
+		{Module: Spread, Market: stochastic.Transform{CreditFactor: SpreadIntensityFactor}},
+		{Module: Mortality, Biometric: eeb.Biometric{MortalityFactor: MortalityShockFactor}},
+		{Module: Lapse, Biometric: eeb.Biometric{LapseFactor: LapseShockFactor}},
+	}
+}
+
+// LongevityShock returns the optional longevity module (a permanent 20%
+// mortality decrease), worth adding to campaigns over annuity-heavy books.
+func LongevityShock() Shock {
+	return Shock{Module: Longevity, Biometric: eeb.Biometric{MortalityFactor: LongevityShockFactor}}
+}
+
+// ValidateShocks checks every shock and rejects duplicate module names —
+// campaign results are keyed by module.
+func ValidateShocks(shocks []Shock) error {
+	if len(shocks) == 0 {
+		return fmt.Errorf("stress: campaign without shock modules")
+	}
+	seen := make(map[Module]bool, len(shocks))
+	for _, s := range shocks {
+		if err := s.Validate(); err != nil {
+			return err
+		}
+		if seen[s.Module] {
+			return fmt.Errorf("stress: duplicate module %s", s.Module)
+		}
+		seen[s.Module] = true
+	}
+	return nil
+}
