@@ -1,0 +1,182 @@
+package main
+
+import (
+	"bufio"
+	"context"
+	"encoding/json"
+	"net/http"
+	"strconv"
+	"testing"
+	"time"
+
+	"disarcloud"
+)
+
+// TestAutoscalerStatusEndpoint checks /v1/autoscaler on an elastic daemon:
+// gauges present, bounds reported, and — after a paced burst — scaling
+// decisions with reasons.
+func TestAutoscalerStatusEndpoint(t *testing.T) {
+	srv, svc := newTestServer(t,
+		disarcloud.WithWorkers(1), disarcloud.WithQueueDepth(64),
+		disarcloud.WithElastic(disarcloud.ElasticConfig{
+			MinWorkers: 1, MaxWorkers: 4,
+			ScaleUpCooldown:   time.Millisecond,
+			ScaleDownCooldown: time.Hour, // hold the grown pool for the assertions
+			ShrinkStableFor:   time.Hour,
+		}),
+		disarcloud.WithElasticTick(2*time.Millisecond),
+	)
+
+	resp, err := http.Get(srv.URL + "/v1/autoscaler")
+	if err != nil {
+		t.Fatal(err)
+	}
+	st := decodeJSON[autoscalerJSON](t, resp)
+	if !st.Enabled || st.Workers != 1 || st.MinWorkers != 1 || st.MaxWorkers != 4 {
+		t.Fatalf("initial autoscaler status = %+v", st)
+	}
+
+	// A paced burst: grow the pool, then re-read the endpoint.
+	var ids []string
+	for i := 0; i < 6; i++ {
+		job := smallJob()
+		job["seed"] = 1000 + i
+		job["pace_factor"] = 3e-4
+		resp := postJSON(t, srv.URL+"/v1/jobs", job)
+		if resp.StatusCode != http.StatusAccepted {
+			t.Fatalf("burst submit %d = %d", i, resp.StatusCode)
+		}
+		ids = append(ids, decodeJSON[map[string]string](t, resp)["id"])
+	}
+	for _, id := range ids {
+		if _, err := svc.Result(context.Background(), disarcloud.JobID(id)); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	resp, err = http.Get(srv.URL + "/v1/autoscaler")
+	if err != nil {
+		t.Fatal(err)
+	}
+	st = decodeJSON[autoscalerJSON](t, resp)
+	if len(st.Recent) == 0 {
+		t.Fatalf("no scaling decisions after the burst: %+v", st)
+	}
+	grow := st.Recent[0]
+	if grow.Target <= grow.From || grow.Reason == "" {
+		t.Fatalf("first decision is not a reasoned grow: %+v", grow)
+	}
+	if st.Workers <= 1 {
+		t.Fatalf("pool did not grow under the burst: %+v", st)
+	}
+}
+
+// TestAutoscalerEventStream checks /v1/autoscaler/events delivers NDJSON
+// decisions while a burst drives the pool.
+func TestAutoscalerEventStream(t *testing.T) {
+	srv, _ := newTestServer(t,
+		disarcloud.WithWorkers(1), disarcloud.WithQueueDepth(64),
+		disarcloud.WithElastic(disarcloud.ElasticConfig{
+			MinWorkers: 1, MaxWorkers: 4,
+			ScaleUpCooldown:   time.Millisecond,
+			ScaleDownCooldown: time.Hour,
+			ShrinkStableFor:   time.Hour,
+		}),
+		disarcloud.WithElasticTick(2*time.Millisecond),
+	)
+
+	ctx, cancel := context.WithTimeout(context.Background(), 20*time.Second)
+	defer cancel()
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, srv.URL+"/v1/autoscaler/events", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if ct := resp.Header.Get("Content-Type"); ct != "application/x-ndjson" {
+		t.Fatalf("event stream content type = %q", ct)
+	}
+
+	for i := 0; i < 6; i++ {
+		job := smallJob()
+		job["seed"] = 2000 + i
+		job["pace_factor"] = 3e-4
+		if resp := postJSON(t, srv.URL+"/v1/jobs", job); resp.StatusCode != http.StatusAccepted {
+			t.Fatalf("burst submit %d = %d", i, resp.StatusCode)
+		}
+	}
+
+	line, err := bufio.NewReader(resp.Body).ReadBytes('\n')
+	if err != nil {
+		t.Fatalf("reading first event: %v", err)
+	}
+	ev := decodeJSONBytes[scalingEventJSON](t, line)
+	if ev.Target <= ev.From || ev.Reason == "" {
+		t.Fatalf("streamed event is not a reasoned grow: %+v", ev)
+	}
+}
+
+// TestAdmissionRejectionHTTP drives the daemon with admission control and a
+// saturating backlog: the tight-deadline submission gets 503 with a
+// Retry-After estimate, and the fixed-seed valuations are untouched.
+func TestAdmissionRejectionHTTP(t *testing.T) {
+	est := disarcloud.EstimatorFunc(func(spec disarcloud.SimulationSpec) (float64, bool) {
+		return 10, true
+	})
+	srv, _ := newTestServer(t,
+		disarcloud.WithWorkers(1), disarcloud.WithQueueDepth(64),
+		disarcloud.WithAdmissionControl(est),
+	)
+
+	// Five paced jobs with loose deadlines build a ~50s estimated backlog.
+	for i := 0; i < 5; i++ {
+		job := smallJob()
+		job["seed"] = 3000 + i
+		job["pace_factor"] = 3e-4
+		if resp := postJSON(t, srv.URL+"/v1/jobs", job); resp.StatusCode != http.StatusAccepted {
+			t.Fatalf("backlog submit %d = %d", i, resp.StatusCode)
+		}
+	}
+	tight := smallJob()
+	tight["seed"] = 3100
+	tight["tmax_seconds"] = 15
+	resp := postJSON(t, srv.URL+"/v1/jobs", tight)
+	if resp.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("tight-deadline submit = %d, want 503", resp.StatusCode)
+	}
+	retry, err := strconv.Atoi(resp.Header.Get("Retry-After"))
+	if err != nil || retry < 1 {
+		t.Fatalf("Retry-After = %q, want a positive integer", resp.Header.Get("Retry-After"))
+	}
+	body := decodeJSON[map[string]string](t, resp)
+	if body["error"] == "" {
+		t.Fatal("admission rejection carries no error body")
+	}
+
+	// A deadline below the job's own 10s estimate is infeasible at any
+	// load: 400, not 503, and no Retry-After inviting pointless retries.
+	infeasible := smallJob()
+	infeasible["seed"] = 3200
+	infeasible["tmax_seconds"] = 5
+	resp = postJSON(t, srv.URL+"/v1/jobs", infeasible)
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("self-infeasible submit = %d, want 400", resp.StatusCode)
+	}
+	if ra := resp.Header.Get("Retry-After"); ra != "" {
+		t.Fatalf("self-infeasible rejection carries Retry-After %q", ra)
+	}
+	resp.Body.Close()
+}
+
+// decodeJSONBytes decodes one NDJSON line.
+func decodeJSONBytes[T any](t *testing.T, data []byte) T {
+	t.Helper()
+	var out T
+	if err := json.Unmarshal(data, &out); err != nil {
+		t.Fatal(err)
+	}
+	return out
+}

@@ -1,0 +1,89 @@
+package main
+
+// Fuzz targets for the daemon's JSON request decoding — the other place
+// malformed input reaches deepest: a request that survives decode +
+// defaults + validation flows into portfolio generation and spec
+// construction, so the invariant under fuzz is "either a clean error, or a
+// spec that Validate accepts".
+
+import (
+	"encoding/json"
+	"testing"
+
+	"disarcloud"
+)
+
+// fuzzServer is a handler-less server shell: buildSpec needs only the seed
+// and the job counter.
+func fuzzServer() *server { return &server{seed: 2016} }
+
+func jobSeeds(f *testing.F) {
+	f.Add([]byte(`{}`))
+	f.Add([]byte(`{"portfolio":1,"contracts":20,"outer":200,"inner":10,"seed":42}`))
+	f.Add([]byte(`{"portfolio":-1}`))
+	f.Add([]byte(`{"portfolio":99999}`))
+	f.Add([]byte(`{"contracts":1000000,"fund_assets":-3}`))
+	f.Add([]byte(`{"outer":0,"inner":-5,"tmax_seconds":-1}`))
+	f.Add([]byte(`{"tmax_seconds":1e308,"max_nodes":9999,"epsilon":2}`))
+	f.Add([]byte(`{"epsilon":null,"seed":18446744073709551615}`))
+	f.Add([]byte(`{"max_workers":65,"max_nodes":-1}`))
+	f.Add([]byte(`{"contracts":3.7}`))
+	f.Add([]byte(`[1,2,3]`))
+	f.Add([]byte(`{"portfolio":`))
+	f.Add([]byte("\x00\xff garbage"))
+}
+
+// FuzzJobRequestDecode drives arbitrary bodies through the single-job
+// submit decode path.
+func FuzzJobRequestDecode(f *testing.F) {
+	jobSeeds(f)
+	s := fuzzServer()
+	f.Fuzz(func(t *testing.T, body []byte) {
+		var req jobRequest
+		if err := json.Unmarshal(body, &req); err != nil {
+			return // malformed JSON is rejected before it reaches buildSpec
+		}
+		spec, err := s.buildSpec(&req)
+		if err != nil {
+			return // clean rejection
+		}
+		// An accepted request must have produced a submittable spec: this is
+		// exactly what Service.Submit would check next.
+		if err := spec.Validate(); err != nil {
+			t.Fatalf("buildSpec accepted %q but the spec does not validate: %v", body, err)
+		}
+		if spec.Constraints.Epsilon < 0 || spec.Constraints.Epsilon > 1 {
+			t.Fatalf("buildSpec accepted epsilon %v outside [0,1]", spec.Constraints.Epsilon)
+		}
+	})
+}
+
+// FuzzCampaignRequestDecode drives arbitrary bodies through the campaign
+// submit decode path, including the campaign-only switches and the shock
+// list construction.
+func FuzzCampaignRequestDecode(f *testing.F) {
+	jobSeeds(f)
+	f.Add([]byte(`{"no_reuse":true,"longevity":true}`))
+	f.Add([]byte(`{"longevity":1}`))
+	s := fuzzServer()
+	f.Fuzz(func(t *testing.T, body []byte) {
+		var req campaignRequest
+		if err := json.Unmarshal(body, &req); err != nil {
+			return
+		}
+		spec, err := s.buildSpec(&req.jobRequest)
+		if err != nil {
+			return
+		}
+		if err := spec.Validate(); err != nil {
+			t.Fatalf("campaign buildSpec accepted %q but the spec does not validate: %v", body, err)
+		}
+		shocks := disarcloud.StandardFormulaShocks()
+		if req.Longevity {
+			shocks = append(shocks, disarcloud.LongevityShock())
+		}
+		if len(shocks) == 0 {
+			t.Fatal("campaign request produced an empty shock battery")
+		}
+	})
+}

@@ -17,7 +17,14 @@
 //	GET    /v1/campaigns/{id}          campaign status snapshot
 //	GET    /v1/campaigns/{id}/result   per-module delta-BEL + aggregated SCR; ?wait=1 blocks
 //	DELETE /v1/campaigns/{id}          cancel every job of a campaign
+//	GET    /v1/autoscaler              elastic control-plane status + recent scaling decisions
+//	GET    /v1/autoscaler/events       NDJSON stream of scaling decisions
 //	GET    /healthz                    liveness + knowledge-base size
+//
+// With -elastic the worker pool autoscales between -min-workers and
+// -max-workers from queue/backlog pressure; with -admission, submissions
+// whose predicted completion time busts their own tmax_seconds are rejected
+// with 503 and a Retry-After estimate of the backlog drain time.
 //
 // Submit body (defaults in parentheses):
 //
@@ -31,7 +38,8 @@
 //	  "max_nodes":    8,      // Algorithm 1 node bound
 //	  "epsilon":      0.05,   // exploration probability
 //	  "max_workers":  8,      // in-process valuation workers (0 = derive)
-//	  "seed":         42      // valuation seed (0 = server-assigned)
+//	  "seed":         42,     // valuation seed (0 = server-assigned)
+//	  "pace_factor":  0       // wall-clock occupancy per simulated second (load testing)
 //	}
 //
 // Campaign bodies accept the same fields plus "no_reuse" (disable
@@ -60,11 +68,15 @@ func main() {
 
 func run() error {
 	var (
-		addr    = flag.String("addr", ":8080", "listen address")
-		seed    = flag.Uint64("seed", 2016, "root seed of the shared deployer")
-		workers = flag.Int("workers", 4, "concurrent valuations")
-		queue   = flag.Int("queue", 64, "submit queue depth")
-		kbPath  = flag.String("kb", "", "knowledge-base JSON to load at boot and save at shutdown")
+		addr      = flag.String("addr", ":8080", "listen address")
+		seed      = flag.Uint64("seed", 2016, "root seed of the shared deployer")
+		workers   = flag.Int("workers", 4, "concurrent valuations (initial pool when -elastic)")
+		queue     = flag.Int("queue", 64, "submit queue depth")
+		kbPath    = flag.String("kb", "", "knowledge-base JSON to load at boot and save at shutdown")
+		elastic   = flag.Bool("elastic", false, "autoscale the worker pool between -min-workers and -max-workers")
+		minW      = flag.Int("min-workers", 0, "elastic pool floor (0 = initial -workers)")
+		maxW      = flag.Int("max-workers", 16, "elastic pool ceiling")
+		admission = flag.Bool("admission", false, "reject jobs whose predicted completion busts their tmax (503 + Retry-After)")
 	)
 	flag.Parse()
 
@@ -81,8 +93,18 @@ func run() error {
 	if err != nil {
 		return err
 	}
-	svc, err := disarcloud.NewService(d,
-		disarcloud.WithWorkers(*workers), disarcloud.WithQueueDepth(*queue))
+	svcOpts := []disarcloud.ServiceOption{
+		disarcloud.WithWorkers(*workers), disarcloud.WithQueueDepth(*queue),
+	}
+	if *elastic {
+		svcOpts = append(svcOpts, disarcloud.WithElastic(disarcloud.ElasticConfig{
+			MinWorkers: *minW, MaxWorkers: *maxW,
+		}))
+	}
+	if *admission {
+		svcOpts = append(svcOpts, disarcloud.WithAdmissionControl(disarcloud.PredictorEstimator(d)))
+	}
+	svc, err := disarcloud.NewService(d, svcOpts...)
 	if err != nil {
 		return err
 	}

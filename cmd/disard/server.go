@@ -5,7 +5,9 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
+	"math"
 	"net/http"
+	"strconv"
 	"sync/atomic"
 	"time"
 
@@ -37,6 +39,8 @@ func newHandler(svc *disarcloud.Service, d *disarcloud.Deployer, seed uint64) ht
 	mux.HandleFunc("GET /v1/campaigns/{id}", s.campaignStatus)
 	mux.HandleFunc("GET /v1/campaigns/{id}/result", s.campaignResult)
 	mux.HandleFunc("DELETE /v1/campaigns/{id}", s.cancelCampaign)
+	mux.HandleFunc("GET /v1/autoscaler", s.autoscaler)
+	mux.HandleFunc("GET /v1/autoscaler/events", s.autoscalerEvents)
 	mux.HandleFunc("GET /healthz", s.health)
 	return mux
 }
@@ -55,6 +59,10 @@ type jobRequest struct {
 	Epsilon    *float64 `json:"epsilon"`
 	MaxWorkers int      `json:"max_workers"`
 	Seed       uint64   `json:"seed"`
+	// PaceFactor makes the job occupy real wall-clock time proportional to
+	// its simulated execution time (SimulationSpec.PaceFactor) — the knob
+	// load experiments use to exercise the pool and the autoscaler.
+	PaceFactor float64 `json:"pace_factor"`
 }
 
 // campaignRequest is the stress-campaign submit body: a base valuation
@@ -78,6 +86,10 @@ const (
 	maxReqInner      = 10_000
 	maxReqNodes      = 64
 	maxReqWorkers    = 64
+	// maxReqPace bounds pace_factor: simulated execution times run to a few
+	// thousand seconds, so 0.01 caps the wall-clock occupancy per job at
+	// tens of seconds.
+	maxReqPace = 0.01
 )
 
 func (r *jobRequest) applyDefaults(serverSeed, jobNumber uint64) {
@@ -122,6 +134,12 @@ func (r *jobRequest) validate() error {
 		return fmt.Errorf("max_nodes %d exceeds the limit %d", r.MaxNodes, maxReqNodes)
 	case r.MaxWorkers > maxReqWorkers:
 		return fmt.Errorf("max_workers %d exceeds the limit %d", r.MaxWorkers, maxReqWorkers)
+	case *r.Epsilon < 0 || *r.Epsilon > 1:
+		// Found by FuzzJobRequestDecode: an out-of-range exploration
+		// probability used to slip through to spec validation.
+		return fmt.Errorf("epsilon %v outside [0,1]", *r.Epsilon)
+	case r.PaceFactor < 0 || r.PaceFactor > maxReqPace || math.IsNaN(r.PaceFactor):
+		return fmt.Errorf("pace_factor %v outside [0,%v]", r.PaceFactor, maxReqPace)
 	}
 	return nil
 }
@@ -155,6 +173,7 @@ func (s *server) buildSpec(req *jobRequest) (disarcloud.SimulationSpec, error) {
 		},
 		MaxWorkers: req.MaxWorkers,
 		Seed:       req.Seed,
+		PaceFactor: req.PaceFactor,
 	}, nil
 }
 
@@ -167,6 +186,23 @@ func submitStatus(w http.ResponseWriter, err error) int {
 	}
 	if errors.Is(err, disarcloud.ErrQueueFull) {
 		w.Header().Set("Retry-After", "1")
+		status = http.StatusServiceUnavailable
+	}
+	var adm *disarcloud.AdmissionError
+	if errors.As(err, &adm) {
+		if adm.Infeasible {
+			// The job's own predicted runtime busts its tmax: retrying is
+			// pointless, so this is a client error, not backpressure.
+			return http.StatusBadRequest
+		}
+		// Deadline-aware admission rejection: the backlog cannot drain in
+		// time for this job's Tmax. Tell the client when to retry — the
+		// estimated backlog drain time, rounded up to a whole second.
+		retry := int(math.Ceil(adm.RetryAfterSeconds))
+		if retry < 1 {
+			retry = 1
+		}
+		w.Header().Set("Retry-After", strconv.Itoa(retry))
 		status = http.StatusServiceUnavailable
 	}
 	return status
@@ -303,6 +339,40 @@ func (s *server) result(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, out)
 }
 
+// streamNDJSON is the shared skeleton of the streaming endpoints: headers
+// flushed immediately (the first event may be a long time away), one JSON
+// line per event until the channel closes or the client disconnects, and an
+// optional final line once the stream ends.
+func streamNDJSON[T any](w http.ResponseWriter, r *http.Request, events <-chan T,
+	encode func(T) any, final func() (any, bool)) {
+	w.Header().Set("Content-Type", "application/x-ndjson")
+	w.WriteHeader(http.StatusOK)
+	flusher, _ := w.(http.Flusher)
+	if flusher != nil {
+		flusher.Flush()
+	}
+	enc := json.NewEncoder(w)
+	for {
+		select {
+		case <-r.Context().Done():
+			return
+		case ev, ok := <-events:
+			if !ok {
+				if final != nil {
+					if v, ok := final(); ok {
+						_ = enc.Encode(v)
+					}
+				}
+				return
+			}
+			_ = enc.Encode(encode(ev))
+			if flusher != nil {
+				flusher.Flush()
+			}
+		}
+	}
+}
+
 func (s *server) progress(w http.ResponseWriter, r *http.Request) {
 	id := disarcloud.JobID(r.PathValue("id"))
 	events, unsub, err := s.svc.Progress(id)
@@ -311,30 +381,18 @@ func (s *server) progress(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	defer unsub()
-	w.Header().Set("Content-Type", "application/x-ndjson")
-	w.WriteHeader(http.StatusOK)
-	flusher, _ := w.(http.Flusher)
-	enc := json.NewEncoder(w)
-	for {
-		select {
-		case <-r.Context().Done():
-			return
-		case ev, ok := <-events:
-			if !ok {
-				// Job terminal: emit the final snapshot as the last line.
-				if snap, err := s.svc.Status(id); err == nil {
-					_ = enc.Encode(snapshotJSON(snap))
-				}
-				return
+	streamNDJSON(w, r, events,
+		func(ev disarcloud.Progress) any {
+			return map[string]any{"block": ev.BlockID, "done": ev.Done, "total": ev.Total}
+		},
+		func() (any, bool) {
+			// Job terminal: emit the final snapshot as the last line.
+			snap, err := s.svc.Status(id)
+			if err != nil {
+				return nil, false
 			}
-			_ = enc.Encode(map[string]any{
-				"block": ev.BlockID, "done": ev.Done, "total": ev.Total,
-			})
-			if flusher != nil {
-				flusher.Flush()
-			}
-		}
-	}
+			return snapshotJSON(snap), true
+		})
 }
 
 func (s *server) cancel(w http.ResponseWriter, r *http.Request) {
@@ -492,6 +550,67 @@ func (s *server) cancelCampaign(w http.ResponseWriter, r *http.Request) {
 	}
 	snap, _ := s.svc.CampaignStatus(id)
 	writeJSON(w, http.StatusOK, campaignSnapshotJSON(snap))
+}
+
+type scalingEventJSON struct {
+	At      time.Time `json:"at"`
+	From    int       `json:"from"`
+	Target  int       `json:"target"`
+	Reason  string    `json:"reason"`
+	Queued  int       `json:"queued"`
+	Running int       `json:"running"`
+}
+
+func scalingEventJSONOf(ev disarcloud.ScalingEvent) scalingEventJSON {
+	return scalingEventJSON{
+		At: ev.At, From: ev.From, Target: ev.Target, Reason: ev.Reason,
+		Queued: ev.Signals.Queued, Running: ev.Signals.InFlight,
+	}
+}
+
+type autoscalerJSON struct {
+	Enabled           bool               `json:"enabled"`
+	Workers           int                `json:"workers"`
+	LiveWorkers       int                `json:"live_workers"`
+	Queued            int                `json:"queued"`
+	InFlight          int                `json:"in_flight"`
+	BacklogETASeconds float64            `json:"backlog_eta_seconds"`
+	MinWorkers        int                `json:"min_workers,omitempty"`
+	MaxWorkers        int                `json:"max_workers,omitempty"`
+	Recent            []scalingEventJSON `json:"recent"`
+}
+
+// autoscaler reports the elastic control plane: pool gauges, bounds, and the
+// recent scaling decisions with their reasons.
+func (s *server) autoscaler(w http.ResponseWriter, _ *http.Request) {
+	st := s.svc.AutoscalerStatus()
+	out := autoscalerJSON{
+		Enabled:           st.Enabled,
+		Workers:           st.Workers,
+		LiveWorkers:       st.LiveWorkers,
+		Queued:            st.Queued,
+		InFlight:          st.InFlight,
+		BacklogETASeconds: st.BacklogETASeconds,
+		Recent:            []scalingEventJSON{},
+	}
+	if st.Enabled {
+		out.MinWorkers = st.Config.MinWorkers
+		out.MaxWorkers = st.Config.MaxWorkers
+	}
+	for _, ev := range st.Recent {
+		out.Recent = append(out.Recent, scalingEventJSONOf(ev))
+	}
+	writeJSON(w, http.StatusOK, out)
+}
+
+// autoscalerEvents streams scaling decisions as NDJSON until the client
+// disconnects or the service closes, mirroring the per-job progress stream.
+func (s *server) autoscalerEvents(w http.ResponseWriter, r *http.Request) {
+	events, unsub := s.svc.AutoscalerEvents(64)
+	defer unsub()
+	streamNDJSON(w, r, events,
+		func(ev disarcloud.ScalingEvent) any { return scalingEventJSONOf(ev) },
+		nil)
 }
 
 func (s *server) health(w http.ResponseWriter, _ *http.Request) {

@@ -32,9 +32,13 @@
 //	fmt.Println(rep.SCR, rep.Deploy.Choice)
 //
 // Single valuations can still call Deployer.RunSimulation(ctx, spec)
-// directly; the Service adds queuing, bounded concurrency, cancellation,
-// per-job progress streams and status inspection on top. cmd/disard serves
-// the same API over HTTP/JSON.
+// directly; the Service adds deadline-aware (earliest-deadline-first)
+// queuing, bounded concurrency, cancellation, per-job progress streams and
+// status inspection on top. With WithElastic the worker pool autoscales
+// from queue and predictor signals (see internal/elastic), and with
+// WithAdmissionControl submissions whose predicted completion would bust
+// their own deadline are rejected up front. cmd/disard serves the same API
+// over HTTP/JSON.
 //
 // See DESIGN.md for the system architecture (job lifecycle, concurrency
 // model, context semantics) and EXPERIMENTS.md for the paper-versus-
@@ -47,6 +51,7 @@ import (
 	"disarcloud/internal/cloud"
 	"disarcloud/internal/core"
 	"disarcloud/internal/eeb"
+	"disarcloud/internal/elastic"
 	"disarcloud/internal/finmath"
 	"disarcloud/internal/fund"
 	"disarcloud/internal/grid"
@@ -213,16 +218,48 @@ var (
 	ErrUnknownCampaign = core.ErrUnknownCampaign
 )
 
+// Elastic control plane: the autoscaling controller that grows and shrinks
+// the service's worker pool from load and predictor signals, plus the
+// deadline-aware admission control of the EDF scheduler.
+type (
+	// ElasticConfig parameterises the autoscaling controller (pool bounds,
+	// pressure thresholds, cooldowns, hysteresis).
+	ElasticConfig = elastic.Config
+	// ElasticSignals is one load observation the controller decides on.
+	ElasticSignals = elastic.Signals
+	// ScalingEvent is one autoscaler decision with the signals behind it.
+	ScalingEvent = core.ScalingEvent
+	// AutoscalerStatus is a point-in-time view of the control plane.
+	AutoscalerStatus = core.AutoscalerStatus
+	// RuntimeEstimator predicts a job's runtime for admission control.
+	RuntimeEstimator = core.RuntimeEstimator
+	// EstimatorFunc adapts a function to RuntimeEstimator.
+	EstimatorFunc = core.EstimatorFunc
+	// AdmissionError carries the numbers behind an admission rejection.
+	AdmissionError = core.AdmissionError
+)
+
 // Service construction.
 var (
 	// NewService starts a valuation service over a deployer.
 	NewService = core.NewService
-	// WithWorkers sets the number of concurrently running valuations.
+	// WithWorkers sets the number of concurrently running valuations (the
+	// initial pool when elastic).
 	WithWorkers = core.WithWorkers
 	// WithQueueDepth sets the accepted-but-unstarted job capacity.
 	WithQueueDepth = core.WithQueueDepth
 	// WithRetention sets how many terminal jobs stay queryable.
 	WithRetention = core.WithRetention
+	// WithElastic enables the autoscaling control plane.
+	WithElastic = core.WithElastic
+	// WithElasticTick overrides the control-loop sampling interval.
+	WithElasticTick = core.WithElasticTick
+	// WithAdmissionControl enables deadline-aware admission over a runtime
+	// estimator.
+	WithAdmissionControl = core.WithAdmissionControl
+	// PredictorEstimator builds a RuntimeEstimator over the deployer's
+	// knowledge-base ensemble.
+	PredictorEstimator = core.PredictorEstimator
 )
 
 // Service errors.
@@ -233,6 +270,9 @@ var (
 	ErrUnknownJob = core.ErrUnknownJob
 	// ErrQueueFull is Submit's backpressure signal: retry later.
 	ErrQueueFull = core.ErrQueueFull
+	// ErrAdmissionRejected means the scheduler predicted the job cannot meet
+	// its deadline given the current backlog; every *AdmissionError wraps it.
+	ErrAdmissionRejected = core.ErrAdmissionRejected
 	// ErrDegenerateMeasurement flags a non-positive measured execution time.
 	ErrDegenerateMeasurement = core.ErrDegenerateMeasurement
 )

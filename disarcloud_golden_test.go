@@ -1,0 +1,169 @@
+package disarcloud_test
+
+// Golden-file regression test: one fixed-seed end-to-end Solvency II stress
+// campaign whose per-module delta-BEL and aggregate SCR are compared
+// bit-for-bit against testdata/golden_scr.json. Scheduler, pool and
+// control-plane refactors reorder WHEN jobs run but must never change WHAT
+// they compute — this test is the tripwire. Refresh the file only for a
+// change that intentionally alters valuations:
+//
+//	go test -run TestGoldenSCRCampaign -update .
+
+import (
+	"context"
+	"encoding/json"
+	"flag"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"disarcloud"
+)
+
+var updateGolden = flag.Bool("update", false, "rewrite testdata/golden_scr.json from this run")
+
+const goldenPath = "testdata/golden_scr.json"
+
+// goldenSCR is the serialised shape of the campaign outcome. Floats
+// round-trip exactly through encoding/json (shortest-representation
+// encoding), so equality below is bit-identity.
+type goldenSCR struct {
+	Seed       uint64             `json:"seed"`
+	BaseBEL    float64            `json:"base_bel"`
+	BaseVaRSCR float64            `json:"base_var_scr"`
+	Modules    map[string]float64 `json:"modules"` // module -> delta-BEL
+	SCR        struct {
+		Interest            float64 `json:"interest"`
+		InterestDownBinding bool    `json:"interest_down_binding"`
+		Market              float64 `json:"market"`
+		Life                float64 `json:"life"`
+		Other               float64 `json:"other"`
+		BSCR                float64 `json:"bscr"`
+	} `json:"scr"`
+}
+
+// goldenRun executes the fixed campaign: seeds pinned, exploration off, two
+// workers so concurrency is exercised while results stay deterministic.
+func goldenRun(t *testing.T) goldenSCR {
+	t.Helper()
+	const seed = 20160628 // the paper's conference date; never change casually
+	d, err := disarcloud.NewDeployer(seed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	svc, err := disarcloud.NewService(d, disarcloud.WithWorkers(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer svc.Close()
+
+	p, err := disarcloud.GeneratePortfolio(seed+1, func() disarcloud.GeneratorSpec {
+		g := disarcloud.ItalianCompanySpecs()[0]
+		g.NumContracts = 10
+		return g
+	}())
+	if err != nil {
+		t.Fatal(err)
+	}
+	market := disarcloud.DefaultMarket(p.MaxTerm())
+	ctx := context.Background()
+	id, err := svc.SubmitCampaign(ctx, disarcloud.CampaignSpec{
+		Base: disarcloud.SimulationSpec{
+			Portfolio:   p,
+			Fund:        disarcloud.TypicalItalianFund(5, market),
+			Market:      market,
+			Outer:       60,
+			Inner:       5,
+			Constraints: disarcloud.Constraints{TmaxSeconds: 3600, MaxNodes: 4, Epsilon: 0},
+			MaxWorkers:  2,
+			Seed:        seed,
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, err := svc.CampaignResult(ctx, id)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	out := goldenSCR{Seed: seed, BaseBEL: rep.BaseBEL, BaseVaRSCR: rep.BaseVaRSCR,
+		Modules: make(map[string]float64, len(rep.Modules))}
+	for _, m := range rep.Modules {
+		out.Modules[string(m.Module)] = m.DeltaBEL
+	}
+	out.SCR.Interest = rep.SCR.Interest
+	out.SCR.InterestDownBinding = rep.SCR.InterestDownBinding
+	out.SCR.Market = rep.SCR.Market
+	out.SCR.Life = rep.SCR.Life
+	out.SCR.Other = rep.SCR.Other
+	out.SCR.BSCR = rep.SCR.BSCR
+	return out
+}
+
+func TestGoldenSCRCampaign(t *testing.T) {
+	got := goldenRun(t)
+
+	if *updateGolden {
+		data, err := json.MarshalIndent(got, "", "  ")
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := os.MkdirAll(filepath.Dir(goldenPath), 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(goldenPath, append(data, '\n'), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		t.Logf("golden file rewritten: %s", goldenPath)
+		return
+	}
+
+	data, err := os.ReadFile(goldenPath)
+	if err != nil {
+		t.Fatalf("read golden file (run with -update to create it): %v", err)
+	}
+	var want goldenSCR
+	if err := json.Unmarshal(data, &want); err != nil {
+		t.Fatalf("decode golden file: %v", err)
+	}
+
+	if got.BaseBEL != want.BaseBEL {
+		t.Errorf("base BEL drifted: got %v, want %v", got.BaseBEL, want.BaseBEL)
+	}
+	if got.BaseVaRSCR != want.BaseVaRSCR {
+		t.Errorf("base VaR SCR drifted: got %v, want %v", got.BaseVaRSCR, want.BaseVaRSCR)
+	}
+	if len(got.Modules) != len(want.Modules) {
+		t.Errorf("module count drifted: got %d, want %d", len(got.Modules), len(want.Modules))
+	}
+	for mod, wantDelta := range want.Modules {
+		gotDelta, ok := got.Modules[mod]
+		if !ok {
+			t.Errorf("module %s missing from the run", mod)
+			continue
+		}
+		if gotDelta != wantDelta {
+			t.Errorf("module %s delta-BEL drifted: got %v, want %v", mod, gotDelta, wantDelta)
+		}
+	}
+	if got.SCR != want.SCR {
+		t.Errorf("aggregate SCR drifted:\n got %+v\nwant %+v", got.SCR, want.SCR)
+	}
+}
+
+// TestGoldenSCRRerunIsBitIdentical guards the guard: two fresh runs of the
+// golden campaign in one process must agree exactly, or the golden file
+// itself would flake.
+func TestGoldenSCRRerunIsBitIdentical(t *testing.T) {
+	a := goldenRun(t)
+	b := goldenRun(t)
+	if a.BaseBEL != b.BaseBEL || a.BaseVaRSCR != b.BaseVaRSCR || a.SCR != b.SCR {
+		t.Fatalf("same-seed reruns disagree:\n%+v\n%+v", a, b)
+	}
+	for mod, da := range a.Modules {
+		if db := b.Modules[mod]; da != db {
+			t.Fatalf("module %s differs across reruns: %v vs %v", mod, da, db)
+		}
+	}
+}

@@ -1,0 +1,84 @@
+package core
+
+import (
+	"fmt"
+	"testing"
+	"time"
+)
+
+// BenchmarkSchedulerPushPop measures the EDF queue itself: push N jobs with
+// scattered deadlines, pop them back in deadline order. This is the
+// per-submission overhead the deadline-aware scheduler added over the old
+// FIFO channel.
+func BenchmarkSchedulerPushPop(b *testing.B) {
+	const depth = 1024
+	t0 := time.Unix(1000, 0)
+	jobs := make([]*job, depth)
+	for i := range jobs {
+		// Scrambled deadlines: reversed bit pattern spreads the heap.
+		tmax := float64(((i * 2654435761) % depth) + 1)
+		jobs[i] = rawJob(uint64(i), t0, tmax, 1)
+	}
+	b.ResetTimer()
+	for n := 0; n < b.N; n++ {
+		s := newScheduler(depth, 1)
+		s.liveWorkers = 1
+		for _, j := range jobs {
+			if err := s.push(j, false); err != nil {
+				b.Fatal(err)
+			}
+		}
+		for range jobs {
+			j, ok := s.pop()
+			if !ok {
+				b.Fatal("scheduler retired the worker mid-drain")
+			}
+			s.done(j)
+		}
+	}
+	b.ReportMetric(float64(depth), "jobs/op")
+}
+
+// BenchmarkSchedulerAdmission measures the admission-controlled push path:
+// every submission prices the backlog before entering the queue.
+func BenchmarkSchedulerAdmission(b *testing.B) {
+	const depth = 1024
+	t0 := time.Unix(1000, 0)
+	b.ResetTimer()
+	for n := 0; n < b.N; n++ {
+		s := newScheduler(depth, 4)
+		for i := 0; i < depth; i++ {
+			j := rawJob(uint64(i), t0, 1e9, 1)
+			if err := s.push(j, true); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+	b.ReportMetric(float64(depth), "jobs/op")
+}
+
+// BenchmarkSchedulerServiceThroughput measures end-to-end job flow through
+// the service worker pool with the EDF scheduler in place: tiny valuations,
+// so the scheduler and pool machinery dominate.
+func BenchmarkSchedulerServiceThroughput(b *testing.B) {
+	d, err := NewDeployer(2016)
+	if err != nil {
+		b.Fatal(err)
+	}
+	svc, err := NewService(d, WithWorkers(2), WithQueueDepth(256))
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer svc.Close()
+	ctx := b.Context()
+	b.ResetTimer()
+	for n := 0; n < b.N; n++ {
+		id, err := svc.Submit(ctx, serviceSpec(fmt.Sprintf("bench-%d", n), 10, uint64(n)))
+		if err != nil {
+			b.Fatal(err)
+		}
+		if _, err := svc.Result(ctx, id); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

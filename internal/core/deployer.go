@@ -159,6 +159,11 @@ type Report struct {
 	Bootstrap        bool    // true when the config was chosen without ML
 	Fallback         bool    // true when no config met Tmax and the fastest was used
 	KBSize           int     // knowledge-base size after recording
+
+	// sample is the knowledge-base record this deploy added (nil for
+	// heterogeneous deploys, which record nothing). Kept so a valuation that
+	// panics after its deploy can retract the sample — see Deployer.forget.
+	sample *kb.Sample
 }
 
 // Deploy runs the full loop for one workload: Algorithm 1 selection (with
@@ -289,11 +294,13 @@ func (d *Deployer) execute(choice provision.Choice, f eeb.CharacteristicParams, 
 		rep.ActualSeconds = secs
 		rep.ProRataUSD = cloud.ProRataCost(slot.Type, slot.Nodes, secs)
 		rep.BilledUSD = cluster.Terminate()
-		if err := d.kb.Add(kb.Sample{
+		sample := kb.Sample{
 			Architecture: slot.Type.Name, Nodes: slot.Nodes, Params: f, Seconds: secs,
-		}); err != nil {
+		}
+		if err := d.kb.Add(sample); err != nil {
 			return nil, err
 		}
+		rep.sample = &sample
 		if retrain && d.kb.Len()%d.retrainEvery == 0 {
 			if err := d.pred.RetrainArchitecture(d.kb, slot.Type.Name); err != nil {
 				return nil, err
@@ -329,6 +336,29 @@ func (d *Deployer) execute(choice provision.Choice, f eeb.CharacteristicParams, 
 	}
 	rep.KBSize = d.kb.Len()
 	return rep, nil
+}
+
+// forget retracts the knowledge-base sample a deploy recorded — the cleanup
+// path for a valuation that panicked after its deploy. Without it the
+// predictor would keep training on the timing of a run that produced
+// garbage. The affected architecture's models are rebuilt from the remaining
+// samples, or dropped entirely when the remainder falls below the training
+// threshold.
+func (d *Deployer) forget(rep *Report) error {
+	if rep == nil || rep.sample == nil {
+		return nil
+	}
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if !d.kb.Remove(*rep.sample) {
+		return nil
+	}
+	arch := rep.sample.Architecture
+	if d.kb.Dataset(arch).Len() >= provision.MinSamplesToTrain {
+		return d.pred.RetrainArchitecture(d.kb, arch)
+	}
+	d.pred.Drop(arch)
+	return nil
 }
 
 // checkMeasurement rejects non-positive or non-finite slot durations before

@@ -78,6 +78,13 @@ type job struct {
 	ctx    context.Context
 	cancel context.CancelFunc
 
+	// Scheduler fields, immutable after submission: the EDF key (deadline,
+	// then seq for FIFO tie-breaking) and the estimated runtime feeding
+	// backlog ETA and admission control (0 = no estimate).
+	seq        uint64
+	deadline   time.Time
+	etaSeconds float64
+
 	mu          sync.Mutex
 	status      JobStatus
 	report      *SimulationReport

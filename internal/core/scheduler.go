@@ -1,0 +1,221 @@
+package core
+
+import (
+	"container/heap"
+	"math"
+	"sync"
+	"time"
+)
+
+// noDeadline is the far-future stamp queued jobs without a finite deadline
+// sort by: EDF puts them behind every real deadline, and equal stamps fall
+// back to submission order.
+var noDeadline = time.Unix(1<<62-1, 0)
+
+// jobDeadline maps a spec's TmaxSeconds onto the wall-clock deadline the
+// scheduler orders by. Values past the representable time.Duration range
+// (the "effectively no deadline" sentinel RunSimulation also special-cases)
+// count as unbounded.
+func jobDeadline(submittedAt time.Time, tmaxSeconds float64) (time.Time, bool) {
+	if tmaxSeconds <= 0 || tmaxSeconds >= float64(math.MaxInt64)/float64(time.Second) {
+		return noDeadline, false
+	}
+	return submittedAt.Add(time.Duration(tmaxSeconds * float64(time.Second))), true
+}
+
+// jobHeap is a min-heap of queued jobs ordered earliest-deadline-first, with
+// submission sequence as the tie-break so equal deadlines stay FIFO.
+type jobHeap []*job
+
+func (h jobHeap) Len() int { return len(h) }
+func (h jobHeap) Less(i, j int) bool {
+	if !h[i].deadline.Equal(h[j].deadline) {
+		return h[i].deadline.Before(h[j].deadline)
+	}
+	return h[i].seq < h[j].seq
+}
+func (h jobHeap) Swap(i, j int) { h[i], h[j] = h[j], h[i] }
+func (h *jobHeap) Push(x any)   { *h = append(*h, x.(*job)) }
+func (h *jobHeap) Pop() any {
+	old := *h
+	n := len(old)
+	j := old[n-1]
+	old[n-1] = nil
+	*h = old[:n-1]
+	return j
+}
+
+// scheduler is the service's deadline-aware job queue plus the bookkeeping
+// of its resizable worker pool. It replaces the former fixed-size FIFO
+// channel: queued jobs are popped earliest-deadline-first, the pool's
+// live/target worker counts live under the same lock (so shrink decisions
+// drain workers exactly at job boundaries), and per-job runtime estimates
+// are summed into the backlog ETA that admission control and the elastic
+// controller consume.
+type scheduler struct {
+	mu   sync.Mutex
+	cond *sync.Cond
+
+	heap     jobHeap
+	capacity int
+	closed   bool
+
+	liveWorkers   int
+	targetWorkers int
+	inFlight      int
+
+	// queuedETA / runningETA sum the runtime estimates (seconds) of queued
+	// and executing jobs that carry one; estimate-less jobs contribute 0.
+	queuedETA  float64
+	runningETA float64
+}
+
+func newScheduler(capacity, workers int) *scheduler {
+	s := &scheduler{capacity: capacity, targetWorkers: workers}
+	s.cond = sync.NewCond(&s.mu)
+	return s
+}
+
+// schedStats is a consistent snapshot of the scheduler for telemetry and the
+// elastic controller.
+type schedStats struct {
+	Queued, InFlight      int
+	LiveWorkers, Target   int
+	QueuedETA, RunningETA float64
+	// EarliestDeadline is the head of the EDF queue; zero when no queued job
+	// carries a finite deadline.
+	EarliestDeadline time.Time
+}
+
+func (s *scheduler) stats() schedStats {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	st := schedStats{
+		Queued: len(s.heap), InFlight: s.inFlight,
+		LiveWorkers: s.liveWorkers, Target: s.targetWorkers,
+		QueuedETA: s.queuedETA, RunningETA: s.runningETA,
+	}
+	if len(s.heap) > 0 && s.heap[0].deadline.Before(noDeadline) {
+		st.EarliestDeadline = s.heap[0].deadline
+	}
+	return st
+}
+
+// push enqueues a job, failing fast with ErrQueueFull at capacity. When
+// admission is set and the job carries both a runtime estimate and a finite
+// deadline, the job is additionally rejected with an *AdmissionError when
+// the estimated completion time of the backlog already busts the job's own
+// deadline — the predictor-based reject-with-reason the HTTP front end
+// surfaces as 503/Retry-After.
+func (s *scheduler) push(j *job, admission bool) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if len(s.heap) >= s.capacity {
+		return errQueueFull(s.capacity)
+	}
+	if admission && j.etaSeconds > 0 && j.deadline.Before(noDeadline) {
+		workers := s.targetWorkers
+		if workers < 1 {
+			workers = 1
+		}
+		// Everything ahead of this job (conservatively: the whole backlog,
+		// running jobs counted at full estimate) spread over the pool, then
+		// the job itself.
+		wait := (s.queuedETA + s.runningETA) / float64(workers)
+		predicted := wait + j.etaSeconds
+		if tmax := j.deadline.Sub(j.submittedAt).Seconds(); predicted > tmax {
+			return &AdmissionError{
+				PredictedSeconds:  predicted,
+				TmaxSeconds:       tmax,
+				RetryAfterSeconds: wait,
+				// When the job's own estimate busts the deadline on an empty
+				// pool, no retry can ever succeed.
+				Infeasible: j.etaSeconds > tmax,
+			}
+		}
+	}
+	heap.Push(&s.heap, j)
+	s.queuedETA += j.etaSeconds
+	s.cond.Broadcast()
+	return nil
+}
+
+// pop blocks until a job is available and returns it, moving its estimate
+// from the queued to the running sum. It returns ok=false when the calling
+// worker should exit instead: the scheduler closed, or the pool target
+// dropped below the live count (the worker retires, completing a graceful
+// shrink — shrinks only ever take effect between jobs, never mid-valuation).
+func (s *scheduler) pop() (*job, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for {
+		if s.closed || s.liveWorkers > s.targetWorkers {
+			s.liveWorkers--
+			return nil, false
+		}
+		if len(s.heap) > 0 {
+			j := heap.Pop(&s.heap).(*job)
+			s.queuedETA -= j.etaSeconds
+			if s.queuedETA < 0 {
+				s.queuedETA = 0
+			}
+			s.inFlight++
+			s.runningETA += j.etaSeconds
+			return j, true
+		}
+		s.cond.Wait()
+	}
+}
+
+// done records a job's completion, releasing its running estimate.
+func (s *scheduler) done(j *job) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.inFlight--
+	s.runningETA -= j.etaSeconds
+	if s.runningETA < 0 {
+		s.runningETA = 0
+	}
+}
+
+// setTarget moves the pool target and returns how many new workers the
+// caller must spawn (their live count is reserved here, so a concurrent
+// resize cannot double-spawn). Shrinks return 0: excess workers retire
+// themselves at the next pop. A closed scheduler accepts no growth.
+func (s *scheduler) setTarget(n int) int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return 0
+	}
+	s.targetWorkers = n
+	spawn := 0
+	if n > s.liveWorkers {
+		spawn = n - s.liveWorkers
+		s.liveWorkers = n
+	}
+	s.cond.Broadcast() // wake blocked workers so excess ones retire
+	return spawn
+}
+
+// workers returns the pool's current target size.
+func (s *scheduler) workers() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.targetWorkers
+}
+
+// drain closes the scheduler: every blocked or returning worker exits, and
+// the jobs still queued are returned so the service can settle them as
+// canceled.
+func (s *scheduler) drain() []*job {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.closed = true
+	out := make([]*job, len(s.heap))
+	copy(out, s.heap)
+	s.heap = nil
+	s.queuedETA = 0
+	s.cond.Broadcast()
+	return out
+}

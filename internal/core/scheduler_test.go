@@ -1,0 +1,164 @@
+package core
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"testing"
+	"time"
+)
+
+// rawJob builds a bare scheduler job outside the service, so EDF ordering
+// and admission arithmetic can be pinned with exact deadlines.
+func rawJob(seq uint64, submittedAt time.Time, tmaxSeconds, eta float64) *job {
+	ctx, cancel := context.WithCancel(context.Background())
+	j := newJob(JobID(fmt.Sprintf("raw-%03d", seq)), SimulationSpec{}, ctx, cancel)
+	j.seq = seq
+	j.submittedAt = submittedAt
+	j.deadline, _ = jobDeadline(submittedAt, tmaxSeconds)
+	j.etaSeconds = eta
+	return j
+}
+
+// TestSchedulerEDFOrdering: jobs pop earliest-deadline-first regardless of
+// push order, and jobs without a finite deadline pop last.
+func TestSchedulerEDFOrdering(t *testing.T) {
+	s := newScheduler(16, 0) // target 0: pops below never block on workers
+	t0 := time.Unix(1000, 0)
+	// Push in scrambled order: deadlines t0+300, t0+100, none, t0+200.
+	jobs := []*job{
+		rawJob(1, t0, 300, 0),
+		rawJob(2, t0, 100, 0),
+		rawJob(3, t0, 1e18, 0), // the "effectively no deadline" sentinel
+		rawJob(4, t0, 200, 0),
+	}
+	for _, j := range jobs {
+		if err := s.push(j, false); err != nil {
+			t.Fatal(err)
+		}
+	}
+	s.targetWorkers = 1
+	s.liveWorkers = 1
+	want := []uint64{2, 4, 1, 3}
+	for i, w := range want {
+		j, ok := s.pop()
+		if !ok {
+			t.Fatalf("pop %d: scheduler told the worker to exit", i)
+		}
+		if j.seq != w {
+			t.Fatalf("pop %d = job seq %d, want %d", i, j.seq, w)
+		}
+		s.done(j)
+	}
+}
+
+// TestSchedulerDeadlineTieBreak: equal deadlines fall back to submission
+// order, so EDF degrades to FIFO and never starves equal-deadline jobs.
+func TestSchedulerDeadlineTieBreak(t *testing.T) {
+	s := newScheduler(16, 0)
+	t0 := time.Unix(2000, 0)
+	// Same submission instant and same Tmax: identical deadlines.
+	for seq := uint64(1); seq <= 5; seq++ {
+		if err := s.push(rawJob(seq, t0, 600, 0), false); err != nil {
+			t.Fatal(err)
+		}
+	}
+	s.targetWorkers = 1
+	s.liveWorkers = 1
+	for want := uint64(1); want <= 5; want++ {
+		j, ok := s.pop()
+		if !ok {
+			t.Fatal("pop: scheduler told the worker to exit")
+		}
+		if j.seq != want {
+			t.Fatalf("equal-deadline pop = seq %d, want %d (FIFO tie-break)", j.seq, want)
+		}
+		s.done(j)
+	}
+	// And two no-deadline jobs also stay FIFO among themselves.
+	s2 := newScheduler(16, 0)
+	s2.push(rawJob(7, t0, 0, 0), false)
+	s2.push(rawJob(8, t0, 0, 0), false)
+	s2.targetWorkers = 1
+	s2.liveWorkers = 1
+	if j, _ := s2.pop(); j.seq != 7 {
+		t.Fatalf("no-deadline pop = seq %d, want 7", j.seq)
+	}
+}
+
+// TestSchedulerAdmission pins the reject-with-reason arithmetic: a job whose
+// estimated completion (backlog drain + own runtime) busts its Tmax is
+// refused with an *AdmissionError carrying the prediction and a Retry-After
+// hint, while estimate-less and comfortable jobs pass.
+func TestSchedulerAdmission(t *testing.T) {
+	s := newScheduler(16, 2) // 2 workers
+	t0 := time.Unix(3000, 0)
+	// Backlog: 4 queued jobs of 10s each = 40s, over 2 workers = 20s wait.
+	for seq := uint64(1); seq <= 4; seq++ {
+		if err := s.push(rawJob(seq, t0, 3600, 10), true); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// 20s wait + 10s own runtime = 30s against Tmax 25s: reject.
+	err := s.push(rawJob(5, t0, 25, 10), true)
+	var adm *AdmissionError
+	if !errors.As(err, &adm) {
+		t.Fatalf("over-deadline push = %v, want *AdmissionError", err)
+	}
+	if !errors.Is(err, ErrAdmissionRejected) {
+		t.Fatal("AdmissionError does not unwrap to ErrAdmissionRejected")
+	}
+	if adm.PredictedSeconds != 30 || adm.TmaxSeconds != 25 || adm.RetryAfterSeconds != 20 {
+		t.Fatalf("admission numbers = %+v, want predicted 30 / tmax 25 / retry 20", adm)
+	}
+	if adm.Infeasible {
+		t.Fatal("backlog-congested rejection flagged infeasible; a retry CAN succeed")
+	}
+	// A job whose own estimate busts its deadline is infeasible at any load.
+	err = s.push(rawJob(50, t0, 5, 10), true)
+	if !errors.As(err, &adm) || !adm.Infeasible {
+		t.Fatalf("self-infeasible push = %v (infeasible=%v), want Infeasible AdmissionError", err, adm != nil && adm.Infeasible)
+	}
+	// The same job with Tmax 30 is exactly feasible: admitted.
+	if err := s.push(rawJob(6, t0, 30, 10), true); err != nil {
+		t.Fatalf("boundary-feasible push rejected: %v", err)
+	}
+	// An estimate-less job is always admitted (bootstrap phase semantics),
+	// as is a job without a finite deadline.
+	if err := s.push(rawJob(7, t0, 25, 0), true); err != nil {
+		t.Fatalf("estimate-less push rejected: %v", err)
+	}
+	if err := s.push(rawJob(8, t0, 1e18, 10), true); err != nil {
+		t.Fatalf("no-deadline push rejected: %v", err)
+	}
+	// Admission disabled ignores the arithmetic entirely.
+	if err := s.push(rawJob(9, t0, 1, 1000), false); err != nil {
+		t.Fatalf("no-admission push = %v, want nil", err)
+	}
+}
+
+// TestSchedulerQueueFull: capacity still backpressures before admission is
+// even consulted.
+func TestSchedulerQueueFull(t *testing.T) {
+	s := newScheduler(2, 1)
+	t0 := time.Unix(4000, 0)
+	s.push(rawJob(1, t0, 600, 0), false)
+	s.push(rawJob(2, t0, 600, 0), false)
+	if err := s.push(rawJob(3, t0, 600, 0), false); !errors.Is(err, ErrQueueFull) {
+		t.Fatalf("push at capacity = %v, want ErrQueueFull", err)
+	}
+}
+
+// TestSchedulerRetireOnShrink: a worker blocked in pop retires when the
+// target drops below the live count, and stats track the drain.
+func TestSchedulerRetireOnShrink(t *testing.T) {
+	s := newScheduler(4, 2)
+	s.liveWorkers = 2
+	s.targetWorkers = 1
+	if _, ok := s.pop(); ok {
+		t.Fatal("pop on an over-target pool returned a job; want retire")
+	}
+	if st := s.stats(); st.LiveWorkers != 1 {
+		t.Fatalf("live workers after retire = %d, want 1", st.LiveWorkers)
+	}
+}

@@ -5,8 +5,10 @@ import (
 	"errors"
 	"fmt"
 	"sync"
+	"time"
 
 	"disarcloud/internal/eeb"
+	"disarcloud/internal/elastic"
 	"disarcloud/internal/grid"
 )
 
@@ -34,6 +36,10 @@ const DefaultQueueDepth = 64
 // long-lived service does not grow without bound.
 const DefaultRetention = 4096
 
+// DefaultElasticTick is the control-loop sampling interval when WithElastic
+// is given without WithElasticTick.
+const DefaultElasticTick = 20 * time.Millisecond
+
 // ServiceOption customises a Service.
 type ServiceOption func(*serviceConfig)
 
@@ -41,11 +47,40 @@ type serviceConfig struct {
 	workers    int
 	queueDepth int
 	retention  int
+	elastic    *elastic.Config
+	tick       time.Duration
+	estimator  RuntimeEstimator
 }
 
-// WithWorkers sets the number of valuations the service runs concurrently.
+// WithWorkers sets the number of valuations the service runs concurrently —
+// the initial pool size when the service is elastic, the fixed size
+// otherwise.
 func WithWorkers(n int) ServiceOption {
 	return func(c *serviceConfig) { c.workers = n }
+}
+
+// WithElastic enables the elastic control plane: a controller with the given
+// configuration observes queue depth, in-flight jobs and the estimated
+// backlog every tick and grows or shrinks the worker pool within
+// [MinWorkers, MaxWorkers], with the configured cooldowns and hysteresis.
+func WithElastic(cfg elastic.Config) ServiceOption {
+	return func(c *serviceConfig) { c.elastic = &cfg }
+}
+
+// WithElasticTick overrides the control-loop sampling interval (default
+// DefaultElasticTick).
+func WithElasticTick(d time.Duration) ServiceOption {
+	return func(c *serviceConfig) { c.tick = d }
+}
+
+// WithAdmissionControl enables deadline-aware admission: every submission is
+// runtime-estimated, and a job whose predicted completion time — current
+// backlog plus its own estimate — already busts its TmaxSeconds is rejected
+// with an *AdmissionError instead of being queued to fail. Jobs the
+// estimator cannot price are always admitted. PredictorEstimator(d) reuses
+// the knowledge-base ensemble for the estimates.
+func WithAdmissionControl(est RuntimeEstimator) ServiceOption {
+	return func(c *serviceConfig) { c.estimator = est }
 }
 
 // WithQueueDepth sets how many accepted-but-unstarted jobs the service
@@ -71,8 +106,10 @@ func WithRetention(n int) ServiceOption {
 // library function to a many-tenant service.
 type Service struct {
 	d         *Deployer
-	queue     chan *job
+	sched     *scheduler
 	retention int
+	estimator RuntimeEstimator // nil = no admission control
+	scaler    *autoscaler      // nil = fixed pool
 
 	baseCtx    context.Context
 	baseCancel context.CancelFunc
@@ -110,16 +147,42 @@ func NewService(d *Deployer, opts ...ServiceOption) (*Service, error) {
 	ctx, cancel := context.WithCancel(context.Background())
 	s := &Service{
 		d:          d,
-		queue:      make(chan *job, cfg.queueDepth),
+		sched:      newScheduler(cfg.queueDepth, cfg.workers),
 		retention:  cfg.retention,
+		estimator:  cfg.estimator,
 		baseCtx:    ctx,
 		baseCancel: cancel,
 		jobs:       make(map[JobID]*job),
 		campaigns:  make(map[CampaignID]*campaign),
 	}
-	for i := 0; i < cfg.workers; i++ {
+	if cfg.elastic != nil {
+		ec := *cfg.elastic
+		if ec.MinWorkers == 0 {
+			// The initial pool is a natural floor unless the caller set one;
+			// an initial pool above MaxWorkers then fails validation below
+			// rather than silently dropping the floor.
+			ec.MinWorkers = cfg.workers
+		}
+		ctrl, err := elastic.NewController(ec)
+		if err != nil {
+			cancel()
+			return nil, err
+		}
+		tick := cfg.tick
+		if tick <= 0 {
+			tick = DefaultElasticTick
+		}
+		s.scaler = &autoscaler{ctrl: ctrl, tick: tick}
+		if cfg.workers < ctrl.Config().MinWorkers || cfg.workers > ctrl.Config().MaxWorkers {
+			cancel()
+			return nil, fmt.Errorf("core: initial pool %d outside the elastic bounds [%d,%d]",
+				cfg.workers, ctrl.Config().MinWorkers, ctrl.Config().MaxWorkers)
+		}
+	}
+	s.spawn(s.sched.setTarget(cfg.workers))
+	if s.scaler != nil {
 		s.wg.Add(1)
-		go s.worker()
+		go s.controlLoop()
 	}
 	return s, nil
 }
@@ -151,6 +214,14 @@ func (s *Service) submitJob(ctx context.Context, spec SimulationSpec) (*job, err
 	if err := ctx.Err(); err != nil {
 		return nil, err
 	}
+	// Runtime-estimate outside the service lock: the predictor-backed
+	// estimator walks the whole catalog.
+	var eta float64
+	if s.estimator != nil {
+		if secs, ok := s.estimator.EstimateSeconds(spec); ok && secs > 0 {
+			eta = secs
+		}
+	}
 	s.mu.Lock()
 	if s.closed {
 		s.mu.Unlock()
@@ -158,8 +229,24 @@ func (s *Service) submitJob(ctx context.Context, spec SimulationSpec) (*job, err
 	}
 	s.nextID++
 	id := JobID(fmt.Sprintf("job-%06d", s.nextID))
-	jobCtx, cancel := context.WithCancel(ctx)
+	// The Tmax budget runs from SUBMISSION, queue wait included: that is the
+	// deadline EDF orders by and admission control prices against, so the
+	// job context must expire at the same instant — a job that waited its
+	// whole budget away settles as canceled instead of starting late.
+	now := time.Now()
+	deadline, hasDeadline := jobDeadline(now, spec.Constraints.TmaxSeconds)
+	var jobCtx context.Context
+	var cancel context.CancelFunc
+	if hasDeadline {
+		jobCtx, cancel = context.WithDeadline(ctx, deadline)
+	} else {
+		jobCtx, cancel = context.WithCancel(ctx)
+	}
 	j := newJob(id, spec, jobCtx, cancel)
+	j.submittedAt = now
+	j.seq = s.nextID
+	j.deadline = deadline
+	j.etaSeconds = eta
 	// The portfolio splits into type-B blocks of spec.Outer paths each; that
 	// is the progress denominator.
 	j.total = eeb.NumTypeBBlocks(spec.Portfolio.NumRepresentative(), maxContractsPerBlock) * spec.Outer
@@ -172,17 +259,15 @@ func (s *Service) submitJob(ctx context.Context, spec SimulationSpec) (*job, err
 			userHook(ev)
 		}
 	}
-	select {
-	case s.queue <- j:
-		s.jobs[id] = j
-		s.order = append(s.order, id)
-		s.mu.Unlock()
-		return j, nil
-	default:
+	if err := s.sched.push(j, s.estimator != nil); err != nil {
 		s.mu.Unlock()
 		cancel()
-		return nil, fmt.Errorf("%w (depth %d)", ErrQueueFull, cap(s.queue))
+		return nil, err
 	}
+	s.jobs[id] = j
+	s.order = append(s.order, id)
+	s.mu.Unlock()
+	return j, nil
 }
 
 // Status returns a snapshot of the job.
@@ -257,7 +342,8 @@ func (s *Service) Cancel(id JobID) error {
 }
 
 // Close stops accepting submissions, cancels every live job, and waits for
-// the workers to drain. It is idempotent.
+// the workers (and, when elastic, the control loop) to drain. It is
+// idempotent.
 func (s *Service) Close() {
 	s.mu.Lock()
 	alreadyClosed := s.closed
@@ -272,12 +358,20 @@ func (s *Service) Close() {
 		return
 	}
 	s.baseCancel()
+	queued := s.sched.drain()
 	for _, j := range live {
 		j.cancel()
 	}
 	s.wg.Wait()
+	if s.scaler != nil {
+		s.scaler.close()
+	}
 	// Jobs still queued when the workers exited never ran; mark them
-	// canceled so Result and Status settle.
+	// canceled so Result and Status settle. Campaign-held jobs may not be in
+	// the live set anymore, hence both lists.
+	for _, j := range queued {
+		j.finish(nil, context.Canceled)
+	}
 	for _, j := range live {
 		j.finish(nil, context.Canceled)
 	}
@@ -293,16 +387,17 @@ func (s *Service) job(id JobID) (*job, error) {
 	return j, nil
 }
 
-// worker drains the queue until the service closes.
+// worker pops jobs earliest-deadline-first until the scheduler tells it to
+// exit — because the service closed, or because the pool target shrank and
+// this worker retires.
 func (s *Service) worker() {
 	defer s.wg.Done()
 	for {
-		select {
-		case <-s.baseCtx.Done():
+		j, ok := s.sched.pop()
+		if !ok {
 			return
-		case j := <-s.queue:
-			s.run(j)
 		}
+		s.run(j)
 	}
 }
 
@@ -312,6 +407,7 @@ func (s *Service) run(j *job) {
 	rep, err := s.runGuarded(j)
 	j.finish(rep, err)
 	j.cancel() // release the job context's resources
+	s.sched.done(j)
 	s.evict()
 }
 

@@ -37,6 +37,14 @@ type SimulationSpec struct {
 	// Seed roots the valuation streams and, for jobs run through a Service,
 	// the per-job cloud-noise split.
 	Seed uint64
+	// PaceFactor, when positive, makes the deploy occupy real wall-clock
+	// time: after the simulated cloud reports its execution time, the job
+	// blocks for PaceFactor * ActualSeconds of real time (honouring ctx). In
+	// the paper's system a service worker spends almost its whole life
+	// waiting on the remote cluster; the virtual-time cloud erases that
+	// wait, so load experiments (elastic scaling, admission control) set a
+	// small factor to restore it. Valuation results are unaffected.
+	PaceFactor float64
 	// Biometric scales the decrement assumptions — the life side of the
 	// Solvency II stresses. The zero value is the best-estimate basis.
 	Biometric eeb.Biometric
@@ -60,6 +68,9 @@ func (s SimulationSpec) Validate() error {
 	if s.Outer <= 0 || s.Inner <= 0 {
 		return fmt.Errorf("core: non-positive Monte Carlo sample sizes")
 	}
+	if s.PaceFactor < 0 || math.IsNaN(s.PaceFactor) || math.IsInf(s.PaceFactor, 0) {
+		return fmt.Errorf("core: pace factor must be finite and non-negative")
+	}
 	if err := s.Biometric.Validate(); err != nil {
 		return err
 	}
@@ -80,6 +91,23 @@ type SimulationReport struct {
 	Deploy *Report
 	// Params are the characteristic parameters the deploy was selected on.
 	Params eeb.CharacteristicParams
+}
+
+// aggregateBlock describes the whole simulation as one type-B block — the
+// per-simulation characteristic parameters the predictor is trained and
+// queried on. RunSimulation and the admission-control estimator must price
+// the SAME workload, so both build it here.
+func aggregateBlock(spec SimulationSpec, idSuffix string) *eeb.Block {
+	return &eeb.Block{
+		ID:        spec.Portfolio.Name + idSuffix,
+		Type:      eeb.ALMValuation,
+		Portfolio: spec.Portfolio,
+		Fund:      spec.Fund,
+		Market:    spec.Market,
+		Outer:     spec.Outer,
+		Inner:     spec.Inner,
+		Biometric: spec.Biometric,
+	}
 }
 
 // checkScenarioSource probes a caller-supplied scenario source against the
@@ -138,16 +166,7 @@ func (d *Deployer) RunSimulation(ctx context.Context, spec SimulationSpec) (*Sim
 	}
 	// One aggregate type-B block describes the whole simulation for the
 	// predictor, mirroring the paper's per-simulation samples.
-	whole := &eeb.Block{
-		ID:        spec.Portfolio.Name + "/sim",
-		Type:      eeb.ALMValuation,
-		Portfolio: spec.Portfolio,
-		Fund:      spec.Fund,
-		Market:    spec.Market,
-		Outer:     spec.Outer,
-		Inner:     spec.Inner,
-		Biometric: spec.Biometric,
-	}
+	whole := aggregateBlock(spec, "/sim")
 	if err := whole.Validate(); err != nil {
 		return nil, err
 	}
@@ -156,6 +175,31 @@ func (d *Deployer) RunSimulation(ctx context.Context, spec SimulationSpec) (*Sim
 	deployRep, err := d.DeploySeeded(ctx, f, spec.Constraints, spec.Seed)
 	if err != nil {
 		return nil, err
+	}
+	// The deploy just recorded this run's execution-time sample and (maybe)
+	// retrained on it. If the real valuation below panics — a degenerate
+	// spec that slipped past validation, a broken scenario source — that
+	// sample describes a run that produced nothing: record it back out of
+	// the knowledge base before the panic propagates (the Service's worker
+	// guard then converts it into a failed job).
+	defer func() {
+		if r := recover(); r != nil {
+			_ = d.forget(deployRep)
+			panic(r)
+		}
+	}()
+	if spec.PaceFactor > 0 {
+		// Emulate the wall-clock occupancy of the remote execution (outside
+		// the deployer lock, so concurrent jobs overlap their waits exactly
+		// as concurrent clusters would).
+		pace := time.Duration(spec.PaceFactor * deployRep.ActualSeconds * float64(time.Second))
+		timer := time.NewTimer(pace)
+		select {
+		case <-ctx.Done():
+			timer.Stop()
+			return nil, ctx.Err()
+		case <-timer.C:
+		}
 	}
 
 	// Real computation on the DISAR grid, sized like the chosen deploy.
@@ -177,11 +221,19 @@ func (d *Deployer) RunSimulation(ctx context.Context, spec SimulationSpec) (*Sim
 		Scenarios:            spec.Scenarios,
 	})
 	if err != nil {
+		_ = d.forget(deployRep) // a split that fails produced no valuation
 		return nil, err
 	}
 	master := &grid.Master{Workers: workers, Seed: spec.Seed, OnProgress: spec.OnProgress}
 	results, err := master.Run(ctx, blocks)
 	if err != nil {
+		// A crashed valuation (a worker-rank panic surfaces here as an
+		// error) must also retract the sample — but a cancellation keeps
+		// it: the simulated execution finished and its timing is sound, the
+		// caller just stopped waiting.
+		if ctx.Err() == nil {
+			_ = d.forget(deployRep)
+		}
 		return nil, err
 	}
 

@@ -1,0 +1,268 @@
+// Package elastic implements the capacity-decision side of the paper's
+// "Elastic Cloud Resource Provisioning" claim: a deterministic controller
+// that observes the valuation service's load signals (queue depth, jobs in
+// flight, predictor-estimated backlog, deadline slack) and decides when the
+// worker pool should grow or shrink.
+//
+// The controller is pure policy: it holds no goroutines, performs no I/O and
+// never reads the clock itself — every decision is a function of the
+// supplied Signals (including Signals.Now) and the controller's own small
+// state (cooldown stamps, shrink-stability window). That makes the
+// scale-up/scale-down boundaries, cooldowns and hysteresis band directly
+// unit-testable with synthetic timestamps, which is what the regression
+// suite leans on.
+package elastic
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"time"
+)
+
+// Default policy parameters, chosen so a small pool reacts within a few
+// control ticks to a campaign burst but does not thrash on single jobs.
+const (
+	// DefaultScaleUpPressure is the queued+running jobs per worker above
+	// which the pool grows.
+	DefaultScaleUpPressure = 1.5
+	// DefaultScaleDownPressure is the load per worker below which the pool
+	// is allowed to shrink. It must sit strictly below the scale-up
+	// threshold: the gap is the hysteresis band in which the controller
+	// holds steady.
+	DefaultScaleDownPressure = 0.5
+	// DefaultScaleUpCooldown separates consecutive grow decisions.
+	DefaultScaleUpCooldown = 50 * time.Millisecond
+	// DefaultScaleDownCooldown separates consecutive shrink decisions (and a
+	// shrink from the last grow), so the pool never oscillates inside one
+	// burst.
+	DefaultScaleDownCooldown = 500 * time.Millisecond
+	// DefaultShrinkStableFor is how long the load must stay below the
+	// scale-down threshold before the first shrink fires.
+	DefaultShrinkStableFor = 500 * time.Millisecond
+	// DefaultMaxStep bounds how many workers one grow decision may add.
+	DefaultMaxStep = 4
+)
+
+// Config parameterises a Controller.
+type Config struct {
+	// MinWorkers is the pool floor; the controller never targets below it.
+	// Zero defaults to 1.
+	MinWorkers int
+	// MaxWorkers is the pool ceiling — the elastic analogue of the
+	// Constraints.MaxNodes bound Algorithm 1 searches under. Required.
+	MaxWorkers int
+	// ScaleUpPressure and ScaleDownPressure are the per-worker load
+	// thresholds (queued+running jobs divided by workers) that trigger
+	// growth and permit shrinking. ScaleDownPressure must be strictly below
+	// ScaleUpPressure; the gap is the hysteresis band.
+	ScaleUpPressure   float64
+	ScaleDownPressure float64
+	// ScaleUpCooldown and ScaleDownCooldown are the minimum times between
+	// consecutive grow and shrink decisions.
+	ScaleUpCooldown   time.Duration
+	ScaleDownCooldown time.Duration
+	// ShrinkStableFor is how long the load must continuously sit below
+	// ScaleDownPressure before a shrink is taken — transient idle gaps
+	// between bursts keep the pool warm.
+	ShrinkStableFor time.Duration
+	// MaxStep caps workers added by a single grow decision (shrinks always
+	// step down one worker at a time). Zero defaults to DefaultMaxStep.
+	MaxStep int
+}
+
+// withDefaults returns the config with zero fields replaced by defaults.
+func (c Config) withDefaults() Config {
+	if c.MinWorkers == 0 {
+		c.MinWorkers = 1
+	}
+	if c.ScaleUpPressure == 0 {
+		c.ScaleUpPressure = DefaultScaleUpPressure
+	}
+	if c.ScaleDownPressure == 0 {
+		c.ScaleDownPressure = DefaultScaleDownPressure
+	}
+	if c.ScaleUpCooldown == 0 {
+		c.ScaleUpCooldown = DefaultScaleUpCooldown
+	}
+	if c.ScaleDownCooldown == 0 {
+		c.ScaleDownCooldown = DefaultScaleDownCooldown
+	}
+	if c.ShrinkStableFor == 0 {
+		c.ShrinkStableFor = DefaultShrinkStableFor
+	}
+	if c.MaxStep == 0 {
+		c.MaxStep = DefaultMaxStep
+	}
+	return c
+}
+
+// Validate reports whether the (defaulted) config is admissible.
+func (c Config) Validate() error {
+	c = c.withDefaults()
+	if c.MinWorkers < 1 {
+		return errors.New("elastic: MinWorkers must be at least 1")
+	}
+	if c.MaxWorkers < c.MinWorkers {
+		return fmt.Errorf("elastic: MaxWorkers %d below MinWorkers %d", c.MaxWorkers, c.MinWorkers)
+	}
+	if c.ScaleUpPressure <= 0 || c.ScaleDownPressure < 0 {
+		return errors.New("elastic: pressure thresholds must be positive")
+	}
+	if c.ScaleDownPressure >= c.ScaleUpPressure {
+		return fmt.Errorf("elastic: no hysteresis band: scale-down threshold %.3g must be below scale-up threshold %.3g",
+			c.ScaleDownPressure, c.ScaleUpPressure)
+	}
+	if c.ScaleUpCooldown < 0 || c.ScaleDownCooldown < 0 || c.ShrinkStableFor < 0 {
+		return errors.New("elastic: cooldowns must be non-negative")
+	}
+	if c.MaxStep < 1 {
+		return errors.New("elastic: MaxStep must be at least 1")
+	}
+	return nil
+}
+
+// Signals is one observation of the service the controller decides on.
+type Signals struct {
+	// Now is the observation time; cooldowns and the shrink-stability window
+	// are measured against it.
+	Now time.Time
+	// Queued is the number of accepted jobs waiting for a worker.
+	Queued int
+	// InFlight is the number of jobs currently executing.
+	InFlight int
+	// Workers is the pool's current target size.
+	Workers int
+	// BacklogETASeconds is the predictor-estimated total runtime of the
+	// queued jobs (the KB-driven signal); 0 when no estimates are available.
+	BacklogETASeconds float64
+	// SlackSeconds is the time remaining until the earliest deadline among
+	// queued jobs; <= 0 means no queued job carries a finite deadline.
+	SlackSeconds float64
+}
+
+// pressure is the load per worker the thresholds are compared against.
+func (s Signals) pressure() float64 {
+	w := s.Workers
+	if w < 1 {
+		w = 1
+	}
+	return float64(s.Queued+s.InFlight) / float64(w)
+}
+
+// Decision is one capacity change, kept as the autoscaler's telemetry
+// record: every decision carries the signals it was taken on.
+type Decision struct {
+	At     time.Time
+	From   int // workers before
+	Target int // workers decided
+	// Reason is the trigger: "backlog" (load above the scale-up threshold),
+	// "deadline" (predicted backlog completion busts the earliest queued
+	// deadline), "idle" (load below the scale-down threshold for the
+	// stability window), "floor"/"ceiling" (bound enforcement).
+	Reason  string
+	Signals Signals
+}
+
+// Controller is the deterministic scaling policy. It is not safe for
+// concurrent use; the owning service serialises Decide calls.
+type Controller struct {
+	cfg Config
+	// lastUp / lastDown stamp the most recent grow / shrink decisions for
+	// cooldown enforcement.
+	lastUp, lastDown time.Time
+	// lowSince marks when the load last dropped below the scale-down
+	// threshold; zero while the load is above it. A shrink needs the load to
+	// have been low continuously for cfg.ShrinkStableFor.
+	lowSince time.Time
+}
+
+// NewController validates the config (after applying defaults) and returns a
+// controller.
+func NewController(cfg Config) (*Controller, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	return &Controller{cfg: cfg.withDefaults()}, nil
+}
+
+// Config returns the defaulted configuration in force.
+func (c *Controller) Config() Config { return c.cfg }
+
+// Decide evaluates one observation and returns the capacity change to apply,
+// if any. The second return is false when the pool should stay as it is.
+func (c *Controller) Decide(sig Signals) (Decision, bool) {
+	// Bound enforcement first: a pool outside [Min, Max] (e.g. after a
+	// config change) is corrected immediately, ignoring cooldowns.
+	if sig.Workers < c.cfg.MinWorkers {
+		return c.take(sig, c.cfg.MinWorkers, "floor"), true
+	}
+	if sig.Workers > c.cfg.MaxWorkers {
+		return c.take(sig, c.cfg.MaxWorkers, "ceiling"), true
+	}
+
+	pressure := sig.pressure()
+
+	// Track the shrink-stability window regardless of what is decided: the
+	// moment the load rises above the scale-down threshold the window resets.
+	if pressure < c.cfg.ScaleDownPressure {
+		if c.lowSince.IsZero() {
+			c.lowSince = sig.Now
+		}
+	} else {
+		c.lowSince = time.Time{}
+	}
+
+	// Grow on queue pressure, or on deadline pressure: when the estimated
+	// backlog, spread over the current pool, cannot complete inside the
+	// earliest queued job's remaining slack, waiting for the pressure
+	// threshold would guarantee deadline misses.
+	deadlinePressed := sig.SlackSeconds > 0 && sig.Workers > 0 &&
+		sig.BacklogETASeconds/float64(sig.Workers) > sig.SlackSeconds
+	if sig.Workers < c.cfg.MaxWorkers && sig.Now.Sub(c.lastUp) >= c.cfg.ScaleUpCooldown {
+		switch {
+		case pressure > c.cfg.ScaleUpPressure:
+			// Target enough workers to bring the load back under the
+			// threshold, bounded by MaxStep and the ceiling.
+			want := int(math.Ceil(float64(sig.Queued+sig.InFlight) / c.cfg.ScaleUpPressure))
+			if want <= sig.Workers {
+				want = sig.Workers + 1
+			}
+			if want > sig.Workers+c.cfg.MaxStep {
+				want = sig.Workers + c.cfg.MaxStep
+			}
+			if want > c.cfg.MaxWorkers {
+				want = c.cfg.MaxWorkers
+			}
+			c.lastUp = sig.Now
+			return c.take(sig, want, "backlog"), true
+		case deadlinePressed:
+			want := sig.Workers + 1
+			if want > c.cfg.MaxWorkers {
+				want = c.cfg.MaxWorkers
+			}
+			c.lastUp = sig.Now
+			return c.take(sig, want, "deadline"), true
+		}
+	}
+
+	// Shrink one worker at a time, only after the load has been below the
+	// scale-down threshold for the full stability window and both cooldowns
+	// have elapsed (a shrink immediately after a grow is always a thrash).
+	if sig.Workers > c.cfg.MinWorkers &&
+		!c.lowSince.IsZero() && sig.Now.Sub(c.lowSince) >= c.cfg.ShrinkStableFor &&
+		sig.Now.Sub(c.lastDown) >= c.cfg.ScaleDownCooldown &&
+		sig.Now.Sub(c.lastUp) >= c.cfg.ScaleDownCooldown {
+		c.lastDown = sig.Now
+		// Restart the stability window so the next shrink waits again.
+		c.lowSince = sig.Now
+		return c.take(sig, sig.Workers-1, "idle"), true
+	}
+
+	return Decision{}, false
+}
+
+// take builds the decision record.
+func (c *Controller) take(sig Signals, target int, reason string) Decision {
+	return Decision{At: sig.Now, From: sig.Workers, Target: target, Reason: reason, Signals: sig}
+}

@@ -1,0 +1,209 @@
+package experiments
+
+import (
+	"context"
+	"fmt"
+	"sort"
+	"sync"
+	"time"
+
+	"disarcloud/internal/actuarial"
+	"disarcloud/internal/core"
+	"disarcloud/internal/elastic"
+	"disarcloud/internal/fund"
+	"disarcloud/internal/policy"
+	"disarcloud/internal/provision"
+	"disarcloud/internal/stochastic"
+)
+
+// PoolRunStats summarises one run of the bursty campaign workload on a
+// service: per-job latency quantiles (submission to terminal state), the
+// wall-clock span of the whole workload, and how the pool behaved.
+type PoolRunStats struct {
+	Jobs        int
+	P50         time.Duration
+	P95         time.Duration
+	Max         time.Duration
+	Wall        time.Duration
+	PeakWorkers int
+	// Decisions counts the autoscaler's scaling decisions (0 on a fixed pool).
+	Decisions int
+}
+
+// ElasticComparison is the fixed-pool versus elastic-pool record of the
+// bursty workload — the measurement behind the EXPERIMENTS.md entry.
+type ElasticComparison struct {
+	Fixed   PoolRunStats
+	Elastic PoolRunStats
+	// Events is the elastic run's scaling trace, oldest first.
+	Events []core.ScalingEvent
+}
+
+// elasticMarket is a small two-driver market so the burst jobs stay fast.
+func elasticMarket() stochastic.Config {
+	return stochastic.Config{
+		Horizon:      8,
+		StepsPerYear: 1,
+		Rate: stochastic.VasicekParams{
+			R0: 0.015, Speed: 0.25, MeanP: 0.03, MeanQ: 0.025, Sigma: 0.009,
+		},
+		Equities: []stochastic.GBMParams{{S0: 100, Mu: 0.06, Sigma: 0.18}},
+		Credit:   stochastic.CIRParams{L0: 0.008, Speed: 0.5, Mean: 0.012, Sigma: 0.03},
+	}
+}
+
+// elasticBaseSpec is one campaign's base valuation: small enough that a
+// burst of three campaigns (24 jobs) completes in seconds, big enough that
+// a two-worker pool visibly queues.
+func elasticBaseSpec(seed uint64) core.SimulationSpec {
+	market := elasticMarket()
+	return core.SimulationSpec{
+		Portfolio: &policy.Portfolio{Name: fmt.Sprintf("burst-%d", seed), Contracts: []policy.Contract{
+			{Kind: policy.Endowment, Age: 45, Gender: actuarial.Male, Term: 8,
+				InsuredSum: 10000, Beta: 0.8, TechnicalRate: 0.02, Count: 40},
+			{Kind: policy.TermInsurance, Age: 40, Gender: actuarial.Female, Term: 8,
+				InsuredSum: 20000, Beta: 0.8, TechnicalRate: 0.01, Count: 25},
+		}},
+		Fund:        fund.TypicalItalianFund(4, market),
+		Market:      market,
+		Outer:       80,
+		Inner:       4,
+		Constraints: provision.Constraints{TmaxSeconds: 3600, MaxNodes: 4, Epsilon: 0},
+		MaxWorkers:  2,
+		Seed:        seed,
+		// Restore the remote-execution wall-clock occupancy the virtual-time
+		// cloud erases (tens of ms per job), so the pool — not the local CPU —
+		// is what the burst saturates. See SimulationSpec.PaceFactor.
+		PaceFactor: 3e-4,
+	}
+}
+
+// BurstCampaigns is the workload size of the elastic comparison: three
+// standard-formula campaigns of eight jobs each, submitted back to back.
+const BurstCampaigns = 3
+
+// RunElasticComparison drives the same bursty three-campaign workload twice
+// over fresh deployers rooted at seed: once on a fixed pool of initialWorkers
+// and once on an elastic pool breathing between initialWorkers and
+// maxWorkers. Valuation results are identical across the two runs (same
+// seeds, and the scheduler never alters results, only ordering); what
+// differs is latency, which is the point.
+func RunElasticComparison(seed uint64, initialWorkers, maxWorkers int) (*ElasticComparison, error) {
+	fixed, _, err := runBurstWorkload(seed, initialWorkers, 0)
+	if err != nil {
+		return nil, fmt.Errorf("experiments: fixed-pool run: %w", err)
+	}
+	elasticStats, events, err := runBurstWorkload(seed, initialWorkers, maxWorkers)
+	if err != nil {
+		return nil, fmt.Errorf("experiments: elastic run: %w", err)
+	}
+	return &ElasticComparison{Fixed: *fixed, Elastic: *elasticStats, Events: events}, nil
+}
+
+// runBurstWorkload submits BurstCampaigns standard-formula campaigns back to
+// back and waits for them all. maxWorkers 0 keeps the pool fixed; otherwise
+// the elastic controller may grow it to maxWorkers, with short cooldowns so
+// the burst (not the clock) dominates the measurement.
+func runBurstWorkload(seed uint64, workers, maxWorkers int) (*PoolRunStats, []core.ScalingEvent, error) {
+	d, err := core.NewDeployer(seed)
+	if err != nil {
+		return nil, nil, err
+	}
+	opts := []core.ServiceOption{core.WithWorkers(workers), core.WithQueueDepth(256)}
+	if maxWorkers > 0 {
+		opts = append(opts,
+			core.WithElastic(elastic.Config{
+				MinWorkers:        workers,
+				MaxWorkers:        maxWorkers,
+				ScaleUpCooldown:   2 * time.Millisecond,
+				ScaleDownCooldown: 300 * time.Millisecond,
+				ShrinkStableFor:   200 * time.Millisecond,
+				MaxStep:           2,
+			}),
+			core.WithElasticTick(2*time.Millisecond),
+		)
+	}
+	svc, err := core.NewService(d, opts...)
+	if err != nil {
+		return nil, nil, err
+	}
+	defer svc.Close()
+
+	// Record the scaling trace and the peak pool while the burst runs.
+	events, unsub := svc.AutoscalerEvents(256)
+	var trace []core.ScalingEvent
+	var traceWG sync.WaitGroup
+	traceWG.Add(1)
+	go func() {
+		defer traceWG.Done()
+		for ev := range events {
+			trace = append(trace, ev)
+		}
+	}()
+
+	ctx := context.Background()
+	start := time.Now()
+	ids := make([]core.CampaignID, 0, BurstCampaigns)
+	for c := 0; c < BurstCampaigns; c++ {
+		id, err := svc.SubmitCampaign(ctx, core.CampaignSpec{
+			Base: elasticBaseSpec(seed + uint64(c)*101),
+		})
+		if err != nil {
+			return nil, nil, err
+		}
+		ids = append(ids, id)
+	}
+	for _, id := range ids {
+		if _, err := svc.CampaignResult(ctx, id); err != nil {
+			return nil, nil, err
+		}
+	}
+	wall := time.Since(start)
+
+	// On the elastic run, linger past the burst so the scale-down half of
+	// the breathing (idle decisions back towards the floor) lands in the
+	// trace too; the latency figures above are already settled.
+	if maxWorkers > 0 {
+		idleDeadline := time.Now().Add(2 * time.Second)
+		for svc.Workers() > workers && time.Now().Before(idleDeadline) {
+			time.Sleep(10 * time.Millisecond)
+		}
+	}
+
+	var latencies []time.Duration
+	for _, snap := range svc.Jobs() {
+		if snap.FinishedAt.IsZero() {
+			return nil, nil, fmt.Errorf("experiments: job %s not terminal after campaign results", snap.ID)
+		}
+		latencies = append(latencies, snap.FinishedAt.Sub(snap.SubmittedAt))
+	}
+	sort.Slice(latencies, func(i, j int) bool { return latencies[i] < latencies[j] })
+
+	unsub()
+	traceWG.Wait()
+	peak := workers
+	for _, ev := range trace {
+		if ev.Target > peak {
+			peak = ev.Target
+		}
+	}
+	stats := &PoolRunStats{
+		Jobs:        len(latencies),
+		P50:         quantile(latencies, 0.50),
+		P95:         quantile(latencies, 0.95),
+		Max:         latencies[len(latencies)-1],
+		Wall:        wall,
+		PeakWorkers: peak,
+		Decisions:   len(trace),
+	}
+	return stats, trace, nil
+}
+
+// quantile returns the q-th latency by nearest-rank on the sorted slice.
+func quantile(sorted []time.Duration, q float64) time.Duration {
+	if len(sorted) == 0 {
+		return 0
+	}
+	i := int(q * float64(len(sorted)-1))
+	return sorted[i]
+}

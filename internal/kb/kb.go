@@ -62,6 +62,23 @@ func (k *KB) Add(s Sample) error {
 	return nil
 }
 
+// Remove deletes the most recently added sample equal to s and reports
+// whether one was found. It exists for the panic path of a deployed
+// valuation: the execution-time sample of a job that subsequently crashed
+// must be recorded back out of the knowledge base, or the predictors train
+// on the timing of a computation that never produced a result.
+func (k *KB) Remove(s Sample) bool {
+	k.mu.Lock()
+	defer k.mu.Unlock()
+	for i := len(k.samples) - 1; i >= 0; i-- {
+		if k.samples[i] == s {
+			k.samples = append(k.samples[:i], k.samples[i+1:]...)
+			return true
+		}
+	}
+	return false
+}
+
 // Len returns the number of stored samples.
 func (k *KB) Len() int {
 	k.mu.RLock()

@@ -83,6 +83,16 @@ func (p *EnsemblePredictor) RetrainArchitecture(k *kb.KB, arch string) error {
 	return nil
 }
 
+// Drop discards the architecture's model suite, returning it to the
+// untrained state. Used when knowledge-base samples are retracted (e.g. a
+// panicked run) and the remainder falls below the training threshold — a
+// stale suite trained on retracted data must not keep predicting.
+func (p *EnsemblePredictor) Drop(architecture string) {
+	p.mu.Lock()
+	delete(p.suites, architecture)
+	p.mu.Unlock()
+}
+
 // Trained reports whether the architecture has a usable model suite.
 func (p *EnsemblePredictor) Trained(architecture string) bool {
 	p.mu.RLock()

@@ -1,0 +1,160 @@
+package stochastic
+
+import (
+	"math"
+	"testing"
+
+	"disarcloud/internal/finmath"
+)
+
+// corrFromBytes decodes an n-by-n candidate correlation matrix from fuzz
+// bytes: the strictly-lower-triangle entries come from the bytes (mapped
+// into [-1.27, 1.27], deliberately allowing inadmissible magnitudes), the
+// matrix is mirrored symmetric, and the diagonal is 1 unless the first byte
+// asks for a corrupted diagonal — Validate must catch all of it.
+func corrFromBytes(n int, data []byte) *finmath.Matrix {
+	m := finmath.Identity(n)
+	k := 1
+	at := func() float64 {
+		if len(data) == 0 {
+			return 0
+		}
+		b := data[k%len(data)]
+		k++
+		return (float64(b) - 127.5) / 100
+	}
+	for i := 0; i < n; i++ {
+		for j := 0; j < i; j++ {
+			v := at()
+			m.Set(i, j, v)
+			m.Set(j, i, v)
+		}
+	}
+	if len(data) > 0 && data[0]%5 == 0 {
+		m.Set(0, 0, at()) // corrupt a diagonal entry
+	}
+	if len(data) > 0 && data[0]%7 == 0 && n > 1 {
+		m.Set(1, 0, at()) // break symmetry
+	}
+	return m
+}
+
+// FuzzConfigValidate drives arbitrary model parameters and correlation
+// structures through Config.Validate, and — whenever Validate accepts —
+// insists the generator actually works: construction succeeds (Validate
+// must subsume the Cholesky admissibility check, not defer it) and one
+// generated scenario has the promised shape under both measures. This is
+// one of the two places malformed input reaches deepest: an inadmissible
+// matrix that slips through Validate surfaces as a panic or a late
+// construction failure inside a valuation worker.
+func FuzzConfigValidate(f *testing.F) {
+	f.Add(10, 1, 0.015, 0.25, 0.03, 0.025, 0.009, 0.18, 0.08, true, []byte{})
+	f.Add(10, 1, 0.015, 0.25, 0.03, 0.025, 0.009, 0.18, 0.08, true, []byte{40, 60, 80, 100})
+	f.Add(1, 12, -0.01, 1.5, 0.0, 0.0, 0.5, 0.9, 0.4, false, []byte{0, 255, 127, 128, 1})
+	f.Add(50, 4, 0.1, 0.01, 0.2, 0.2, 0.0, 0.0, 0.0, true, []byte{7, 7, 7, 7, 7, 7, 7, 7})
+	f.Add(-3, 0, math.NaN(), -1.0, math.Inf(1), 0.0, -0.5, -1.0, 2.0, false, []byte{250, 3})
+	f.Add(3, 2, 0.02, 0.3, 0.03, 0.02, 0.01, 0.2, 0.1, true, []byte{35, 200, 90, 14, 61, 220, 5})
+
+	f.Fuzz(func(t *testing.T, horizon, stepsPerYear int,
+		r0, speed, meanP, meanQ, rateSigma, eqSigma, fxSigma float64,
+		withCorr bool, corrBytes []byte) {
+
+		cfg := Config{
+			Horizon:      horizon,
+			StepsPerYear: stepsPerYear,
+			Rate:         VasicekParams{R0: r0, Speed: speed, MeanP: meanP, MeanQ: meanQ, Sigma: rateSigma},
+			Equities:     []GBMParams{{S0: 100, Mu: 0.06, Sigma: eqSigma}},
+			Currencies:   []GBMParams{{S0: 1.1, Mu: 0.01, Sigma: fxSigma}},
+			Credit:       CIRParams{L0: 0.008, Speed: 0.5, Mean: 0.012, Sigma: 0.03},
+		}
+		if withCorr {
+			cfg.Corr = corrFromBytes(cfg.NumFactors(), corrBytes)
+		}
+		if err := cfg.Validate(); err != nil {
+			return // rejected cleanly; that is the contract
+		}
+		// Accepted: the generator must construct and generate without
+		// panicking, on a bounded grid so the fuzzer stays fast.
+		if horizon*stepsPerYear > 1<<12 {
+			return
+		}
+		gen, err := NewGenerator(cfg)
+		if err != nil {
+			t.Fatalf("Validate accepted a config NewGenerator rejects: %v", err)
+		}
+		for _, m := range []Measure{RealWorld, RiskNeutral} {
+			sc := gen.Generate(finmath.NewRNG(42), m)
+			if want := horizon * stepsPerYear; sc.Steps() != want {
+				t.Fatalf("scenario has %d steps, config promises %d", sc.Steps(), want)
+			}
+			if len(sc.Equities) != 1 || len(sc.Currencies) != 1 {
+				t.Fatalf("scenario driver counts %d/%d, want 1/1",
+					len(sc.Equities), len(sc.Currencies))
+			}
+			for _, r := range sc.Rates {
+				if math.IsNaN(r) {
+					t.Fatal("NaN short rate from an accepted config")
+				}
+			}
+		}
+	})
+}
+
+// FuzzTransformDerive pushes arbitrary shock parameters through the exact
+// pathwise derivation: any transform the validator accepts must derive a
+// scenario of identical shape with no NaNs introduced on a healthy base
+// path.
+func FuzzTransformDerive(f *testing.F) {
+	f.Add(0.01, 1.2, 0.8, 1.0)
+	f.Add(-0.015, 1.0, 1.0, 1.0)
+	f.Add(0.0, 0.61, 1.0, 1.39)
+	f.Add(math.Inf(1), -1.0, 0.0, math.NaN())
+
+	cfg := Config{
+		Horizon:      5,
+		StepsPerYear: 2,
+		Rate:         VasicekParams{R0: 0.015, Speed: 0.25, MeanP: 0.03, MeanQ: 0.025, Sigma: 0.009},
+		Equities:     []GBMParams{{S0: 100, Mu: 0.06, Sigma: 0.18}},
+		Currencies:   []GBMParams{{S0: 1.1, Mu: 0.01, Sigma: 0.08}},
+		Credit:       CIRParams{L0: 0.008, Speed: 0.5, Mean: 0.012, Sigma: 0.03},
+	}
+	gen, err := NewGenerator(cfg)
+	if err != nil {
+		f.Fatal(err)
+	}
+	base := gen.Generate(finmath.NewRNG(7), RealWorld)
+
+	f.Fuzz(func(t *testing.T, rateShift, equityFactor, fxFactor, creditFactor float64) {
+		tr := Transform{
+			RateShift: rateShift, EquityFactor: equityFactor,
+			CurrencyFactor: fxFactor, CreditFactor: creditFactor,
+		}
+		if err := tr.Validate(); err != nil {
+			// Outside the admissible shock space; the pathwise derivation's
+			// behaviour is only specified for shocks a module could carry.
+			return
+		}
+		for _, sc := range []*Scenario{tr.ApplyOuter(base), tr.ApplyInner(base)} {
+			if sc.Steps() != base.Steps() {
+				t.Fatalf("derived scenario has %d steps, base %d", sc.Steps(), base.Steps())
+			}
+			for _, r := range sc.Rates {
+				if math.IsNaN(r) {
+					t.Fatal("NaN rate in derived scenario")
+				}
+			}
+			for _, eq := range sc.Equities {
+				for _, v := range eq {
+					if math.IsNaN(v) {
+						t.Fatal("NaN equity in derived scenario")
+					}
+				}
+			}
+			for _, c := range sc.Credit {
+				if math.IsNaN(c) {
+					t.Fatal("NaN credit intensity in derived scenario")
+				}
+			}
+		}
+	})
+}
