@@ -198,14 +198,37 @@ func submitStatus(w http.ResponseWriter, err error) int {
 		// Deadline-aware admission rejection: the backlog cannot drain in
 		// time for this job's Tmax. Tell the client when to retry — the
 		// estimated backlog drain time, rounded up to a whole second.
-		retry := int(math.Ceil(adm.RetryAfterSeconds))
-		if retry < 1 {
-			retry = 1
-		}
-		w.Header().Set("Retry-After", strconv.Itoa(retry))
+		w.Header().Set("Retry-After", strconv.Itoa(retryAfterSeconds(adm.RetryAfterSeconds)))
 		status = http.StatusServiceUnavailable
 	}
 	return status
+}
+
+// maxRetryAfterSeconds caps the Retry-After header at one day: past that,
+// the estimate is telling the client "much later", and a ceiling keeps a
+// degenerate huge-but-finite prediction from overflowing the int
+// conversion (implementation-defined, negative on amd64 — which clients
+// read as retry-immediately).
+const maxRetryAfterSeconds = 86400
+
+// retryAfterSeconds maps a backlog-drain estimate onto the whole-second
+// Retry-After header value. The clamps are load-bearing: a zero or
+// sub-second estimate must round UP to 1 — `Retry-After: 0` tells clients
+// to hammer the endpoint immediately, turning backpressure into a retry
+// storm — and an absurd estimate must cap, not overflow. The comparisons
+// are written so NaN (int conversion of which is platform-defined) and
+// negative estimates land on the 1-second floor, while +Inf lands on the
+// one-day cap.
+func retryAfterSeconds(estimate float64) int {
+	ceil := math.Ceil(estimate)
+	switch {
+	case ceil >= maxRetryAfterSeconds: // also catches +Inf
+		return maxRetryAfterSeconds
+	case ceil > 1:
+		return int(ceil)
+	default: // <=1, negative, NaN
+		return 1
+	}
 }
 
 type jobStatusJSON struct {

@@ -4,6 +4,7 @@ import (
 	"bytes"
 	"encoding/json"
 	"fmt"
+	"math"
 	"net/http"
 	"net/http/httptest"
 	"strings"
@@ -394,4 +395,60 @@ func TestServerAssignsDistinctDefaultSeeds(t *testing.T) {
 		t.Fatalf("default-seeded jobs share a stream: BEL %v == %v", bels[0], bels[1])
 	}
 	_ = svc
+}
+
+// TestRetryAfterClamp pins the Retry-After boundary arithmetic: a zero,
+// sub-second, negative or non-finite backlog estimate must never emit
+// `Retry-After: 0` (an invitation to hammer the endpoint immediately), and
+// whole-second estimates round up, not down.
+func TestRetryAfterClamp(t *testing.T) {
+	cases := []struct {
+		estimate float64
+		want     int
+	}{
+		{0, 1},
+		{0.2, 1},
+		{0.999, 1},
+		{1, 1},
+		{1.01, 2},
+		{3.2, 4},
+		{120, 120},
+		{86399, 86399},
+		{86400, 86400},
+		{1e19, 86400}, // finite overflow: int(1e19) would go negative on amd64
+		{-5, 1},
+		{math.NaN(), 1},
+		{math.Inf(1), 86400},
+		{math.Inf(-1), 1},
+	}
+	for _, tc := range cases {
+		if got := retryAfterSeconds(tc.estimate); got != tc.want {
+			t.Errorf("retryAfterSeconds(%v) = %d, want %d", tc.estimate, got, tc.want)
+		}
+	}
+}
+
+// TestSubmitStatusAdmissionHeaders checks the full status mapping around
+// the clamp: congestion rejections carry 503 plus a >=1 Retry-After, while
+// infeasible jobs get 400 with no retry hint (retrying cannot help).
+func TestSubmitStatusAdmissionHeaders(t *testing.T) {
+	rec := httptest.NewRecorder()
+	err := fmt.Errorf("wrapped: %w", &disarcloud.AdmissionError{
+		PredictedSeconds: 30, TmaxSeconds: 25, RetryAfterSeconds: 0,
+	})
+	if status := submitStatus(rec, err); status != http.StatusServiceUnavailable {
+		t.Fatalf("congestion rejection mapped to %d, want 503", status)
+	}
+	if got := rec.Header().Get("Retry-After"); got != "1" {
+		t.Fatalf("zero-estimate rejection got Retry-After %q, want \"1\"", got)
+	}
+
+	rec = httptest.NewRecorder()
+	err = &disarcloud.AdmissionError{PredictedSeconds: 50, TmaxSeconds: 25, Infeasible: true}
+	if status := submitStatus(rec, err); status != http.StatusBadRequest {
+		t.Fatalf("infeasible rejection mapped to %d, want 400", status)
+	}
+	if got := rec.Header().Get("Retry-After"); got != "" {
+		t.Fatalf("infeasible rejection carries Retry-After %q; retrying is pointless", got)
+	}
 }

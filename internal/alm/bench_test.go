@@ -32,6 +32,33 @@ func benchBlock(b *testing.B, outer, inner int) *eeb.Block {
 	return blk
 }
 
+// BenchmarkValuationHotPath measures the scenario-generation + portfolio-
+// revaluation inner loop end to end: a fixed range of outer paths, each with
+// its inner risk-neutral bundle, through the same OuterSlice entry point the
+// distributed grid engine drives. This is THE hot path the elastic
+// provisioner buys VM-hours for; BENCH_pr4.json pins its ns/op and allocs/op
+// and CI fails on >20% regression (TestValuationHotPathBenchSmoke).
+func BenchmarkValuationHotPath(b *testing.B) {
+	v, err := NewValuer(benchBlock(b, hotPathOuter, hotPathInner), 1)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := v.OuterSlice(0, hotPathOuter); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// hotPathOuter/hotPathInner fix the BenchmarkValuationHotPath workload so
+// committed baselines stay comparable across runs.
+const (
+	hotPathOuter = 64
+	hotPathInner = 20
+)
+
 // BenchmarkNestedOuterPath measures one outer scenario with its inner
 // risk-neutral bundle — the unit of distributed work.
 func BenchmarkNestedOuterPath(b *testing.B) {

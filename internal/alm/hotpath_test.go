@@ -1,0 +1,164 @@
+package alm
+
+import (
+	"context"
+	"testing"
+
+	"disarcloud/internal/actuarial"
+	"disarcloud/internal/eeb"
+	"disarcloud/internal/fund"
+	"disarcloud/internal/policy"
+	"disarcloud/internal/stochastic"
+)
+
+// opaqueSource hides the concrete source type so the valuer cannot batch —
+// forcing the scalar fallback over the exact same per-index path streams.
+type opaqueSource struct{ base stochastic.Source }
+
+func (o opaqueSource) Outer(i int) *stochastic.Scenario { return o.base.Outer(i) }
+func (o opaqueSource) Inner(i, j int, outer *stochastic.Scenario, year float64) *stochastic.Scenario {
+	return o.base.Inner(i, j, outer, year)
+}
+
+func hotPathBlock(t *testing.T, scenarios stochastic.Source) *eeb.Block {
+	t.Helper()
+	market := stochasticMarket(18)
+	// A second equity index and a currency so foreign sleeves and every
+	// driver panel get exercised.
+	market.Equities = append(market.Equities, stochastic.GBMParams{S0: 70, Mu: 0.05, Sigma: 0.22})
+	market.Currencies = []stochastic.GBMParams{{S0: 1.1, Mu: 0.01, Sigma: 0.08}}
+	contracts := []policy.Contract{
+		{Kind: policy.Endowment, Age: 45, Gender: actuarial.Male, Term: 15,
+			InsuredSum: 10000, Beta: 0.8, TechnicalRate: 0.02, Count: 100},
+		{Kind: policy.Annuity, Age: 62, Gender: actuarial.Female, Term: 18,
+			InsuredSum: 1200, Beta: 0.75, TechnicalRate: 0.0, Count: 50},
+		{Kind: policy.PureEndowment, Age: 50, Gender: actuarial.Female, Term: 12,
+			InsuredSum: 20000, Beta: 0.85, TechnicalRate: 0.01, Count: 30,
+			Penalty: 0.05, PenaltyYears: 5},
+	}
+	f := fund.TypicalItalianFund(5, market)
+	// Denominate one sleeve in the foreign currency to cover the FX carry.
+	f.Assets[1].Currency = 1
+	blk := &eeb.Block{
+		ID: "hot/B1", Type: eeb.ALMValuation,
+		Portfolio: &policy.Portfolio{Name: "hot", Contracts: contracts},
+		Fund:      f, Market: market,
+		Outer: 40, Inner: 7,
+		Scenarios: scenarios,
+	}
+	if err := blk.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	return blk
+}
+
+// TestBatchedHotPathMatchesScalarFallback is the bit-identity contract of
+// the whole re-layout: the batched, pooled, panel-backed hot loop must
+// produce exactly the numbers the one-path-at-a-time fallback produces on
+// the same seed — for the plain source, and for a shocked derived view.
+func TestBatchedHotPathMatchesScalarFallback(t *testing.T) {
+	const seed = 2024
+	run := func(t *testing.T, scenarios stochastic.Source) *Result {
+		t.Helper()
+		v, err := NewValuer(hotPathBlock(t, scenarios), seed)
+		if err != nil {
+			t.Fatal(err)
+		}
+		res, err := v.ValueNested()
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res
+	}
+
+	compare := func(t *testing.T, batched, scalar *Result) {
+		t.Helper()
+		if batched.BEL != scalar.BEL || batched.SCR != scalar.SCR || batched.StdErr != scalar.StdErr {
+			t.Fatalf("aggregates drifted: batched BEL=%v SCR=%v, scalar BEL=%v SCR=%v",
+				batched.BEL, batched.SCR, scalar.BEL, scalar.SCR)
+		}
+		for i := range scalar.Y1 {
+			if batched.Y1[i] != scalar.Y1[i] {
+				t.Fatalf("Y1[%d] drifted: %v != %v", i, batched.Y1[i], scalar.Y1[i])
+			}
+			if batched.DiscountedY1[i] != scalar.DiscountedY1[i] {
+				t.Fatalf("DiscountedY1[%d] drifted", i)
+			}
+		}
+	}
+
+	t.Run("plain source", func(t *testing.T) {
+		// nil Scenarios -> PathSource (batched); opaque wrapper -> scalar.
+		batched := run(t, nil)
+		gen, err := stochastic.NewGenerator(hotPathBlock(t, nil).Market)
+		if err != nil {
+			t.Fatal(err)
+		}
+		scalar := run(t, opaqueSource{stochastic.NewPathSource(gen, seed)})
+		compare(t, batched, scalar)
+	})
+
+	t.Run("derived shocked view", func(t *testing.T) {
+		gen, err := stochastic.NewGenerator(hotPathBlock(t, nil).Market)
+		if err != nil {
+			t.Fatal(err)
+		}
+		tr := stochastic.Transform{RateShift: 0.01, EquityFactor: 0.61, CurrencyFactor: 0.75, CreditFactor: 1.75}
+		batched := run(t, stochastic.Derived(stochastic.NewSet(gen, seed), tr))
+		scalar := run(t, opaqueSource{stochastic.Derived(stochastic.NewSet(gen, seed), tr)})
+		compare(t, batched, scalar)
+	})
+}
+
+// TestValueRangeCancellation checks the batched walk still honours
+// cancellation between outer paths.
+func TestValueRangeCancellation(t *testing.T) {
+	v, err := NewValuer(hotPathBlock(t, nil), 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	n := 0
+	_, err = v.ValueRange(ctx, 0, 40, func() {
+		n++
+		if n == 3 {
+			cancel()
+		}
+	})
+	if err != context.Canceled {
+		t.Fatalf("cancelled walk returned %v, want context.Canceled", err)
+	}
+	if n != 3 {
+		t.Fatalf("walk continued %d paths past cancellation", n-3)
+	}
+}
+
+// TestValueRangePartitionInvariance re-checks the engine's partition
+// contract through the batched path: slicing the outer range arbitrarily
+// (including slices misaligned with the panel capacity) yields bit-identical
+// values to the full walk.
+func TestValueRangePartitionInvariance(t *testing.T) {
+	v, err := NewValuer(hotPathBlock(t, nil), 99)
+	if err != nil {
+		t.Fatal(err)
+	}
+	full, err := v.OuterSlice(0, 40)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, cuts := range [][]int{{0, 40}, {0, 1, 40}, {0, 7, 9, 23, 40}, {0, 5, 10, 15, 20, 25, 30, 35, 40}} {
+		var got []float64
+		for c := 0; c+1 < len(cuts); c++ {
+			part, err := v.OuterSlice(cuts[c], cuts[c+1])
+			if err != nil {
+				t.Fatal(err)
+			}
+			got = append(got, part...)
+		}
+		for i := range full {
+			if got[i] != full[i] {
+				t.Fatalf("partition %v drifted at outer %d: %v != %v", cuts, i, got[i], full[i])
+			}
+		}
+	}
+}

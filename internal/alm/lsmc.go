@@ -82,15 +82,15 @@ func (v *Valuer) CalibrateProxy(spec LSMCSpec) (*Proxy, error) {
 	n := spec.CalibOuter
 	feats := make([][]float64, n)
 	targets := make([]float64, n)
-	for i := 0; i < n; i++ {
-		outer := v.GenerateOuter(i)
-		feats[i] = v.Features(outer)
-		sum := 0.0
-		for j := 0; j < spec.CalibInner; j++ {
-			inner := v.src.Inner(i, j, outer.Scenario, 1)
-			sum += v.presentValue(outer.FundReturn, inner)
-		}
-		targets[i] = sum / float64(spec.CalibInner)
+	sc := v.newScratch()
+	err := v.forEachOuter(0, n, sc, func(i int, st OuterState) error {
+		feats[i] = v.Features(st)
+		targets[i] = v.valueOuter(i, spec.CalibInner, st, sc)
+		return nil
+	})
+	sc.release()
+	if err != nil {
+		return nil, err
 	}
 
 	// Standardise features for a well-conditioned Hermite design.
@@ -142,10 +142,15 @@ func (v *Valuer) ValueLSMC(spec LSMCSpec) (*Result, error) {
 	n := v.block.Outer
 	y1 := make([]float64, n)
 	discounted := make([]float64, n)
-	for i := 0; i < n; i++ {
-		outer := v.GenerateOuter(i)
-		y1[i] = proxy.Evaluate(v.Features(outer))
-		discounted[i] = outer.Discount * y1[i]
+	sc := v.newScratch()
+	defer sc.release()
+	err = v.forEachOuter(0, n, sc, func(i int, st OuterState) error {
+		y1[i] = proxy.Evaluate(v.Features(st))
+		discounted[i] = st.Discount * y1[i]
+		return nil
+	})
+	if err != nil {
+		return nil, err
 	}
 	return summarize(y1, discounted, "lsmc"), nil
 }

@@ -53,15 +53,20 @@ func (v *Valuer) ValueNested() (*Result, error) {
 
 // Assemble turns gathered per-outer-path Y1 values (for the complete range
 // [0, block.Outer), in order) into a Result. It is used by the distributed
-// driver after collecting OuterSlice results from the computing nodes.
+// driver after collecting ValueRange results from the computing nodes.
 func (v *Valuer) Assemble(y1 []float64) (*Result, error) {
 	if len(y1) != v.block.Outer {
 		return nil, fmt.Errorf("alm: assembled %d outer values, want %d", len(y1), v.block.Outer)
 	}
 	discounted := make([]float64, len(y1))
-	for i, y := range y1 {
-		outer := v.GenerateOuter(i)
-		discounted[i] = outer.Discount * y
+	sc := v.newScratch()
+	defer sc.release()
+	err := v.forEachOuter(0, len(y1), sc, func(i int, st OuterState) error {
+		discounted[i] = st.Discount * y1[i]
+		return nil
+	})
+	if err != nil {
+		return nil, err
 	}
 	return summarize(y1, discounted, "nested"), nil
 }

@@ -61,7 +61,11 @@ func NewValuerWithAssumptions(b *eeb.Block, seed uint64, assume Assumptions) (*V
 	if src == nil {
 		src = stochastic.NewPathSource(gen, seed)
 	}
-	v := &Valuer{block: b, src: src, fund: fd, seed: seed}
+	pool := b.Buffers
+	if pool == nil {
+		pool = stochastic.SharedBatchPool()
+	}
+	v := &Valuer{block: b, src: src, fund: fd, seed: seed, pool: pool, maxTerm: b.Portfolio.MaxTerm()}
 	lapse := assume.lapse()
 	if f := b.Biometric.LapseScale(); f != 1 {
 		lapse = actuarial.LapseStress{Base: lapse, Factor: f}

@@ -20,6 +20,7 @@ import (
 	"disarcloud/internal/finmath"
 	"disarcloud/internal/kb"
 	"disarcloud/internal/provision"
+	"disarcloud/internal/stochastic"
 )
 
 // ErrDegenerateMeasurement is returned when the (simulated) cloud reports a
@@ -52,6 +53,11 @@ type Deployer struct {
 	rng          *finmath.RNG
 	catalog      []cloud.InstanceType
 	retrainEvery int
+
+	// buffers is the scenario-panel pool shared by every valuation this
+	// deployer runs: concurrent jobs of one service recycle the same panels
+	// instead of allocating their own.
+	buffers *stochastic.BatchPool
 
 	// mu serialises the deploy loop (selection randomness, cloud noise,
 	// knowledge-base record, retrain).
@@ -128,6 +134,7 @@ func NewDeployer(seed uint64, opts ...Option) (*Deployer, error) {
 		rng:          rng,
 		catalog:      cfg.catalog,
 		retrainEvery: cfg.retrainEvery,
+		buffers:      stochastic.NewBatchPool(),
 	}
 	if d.kb.Len() > 0 {
 		if err := d.pred.Retrain(d.kb); err != nil {

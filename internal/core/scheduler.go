@@ -113,7 +113,17 @@ func (s *scheduler) push(j *job, admission bool) error {
 	if len(s.heap) >= s.capacity {
 		return errQueueFull(s.capacity)
 	}
+	// A non-finite estimate would poison the queuedETA/runningETA sums for
+	// every later admission decision (Inf enters the sum, and Inf - Inf on
+	// completion leaves NaN behind permanently); treat it as "no estimate".
+	if math.IsNaN(j.etaSeconds) || math.IsInf(j.etaSeconds, 0) {
+		j.etaSeconds = 0
+	}
 	if admission && j.etaSeconds > 0 && j.deadline.Before(noDeadline) {
+		// Guard the divisor: during a shrink-to-zero drain, or before the
+		// pool's first workers spawn, targetWorkers is 0 and the backlog
+		// wait would come out +Inf/NaN — poisoning the Retry-After math the
+		// HTTP front end serves. Price the backlog as if one worker existed.
 		workers := s.targetWorkers
 		if workers < 1 {
 			workers = 1

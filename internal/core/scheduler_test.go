@@ -4,6 +4,7 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"math"
 	"testing"
 	"time"
 )
@@ -134,6 +135,69 @@ func TestSchedulerAdmission(t *testing.T) {
 	// Admission disabled ignores the arithmetic entirely.
 	if err := s.push(rawJob(9, t0, 1, 1000), false); err != nil {
 		t.Fatalf("no-admission push = %v, want nil", err)
+	}
+}
+
+// TestSchedulerAdmissionZeroWorkers: backlog-ETA arithmetic must stay
+// finite when the pool target is 0 — a shrink-to-zero drain, or a push
+// racing the pool's first spawn. An unguarded division would hand the HTTP
+// front end a +Inf/NaN Retry-After.
+func TestSchedulerAdmissionZeroWorkers(t *testing.T) {
+	s := newScheduler(16, 0) // zero-worker pool
+	t0 := time.Unix(7000, 0)
+	// Backlog: 2 queued jobs of 10s each. With workers clamped to 1 the
+	// wait is 20s; without the clamp it would be 20/0 = +Inf.
+	for seq := uint64(1); seq <= 2; seq++ {
+		if err := s.push(rawJob(seq, t0, 3600, 10), true); err != nil {
+			t.Fatal(err)
+		}
+	}
+	err := s.push(rawJob(3, t0, 25, 10), true)
+	var adm *AdmissionError
+	if !errors.As(err, &adm) {
+		t.Fatalf("over-deadline push on a drained pool = %v, want *AdmissionError", err)
+	}
+	if math.IsNaN(adm.RetryAfterSeconds) || math.IsInf(adm.RetryAfterSeconds, 0) {
+		t.Fatalf("Retry-After = %v with zero workers; backlog wait must stay finite", adm.RetryAfterSeconds)
+	}
+	if math.IsNaN(adm.PredictedSeconds) || math.IsInf(adm.PredictedSeconds, 0) {
+		t.Fatalf("predicted completion = %v with zero workers", adm.PredictedSeconds)
+	}
+	if adm.RetryAfterSeconds != 20 || adm.PredictedSeconds != 30 {
+		t.Fatalf("zero-worker admission numbers = %+v, want retry 20 / predicted 30 (1-worker pricing)", adm)
+	}
+}
+
+// TestSchedulerNonFiniteETA: a NaN/Inf runtime estimate must not enter the
+// backlog sums — Inf would reject everything behind it, and Inf - Inf on
+// completion would leave the running sum NaN forever.
+func TestSchedulerNonFiniteETA(t *testing.T) {
+	s := newScheduler(16, 1)
+	s.liveWorkers = 1
+	t0 := time.Unix(8000, 0)
+	for seq, eta := range map[uint64]float64{1: math.Inf(1), 2: math.NaN()} {
+		if err := s.push(rawJob(seq, t0, 3600, eta), true); err != nil {
+			t.Fatalf("push with eta=%v rejected: %v", eta, err)
+		}
+	}
+	// Drain both through the worker path so queued -> running -> done runs.
+	for k := 0; k < 2; k++ {
+		j, ok := s.pop()
+		if !ok {
+			t.Fatal("worker told to exit mid-drain")
+		}
+		s.done(j)
+	}
+	st := s.stats()
+	if st.QueuedETA != 0 || st.RunningETA != 0 {
+		t.Fatalf("ETA sums poisoned: queued=%v running=%v, want 0/0", st.QueuedETA, st.RunningETA)
+	}
+	// A later well-estimated job must still be priced sanely.
+	if err := s.push(rawJob(3, t0, 3600, 5), true); err != nil {
+		t.Fatalf("post-drain push rejected: %v", err)
+	}
+	if got := s.stats().QueuedETA; got != 5 {
+		t.Fatalf("queued ETA after sane push = %v, want 5", got)
 	}
 }
 

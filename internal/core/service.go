@@ -4,6 +4,7 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"math"
 	"sync"
 	"time"
 
@@ -215,10 +216,13 @@ func (s *Service) submitJob(ctx context.Context, spec SimulationSpec) (*job, err
 		return nil, err
 	}
 	// Runtime-estimate outside the service lock: the predictor-backed
-	// estimator walks the whole catalog.
+	// estimator walks the whole catalog. Non-finite estimates (a degenerate
+	// model extrapolation) are discarded — admission control only ever acts
+	// on a usable positive prediction.
 	var eta float64
 	if s.estimator != nil {
-		if secs, ok := s.estimator.EstimateSeconds(spec); ok && secs > 0 {
+		if secs, ok := s.estimator.EstimateSeconds(spec); ok && secs > 0 &&
+			!math.IsNaN(secs) && !math.IsInf(secs, 0) {
 			eta = secs
 		}
 	}

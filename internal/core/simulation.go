@@ -219,6 +219,7 @@ func (d *Deployer) RunSimulation(ctx context.Context, spec SimulationSpec) (*Sim
 		Inner:                spec.Inner,
 		Biometric:            spec.Biometric,
 		Scenarios:            spec.Scenarios,
+		Buffers:              d.buffers,
 	})
 	if err != nil {
 		_ = d.forget(deployRep) // a split that fails produced no valuation

@@ -159,6 +159,11 @@ type Block struct {
 	// or derived scenario sets of a stress campaign. Nil generates fresh
 	// paths from the valuation seed.
 	Scenarios stochastic.Source
+	// Buffers, when non-nil, is the panel pool the block's valuation draws
+	// its batched scenario buffers from — shared across the blocks and jobs
+	// of a service so the steady state allocates no panel memory. Nil uses
+	// the process-wide shared pool.
+	Buffers *stochastic.BatchPool
 }
 
 // Validate reports whether the block is well-formed and internally

@@ -21,6 +21,9 @@ type SplitSpec struct {
 	// Scenarios, when non-nil, is the shared scenario source stamped on the
 	// type-B blocks (stress-campaign reuse).
 	Scenarios stochastic.Source
+	// Buffers, when non-nil, is the shared panel pool stamped on every
+	// block, so all slices of all jobs recycle the same scenario buffers.
+	Buffers *stochastic.BatchPool
 }
 
 // NumTypeBBlocks returns how many type-B blocks SplitPortfolio will produce
@@ -53,6 +56,7 @@ func SplitPortfolio(p *policy.Portfolio, f fund.Config, market stochastic.Config
 		Fund:      f,
 		Market:    market,
 		Biometric: spec.Biometric,
+		Buffers:   spec.Buffers,
 	})
 	for i, sub := range slices {
 		blocks = append(blocks, &Block{
@@ -65,6 +69,7 @@ func SplitPortfolio(p *policy.Portfolio, f fund.Config, market stochastic.Config
 			Inner:     spec.Inner,
 			Biometric: spec.Biometric,
 			Scenarios: spec.Scenarios,
+			Buffers:   spec.Buffers,
 		})
 	}
 	for _, b := range blocks {

@@ -62,17 +62,27 @@ func NormInvCDF(p float64) float64 {
 // chol.Rows().
 func CorrelatedNormals(rng *RNG, chol *Matrix) []float64 {
 	n := chol.Rows()
-	z := make([]float64, n)
-	for i := range z {
-		z[i] = rng.NormFloat64()
-	}
+	raw := make([]float64, n)
 	out := make([]float64, n)
+	CorrelatedNormalsInto(rng, chol, raw, out)
+	return out
+}
+
+// CorrelatedNormalsInto is the allocation-free form of CorrelatedNormals:
+// raw receives the independent draws and out the correlated vector, both of
+// length chol.Rows(). raw and out must not alias. The draws and arithmetic
+// are identical to CorrelatedNormals, so the two are bit-for-bit
+// interchangeable on the same RNG state.
+func CorrelatedNormalsInto(rng *RNG, chol *Matrix, raw, out []float64) {
+	n := chol.Rows()
+	for i := 0; i < n; i++ {
+		raw[i] = rng.NormFloat64()
+	}
 	for i := 0; i < n; i++ {
 		s := 0.0
 		for j := 0; j <= i; j++ {
-			s += chol.At(i, j) * z[j]
+			s += chol.At(i, j) * raw[j]
 		}
 		out[i] = s
 	}
-	return out
 }

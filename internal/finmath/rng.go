@@ -22,6 +22,14 @@ type RNG struct {
 // guarantees a well-mixed internal state even for small or similar seeds.
 func NewRNG(seed uint64) *RNG {
 	r := &RNG{}
+	r.Reseed(seed)
+	return r
+}
+
+// Reseed resets the generator in place to the state NewRNG(seed) would
+// produce, without allocating. Batched path generation reuses one RNG value
+// across the per-path streams of a panel fill.
+func (r *RNG) Reseed(seed uint64) {
 	sm := seed
 	for i := range r.s {
 		sm += 0x9e3779b97f4a7c15
@@ -34,7 +42,6 @@ func NewRNG(seed uint64) *RNG {
 	if r.s[0]|r.s[1]|r.s[2]|r.s[3] == 0 {
 		r.s[0] = 0x9e3779b97f4a7c15
 	}
-	return r
 }
 
 // Split derives a new generator whose stream is statistically independent of

@@ -128,6 +128,12 @@ func (c Config) NumAssets() int { return len(c.Assets) }
 type Fund struct {
 	cfg  Config
 	rate stochastic.VasicekParams
+	// yields caches, per asset sleeve, the maturity-constant terms of the
+	// sleeve's zero-coupon curve point (bond kinds only): the bond leg is
+	// repriced once per simulated (path, year), so hoisting the constants
+	// out of the hot loop matters. Cached yields are bit-identical to
+	// stochastic.ImpliedYield.
+	yields []stochastic.YieldCache
 }
 
 // New builds a fund evaluator. rate must be the same short-rate model used
@@ -136,7 +142,13 @@ func New(cfg Config, market stochastic.Config) (*Fund, error) {
 	if err := cfg.Validate(market); err != nil {
 		return nil, err
 	}
-	return &Fund{cfg: cfg, rate: market.Rate}, nil
+	f := &Fund{cfg: cfg, rate: market.Rate, yields: make([]stochastic.YieldCache, len(cfg.Assets))}
+	for i, a := range cfg.Assets {
+		if a.Kind == GovernmentBond || a.Kind == CorporateBond {
+			f.yields[i] = stochastic.NewYieldCache(market.Rate, a.Maturity)
+		}
+	}
+	return f, nil
 }
 
 // Config returns the fund configuration.
@@ -145,20 +157,80 @@ func (f *Fund) Config() Config { return f.cfg }
 // MarketReturns returns the fund's annual MARKET-value returns along the
 // scenario for the first `years` years (before management smoothing).
 func (f *Fund) MarketReturns(s *stochastic.Scenario, years int) []float64 {
-	out := make([]float64, years)
-	for t := 1; t <= years; t++ {
-		ret := 0.0
-		for _, a := range f.cfg.Assets {
-			ret += a.Weight * f.assetReturn(a, s, t)
+	return f.MarketReturnsInto(s, years, make([]float64, years), make([]int, years+1))
+}
+
+// MarketReturnsInto is MarketReturns writing into caller-owned buffers: out
+// must hold years values and idx years+1 grid indices. It is the valuation
+// hot loop's entry point — called once per inner path — so it walks the
+// assets in the outer loop and carries the per-asset state that consecutive
+// years share: the yield at year t-1 IS the yield computed for year t-2's
+// revaluation, so each bond sleeve prices one zero-coupon curve point per
+// year instead of two, and each index sleeve reads each grid level once.
+// Carried values are reused results of the exact same pure-function calls,
+// and per-year contributions accumulate in the same asset order, so the
+// output is bit-identical to the one-asset-at-a-time form.
+func (f *Fund) MarketReturnsInto(s *stochastic.Scenario, years int, out []float64, idx []int) []float64 {
+	out = out[:years]
+	clear(out)
+	idx = idx[:years+1]
+	for t := 0; t <= years; t++ {
+		idx[t] = s.IndexOfYear(float64(t))
+	}
+	for ai, a := range f.cfg.Assets {
+		var fxPath []float64
+		var fx0 float64
+		if a.Currency != 0 {
+			fxPath = s.Currencies[a.Currency-1]
+			fx0 = fxPath[idx[0]]
 		}
-		out[t-1] = ret
+		switch a.Kind {
+		case Equity:
+			path := s.Equities[a.EquityIndex]
+			p0 := path[idx[0]]
+			for t := 1; t <= years; t++ {
+				p1 := path[idx[t]]
+				local := p1/p0 - 1
+				p0 = p1
+				ret := local
+				if fxPath != nil {
+					fx1 := fxPath[idx[t]]
+					ret = (1+local)*(fx1/fx0) - 1
+					fx0 = fx1
+				}
+				out[t-1] += a.Weight * ret
+			}
+		case GovernmentBond, CorporateBond:
+			duration := 0.85 * a.Maturity
+			curve := f.yields[ai]
+			y0 := curve.Yield(s.Rates[idx[0]])
+			for t := 1; t <= years; t++ {
+				y1 := curve.Yield(s.Rates[idx[t]])
+				local := y0 - duration*(y1-y0)
+				y0 = y1
+				if a.Kind == CorporateBond {
+					lambda := math.Max(s.Credit[idx[t]], 0)
+					local += 1.5*lambda - a.LossGivenDefault*lambda
+				}
+				ret := local
+				if fxPath != nil {
+					fx1 := fxPath[idx[t]]
+					ret = (1+local)*(fx1/fx0) - 1
+					fx0 = fx1
+				}
+				out[t-1] += a.Weight * ret
+			}
+		}
 	}
 	return out
 }
 
 // assetReturn is the market return of one sleeve over year [t-1, t], in
 // domestic terms: foreign sleeves compound the local return with the
-// currency index return.
+// currency index return. It is the reference implementation the carried
+// state of MarketReturnsInto is tested against (bit-identity), kept out of
+// the hot loop because it reprices the curve point at both endpoints of
+// every year.
 func (f *Fund) assetReturn(a Asset, s *stochastic.Scenario, t int) float64 {
 	local := f.localReturn(a, s, t)
 	if a.Currency == 0 {
@@ -203,11 +275,18 @@ func (f *Fund) localReturn(a Asset, s *stochastic.Scenario, t int) float64 {
 // is left unrealised (capped at MaxBuffer); in lean years the manager
 // realises buffered gains to lift the credited return toward the target.
 func (f *Fund) Returns(s *stochastic.Scenario, years int) []float64 {
-	market := f.MarketReturns(s, years)
+	return f.ReturnsInto(s, years, make([]float64, years), make([]float64, years), make([]int, years+1))
+}
+
+// ReturnsInto is Returns writing into caller-owned buffers: out and market
+// must hold years values each, idx years+1 indices. The returned slice is
+// the credited-return path (one of the two buffers).
+func (f *Fund) ReturnsInto(s *stochastic.Scenario, years int, out, market []float64, idx []int) []float64 {
+	market = f.MarketReturnsInto(s, years, market, idx)
 	if f.cfg.SmoothingFraction == 0 {
 		return market
 	}
-	out := make([]float64, years)
+	out = out[:years]
 	buffer := 0.0
 	for t, m := range market {
 		credited := m

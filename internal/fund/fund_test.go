@@ -284,3 +284,57 @@ func TestForeignSleeveCompoundsFX(t *testing.T) {
 		}
 	}
 }
+
+// TestMarketReturnsIntoMatchesReference pins the hot-loop fund walk (asset-
+// major order, carried yields/levels, cached curve constants) against the
+// reference per-(year, asset) evaluation: same bits, including corporate
+// credit adjustments and foreign-denominated sleeves, and no drift from the
+// buffer-reusing entry points.
+func TestMarketReturnsIntoMatchesReference(t *testing.T) {
+	m := testMarket()
+	m.Currencies = []stochastic.GBMParams{{S0: 1.1, Mu: 0.01, Sigma: 0.08}}
+	cfg := Config{
+		Name: "ref",
+		Assets: []Asset{
+			{Kind: GovernmentBond, Weight: 0.35, Maturity: 5},
+			{Kind: CorporateBond, Weight: 0.25, Maturity: 7, LossGivenDefault: 0.6},
+			{Kind: CorporateBond, Weight: 0.15, Maturity: 3, LossGivenDefault: 0.4, Currency: 1},
+			{Kind: Equity, Weight: 0.15, EquityIndex: 0},
+			{Kind: Equity, Weight: 0.10, EquityIndex: 1, Currency: 1},
+		},
+		TargetReturn:      0.02,
+		SmoothingFraction: 0.5,
+		MaxBuffer:         0.08,
+	}
+	f, err := New(cfg, m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	gen, err := stochastic.NewGenerator(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := finmath.NewRNG(11)
+	const years = 25
+	for rep := 0; rep < 20; rep++ {
+		s := gen.Generate(rng, stochastic.RealWorld)
+		got := f.MarketReturnsInto(s, years, make([]float64, years), make([]int, years+1))
+		for yr := 1; yr <= years; yr++ {
+			want := 0.0
+			for _, a := range cfg.Assets {
+				want += a.Weight * f.assetReturn(a, s, yr)
+			}
+			if got[yr-1] != want {
+				t.Fatalf("rep %d year %d: hot-loop return %v != reference %v (bit drift)", rep, yr, got[yr-1], want)
+			}
+		}
+		// The buffered credited-return walk must match the allocating one.
+		book := f.Returns(s, years)
+		into := f.ReturnsInto(s, years, make([]float64, years), make([]float64, years), make([]int, years+1))
+		for k := range book {
+			if book[k] != into[k] {
+				t.Fatalf("credited return %d drifted between Returns and ReturnsInto", k)
+			}
+		}
+	}
+}

@@ -72,25 +72,17 @@ func (e *Engine) ExecuteTypeA(b *eeb.Block) ([]*actuarial.DecrementTable, error)
 
 // ExecuteSlice runs the outer-path range [from, to) of a type-B block,
 // invoking onDone after each completed path when non-nil. The result is the
-// local Y1 values, ready to be gathered by the master. Cancellation is
-// checked between outer paths: a cancelled ctx aborts the slice and returns
+// local Y1 values, ready to be gathered by the master. The valuer walks the
+// range through its batched, pool-buffered hot path (panels drawn from the
+// block's Buffers pool, or the shared default). Cancellation is checked
+// between outer paths: a cancelled ctx aborts the slice and returns
 // ctx.Err().
 func (e *Engine) ExecuteSlice(ctx context.Context, b *eeb.Block, from, to int, onDone func()) ([]float64, error) {
 	v, err := alm.NewValuer(b, e.seed)
 	if err != nil {
 		return nil, err
 	}
-	out := make([]float64, 0, to-from)
-	for i := from; i < to; i++ {
-		if err := ctx.Err(); err != nil {
-			return nil, err
-		}
-		out = append(out, v.ValueOuter(i, b.Inner))
-		if onDone != nil {
-			onDone()
-		}
-	}
-	return out, nil
+	return v.ValueRange(ctx, from, to, onDone)
 }
 
 // executor abstracts the DiEng slice execution so fault-injection tests can

@@ -125,16 +125,35 @@ type FlowSchedule struct {
 // Flows evaluates the contract's benefit amounts along one simulated path of
 // annual segregated-fund returns. fundReturns must cover at least Term years.
 func (c Contract) Flows(fundReturns []float64) (FlowSchedule, error) {
-	if len(fundReturns) < c.Term {
-		return FlowSchedule{}, fmt.Errorf("policy: %d fund returns for term %d", len(fundReturns), c.Term)
-	}
-	sums := RevaluedSums(c.InsuredSum, c.Beta, c.TechnicalRate, fundReturns[:c.Term])
-	mult := float64(c.Count)
 	fs := FlowSchedule{
 		Death:     make([]float64, c.Term),
 		Surrender: make([]float64, c.Term),
 		Survival:  make([]float64, c.Term),
 	}
+	if err := c.FlowsInto(fundReturns, &fs, make([]float64, c.Term)); err != nil {
+		return FlowSchedule{}, err
+	}
+	return fs, nil
+}
+
+// FlowsInto is Flows writing into a caller-owned schedule whose slices must
+// hold at least Term values each (they are resliced and cleared here), with
+// sums as the revalued-sum scratch buffer. One reusable schedule serves
+// every (contract, path) pair of a nested valuation, which is what keeps the
+// per-path flow evaluation allocation-free.
+func (c Contract) FlowsInto(fundReturns []float64, fs *FlowSchedule, sums []float64) error {
+	if len(fundReturns) < c.Term {
+		return fmt.Errorf("policy: %d fund returns for term %d", len(fundReturns), c.Term)
+	}
+	sums = RevaluedSumsInto(c.InsuredSum, c.Beta, c.TechnicalRate, fundReturns[:c.Term], sums)
+	mult := float64(c.Count)
+	fs.Death = fs.Death[:c.Term]
+	fs.Surrender = fs.Surrender[:c.Term]
+	fs.Survival = fs.Survival[:c.Term]
+	clear(fs.Death)
+	clear(fs.Surrender)
+	clear(fs.Survival)
+	fs.Maturity = 0
 	for k := 0; k < c.Term; k++ {
 		ct := sums[k]
 		switch c.Kind {
@@ -155,5 +174,5 @@ func (c Contract) Flows(fundReturns []float64) (FlowSchedule, error) {
 	if c.Kind == PureEndowment || c.Kind == Endowment {
 		fs.Maturity = mult * sums[c.Term-1]
 	}
-	return fs, nil
+	return nil
 }

@@ -47,7 +47,13 @@ func ReadjustmentFactorAlt(beta, technical float64, fundReturns []float64) float
 // C_t = C_{t-1} (1 + rho_t), starting from initialSum with one entry per
 // element of fundReturns.
 func RevaluedSums(initialSum, beta, technical float64, fundReturns []float64) []float64 {
-	out := make([]float64, len(fundReturns))
+	return RevaluedSumsInto(initialSum, beta, technical, fundReturns, make([]float64, len(fundReturns)))
+}
+
+// RevaluedSumsInto is RevaluedSums writing into the caller-owned out buffer
+// (len(fundReturns) values), for the allocation-free valuation hot loop.
+func RevaluedSumsInto(initialSum, beta, technical float64, fundReturns, out []float64) []float64 {
+	out = out[:len(fundReturns)]
 	c := initialSum
 	for t, it := range fundReturns {
 		c *= 1 + ReadjustmentRate(beta, technical, it)

@@ -3,8 +3,10 @@ package provision
 import (
 	"context"
 	"errors"
+	"fmt"
 	"math"
 	"strings"
+	"sync"
 	"testing"
 
 	"disarcloud/internal/cloud"
@@ -316,5 +318,47 @@ func TestRetrainSkipsSparseArchitectures(t *testing.T) {
 	}
 	if p.Trained(it.Name) {
 		t.Fatal("trained below the sample threshold")
+	}
+}
+
+// TestSelectConcurrentExploration hammers Select from 8 goroutines with a
+// high exploration probability. finmath.RNG is not safe for concurrent use;
+// the selector must serialise its epsilon-greedy draws (run under -race —
+// the CI suite does — to catch an unguarded generator). Every returned
+// choice must still be a valid feasible candidate.
+func TestSelectConcurrentExploration(t *testing.T) {
+	s, err := NewSelector(newOracle(), nil, finmath.NewRNG(7))
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := Constraints{TmaxSeconds: 600, MaxNodes: 8, Epsilon: 0.9}
+	const workers, iters = 8, 200
+	var wg sync.WaitGroup
+	errs := make(chan error, workers)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for n := 0; n < iters; n++ {
+				ch, err := s.Select(context.Background(), params(), c)
+				if err != nil {
+					errs <- err
+					return
+				}
+				if ch.TotalNodes() < 1 || ch.TotalNodes() > c.MaxNodes {
+					errs <- fmt.Errorf("selected %d nodes outside [1,%d]", ch.TotalNodes(), c.MaxNodes)
+					return
+				}
+				if ch.PredictedSeconds > c.TmaxSeconds {
+					errs <- fmt.Errorf("selected infeasible config: %v", ch)
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Fatal(err)
 	}
 }

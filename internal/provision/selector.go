@@ -4,6 +4,7 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"sync"
 
 	"disarcloud/internal/cloud"
 	"disarcloud/internal/eeb"
@@ -84,10 +85,22 @@ func (c Choice) String() string {
 }
 
 // Selector implements Algorithm 1 over a predictor and an instance catalog.
+//
+// Select is safe for concurrent use: the exploration RNG is not, so its
+// draws are serialised by an internal mutex. The Deployer additionally
+// serialises whole deploy loops, but the selector is exposed through
+// Deployer.Selector() and must not rely on that outer lock — concurrent
+// Submit through a resizable pool may reach Select from many goroutines.
 type Selector struct {
 	pred    Predictor
 	catalog []cloud.InstanceType
-	rng     *finmath.RNG
+
+	// rngMu guards rng: finmath.RNG is not safe for concurrent use, and an
+	// unguarded epsilon-greedy draw under concurrent Select calls is a data
+	// race on the generator state.
+	rngMu sync.Mutex
+	rng   *finmath.RNG
+
 	// Heterogeneous enables the future-work extension: two-slot deploys
 	// mixing distinct instance types, with work split proportionally to
 	// each slot's predicted throughput.
@@ -216,8 +229,15 @@ func (s *Selector) Select(ctx context.Context, f eeb.CharacteristicParams, c Con
 	if len(cands) == 0 {
 		return Choice{}, ErrNoFeasible
 	}
-	if s.rng.Float64() < c.Epsilon {
-		ch := cands[s.rng.Intn(len(cands))]
+	s.rngMu.Lock()
+	explore := s.rng.Float64() < c.Epsilon
+	pick := 0
+	if explore {
+		pick = s.rng.Intn(len(cands))
+	}
+	s.rngMu.Unlock()
+	if explore {
+		ch := cands[pick]
 		ch.Explored = true
 		return ch, nil
 	}

@@ -61,13 +61,38 @@ func (p VasicekParams) Validate() error {
 // step advances the short rate by dt using the exact transition density of
 // the OU process, so the discretisation is bias-free on any grid.
 func (p VasicekParams) step(r, dt, z float64, m Measure) float64 {
-	mean := p.MeanP
-	if m == RiskNeutral {
-		mean = p.MeanQ
-	}
+	return p.stepper(dt).step(r, z, m)
+}
+
+// vasicekStepper caches the grid-constant terms of VasicekParams.step: on a
+// fixed dt the decay factor and transition standard deviation never change,
+// so the per-step exp/sqrt pair is paid once per generator instead of once
+// per grid step. The cached quantities are computed by the EXACT expressions
+// of the uncached step, keeping batched and scalar paths bit-identical.
+type vasicekStepper struct {
+	meanP, meanQ float64
+	e            float64 // exp(-Speed*dt)
+	oneMinusE    float64 // 1 - e
+	sd           float64 // Sigma * sqrt((1-e^2)/(2*Speed))
+}
+
+func (p VasicekParams) stepper(dt float64) vasicekStepper {
 	e := math.Exp(-p.Speed * dt)
-	sd := p.Sigma * math.Sqrt((1-e*e)/(2*p.Speed))
-	return r*e + mean*(1-e) + sd*z
+	return vasicekStepper{
+		meanP:     p.MeanP,
+		meanQ:     p.MeanQ,
+		e:         e,
+		oneMinusE: 1 - e,
+		sd:        p.Sigma * math.Sqrt((1-e*e)/(2*p.Speed)),
+	}
+}
+
+func (v vasicekStepper) step(r, z float64, m Measure) float64 {
+	mean := v.meanP
+	if m == RiskNeutral {
+		mean = v.meanQ
+	}
+	return r*v.e + mean*v.oneMinusE + v.sd*z
 }
 
 // GBMParams parameterises a geometric Brownian motion index
@@ -94,12 +119,36 @@ func (p GBMParams) Validate() error {
 // step advances the index by dt with the exact log-normal transition. rate is
 // the prevailing short rate, used as the drift under Q.
 func (p GBMParams) step(s, rate, dt, z float64, m Measure) float64 {
-	drift := p.Mu
+	return p.stepper(dt).step(s, rate, z, m)
+}
+
+// gbmStepper caches the grid-constant terms of GBMParams.step (the variance
+// correction and the sigma*sqrt(dt) diffusion scale), computed by the exact
+// expressions of the uncached step so results stay bit-identical.
+type gbmStepper struct {
+	mu, dividend float64
+	dt           float64
+	halfVar      float64 // 0.5 * Sigma^2
+	sigSqrtDt    float64 // Sigma * sqrt(dt)
+}
+
+func (p GBMParams) stepper(dt float64) gbmStepper {
+	return gbmStepper{
+		mu:        p.Mu,
+		dividend:  p.Dividend,
+		dt:        dt,
+		halfVar:   0.5 * p.Sigma * p.Sigma,
+		sigSqrtDt: p.Sigma * math.Sqrt(dt),
+	}
+}
+
+func (g gbmStepper) step(s, rate, z float64, m Measure) float64 {
+	drift := g.mu
 	if m == RiskNeutral {
 		drift = rate
 	}
-	drift -= p.Dividend
-	return s * math.Exp((drift-0.5*p.Sigma*p.Sigma)*dt+p.Sigma*math.Sqrt(dt)*z)
+	drift -= g.dividend
+	return s * math.Exp((drift-g.halfVar)*g.dt+g.sigSqrtDt*z)
 }
 
 // CIRParams parameterises the square-root credit-intensity process
@@ -150,8 +199,39 @@ func ZeroCouponPrice(p VasicekParams, r, tau float64) float64 {
 // ImpliedYield returns the continuously compounded yield implied by the
 // Vasicek zero-coupon price for maturity tau.
 func ImpliedYield(p VasicekParams, r, tau float64) float64 {
+	return NewYieldCache(p, tau).Yield(r)
+}
+
+// YieldCache precomputes the maturity-constant terms of the Vasicek
+// zero-coupon price — bTau and logA depend only on the model parameters and
+// the maturity, not on the prevailing short rate — so a rolling bond sleeve
+// repricing the same curve point along every simulated path pays their
+// exp/arithmetic once per fund instead of once per (path, year). The cached
+// values are computed by the exact expressions of ZeroCouponPrice, and
+// Yield replays its remaining arithmetic verbatim, so YieldCache.Yield is
+// bit-identical to ImpliedYield.
+type YieldCache struct {
+	tau  float64
+	bTau float64
+	logA float64
+}
+
+// NewYieldCache prepares the cached curve point for maturity tau.
+func NewYieldCache(p VasicekParams, tau float64) YieldCache {
+	c := YieldCache{tau: tau}
 	if tau <= 0 {
+		return c
+	}
+	a, b, sigma := p.Speed, p.MeanQ, p.Sigma
+	c.bTau = (1 - math.Exp(-a*tau)) / a
+	c.logA = (c.bTau-tau)*(b-sigma*sigma/(2*a*a)) - sigma*sigma*c.bTau*c.bTau/(4*a)
+	return c
+}
+
+// Yield returns the implied yield at short rate r.
+func (c YieldCache) Yield(r float64) float64 {
+	if c.tau <= 0 {
 		return r
 	}
-	return -math.Log(ZeroCouponPrice(p, r, tau)) / tau
+	return -math.Log(math.Exp(c.logA-c.bTau*r)) / c.tau
 }

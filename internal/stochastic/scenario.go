@@ -125,10 +125,21 @@ func (s *Scenario) index(t float64) int {
 }
 
 // Generator produces correlated scenarios from a Config. It is safe for
-// concurrent use as long as each goroutine passes its own RNG.
+// concurrent use as long as each goroutine passes its own RNG (and, for the
+// Into variants, its own scratch buffers).
 type Generator struct {
 	cfg  Config
 	chol *finmath.Matrix // nil when drivers are independent
+
+	// Grid-constant stepper caches: the time grid is fixed per generator, so
+	// the per-step exp/sqrt constants of every driver are paid once here
+	// instead of once per simulated step. All cached values are computed by
+	// the exact per-step expressions, keeping results bit-identical.
+	steps int
+	dt    float64
+	rate  vasicekStepper
+	eqs   []gbmStepper
+	fxs   []gbmStepper
 }
 
 // NewGenerator validates cfg and prepares the correlation factorisation.
@@ -136,7 +147,21 @@ func NewGenerator(cfg Config) (*Generator, error) {
 	if err := cfg.Validate(); err != nil {
 		return nil, err
 	}
-	g := &Generator{cfg: cfg}
+	dt := 1.0 / float64(cfg.StepsPerYear)
+	g := &Generator{
+		cfg:   cfg,
+		steps: cfg.Horizon * cfg.StepsPerYear,
+		dt:    dt,
+		rate:  cfg.Rate.stepper(dt),
+		eqs:   make([]gbmStepper, len(cfg.Equities)),
+		fxs:   make([]gbmStepper, len(cfg.Currencies)),
+	}
+	for i, e := range cfg.Equities {
+		g.eqs[i] = e.stepper(dt)
+	}
+	for i, fx := range cfg.Currencies {
+		g.fxs[i] = fx.stepper(dt)
+	}
 	if cfg.Corr != nil {
 		chol, err := cfg.Corr.Cholesky()
 		if err != nil {
@@ -161,27 +186,41 @@ func (g *Generator) Generate(rng *finmath.RNG, m Measure) *Scenario {
 // is how inner risk-neutral scenarios branch off an outer real-world path at
 // t=1 in the nested procedure (conditioning on the filtration F1).
 func (g *Generator) GenerateFrom(rng *finmath.RNG, m Measure, from *Scenario, fromYear float64) *Scenario {
-	cfg := g.cfg
-	steps := cfg.Horizon * cfg.StepsPerYear
-	dt := 1.0 / float64(cfg.StepsPerYear)
-	nEq, nFx := len(cfg.Equities), len(cfg.Currencies)
-	nFac := cfg.NumFactors()
+	nEq, nFx := len(g.cfg.Equities), len(g.cfg.Currencies)
+	nFac := g.cfg.NumFactors()
 
 	s := &Scenario{
-		Dt:         dt,
-		Rates:      make([]float64, steps+1),
+		Dt:         g.dt,
+		Rates:      make([]float64, g.steps+1),
 		Equities:   make([][]float64, nEq),
 		Currencies: make([][]float64, nFx),
-		Credit:     make([]float64, steps+1),
-		discount:   make([]float64, steps+1),
+		Credit:     make([]float64, g.steps+1),
+		discount:   make([]float64, g.steps+1),
 	}
 	for i := range s.Equities {
-		s.Equities[i] = make([]float64, steps+1)
+		s.Equities[i] = make([]float64, g.steps+1)
 	}
 	for i := range s.Currencies {
-		s.Currencies[i] = make([]float64, steps+1)
+		s.Currencies[i] = make([]float64, g.steps+1)
 	}
+	g.generateInto(rng, m, from, fromYear, s, make([]float64, 2*nFac))
+	return s
+}
 
+// generateInto simulates a scenario into s, whose driver slices must already
+// be sized steps+1 (panel views or freshly allocated paths alike). scratch
+// must hold at least 2*NumFactors values; it carries the per-step shock
+// vector (and, under a correlation structure, the raw draws). The stepping
+// arithmetic is shared by every generation entry point, so batched panel
+// fills and one-shot Generate calls are bit-identical by construction.
+func (g *Generator) generateInto(rng *finmath.RNG, m Measure, from *Scenario, fromYear float64, s *Scenario, scratch []float64) {
+	cfg := g.cfg
+	steps := g.steps
+	nEq := len(cfg.Equities)
+	nFac := cfg.NumFactors()
+	z, raw := scratch[:nFac], scratch[nFac:2*nFac]
+
+	s.Dt = g.dt
 	// Initial state: model time-0 values, or the conditioning state.
 	if from == nil {
 		s.Rates[0] = cfg.Rate.R0
@@ -205,26 +244,27 @@ func (g *Generator) GenerateFrom(rng *finmath.RNG, m Measure, from *Scenario, fr
 	}
 	s.discount[0] = 1
 
-	z := make([]float64, nFac)
+	rates, credit, disc := s.Rates, s.Credit, s.discount
 	for k := 1; k <= steps; k++ {
 		if g.chol != nil {
-			copy(z, finmath.CorrelatedNormals(rng, g.chol))
+			finmath.CorrelatedNormalsInto(rng, g.chol, raw, z)
 		} else {
 			for i := range z {
 				z[i] = rng.NormFloat64()
 			}
 		}
-		rPrev := s.Rates[k-1]
-		s.Rates[k] = cfg.Rate.step(rPrev, dt, z[0], m)
-		for i, e := range cfg.Equities {
-			s.Equities[i][k] = e.step(s.Equities[i][k-1], rPrev, dt, z[1+i], m)
+		rPrev := rates[k-1]
+		rates[k] = g.rate.step(rPrev, z[0], m)
+		for i := range g.eqs {
+			p := s.Equities[i]
+			p[k] = g.eqs[i].step(p[k-1], rPrev, z[1+i], m)
 		}
-		for i, fx := range cfg.Currencies {
-			s.Currencies[i][k] = fx.step(s.Currencies[i][k-1], rPrev, dt, z[1+nEq+i], m)
+		for i := range g.fxs {
+			p := s.Currencies[i]
+			p[k] = g.fxs[i].step(p[k-1], rPrev, z[1+nEq+i], m)
 		}
-		s.Credit[k] = cfg.Credit.step(s.Credit[k-1], dt, z[nFac-1])
+		credit[k] = cfg.Credit.step(credit[k-1], g.dt, z[nFac-1])
 		// Trapezoidal accumulation of the discount integral.
-		s.discount[k] = s.discount[k-1] * math.Exp(-0.5*(rPrev+s.Rates[k])*dt)
+		disc[k] = disc[k-1] * math.Exp(-0.5*(rPrev+rates[k])*g.dt)
 	}
-	return s
 }

@@ -2,6 +2,7 @@ package stochastic
 
 import (
 	"math"
+	"sync"
 	"testing"
 
 	"disarcloud/internal/finmath"
@@ -245,6 +246,96 @@ func TestZeroCouponPriceProperties(t *testing.T) {
 	y := ImpliedYield(p, 0.02, 0.25)
 	if math.Abs(y-0.02) > 0.005 {
 		t.Fatalf("short-maturity implied yield = %v, want ~0.02", y)
+	}
+}
+
+// TestSetConcurrentShardedAccess hammers the sharded cache the way an
+// elastic pool at 8+ workers does — concurrent Outer/Inner/Derive over
+// overlapping index ranges — and checks the memoization contract survives
+// sharding: every distinct path is generated exactly once (Generated()
+// stays exact) and every served path is bit-identical to the unsharded
+// seed behaviour, i.e. to a plain PathSource on the same seed.
+func TestSetConcurrentShardedAccess(t *testing.T) {
+	g, err := NewGenerator(testConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	const (
+		seed    = 4242
+		nOuter  = 24
+		nInner  = 6
+		workers = 8
+		reps    = 3
+	)
+	set := NewSet(g, seed)
+	tr := Transform{RateShift: 0.01, EquityFactor: 0.61}
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			d := set.Derive(tr)
+			for rep := 0; rep < reps; rep++ {
+				for i := 0; i < nOuter; i++ {
+					o := set.Outer(i)
+					_ = d.Outer(i)
+					for j := 0; j < nInner; j++ {
+						_ = set.Inner(i, j, o, 1)
+						_ = d.Inner(i, j, o, 1)
+					}
+				}
+			}
+		}()
+	}
+	wg.Wait()
+
+	if got, want := set.Generated(), int64(nOuter+nOuter*nInner); got != want {
+		t.Fatalf("Generated() = %d after concurrent access, want exactly %d", got, want)
+	}
+	plain := NewPathSource(g, seed)
+	for i := 0; i < nOuter; i++ {
+		a, b := set.Outer(i), plain.Outer(i)
+		for k := range b.Rates {
+			if a.Rates[k] != b.Rates[k] {
+				t.Fatalf("sharded outer %d drifted from the unsharded stream at %d", i, k)
+			}
+		}
+		for j := 0; j < nInner; j++ {
+			ia, ib := set.Inner(i, j, a, 1), plain.Inner(i, j, b, 1)
+			for k := range ib.Rates {
+				if ia.Rates[k] != ib.Rates[k] {
+					t.Fatalf("sharded inner (%d,%d) drifted from the unsharded stream at %d", i, j, k)
+				}
+			}
+		}
+	}
+	if set.Generated() != nOuter+nOuter*nInner {
+		t.Fatal("verification re-reads generated new scenarios (cache miss)")
+	}
+}
+
+// TestSetShardSpread sanity-checks the shard hash: a contiguous index walk
+// must not pile onto one shard (which would silently restore the old
+// single-mutex contention).
+func TestSetShardSpread(t *testing.T) {
+	outerHits := make(map[uint64]int)
+	innerHits := make(map[uint64]int)
+	for i := 0; i < 256; i++ {
+		outerHits[outerShard(i)]++
+		for j := 0; j < 8; j++ {
+			innerHits[innerShard(i, j)]++
+		}
+	}
+	if len(outerHits) < setShards/2 {
+		t.Fatalf("outer indices hash onto only %d of %d shards", len(outerHits), setShards)
+	}
+	if len(innerHits) < setShards/2 {
+		t.Fatalf("inner indices hash onto only %d of %d shards", len(innerHits), setShards)
+	}
+	for sh := range outerHits {
+		if sh >= setShards {
+			t.Fatalf("outer shard index %d out of range", sh)
+		}
 	}
 }
 

@@ -65,14 +65,29 @@ func (p *PathSource) Inner(i, j int, outer *Scenario, branchYear float64) *Scena
 //
 // Memory grows with the number of distinct paths requested (outer +
 // outer*inner scenarios); size campaigns accordingly.
+//
+// The cache is sharded: lookups hash the path index onto one of setShards
+// independent mutex-protected maps, so the workers of an elastic pool
+// hitting the shared scenario pool of a campaign contend on 1/setShards of
+// the lock traffic a single cache mutex would serialise.
 type Set struct {
 	src *PathSource
 
+	shards [setShards]setShard
+
+	generated atomic.Int64
+}
+
+// setShards is the cache shard count: a power of two comfortably above the
+// worker counts elastic pools run at (8-32), so shard collisions stay rare
+// without bloating the per-set footprint.
+const setShards = 16
+
+// setShard is one independently locked slice of the cache.
+type setShard struct {
 	mu    sync.Mutex
 	outer map[int]*setEntry
 	inner map[innerKey]*setEntry
-
-	generated atomic.Int64
 }
 
 type innerKey struct {
@@ -80,8 +95,19 @@ type innerKey struct {
 	year float64
 }
 
+// outerShard maps an outer path index onto its shard. The Fibonacci mix
+// spreads the sequential indices of a slice walk across every shard.
+func outerShard(i int) uint64 {
+	return (uint64(i+1) * 0x9e3779b97f4a7c15) >> 60
+}
+
+// innerShard maps an (outer, inner) pair onto its shard.
+func innerShard(i, j int) uint64 {
+	return ((uint64(i+1)*0x9e3779b97f4a7c15 ^ uint64(j+1)*0xc2b2ae3d27d4eb4f) * 0x9e3779b97f4a7c15) >> 60
+}
+
 // setEntry lets concurrent readers of the same missing path block on one
-// generation instead of holding the map lock across the simulation.
+// generation instead of holding the shard lock across the simulation.
 type setEntry struct {
 	once sync.Once
 	s    *Scenario
@@ -91,22 +117,24 @@ type setEntry struct {
 // valuation seed. A Set and a PathSource with the same generator and seed
 // serve identical scenarios.
 func NewSet(gen *Generator, seed uint64) *Set {
-	return &Set{
-		src:   NewPathSource(gen, seed),
-		outer: make(map[int]*setEntry),
-		inner: make(map[innerKey]*setEntry),
+	s := &Set{src: NewPathSource(gen, seed)}
+	for k := range s.shards {
+		s.shards[k].outer = make(map[int]*setEntry)
+		s.shards[k].inner = make(map[innerKey]*setEntry)
 	}
+	return s
 }
 
 // Outer implements Source.
 func (s *Set) Outer(i int) *Scenario {
-	s.mu.Lock()
-	e, ok := s.outer[i]
+	sh := &s.shards[outerShard(i)]
+	sh.mu.Lock()
+	e, ok := sh.outer[i]
 	if !ok {
 		e = &setEntry{}
-		s.outer[i] = e
+		sh.outer[i] = e
 	}
-	s.mu.Unlock()
+	sh.mu.Unlock()
 	e.once.Do(func() {
 		e.s = s.src.Outer(i)
 		s.generated.Add(1)
@@ -119,13 +147,14 @@ func (s *Set) Outer(i int) *Scenario {
 // the index — callers and derived sources stay consistent by construction.
 func (s *Set) Inner(i, j int, _ *Scenario, branchYear float64) *Scenario {
 	k := innerKey{i: i, j: j, year: branchYear}
-	s.mu.Lock()
-	e, ok := s.inner[k]
+	sh := &s.shards[innerShard(i, j)]
+	sh.mu.Lock()
+	e, ok := sh.inner[k]
 	if !ok {
 		e = &setEntry{}
-		s.inner[k] = e
+		sh.inner[k] = e
 	}
-	s.mu.Unlock()
+	sh.mu.Unlock()
 	e.once.Do(func() {
 		e.s = s.src.Inner(i, j, s.Outer(i), branchYear)
 		s.generated.Add(1)

@@ -108,6 +108,76 @@ func (t Transform) ApplyOuter(s *Scenario) *Scenario { return t.apply(s, false) 
 // log-drift to the index levels.
 func (t Transform) ApplyInner(s *Scenario) *Scenario { return t.apply(s, true) }
 
+// ApplyOuterBatch applies the outer-scenario shock to every path of the
+// batch IN PLACE. The batch must hold freshly generated or copied paths
+// private to the caller — never views into a shared scenario set.
+func (t Transform) ApplyOuterBatch(b *Batch) { t.applyBatch(b, false) }
+
+// ApplyInnerBatch is the branched (risk-neutral, conditioned) counterpart of
+// ApplyOuterBatch.
+func (t Transform) ApplyInnerBatch(b *Batch) { t.applyBatch(b, true) }
+
+// applyBatch shocks the whole panel in place. The per-time-step multipliers
+// (the discount shift and the risk-neutral drift compounding) depend only on
+// the grid index, so they are computed once per panel — by the exact
+// expressions of the scalar apply — and reused across every path, instead of
+// being re-exponentiated per path per step. Element arithmetic is otherwise
+// identical to apply, so a batched shock is bit-for-bit the per-path one.
+func (t Transform) applyBatch(b *Batch, branched bool) {
+	if t.IsZero() || b.n == 0 {
+		return
+	}
+	eq := factorOr1(t.EquityFactor)
+	fx := factorOr1(t.CurrencyFactor)
+	cr := factorOr1(t.CreditFactor)
+
+	steps := b.shape.steps
+	discMul := b.mulDisc[:steps+1]
+	for k := range discMul {
+		discMul[k] = math.Exp(-t.RateShift * float64(k) * b.dt)
+	}
+	driftStep := 0.0
+	if branched {
+		driftStep = t.RateShift * b.dt
+	}
+	driftMul := b.mulDrift[:steps+1]
+	if driftStep != 0 {
+		for k := range driftMul {
+			driftMul[k] = math.Exp(driftStep * float64(k))
+		}
+	}
+	jumpPanel := func(path []float64, factor float64) {
+		for k := range path {
+			v := path[k]
+			if k > 0 || branched {
+				v *= factor
+			}
+			if driftStep != 0 {
+				v *= driftMul[k]
+			}
+			path[k] = v
+		}
+	}
+	for q := 0; q < b.n; q++ {
+		s := &b.views[q]
+		for k := range s.Rates {
+			s.Rates[k] += t.RateShift
+		}
+		for k := range s.discount {
+			s.discount[k] *= discMul[k]
+		}
+		for i := range s.Equities {
+			jumpPanel(s.Equities[i], eq)
+		}
+		for i := range s.Currencies {
+			jumpPanel(s.Currencies[i], fx)
+		}
+		for k := range s.Credit {
+			s.Credit[k] *= cr
+		}
+	}
+}
+
 // apply is the shared body; branched selects the inner (risk-neutral,
 // conditioned) semantics. The base scenario is never mutated — scenario sets
 // are shared across concurrent jobs — and the identity transform returns it

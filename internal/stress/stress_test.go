@@ -9,6 +9,75 @@ import (
 	"disarcloud/internal/stochastic"
 )
 
+// TestStandardFormulaPanelShocks pins the campaign fast path on the real
+// module calibrations: for every standard-formula market shock, deriving a
+// batched panel from a shared scenario set and shocking it in place must be
+// bit-identical to the per-path Derived access, and must generate no new
+// scenarios.
+func TestStandardFormulaPanelShocks(t *testing.T) {
+	cfg := stochastic.Config{
+		Horizon:      10,
+		StepsPerYear: 1,
+		Rate:         stochastic.VasicekParams{R0: 0.015, Speed: 0.25, MeanP: 0.03, MeanQ: 0.025, Sigma: 0.009},
+		Equities:     []stochastic.GBMParams{{S0: 100, Mu: 0.06, Sigma: 0.18}},
+		Currencies:   []stochastic.GBMParams{{S0: 1.1, Mu: 0.01, Sigma: 0.08}},
+		Credit:       stochastic.CIRParams{L0: 0.008, Speed: 0.5, Mean: 0.012, Sigma: 0.03},
+	}
+	g, err := stochastic.NewGenerator(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	set := stochastic.NewSet(g, 33)
+	const nOuter, nInner = 4, 5
+	for i := 0; i < nOuter; i++ {
+		o := set.Outer(i)
+		for j := 0; j < nInner; j++ {
+			set.Inner(i, j, o, 1)
+		}
+	}
+	before := set.Generated()
+
+	for _, shock := range StandardFormula() {
+		if shock.Market.IsZero() {
+			continue // life modules carry no market transform
+		}
+		d := set.Derive(shock.Market)
+		ib, ok := d.(stochastic.InnerBatcher)
+		if !ok {
+			t.Fatalf("module %s: derived view over the campaign set must batch", shock.Module)
+		}
+		b := ib.NewBatch(nil, nInner)
+		for i := 0; i < nOuter; i++ {
+			shockedOuter := d.Outer(i)
+			ib.InnerBatch(i, 0, nInner, shockedOuter, 1, b)
+			for q := 0; q < nInner; q++ {
+				got, want := b.View(q), d.Inner(i, q, shockedOuter, 1)
+				for k := range want.Rates {
+					if got.Rates[k] != want.Rates[k] {
+						t.Fatalf("module %s: panel rate[%d][%d] drifted from per-path derivation", shock.Module, q, k)
+					}
+					if got.Credit[k] != want.Credit[k] {
+						t.Fatalf("module %s: panel credit drifted", shock.Module)
+					}
+					for e := range want.Equities {
+						if got.Equities[e][k] != want.Equities[e][k] {
+							t.Fatalf("module %s: panel equity drifted", shock.Module)
+						}
+					}
+					for f := range want.Currencies {
+						if got.Currencies[f][k] != want.Currencies[f][k] {
+							t.Fatalf("module %s: panel currency drifted", shock.Module)
+						}
+					}
+				}
+			}
+		}
+	}
+	if got := set.Generated(); got != before {
+		t.Fatalf("panel shocks generated %d new scenarios; campaign reuse broken", got-before)
+	}
+}
+
 func TestStandardFormulaModules(t *testing.T) {
 	shocks := StandardFormula()
 	if len(shocks) != 7 {
