@@ -1,0 +1,152 @@
+package main
+
+import (
+	"net/http"
+	"testing"
+	"time"
+
+	"disarcloud"
+)
+
+// TestForecastEndpointDisabled: without WithForecast the endpoint reports
+// an inert subsystem rather than 404ing — clients can probe capability.
+func TestForecastEndpointDisabled(t *testing.T) {
+	srv, _ := newTestServer(t, disarcloud.WithWorkers(1))
+	resp, err := http.Get(srv.URL + "/v1/forecast")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status %d, want 200", resp.StatusCode)
+	}
+	out := decodeJSON[forecastJSON](t, resp)
+	if out.Enabled {
+		t.Fatal("forecast enabled on a service without WithForecast")
+	}
+}
+
+// TestForecastEndpointEnabled: with the subsystem on, the endpoint mirrors
+// the configuration and fills as the control loop samples.
+func TestForecastEndpointEnabled(t *testing.T) {
+	srv, _ := newTestServer(t,
+		disarcloud.WithWorkers(1),
+		disarcloud.WithElastic(disarcloud.ElasticConfig{MaxWorkers: 4}),
+		disarcloud.WithForecast(disarcloud.ForecastConfig{Window: 64, Headroom: 1.5}),
+	)
+	resp, err := http.Get(srv.URL + "/v1/forecast")
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := decodeJSON[forecastJSON](t, resp)
+	if !out.Enabled {
+		t.Fatal("forecast not enabled")
+	}
+	if out.Window != 64 || out.Headroom != 1.5 {
+		t.Fatalf("config echo window=%d headroom=%g, want 64 / 1.5", out.Window, out.Headroom)
+	}
+}
+
+// TestForecastEndpointWithSkippedCandidate: a candidate skipped by the
+// backtest carries sMAPE = +Inf internally, which encoding/json rejects —
+// the endpoint must omit the field, not 200 an empty body (regression).
+func TestForecastEndpointWithSkippedCandidate(t *testing.T) {
+	srv, _ := newTestServer(t,
+		disarcloud.WithWorkers(1),
+		disarcloud.WithElastic(disarcloud.ElasticConfig{MaxWorkers: 4}),
+		disarcloud.WithElasticTick(2*time.Millisecond),
+		// A season period of 8 on a 24-sample window: Holt-Winters can never
+		// fit at every backtest origin, so its score stays skipped.
+		disarcloud.WithForecast(disarcloud.ForecastConfig{
+			Window: 24, MinSamples: 4, SeasonPeriod: 8,
+		}),
+	)
+	deadline := time.Now().Add(10 * time.Second)
+	for {
+		resp, err := http.Get(srv.URL + "/v1/forecast")
+		if err != nil {
+			t.Fatal(err)
+		}
+		out := decodeJSON[forecastJSON](t, resp) // fails on an empty body
+		if out.Model != "" {
+			skipped := false
+			for _, sc := range out.Scores {
+				if sc.Skipped != "" {
+					if sc.SMAPE != nil {
+						t.Fatalf("skipped candidate %s serialised sMAPE %v", sc.Model, *sc.SMAPE)
+					}
+					skipped = true
+				} else if sc.SMAPE == nil {
+					t.Fatalf("evaluated candidate %s carries no sMAPE", sc.Model)
+				}
+			}
+			if !skipped {
+				t.Fatalf("no skipped candidate in scoreboard %+v; test setup no longer exercises the regression", out.Scores)
+			}
+			return
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("no model selected before deadline")
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+}
+
+// TestLoadgenTraceEndpoint: a trace request returns a deterministic trace
+// of the requested shape, with the rate profile on demand.
+func TestLoadgenTraceEndpoint(t *testing.T) {
+	srv, _ := newTestServer(t, disarcloud.WithWorkers(1))
+
+	body := map[string]any{
+		"kind": "diurnal", "intervals": 48, "seed": 7,
+		"base_rate": 2.0, "peak_rate": 8.0, "period": 12, "rates": true,
+	}
+	resp := postJSON(t, srv.URL+"/v1/loadgen/trace", body)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status %d, want 200", resp.StatusCode)
+	}
+	out := decodeJSON[traceJSON](t, resp)
+	if out.Kind != "diurnal" || out.Intervals != 48 || out.Seed != 7 {
+		t.Fatalf("echo %+v", out)
+	}
+	if len(out.Counts) != 48 || len(out.Rates) != 48 {
+		t.Fatalf("counts %d rates %d, want 48/48", len(out.Counts), len(out.Rates))
+	}
+	sum := 0
+	for _, c := range out.Counts {
+		if c < 0 {
+			t.Fatal("negative arrival count")
+		}
+		sum += c
+	}
+	if sum != out.Total || sum == 0 {
+		t.Fatalf("total %d vs summed %d", out.Total, sum)
+	}
+
+	// Same seed, same trace — the determinism contract over HTTP.
+	again := decodeJSON[traceJSON](t, postJSON(t, srv.URL+"/v1/loadgen/trace", body))
+	for i := range out.Counts {
+		if out.Counts[i] != again.Counts[i] {
+			t.Fatalf("counts differ at %d between identical requests", i)
+		}
+	}
+}
+
+// TestLoadgenTraceValidation: malformed specs are clean 400s.
+func TestLoadgenTraceValidation(t *testing.T) {
+	srv, _ := newTestServer(t, disarcloud.WithWorkers(1))
+	bad := []map[string]any{
+		{"kind": "weird"},
+		{"kind": "diurnal", "intervals": 1},
+		{"kind": "diurnal", "intervals": maxReqTraceIntervals + 1},
+		{"kind": "diurnal", "base_rate": -2},
+		{"kind": "flash", "flash_at": 1.5},
+		{"kind": "bursty", "burst_prob": 7},
+	}
+	for i, body := range bad {
+		resp := postJSON(t, srv.URL+"/v1/loadgen/trace", body)
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusBadRequest {
+			t.Errorf("bad trace %d: status %d, want 400", i, resp.StatusCode)
+		}
+	}
+}

@@ -58,6 +58,54 @@ func FuzzJobRequestDecode(f *testing.F) {
 	})
 }
 
+// FuzzTraceRequestDecode drives arbitrary bodies through the loadgen
+// trace-spec decode path. The invariant: either a clean rejection, or a
+// spec that both validates and actually generates — a generated trace must
+// have exactly the requested length and no negative counts, and the
+// server-side interval cap must hold.
+func FuzzTraceRequestDecode(f *testing.F) {
+	f.Add([]byte(`{}`))
+	f.Add([]byte(`{"kind":"diurnal","intervals":48,"seed":7,"base_rate":2,"peak_rate":8,"period":12}`))
+	f.Add([]byte(`{"kind":"bursty","burst_prob":0.1,"calm_prob":0.4}`))
+	f.Add([]byte(`{"kind":"flash","flash_at":0.9,"flash_width":3,"rates":true}`))
+	f.Add([]byte(`{"kind":"mixed","intervals":100000}`))
+	f.Add([]byte(`{"kind":"weird"}`))
+	f.Add([]byte(`{"intervals":-5,"base_rate":-1}`))
+	f.Add([]byte(`{"intervals":100001}`))
+	f.Add([]byte(`{"base_rate":1e308,"peak_rate":1e-308}`))
+	f.Add([]byte(`{"period":1,"flash_width":-2}`))
+	f.Add([]byte(`{"burst_prob":2,"calm_prob":-1,"flash_at":1.0000001}`))
+	f.Add([]byte(`{"seed":18446744073709551615,"rates":1}`))
+	f.Add([]byte(`{"kind":`))
+	f.Add([]byte("\x00\xff garbage"))
+	s := fuzzServer()
+	f.Fuzz(func(t *testing.T, body []byte) {
+		var req traceRequest
+		if err := json.Unmarshal(body, &req); err != nil {
+			return // malformed JSON is rejected before it reaches buildTraceSpec
+		}
+		spec, err := s.buildTraceSpec(&req)
+		if err != nil {
+			return // clean rejection
+		}
+		if spec.Intervals > maxReqTraceIntervals {
+			t.Fatalf("buildTraceSpec accepted %d intervals past the request cap", spec.Intervals)
+		}
+		counts, err := disarcloud.GenerateTrace(spec)
+		if err != nil {
+			t.Fatalf("buildTraceSpec accepted %q but generation failed: %v", body, err)
+		}
+		if len(counts) != spec.Intervals {
+			t.Fatalf("trace length %d, spec wants %d", len(counts), spec.Intervals)
+		}
+		for i, c := range counts {
+			if c < 0 {
+				t.Fatalf("negative arrival count %d at interval %d", c, i)
+			}
+		}
+	})
+}
+
 // FuzzCampaignRequestDecode drives arbitrary bodies through the campaign
 // submit decode path, including the campaign-only switches and the shock
 // list construction.

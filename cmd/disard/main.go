@@ -19,12 +19,30 @@
 //	DELETE /v1/campaigns/{id}          cancel every job of a campaign
 //	GET    /v1/autoscaler              elastic control-plane status + recent scaling decisions
 //	GET    /v1/autoscaler/events       NDJSON stream of scaling decisions
+//	GET    /v1/forecast                proactive-provisioning status (model scoreboard + planner target)
+//	POST   /v1/loadgen/trace           generate a seeded synthetic load trace from a spec
 //	GET    /healthz                    liveness + knowledge-base size
 //
 // With -elastic the worker pool autoscales between -min-workers and
 // -max-workers from queue/backlog pressure; with -admission, submissions
 // whose predicted completion time busts their own tmax_seconds are rejected
-// with 503 and a Retry-After estimate of the backlog drain time.
+// with 503 and a Retry-After estimate of the backlog drain time. With
+// -forecast (requires -elastic) the control loop additionally records
+// per-interval demand telemetry, keeps the lowest-sMAPE forecast model
+// fitted on it, and feed-forwards the predicted arrival rate times the
+// KB-estimated job runtime into the worker target — the hybrid policy
+// applies the maximum of the reactive and proactive targets.
+//
+// Trace body for POST /v1/loadgen/trace (defaults in parentheses):
+//
+//	{
+//	  "kind":       "mixed", // diurnal / bursty / ramp / flash / mixed
+//	  "intervals":  120,     // trace length
+//	  "seed":       0,       // 0 = server-assigned
+//	  "base_rate":  2,       // mean arrivals per interval, calm regime
+//	  "peak_rate":  8,       // high regime (0 = 4x base)
+//	  "rates":      false    // include the deterministic rate profile
+//	}
 //
 // Submit body (defaults in parentheses):
 //
@@ -77,8 +95,15 @@ func run() error {
 		minW      = flag.Int("min-workers", 0, "elastic pool floor (0 = initial -workers)")
 		maxW      = flag.Int("max-workers", 16, "elastic pool ceiling")
 		admission = flag.Bool("admission", false, "reject jobs whose predicted completion busts their tmax (503 + Retry-After)")
+		fcast     = flag.Bool("forecast", false, "proactive provisioning: feed-forward the forecast demand into the worker target (requires -elastic)")
+		fcWindow  = flag.Int("forecast-window", 0, "telemetry ring capacity in control ticks (0 = default)")
+		fcHead    = flag.Float64("forecast-headroom", 0, "planner headroom factor >= 1 (0 = default)")
+		fcSeason  = flag.Int("forecast-season", 0, "seasonality hint in control ticks for the Holt-Winters candidate (0 = no seasonal model)")
 	)
 	flag.Parse()
+	if *fcast && !*elastic {
+		return fmt.Errorf("-forecast requires -elastic: the hybrid policy overlays the reactive controller")
+	}
 
 	opts := []disarcloud.Option{}
 	if *kbPath != "" {
@@ -103,6 +128,13 @@ func run() error {
 	}
 	if *admission {
 		svcOpts = append(svcOpts, disarcloud.WithAdmissionControl(disarcloud.PredictorEstimator(d)))
+	}
+	if *fcast {
+		svcOpts = append(svcOpts, disarcloud.WithForecast(disarcloud.ForecastConfig{
+			Window:       *fcWindow,
+			Headroom:     *fcHead,
+			SeasonPeriod: *fcSeason,
+		}))
 	}
 	svc, err := disarcloud.NewService(d, svcOpts...)
 	if err != nil {

@@ -41,6 +41,8 @@ func newHandler(svc *disarcloud.Service, d *disarcloud.Deployer, seed uint64) ht
 	mux.HandleFunc("DELETE /v1/campaigns/{id}", s.cancelCampaign)
 	mux.HandleFunc("GET /v1/autoscaler", s.autoscaler)
 	mux.HandleFunc("GET /v1/autoscaler/events", s.autoscalerEvents)
+	mux.HandleFunc("GET /v1/forecast", s.forecast)
+	mux.HandleFunc("POST /v1/loadgen/trace", s.loadgenTrace)
 	mux.HandleFunc("GET /healthz", s.health)
 	return mux
 }
@@ -592,15 +594,19 @@ func scalingEventJSONOf(ev disarcloud.ScalingEvent) scalingEventJSON {
 }
 
 type autoscalerJSON struct {
-	Enabled           bool               `json:"enabled"`
-	Workers           int                `json:"workers"`
-	LiveWorkers       int                `json:"live_workers"`
-	Queued            int                `json:"queued"`
-	InFlight          int                `json:"in_flight"`
-	BacklogETASeconds float64            `json:"backlog_eta_seconds"`
-	MinWorkers        int                `json:"min_workers,omitempty"`
-	MaxWorkers        int                `json:"max_workers,omitempty"`
-	Recent            []scalingEventJSON `json:"recent"`
+	Enabled           bool    `json:"enabled"`
+	Workers           int     `json:"workers"`
+	LiveWorkers       int     `json:"live_workers"`
+	Queued            int     `json:"queued"`
+	InFlight          int     `json:"in_flight"`
+	BacklogETASeconds float64 `json:"backlog_eta_seconds"`
+	MinWorkers        int     `json:"min_workers,omitempty"`
+	MaxWorkers        int     `json:"max_workers,omitempty"`
+	// DroppedEvents counts scaling events lost to slow subscribers over
+	// the service lifetime — the NDJSON events stream below is itself the
+	// likeliest laggard, so the daemon's operators need the gauge here.
+	DroppedEvents uint64             `json:"dropped_events"`
+	Recent        []scalingEventJSON `json:"recent"`
 }
 
 // autoscaler reports the elastic control plane: pool gauges, bounds, and the
@@ -614,6 +620,7 @@ func (s *server) autoscaler(w http.ResponseWriter, _ *http.Request) {
 		Queued:            st.Queued,
 		InFlight:          st.InFlight,
 		BacklogETASeconds: st.BacklogETASeconds,
+		DroppedEvents:     st.DroppedEvents,
 		Recent:            []scalingEventJSON{},
 	}
 	if st.Enabled {
@@ -634,6 +641,171 @@ func (s *server) autoscalerEvents(w http.ResponseWriter, r *http.Request) {
 	streamNDJSON(w, r, events,
 		func(ev disarcloud.ScalingEvent) any { return scalingEventJSONOf(ev) },
 		nil)
+}
+
+type forecastScoreJSON struct {
+	Model string `json:"model"`
+	// SMAPE is a pointer so a legitimate perfect score of 0 (reachable on
+	// an all-zero idle series) stays distinguishable from "not evaluated":
+	// present iff the candidate was scored, absent iff Skipped says why.
+	SMAPE   *float64 `json:"smape,omitempty"`
+	Origins int      `json:"origins,omitempty"`
+	Skipped string   `json:"skipped,omitempty"`
+}
+
+type forecastJSON struct {
+	Enabled      bool   `json:"enabled"`
+	Samples      int    `json:"samples"`
+	TotalSamples uint64 `json:"total_samples"`
+	Model        string `json:"model,omitempty"`
+	// SMAPE is a pointer for the same reason as forecastScoreJSON.SMAPE: a
+	// perfect 0 on an idle series must stay distinguishable from "no model
+	// selected yet". Present iff Model is set.
+	SMAPE                *float64            `json:"smape,omitempty"`
+	Scores               []forecastScoreJSON `json:"scores,omitempty"`
+	NextIntervalArrivals float64             `json:"next_interval_arrivals"`
+	MeanRuntimeSeconds   float64             `json:"mean_runtime_seconds"`
+	PlannerTarget        int                 `json:"planner_target"`
+	Headroom             float64             `json:"headroom,omitempty"`
+	Window               int                 `json:"window,omitempty"`
+	MinSamples           int                 `json:"min_samples,omitempty"`
+	LastError            string              `json:"last_error,omitempty"`
+}
+
+// forecast reports the proactive provisioning subsystem: recorder fill,
+// the model-selection scoreboard, and the planner's latest feed-forward
+// target. On a service without -forecast only {"enabled": false} is live.
+func (s *server) forecast(w http.ResponseWriter, _ *http.Request) {
+	st := s.svc.ForecastStatus()
+	out := forecastJSON{
+		Enabled:              st.Enabled,
+		Samples:              st.Samples,
+		TotalSamples:         st.TotalSamples,
+		Model:                st.Model,
+		NextIntervalArrivals: st.NextIntervalArrivals,
+		MeanRuntimeSeconds:   st.MeanRuntimeSeconds,
+		PlannerTarget:        st.PlannerTarget,
+		Headroom:             st.Headroom,
+		Window:               st.Window,
+		MinSamples:           st.MinSamples,
+		LastError:            st.LastError,
+	}
+	if st.Model != "" {
+		v := st.SMAPE
+		out.SMAPE = &v
+	}
+	for _, sc := range st.Scores {
+		sj := forecastScoreJSON{Model: sc.Name, Origins: sc.Origins, Skipped: sc.Skipped}
+		// Skipped candidates carry sMAPE = +Inf, which encoding/json rejects
+		// (the whole response body would silently come out empty); omit the
+		// field instead — Skipped already says why there is no score.
+		if sc.Skipped == "" && !math.IsInf(sc.SMAPE, 0) && !math.IsNaN(sc.SMAPE) {
+			v := sc.SMAPE
+			sj.SMAPE = &v
+		}
+		out.Scores = append(out.Scores, sj)
+	}
+	writeJSON(w, http.StatusOK, out)
+}
+
+// traceRequest is the synthetic-trace preview body: a loadgen spec as the
+// experiments consume it, so scaling policies can be dry-run against the
+// exact demand curve an experiment would replay.
+type traceRequest struct {
+	Kind       string  `json:"kind"`
+	Intervals  int     `json:"intervals"`
+	Seed       uint64  `json:"seed"`
+	BaseRate   float64 `json:"base_rate"`
+	PeakRate   float64 `json:"peak_rate"`
+	Period     int     `json:"period"`
+	BurstProb  float64 `json:"burst_prob"`
+	CalmProb   float64 `json:"calm_prob"`
+	FlashAt    float64 `json:"flash_at"`
+	FlashWidth int     `json:"flash_width"`
+	// Rates includes the deterministic rate profile alongside the counts.
+	Rates bool `json:"rates"`
+}
+
+// maxReqTraceIntervals caps an HTTP-requested trace: the JSON response is
+// O(intervals), and previews past a few days of seconds-granularity load
+// belong in an offline experiment, not a request handler.
+const maxReqTraceIntervals = 100_000
+
+// buildTraceSpec decodes, defaults and validates a trace request — the
+// fuzz-covered path between client JSON and the loadgen generator.
+func (s *server) buildTraceSpec(req *traceRequest) (disarcloud.TraceSpec, error) {
+	if req.Kind == "" {
+		req.Kind = string(disarcloud.TraceMixed)
+	}
+	if req.Intervals == 0 {
+		req.Intervals = 120
+	}
+	if req.BaseRate == 0 {
+		req.BaseRate = 2
+	}
+	if req.Seed == 0 {
+		req.Seed = s.seed + s.jobSeq.Add(1)*0x9e3779b9
+	}
+	if req.Intervals > maxReqTraceIntervals {
+		return disarcloud.TraceSpec{}, fmt.Errorf("intervals %d exceeds the limit %d", req.Intervals, maxReqTraceIntervals)
+	}
+	spec := disarcloud.TraceSpec{
+		Kind:       disarcloud.TraceKind(req.Kind),
+		Intervals:  req.Intervals,
+		Seed:       req.Seed,
+		BaseRate:   req.BaseRate,
+		PeakRate:   req.PeakRate,
+		Period:     req.Period,
+		BurstProb:  req.BurstProb,
+		CalmProb:   req.CalmProb,
+		FlashAt:    req.FlashAt,
+		FlashWidth: req.FlashWidth,
+	}
+	if err := spec.Validate(); err != nil {
+		return disarcloud.TraceSpec{}, err
+	}
+	return spec, nil
+}
+
+type traceJSON struct {
+	Kind      string    `json:"kind"`
+	Intervals int       `json:"intervals"`
+	Seed      uint64    `json:"seed"`
+	Total     int       `json:"total"`
+	Counts    []int     `json:"counts"`
+	Rates     []float64 `json:"rates,omitempty"`
+}
+
+// loadgenTrace generates a seeded synthetic workload trace from the posted
+// spec — per-interval arrival counts, plus the underlying deterministic
+// rate profile when "rates" is set.
+func (s *server) loadgenTrace(w http.ResponseWriter, r *http.Request) {
+	var req traceRequest
+	if err := json.NewDecoder(http.MaxBytesReader(w, r.Body, 1<<20)).Decode(&req); err != nil {
+		httpError(w, http.StatusBadRequest, fmt.Errorf("decode request: %w", err))
+		return
+	}
+	spec, err := s.buildTraceSpec(&req)
+	if err != nil {
+		httpError(w, http.StatusBadRequest, err)
+		return
+	}
+	counts, rates, err := disarcloud.GenerateTraceWithRates(spec)
+	if err != nil {
+		httpError(w, http.StatusBadRequest, err)
+		return
+	}
+	out := traceJSON{
+		Kind:      string(spec.Kind),
+		Intervals: spec.Intervals,
+		Seed:      spec.Seed,
+		Total:     disarcloud.TraceTotal(counts),
+		Counts:    counts,
+	}
+	if req.Rates {
+		out.Rates = rates
+	}
+	writeJSON(w, http.StatusOK, out)
 }
 
 func (s *server) health(w http.ResponseWriter, _ *http.Request) {

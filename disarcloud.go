@@ -53,9 +53,11 @@ import (
 	"disarcloud/internal/eeb"
 	"disarcloud/internal/elastic"
 	"disarcloud/internal/finmath"
+	"disarcloud/internal/forecast"
 	"disarcloud/internal/fund"
 	"disarcloud/internal/grid"
 	"disarcloud/internal/kb"
+	"disarcloud/internal/loadgen"
 	"disarcloud/internal/policy"
 	"disarcloud/internal/provision"
 	"disarcloud/internal/stochastic"
@@ -237,6 +239,59 @@ type (
 	EstimatorFunc = core.EstimatorFunc
 	// AdmissionError carries the numbers behind an admission rejection.
 	AdmissionError = core.AdmissionError
+)
+
+// Proactive provisioning: the workload-forecasting subsystem that overlays
+// the reactive controller with a feed-forward worker target (hybrid policy:
+// max of the two), plus the seeded synthetic load-trace generators the
+// forecast quality and scaling policies are evaluated on.
+type (
+	// ForecastConfig parameterises the forecasting subsystem (recorder
+	// window, candidate family, headroom, reselection cadence).
+	ForecastConfig = forecast.Config
+	// ForecastStatus is a point-in-time view of the forecast subsystem.
+	ForecastStatus = core.ForecastStatus
+	// Forecaster is a univariate demand model (EWMA, Holt, Holt-Winters,
+	// AR over internal/ml's ridge regression).
+	Forecaster = forecast.Forecaster
+	// ForecastScore is one candidate's rolling-backtest sMAPE.
+	ForecastScore = forecast.Score
+	// TickerFunc supplies the control loop's time source (tests inject a
+	// manual channel for deterministic control-loop tests).
+	TickerFunc = core.TickerFunc
+	// TraceSpec parameterises one synthetic workload trace.
+	TraceSpec = loadgen.Spec
+	// TraceKind names a synthetic trace family.
+	TraceKind = loadgen.Kind
+)
+
+// Synthetic trace families.
+const (
+	TraceDiurnal = loadgen.Diurnal
+	TraceBursty  = loadgen.Bursty
+	TraceRamp    = loadgen.Ramp
+	TraceFlash   = loadgen.Flash
+	TraceMixed   = loadgen.Mixed
+)
+
+// Forecasting and load generation.
+var (
+	// WithForecast enables proactive provisioning (requires WithElastic).
+	WithForecast = core.WithForecast
+	// WithControlTicker replaces the control loop's time source.
+	WithControlTicker = core.WithControlTicker
+	// GenerateTrace draws a trace's per-interval arrival counts,
+	// deterministically in the spec's seed.
+	GenerateTrace = loadgen.Generate
+	// GenerateTraceWithRates also returns the underlying rate profile,
+	// computed once.
+	GenerateTraceWithRates = loadgen.GenerateWithRates
+	// TraceRates returns a trace's deterministic rate profile.
+	TraceRates = loadgen.Rates
+	// TraceTotal sums a trace's arrivals.
+	TraceTotal = loadgen.Total
+	// TraceKindsAll lists every trace family.
+	TraceKindsAll = loadgen.Kinds
 )
 
 // Service construction.

@@ -113,27 +113,55 @@ type AutoscalerStatus struct {
 	BacklogETASeconds float64
 	// Config is the controller configuration in force (zero when disabled).
 	Config elastic.Config
+	// DroppedEvents counts scaling events lost to slow subscribers over the
+	// service's lifetime (summed across subscribers, unsubscribed ones
+	// included). A growing value means an events consumer is not keeping up
+	// with its buffer.
+	DroppedEvents uint64
 	// Recent holds the latest scaling decisions, oldest first.
 	Recent []ScalingEvent
+}
+
+// TickerFunc supplies the control loop's time source: it returns a tick
+// channel and a stop function. The default wraps time.NewTicker; tests
+// inject a manual channel so control-loop sampling and decision application
+// are deterministic without sleeps.
+type TickerFunc func(d time.Duration) (<-chan time.Time, func())
+
+// defaultTicker is the production TickerFunc.
+func defaultTicker(d time.Duration) (<-chan time.Time, func()) {
+	t := time.NewTicker(d)
+	return t.C, t.Stop
+}
+
+// eventSub is one scaling-event subscriber with its drop counter: events
+// the buffered channel could not take because the consumer lagged.
+type eventSub struct {
+	ch      chan ScalingEvent
+	dropped uint64
 }
 
 // autoscaler is the service-side state of the elastic control plane: the
 // controller, the decision history ring, and the event subscribers.
 type autoscaler struct {
-	ctrl *elastic.Controller
-	tick time.Duration
+	ctrl      *elastic.Controller
+	tick      time.Duration
+	newTicker TickerFunc
 
-	mu     sync.Mutex
-	recent []ScalingEvent
-	subs   []chan ScalingEvent
-	closed bool
+	mu           sync.Mutex
+	recent       []ScalingEvent
+	subs         []*eventSub
+	totalDropped uint64 // drops ever, surviving unsubscribes
+	closed       bool
 }
 
 // maxRecentDecisions bounds the per-service decision history.
 const maxRecentDecisions = 64
 
 // record appends a decision to the history ring and fans it out to
-// subscribers; slow subscribers lose events, as with job progress.
+// subscribers; slow subscribers lose events, as with job progress, but
+// every loss is counted — per subscriber and in the service-lifetime total
+// AutoscalerStatus surfaces.
 func (a *autoscaler) record(dec ScalingEvent) {
 	a.mu.Lock()
 	defer a.mu.Unlock()
@@ -141,38 +169,47 @@ func (a *autoscaler) record(dec ScalingEvent) {
 	if len(a.recent) > maxRecentDecisions {
 		a.recent = a.recent[len(a.recent)-maxRecentDecisions:]
 	}
-	for _, ch := range a.subs {
+	for _, sub := range a.subs {
 		select {
-		case ch <- dec:
+		case sub.ch <- dec:
 		default:
+			sub.dropped++
+			a.totalDropped++
 		}
 	}
 }
 
 // subscribe registers an event channel; the returned func unsubscribes.
 func (a *autoscaler) subscribe(buffer int) (<-chan ScalingEvent, func()) {
-	ch := make(chan ScalingEvent, buffer)
+	sub := &eventSub{ch: make(chan ScalingEvent, buffer)}
 	a.mu.Lock()
 	defer a.mu.Unlock()
 	if a.closed {
-		close(ch)
-		return ch, func() {}
+		close(sub.ch)
+		return sub.ch, func() {}
 	}
-	a.subs = append(a.subs, ch)
+	a.subs = append(a.subs, sub)
 	var once sync.Once
-	return ch, func() {
+	return sub.ch, func() {
 		once.Do(func() {
 			a.mu.Lock()
 			defer a.mu.Unlock()
-			for i, c := range a.subs {
-				if c == ch {
+			for i, s := range a.subs {
+				if s == sub {
 					a.subs = append(a.subs[:i], a.subs[i+1:]...)
-					close(ch)
+					close(sub.ch)
 					return
 				}
 			}
 		})
 	}
+}
+
+// dropped returns the lifetime count of events lost to slow subscribers.
+func (a *autoscaler) dropped() uint64 {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	return a.totalDropped
 }
 
 // close releases every subscriber.
@@ -183,8 +220,8 @@ func (a *autoscaler) close() {
 		return
 	}
 	a.closed = true
-	for _, ch := range a.subs {
-		close(ch)
+	for _, sub := range a.subs {
+		close(sub.ch)
 	}
 	a.subs = nil
 }
@@ -241,6 +278,7 @@ func (s *Service) AutoscalerStatus() AutoscalerStatus {
 	if s.scaler != nil {
 		out.Enabled = true
 		out.Config = s.scaler.ctrl.Config()
+		out.DroppedEvents = s.scaler.dropped()
 		out.Recent = s.scaler.snapshotRecent()
 	}
 	return out
@@ -260,35 +298,93 @@ func (s *Service) AutoscalerEvents(buffer int) (<-chan ScalingEvent, func()) {
 	return s.scaler.subscribe(buffer)
 }
 
-// controlLoop samples the scheduler every tick and applies the controller's
-// decisions until the service closes. It runs on the service's WaitGroup so
-// Close observes its exit.
+// controlLoop drives controlTick on the configured time source until the
+// service closes. It runs on the service's WaitGroup so Close observes its
+// exit. The time source is injectable (WithControlTicker) so tests drive
+// ticks deterministically; a closed tick channel also ends the loop.
 func (s *Service) controlLoop() {
 	defer s.wg.Done()
-	ticker := time.NewTicker(s.scaler.tick)
-	defer ticker.Stop()
+	ticks, stop := s.scaler.newTicker(s.scaler.tick)
+	defer stop()
 	for {
 		select {
 		case <-s.baseCtx.Done():
 			return
-		case now := <-ticker.C:
-			st := s.sched.stats()
-			sig := elastic.Signals{
-				Now:               now,
-				Queued:            st.Queued,
-				InFlight:          st.InFlight,
-				Workers:           st.Target,
-				BacklogETASeconds: st.QueuedETA,
+		case now, ok := <-ticks:
+			if !ok {
+				return
 			}
-			if !st.EarliestDeadline.IsZero() {
-				sig.SlackSeconds = st.EarliestDeadline.Sub(now).Seconds()
-			}
-			dec, act := s.scaler.ctrl.Decide(sig)
-			if !act {
-				continue
-			}
-			s.spawn(s.sched.setTarget(dec.Target))
-			s.scaler.record(dec)
+			s.controlTick(now)
 		}
 	}
+}
+
+// controlTick is one control-loop iteration: sample the scheduler, feed the
+// forecast recorder, take the reactive controller's decision, and overlay
+// the proactive planner. The hybrid policy applies the MAXIMUM of the
+// reactive decision (or the current pool when the controller is silent)
+// and the planner target — feed-forward provisioning can only ever add
+// capacity, and a planner target above a reactive shrink overrides the
+// shrink ("forecast" decisions; the forecast says the demand is coming
+// back, so releasing now would thrash). Downward, when the reactive
+// controller is silent and the planner's target has sat persistently
+// below the pool with the queue no deeper than the pool itself, one
+// worker per tick is released ("forecast-idle" decisions) — the forecast
+// knows the demand is gone before the reactive pressure gauge, which
+// hovers at its threshold on a right-sized pool, manages to detect
+// idleness.
+func (s *Service) controlTick(now time.Time) {
+	st := s.sched.stats()
+	if s.fc != nil {
+		s.fc.record(now, st)
+	}
+	sig := elastic.Signals{
+		Now:               now,
+		Queued:            st.Queued,
+		InFlight:          st.InFlight,
+		Workers:           st.Target,
+		BacklogETASeconds: st.QueuedETA,
+	}
+	if !st.EarliestDeadline.IsZero() {
+		sig.SlackSeconds = st.EarliestDeadline.Sub(now).Seconds()
+	}
+	dec, act := s.scaler.ctrl.Decide(sig)
+	final := st.Target
+	if act {
+		final = dec.Target
+	}
+	if s.fc != nil {
+		cfg := s.scaler.ctrl.Config()
+		p, shed := s.fc.plan(s.scaler.tick, cfg.MaxWorkers, st.Target)
+		// Forecast grows obey the controller's MaxStep per tick — the
+		// planner replaces the grow *cooldown* (its persistence and horizon
+		// smoothing already damp decision churn, and capacity ordered ahead
+		// of demand is the subsystem's point), but the per-decision step
+		// bound is a provisioning rate limit, not damping, and bypassing it
+		// would let one plan slam a 1-worker pool to the ceiling.
+		if p > st.Target+cfg.MaxStep {
+			p = st.Target + cfg.MaxStep
+		}
+		switch {
+		case p > final:
+			final = p
+			dec = elastic.Decision{At: now, From: st.Target, Target: p, Reason: "forecast", Signals: sig}
+			act = true
+		case shed && !act && st.Target > cfg.MinWorkers && st.Queued <= st.Target:
+			final = st.Target - 1
+			dec = elastic.Decision{At: now, From: st.Target, Target: final, Reason: "forecast-idle", Signals: sig}
+			act = true
+		}
+	}
+	if act && s.fc != nil && dec.Reason != "forecast-idle" {
+		// Any other applied decision — reactive grow/shrink or a forecast
+		// grow — restarts the release path's persistence window, so a shed
+		// can never land on the heels of a grow.
+		s.fc.resetShed()
+	}
+	if !act || final == st.Target {
+		return
+	}
+	s.spawn(s.sched.setTarget(final))
+	s.scaler.record(dec)
 }

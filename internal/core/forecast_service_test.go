@@ -1,0 +1,277 @@
+package core
+
+import (
+	"testing"
+	"time"
+
+	"disarcloud/internal/elastic"
+	"disarcloud/internal/forecast"
+)
+
+// manualTicker returns a TickerFunc serving the given channel: the test
+// drives control-loop iterations by sending synthetic timestamps, with no
+// real clock and no sleeps anywhere.
+func manualTicker(ch chan time.Time) TickerFunc {
+	return func(time.Duration) (<-chan time.Time, func()) { return ch, func() {} }
+}
+
+// tickService builds a 2..8 elastic service driven by a manual ticker.
+func tickService(t *testing.T, ticks chan time.Time, extra ...ServiceOption) *Service {
+	t.Helper()
+	d, err := NewDeployer(11)
+	if err != nil {
+		t.Fatal(err)
+	}
+	opts := append([]ServiceOption{
+		WithWorkers(2),
+		WithElastic(elastic.Config{MinWorkers: 2, MaxWorkers: 8}),
+		WithControlTicker(manualTicker(ticks)),
+	}, extra...)
+	svc, err := NewService(d, opts...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return svc
+}
+
+// TestControlTickerInjectable: with an injected tick channel, control-loop
+// sampling and decision application are fully deterministic — a pool nudged
+// below the elastic floor is corrected on exactly the tick we send, and no
+// decision happens without a tick.
+func TestControlTickerInjectable(t *testing.T) {
+	ticks := make(chan time.Time)
+	svc := tickService(t, ticks)
+	defer svc.Close()
+
+	events, unsub := svc.AutoscalerEvents(8)
+	defer unsub()
+
+	// Nudge the pool below the controller's floor. No tick has fired, so
+	// nothing corrects it yet.
+	if err := svc.Resize(1); err != nil {
+		t.Fatal(err)
+	}
+	if got := svc.Workers(); got != 1 {
+		t.Fatalf("workers after manual resize = %d, want 1", got)
+	}
+	select {
+	case ev := <-events:
+		t.Fatalf("decision %+v before any tick", ev)
+	default:
+	}
+
+	// One synthetic tick: the controller must observe workers < MinWorkers
+	// and decide "floor" back to 2, on exactly the timestamp we sent.
+	now := time.Unix(5000, 0)
+	ticks <- now
+	select {
+	case ev := <-events:
+		if ev.Reason != "floor" || ev.From != 1 || ev.Target != 2 {
+			t.Fatalf("decision %+v, want floor 1->2", ev)
+		}
+		if !ev.At.Equal(now) {
+			t.Fatalf("decision stamped %v, want the injected tick time %v", ev.At, now)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("no decision after the injected tick")
+	}
+	if got := svc.Workers(); got != 2 {
+		t.Fatalf("workers after floor correction = %d, want 2", got)
+	}
+}
+
+// TestAutoscalerEventDropsCounted: events lost to a slow subscriber are
+// counted per subscriber and surfaced in AutoscalerStatus as the lifetime
+// total — the regression test for the formerly silent drop.
+func TestAutoscalerEventDropsCounted(t *testing.T) {
+	a := &autoscaler{}
+	ch, unsub := a.subscribe(1)
+	dec := ScalingEvent{From: 1, Target: 2, Reason: "backlog"}
+	for i := 0; i < 4; i++ {
+		a.record(dec)
+	}
+	if got := a.dropped(); got != 3 {
+		t.Fatalf("dropped = %d after 4 records into a 1-buffer subscriber, want 3", got)
+	}
+	if got := len(ch); got != 1 {
+		t.Fatalf("subscriber holds %d events, want 1", got)
+	}
+	if a.subs[0].dropped != 3 {
+		t.Fatalf("per-subscriber drop counter = %d, want 3", a.subs[0].dropped)
+	}
+	// A healthy second subscriber must not inherit the drops.
+	ch2, unsub2 := a.subscribe(4)
+	a.record(dec)
+	if got := a.dropped(); got != 4 { // first subscriber still full
+		t.Fatalf("dropped = %d, want 4", got)
+	}
+	if a.subs[1].dropped != 0 || len(ch2) != 1 {
+		t.Fatalf("healthy subscriber dropped %d events", a.subs[1].dropped)
+	}
+	// The total survives unsubscribes — it is service-lifetime telemetry.
+	unsub()
+	unsub2()
+	if got := a.dropped(); got != 4 {
+		t.Fatalf("dropped = %d after unsubscribe, want 4", got)
+	}
+}
+
+// TestAutoscalerStatusSurfacesDrops: the service-level wiring of the drop
+// counter, driven end to end through the control loop with a full
+// zero-buffer subscriber.
+func TestAutoscalerStatusSurfacesDrops(t *testing.T) {
+	ticks := make(chan time.Time)
+	svc := tickService(t, ticks)
+
+	// A zero-buffer subscription with no reader: every event drops.
+	_, unsub := svc.AutoscalerEvents(0)
+	defer unsub()
+
+	if err := svc.Resize(1); err != nil {
+		t.Fatal(err)
+	}
+	ticks <- time.Unix(6000, 0) // floor decision -> dropped event
+	svc.Close()                 // waits for the control loop, so the tick is fully processed
+
+	st := svc.AutoscalerStatus()
+	if st.DroppedEvents != 1 {
+		t.Fatalf("DroppedEvents = %d, want 1", st.DroppedEvents)
+	}
+	if len(st.Recent) != 1 || st.Recent[0].Reason != "floor" {
+		t.Fatalf("Recent = %+v, want the floor decision", st.Recent)
+	}
+}
+
+// TestWithForecastRequiresElastic: the hybrid policy overlays the reactive
+// controller, so forecasting without it is a construction error.
+func TestWithForecastRequiresElastic(t *testing.T) {
+	d, err := NewDeployer(12)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := NewService(d, WithForecast(forecast.Config{})); err == nil {
+		t.Fatal("NewService accepted WithForecast without WithElastic")
+	}
+	// And a bad forecast config is rejected too.
+	if _, err := NewService(d,
+		WithElastic(elastic.Config{MaxWorkers: 8}),
+		WithForecast(forecast.Config{Headroom: 0.2})); err == nil {
+		t.Fatal("NewService accepted an invalid forecast config")
+	}
+}
+
+// TestForecastDisabledStatus: without WithForecast the status is inert.
+func TestForecastDisabledStatus(t *testing.T) {
+	d, err := NewDeployer(13)
+	if err != nil {
+		t.Fatal(err)
+	}
+	svc, err := NewService(d, WithWorkers(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer svc.Close()
+	if st := svc.ForecastStatus(); st.Enabled {
+		t.Fatal("ForecastStatus.Enabled on a service without WithForecast")
+	}
+}
+
+// TestForecastRecordsSamplePerTick: each control tick records exactly one
+// telemetry sample — driven deterministically through the manual ticker.
+func TestForecastRecordsSamplePerTick(t *testing.T) {
+	ticks := make(chan time.Time)
+	svc := tickService(t, ticks, WithForecast(forecast.Config{}))
+
+	const n = 5
+	base := time.Unix(7000, 0)
+	for i := 0; i < n; i++ {
+		ticks <- base.Add(time.Duration(i) * time.Second)
+	}
+	svc.Close() // waits for the control loop: all sent ticks processed
+
+	st := svc.ForecastStatus()
+	if !st.Enabled {
+		t.Fatal("ForecastStatus not enabled")
+	}
+	if st.Samples != n || st.TotalSamples != n {
+		t.Fatalf("Samples = %d / TotalSamples = %d after %d ticks, want %d",
+			st.Samples, st.TotalSamples, n, n)
+	}
+}
+
+// TestHybridForecastDecision: with demand history and a runtime signal
+// planted in the recorder, the next tick produces a "forecast" scaling
+// decision to the planner's Little's-law target — capacity added before any
+// queue pressure exists, which is the whole point of the subsystem.
+func TestHybridForecastDecision(t *testing.T) {
+	ticks := make(chan time.Time)
+	svc := tickService(t, ticks,
+		WithElasticTick(time.Second), // 1s intervals: lambda = arrivals/interval
+		WithForecast(forecast.Config{MinSamples: 8, Headroom: 1.2}),
+	)
+	defer svc.Close()
+
+	events, unsub := svc.AutoscalerEvents(8)
+	defer unsub()
+
+	// Plant a steady 5-jobs-per-interval history and a measured occupancy of
+	// 1s per job: Little's law wants ceil(5 * 1 * 1.2) = 6 workers.
+	base := time.Unix(8000, 0)
+	for i := 0; i < 16; i++ {
+		svc.fc.rec.Add(forecast.Sample{At: base.Add(time.Duration(i) * time.Second), Submissions: 5})
+	}
+	svc.fc.observeMeasured(1.0)
+
+	ticks <- base.Add(16 * time.Second)
+	select {
+	case ev := <-events:
+		if ev.Reason != "forecast" {
+			t.Fatalf("decision %+v, want reason forecast", ev)
+		}
+		if ev.From != 2 || ev.Target <= 2 || ev.Target > 8 {
+			t.Fatalf("forecast decision %d->%d outside expectations", ev.From, ev.Target)
+		}
+		if got := svc.Workers(); got != ev.Target {
+			t.Fatalf("workers = %d, decision target %d", got, ev.Target)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("no forecast decision after the tick")
+	}
+
+	st := svc.ForecastStatus()
+	if st.Model == "" {
+		t.Fatal("no model selected after planning tick")
+	}
+	if st.PlannerTarget <= 2 {
+		t.Fatalf("PlannerTarget = %d, want > 2", st.PlannerTarget)
+	}
+	if st.MeanRuntimeSeconds <= 0 {
+		t.Fatalf("MeanRuntimeSeconds = %g, want > 0", st.MeanRuntimeSeconds)
+	}
+}
+
+// TestForecastNeverSuppressesReactive: a proactive target below the current
+// pool must not shrink it — max(reactive, proactive) leaves shrinking to
+// the reactive controller's stability window.
+func TestForecastNeverSuppressesReactive(t *testing.T) {
+	ticks := make(chan time.Time)
+	svc := tickService(t, ticks,
+		WithElasticTick(time.Second),
+		WithForecast(forecast.Config{MinSamples: 8}),
+	)
+
+	// Zero-demand history: the planner's opinion is 0 (no demand). The pool
+	// sits at its floor of 2 with no load; nothing may move it.
+	base := time.Unix(9000, 0)
+	for i := 0; i < 16; i++ {
+		svc.fc.rec.Add(forecast.Sample{At: base.Add(time.Duration(i) * time.Second)})
+	}
+	svc.fc.observeMeasured(1.0)
+	for i := 0; i < 3; i++ {
+		ticks <- base.Add(time.Duration(16+i) * time.Second)
+	}
+	svc.Close()
+	if st := svc.AutoscalerStatus(); len(st.Recent) != 0 {
+		t.Fatalf("decisions %+v on an idle floored pool", st.Recent)
+	}
+}

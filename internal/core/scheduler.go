@@ -68,6 +68,12 @@ type scheduler struct {
 	// and executing jobs that carry one; estimate-less jobs contribute 0.
 	queuedETA  float64
 	runningETA float64
+
+	// submittedTotal / completedTotal count jobs ever accepted and ever
+	// finished — monotone counters the forecast recorder differences into
+	// per-interval submission and completion rates.
+	submittedTotal uint64
+	completedTotal uint64
 }
 
 func newScheduler(capacity, workers int) *scheduler {
@@ -82,6 +88,9 @@ type schedStats struct {
 	Queued, InFlight      int
 	LiveWorkers, Target   int
 	QueuedETA, RunningETA float64
+	// SubmittedTotal / CompletedTotal are the monotone job counters feeding
+	// the forecast recorder's per-interval rates.
+	SubmittedTotal, CompletedTotal uint64
 	// EarliestDeadline is the head of the EDF queue; zero when no queued job
 	// carries a finite deadline.
 	EarliestDeadline time.Time
@@ -94,6 +103,7 @@ func (s *scheduler) stats() schedStats {
 		Queued: len(s.heap), InFlight: s.inFlight,
 		LiveWorkers: s.liveWorkers, Target: s.targetWorkers,
 		QueuedETA: s.queuedETA, RunningETA: s.runningETA,
+		SubmittedTotal: s.submittedTotal, CompletedTotal: s.completedTotal,
 	}
 	if len(s.heap) > 0 && s.heap[0].deadline.Before(noDeadline) {
 		st.EarliestDeadline = s.heap[0].deadline
@@ -146,6 +156,7 @@ func (s *scheduler) push(j *job, admission bool) error {
 	}
 	heap.Push(&s.heap, j)
 	s.queuedETA += j.etaSeconds
+	s.submittedTotal++
 	s.cond.Broadcast()
 	return nil
 }
@@ -186,6 +197,7 @@ func (s *scheduler) done(j *job) {
 	if s.runningETA < 0 {
 		s.runningETA = 0
 	}
+	s.completedTotal++
 }
 
 // setTarget moves the pool target and returns how many new workers the

@@ -10,6 +10,7 @@ import (
 
 	"disarcloud/internal/eeb"
 	"disarcloud/internal/elastic"
+	"disarcloud/internal/forecast"
 	"disarcloud/internal/grid"
 )
 
@@ -50,7 +51,9 @@ type serviceConfig struct {
 	retention  int
 	elastic    *elastic.Config
 	tick       time.Duration
+	ticker     TickerFunc
 	estimator  RuntimeEstimator
+	forecast   *forecast.Config
 }
 
 // WithWorkers sets the number of valuations the service runs concurrently —
@@ -72,6 +75,29 @@ func WithElastic(cfg elastic.Config) ServiceOption {
 // DefaultElasticTick).
 func WithElasticTick(d time.Duration) ServiceOption {
 	return func(c *serviceConfig) { c.tick = d }
+}
+
+// WithControlTicker replaces the control loop's time source. Production
+// never needs it; tests inject a manual tick channel so control-loop
+// sampling and decision application are deterministic without sleeps — the
+// time values sent on the channel become the Signals.Now the controller
+// decides on.
+func WithControlTicker(fn TickerFunc) ServiceOption {
+	return func(c *serviceConfig) { c.ticker = fn }
+}
+
+// WithForecast enables proactive provisioning on top of the elastic control
+// plane (it requires WithElastic): the control loop records per-interval
+// telemetry into a ring, a rolling-backtest selector keeps the
+// lowest-sMAPE forecast model (EWMA / Holt / Holt-Winters / AR) fitted on
+// the arrival series, and a planner converts the forecast arrival rate
+// times the KB-predicted mean job runtime into a feed-forward worker
+// target. Each tick the hybrid policy applies max(reactive controller
+// decision, planner target), clamped to the elastic bounds — bursts the
+// models anticipate are paid for before the queue builds, while everything
+// the forecast misses still falls through to the reactive path.
+func WithForecast(cfg forecast.Config) ServiceOption {
+	return func(c *serviceConfig) { c.forecast = &cfg }
 }
 
 // WithAdmissionControl enables deadline-aware admission: every submission is
@@ -111,6 +137,7 @@ type Service struct {
 	retention int
 	estimator RuntimeEstimator // nil = no admission control
 	scaler    *autoscaler      // nil = fixed pool
+	fc        *forecastState   // nil = reactive-only scaling
 
 	baseCtx    context.Context
 	baseCancel context.CancelFunc
@@ -173,12 +200,36 @@ func NewService(d *Deployer, opts ...ServiceOption) (*Service, error) {
 		if tick <= 0 {
 			tick = DefaultElasticTick
 		}
-		s.scaler = &autoscaler{ctrl: ctrl, tick: tick}
+		ticker := cfg.ticker
+		if ticker == nil {
+			ticker = defaultTicker
+		}
+		s.scaler = &autoscaler{ctrl: ctrl, tick: tick, newTicker: ticker}
 		if cfg.workers < ctrl.Config().MinWorkers || cfg.workers > ctrl.Config().MaxWorkers {
 			cancel()
 			return nil, fmt.Errorf("core: initial pool %d outside the elastic bounds [%d,%d]",
 				cfg.workers, ctrl.Config().MinWorkers, ctrl.Config().MaxWorkers)
 		}
+	}
+	if cfg.forecast != nil {
+		if s.scaler == nil {
+			cancel()
+			return nil, errors.New("core: WithForecast requires WithElastic (the hybrid policy overlays the reactive controller)")
+		}
+		// The planner prices demand with the same KB ensemble admission
+		// control uses; without admission control it gets its own estimator
+		// over the shared deployer (this does NOT enable admission — that
+		// stays keyed on WithAdmissionControl).
+		est := cfg.estimator
+		if est == nil {
+			est = PredictorEstimator(d)
+		}
+		fc, err := newForecastState(*cfg.forecast, est)
+		if err != nil {
+			cancel()
+			return nil, err
+		}
+		s.fc = fc
 	}
 	s.spawn(s.sched.setTarget(cfg.workers))
 	if s.scaler != nil {
@@ -218,13 +269,33 @@ func (s *Service) submitJob(ctx context.Context, spec SimulationSpec) (*job, err
 	// Runtime-estimate outside the service lock: the predictor-backed
 	// estimator walks the whole catalog. Non-finite estimates (a degenerate
 	// model extrapolation) are discarded — admission control only ever acts
-	// on a usable positive prediction.
+	// on a usable positive prediction. The forecast planner shares the
+	// estimate (its own estimator when admission control is off), scaled by
+	// the job's pace factor into the wall-clock worker occupancy Little's
+	// law needs; a forecast-only estimate feeds ONLY the planner — it must
+	// not reach j.etaSeconds below, where it would populate the scheduler's
+	// backlog-ETA sums and switch on the reactive controller's
+	// deadline-pressure trigger as a side effect of WithForecast.
 	var eta float64
-	if s.estimator != nil {
-		if secs, ok := s.estimator.EstimateSeconds(spec); ok && secs > 0 &&
+	est := s.estimator
+	if est == nil && s.fc != nil && spec.PaceFactor > 0 {
+		// The forecast-only estimate is consumed solely by observePredicted
+		// below, which needs a positive pace factor to convert it into
+		// wall-clock occupancy — don't pay the catalog walk for a result
+		// that would be discarded.
+		est = s.fc.est
+	}
+	if est != nil {
+		if secs, ok := est.EstimateSeconds(spec); ok && secs > 0 &&
 			!math.IsNaN(secs) && !math.IsInf(secs, 0) {
 			eta = secs
 		}
+	}
+	if s.fc != nil && eta > 0 && spec.PaceFactor > 0 {
+		s.fc.observePredicted(eta * spec.PaceFactor)
+	}
+	if s.estimator == nil {
+		eta = 0
 	}
 	s.mu.Lock()
 	if s.closed {
@@ -408,7 +479,13 @@ func (s *Service) worker() {
 // run executes one job end to end and settles its terminal state.
 func (s *Service) run(j *job) {
 	j.start()
+	began := time.Now()
 	rep, err := s.runGuarded(j)
+	if s.fc != nil && err == nil {
+		// Completed jobs feed the planner's measured-occupancy fallback —
+		// the runtime signal that works before the KB ensemble trains.
+		s.fc.observeMeasured(time.Since(began).Seconds())
+	}
 	j.finish(rep, err)
 	j.cancel() // release the job context's resources
 	s.sched.done(j)

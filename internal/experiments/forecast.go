@@ -1,0 +1,283 @@
+package experiments
+
+import (
+	"context"
+	"fmt"
+	"sort"
+	"sync"
+	"time"
+
+	"disarcloud/internal/actuarial"
+	"disarcloud/internal/core"
+	"disarcloud/internal/elastic"
+	"disarcloud/internal/forecast"
+	"disarcloud/internal/fund"
+	"disarcloud/internal/loadgen"
+	"disarcloud/internal/policy"
+)
+
+// forecastInterval is the replay granularity: one loadgen trace interval of
+// real time, and also the control-loop tick, so one telemetry sample
+// corresponds to one trace interval and the seasonal period survives the
+// unit change.
+const forecastInterval = 50 * time.Millisecond
+
+// forecastTraceIntervals is the replay length: nine diurnal periods, so
+// Holt-Winters has history to initialise on and seasons left to prove
+// itself over; the short period makes each rise steep enough that a purely
+// reactive pool pays a visible lag.
+const (
+	forecastTraceIntervals = 144
+	forecastSeasonPeriod   = 16
+)
+
+// ForecastRunStats summarises one trace replay on a service: per-job
+// latency quantiles, the wall-clock span, and what the capacity cost —
+// worker-seconds is the integral of the provisioned pool size from the
+// first submission to the last job completion, i.e. what the pool would
+// bill.
+type ForecastRunStats struct {
+	Jobs          int
+	P50           time.Duration
+	P95           time.Duration
+	Max           time.Duration
+	Wall          time.Duration
+	PeakWorkers   int
+	WorkerSeconds float64
+	Decisions     int
+	// Model is the forecast model in force at the end of a hybrid run
+	// (empty on reactive-only runs).
+	Model string
+}
+
+// ForecastComparison is the reactive-versus-hybrid record of one synthetic
+// trace — the measurement behind the EXPERIMENTS.md table.
+type ForecastComparison struct {
+	Trace    loadgen.Kind
+	Reactive ForecastRunStats
+	Hybrid   ForecastRunStats
+}
+
+// forecastTraceSpec builds the replayed demand curve for one family,
+// deterministic in seed.
+func forecastTraceSpec(kind loadgen.Kind, seed uint64) loadgen.Spec {
+	spec := loadgen.Spec{
+		Kind:      kind,
+		Intervals: forecastTraceIntervals,
+		Seed:      seed,
+		BaseRate:  1,
+		PeakRate:  5,
+		Period:    forecastSeasonPeriod,
+	}
+	if kind == loadgen.Bursty {
+		// A few sustained bursts per trace (mean length 1/CalmProb = 10
+		// intervals): long enough that a lagging reactive pool accumulates a
+		// deep queue — the regime feed-forward provisioning exists for.
+		spec.BurstProb = 0.06
+		spec.CalmProb = 0.10
+	}
+	return spec
+}
+
+// forecastBaseSpec is the per-job valuation of the replay: a deliberately
+// tiny book (local compute well under a millisecond) whose worker
+// occupancy is almost entirely the pace-restored remote-execution wait,
+// ~40-70ms of wall clock per job. That keeps the pool — not the local CPU —
+// the contended resource, so the comparison isolates the provisioning
+// policies even on a small test machine.
+func forecastBaseSpec(seed uint64) core.SimulationSpec {
+	spec := elasticBaseSpec(seed)
+	spec.Portfolio = &policy.Portfolio{
+		Name: fmt.Sprintf("fc-%d", seed),
+		Contracts: []policy.Contract{
+			{Kind: policy.Endowment, Age: 45, Gender: actuarial.Male, Term: 8,
+				InsuredSum: 10000, Beta: 0.8, TechnicalRate: 0.02, Count: 5},
+		},
+	}
+	spec.Fund = fund.TypicalItalianFund(2, spec.Market)
+	spec.Outer = 16
+	spec.Inner = 2
+	spec.MaxWorkers = 1
+	spec.PaceFactor = 1.2e-3
+	return spec
+}
+
+// forecastElastic is the reactive controller both runs share: the hybrid
+// run differs ONLY in the planner overlay, so any latency or cost delta is
+// attributable to feed-forward provisioning. Shrinks are deliberately
+// responsive (short cooldown and stability window) so the pool deflates in
+// demand troughs and every rise re-pays the scale-up lag — the regime the
+// forecast subsystem exists for.
+func forecastElastic() elastic.Config {
+	return elastic.Config{
+		MinWorkers:        1,
+		MaxWorkers:        12,
+		ScaleDownPressure: 0.9,
+		ScaleUpCooldown:   5 * forecastInterval,
+		ScaleDownCooldown: 1 * forecastInterval,
+		ShrinkStableFor:   2 * forecastInterval,
+		MaxStep:           2,
+	}
+}
+
+// RunForecastComparison replays the bursty and diurnal loadgen traces
+// against the same valuation service twice — reactive-only autoscaling
+// versus the hybrid policy (reactive plus the feed-forward planner) — and
+// reports per-job latency quantiles and worker-seconds consumed. Traces and
+// valuations are deterministic in seed; the replay itself is wall-clock
+// paced, so latencies carry ordinary scheduling jitter.
+func RunForecastComparison(seed uint64) ([]ForecastComparison, error) {
+	var out []ForecastComparison
+	for _, kind := range []loadgen.Kind{loadgen.Bursty, loadgen.Diurnal} {
+		trace, err := loadgen.Generate(forecastTraceSpec(kind, seed))
+		if err != nil {
+			return nil, err
+		}
+		reactive, err := replayTrace(trace, seed, false)
+		if err != nil {
+			return nil, fmt.Errorf("experiments: %s reactive run: %w", kind, err)
+		}
+		hybrid, err := replayTrace(trace, seed, true)
+		if err != nil {
+			return nil, fmt.Errorf("experiments: %s hybrid run: %w", kind, err)
+		}
+		out = append(out, ForecastComparison{Trace: kind, Reactive: *reactive, Hybrid: *hybrid})
+	}
+	return out, nil
+}
+
+// replayTrace submits trace[i] jobs in interval i, paced in real time, and
+// waits for the backlog to drain. withForecast selects the hybrid policy.
+func replayTrace(trace []int, seed uint64, withForecast bool) (*ForecastRunStats, error) {
+	// Relaxed retrain cadence: at several hundred jobs a per-sample retrain
+	// serialises the whole replay behind the deployer lock and the measured
+	// occupancy stops reflecting the pool.
+	d, err := core.NewDeployer(seed, core.WithRetrainEvery(25))
+	if err != nil {
+		return nil, err
+	}
+	opts := []core.ServiceOption{
+		core.WithWorkers(1),
+		core.WithQueueDepth(4096),
+		core.WithElastic(forecastElastic()),
+		core.WithElasticTick(forecastInterval),
+	}
+	if withForecast {
+		opts = append(opts, core.WithForecast(forecast.Config{
+			Window:         forecastTraceIntervals,
+			MinSamples:     6,
+			Headroom:       1,
+			SeasonPeriod:   forecastSeasonPeriod,
+			ARLags:         forecastSeasonPeriod,
+			ReselectEvery:  8,
+			BacktestWindow: 36,
+		}))
+	}
+	svc, err := core.NewService(d, opts...)
+	if err != nil {
+		return nil, err
+	}
+	defer svc.Close()
+
+	// Record the scaling trace: worker-seconds integrates the pool level
+	// over it, and the peak falls out of it.
+	events, unsub := svc.AutoscalerEvents(1024)
+	var decisions []core.ScalingEvent
+	var traceWG sync.WaitGroup
+	traceWG.Add(1)
+	go func() {
+		defer traceWG.Done()
+		for ev := range events {
+			decisions = append(decisions, ev)
+		}
+	}()
+
+	ctx := context.Background()
+	start := time.Now()
+	next := start
+	jobSeed := seed
+	var ids []core.JobID
+	for _, n := range trace {
+		for k := 0; k < n; k++ {
+			jobSeed += 101
+			id, err := svc.Submit(ctx, forecastBaseSpec(jobSeed))
+			if err != nil {
+				return nil, err
+			}
+			ids = append(ids, id)
+		}
+		next = next.Add(forecastInterval)
+		if dt := time.Until(next); dt > 0 {
+			time.Sleep(dt)
+		}
+	}
+	for _, id := range ids {
+		if _, err := svc.Result(ctx, id); err != nil {
+			return nil, err
+		}
+	}
+	wall := time.Since(start)
+
+	var latencies []time.Duration
+	lastFinish := start
+	for _, id := range ids {
+		snap, err := svc.Status(id)
+		if err != nil {
+			return nil, err
+		}
+		if snap.FinishedAt.IsZero() {
+			return nil, fmt.Errorf("experiments: job %s not terminal after results", id)
+		}
+		latencies = append(latencies, snap.FinishedAt.Sub(snap.SubmittedAt))
+		if snap.FinishedAt.After(lastFinish) {
+			lastFinish = snap.FinishedAt
+		}
+	}
+	sort.Slice(latencies, func(i, j int) bool { return latencies[i] < latencies[j] })
+
+	unsub()
+	traceWG.Wait()
+
+	stats := &ForecastRunStats{
+		Jobs:          len(latencies),
+		P50:           quantile(latencies, 0.50),
+		P95:           quantile(latencies, 0.95),
+		Max:           latencies[len(latencies)-1],
+		Wall:          wall,
+		PeakWorkers:   1,
+		WorkerSeconds: workerSeconds(1, start, lastFinish, decisions),
+		Decisions:     len(decisions),
+	}
+	for _, ev := range decisions {
+		if ev.Target > stats.PeakWorkers {
+			stats.PeakWorkers = ev.Target
+		}
+	}
+	if withForecast {
+		stats.Model = svc.ForecastStatus().Model
+	}
+	return stats, nil
+}
+
+// workerSeconds integrates the provisioned pool level from start to end
+// over the scaling-decision trace: the level only changes at decisions, so
+// the integral is exact given the event timestamps.
+func workerSeconds(initial int, start, end time.Time, decisions []core.ScalingEvent) float64 {
+	level := initial
+	at := start
+	var total float64
+	for _, ev := range decisions {
+		if ev.At.After(end) {
+			break
+		}
+		if ev.At.After(at) {
+			total += float64(level) * ev.At.Sub(at).Seconds()
+			at = ev.At
+		}
+		level = ev.Target
+	}
+	if end.After(at) {
+		total += float64(level) * end.Sub(at).Seconds()
+	}
+	return total
+}

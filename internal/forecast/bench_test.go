@@ -1,0 +1,47 @@
+package forecast
+
+import "testing"
+
+// The forecast path runs inside the service's control loop, so its cost per
+// tick matters: BenchmarkForecastSelect is the expensive reselection path
+// (rolling backtest over the full candidate family), BenchmarkForecastRefit
+// the cheap between-reselection path (refit the incumbent only). Both run
+// in the CI bench-smoke step at 1x to stay compiling and runnable.
+
+func benchSeries() []float64 {
+	return seasonalNoisy(DefaultWindow, 24, 42)
+}
+
+func BenchmarkForecastSelect(b *testing.B) {
+	cfg := Config{SeasonPeriod: 24}.WithDefaults()
+	series := benchSeries()
+	sel := NewSelector(cfg)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := sel.Select(series); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkForecastRefit(b *testing.B) {
+	series := benchSeries()
+	models := map[string]Forecaster{
+		"EWMA":        NewEWMA(0),
+		"Holt":        NewHolt(0, 0),
+		"HoltWinters": NewHoltWinters(0, 0, 0, 24),
+		"AR":          NewAutoregressive(DefaultARLags),
+	}
+	for name, m := range models {
+		b.Run(name, func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				if err := m.Fit(series); err != nil {
+					b.Fatal(err)
+				}
+				_ = m.Forecast(1)
+			}
+		})
+	}
+}

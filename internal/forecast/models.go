@@ -1,0 +1,303 @@
+package forecast
+
+import (
+	"errors"
+	"fmt"
+	"math"
+
+	"disarcloud/internal/ml"
+)
+
+// ErrSeriesTooShort is returned by Fit when the series cannot support the
+// model (e.g. Holt-Winters before two full seasons of history).
+var ErrSeriesTooShort = errors.New("forecast: series too short for this model")
+
+// Forecaster is a univariate time-series model over the demand signal. Fit
+// trains on the whole series (oldest first) and must be called before
+// Forecast; Forecast extrapolates h steps past the end of the fitted
+// series. Implementations are deterministic: the same series produces
+// bit-identical fits and forecasts.
+type Forecaster interface {
+	// Name identifies the model ("EWMA", "Holt", "HoltWinters", "AR").
+	Name() string
+	Fit(series []float64) error
+	Forecast(h int) []float64
+}
+
+// Default smoothing parameters. The selector, not the smoothing constants,
+// carries the adaptivity: it swaps the whole model out when another family
+// tracks the load better.
+const (
+	DefaultEWMAAlpha = 0.35
+	DefaultHoltAlpha = 0.5
+	DefaultHoltBeta  = 0.3
+	DefaultHWAlpha   = 0.25
+	DefaultHWBeta    = 0.05
+	DefaultHWGamma   = 0.15
+)
+
+// EWMA is the exponentially-weighted moving average: a single smoothed
+// level, flat forecast. The baseline every other candidate has to beat.
+type EWMA struct {
+	Alpha float64
+	level float64
+	fit   bool
+}
+
+// NewEWMA returns an EWMA model; alpha <= 0 selects DefaultEWMAAlpha.
+func NewEWMA(alpha float64) *EWMA {
+	if alpha <= 0 {
+		alpha = DefaultEWMAAlpha
+	}
+	return &EWMA{Alpha: alpha}
+}
+
+// Name implements Forecaster.
+func (m *EWMA) Name() string { return "EWMA" }
+
+// Fit implements Forecaster.
+func (m *EWMA) Fit(series []float64) error {
+	if len(series) < 1 {
+		return fmt.Errorf("%w: EWMA needs 1 point, have %d", ErrSeriesTooShort, len(series))
+	}
+	m.level = series[0]
+	for _, x := range series[1:] {
+		m.level = m.Alpha*x + (1-m.Alpha)*m.level
+	}
+	m.fit = true
+	return nil
+}
+
+// Forecast implements Forecaster.
+func (m *EWMA) Forecast(h int) []float64 {
+	out := make([]float64, h)
+	if !m.fit {
+		return out
+	}
+	for i := range out {
+		out[i] = m.level
+	}
+	return out
+}
+
+// Holt is double-exponential smoothing: a level plus a linear trend, so a
+// steadily ramping load is extrapolated instead of chased. On an exactly
+// linear series the recursion reproduces the line bit-for-bit (the property
+// suite asserts it).
+type Holt struct {
+	Alpha, Beta  float64
+	level, trend float64
+	fit          bool
+}
+
+// NewHolt returns a Holt model; non-positive parameters select the defaults.
+func NewHolt(alpha, beta float64) *Holt {
+	if alpha <= 0 {
+		alpha = DefaultHoltAlpha
+	}
+	if beta <= 0 {
+		beta = DefaultHoltBeta
+	}
+	return &Holt{Alpha: alpha, Beta: beta}
+}
+
+// Name implements Forecaster.
+func (m *Holt) Name() string { return "Holt" }
+
+// Fit implements Forecaster.
+func (m *Holt) Fit(series []float64) error {
+	if len(series) < 2 {
+		return fmt.Errorf("%w: Holt needs 2 points, have %d", ErrSeriesTooShort, len(series))
+	}
+	m.level = series[0]
+	m.trend = series[1] - series[0]
+	for _, x := range series[1:] {
+		prev := m.level
+		m.level = m.Alpha*x + (1-m.Alpha)*(m.level+m.trend)
+		m.trend = m.Beta*(m.level-prev) + (1-m.Beta)*m.trend
+	}
+	m.fit = true
+	return nil
+}
+
+// Forecast implements Forecaster.
+func (m *Holt) Forecast(h int) []float64 {
+	out := make([]float64, h)
+	if !m.fit {
+		return out
+	}
+	for i := range out {
+		out[i] = m.level + float64(i+1)*m.trend
+	}
+	return out
+}
+
+// HoltWinters is triple-exponential smoothing with additive seasonality of
+// the configured period — the diurnal-load specialist. It needs two full
+// seasons of history to initialise.
+type HoltWinters struct {
+	Alpha, Beta, Gamma float64
+	Period             int
+
+	level, trend float64
+	seasonal     []float64 // rolling, indexed by t mod Period
+	steps        int       // observations consumed, for seasonal phase
+	fit          bool
+}
+
+// NewHoltWinters returns a Holt-Winters model over the given period;
+// non-positive smoothing parameters select the defaults.
+func NewHoltWinters(alpha, beta, gamma float64, period int) *HoltWinters {
+	if alpha <= 0 {
+		alpha = DefaultHWAlpha
+	}
+	if beta <= 0 {
+		beta = DefaultHWBeta
+	}
+	if gamma <= 0 {
+		gamma = DefaultHWGamma
+	}
+	return &HoltWinters{Alpha: alpha, Beta: beta, Gamma: gamma, Period: period}
+}
+
+// Name implements Forecaster.
+func (m *HoltWinters) Name() string { return "HoltWinters" }
+
+// Fit implements Forecaster.
+func (m *HoltWinters) Fit(series []float64) error {
+	p := m.Period
+	if p < 2 {
+		return fmt.Errorf("forecast: Holt-Winters period %d must be at least 2", p)
+	}
+	if len(series) < 2*p {
+		return fmt.Errorf("%w: Holt-Winters(period %d) needs %d points, have %d",
+			ErrSeriesTooShort, p, 2*p, len(series))
+	}
+	// Classical initialisation: level = mean of the first season, trend =
+	// per-step drift between the first two season means, seasonal indices =
+	// first-season deviations from the level.
+	var mean1, mean2 float64
+	for i := 0; i < p; i++ {
+		mean1 += series[i]
+		mean2 += series[p+i]
+	}
+	mean1 /= float64(p)
+	mean2 /= float64(p)
+	m.level = mean1
+	m.trend = (mean2 - mean1) / float64(p)
+	m.seasonal = make([]float64, p)
+	for i := 0; i < p; i++ {
+		m.seasonal[i] = series[i] - mean1
+	}
+	m.steps = p
+	for _, x := range series[p:] {
+		idx := m.steps % p
+		prevLevel := m.level
+		m.level = m.Alpha*(x-m.seasonal[idx]) + (1-m.Alpha)*(m.level+m.trend)
+		m.trend = m.Beta*(m.level-prevLevel) + (1-m.Beta)*m.trend
+		m.seasonal[idx] = m.Gamma*(x-m.level) + (1-m.Gamma)*m.seasonal[idx]
+		m.steps++
+	}
+	m.fit = true
+	return nil
+}
+
+// Forecast implements Forecaster.
+func (m *HoltWinters) Forecast(h int) []float64 {
+	out := make([]float64, h)
+	if !m.fit {
+		return out
+	}
+	for i := range out {
+		idx := (m.steps + i) % m.Period
+		out[i] = m.level + float64(i+1)*m.trend + m.seasonal[idx]
+	}
+	return out
+}
+
+// Autoregressive predicts the next value as a learned linear function of
+// the last Lags observations, trained with internal/ml's ridge-stabilised
+// linear regression on every lagged window of the series — the ML-suite
+// member of the candidate family. Multi-step forecasts feed predictions
+// back as lags.
+type Autoregressive struct {
+	Lags int
+
+	model *ml.LinearRegression
+	tail  []float64 // last Lags observations of the fitted series
+}
+
+// NewAutoregressive returns an AR model over the given lag window; lags < 1
+// selects DefaultARLags.
+func NewAutoregressive(lags int) *Autoregressive {
+	if lags < 1 {
+		lags = DefaultARLags
+	}
+	return &Autoregressive{Lags: lags}
+}
+
+// Name implements Forecaster.
+func (m *Autoregressive) Name() string { return "AR" }
+
+// Fit implements Forecaster.
+func (m *Autoregressive) Fit(series []float64) error {
+	p := m.Lags
+	// The ridge solve needs at least dim+1 = p+1 rows, and each row consumes
+	// p leading observations.
+	if len(series) < 2*p+1 {
+		return fmt.Errorf("%w: AR(%d) needs %d points, have %d",
+			ErrSeriesTooShort, p, 2*p+1, len(series))
+	}
+	names := make([]string, p)
+	for i := range names {
+		names[i] = fmt.Sprintf("lag%d", p-i)
+	}
+	d := ml.NewDataset(names)
+	for t := p; t < len(series); t++ {
+		if err := d.Add(series[t-p:t], series[t]); err != nil {
+			return err
+		}
+	}
+	lr := ml.NewLinearRegression()
+	if err := lr.Train(d); err != nil {
+		return fmt.Errorf("forecast: AR fit: %w", err)
+	}
+	m.model = lr
+	m.tail = append(m.tail[:0], series[len(series)-p:]...)
+	return nil
+}
+
+// Forecast implements Forecaster.
+func (m *Autoregressive) Forecast(h int) []float64 {
+	out := make([]float64, h)
+	if m.model == nil {
+		return out
+	}
+	window := append([]float64(nil), m.tail...)
+	for i := range out {
+		next := m.model.Predict(window)
+		out[i] = next
+		window = append(window[1:], next)
+	}
+	return out
+}
+
+// SMAPE is the symmetric mean absolute percentage error of forecasts
+// against actuals, in [0, 2]: mean of 2|F-A| / (|A|+|F|), with an exact
+// 0/0 scored as a perfect 0. It is the selector's ranking metric — scale-
+// free, so quiet and busy stretches of history weigh equally.
+func SMAPE(forecasts, actuals []float64) float64 {
+	if len(forecasts) != len(actuals) || len(forecasts) == 0 {
+		return math.NaN()
+	}
+	var sum float64
+	for i, f := range forecasts {
+		a := actuals[i]
+		denom := math.Abs(f) + math.Abs(a)
+		if denom == 0 {
+			continue // exact hit on zero demand
+		}
+		sum += 2 * math.Abs(f-a) / denom
+	}
+	return sum / float64(len(forecasts))
+}

@@ -1,0 +1,48 @@
+package forecast
+
+import "math"
+
+// Planner converts a demand forecast into a feed-forward worker target.
+//
+// The conversion is Little's law: a stream of lambda jobs per second, each
+// occupying a worker for S seconds, keeps lambda*S workers busy in steady
+// state; the headroom factor buys slack for forecast error and
+// within-interval burstiness. The planner is pure arithmetic — the owning
+// service supplies the forecast arrival rate and the predicted mean job
+// runtime (KB-ensemble-estimated), and clamps the result to the elastic
+// pool bounds.
+type Planner struct {
+	// Headroom multiplies the Little's-law target; must be >= 1.
+	Headroom float64
+}
+
+// NewPlanner returns a planner; headroom below 1 selects DefaultHeadroom.
+func NewPlanner(headroom float64) Planner {
+	if headroom < 1 || math.IsNaN(headroom) || math.IsInf(headroom, 0) {
+		headroom = DefaultHeadroom
+	}
+	return Planner{Headroom: headroom}
+}
+
+// Target returns the workers needed to absorb arrivalsPerSec jobs per
+// second at meanRuntimeSeconds of worker occupancy each, with headroom,
+// rounded to the nearest worker — the headroom factor is the slack knob;
+// always rounding up would stack a second, hidden headroom of up to one
+// whole worker on top of it, which at small pool sizes dominates the bill.
+// Non-positive or non-finite inputs — no forecast yet, an untrained
+// runtime estimator, a degenerate extrapolation — yield 0, meaning "no
+// opinion": the hybrid policy then defers entirely to the reactive
+// controller.
+func (p Planner) Target(arrivalsPerSec, meanRuntimeSeconds float64) int {
+	if !(arrivalsPerSec > 0) || !(meanRuntimeSeconds > 0) ||
+		math.IsInf(arrivalsPerSec, 0) || math.IsInf(meanRuntimeSeconds, 0) {
+		return 0
+	}
+	w := arrivalsPerSec * meanRuntimeSeconds * p.Headroom
+	if math.IsInf(w, 0) || w > 1e9 {
+		// A degenerate product is an estimator bug, not a provisioning
+		// signal; refuse the opinion rather than slam the pool to MaxWorkers.
+		return 0
+	}
+	return int(math.Round(w))
+}

@@ -1,0 +1,144 @@
+package forecast
+
+import (
+	"errors"
+	"fmt"
+	"math"
+)
+
+// ErrNoCandidate is returned by Select when no candidate model can be
+// backtested on the series (history still too short for every family).
+var ErrNoCandidate = errors.New("forecast: no candidate model fits the series")
+
+// Score is one candidate's rolling-backtest result.
+type Score struct {
+	Name string
+	// SMAPE is the rolling one-step-ahead sMAPE over the evaluation window;
+	// +Inf when the model was skipped.
+	SMAPE float64
+	// Origins is how many backtest origins the model was evaluated on.
+	Origins int
+	// Skipped explains why the model was excluded ("" when evaluated).
+	Skipped string
+}
+
+// Choice is the selector's outcome: the winning model, already fitted on
+// the full series, plus the full scoreboard for telemetry.
+type Choice struct {
+	Model  Forecaster
+	Name   string
+	SMAPE  float64
+	Scores []Score
+}
+
+// Selector picks the forecaster with the lowest rolling-backtest sMAPE over
+// recent history. Given the same series and candidate constructors it is
+// bit-deterministic: every candidate is refitted from scratch at every
+// origin, ties break by candidate order, and nothing consults a clock or an
+// RNG.
+type Selector struct {
+	// NewCandidates builds a fresh candidate set; models are stateful, so
+	// the selector constructs throwaway instances per backtest origin.
+	NewCandidates func() []Forecaster
+	// Window is how many of the most recent observations are used as
+	// backtest origins; it is capped at half the series so every origin
+	// trains on at least as much history as the evaluation spans.
+	Window int
+	// Stride subsamples backtest origins (1 = every origin).
+	Stride int
+}
+
+// NewSelector builds a selector over the config's candidate family.
+func NewSelector(cfg Config) *Selector {
+	cfg = cfg.WithDefaults()
+	return &Selector{
+		NewCandidates: cfg.Candidates,
+		Window:        cfg.BacktestWindow,
+		Stride:        cfg.BacktestStride,
+	}
+}
+
+// Select backtests every candidate over the most recent Window
+// observations (one-step-ahead, refitting at each origin) and returns the
+// lowest-sMAPE model fitted on the full series. A candidate that cannot
+// fit at every origin of the evaluation window — typically Holt-Winters
+// before two full seasons of pre-window history — is skipped for this
+// round rather than scored on a partial window, so every score compares
+// like with like; evaluating only recent history is what lets a
+// long-period seasonal candidate enter the running as soon as its
+// initialisation requirement clears the window's left edge.
+func (s *Selector) Select(series []float64) (Choice, error) {
+	n := len(series)
+	if n < 4 {
+		return Choice{}, fmt.Errorf("%w: %d observations", ErrNoCandidate, n)
+	}
+	stride := s.Stride
+	if stride < 1 {
+		stride = 1
+	}
+	window := s.Window
+	if window < 1 || window > n/2 {
+		window = n / 2
+	}
+	start := n - window
+	if start < 2 {
+		start = 2
+	}
+
+	candidates := s.NewCandidates()
+	scores := make([]Score, len(candidates))
+	forecasts := make([][]float64, len(candidates))
+	for ci, proto := range candidates {
+		scores[ci] = Score{Name: proto.Name(), SMAPE: math.Inf(1)}
+	}
+	// Origins outer, candidates inner: one fresh family per origin (models
+	// are stateful, so each origin needs unfitted instances) instead of one
+	// per (candidate, origin) pair. The actuals are shared: a candidate is
+	// either skipped before scoring or evaluated at every origin, so every
+	// scored candidate lines up against the same actuals.
+	var actuals []float64
+	for t := start; t < n; t += stride {
+		actuals = append(actuals, series[t])
+		family := s.NewCandidates()
+		for ci, m := range family {
+			if scores[ci].Skipped != "" {
+				continue
+			}
+			if err := m.Fit(series[:t]); err != nil {
+				scores[ci].Skipped = err.Error()
+				continue
+			}
+			forecasts[ci] = append(forecasts[ci], m.Forecast(1)[0])
+		}
+	}
+	best := -1
+	for ci := range scores {
+		if scores[ci].Skipped == "" && len(forecasts[ci]) > 0 {
+			scores[ci].SMAPE = SMAPE(forecasts[ci], actuals)
+			scores[ci].Origins = len(forecasts[ci])
+			if math.IsNaN(scores[ci].SMAPE) {
+				scores[ci].SMAPE = math.Inf(1)
+				scores[ci].Skipped = "degenerate backtest"
+			}
+		}
+		if scores[ci].Skipped == "" && (best < 0 || scores[ci].SMAPE < scores[best].SMAPE) {
+			best = ci
+		}
+	}
+	if best < 0 {
+		return Choice{Scores: scores}, ErrNoCandidate
+	}
+
+	winner := s.NewCandidates()[best]
+	if err := winner.Fit(series); err != nil {
+		// Cannot happen for a model that fitted every backtest prefix, but
+		// fail loudly rather than hand back an unfitted forecaster.
+		return Choice{Scores: scores}, err
+	}
+	return Choice{
+		Model:  winner,
+		Name:   scores[best].Name,
+		SMAPE:  scores[best].SMAPE,
+		Scores: scores,
+	}, nil
+}

@@ -1,0 +1,257 @@
+// Package loadgen generates seeded synthetic workload traces — per-interval
+// job-arrival counts — so forecast quality and scaling policies can be
+// evaluated over diverse demand scenarios without wall-clock load capture.
+//
+// A trace is built in two layers: a deterministic rate profile (diurnal
+// sinusoid, Markov-modulated bursty, linear ramp, flash-crowd spike, or the
+// mixed overlay of all three), and a Poisson draw of the actual arrival
+// count around that rate in each interval. Both layers are deterministic in
+// the spec's seed, so the same spec reproduces the same trace bit-for-bit —
+// the property the forecast selector's determinism guarantee builds on.
+package loadgen
+
+import (
+	"errors"
+	"fmt"
+	"math"
+
+	"disarcloud/internal/finmath"
+)
+
+// Kind names a trace family.
+type Kind string
+
+// The trace families.
+const (
+	// Diurnal is a sinusoidal day/night cycle: the predictable-seasonality
+	// scenario Holt-Winters exists for.
+	Diurnal Kind = "diurnal"
+	// Bursty is a two-state Markov-modulated Poisson process (MMPP): calm
+	// background rate with randomly arriving high-rate bursts.
+	Bursty Kind = "bursty"
+	// Ramp grows linearly from BaseRate to PeakRate over the trace — the
+	// steady-trend scenario Holt's trend term extrapolates.
+	Ramp Kind = "ramp"
+	// Flash is a flash-crowd spike: flat background with one short
+	// rectangular burst to PeakRate — the adversarial scenario for any
+	// forecaster.
+	Flash Kind = "flash"
+	// Mixed overlays the diurnal cycle with MMPP bursts and one flash spike.
+	Mixed Kind = "mixed"
+)
+
+// Kinds returns every trace family, in a stable order.
+func Kinds() []Kind { return []Kind{Diurnal, Bursty, Ramp, Flash, Mixed} }
+
+// Spec parameterises one synthetic trace.
+type Spec struct {
+	Kind      Kind
+	Intervals int
+	Seed      uint64
+	// BaseRate is the mean arrivals per interval of the calm regime; must be
+	// positive.
+	BaseRate float64
+	// PeakRate is the high regime: the diurnal peak, the MMPP burst rate,
+	// the ramp's final rate, the flash-crowd ceiling. Defaults to 4x
+	// BaseRate when zero; must be >= BaseRate.
+	PeakRate float64
+	// Period is the diurnal cycle length in intervals (default
+	// Intervals/3, so a trace always holds a few full cycles).
+	Period int
+	// BurstProb and CalmProb are the MMPP per-interval switch probabilities
+	// calm->burst and burst->calm (defaults 0.05 and 0.25).
+	BurstProb float64
+	CalmProb  float64
+	// FlashAt is where the flash spike starts, as a fraction of the trace
+	// (default 0.5); FlashWidth is its length in intervals (default
+	// Intervals/10, minimum 1).
+	FlashAt    float64
+	FlashWidth int
+}
+
+// MaxIntervals bounds a single trace: loadgen exists for experiments and
+// the HTTP preview endpoint, and a multi-gigabyte trace request is a typo
+// or an attack, not an experiment.
+const MaxIntervals = 1 << 20
+
+// withDefaults returns the spec with zero fields replaced by defaults.
+func (s Spec) withDefaults() Spec {
+	if s.PeakRate == 0 {
+		s.PeakRate = 4 * s.BaseRate
+	}
+	if s.Period == 0 {
+		s.Period = s.Intervals / 3
+		if s.Period < 2 {
+			s.Period = 2
+		}
+	}
+	if s.BurstProb == 0 {
+		s.BurstProb = 0.05
+	}
+	if s.CalmProb == 0 {
+		s.CalmProb = 0.25
+	}
+	if s.FlashAt == 0 {
+		s.FlashAt = 0.5
+	}
+	if s.FlashWidth == 0 {
+		s.FlashWidth = s.Intervals / 10
+		if s.FlashWidth < 1 {
+			s.FlashWidth = 1
+		}
+	}
+	return s
+}
+
+// Validate reports whether the (defaulted) spec is admissible.
+func (s Spec) Validate() error {
+	d := s.withDefaults()
+	switch d.Kind {
+	case Diurnal, Bursty, Ramp, Flash, Mixed:
+	default:
+		return fmt.Errorf("loadgen: unknown trace kind %q", d.Kind)
+	}
+	if d.Intervals < 2 {
+		return errors.New("loadgen: trace needs at least 2 intervals")
+	}
+	if d.Intervals > MaxIntervals {
+		return fmt.Errorf("loadgen: %d intervals exceeds the limit %d", d.Intervals, MaxIntervals)
+	}
+	if !(d.BaseRate > 0) || math.IsInf(d.BaseRate, 0) {
+		return errors.New("loadgen: BaseRate must be positive and finite")
+	}
+	if d.PeakRate < d.BaseRate || math.IsNaN(d.PeakRate) || math.IsInf(d.PeakRate, 0) {
+		return fmt.Errorf("loadgen: PeakRate %g must be finite and >= BaseRate %g", d.PeakRate, d.BaseRate)
+	}
+	if d.BaseRate > 1e6 || d.PeakRate > 1e6 {
+		return errors.New("loadgen: rates above 1e6 arrivals per interval are not supported")
+	}
+	if d.Period < 2 {
+		return errors.New("loadgen: Period must be at least 2 intervals")
+	}
+	if d.BurstProb < 0 || d.BurstProb > 1 || d.CalmProb < 0 || d.CalmProb > 1 ||
+		math.IsNaN(d.BurstProb) || math.IsNaN(d.CalmProb) {
+		return errors.New("loadgen: MMPP switch probabilities must be in [0,1]")
+	}
+	if d.FlashAt < 0 || d.FlashAt > 1 || math.IsNaN(d.FlashAt) {
+		return errors.New("loadgen: FlashAt must be a fraction in [0,1]")
+	}
+	if d.FlashWidth < 1 || d.FlashWidth > d.Intervals {
+		return fmt.Errorf("loadgen: FlashWidth %d outside [1, Intervals=%d]", d.FlashWidth, d.Intervals)
+	}
+	return nil
+}
+
+// Rates returns the deterministic per-interval rate profile underlying the
+// trace — the signal a perfect forecaster would recover. The MMPP burst
+// regime is part of the profile (it draws the state chain from the seed),
+// so Rates is deterministic in the spec too.
+func Rates(s Spec) ([]float64, error) {
+	if err := s.Validate(); err != nil {
+		return nil, err
+	}
+	s = s.withDefaults()
+	// Two independent substreams: the regime chain and (in Generate) the
+	// Poisson draws. Splitting keeps the profile identical whether or not
+	// counts are drawn afterwards.
+	rng := finmath.NewRNG(s.Seed ^ 0x10adc0de)
+	rates := make([]float64, s.Intervals)
+	for i := range rates {
+		rates[i] = s.BaseRate
+	}
+	amplitude := (s.PeakRate - s.BaseRate) / 2
+	flashStart := int(s.FlashAt * float64(s.Intervals-1))
+	bursting := false
+	for i := range rates {
+		switch s.Kind {
+		case Diurnal:
+			// Oscillate between BaseRate and PeakRate, starting at the trough.
+			rates[i] = s.BaseRate + amplitude*(1-math.Cos(2*math.Pi*float64(i)/float64(s.Period)))
+		case Bursty:
+			bursting = nextRegime(rng, bursting, s.BurstProb, s.CalmProb)
+			if bursting {
+				rates[i] = s.PeakRate
+			}
+		case Ramp:
+			rates[i] = s.BaseRate + (s.PeakRate-s.BaseRate)*float64(i)/float64(s.Intervals-1)
+		case Flash:
+			if i >= flashStart && i < flashStart+s.FlashWidth {
+				rates[i] = s.PeakRate
+			}
+		case Mixed:
+			rates[i] = s.BaseRate + amplitude*(1-math.Cos(2*math.Pi*float64(i)/float64(s.Period)))
+			bursting = nextRegime(rng, bursting, s.BurstProb, s.CalmProb)
+			if bursting {
+				rates[i] += (s.PeakRate - s.BaseRate) / 2
+			}
+			if i >= flashStart && i < flashStart+s.FlashWidth {
+				rates[i] += s.PeakRate - s.BaseRate
+			}
+		}
+	}
+	return rates, nil
+}
+
+// nextRegime advances the two-state MMPP chain one interval.
+func nextRegime(rng *finmath.RNG, bursting bool, burstProb, calmProb float64) bool {
+	if bursting {
+		return rng.Float64() >= calmProb
+	}
+	return rng.Float64() < burstProb
+}
+
+// Generate returns the trace: per-interval arrival counts drawn Poisson
+// around the rate profile, deterministic in the spec's seed.
+func Generate(s Spec) ([]int, error) {
+	counts, _, err := GenerateWithRates(s)
+	return counts, err
+}
+
+// GenerateWithRates returns the trace counts together with the underlying
+// deterministic rate profile, computing the profile once — for consumers
+// (the HTTP preview endpoint, experiment reports) that want both.
+func GenerateWithRates(s Spec) ([]int, []float64, error) {
+	rates, err := Rates(s)
+	if err != nil {
+		return nil, nil, err
+	}
+	rng := finmath.NewRNG(s.withDefaults().Seed ^ 0x9021550a1d50)
+	counts := make([]int, len(rates))
+	for i, lambda := range rates {
+		counts[i] = poisson(rng, lambda)
+	}
+	return counts, rates, nil
+}
+
+// poisson draws a Poisson variate: Knuth's product method for small lambda,
+// a rounded-normal approximation above 30 (where the error is far below the
+// per-interval noise any consumer cares about).
+func poisson(rng *finmath.RNG, lambda float64) int {
+	if lambda <= 0 {
+		return 0
+	}
+	if lambda > 30 {
+		n := math.Round(lambda + math.Sqrt(lambda)*rng.NormFloat64())
+		if n < 0 {
+			return 0
+		}
+		return int(n)
+	}
+	limit := math.Exp(-lambda)
+	product := rng.Float64()
+	count := 0
+	for product > limit {
+		count++
+		product *= rng.Float64()
+	}
+	return count
+}
+
+// Total returns the sum of a trace's arrivals — the experiment's job count.
+func Total(counts []int) int {
+	sum := 0
+	for _, c := range counts {
+		sum += c
+	}
+	return sum
+}

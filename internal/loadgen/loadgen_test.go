@@ -1,0 +1,182 @@
+package loadgen
+
+import (
+	"math"
+	"testing"
+)
+
+func baseSpec(kind Kind) Spec {
+	return Spec{Kind: kind, Intervals: 120, Seed: 2016, BaseRate: 3, PeakRate: 12, Period: 24}
+}
+
+// TestDeterministic: the same spec reproduces the same trace bit-for-bit,
+// for every family, and a different seed changes it.
+func TestDeterministic(t *testing.T) {
+	for _, kind := range Kinds() {
+		spec := baseSpec(kind)
+		a, err := Generate(spec)
+		if err != nil {
+			t.Fatalf("%s: %v", kind, err)
+		}
+		b, err := Generate(spec)
+		if err != nil {
+			t.Fatalf("%s: %v", kind, err)
+		}
+		for i := range a {
+			if a[i] != b[i] {
+				t.Fatalf("%s: trace differs at %d between identical specs", kind, i)
+			}
+		}
+		spec.Seed++
+		c, err := Generate(spec)
+		if err != nil {
+			t.Fatal(err)
+		}
+		same := true
+		for i := range a {
+			if a[i] != c[i] {
+				same = false
+				break
+			}
+		}
+		if same && kind != Ramp { // a flat-ish ramp can coincide, the rest must not
+			t.Errorf("%s: different seeds produced identical traces", kind)
+		}
+	}
+}
+
+// TestRateProfiles: each family's deterministic profile has its defining
+// shape.
+func TestRateProfiles(t *testing.T) {
+	// Diurnal: oscillates over [BaseRate, PeakRate], period visible.
+	rates, err := Rates(baseSpec(Diurnal))
+	if err != nil {
+		t.Fatal(err)
+	}
+	lo, hi := rates[0], rates[0]
+	for _, r := range rates {
+		lo = math.Min(lo, r)
+		hi = math.Max(hi, r)
+	}
+	if math.Abs(lo-3) > 1e-9 || math.Abs(hi-12) > 1e-9 {
+		t.Fatalf("diurnal range [%g, %g], want [3, 12]", lo, hi)
+	}
+	if math.Abs(rates[24]-rates[0]) > 1e-9 {
+		t.Fatalf("diurnal not periodic: rate[0]=%g rate[24]=%g", rates[0], rates[24])
+	}
+
+	// Ramp: monotone from base to peak.
+	rates, err = Rates(baseSpec(Ramp))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(rates[0]-3) > 1e-9 || math.Abs(rates[len(rates)-1]-12) > 1e-9 {
+		t.Fatalf("ramp endpoints %g..%g, want 3..12", rates[0], rates[len(rates)-1])
+	}
+	for i := 1; i < len(rates); i++ {
+		if rates[i] < rates[i-1] {
+			t.Fatal("ramp not monotone")
+		}
+	}
+
+	// Flash: exactly FlashWidth elevated intervals.
+	spec := baseSpec(Flash)
+	spec.FlashWidth = 7
+	rates, err = Rates(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	elevated := 0
+	for _, r := range rates {
+		switch {
+		case math.Abs(r-12) < 1e-9:
+			elevated++
+		case math.Abs(r-3) > 1e-9:
+			t.Fatalf("flash rate %g is neither base nor peak", r)
+		}
+	}
+	if elevated != 7 {
+		t.Fatalf("flash elevated %d intervals, want 7", elevated)
+	}
+
+	// Bursty: both regimes occur, and only the two rates appear.
+	rates, err = Rates(baseSpec(Bursty))
+	if err != nil {
+		t.Fatal(err)
+	}
+	calm, burst := 0, 0
+	for _, r := range rates {
+		switch {
+		case math.Abs(r-3) < 1e-9:
+			calm++
+		case math.Abs(r-12) < 1e-9:
+			burst++
+		default:
+			t.Fatalf("bursty rate %g is neither base nor peak", r)
+		}
+	}
+	if calm == 0 || burst == 0 {
+		t.Fatalf("MMPP chain never switched: calm=%d burst=%d", calm, burst)
+	}
+}
+
+// TestGenerateTracksRates: over a long trace the Poisson counts average out
+// to the rate profile (law of large numbers, loose tolerance).
+func TestGenerateTracksRates(t *testing.T) {
+	spec := Spec{Kind: Ramp, Intervals: 4000, Seed: 7, BaseRate: 5, PeakRate: 5}
+	counts, err := Generate(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mean := float64(Total(counts)) / float64(len(counts))
+	if math.Abs(mean-5) > 0.25 {
+		t.Fatalf("mean arrivals %g, want ~5", mean)
+	}
+	// The normal-approximation branch must also track its rate.
+	spec = Spec{Kind: Ramp, Intervals: 4000, Seed: 7, BaseRate: 80, PeakRate: 80}
+	counts, err = Generate(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mean = float64(Total(counts)) / float64(len(counts))
+	if math.Abs(mean-80) > 1.5 {
+		t.Fatalf("mean arrivals %g, want ~80", mean)
+	}
+	for _, c := range counts {
+		if c < 0 {
+			t.Fatal("negative arrival count")
+		}
+	}
+}
+
+// TestValidate: the documented rejections fire, and defaults make a minimal
+// spec admissible.
+func TestValidate(t *testing.T) {
+	if err := (Spec{Kind: Mixed, Intervals: 30, BaseRate: 2}).Validate(); err != nil {
+		t.Fatalf("minimal spec rejected: %v", err)
+	}
+	bad := []Spec{
+		{Kind: "weird", Intervals: 30, BaseRate: 2},
+		{Kind: Diurnal, Intervals: 1, BaseRate: 2},
+		{Kind: Diurnal, Intervals: MaxIntervals + 1, BaseRate: 2},
+		{Kind: Diurnal, Intervals: 30, BaseRate: 0},
+		{Kind: Diurnal, Intervals: 30, BaseRate: -1},
+		{Kind: Diurnal, Intervals: 30, BaseRate: math.Inf(1)},
+		{Kind: Diurnal, Intervals: 30, BaseRate: 4, PeakRate: 2},
+		{Kind: Diurnal, Intervals: 30, BaseRate: 2, PeakRate: math.NaN()},
+		{Kind: Diurnal, Intervals: 30, BaseRate: 2e7},
+		{Kind: Diurnal, Intervals: 30, BaseRate: 2, Period: 1},
+		{Kind: Bursty, Intervals: 30, BaseRate: 2, BurstProb: 1.5},
+		{Kind: Bursty, Intervals: 30, BaseRate: 2, CalmProb: -0.2},
+		{Kind: Flash, Intervals: 30, BaseRate: 2, FlashAt: 1.2},
+		{Kind: Flash, Intervals: 30, BaseRate: 2, FlashWidth: 31},
+	}
+	for i, spec := range bad {
+		if err := spec.Validate(); err == nil {
+			t.Errorf("bad spec %d validated: %+v", i, spec)
+		}
+	}
+	if _, err := Generate(Spec{Kind: "weird"}); err == nil {
+		t.Fatal("Generate accepted an invalid spec")
+	}
+}
