@@ -106,6 +106,57 @@ func FuzzTraceRequestDecode(f *testing.F) {
 	})
 }
 
+// FuzzProxyRequestDecode drives arbitrary bodies carrying a proxy section
+// through the submit decode path. The invariant sharpens the job one: an
+// accepted body with a proxy section must produce a spec whose Proxy both
+// validates and respects the request ceilings (training sample bounded, the
+// too-small clamp never under-shoots the usable minimum).
+func FuzzProxyRequestDecode(f *testing.F) {
+	f.Add([]byte(`{"proxy":{}}`))
+	f.Add([]byte(`{"outer":50,"proxy":{"train_outer":32,"error_budget":0.05,"model":"forest"}}`))
+	f.Add([]byte(`{"proxy":{"model":"poly","degree":3,"train_inner":5}}`))
+	f.Add([]byte(`{"proxy":{"train_outer":5}}`))
+	f.Add([]byte(`{"proxy":{"train_outer":-1}}`))
+	f.Add([]byte(`{"proxy":{"train_outer":5001}}`))
+	f.Add([]byte(`{"proxy":{"error_budget":2}}`))
+	f.Add([]byte(`{"proxy":{"error_budget":-0.5,"escalation_cap":1.5}}`))
+	f.Add([]byte(`{"proxy":{"model":"nope"}}`))
+	f.Add([]byte(`{"proxy":{"degree":9}}`))
+	f.Add([]byte(`{"proxy":{"train_inner":100000}}`))
+	f.Add([]byte(`{"proxy":null}`))
+	f.Add([]byte(`{"proxy":[]}`))
+	f.Add([]byte(`{"proxy":{"error_budget":1e-308,"escalation_cap":1}}`))
+	s := fuzzServer()
+	f.Fuzz(func(t *testing.T, body []byte) {
+		var req jobRequest
+		if err := json.Unmarshal(body, &req); err != nil {
+			return
+		}
+		spec, err := s.buildSpec(&req)
+		if err != nil {
+			return // clean rejection
+		}
+		if err := spec.Validate(); err != nil {
+			t.Fatalf("buildSpec accepted %q but the spec does not validate: %v", body, err)
+		}
+		if req.Proxy == nil {
+			if spec.Proxy != nil {
+				t.Fatalf("no proxy section, no server default, but spec carries %+v", spec.Proxy)
+			}
+			return
+		}
+		if spec.Proxy == nil {
+			t.Fatalf("accepted proxy section %q lost on the way to the spec", body)
+		}
+		if spec.Proxy.TrainOuter > maxReqProxyTrain {
+			t.Fatalf("proxy training sample %d past the request cap", spec.Proxy.TrainOuter)
+		}
+		if spec.Proxy.TrainOuter != 0 && spec.Proxy.TrainOuter < disarcloud.MinProxyTrainOuter {
+			t.Fatalf("proxy training sample %d below the usable minimum", spec.Proxy.TrainOuter)
+		}
+	})
+}
+
 // FuzzCampaignRequestDecode drives arbitrary bodies through the campaign
 // submit decode path, including the campaign-only switches and the shock
 // list construction.

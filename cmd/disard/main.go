@@ -20,6 +20,7 @@
 //	GET    /v1/autoscaler              elastic control-plane status + recent scaling decisions
 //	GET    /v1/autoscaler/events       NDJSON stream of scaling decisions
 //	GET    /v1/forecast                proactive-provisioning status (model scoreboard + planner target)
+//	GET    /v1/proxy                   LSMC proxy-tier status (default spec + hit-rate/error telemetry)
 //	POST   /v1/loadgen/trace           generate a seeded synthetic load trace from a spec
 //	GET    /healthz                    liveness + knowledge-base size
 //
@@ -57,11 +58,25 @@
 //	  "epsilon":      0.05,   // exploration probability
 //	  "max_workers":  8,      // in-process valuation workers (0 = derive)
 //	  "seed":         42,     // valuation seed (0 = server-assigned)
-//	  "pace_factor":  0       // wall-clock occupancy per simulated second (load testing)
+//	  "pace_factor":  0,      // wall-clock occupancy per simulated second (load testing)
+//	  "proxy": {              // optional: route through the LSMC proxy serving tier
+//	    "train_outer":    128,     // full nested valuations sampled for training
+//	    "train_inner":    0,       // inner paths per training valuation (0 = job's inner)
+//	    "error_budget":   0.05,    // relative band tolerance before escalation
+//	    "escalation_cap": 0.25,    // max fraction of paths escalated to full MC
+//	    "model":          "forest",// forest / poly / linear / mlp
+//	    "degree":         2        // polynomial basis degree (poly model)
+//	  }
 //	}
 //
 // Campaign bodies accept the same fields plus "no_reuse" (disable
-// scenario-set reuse) and "longevity" (add the longevity module).
+// scenario-set reuse) and "longevity" (add the longevity module); a proxy
+// section on the base routes every shock module through the proxy tier.
+//
+// With -proxy, jobs that do not carry their own proxy section default to the
+// proxy tier with -proxy-budget, -proxy-sample and -proxy-model; GET
+// /v1/proxy reports the tier's aggregate hit-rate and error telemetry either
+// way.
 package main
 
 import (
@@ -99,10 +114,27 @@ func run() error {
 		fcWindow  = flag.Int("forecast-window", 0, "telemetry ring capacity in control ticks (0 = default)")
 		fcHead    = flag.Float64("forecast-headroom", 0, "planner headroom factor >= 1 (0 = default)")
 		fcSeason  = flag.Int("forecast-season", 0, "seasonality hint in control ticks for the Holt-Winters candidate (0 = no seasonal model)")
+		proxy     = flag.Bool("proxy", false, "route jobs without their own proxy section through the LSMC proxy serving tier")
+		proxyBud  = flag.Float64("proxy-budget", 0, "default proxy relative error budget in (0,1] (0 = proxyval default)")
+		proxySamp = flag.Int("proxy-sample", 0, "default proxy training-sample size (0 = proxyval default)")
+		proxyMod  = flag.String("proxy-model", "", "default proxy model family: forest / poly / linear / mlp (empty = forest)")
 	)
 	flag.Parse()
 	if *fcast && !*elastic {
 		return fmt.Errorf("-forecast requires -elastic: the hybrid policy overlays the reactive controller")
+	}
+	var defaultProxy *disarcloud.ProxySpec
+	if *proxy {
+		defaultProxy = &disarcloud.ProxySpec{
+			TrainOuter:  *proxySamp,
+			ErrorBudget: *proxyBud,
+			Model:       *proxyMod,
+		}
+		if err := defaultProxy.Validate(); err != nil {
+			return err
+		}
+	} else if *proxyBud != 0 || *proxySamp != 0 || *proxyMod != "" {
+		return fmt.Errorf("-proxy-budget/-proxy-sample/-proxy-model require -proxy")
 	}
 
 	opts := []disarcloud.Option{}
@@ -141,7 +173,7 @@ func run() error {
 		return err
 	}
 
-	srv := &http.Server{Addr: *addr, Handler: newHandler(svc, d, *seed)}
+	srv := &http.Server{Addr: *addr, Handler: newHandler(svc, d, *seed, defaultProxy)}
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
 	defer stop()
 	errCh := make(chan error, 1)

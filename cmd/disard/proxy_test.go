@@ -1,0 +1,204 @@
+package main
+
+import (
+	"net/http"
+	"net/http/httptest"
+	"testing"
+
+	"disarcloud"
+)
+
+// proxyTestServer mirrors newTestServer but configures a daemon-level
+// default proxy spec, like the -proxy flag does.
+func proxyTestServer(t *testing.T, def *disarcloud.ProxySpec, opts ...disarcloud.ServiceOption) (*httptest.Server, *disarcloud.Service) {
+	t.Helper()
+	d, err := disarcloud.NewDeployer(2016)
+	if err != nil {
+		t.Fatal(err)
+	}
+	svc, err := disarcloud.NewService(d, opts...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := httptest.NewServer(newHandler(svc, d, 2016, def))
+	t.Cleanup(func() {
+		srv.Close()
+		svc.Close()
+	})
+	return srv, svc
+}
+
+// TestProxyJobOverHTTP submits a job with an explicit proxy section and
+// checks the serving telemetry flows back through both the result body and
+// the GET /v1/proxy aggregate.
+func TestProxyJobOverHTTP(t *testing.T) {
+	srv, _ := newTestServer(t, disarcloud.WithWorkers(2))
+
+	// A daemon without -proxy reports the tier disabled and idle.
+	resp, err := http.Get(srv.URL + "/v1/proxy")
+	if err != nil {
+		t.Fatal(err)
+	}
+	st := decodeJSON[map[string]any](t, resp)
+	if st["enabled"] != false {
+		t.Fatalf("fresh daemon reports proxy enabled: %v", st)
+	}
+	if jobs, _ := st["jobs"].(float64); jobs != 0 {
+		t.Fatalf("fresh daemon reports %v proxied jobs", st["jobs"])
+	}
+
+	body := smallJob()
+	body["proxy"] = map[string]any{"train_outer": 32, "error_budget": 0.05, "model": "forest"}
+	resp = postJSON(t, srv.URL+"/v1/jobs", body)
+	if resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("proxied submit status %d, want 202", resp.StatusCode)
+	}
+	id := decodeJSON[map[string]string](t, resp)["id"]
+
+	resp, err = http.Get(srv.URL + "/v1/jobs/" + id + "/result?wait=1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("result status %d, want 200", resp.StatusCode)
+	}
+	res := decodeJSON[map[string]any](t, resp)
+	proxy, ok := res["proxy"].(map[string]any)
+	if !ok {
+		t.Fatalf("proxied result carries no proxy block: %v", res)
+	}
+	if eb, _ := proxy["error_budget"].(float64); eb != 0.05 {
+		t.Fatalf("result error_budget %v, want 0.05", proxy["error_budget"])
+	}
+	totals, _ := proxy["totals"].(map[string]any)
+	if totals == nil {
+		t.Fatal("proxy block has no totals")
+	}
+	evaluated, _ := totals["evaluated"].(float64)
+	proxied, _ := totals["proxied"].(float64)
+	escalated, _ := totals["escalated"].(float64)
+	if evaluated != 20 || proxied+escalated != evaluated {
+		t.Fatalf("inconsistent serving totals: %v", totals)
+	}
+	if hr, _ := proxy["hit_rate"].(float64); hr < 0 || hr > 1 {
+		t.Fatalf("hit_rate %v", proxy["hit_rate"])
+	}
+	if blocks, _ := proxy["blocks"].(map[string]any); len(blocks) == 0 {
+		t.Fatal("proxy block has no per-block stats")
+	}
+
+	// The service aggregate reflects the one proxied job.
+	resp, err = http.Get(srv.URL + "/v1/proxy")
+	if err != nil {
+		t.Fatal(err)
+	}
+	st = decodeJSON[map[string]any](t, resp)
+	if jobs, _ := st["jobs"].(float64); jobs != 1 {
+		t.Fatalf("proxy telemetry jobs %v, want 1", st["jobs"])
+	}
+	totals, _ = st["totals"].(map[string]any)
+	if ev, _ := totals["evaluated"].(float64); ev != 20 {
+		t.Fatalf("aggregate evaluated %v, want 20", totals["evaluated"])
+	}
+}
+
+// TestProxyServerDefault checks the -proxy flag path: a job body without a
+// proxy section inherits the daemon default, and GET /v1/proxy publishes the
+// resolved default spec.
+func TestProxyServerDefault(t *testing.T) {
+	def := &disarcloud.ProxySpec{TrainOuter: 24, ErrorBudget: 0.1, Model: disarcloud.ProxyModelLinear}
+	srv, _ := proxyTestServer(t, def, disarcloud.WithWorkers(2))
+
+	resp, err := http.Get(srv.URL + "/v1/proxy")
+	if err != nil {
+		t.Fatal(err)
+	}
+	st := decodeJSON[map[string]any](t, resp)
+	if st["enabled"] != true {
+		t.Fatalf("daemon with default proxy reports disabled: %v", st)
+	}
+	d, _ := st["default"].(map[string]any)
+	if d == nil {
+		t.Fatal("enabled daemon publishes no default spec")
+	}
+	if d["model"] != "linear" || d["train_outer"].(float64) != 24 || d["error_budget"].(float64) != 0.1 {
+		t.Fatalf("published default %v", d)
+	}
+	// Zero knobs are published resolved, not raw.
+	if d["escalation_cap"].(float64) != 0.25 {
+		t.Fatalf("default escalation_cap %v, want resolved 0.25", d["escalation_cap"])
+	}
+
+	resp = postJSON(t, srv.URL+"/v1/jobs", smallJob())
+	if resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("submit status %d", resp.StatusCode)
+	}
+	id := decodeJSON[map[string]string](t, resp)["id"]
+	resp, err = http.Get(srv.URL + "/v1/jobs/" + id + "/result?wait=1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	res := decodeJSON[map[string]any](t, resp)
+	proxy, ok := res["proxy"].(map[string]any)
+	if !ok {
+		t.Fatal("default-proxied job result carries no proxy block")
+	}
+	if eb, _ := proxy["error_budget"].(float64); eb != 0.1 {
+		t.Fatalf("inherited error_budget %v, want 0.1", proxy["error_budget"])
+	}
+}
+
+// TestProxyRequestValidation checks out-of-range proxy sections are rejected
+// with 400 before any work starts, and a positive-but-tiny training sample
+// is clamped up to the usable minimum instead of failing the job.
+func TestProxyRequestValidation(t *testing.T) {
+	srv, svc := newTestServer(t, disarcloud.WithWorkers(1))
+
+	bad := []map[string]any{
+		{"error_budget": 2},
+		{"error_budget": -0.5},
+		{"escalation_cap": 1.5},
+		{"train_outer": -1},
+		{"train_outer": 100000},
+		{"train_inner": 100000},
+		{"model": "nope"},
+		{"degree": 9},
+	}
+	for _, p := range bad {
+		body := smallJob()
+		body["proxy"] = p
+		resp := postJSON(t, srv.URL+"/v1/jobs", body)
+		if resp.StatusCode != http.StatusBadRequest {
+			t.Fatalf("proxy section %v accepted with status %d, want 400", p, resp.StatusCode)
+		}
+		if msg := decodeJSON[map[string]string](t, resp); msg["error"] == "" {
+			t.Fatalf("proxy section %v rejected without an error message", p)
+		}
+	}
+	if got := len(svc.Jobs()); got != 0 {
+		t.Fatalf("invalid proxy requests left %d job records", got)
+	}
+
+	// train_outer 5 is positive but below the usable minimum: the daemon
+	// clamps instead of rejecting, and the stats prove the clamp took.
+	body := smallJob()
+	body["proxy"] = map[string]any{"train_outer": 5}
+	resp := postJSON(t, srv.URL+"/v1/jobs", body)
+	if resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("clampable proxy section rejected with %d", resp.StatusCode)
+	}
+	id := decodeJSON[map[string]string](t, resp)["id"]
+	resp, err := http.Get(srv.URL + "/v1/jobs/" + id + "/result?wait=1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	res := decodeJSON[map[string]any](t, resp)
+	proxy, ok := res["proxy"].(map[string]any)
+	if !ok {
+		t.Fatal("clamped proxy job carries no proxy block")
+	}
+	totals, _ := proxy["totals"].(map[string]any)
+	if to, _ := totals["train_outer"].(float64); to != float64(disarcloud.MinProxyTrainOuter) {
+		t.Fatalf("clamped training sample %v, want %d", totals["train_outer"], disarcloud.MinProxyTrainOuter)
+	}
+}

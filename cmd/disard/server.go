@@ -20,13 +20,16 @@ type server struct {
 	svc  *disarcloud.Service
 	d    *disarcloud.Deployer
 	seed uint64
+	// defaultProxy, when non-nil, routes every job that does not carry its
+	// own "proxy" section through the LSMC proxy serving tier (-proxy flag).
+	defaultProxy *disarcloud.ProxySpec
 	// jobSeq derives distinct per-job default seeds; atomic so concurrent
 	// submits never share one.
 	jobSeq atomic.Uint64
 }
 
-func newHandler(svc *disarcloud.Service, d *disarcloud.Deployer, seed uint64) http.Handler {
-	s := &server{svc: svc, d: d, seed: seed}
+func newHandler(svc *disarcloud.Service, d *disarcloud.Deployer, seed uint64, defaultProxy *disarcloud.ProxySpec) http.Handler {
+	s := &server{svc: svc, d: d, seed: seed, defaultProxy: defaultProxy}
 	mux := http.NewServeMux()
 	mux.HandleFunc("POST /v1/jobs", s.submit)
 	mux.HandleFunc("GET /v1/jobs", s.list)
@@ -42,6 +45,7 @@ func newHandler(svc *disarcloud.Service, d *disarcloud.Deployer, seed uint64) ht
 	mux.HandleFunc("GET /v1/autoscaler", s.autoscaler)
 	mux.HandleFunc("GET /v1/autoscaler/events", s.autoscalerEvents)
 	mux.HandleFunc("GET /v1/forecast", s.forecast)
+	mux.HandleFunc("GET /v1/proxy", s.proxy)
 	mux.HandleFunc("POST /v1/loadgen/trace", s.loadgenTrace)
 	mux.HandleFunc("GET /healthz", s.health)
 	return mux
@@ -65,6 +69,22 @@ type jobRequest struct {
 	// its simulated execution time (SimulationSpec.PaceFactor) — the knob
 	// load experiments use to exercise the pool and the autoscaler.
 	PaceFactor float64 `json:"pace_factor"`
+	// Proxy, when present, routes the valuation through the LSMC proxy
+	// serving tier instead of the plain nested pipeline. An empty object
+	// {} selects the tier with all defaults; omitting the field uses the
+	// daemon's -proxy default (if any).
+	Proxy *proxyRequest `json:"proxy"`
+}
+
+// proxyRequest is the per-job proxy-tier section of a submit body; zero
+// fields take the proxyval defaults.
+type proxyRequest struct {
+	TrainOuter    int     `json:"train_outer"`
+	TrainInner    int     `json:"train_inner"`
+	ErrorBudget   float64 `json:"error_budget"`
+	EscalationCap float64 `json:"escalation_cap"`
+	Model         string  `json:"model"`
+	Degree        int     `json:"degree"`
 }
 
 // campaignRequest is the stress-campaign submit body: a base valuation
@@ -92,7 +112,64 @@ const (
 	// thousand seconds, so 0.01 caps the wall-clock occupancy per job at
 	// tens of seconds.
 	maxReqPace = 0.01
+	// maxReqProxyTrain bounds the proxy training sample: each training point
+	// is one full nested valuation, so an unbounded sample would let the
+	// "fast path" request arbitrarily much Monte Carlo work up front.
+	maxReqProxyTrain = 5000
+	// maxReqProxyDegree mirrors the proxyval basis-degree ceiling: the
+	// tensor basis is exponential in the degree.
+	maxReqProxyDegree = 6
 )
+
+// validate rejects proxy sections that are out of range before they reach
+// spec validation, with request-vocabulary errors. Zero fields are legal
+// (they resolve to the proxyval defaults).
+func (p *proxyRequest) validate() error {
+	switch {
+	case p.TrainOuter < 0 || p.TrainOuter > maxReqProxyTrain:
+		return fmt.Errorf("proxy.train_outer %d outside [0,%d]", p.TrainOuter, maxReqProxyTrain)
+	case p.TrainInner < 0 || p.TrainInner > maxReqInner:
+		return fmt.Errorf("proxy.train_inner %d outside [0,%d]", p.TrainInner, maxReqInner)
+	case math.IsNaN(p.ErrorBudget) || p.ErrorBudget < 0 || p.ErrorBudget > 1:
+		// 0 means "default"; an explicit budget must lie in (0,1].
+		return fmt.Errorf("proxy.error_budget %v outside (0,1]", p.ErrorBudget)
+	case math.IsNaN(p.EscalationCap) || p.EscalationCap < 0 || p.EscalationCap > 1:
+		return fmt.Errorf("proxy.escalation_cap %v outside (0,1]", p.EscalationCap)
+	case p.Degree < 0 || p.Degree > maxReqProxyDegree:
+		return fmt.Errorf("proxy.degree %d outside [0,%d]", p.Degree, maxReqProxyDegree)
+	}
+	if p.Model != "" {
+		ok := false
+		for _, m := range disarcloud.ProxyModels() {
+			if p.Model == m {
+				ok = true
+				break
+			}
+		}
+		if !ok {
+			return fmt.Errorf("proxy.model %q not one of %v", p.Model, disarcloud.ProxyModels())
+		}
+	}
+	return nil
+}
+
+// spec maps the request section onto a proxy spec, clamping a positive but
+// too-small training sample up to the usable minimum rather than failing
+// the whole job over a knob the tier can round.
+func (p *proxyRequest) spec() *disarcloud.ProxySpec {
+	train := p.TrainOuter
+	if train > 0 && train < disarcloud.MinProxyTrainOuter {
+		train = disarcloud.MinProxyTrainOuter
+	}
+	return &disarcloud.ProxySpec{
+		TrainOuter:    train,
+		TrainInner:    p.TrainInner,
+		ErrorBudget:   p.ErrorBudget,
+		EscalationCap: p.EscalationCap,
+		Model:         p.Model,
+		Degree:        p.Degree,
+	}
+}
 
 func (r *jobRequest) applyDefaults(serverSeed, jobNumber uint64) {
 	if r.Contracts <= 0 {
@@ -143,6 +220,9 @@ func (r *jobRequest) validate() error {
 	case r.PaceFactor < 0 || r.PaceFactor > maxReqPace || math.IsNaN(r.PaceFactor):
 		return fmt.Errorf("pace_factor %v outside [0,%v]", r.PaceFactor, maxReqPace)
 	}
+	if r.Proxy != nil {
+		return r.Proxy.validate()
+	}
 	return nil
 }
 
@@ -164,6 +244,13 @@ func (s *server) buildSpec(req *jobRequest) (disarcloud.SimulationSpec, error) {
 		return disarcloud.SimulationSpec{}, err
 	}
 	market := disarcloud.DefaultMarket(p.MaxTerm())
+	var proxy *disarcloud.ProxySpec
+	if req.Proxy != nil {
+		proxy = req.Proxy.spec()
+	} else if s.defaultProxy != nil {
+		cp := *s.defaultProxy
+		proxy = &cp
+	}
 	return disarcloud.SimulationSpec{
 		Portfolio: p,
 		Fund:      disarcloud.TypicalItalianFund(req.FundAssets, market),
@@ -176,6 +263,7 @@ func (s *server) buildSpec(req *jobRequest) (disarcloud.SimulationSpec, error) {
 		MaxWorkers: req.MaxWorkers,
 		Seed:       req.Seed,
 		PaceFactor: req.PaceFactor,
+		Proxy:      proxy,
 	}, nil
 }
 
@@ -303,6 +391,34 @@ type resultJSON struct {
 	SCR    float64                    `json:"scr"`
 	Blocks map[string]blockResultJSON `json:"blocks"`
 	Deploy deployJSON                 `json:"deploy"`
+	// Proxy carries the serving telemetry when the job ran through the
+	// LSMC proxy tier; absent for plain nested valuations.
+	Proxy *proxyReportJSON `json:"proxy,omitempty"`
+}
+
+// proxyReportJSON is the per-job serving record: gate configuration, merged
+// totals with the fast-path hit rate, and the per-block stats.
+type proxyReportJSON struct {
+	ErrorBudget float64                          `json:"error_budget"`
+	HitRate     float64                          `json:"hit_rate"`
+	Totals      disarcloud.ProxyStats            `json:"totals"`
+	Blocks      map[string]disarcloud.ProxyStats `json:"blocks"`
+}
+
+func proxyReportJSONOf(rep *disarcloud.ProxyReport) *proxyReportJSON {
+	if rep == nil {
+		return nil
+	}
+	out := &proxyReportJSON{
+		ErrorBudget: rep.ErrorBudget,
+		HitRate:     rep.Totals.HitRate(),
+		Totals:      rep.Totals,
+		Blocks:      make(map[string]disarcloud.ProxyStats, len(rep.PerBlock)),
+	}
+	for id, st := range rep.PerBlock {
+		out.Blocks[id] = st
+	}
+	return out
 }
 
 type deployJSON struct {
@@ -357,6 +473,7 @@ func (s *server) result(w http.ResponseWriter, r *http.Request) {
 			Fallback:         rep.Deploy.Fallback,
 			KBSize:           rep.Deploy.KBSize,
 		},
+		Proxy: proxyReportJSONOf(rep.Proxy),
 	}
 	for bid, res := range rep.Results {
 		out.Blocks[bid] = blockResultJSON{BEL: res.BEL, SCR: res.SCR, StdErr: res.StdErr}
@@ -704,6 +821,53 @@ func (s *server) forecast(w http.ResponseWriter, _ *http.Request) {
 			sj.SMAPE = &v
 		}
 		out.Scores = append(out.Scores, sj)
+	}
+	writeJSON(w, http.StatusOK, out)
+}
+
+type proxyDefaultJSON struct {
+	TrainOuter    int     `json:"train_outer"`
+	TrainInner    int     `json:"train_inner,omitempty"`
+	ErrorBudget   float64 `json:"error_budget"`
+	EscalationCap float64 `json:"escalation_cap"`
+	Model         string  `json:"model"`
+	Degree        int     `json:"degree"`
+}
+
+type proxyStatusJSON struct {
+	// Enabled says whether the daemon applies a default proxy spec to jobs
+	// that do not carry their own "proxy" section (-proxy flag). Per-job
+	// proxy sections work either way.
+	Enabled bool              `json:"enabled"`
+	Default *proxyDefaultJSON `json:"default,omitempty"`
+	// Jobs, Totals and HitRate aggregate every proxied job the service has
+	// completed.
+	Jobs    int                   `json:"jobs"`
+	HitRate float64               `json:"hit_rate"`
+	Totals  disarcloud.ProxyStats `json:"totals"`
+}
+
+// proxy reports the LSMC proxy serving tier: whether the daemon proxies by
+// default, the resolved default spec, and the service-level hit-rate and
+// error telemetry over all proxied jobs.
+func (s *server) proxy(w http.ResponseWriter, _ *http.Request) {
+	st := s.svc.ProxyStatus()
+	out := proxyStatusJSON{
+		Enabled: s.defaultProxy != nil,
+		Jobs:    st.Jobs,
+		HitRate: st.HitRate,
+		Totals:  st.Totals,
+	}
+	if s.defaultProxy != nil {
+		d := s.defaultProxy.WithDefaults()
+		out.Default = &proxyDefaultJSON{
+			TrainOuter:    d.TrainOuter,
+			TrainInner:    d.TrainInner,
+			ErrorBudget:   d.ErrorBudget,
+			EscalationCap: d.EscalationCap,
+			Model:         d.Model,
+			Degree:        d.Degree,
+		}
 	}
 	writeJSON(w, http.StatusOK, out)
 }

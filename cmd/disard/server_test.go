@@ -26,7 +26,7 @@ func newTestServer(t *testing.T, opts ...disarcloud.ServiceOption) (*httptest.Se
 	if err != nil {
 		t.Fatal(err)
 	}
-	srv := httptest.NewServer(newHandler(svc, d, 2016))
+	srv := httptest.NewServer(newHandler(svc, d, 2016, nil))
 	t.Cleanup(func() {
 		srv.Close()
 		svc.Close()

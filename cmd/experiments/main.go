@@ -8,6 +8,7 @@
 //	fig4     speedup of cloud deploys vs sequential execution
 //	final    forced high-end / forced cheapest vs ML-selected
 //	ablation ensemble, exploration, retraining and heterogeneity ablations
+//	proxy    LSMC proxy serving tier: throughput-vs-accuracy frontier
 //	all      everything above
 //
 // A knowledge base of -kb samples is built through the self-optimizing loop
@@ -36,7 +37,7 @@ func main() {
 
 func run() error {
 	var (
-		which   = flag.String("run", "all", "experiment: tableI|tableII|fig2|fig3|fig4|final|ablation|all")
+		which   = flag.String("run", "all", "experiment: tableI|tableII|fig2|fig3|fig4|final|ablation|proxy|all")
 		kbSize  = flag.Int("kb", 1500, "knowledge-base samples to build (paper: ~1500)")
 		kbFile  = flag.String("kbfile", "", "load the knowledge base from this JSON instead of building it")
 		seed    = flag.Uint64("seed", 2016, "root seed")
@@ -51,19 +52,23 @@ func run() error {
 		return err
 	}
 	var base *kb.KB
-	if *kbFile != "" {
-		base, err = kb.LoadFile(*kbFile)
-		if err != nil {
-			return err
+	// The proxy frontier values one block directly; only build the (slow)
+	// knowledge base when some requested experiment consumes it.
+	if *which == "all" || !strings.EqualFold(*which, "proxy") {
+		if *kbFile != "" {
+			base, err = kb.LoadFile(*kbFile)
+			if err != nil {
+				return err
+			}
+			fmt.Fprintf(out, "loaded %d samples from %s\n\n", base.Len(), *kbFile)
+		} else {
+			fmt.Fprintf(out, "building knowledge base of %d samples through the self-optimizing loop...\n", *kbSize)
+			if err := campaign.BuildKB(*kbSize); err != nil {
+				return err
+			}
+			base = campaign.Deployer.KB()
+			fmt.Fprintf(out, "done: %d samples across %d architectures\n\n", base.Len(), len(base.Architectures()))
 		}
-		fmt.Fprintf(out, "loaded %d samples from %s\n\n", base.Len(), *kbFile)
-	} else {
-		fmt.Fprintf(out, "building knowledge base of %d samples through the self-optimizing loop...\n", *kbSize)
-		if err := campaign.BuildKB(*kbSize); err != nil {
-			return err
-		}
-		base = campaign.Deployer.KB()
-		fmt.Fprintf(out, "done: %d samples across %d architectures\n\n", base.Len(), len(base.Architectures()))
 	}
 
 	want := func(name string) bool { return *which == "all" || strings.EqualFold(*which, name) }
@@ -161,6 +166,15 @@ func run() error {
 			return err
 		}
 		het.Print(out)
+		fmt.Fprintln(out)
+		ranAny = true
+	}
+	if want("proxy") {
+		pc, err := experiments.RunProxyComparison(*seed+6, 2000, 200, nil, nil)
+		if err != nil {
+			return err
+		}
+		pc.Print(out)
 		fmt.Fprintln(out)
 		ranAny = true
 	}

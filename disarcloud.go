@@ -60,6 +60,7 @@ import (
 	"disarcloud/internal/loadgen"
 	"disarcloud/internal/policy"
 	"disarcloud/internal/provision"
+	"disarcloud/internal/proxyval"
 	"disarcloud/internal/stochastic"
 	"disarcloud/internal/stress"
 )
@@ -205,6 +206,38 @@ const (
 	ModuleLapse        = stress.Lapse
 	ModuleLongevity    = stress.Longevity
 )
+
+// LSMC proxy serving tier: uncertainty-gated fast-path valuation with Monte
+// Carlo escalation. Attaching a ProxySpec to a SimulationSpec (or a campaign
+// Base) routes every block through train -> gate -> escalate instead of the
+// plain nested pipeline.
+type (
+	// ProxySpec configures the proxy tier of a job (training-sample size,
+	// error budget, escalation cap, model family).
+	ProxySpec = core.ProxySpec
+	// ProxyReport is the serving telemetry of one proxied job.
+	ProxyReport = core.ProxyReport
+	// ProxyStats is the per-block (and merged) serving record: sample sizes,
+	// validation error, proxy-vs-escalated counts, realized escalation error.
+	ProxyStats = proxyval.Stats
+	// ProxyTelemetry is the service-level aggregate over all proxied jobs.
+	ProxyTelemetry = core.ProxyTelemetry
+)
+
+// Proxy model families.
+const (
+	ProxyModelForest = proxyval.ModelForest
+	ProxyModelPoly   = proxyval.ModelPoly
+	ProxyModelLinear = proxyval.ModelLinear
+	ProxyModelMLP    = proxyval.ModelMLP
+)
+
+// ProxyModels lists the supported proxy model families.
+var ProxyModels = proxyval.Models
+
+// MinProxyTrainOuter is the smallest usable proxy training sample (enough
+// to leave both a fit set and a non-trivial held-out validation set).
+const MinProxyTrainOuter = proxyval.MinTrainOuter
 
 // Stress-campaign construction.
 var (

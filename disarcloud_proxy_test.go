@@ -1,0 +1,116 @@
+package disarcloud_test
+
+// Proxy-tier counterpart of the golden-file test: the SAME fixed-seed
+// campaign routed through the LSMC proxy serving tier must land within a
+// stated tolerance of the exact golden numbers — the uncertainty gate and
+// the escalation cap are what keep a cheap model's campaign SCR honest. The
+// proxied run is additionally required to be bit-reproducible, like the
+// exact one.
+
+import (
+	"context"
+	"encoding/json"
+	"math"
+	"os"
+	"testing"
+
+	"disarcloud"
+)
+
+// Proxied-campaign tolerances against testdata/golden_scr.json. BEL is the
+// directly proxied quantity, so it inherits the 2% error budget below; the
+// BSCR is a small difference of large valuations, which amplifies relative
+// error — 15% keeps the test meaningful (a broken gate is off by integer
+// factors) without flaking on quantile noise.
+const (
+	proxyGoldenBELTol  = 0.02
+	proxyGoldenBSCRTol = 0.15
+)
+
+func proxyGoldenRun(t *testing.T) disarcloud.CampaignReport {
+	t.Helper()
+	const seed = 20160628
+	d, err := disarcloud.NewDeployer(seed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	svc, err := disarcloud.NewService(d, disarcloud.WithWorkers(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer svc.Close()
+
+	p, err := disarcloud.GeneratePortfolio(seed+1, func() disarcloud.GeneratorSpec {
+		g := disarcloud.ItalianCompanySpecs()[0]
+		g.NumContracts = 10
+		return g
+	}())
+	if err != nil {
+		t.Fatal(err)
+	}
+	market := disarcloud.DefaultMarket(p.MaxTerm())
+	ctx := context.Background()
+	id, err := svc.SubmitCampaign(ctx, disarcloud.CampaignSpec{
+		Base: disarcloud.SimulationSpec{
+			Portfolio:   p,
+			Fund:        disarcloud.TypicalItalianFund(5, market),
+			Market:      market,
+			Outer:       60,
+			Inner:       5,
+			Constraints: disarcloud.Constraints{TmaxSeconds: 3600, MaxNodes: 4, Epsilon: 0},
+			MaxWorkers:  2,
+			Seed:        seed,
+			Proxy: &disarcloud.ProxySpec{
+				TrainOuter:  32,
+				ErrorBudget: proxyGoldenBELTol,
+				Model:       disarcloud.ProxyModelForest,
+			},
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, err := svc.CampaignResult(ctx, id)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return *rep
+}
+
+func TestProxyCampaignWithinGoldenTolerance(t *testing.T) {
+	data, err := os.ReadFile(goldenPath)
+	if err != nil {
+		t.Fatalf("read golden file (run TestGoldenSCRCampaign -update to create it): %v", err)
+	}
+	var want goldenSCR
+	if err := json.Unmarshal(data, &want); err != nil {
+		t.Fatalf("decode golden file: %v", err)
+	}
+
+	got := proxyGoldenRun(t)
+	if relDev := math.Abs(got.BaseBEL-want.BaseBEL) / math.Abs(want.BaseBEL); relDev > proxyGoldenBELTol {
+		t.Errorf("proxied base BEL off the golden value by %.4f (budget %v): got %v, want %v",
+			relDev, proxyGoldenBELTol, got.BaseBEL, want.BaseBEL)
+	}
+	if relDev := math.Abs(got.SCR.BSCR-want.SCR.BSCR) / math.Abs(want.SCR.BSCR); relDev > proxyGoldenBSCRTol {
+		t.Errorf("proxied BSCR off the golden value by %.4f (tolerance %v): got %v, want %v",
+			relDev, proxyGoldenBSCRTol, got.SCR.BSCR, want.SCR.BSCR)
+	}
+	if len(got.Modules) != len(want.Modules) {
+		t.Errorf("proxied campaign ran %d modules, golden has %d", len(got.Modules), len(want.Modules))
+	}
+}
+
+func TestProxyCampaignRerunIsBitIdentical(t *testing.T) {
+	a, b := proxyGoldenRun(t), proxyGoldenRun(t)
+	if a.BaseBEL != b.BaseBEL || a.SCR != b.SCR {
+		t.Fatalf("same-seed proxied reruns disagree:\nBEL %v vs %v\nSCR %+v vs %+v",
+			a.BaseBEL, b.BaseBEL, a.SCR, b.SCR)
+	}
+	for i := range a.Modules {
+		if a.Modules[i].DeltaBEL != b.Modules[i].DeltaBEL {
+			t.Fatalf("module %s differs across proxied reruns: %v vs %v",
+				a.Modules[i].Module, a.Modules[i].DeltaBEL, b.Modules[i].DeltaBEL)
+		}
+	}
+}

@@ -92,9 +92,30 @@ func (v *Valuer) CalibrateProxy(spec LSMCSpec) (*Proxy, error) {
 	if err != nil {
 		return nil, err
 	}
+	return FitProxy(feats, targets, spec)
+}
+
+// FitProxy regresses pre-computed targets on the orthonormal polynomial
+// basis of the given feature vectors, producing the same Proxy that
+// CalibrateProxy builds from its own nested sample. Callers supply one
+// feature vector and target per calibration point; only spec.Degree and
+// spec.Ridge participate (the sample sizes are taken from the data). It is
+// the fitting half of the LSMC procedure, exposed so external serving tiers
+// can train the polynomial proxy on samples they drew themselves.
+func FitProxy(feats [][]float64, targets []float64, spec LSMCSpec) (*Proxy, error) {
+	if len(feats) == 0 || len(feats) != len(targets) {
+		return nil, fmt.Errorf("alm: FitProxy got %d feature rows and %d targets", len(feats), len(targets))
+	}
+	if spec.Degree <= 0 {
+		return nil, errors.New("alm: LSMC degree must be positive")
+	}
+	n := len(feats)
+	d := len(feats[0])
+	if size := finmath.TensorBasisSize(d, spec.Degree); n < size {
+		return nil, fmt.Errorf("alm: %d calibration points for %d basis functions", n, size)
+	}
 
 	// Standardise features for a well-conditioned Hermite design.
-	d := len(feats[0])
 	mean := make([]float64, d)
 	std := make([]float64, d)
 	col := make([]float64, n)

@@ -25,6 +25,15 @@ type Result struct {
 	Method string
 }
 
+// Summarize builds a Result from complete per-outer-scenario values: y1 are
+// the time-1 values, discounted their D(0,1)-discounted counterparts, and
+// method a label recording how they were produced (e.g. "proxy"). It is the
+// aggregation step shared by every valuation mode; external serving tiers
+// use it to assemble results from values they computed themselves.
+func Summarize(y1, discounted []float64, method string) *Result {
+	return summarize(y1, discounted, method)
+}
+
 // summarize fills the aggregate fields from the per-scenario values.
 func summarize(y1, discounted []float64, method string) *Result {
 	r := &Result{Y1: y1, DiscountedY1: discounted, Method: method}

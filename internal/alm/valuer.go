@@ -287,6 +287,60 @@ func (v *Valuer) OuterSlice(from, to int) ([]float64, error) {
 	return v.ValueRange(context.Background(), from, to, nil)
 }
 
+// WalkOuter visits outer paths [from, to) in order through the batched
+// panel pipeline, materialising each path's F1 state without running any
+// inner simulations — the fast path of a proxy serving tier, which only
+// needs features and the outer discount factor. fn's OuterState (and its
+// Scenario view) is valid only for the duration of the call. Cancellation
+// is checked before every path.
+func (v *Valuer) WalkOuter(ctx context.Context, from, to int, fn func(i int, st OuterState) error) error {
+	if from < 0 || to < from {
+		return fmt.Errorf("alm: bad outer slice [%d,%d)", from, to)
+	}
+	sc := v.newScratch()
+	defer sc.release()
+	return v.forEachOuter(from, to, sc, func(i int, st OuterState) error {
+		if err := ctx.Err(); err != nil {
+			return err
+		}
+		return fn(i, st)
+	})
+}
+
+// ValueOuters computes Y1 for an arbitrary set of outer path indices with
+// nInner conditional inner paths each, sharing one scratch (and its pooled
+// panels) across the whole set. Results are positionally aligned with
+// indices. Because every path's random streams are rooted at its index, the
+// values are bit-identical to what ValueRange would produce for the same
+// paths — this is the escalation entry point of the proxy tier, which
+// re-values a scattered subset of outer scenarios through the full batched
+// Monte Carlo pipeline. onPath, when non-nil, runs after each completed
+// path.
+func (v *Valuer) ValueOuters(ctx context.Context, indices []int, nInner int, onPath func()) ([]float64, error) {
+	if nInner <= 0 {
+		return nil, fmt.Errorf("alm: ValueOuters needs positive inner paths, got %d", nInner)
+	}
+	for _, i := range indices {
+		if i < 0 {
+			return nil, fmt.Errorf("alm: ValueOuters got negative outer index %d", i)
+		}
+	}
+	out := make([]float64, len(indices))
+	sc := v.newScratch()
+	defer sc.release()
+	for k, i := range indices {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
+		st := v.outerState(v.src.Outer(i), sc)
+		out[k] = v.valueOuter(i, nInner, st, sc)
+		if onPath != nil {
+			onPath()
+		}
+	}
+	return out, nil
+}
+
 // Features returns the LSMC regression features of an outer state:
 // the year-1 short rate, the year-1 fund book return, the year-1 credit
 // intensity, and the log-level of each equity index at year 1.

@@ -1,0 +1,207 @@
+package core
+
+import (
+	"context"
+	"math"
+	"testing"
+)
+
+func proxySpec(name string, outer int, seed uint64) SimulationSpec {
+	spec := serviceSpec(name, outer, seed)
+	spec.Proxy = &ProxySpec{TrainOuter: 32, ErrorBudget: 0.05, Model: "forest"}
+	return spec
+}
+
+func TestProxySpecValidation(t *testing.T) {
+	spec := proxySpec("proxy-validate", 20, 1)
+	spec.Proxy.ErrorBudget = 7
+	if err := spec.Validate(); err == nil {
+		t.Fatal("bad proxy budget accepted")
+	}
+	spec.Proxy.ErrorBudget = 0.05
+	if err := spec.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestProxyJobMode runs one job through the proxy tier end to end: the
+// report must carry serving telemetry with a consistent split, and the
+// service-level aggregate must reflect it.
+func TestProxyJobMode(t *testing.T) {
+	d, err := NewDeployer(101)
+	if err != nil {
+		t.Fatal(err)
+	}
+	svc, err := NewService(d, WithWorkers(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer svc.Close()
+
+	if st := svc.ProxyStatus(); st.Jobs != 0 || st.Totals.Evaluated != 0 {
+		t.Fatalf("fresh service has proxy telemetry: %+v", st)
+	}
+
+	ctx := context.Background()
+	id, err := svc.Submit(ctx, proxySpec("proxy-job", 30, 7))
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, err := svc.Result(ctx, id)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Proxy == nil {
+		t.Fatal("proxied job report has no ProxyReport")
+	}
+	if rep.Proxy.ErrorBudget != 0.05 {
+		t.Fatalf("error budget %v", rep.Proxy.ErrorBudget)
+	}
+	tot := rep.Proxy.Totals
+	if tot.Evaluated != 30 || tot.Proxied+tot.Escalated != tot.Evaluated {
+		t.Fatalf("inconsistent totals: %+v", tot)
+	}
+	if len(rep.Proxy.PerBlock) == 0 {
+		t.Fatal("no per-block stats")
+	}
+	for id, st := range rep.Proxy.PerBlock {
+		if st.Model != "forest" || st.TrainOuter != 32 {
+			t.Fatalf("block %s: bad stats %+v", id, st)
+		}
+		if r, ok := rep.Results[id]; !ok || r.Method != "proxy" {
+			t.Fatalf("block %s: result missing or not proxy-flagged", id)
+		}
+	}
+	if math.IsNaN(rep.BEL) || math.IsNaN(rep.SCR) {
+		t.Fatalf("degenerate aggregates: BEL %v SCR %v", rep.BEL, rep.SCR)
+	}
+
+	st := svc.ProxyStatus()
+	if st.Jobs != 1 {
+		t.Fatalf("proxy jobs = %d, want 1", st.Jobs)
+	}
+	if st.Totals.Evaluated != 30 {
+		t.Fatalf("aggregate evaluated = %d, want 30", st.Totals.Evaluated)
+	}
+	if st.HitRate < 0 || st.HitRate > 1 {
+		t.Fatalf("hit rate %v", st.HitRate)
+	}
+}
+
+// TestProxyJobDeterministic submits the same proxied spec twice and demands
+// bit-identical Solvency II numbers and telemetry — worker interleaving and
+// service state must not leak into the valuation.
+func TestProxyJobDeterministic(t *testing.T) {
+	d, err := NewDeployer(103)
+	if err != nil {
+		t.Fatal(err)
+	}
+	svc, err := NewService(d, WithWorkers(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer svc.Close()
+	ctx := context.Background()
+
+	run := func() *SimulationReport {
+		id, err := svc.Submit(ctx, proxySpec("proxy-det", 24, 99))
+		if err != nil {
+			t.Fatal(err)
+		}
+		rep, err := svc.Result(ctx, id)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return rep
+	}
+	r1, r2 := run(), run()
+	if r1.BEL != r2.BEL || r1.SCR != r2.SCR {
+		t.Fatalf("proxy jobs not deterministic: BEL %v vs %v, SCR %v vs %v",
+			r1.BEL, r2.BEL, r1.SCR, r2.SCR)
+	}
+	if r1.Proxy.Totals != r2.Proxy.Totals {
+		t.Fatalf("telemetry not deterministic:\n%+v\n%+v", r1.Proxy.Totals, r2.Proxy.Totals)
+	}
+}
+
+// TestProxyCampaign runs a full standard-formula campaign through the proxy
+// tier: every module job must carry serving telemetry, and the aggregation
+// must produce a finite SCR.
+func TestProxyCampaign(t *testing.T) {
+	d, err := NewDeployer(107)
+	if err != nil {
+		t.Fatal(err)
+	}
+	svc, err := NewService(d, WithWorkers(4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer svc.Close()
+	ctx := context.Background()
+
+	base := proxySpec("proxy-camp", 20, 5)
+	cid, err := svc.SubmitCampaign(ctx, CampaignSpec{Base: base})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, err := svc.CampaignResult(ctx, cid)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Modules) == 0 {
+		t.Fatal("campaign has no modules")
+	}
+	if math.IsNaN(rep.SCR.BSCR) || rep.SCR.BSCR < 0 {
+		t.Fatalf("campaign SCR %v", rep.SCR.BSCR)
+	}
+	// Every job of the campaign — base and all modules — ran proxied.
+	st := svc.ProxyStatus()
+	if want := len(rep.Modules) + 1; st.Jobs != want {
+		t.Fatalf("proxy jobs = %d, want %d", st.Jobs, want)
+	}
+	if st.Totals.Evaluated != (len(rep.Modules)+1)*20 {
+		t.Fatalf("aggregate evaluated = %d", st.Totals.Evaluated)
+	}
+}
+
+// TestProxyProgressReachesTotal checks the proxy runner honours the job
+// progress contract: the fast-path walk reports every outer path exactly
+// once, so the job settles at done == total.
+func TestProxyProgressReachesTotal(t *testing.T) {
+	d, err := NewDeployer(109)
+	if err != nil {
+		t.Fatal(err)
+	}
+	svc, err := NewService(d, WithWorkers(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer svc.Close()
+	ctx := context.Background()
+	id, err := svc.Submit(ctx, proxySpec("proxy-progress", 25, 3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := svc.Result(ctx, id); err != nil {
+		t.Fatal(err)
+	}
+	snap, err := svc.Status(id)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if snap.Done != snap.Total || snap.Total == 0 {
+		t.Fatalf("progress %d/%d after completion", snap.Done, snap.Total)
+	}
+}
+
+func TestRunProxyValuationCancellation(t *testing.T) {
+	d, err := NewDeployer(113)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := d.RunSimulation(ctx, proxySpec("proxy-cancel", 20, 1)); err == nil {
+		t.Fatal("cancelled proxy run succeeded")
+	}
+}

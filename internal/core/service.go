@@ -12,6 +12,7 @@ import (
 	"disarcloud/internal/elastic"
 	"disarcloud/internal/forecast"
 	"disarcloud/internal/grid"
+	"disarcloud/internal/proxyval"
 )
 
 // ErrServiceClosed is returned by Submit after Close.
@@ -142,6 +143,10 @@ type Service struct {
 	baseCtx    context.Context
 	baseCancel context.CancelFunc
 	wg         sync.WaitGroup
+
+	proxyMu     sync.Mutex
+	proxyJobs   int
+	proxyTotals proxyval.Stats
 
 	mu            sync.Mutex
 	jobs          map[JobID]*job
@@ -485,6 +490,9 @@ func (s *Service) run(j *job) {
 		// Completed jobs feed the planner's measured-occupancy fallback —
 		// the runtime signal that works before the KB ensemble trains.
 		s.fc.observeMeasured(time.Since(began).Seconds())
+	}
+	if err == nil && rep != nil && rep.Proxy != nil {
+		s.recordProxy(rep.Proxy)
 	}
 	j.finish(rep, err)
 	j.cancel() // release the job context's resources

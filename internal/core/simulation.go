@@ -55,6 +55,12 @@ type SimulationSpec struct {
 	// OnProgress, when non-nil, receives grid monitoring events as outer
 	// paths complete. Calls are serialised by the valuation master.
 	OnProgress func(grid.Progress)
+	// Proxy, when non-nil, routes the valuation through the LSMC proxy
+	// serving tier: each block trains a proxy on a seeded disjoint sample,
+	// answers its outer paths through the fast path, and escalates only the
+	// predictions whose uncertainty band busts the error budget to the full
+	// nested pipeline. The report then carries a ProxyReport.
+	Proxy *ProxySpec
 }
 
 // Validate reports whether the spec is well-formed.
@@ -74,6 +80,11 @@ func (s SimulationSpec) Validate() error {
 	if err := s.Biometric.Validate(); err != nil {
 		return err
 	}
+	if s.Proxy != nil {
+		if err := s.Proxy.Validate(); err != nil {
+			return err
+		}
+	}
 	return s.Constraints.Validate()
 }
 
@@ -91,6 +102,9 @@ type SimulationReport struct {
 	Deploy *Report
 	// Params are the characteristic parameters the deploy was selected on.
 	Params eeb.CharacteristicParams
+	// Proxy carries the serving telemetry when the job ran through the
+	// proxy tier (nil for plain nested valuations).
+	Proxy *ProxyReport
 }
 
 // aggregateBlock describes the whole simulation as one type-B block — the
@@ -225,8 +239,14 @@ func (d *Deployer) RunSimulation(ctx context.Context, spec SimulationSpec) (*Sim
 		_ = d.forget(deployRep) // a split that fails produced no valuation
 		return nil, err
 	}
-	master := &grid.Master{Workers: workers, Seed: spec.Seed, OnProgress: spec.OnProgress}
-	results, err := master.Run(ctx, blocks)
+	var results map[string]*alm.Result
+	var proxyRep *ProxyReport
+	if spec.Proxy != nil {
+		results, proxyRep, err = runProxyValuation(ctx, blocks, workers, spec.Seed, *spec.Proxy, spec.OnProgress)
+	} else {
+		master := &grid.Master{Workers: workers, Seed: spec.Seed, OnProgress: spec.OnProgress}
+		results, err = master.Run(ctx, blocks)
+	}
 	if err != nil {
 		// A crashed valuation (a worker-rank panic surfaces here as an
 		// error) must also retract the sample — but a cancellation keeps
@@ -238,7 +258,7 @@ func (d *Deployer) RunSimulation(ctx context.Context, spec SimulationSpec) (*Sim
 		return nil, err
 	}
 
-	rep := &SimulationReport{Results: results, Deploy: deployRep, Params: f}
+	rep := &SimulationReport{Results: results, Deploy: deployRep, Params: f, Proxy: proxyRep}
 	for _, r := range results {
 		rep.BEL += r.BEL
 		rep.SCR += r.SCR

@@ -1,0 +1,212 @@
+package experiments
+
+import (
+	"context"
+	"fmt"
+	"io"
+	"math"
+	"time"
+
+	"disarcloud/internal/alm"
+	"disarcloud/internal/eeb"
+	"disarcloud/internal/finmath"
+	"disarcloud/internal/fund"
+	"disarcloud/internal/policy"
+	"disarcloud/internal/proxyval"
+	"disarcloud/internal/stochastic"
+)
+
+// ProxyPoint is one point on the proxy tier's throughput-vs-accuracy
+// frontier: one (model, error budget) configuration served against the full
+// nested valuation of the same block.
+type ProxyPoint struct {
+	Model       string
+	ErrorBudget float64
+
+	// Serving split and out-of-sample error of the trained proxy.
+	HitRate          float64
+	Escalated        int
+	ValidationRelMAE float64
+	RealizedRelMAE   float64
+
+	// Throughput: nanoseconds per outer path. FastPathNs is a pure proxy
+	// prediction; CascadeNs amortises training plus gated serving (with
+	// escalations) over the evaluated paths.
+	FastPathNs float64
+	CascadeNs  float64
+	// Speedup is FullNs / FastPathNs — the headline serving-tier ratio.
+	Speedup        float64
+	CascadeSpeedup float64
+
+	// Accuracy of the cascade against the full nested run.
+	BELRelErr float64
+	SCRRelErr float64
+}
+
+// ProxyComparison is the outcome of RunProxyComparison: the full-pipeline
+// baseline plus the frontier points.
+type ProxyComparison struct {
+	Outer, Inner int
+	Seed         uint64
+	TrainOuter   int
+
+	FullBEL, FullSCR float64
+	// FullNs is the nested pipeline's nanoseconds per outer path.
+	FullNs float64
+
+	Points []ProxyPoint
+}
+
+// proxyExperimentBlock builds the valuation block the comparison runs on:
+// the paper's savings-heavy portfolio archetype over the default euro-area
+// market, sized like an internal-model slice (many inner paths) so the
+// nested baseline is genuinely expensive.
+func proxyExperimentBlock(seed uint64, outer, inner int) (*eeb.Block, error) {
+	spec := policy.ItalianCompanySpecs()[0]
+	spec.NumContracts = 10
+	p, err := policy.Generate(finmath.NewRNG(seed+1), spec)
+	if err != nil {
+		return nil, err
+	}
+	market := stochastic.Config{
+		Horizon:      p.MaxTerm(),
+		StepsPerYear: 1,
+		Rate: stochastic.VasicekParams{
+			R0: 0.015, Speed: 0.25, MeanP: 0.03, MeanQ: 0.025, Sigma: 0.009,
+		},
+		Equities: []stochastic.GBMParams{{S0: 100, Mu: 0.06, Sigma: 0.18}},
+		Credit:   stochastic.CIRParams{L0: 0.008, Speed: 0.5, Mean: 0.012, Sigma: 0.03},
+	}
+	b := &eeb.Block{
+		ID: "proxy-frontier", Type: eeb.ALMValuation, Portfolio: p,
+		Fund: fund.TypicalItalianFund(5, market), Market: market,
+		Outer: outer, Inner: inner,
+	}
+	if err := b.Validate(); err != nil {
+		return nil, err
+	}
+	return b, nil
+}
+
+// RunProxyComparison measures the LSMC proxy serving tier against the full
+// nested pipeline on one internal-model-grade block: for every (model,
+// budget) pair it trains a proxy on a disjoint seeded sample, serves all
+// outer paths through the uncertainty-gated cascade, and records throughput
+// (full vs fast path vs cascade) alongside accuracy (BEL/SCR error of the
+// cascade, out-of-sample validation error, realized escalation error). The
+// Solvency II numbers are bit-deterministic in the seed; only the ns/path
+// timings vary run to run.
+func RunProxyComparison(seed uint64, outer, inner int, models []string, budgets []float64) (*ProxyComparison, error) {
+	if outer <= 0 || inner <= 0 {
+		return nil, fmt.Errorf("experiments: non-positive proxy comparison sample sizes")
+	}
+	if len(models) == 0 {
+		models = []string{proxyval.ModelForest, proxyval.ModelPoly}
+	}
+	if len(budgets) == 0 {
+		budgets = []float64{0.01, 0.05, 0.20}
+	}
+	block, err := proxyExperimentBlock(seed, outer, inner)
+	if err != nil {
+		return nil, err
+	}
+	v, err := alm.NewValuer(block, seed)
+	if err != nil {
+		return nil, err
+	}
+	ctx := context.Background()
+
+	// Full-pipeline baseline: value every outer path once, timed.
+	start := time.Now()
+	full, err := v.ValueNested()
+	if err != nil {
+		return nil, err
+	}
+	res := &ProxyComparison{
+		Outer: outer, Inner: inner, Seed: seed,
+		FullBEL: full.BEL, FullSCR: full.SCR,
+		FullNs: float64(time.Since(start).Nanoseconds()) / float64(outer),
+	}
+
+	// Feature rows for the fast-path timing loop.
+	feats := make([][]float64, outer)
+	err = v.WalkOuter(ctx, 0, outer, func(i int, st alm.OuterState) error {
+		feats[i] = v.Features(st)
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+
+	for _, model := range models {
+		for _, budget := range budgets {
+			spec := proxyval.Spec{Model: model, ErrorBudget: budget}
+			res.TrainOuter = spec.WithDefaults().TrainOuter
+			trainStart := time.Now()
+			p, err := proxyval.Train(ctx, v, spec, seed+7)
+			if err != nil {
+				return nil, fmt.Errorf("experiments: train %s: %w", model, err)
+			}
+			trainNs := float64(time.Since(trainStart).Nanoseconds())
+
+			serveStart := time.Now()
+			proxyRes, stats, err := p.Value(ctx, v, nil)
+			if err != nil {
+				return nil, fmt.Errorf("experiments: serve %s: %w", model, err)
+			}
+			serveNs := float64(time.Since(serveStart).Nanoseconds())
+
+			// Pure fast-path throughput: predict every outer path once more,
+			// timed without training or escalation.
+			fastStart := time.Now()
+			for _, f := range feats {
+				p.Predict(f)
+			}
+			fastNs := float64(time.Since(fastStart).Nanoseconds()) / float64(outer)
+
+			pt := ProxyPoint{
+				Model:            stats.Model,
+				ErrorBudget:      budget,
+				HitRate:          stats.HitRate(),
+				Escalated:        stats.Escalated,
+				ValidationRelMAE: stats.ValidationRelMAE,
+				RealizedRelMAE:   stats.RealizedRelMAE,
+				FastPathNs:       fastNs,
+				CascadeNs:        (trainNs + serveNs) / float64(outer),
+				BELRelErr:        relErr(proxyRes.BEL, full.BEL),
+				SCRRelErr:        relErr(proxyRes.SCR, full.SCR),
+			}
+			if fastNs > 0 {
+				pt.Speedup = res.FullNs / fastNs
+			}
+			if pt.CascadeNs > 0 {
+				pt.CascadeSpeedup = res.FullNs / pt.CascadeNs
+			}
+			res.Points = append(res.Points, pt)
+		}
+	}
+	return res, nil
+}
+
+func relErr(got, want float64) float64 {
+	if want == 0 {
+		return math.Abs(got)
+	}
+	return math.Abs(got-want) / math.Abs(want)
+}
+
+// Print writes the frontier table: one row per (model, budget) point, the
+// full-pipeline baseline on top.
+func (r *ProxyComparison) Print(w io.Writer) {
+	fmt.Fprintf(w, "PROXY FRONTIER: %d outer x %d inner, train=%d, seed=%d\n",
+		r.Outer, r.Inner, r.TrainOuter, r.Seed)
+	fmt.Fprintf(w, "full pipeline: BEL=%.2f SCR=%.2f  %.0f ns/path\n", r.FullBEL, r.FullSCR, r.FullNs)
+	fmt.Fprintf(w, "%-8s %7s %8s %5s %9s %9s %9s %9s %10s %10s\n",
+		"model", "budget", "hit", "esc", "fast-ns", "casc-ns", "speedup", "casc-x", "BEL-err", "SCR-err")
+	for _, p := range r.Points {
+		fmt.Fprintf(w, "%-8s %7.3f %7.1f%% %5d %9.0f %9.0f %8.0fx %8.1fx %9.2e %9.2e\n",
+			p.Model, p.ErrorBudget, 100*p.HitRate, p.Escalated,
+			p.FastPathNs, p.CascadeNs, p.Speedup, p.CascadeSpeedup,
+			p.BELRelErr, p.SCRRelErr)
+	}
+}

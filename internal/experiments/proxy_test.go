@@ -1,0 +1,93 @@
+package experiments
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"disarcloud/internal/proxyval"
+)
+
+// TestProxyComparisonShape runs a small frontier and checks every point is
+// internally consistent: a sane serving split, a fast path that actually
+// beats the nested pipeline, and cascade accuracy in the ballpark of the
+// validation error.
+func TestProxyComparisonShape(t *testing.T) {
+	models := []string{proxyval.ModelPoly, proxyval.ModelForest}
+	budgets := []float64{0.01, 0.2}
+	pc, err := RunProxyComparison(99, 150, 20, models, budgets)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pc.FullBEL <= 0 || pc.FullNs <= 0 {
+		t.Fatalf("degenerate baseline: %+v", pc)
+	}
+	if len(pc.Points) != len(models)*len(budgets) {
+		t.Fatalf("frontier has %d points, want %d", len(pc.Points), len(models)*len(budgets))
+	}
+	for _, p := range pc.Points {
+		if p.HitRate < 0 || p.HitRate > 1 {
+			t.Fatalf("%s@%v: hit rate %v", p.Model, p.ErrorBudget, p.HitRate)
+		}
+		if p.FastPathNs <= 0 || p.CascadeNs <= 0 {
+			t.Fatalf("%s@%v: non-positive timings %+v", p.Model, p.ErrorBudget, p)
+		}
+		// The fast path prices one outer path with a model evaluation
+		// instead of 20 inner simulations; even on the smallest test block
+		// it must win clearly.
+		if p.Speedup <= 1 {
+			t.Errorf("%s@%v: fast path slower than nested (%vx)", p.Model, p.ErrorBudget, p.Speedup)
+		}
+		// The cascade answers from the same trained model the validation
+		// error describes; its BEL error must not be wildly past it.
+		if p.BELRelErr > 0.10 {
+			t.Errorf("%s@%v: cascade BEL off by %v", p.Model, p.ErrorBudget, p.BELRelErr)
+		}
+	}
+}
+
+// TestProxyComparisonDeterministicValues reruns the frontier and demands
+// bit-identical Solvency II numbers and serving splits — only the timings
+// may differ.
+func TestProxyComparisonDeterministicValues(t *testing.T) {
+	run := func() *ProxyComparison {
+		pc, err := RunProxyComparison(7, 120, 15, []string{proxyval.ModelForest}, []float64{0.05})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return pc
+	}
+	a, b := run(), run()
+	if a.FullBEL != b.FullBEL || a.FullSCR != b.FullSCR {
+		t.Fatalf("baseline not deterministic: %v/%v vs %v/%v", a.FullBEL, a.FullSCR, b.FullBEL, b.FullSCR)
+	}
+	pa, pb := a.Points[0], b.Points[0]
+	if pa.HitRate != pb.HitRate || pa.Escalated != pb.Escalated ||
+		pa.BELRelErr != pb.BELRelErr || pa.SCRRelErr != pb.SCRRelErr {
+		t.Fatalf("frontier point not deterministic:\n%+v\n%+v", pa, pb)
+	}
+}
+
+func TestProxyComparisonPrint(t *testing.T) {
+	pc, err := RunProxyComparison(3, 100, 10, []string{proxyval.ModelPoly}, []float64{0.05})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	pc.Print(&buf)
+	out := buf.String()
+	for _, want := range []string{"PROXY FRONTIER", "full pipeline", "poly"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("frontier output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestProxyComparisonRejectsBadSizes(t *testing.T) {
+	if _, err := RunProxyComparison(1, 0, 10, nil, nil); err == nil {
+		t.Fatal("zero outer accepted")
+	}
+	if _, err := RunProxyComparison(1, 10, -1, nil, nil); err == nil {
+		t.Fatal("negative inner accepted")
+	}
+}

@@ -2,6 +2,7 @@ package ml
 
 import (
 	"fmt"
+	"math"
 
 	"disarcloud/internal/finmath"
 )
@@ -54,14 +55,32 @@ func (f *RandomForest) Train(d *Dataset) error {
 
 // Predict implements Model.
 func (f *RandomForest) Predict(features []float64) float64 {
+	mean, _ := f.PredictWithSpread(features)
+	return mean
+}
+
+// PredictWithSpread returns the tree-mean prediction together with the
+// population standard deviation of the per-tree predictions — the ensemble
+// disagreement that serves as a per-prediction uncertainty signal (wide
+// spread means the trees extrapolate differently, so the mean is less
+// trustworthy). An untrained forest returns (0, 0).
+func (f *RandomForest) PredictWithSpread(features []float64) (mean, spread float64) {
 	if !f.trained {
-		return 0
+		return 0, 0
 	}
-	sum := 0.0
+	n := float64(len(f.members))
+	sum, sumSq := 0.0, 0.0
 	for _, t := range f.members {
-		sum += t.Predict(features)
+		p := t.Predict(features)
+		sum += p
+		sumSq += p * p
 	}
-	return sum / float64(len(f.members))
+	mean = sum / n
+	variance := sumSq/n - mean*mean
+	if variance < 0 {
+		variance = 0 // guard the one-pass formula against rounding
+	}
+	return mean, math.Sqrt(variance)
 }
 
 var _ Model = (*RandomForest)(nil)

@@ -1,0 +1,78 @@
+package ml
+
+import (
+	"math"
+	"testing"
+
+	"disarcloud/internal/finmath"
+)
+
+// referenceSpread recomputes mean and population standard deviation of the
+// per-tree predictions with the two-pass textbook formula, as an oracle for
+// the one-pass implementation.
+func referenceSpread(f *RandomForest, features []float64) (mean, spread float64) {
+	preds := make([]float64, len(f.members))
+	for i, t := range f.members {
+		preds[i] = t.Predict(features)
+	}
+	mean = finmath.Mean(preds)
+	ss := 0.0
+	for _, p := range preds {
+		ss += (p - mean) * (p - mean)
+	}
+	return mean, math.Sqrt(ss / float64(len(preds)))
+}
+
+func TestPredictWithSpreadMatchesReference(t *testing.T) {
+	rng := finmath.NewRNG(7)
+	d := execTimeDataset(rng, 120)
+	f := NewRandomForest(11)
+	f.Trees = 25
+	if err := f.Train(d); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 20; i++ {
+		feats := []float64{float64(1 + rng.Intn(8)), float64(5 + rng.Intn(60)), float64(5 + rng.Intn(35))}
+		mean, spread := f.PredictWithSpread(feats)
+		wantMean, wantSpread := referenceSpread(f, feats)
+		if math.Abs(mean-wantMean) > 1e-9*math.Max(1, math.Abs(wantMean)) {
+			t.Fatalf("mean %v != reference %v", mean, wantMean)
+		}
+		if math.Abs(spread-wantSpread) > 1e-9*math.Max(1, wantSpread) {
+			t.Fatalf("spread %v != reference %v", spread, wantSpread)
+		}
+		if spread < 0 {
+			t.Fatalf("negative spread %v", spread)
+		}
+		if got := f.Predict(feats); got != mean {
+			t.Fatalf("Predict %v disagrees with PredictWithSpread mean %v", got, mean)
+		}
+	}
+}
+
+func TestPredictWithSpreadConstantTarget(t *testing.T) {
+	d := NewDataset([]string{"x"})
+	for i := 0; i < 40; i++ {
+		_ = d.Add([]float64{float64(i)}, 42.0)
+	}
+	f := NewRandomForest(3)
+	f.Trees = 10
+	if err := f.Train(d); err != nil {
+		t.Fatal(err)
+	}
+	mean, spread := f.PredictWithSpread([]float64{17})
+	if mean != 42 {
+		t.Fatalf("constant-target mean = %v, want 42", mean)
+	}
+	if spread != 0 {
+		t.Fatalf("constant-target spread = %v, want 0", spread)
+	}
+}
+
+func TestPredictWithSpreadUntrained(t *testing.T) {
+	f := NewRandomForest(1)
+	mean, spread := f.PredictWithSpread([]float64{1, 2})
+	if mean != 0 || spread != 0 {
+		t.Fatalf("untrained forest returned (%v, %v), want (0, 0)", mean, spread)
+	}
+}

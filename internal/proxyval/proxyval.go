@@ -1,0 +1,527 @@
+// Package proxyval is the LSMC proxy-model serving tier: it trains a cheap
+// regression proxy on a seeded sample of full nested Monte Carlo valuations
+// and then answers outer-scenario valuations through the proxy's fast path,
+// escalating only the predictions whose own uncertainty band busts the error
+// budget back to the exact batched pipeline. This is the cascade-serving
+// shape of production ML inference stacks (cheap model + confidence gate +
+// exact fallback), applied to the Solvency II workload of the paper: the
+// proxy answers the bulk of the 100k+ outer "internal model" scenarios at
+// orders-of-magnitude higher throughput than nested simulation, while the
+// gate keeps the campaign SCR inside a stated tolerance (Krah, Nikolić &
+// Korn, arXiv:1909.02182).
+//
+// The tier reuses the existing stack end to end: features are the
+// F1-measurable outer risk-factor state from internal/stochastic (through
+// alm.Valuer.Features), training targets are full nested valuations drawn
+// through the PR 4 batched pipeline at outer indices disjoint from the
+// evaluation range, the polynomial model is the alm LSMC basis and the
+// others come from internal/ml. Uncertainty is the per-tree spread for the
+// random forest and a difficulty-normalised conformal band (residual
+// quantile on held-out validation) for every other model.
+package proxyval
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"math"
+	"sort"
+
+	"disarcloud/internal/alm"
+	"disarcloud/internal/finmath"
+	"disarcloud/internal/ml"
+)
+
+// Supported proxy model families. ModelPoly is the alm LSMC polynomial
+// basis; the others are internal/ml regressors.
+const (
+	ModelForest = "forest"
+	ModelPoly   = "poly"
+	ModelLinear = "linear"
+	ModelMLP    = "mlp"
+)
+
+// Models lists the supported model identifiers.
+func Models() []string { return []string{ModelForest, ModelPoly, ModelLinear, ModelMLP} }
+
+// Defaults applied by Spec.WithDefaults.
+const (
+	DefaultTrainOuter     = 128
+	DefaultErrorBudget    = 0.05
+	DefaultEscalationCap  = 0.25
+	DefaultDegree         = 2
+	DefaultValidationFrac = 0.25
+	// MinTrainOuter is the smallest usable training sample: enough to leave
+	// both a fit set and a non-trivial held-out validation set.
+	MinTrainOuter = 16
+	// conformalQuantile is the held-out residual quantile that scales the
+	// uncertainty band: the band covers ~90% of out-of-sample errors.
+	conformalQuantile = 0.9
+)
+
+// Spec configures the proxy tier for one valuation block.
+type Spec struct {
+	// TrainOuter is the number of full nested valuations sampled as the
+	// training set (0 = DefaultTrainOuter). The sample is drawn at outer
+	// indices [block.Outer, block.Outer+TrainOuter), disjoint from the
+	// evaluated range, so training never reuses an evaluation path.
+	TrainOuter int
+	// TrainInner is the number of inner paths per training valuation
+	// (0 = the block's own Inner).
+	TrainInner int
+	// ErrorBudget is the relative tolerance of one proxied valuation: a
+	// prediction whose uncertainty band exceeds ErrorBudget*scale (scale =
+	// mean absolute training target) is escalated to full Monte Carlo.
+	// 0 selects DefaultErrorBudget; must lie in (0, 1].
+	ErrorBudget float64
+	// EscalationCap bounds the escalated fraction of evaluated outer paths:
+	// at most ceil(EscalationCap*Outer) paths run the full pipeline, worst
+	// band first. 0 selects DefaultEscalationCap; must lie in (0, 1].
+	EscalationCap float64
+	// Model selects the proxy family ("" = ModelForest).
+	Model string
+	// Degree is the polynomial degree of the ModelPoly basis (0 = 2).
+	Degree int
+	// ValidationFrac is the held-out fraction of the training sample used
+	// for out-of-sample error reporting and conformal calibration
+	// (0 = DefaultValidationFrac; must lie in (0, 0.5]).
+	ValidationFrac float64
+}
+
+// WithDefaults returns the spec with zero knobs resolved to their defaults.
+func (s Spec) WithDefaults() Spec {
+	if s.TrainOuter == 0 {
+		s.TrainOuter = DefaultTrainOuter
+	}
+	if s.ErrorBudget == 0 {
+		s.ErrorBudget = DefaultErrorBudget
+	}
+	if s.EscalationCap == 0 {
+		s.EscalationCap = DefaultEscalationCap
+	}
+	if s.Model == "" {
+		s.Model = ModelForest
+	}
+	if s.Degree == 0 {
+		s.Degree = DefaultDegree
+	}
+	if s.ValidationFrac == 0 {
+		s.ValidationFrac = DefaultValidationFrac
+	}
+	return s
+}
+
+// Validate reports whether the spec (after WithDefaults) is well-posed.
+func (s Spec) Validate() error {
+	s = s.WithDefaults()
+	if s.TrainOuter < MinTrainOuter {
+		return fmt.Errorf("proxyval: training sample %d below minimum %d", s.TrainOuter, MinTrainOuter)
+	}
+	if s.TrainInner < 0 {
+		return errors.New("proxyval: training inner paths must be non-negative")
+	}
+	if math.IsNaN(s.ErrorBudget) || s.ErrorBudget <= 0 || s.ErrorBudget > 1 {
+		return fmt.Errorf("proxyval: error budget %v outside (0, 1]", s.ErrorBudget)
+	}
+	if math.IsNaN(s.EscalationCap) || s.EscalationCap <= 0 || s.EscalationCap > 1 {
+		return fmt.Errorf("proxyval: escalation cap %v outside (0, 1]", s.EscalationCap)
+	}
+	switch s.Model {
+	case ModelForest, ModelPoly, ModelLinear, ModelMLP:
+	default:
+		return fmt.Errorf("proxyval: unknown model %q (want one of %v)", s.Model, Models())
+	}
+	if s.Degree < 1 || s.Degree > 6 {
+		return fmt.Errorf("proxyval: polynomial degree %d outside [1, 6]", s.Degree)
+	}
+	if math.IsNaN(s.ValidationFrac) || s.ValidationFrac <= 0 || s.ValidationFrac > 0.5 {
+		return fmt.Errorf("proxyval: validation fraction %v outside (0, 0.5]", s.ValidationFrac)
+	}
+	return nil
+}
+
+// Stats carries the serving telemetry of one proxied valuation (or, after
+// Merge, of several): training/validation shape, out-of-sample error, and
+// the proxy-vs-escalated split with realized escalation errors. Every field
+// is deterministic in the valuation seed, so stats participate in the
+// bit-reproducibility guarantee.
+type Stats struct {
+	Model      string `json:"model"`
+	TrainOuter int    `json:"train_outer"` // training valuations sampled
+	TrainInner int    `json:"train_inner"` // inner paths per training valuation
+	Validation int    `json:"validation"`  // held-out sample size
+
+	// Scale is the mean absolute training target — the denominator of every
+	// relative error below.
+	Scale float64 `json:"scale"`
+
+	// Out-of-sample error on the held-out validation sample.
+	ValidationMAE    float64 `json:"validation_mae"`
+	ValidationRMSE   float64 `json:"validation_rmse"`
+	ValidationMaxAbs float64 `json:"validation_max_abs"`
+	ValidationRelMAE float64 `json:"validation_rel_mae"`
+
+	// Serving split over the evaluated outer paths.
+	Evaluated   int `json:"evaluated"`    // outer paths answered
+	Proxied     int `json:"proxied"`      // answered by the fast path
+	Escalated   int `json:"escalated"`    // re-valued by full Monte Carlo
+	BudgetBusts int `json:"budget_busts"` // predictions whose band busted the budget
+
+	// Realized |proxy - full| error over the escalated paths, where the
+	// exact value is known.
+	RealizedMAE    float64 `json:"realized_mae"`
+	RealizedMaxAbs float64 `json:"realized_max_abs"`
+	RealizedRelMAE float64 `json:"realized_rel_mae"`
+}
+
+// HitRate returns the fraction of evaluated paths answered by the fast path.
+func (s Stats) HitRate() float64 {
+	if s.Evaluated == 0 {
+		return 0
+	}
+	return float64(s.Proxied) / float64(s.Evaluated)
+}
+
+// Merge accumulates other into s: counts add, mean errors combine weighted
+// by their sample sizes, maxima take the max. Differing model names merge to
+// "mixed".
+func (s *Stats) Merge(other Stats) {
+	if s.Model == "" {
+		s.Model = other.Model
+	} else if other.Model != "" && other.Model != s.Model {
+		s.Model = "mixed"
+	}
+	wMean := func(a float64, na int, b float64, nb int) float64 {
+		if na+nb == 0 {
+			return 0
+		}
+		return (a*float64(na) + b*float64(nb)) / float64(na+nb)
+	}
+	s.Scale = wMean(s.Scale, s.Evaluated, other.Scale, other.Evaluated)
+	s.ValidationMAE = wMean(s.ValidationMAE, s.Validation, other.ValidationMAE, other.Validation)
+	s.ValidationRelMAE = wMean(s.ValidationRelMAE, s.Validation, other.ValidationRelMAE, other.Validation)
+	// RMSE combines through the mean of squares.
+	if n := s.Validation + other.Validation; n > 0 {
+		ms := (s.ValidationRMSE*s.ValidationRMSE*float64(s.Validation) +
+			other.ValidationRMSE*other.ValidationRMSE*float64(other.Validation)) / float64(n)
+		s.ValidationRMSE = math.Sqrt(ms)
+	}
+	s.ValidationMaxAbs = math.Max(s.ValidationMaxAbs, other.ValidationMaxAbs)
+	s.RealizedMAE = wMean(s.RealizedMAE, s.Escalated, other.RealizedMAE, other.Escalated)
+	s.RealizedRelMAE = wMean(s.RealizedRelMAE, s.Escalated, other.RealizedRelMAE, other.Escalated)
+	s.RealizedMaxAbs = math.Max(s.RealizedMaxAbs, other.RealizedMaxAbs)
+	s.TrainOuter += other.TrainOuter
+	s.TrainInner = maxInt(s.TrainInner, other.TrainInner)
+	s.Validation += other.Validation
+	s.Evaluated += other.Evaluated
+	s.Proxied += other.Proxied
+	s.Escalated += other.Escalated
+	s.BudgetBusts += other.BudgetBusts
+}
+
+func maxInt(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+// Proxy is a trained serving model for one block: the fitted regressor, its
+// conformal band calibration, and the training statistics. A Proxy is
+// immutable after Train and safe for concurrent Predict calls (the
+// underlying ml models and the polynomial basis are read-only once fitted).
+type Proxy struct {
+	spec  Spec
+	model ml.Model   // nil when spec.Model == ModelPoly
+	poly  *alm.Proxy // nil otherwise
+
+	lambda   float64   // conformal multiplier: band = lambda * difficulty
+	scale    float64   // mean absolute training target
+	centroid []float64 // training feature means (difficulty for non-forest models)
+	featStd  []float64 // training feature standard deviations
+	stats    Stats
+}
+
+// Spec returns the resolved spec the proxy was trained with.
+func (p *Proxy) Spec() Spec { return p.spec }
+
+// TrainingStats returns the training and validation statistics (serving
+// counters are zero; Value fills them on its own copy).
+func (p *Proxy) TrainingStats() Stats { return p.stats }
+
+// Scale returns the mean absolute training target, the denominator of the
+// relative error budget.
+func (p *Proxy) Scale() float64 { return p.scale }
+
+// difficulty scores how far features sit from the training distribution:
+// for the forest the per-tree spread is the signal (computed by the caller),
+// for every other model it is one plus the standardised distance from the
+// training centroid — predictions far from the calibration cloud get wider
+// conformal bands, which is what makes the gate selective instead of
+// all-or-nothing.
+func (p *Proxy) difficulty(features []float64, spread float64) float64 {
+	if p.spec.Model == ModelForest {
+		floor := 1e-6 * p.scale
+		return math.Max(spread, floor)
+	}
+	d := 0.0
+	for i, f := range features {
+		z := (f - p.centroid[i]) / p.featStd[i]
+		d += z * z
+	}
+	return 1 + math.Sqrt(d/float64(len(features)))
+}
+
+// Predict answers one feature vector through the fast path: the proxied
+// value and its conformal uncertainty band (same unit as the value). The
+// caller gates on band against its error budget.
+func (p *Proxy) Predict(features []float64) (value, band float64) {
+	var spread float64
+	switch p.spec.Model {
+	case ModelPoly:
+		value = p.poly.Evaluate(features)
+	case ModelForest:
+		value, spread = p.model.(*ml.RandomForest).PredictWithSpread(features)
+	default:
+		value = p.model.Predict(features)
+	}
+	return value, p.lambda * p.difficulty(features, spread)
+}
+
+// Train fits a proxy for the valuer's block: it draws spec.TrainOuter full
+// nested valuations at outer indices disjoint from the evaluation range
+// through the batched PR 4 pipeline, fits the selected model on the
+// non-held-out part, and calibrates the conformal band multiplier on the
+// held-out residuals. seed roots the model's internal randomness (forest
+// bootstrap, MLP init); the training targets inherit the valuer's own seed,
+// so two Trains with equal (block, valuer seed, spec, seed) are
+// bit-identical.
+func Train(ctx context.Context, v *alm.Valuer, spec Spec, seed uint64) (*Proxy, error) {
+	spec = spec.WithDefaults()
+	if err := spec.Validate(); err != nil {
+		return nil, err
+	}
+	block := v.Block()
+	trainInner := spec.TrainInner
+	if trainInner == 0 {
+		trainInner = block.Inner
+	}
+
+	// The training sample lives beyond the evaluated range [0, Outer): the
+	// per-index seeding of the scenario sources makes any index valid, and
+	// disjointness means the proxy never trains on a path it will answer.
+	base := block.Outer
+	n := spec.TrainOuter
+	feats := make([][]float64, 0, n)
+	err := v.WalkOuter(ctx, base, base+n, func(i int, st alm.OuterState) error {
+		feats = append(feats, v.Features(st))
+		return nil
+	})
+	if err != nil {
+		return nil, fmt.Errorf("proxyval: training features: %w", err)
+	}
+	indices := make([]int, n)
+	for i := range indices {
+		indices[i] = base + i
+	}
+	targets, err := v.ValueOuters(ctx, indices, trainInner, nil)
+	if err != nil {
+		return nil, fmt.Errorf("proxyval: training valuations: %w", err)
+	}
+
+	// Deterministic held-out split: every k-th sample validates, the rest
+	// fit. No shuffling — the sample indices are already i.i.d. draws.
+	k := int(math.Round(1 / spec.ValidationFrac))
+	if k < 2 {
+		k = 2
+	}
+	var fitFeats, valFeats [][]float64
+	var fitTargets, valTargets []float64
+	for i := range feats {
+		if i%k == 0 {
+			valFeats = append(valFeats, feats[i])
+			valTargets = append(valTargets, targets[i])
+		} else {
+			fitFeats = append(fitFeats, feats[i])
+			fitTargets = append(fitTargets, targets[i])
+		}
+	}
+	if len(valFeats) < 2 || len(fitFeats) < 4 {
+		return nil, fmt.Errorf("proxyval: degenerate split: %d fit / %d validation points",
+			len(fitFeats), len(valFeats))
+	}
+
+	p := &Proxy{spec: spec}
+	switch spec.Model {
+	case ModelPoly:
+		poly, err := alm.FitProxy(fitFeats, fitTargets, alm.LSMCSpec{Degree: spec.Degree})
+		if err != nil {
+			return nil, fmt.Errorf("proxyval: training %s: %w", spec.Model, err)
+		}
+		p.poly = poly
+	default:
+		d := ml.NewDataset(nil)
+		for i, f := range fitFeats {
+			if err := d.Add(f, fitTargets[i]); err != nil {
+				return nil, err
+			}
+		}
+		var m ml.Model
+		switch spec.Model {
+		case ModelForest:
+			m = ml.NewRandomForest(seed)
+		case ModelLinear:
+			m = ml.NewLinearRegression()
+		case ModelMLP:
+			m = ml.NewMLP(seed)
+		}
+		if err := m.Train(d); err != nil {
+			return nil, fmt.Errorf("proxyval: training %s: %w", spec.Model, err)
+		}
+		p.model = m
+	}
+
+	// Scale and difficulty geometry come from the fit set only, so the
+	// held-out calibration below is honestly out-of-sample.
+	abs := make([]float64, len(fitTargets))
+	for i, t := range fitTargets {
+		abs[i] = math.Abs(t)
+	}
+	p.scale = finmath.Mean(abs)
+	if p.scale < 1e-9 {
+		p.scale = 1e-9
+	}
+	dim := len(fitFeats[0])
+	p.centroid = make([]float64, dim)
+	p.featStd = make([]float64, dim)
+	col := make([]float64, len(fitFeats))
+	for j := 0; j < dim; j++ {
+		for i := range fitFeats {
+			col[i] = fitFeats[i][j]
+		}
+		p.centroid[j] = finmath.Mean(col)
+		p.featStd[j] = finmath.StdDev(col)
+		if p.featStd[j] < 1e-12 {
+			p.featStd[j] = 1
+		}
+	}
+
+	// Conformal calibration: lambda is the held-out quantile of the
+	// difficulty-normalised residual, so band = lambda*difficulty covers
+	// ~conformalQuantile of out-of-sample errors by construction.
+	ratios := make([]float64, len(valFeats))
+	resid := make([]float64, len(valFeats))
+	for i, f := range valFeats {
+		var pred, spread float64
+		switch spec.Model {
+		case ModelPoly:
+			pred = p.poly.Evaluate(f)
+		case ModelForest:
+			pred, spread = p.model.(*ml.RandomForest).PredictWithSpread(f)
+		default:
+			pred = p.model.Predict(f)
+		}
+		resid[i] = math.Abs(pred - valTargets[i])
+		ratios[i] = resid[i] / p.difficulty(f, spread)
+	}
+	sort.Float64s(ratios)
+	p.lambda = finmath.QuantileSorted(ratios, conformalQuantile)
+
+	sumSq := 0.0
+	for _, r := range resid {
+		sumSq += r * r
+	}
+	p.stats = Stats{
+		Model:            spec.Model,
+		TrainOuter:       n,
+		TrainInner:       trainInner,
+		Validation:       len(valFeats),
+		Scale:            p.scale,
+		ValidationMAE:    finmath.Mean(resid),
+		ValidationRMSE:   math.Sqrt(sumSq / float64(len(resid))),
+		ValidationMaxAbs: finmath.Max(resid),
+	}
+	p.stats.ValidationRelMAE = p.stats.ValidationMAE / p.scale
+	return p, nil
+}
+
+// Value answers every outer path of the valuer's block through the serving
+// cascade: the fast path predicts all block.Outer paths, the gate collects
+// every prediction whose band exceeds ErrorBudget*scale, and the worst
+// offenders — at most ceil(EscalationCap*Outer) — are re-valued through the
+// full batched Monte Carlo pipeline, bit-identically to what a full run
+// would assign those paths. onPath, when non-nil, runs once per outer path
+// during the fast-path walk (the job-progress hook; escalations do not add
+// progress, the path was already counted).
+//
+// The returned result carries Method "proxy"; the stats record the
+// proxy-vs-escalated split and the realized |proxy - full| error over the
+// escalated paths. Everything is deterministic in (block, valuer seed,
+// proxy).
+func (p *Proxy) Value(ctx context.Context, v *alm.Valuer, onPath func()) (*alm.Result, Stats, error) {
+	block := v.Block()
+	n := block.Outer
+	y1 := make([]float64, n)
+	discount := make([]float64, n)
+	bands := make([]float64, n)
+
+	err := v.WalkOuter(ctx, 0, n, func(i int, st alm.OuterState) error {
+		y1[i], bands[i] = p.Predict(v.Features(st))
+		discount[i] = st.Discount
+		if onPath != nil {
+			onPath()
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, Stats{}, err
+	}
+
+	// Gate: budget busts ordered worst band first (index breaks ties so the
+	// escalated set is deterministic), truncated at the escalation cap.
+	tol := p.spec.ErrorBudget * p.scale
+	var busts []int
+	for i, b := range bands {
+		if b > tol {
+			busts = append(busts, i)
+		}
+	}
+	sort.Slice(busts, func(a, b int) bool {
+		if bands[busts[a]] != bands[busts[b]] {
+			return bands[busts[a]] > bands[busts[b]]
+		}
+		return busts[a] < busts[b]
+	})
+	cap := int(math.Ceil(p.spec.EscalationCap * float64(n)))
+	escalate := busts
+	if len(escalate) > cap {
+		escalate = escalate[:cap]
+	}
+
+	stats := p.stats
+	stats.Evaluated = n
+	stats.Escalated = len(escalate)
+	stats.Proxied = n - len(escalate)
+	stats.BudgetBusts = len(busts)
+
+	if len(escalate) > 0 {
+		exact, err := v.ValueOuters(ctx, escalate, block.Inner, nil)
+		if err != nil {
+			return nil, Stats{}, fmt.Errorf("proxyval: escalation: %w", err)
+		}
+		realized := make([]float64, len(escalate))
+		for k, i := range escalate {
+			realized[k] = math.Abs(y1[i] - exact[k])
+			y1[i] = exact[k]
+		}
+		stats.RealizedMAE = finmath.Mean(realized)
+		stats.RealizedMaxAbs = finmath.Max(realized)
+		stats.RealizedRelMAE = stats.RealizedMAE / p.scale
+	}
+
+	discounted := make([]float64, n)
+	for i := range y1 {
+		discounted[i] = discount[i] * y1[i]
+	}
+	return alm.Summarize(y1, discounted, "proxy"), stats, nil
+}

@@ -1,0 +1,307 @@
+package proxyval
+
+import (
+	"context"
+	"math"
+	"testing"
+
+	"disarcloud/internal/actuarial"
+	"disarcloud/internal/alm"
+	"disarcloud/internal/eeb"
+	"disarcloud/internal/fund"
+	"disarcloud/internal/policy"
+	"disarcloud/internal/stochastic"
+)
+
+func testMarket(horizon int) stochastic.Config {
+	return stochastic.Config{
+		Horizon:      horizon,
+		StepsPerYear: 1,
+		Rate: stochastic.VasicekParams{
+			R0: 0.02, Speed: 0.3, MeanP: 0.03, MeanQ: 0.025, Sigma: 0.008,
+		},
+		Equities: []stochastic.GBMParams{{S0: 100, Mu: 0.06, Sigma: 0.18}},
+		Credit:   stochastic.CIRParams{L0: 0.008, Speed: 0.5, Mean: 0.012, Sigma: 0.03},
+	}
+}
+
+func testBlock(tb testing.TB, outer, inner int) *eeb.Block {
+	tb.Helper()
+	market := testMarket(15)
+	contracts := []policy.Contract{
+		{Kind: policy.Endowment, Age: 45, Gender: actuarial.Male, Term: 10,
+			InsuredSum: 10000, Beta: 0.8, TechnicalRate: 0.02, Count: 50},
+		{Kind: policy.PureEndowment, Age: 50, Gender: actuarial.Female, Term: 15,
+			InsuredSum: 20000, Beta: 0.85, TechnicalRate: 0.01, Count: 30},
+	}
+	p := &policy.Portfolio{Name: "proxyval-test", Contracts: contracts}
+	b := &eeb.Block{
+		ID: "proxyval-test/B1", Type: eeb.ALMValuation, Portfolio: p,
+		Fund: fund.TypicalItalianFund(4, market), Market: market,
+		Outer: outer, Inner: inner,
+	}
+	if err := b.Validate(); err != nil {
+		tb.Fatal(err)
+	}
+	return b
+}
+
+func testValuer(tb testing.TB, outer, inner int, seed uint64) *alm.Valuer {
+	tb.Helper()
+	v, err := alm.NewValuer(testBlock(tb, outer, inner), seed)
+	if err != nil {
+		tb.Fatal(err)
+	}
+	return v
+}
+
+func TestSpecDefaultsAndValidate(t *testing.T) {
+	s := Spec{}.WithDefaults()
+	if s.TrainOuter != DefaultTrainOuter || s.ErrorBudget != DefaultErrorBudget ||
+		s.EscalationCap != DefaultEscalationCap || s.Model != ModelForest ||
+		s.Degree != DefaultDegree || s.ValidationFrac != DefaultValidationFrac {
+		t.Fatalf("defaults not applied: %+v", s)
+	}
+	if err := (Spec{}).Validate(); err != nil {
+		t.Fatalf("zero spec (all defaults) rejected: %v", err)
+	}
+	bad := []Spec{
+		{TrainOuter: 5},
+		{TrainOuter: -1},
+		{TrainInner: -1},
+		{ErrorBudget: 1.5},
+		{ErrorBudget: -0.1},
+		{ErrorBudget: math.NaN()},
+		{EscalationCap: 2},
+		{EscalationCap: -0.5},
+		{Model: "quantum"},
+		{Degree: 9},
+		{Degree: -1},
+		{ValidationFrac: 0.7},
+		{ValidationFrac: -0.2},
+	}
+	for i, s := range bad {
+		if err := s.Validate(); err == nil {
+			t.Errorf("bad spec %d accepted: %+v", i, s)
+		}
+	}
+}
+
+func TestStatsMergeAndHitRate(t *testing.T) {
+	a := Stats{Model: ModelForest, TrainOuter: 100, Validation: 20, Scale: 10,
+		ValidationMAE: 1, ValidationRMSE: 2, ValidationMaxAbs: 4, ValidationRelMAE: 0.1,
+		Evaluated: 50, Proxied: 40, Escalated: 10, BudgetBusts: 15,
+		RealizedMAE: 0.5, RealizedMaxAbs: 1, RealizedRelMAE: 0.05}
+	b := Stats{Model: ModelForest, TrainOuter: 100, Validation: 20, Scale: 20,
+		ValidationMAE: 3, ValidationRMSE: 2, ValidationMaxAbs: 6, ValidationRelMAE: 0.3,
+		Evaluated: 150, Proxied: 150, Escalated: 0, BudgetBusts: 0}
+	m := a
+	m.Merge(b)
+	if m.Model != ModelForest {
+		t.Fatalf("same-model merge became %q", m.Model)
+	}
+	if m.Evaluated != 200 || m.Proxied != 190 || m.Escalated != 10 || m.BudgetBusts != 15 {
+		t.Fatalf("counts wrong: %+v", m)
+	}
+	if m.TrainOuter != 200 || m.Validation != 40 {
+		t.Fatalf("training counts wrong: %+v", m)
+	}
+	if got, want := m.ValidationMAE, 2.0; got != want {
+		t.Fatalf("merged validation MAE %v, want %v", got, want)
+	}
+	if got, want := m.Scale, (10.0*50+20*150)/200; got != want {
+		t.Fatalf("merged scale %v, want %v", got, want)
+	}
+	if m.ValidationMaxAbs != 6 || m.RealizedMaxAbs != 1 {
+		t.Fatalf("maxima wrong: %+v", m)
+	}
+	// Realized errors are weighted by escalations only: b had none.
+	if m.RealizedMAE != 0.5 {
+		t.Fatalf("merged realized MAE %v, want 0.5", m.RealizedMAE)
+	}
+	if hr := m.HitRate(); hr != 190.0/200 {
+		t.Fatalf("hit rate %v", hr)
+	}
+	mixed := a
+	mixed.Merge(Stats{Model: ModelPoly})
+	if mixed.Model != "mixed" {
+		t.Fatalf("cross-model merge = %q, want mixed", mixed.Model)
+	}
+	if (Stats{}).HitRate() != 0 {
+		t.Fatal("empty hit rate not 0")
+	}
+}
+
+func TestTrainRejectsBadSpec(t *testing.T) {
+	v := testValuer(t, 20, 2, 1)
+	if _, err := Train(context.Background(), v, Spec{ErrorBudget: 2}, 1); err == nil {
+		t.Fatal("bad spec accepted")
+	}
+}
+
+// TestTrainAndValueBitDeterministic is the reproducibility guarantee: two
+// independent train+serve runs under the same seeds agree bit for bit, in
+// both the result and the telemetry.
+func TestTrainAndValueBitDeterministic(t *testing.T) {
+	spec := Spec{TrainOuter: 48, ErrorBudget: 0.02, Model: ModelForest}
+	run := func() (*alm.Result, Stats) {
+		v := testValuer(t, 40, 3, 20160628)
+		p, err := Train(context.Background(), v, spec, 77)
+		if err != nil {
+			t.Fatal(err)
+		}
+		res, st, err := p.Value(context.Background(), v, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res, st
+	}
+	r1, s1 := run()
+	r2, s2 := run()
+	if r1.BEL != r2.BEL || r1.SCR != r2.SCR {
+		t.Fatalf("serving not bit-deterministic: BEL %v vs %v, SCR %v vs %v",
+			r1.BEL, r2.BEL, r1.SCR, r2.SCR)
+	}
+	if s1 != s2 {
+		t.Fatalf("stats not bit-deterministic:\n%+v\n%+v", s1, s2)
+	}
+	for i := range r1.Y1 {
+		if r1.Y1[i] != r2.Y1[i] {
+			t.Fatalf("Y1[%d] differs", i)
+		}
+	}
+}
+
+// TestFullEscalationMatchesNested turns the gate all the way up: a vanishing
+// error budget with an unbounded cap escalates every path, so the cascade
+// must reproduce the plain nested valuation bit for bit.
+func TestFullEscalationMatchesNested(t *testing.T) {
+	v := testValuer(t, 30, 3, 9)
+	spec := Spec{TrainOuter: 32, ErrorBudget: 1e-9, EscalationCap: 1, Model: ModelLinear}
+	p, err := Train(context.Background(), v, spec, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, st, err := p.Value(context.Background(), v, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Escalated != 30 || st.Proxied != 0 {
+		t.Fatalf("expected full escalation, got %+v", st)
+	}
+	nested, err := v.ValueNested()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.BEL != nested.BEL || res.SCR != nested.SCR {
+		t.Fatalf("fully escalated proxy (BEL %v, SCR %v) != nested (BEL %v, SCR %v)",
+			res.BEL, res.SCR, nested.BEL, nested.SCR)
+	}
+	if res.Method != "proxy" {
+		t.Fatalf("method %q", res.Method)
+	}
+	if st.RealizedMAE <= 0 {
+		t.Fatalf("full escalation should observe realized error, got %v", st.RealizedMAE)
+	}
+}
+
+// TestEscalationCapBounds pins the cap contract: escalations never exceed
+// ceil(cap*Outer) even when every prediction busts the budget, and the
+// counters stay consistent.
+func TestEscalationCapBounds(t *testing.T) {
+	v := testValuer(t, 40, 2, 13)
+	spec := Spec{TrainOuter: 32, ErrorBudget: 1e-9, EscalationCap: 0.1, Model: ModelPoly}
+	p, err := Train(context.Background(), v, spec, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	calls := 0
+	_, st, err := p.Value(context.Background(), v, func() { calls++ })
+	if err != nil {
+		t.Fatal(err)
+	}
+	if calls != 40 {
+		t.Fatalf("onPath ran %d times, want 40", calls)
+	}
+	if st.BudgetBusts != 40 {
+		t.Fatalf("budget busts %d, want 40", st.BudgetBusts)
+	}
+	if want := 4; st.Escalated != want {
+		t.Fatalf("escalated %d, want cap %d", st.Escalated, want)
+	}
+	if st.Proxied+st.Escalated != st.Evaluated || st.Evaluated != 40 {
+		t.Fatalf("inconsistent split: %+v", st)
+	}
+}
+
+// TestAllModelsServe trains each family and checks the cascade produces a
+// finite result with sane telemetry and a positive conformal scale.
+func TestAllModelsServe(t *testing.T) {
+	for _, model := range Models() {
+		t.Run(model, func(t *testing.T) {
+			v := testValuer(t, 24, 2, 4)
+			spec := Spec{TrainOuter: 40, ErrorBudget: 0.1, Model: model}
+			p, err := Train(context.Background(), v, spec, 21)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if p.Scale() <= 0 {
+				t.Fatalf("scale %v", p.Scale())
+			}
+			if p.Spec().Model != model {
+				t.Fatalf("resolved model %q", p.Spec().Model)
+			}
+			ts := p.TrainingStats()
+			if ts.Validation < 2 || ts.ValidationMAE < 0 || math.IsNaN(ts.ValidationRelMAE) {
+				t.Fatalf("bad training stats: %+v", ts)
+			}
+			res, st, err := p.Value(context.Background(), v, nil)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if math.IsNaN(res.BEL) || math.IsNaN(res.SCR) {
+				t.Fatalf("NaN result: %+v", res)
+			}
+			if st.Evaluated != 24 || st.Proxied+st.Escalated != 24 {
+				t.Fatalf("bad split: %+v", st)
+			}
+			if st.Escalated > int(math.Ceil(spec.WithDefaults().EscalationCap*24)) {
+				t.Fatalf("cap violated: %+v", st)
+			}
+		})
+	}
+}
+
+func TestPredictBandNonNegative(t *testing.T) {
+	v := testValuer(t, 16, 2, 2)
+	p, err := Train(context.Background(), v, Spec{TrainOuter: 32, Model: ModelForest}, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	err = v.WalkOuter(context.Background(), 0, 16, func(i int, st alm.OuterState) error {
+		val, band := p.Predict(v.Features(st))
+		if math.IsNaN(val) || band < 0 || math.IsNaN(band) {
+			t.Fatalf("outer %d: predict (%v, %v)", i, val, band)
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestTrainCancellation(t *testing.T) {
+	v := testValuer(t, 16, 2, 2)
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := Train(ctx, v, Spec{TrainOuter: 32}, 1); err == nil {
+		t.Fatal("cancelled training succeeded")
+	}
+	p, err := Train(context.Background(), v, Spec{TrainOuter: 32}, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := p.Value(ctx, v, nil); err == nil {
+		t.Fatal("cancelled serving succeeded")
+	}
+}
