@@ -7,7 +7,10 @@ package main
 // spec that Validate accepts".
 
 import (
+	"bytes"
 	"encoding/json"
+	"net/http"
+	"net/http/httptest"
 	"testing"
 
 	"disarcloud"
@@ -183,6 +186,51 @@ func FuzzCampaignRequestDecode(f *testing.F) {
 		}
 		if len(shocks) == 0 {
 			t.Fatal("campaign request produced an empty shock battery")
+		}
+	})
+}
+
+// FuzzJoinRequestDecode drives arbitrary bodies through the cluster join
+// endpoint — worker registration is the one place untrusted input reaches
+// the coordinator's membership state. The invariant: never a panic, never a
+// 5xx, and a 200 must carry a usable registration (non-empty worker id and
+// a positive heartbeat cadence).
+func FuzzJoinRequestDecode(f *testing.F) {
+	f.Add([]byte(`{}`))
+	f.Add([]byte(`{"name":"w0","addr":"127.0.0.1:9000","slots":2}`))
+	f.Add([]byte(`{"name":"","addr":"127.0.0.1:9000","slots":2}`))
+	f.Add([]byte(`{"name":"w0","addr":"","slots":2}`))
+	f.Add([]byte(`{"name":"w0","addr":"127.0.0.1:9000","slots":0}`))
+	f.Add([]byte(`{"name":"w0","addr":"127.0.0.1:9000","slots":-3}`))
+	f.Add([]byte(`{"name":"w0","addr":"127.0.0.1:9000","slots":1025}`))
+	f.Add([]byte(`{"name":"w0","addr":"127.0.0.1:9000","slots":3.7}`))
+	f.Add([]byte(`{"slots":18446744073709551615}`))
+	f.Add([]byte(`{"name":null,"addr":null,"slots":null}`))
+	f.Add([]byte(`[1,2,3]`))
+	f.Add([]byte(`{"name":`))
+	f.Add([]byte("\x00\xff garbage"))
+	mux := http.NewServeMux()
+	disarcloud.NewClusterCoordinator(disarcloud.ClusterConfig{}).Routes(mux)
+	f.Fuzz(func(t *testing.T, body []byte) {
+		req := httptest.NewRequest(http.MethodPost, "/v1/join", bytes.NewReader(body))
+		req.Header.Set("Content-Type", "application/json")
+		rec := httptest.NewRecorder()
+		mux.ServeHTTP(rec, req)
+		if rec.Code >= 500 {
+			t.Fatalf("join body %q produced server error %d: %s", body, rec.Code, rec.Body.String())
+		}
+		if rec.Code != http.StatusOK {
+			return // clean rejection
+		}
+		var resp struct {
+			ID               string  `json:"id"`
+			HeartbeatSeconds float64 `json:"heartbeatSeconds"`
+		}
+		if err := json.Unmarshal(rec.Body.Bytes(), &resp); err != nil {
+			t.Fatalf("accepted join %q returned unparseable response: %v", body, err)
+		}
+		if resp.ID == "" || resp.HeartbeatSeconds <= 0 {
+			t.Fatalf("accepted join %q returned unusable registration %+v", body, resp)
 		}
 	})
 }

@@ -22,7 +22,20 @@
 //	GET    /v1/forecast                proactive-provisioning status (model scoreboard + planner target)
 //	GET    /v1/proxy                   LSMC proxy-tier status (default spec + hit-rate/error telemetry)
 //	POST   /v1/loadgen/trace           generate a seeded synthetic load trace from a spec
+//	GET    /v1/cluster                 cluster status: workers, slices, fault-path counters (-cluster)
+//	POST   /v1/join                    worker registration (-cluster; called by disard -join)
+//	POST   /v1/heartbeat               worker liveness beat (-cluster)
+//	GET    /v1/kb                      knowledge-base export for peer gossip (-cluster)
 //	GET    /healthz                    liveness + knowledge-base size
+//
+// With -cluster the daemon is a cluster coordinator: valuations are
+// scattered as outer-path slices across worker processes started with
+// `disard -join <coordinator-url>` (or self-spawned via -spawn-workers; with
+// -elastic the controller's worker target also scales the process fleet). A
+// worker lost mid-run has its range re-sliced onto the survivors with
+// bit-identical results. With -peers plus -self, submissions are routed to
+// their consistent-hash owner among the peer coordinators and knowledge
+// bases gossip every -gossip-every.
 //
 // With -elastic the worker pool autoscales between -min-workers and
 // -max-workers from queue/backlog pressure; with -admission, submissions
@@ -87,6 +100,7 @@ import (
 	"net/http"
 	"os"
 	"os/signal"
+	"strings"
 	"time"
 
 	"disarcloud"
@@ -97,6 +111,17 @@ func main() {
 		fmt.Fprintln(os.Stderr, "disard:", err)
 		os.Exit(1)
 	}
+}
+
+// flagWasSet reports whether the named flag was given explicitly.
+func flagWasSet(name string) bool {
+	set := false
+	flag.Visit(func(f *flag.Flag) {
+		if f.Name == name {
+			set = true
+		}
+	})
+	return set
 }
 
 func run() error {
@@ -118,10 +143,46 @@ func run() error {
 		proxyBud  = flag.Float64("proxy-budget", 0, "default proxy relative error budget in (0,1] (0 = proxyval default)")
 		proxySamp = flag.Int("proxy-sample", 0, "default proxy training-sample size (0 = proxyval default)")
 		proxyMod  = flag.String("proxy-model", "", "default proxy model family: forest / poly / linear / mlp (empty = forest)")
+
+		join        = flag.String("join", "", "worker mode: register with this coordinator base URL and execute shipped slices")
+		workerName  = flag.String("worker-name", "", "worker identity on the scenario ring (default <host>-<pid>)")
+		workerSlots = flag.Int("worker-slots", 2, "slice concurrency a worker advertises")
+		clusterMode = flag.Bool("cluster", false, "coordinator mode: distribute valuations across joined worker processes")
+		spawn       = flag.Int("spawn-workers", 0, "worker processes to self-spawn at boot (requires -cluster)")
+		peersFlag   = flag.String("peers", "", "comma-separated peer coordinator base URLs (consistent-hash job routing + KB gossip)")
+		selfURL     = flag.String("self", "", "this coordinator's base URL as peers reach it (required with -peers)")
+		gossipEvery = flag.Duration("gossip-every", 30*time.Second, "knowledge-base sync cadence with -peers")
 	)
 	flag.Parse()
 	if *fcast && !*elastic {
 		return fmt.Errorf("-forecast requires -elastic: the hybrid policy overlays the reactive controller")
+	}
+	if *join != "" {
+		if *clusterMode || *spawn > 0 || *peersFlag != "" {
+			return fmt.Errorf("-join selects worker mode and excludes the coordinator flags")
+		}
+		// The default listen address belongs to the coordinator; a worker
+		// that was not given its own takes an ephemeral loopback port so
+		// several can share one machine.
+		workerAddr := *addr
+		if !flagWasSet("addr") {
+			workerAddr = "127.0.0.1:0"
+		}
+		return runWorker(workerAddr, *join, *workerName, *workerSlots)
+	}
+	if !*clusterMode && (*spawn > 0 || *peersFlag != "" || *selfURL != "") {
+		return fmt.Errorf("-spawn-workers/-peers/-self require -cluster")
+	}
+	var peers []string
+	if *peersFlag != "" {
+		if *selfURL == "" {
+			return fmt.Errorf("-peers requires -self: the ring needs this coordinator's own URL")
+		}
+		for _, p := range strings.Split(*peersFlag, ",") {
+			if p = strings.TrimSpace(p); p != "" {
+				peers = append(peers, p)
+			}
+		}
 	}
 	var defaultProxy *disarcloud.ProxySpec
 	if *proxy {
@@ -137,14 +198,24 @@ func run() error {
 		return fmt.Errorf("-proxy-budget/-proxy-sample/-proxy-model require -proxy")
 	}
 
-	opts := []disarcloud.Option{}
+	knowledge := disarcloud.NewKnowledgeBase()
 	if *kbPath != "" {
 		if k, err := disarcloud.LoadKnowledgeBase(*kbPath); err == nil {
-			opts = append(opts, disarcloud.WithKnowledgeBase(k))
+			knowledge = k
 			log.Printf("loaded knowledge base: %d samples", k.Len())
 		} else {
 			log.Printf("starting a fresh knowledge base (%v)", err)
 		}
+	}
+	opts := []disarcloud.Option{disarcloud.WithKnowledgeBase(knowledge)}
+	var coord *disarcloud.ClusterCoordinator
+	if *clusterMode {
+		coord = disarcloud.NewClusterCoordinator(disarcloud.ClusterConfig{
+			KB:           knowledge,
+			Launcher:     &execLauncher{joinURL: selfJoinURL(*addr), slots: *workerSlots},
+			LocalWorkers: *workers,
+		})
+		opts = append(opts, disarcloud.WithBlockRunner(coord))
 	}
 	d, err := disarcloud.NewDeployer(*seed, opts...)
 	if err != nil {
@@ -152,6 +223,11 @@ func run() error {
 	}
 	svcOpts := []disarcloud.ServiceOption{
 		disarcloud.WithWorkers(*workers), disarcloud.WithQueueDepth(*queue),
+	}
+	if coord != nil && *elastic {
+		// The elastic controller's worker target also scales the cluster's
+		// launcher-managed worker processes.
+		svcOpts = append(svcOpts, disarcloud.WithProcessScaler(coord.ProcessScaler()))
 	}
 	if *elastic {
 		svcOpts = append(svcOpts, disarcloud.WithElastic(disarcloud.ElasticConfig{
@@ -173,16 +249,30 @@ func run() error {
 		return err
 	}
 
-	srv := &http.Server{Addr: *addr, Handler: newHandler(svc, d, *seed, defaultProxy)}
+	var cl *clusterState
+	if coord != nil {
+		cl = newClusterState(coord, *selfURL, peers)
+	}
+	srv := &http.Server{Addr: *addr, Handler: newHandler(svc, d, *seed, defaultProxy, cl)}
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
 	defer stop()
 	errCh := make(chan error, 1)
 	go func() { errCh <- srv.ListenAndServe() }()
 	log.Printf("disard listening on %s (%d workers)", *addr, *workers)
+	if coord != nil {
+		if *spawn > 0 {
+			coord.ScaleTo(*spawn)
+			log.Printf("cluster: spawned %d worker processes", *spawn)
+		}
+		go gossipKB(ctx, coord, peers, *gossipEvery)
+	}
 
 	select {
 	case err := <-errCh:
 		svc.Close()
+		if coord != nil {
+			coord.StopWorkers()
+		}
 		return err
 	case <-ctx.Done():
 	}
@@ -191,6 +281,9 @@ func run() error {
 	// ?wait=1 results or progress streams return and their connections go
 	// idle — otherwise Shutdown would always burn its full deadline.
 	svc.Close()
+	if coord != nil {
+		coord.StopWorkers()
+	}
 	shutCtx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
 	defer cancel()
 	_ = srv.Shutdown(shutCtx)

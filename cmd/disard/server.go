@@ -23,14 +23,22 @@ type server struct {
 	// defaultProxy, when non-nil, routes every job that does not carry its
 	// own "proxy" section through the LSMC proxy serving tier (-proxy flag).
 	defaultProxy *disarcloud.ProxySpec
+	// cluster, when non-nil, attaches coordinator mode: the cluster API and
+	// status endpoint, and consistent-hash submission routing across peer
+	// coordinators (-cluster / -peers flags).
+	cluster *clusterState
 	// jobSeq derives distinct per-job default seeds; atomic so concurrent
 	// submits never share one.
 	jobSeq atomic.Uint64
 }
 
-func newHandler(svc *disarcloud.Service, d *disarcloud.Deployer, seed uint64, defaultProxy *disarcloud.ProxySpec) http.Handler {
-	s := &server{svc: svc, d: d, seed: seed, defaultProxy: defaultProxy}
+func newHandler(svc *disarcloud.Service, d *disarcloud.Deployer, seed uint64, defaultProxy *disarcloud.ProxySpec, cl *clusterState) http.Handler {
+	s := &server{svc: svc, d: d, seed: seed, defaultProxy: defaultProxy, cluster: cl}
 	mux := http.NewServeMux()
+	if cl != nil && cl.coord != nil {
+		cl.coord.Routes(mux)
+		mux.HandleFunc("GET /v1/cluster", s.clusterStatus)
+	}
 	mux.HandleFunc("POST /v1/jobs", s.submit)
 	mux.HandleFunc("GET /v1/jobs", s.list)
 	mux.HandleFunc("GET /v1/jobs/{id}", s.status)
@@ -341,8 +349,12 @@ func snapshotJSON(s disarcloud.JobSnapshot) jobStatusJSON {
 }
 
 func (s *server) submit(w http.ResponseWriter, r *http.Request) {
+	body, handle := s.readRouted(w, r, "/v1/jobs")
+	if !handle {
+		return
+	}
 	var req jobRequest
-	if err := json.NewDecoder(http.MaxBytesReader(w, r.Body, 1<<20)).Decode(&req); err != nil {
+	if err := json.Unmarshal(body, &req); err != nil {
 		httpError(w, http.StatusBadRequest, fmt.Errorf("decode request: %w", err))
 		return
 	}
@@ -593,8 +605,12 @@ type scrJSON struct {
 }
 
 func (s *server) submitCampaign(w http.ResponseWriter, r *http.Request) {
+	body, handle := s.readRouted(w, r, "/v1/campaigns")
+	if !handle {
+		return
+	}
 	var req campaignRequest
-	if err := json.NewDecoder(http.MaxBytesReader(w, r.Body, 1<<20)).Decode(&req); err != nil {
+	if err := json.Unmarshal(body, &req); err != nil {
 		httpError(w, http.StatusBadRequest, fmt.Errorf("decode request: %w", err))
 		return
 	}

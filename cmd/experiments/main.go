@@ -9,6 +9,7 @@
 //	final    forced high-end / forced cheapest vs ML-selected
 //	ablation ensemble, exploration, retraining and heterogeneity ablations
 //	proxy    LSMC proxy serving tier: throughput-vs-accuracy frontier
+//	cluster  campaign throughput on 1..8-worker clusters + mid-run worker kill
 //	all      everything above
 //
 // A knowledge base of -kb samples is built through the self-optimizing loop
@@ -37,7 +38,7 @@ func main() {
 
 func run() error {
 	var (
-		which   = flag.String("run", "all", "experiment: tableI|tableII|fig2|fig3|fig4|final|ablation|proxy|all")
+		which   = flag.String("run", "all", "experiment: tableI|tableII|fig2|fig3|fig4|final|ablation|proxy|cluster|all")
 		kbSize  = flag.Int("kb", 1500, "knowledge-base samples to build (paper: ~1500)")
 		kbFile  = flag.String("kbfile", "", "load the knowledge base from this JSON instead of building it")
 		seed    = flag.Uint64("seed", 2016, "root seed")
@@ -52,9 +53,10 @@ func run() error {
 		return err
 	}
 	var base *kb.KB
-	// The proxy frontier values one block directly; only build the (slow)
-	// knowledge base when some requested experiment consumes it.
-	if *which == "all" || !strings.EqualFold(*which, "proxy") {
+	// The proxy frontier and the cluster sweep value blocks directly; only
+	// build the (slow) knowledge base when some requested experiment
+	// consumes it.
+	if *which == "all" || !(strings.EqualFold(*which, "proxy") || strings.EqualFold(*which, "cluster")) {
 		if *kbFile != "" {
 			base, err = kb.LoadFile(*kbFile)
 			if err != nil {
@@ -175,6 +177,15 @@ func run() error {
 			return err
 		}
 		pc.Print(out)
+		fmt.Fprintln(out)
+		ranAny = true
+	}
+	if want("cluster") {
+		cc, err := experiments.RunClusterComparison(*seed+7, []int{1, 2, 4, 8}, 8)
+		if err != nil {
+			return err
+		}
+		cc.Print(out)
 		fmt.Fprintln(out)
 		ranAny = true
 	}

@@ -49,6 +49,7 @@ import (
 	"disarcloud/internal/actuarial"
 	"disarcloud/internal/alm"
 	"disarcloud/internal/cloud"
+	"disarcloud/internal/cluster"
 	"disarcloud/internal/core"
 	"disarcloud/internal/eeb"
 	"disarcloud/internal/elastic"
@@ -363,6 +364,56 @@ var (
 	ErrAdmissionRejected = core.ErrAdmissionRejected
 	// ErrDegenerateMeasurement flags a non-positive measured execution time.
 	ErrDegenerateMeasurement = core.ErrDegenerateMeasurement
+)
+
+// Multi-node cluster: the stdlib TCP/HTTP worker transport that runs grid
+// engines as separate processes. Workers register with a coordinator and
+// execute outer-path slices shipped over the wire; the coordinator
+// implements BlockRunner, so a deployer built WithBlockRunner routes every
+// type-B valuation through the cluster; knowledge bases replicate between
+// coordinators by idempotent merge; scenario sets are cached per node with
+// one owner per shard on a consistent-hash ring.
+type (
+	// ClusterCoordinator owns worker membership, scatters blocks as
+	// outer-path slices and re-slices a lost worker's range onto survivors.
+	ClusterCoordinator = cluster.Coordinator
+	// ClusterConfig parameterises a coordinator (heartbeat cadence, KB,
+	// process launcher, local fallback width).
+	ClusterConfig = cluster.CoordinatorConfig
+	// ClusterWorker is one computing unit as a network service.
+	ClusterWorker = cluster.Worker
+	// ClusterStatus is the coordinator's point-in-time cluster view.
+	ClusterStatus = cluster.Status
+	// ClusterWorkerStatus is one membership row of ClusterStatus.
+	ClusterWorkerStatus = cluster.WorkerStatus
+	// ClusterLauncher starts worker processes for elastic process scaling.
+	ClusterLauncher = cluster.Launcher
+	// ClusterRing is the consistent-hash ring used for scenario-shard
+	// ownership and cross-coordinator job routing.
+	ClusterRing = cluster.Ring
+	// BlockRunner executes a simulation's type-B blocks; the deployer
+	// delegates to it when built WithBlockRunner.
+	BlockRunner = core.BlockRunner
+	// BlockRunRequest is one BlockRunner invocation.
+	BlockRunRequest = core.BlockRunRequest
+	// ScenarioRef is the serializable scenario-set recipe that keeps blocks
+	// shippable across the cluster.
+	ScenarioRef = stochastic.Ref
+)
+
+// Cluster construction.
+var (
+	// NewClusterCoordinator builds a coordinator.
+	NewClusterCoordinator = cluster.NewCoordinator
+	// NewClusterWorker builds a worker node.
+	NewClusterWorker = cluster.NewWorker
+	// NewClusterRing builds a consistent-hash ring over the given nodes.
+	NewClusterRing = cluster.NewRing
+	// WithBlockRunner routes the deployer's valuations through a cluster.
+	WithBlockRunner = core.WithBlockRunner
+	// WithProcessScaler forwards the elastic worker target to a process
+	// scaler (ClusterCoordinator.ProcessScaler).
+	WithProcessScaler = core.WithProcessScaler
 )
 
 // NewDeployer wires a transparent deploy system rooted at seed.

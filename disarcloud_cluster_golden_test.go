@@ -1,0 +1,96 @@
+package disarcloud_test
+
+// Clustered golden tests: the pinned Solvency II campaign of
+// disarcloud_golden_test.go, executed through a real multi-process-style
+// cluster (coordinator + N TCP workers on the loopback), must reproduce
+// testdata/golden_scr.json bit for bit — on one worker, on four, and with a
+// worker killed mid-campaign so the re-slice fault path runs. Distribution,
+// transport and failure recovery reorder WHEN paths are computed but must
+// never change WHAT they compute.
+
+import (
+	"context"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+	"time"
+
+	"disarcloud"
+)
+
+// startGoldenCluster brings up a coordinator behind a real TCP listener and
+// n workers joined to it, and waits for full membership.
+func startGoldenCluster(t *testing.T, n int) (*disarcloud.ClusterCoordinator, []*disarcloud.ClusterWorker) {
+	t.Helper()
+	coord := disarcloud.NewClusterCoordinator(disarcloud.ClusterConfig{
+		HeartbeatEvery: 100 * time.Millisecond,
+	})
+	mux := http.NewServeMux()
+	coord.Routes(mux)
+	srv := httptest.NewServer(mux)
+	t.Cleanup(srv.Close)
+
+	workers := make([]*disarcloud.ClusterWorker, n)
+	for i := range workers {
+		w := disarcloud.NewClusterWorker(fmt.Sprintf("golden-%d", i), 2)
+		if err := w.Start("127.0.0.1:0"); err != nil {
+			t.Fatal(err)
+		}
+		if err := w.Join(context.Background(), srv.URL); err != nil {
+			t.Fatal(err)
+		}
+		workers[i] = w
+		t.Cleanup(w.Close)
+	}
+	deadline := time.Now().Add(5 * time.Second)
+	for coord.Status().LiveWorkers < n {
+		if time.Now().After(deadline) {
+			t.Fatalf("only %d of %d workers joined", coord.Status().LiveWorkers, n)
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	return coord, workers
+}
+
+// goldenClusterRun executes the pinned campaign with the cluster as the
+// deployer's block runner. With killOne set, one worker is closed as soon
+// as slices start flowing, forcing dead-worker detection and re-slicing
+// mid-campaign.
+func goldenClusterRun(t *testing.T, n int, killOne bool) goldenSCR {
+	t.Helper()
+	coord, workers := startGoldenCluster(t, n)
+	if killOne {
+		go func() {
+			deadline := time.Now().Add(10 * time.Second)
+			for coord.Status().SlicesDispatched == 0 && time.Now().Before(deadline) {
+				time.Sleep(time.Millisecond)
+			}
+			workers[0].Close()
+		}()
+	}
+	d, err := disarcloud.NewDeployer(goldenSeed, disarcloud.WithBlockRunner(coord))
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := goldenCampaign(t, d)
+	st := coord.Status()
+	if st.SlicesDispatched == 0 {
+		t.Fatal("golden campaign ran without shipping a single slice to the cluster")
+	}
+	t.Logf("cluster n=%d kill=%v: %d slices, %d failures, %d reslices, %d local fallbacks",
+		n, killOne, st.SlicesDispatched, st.SliceFailures, st.Reslices, st.LocalFallbacks)
+	return got
+}
+
+func TestGoldenSCRClusterOneWorker(t *testing.T) {
+	compareGolden(t, goldenClusterRun(t, 1, false), readGolden(t))
+}
+
+func TestGoldenSCRClusterFourWorkers(t *testing.T) {
+	compareGolden(t, goldenClusterRun(t, 4, false), readGolden(t))
+}
+
+func TestGoldenSCRClusterSurvivesWorkerKill(t *testing.T) {
+	compareGolden(t, goldenClusterRun(t, 4, true), readGolden(t))
+}

@@ -42,15 +42,27 @@ type goldenSCR struct {
 	} `json:"scr"`
 }
 
+// goldenSeed pins the golden campaign: the paper's conference date; never
+// change casually.
+const goldenSeed = 20160628
+
 // goldenRun executes the fixed campaign: seeds pinned, exploration off, two
 // workers so concurrency is exercised while results stay deterministic.
 func goldenRun(t *testing.T) goldenSCR {
 	t.Helper()
-	const seed = 20160628 // the paper's conference date; never change casually
-	d, err := disarcloud.NewDeployer(seed)
+	d, err := disarcloud.NewDeployer(goldenSeed)
 	if err != nil {
 		t.Fatal(err)
 	}
+	return goldenCampaign(t, d)
+}
+
+// goldenCampaign submits the pinned campaign to a fresh service over the
+// given deployer — the clustered golden tests inject a deployer whose block
+// runner is a multi-process cluster.
+func goldenCampaign(t *testing.T, d *disarcloud.Deployer) goldenSCR {
+	t.Helper()
+	const seed = goldenSeed
 	svc, err := disarcloud.NewService(d, disarcloud.WithWorkers(2))
 	if err != nil {
 		t.Fatal(err)
@@ -119,6 +131,12 @@ func TestGoldenSCRCampaign(t *testing.T) {
 		return
 	}
 
+	compareGolden(t, got, readGolden(t))
+}
+
+// readGolden loads the pinned campaign outcome.
+func readGolden(t *testing.T) goldenSCR {
+	t.Helper()
 	data, err := os.ReadFile(goldenPath)
 	if err != nil {
 		t.Fatalf("read golden file (run with -update to create it): %v", err)
@@ -127,7 +145,12 @@ func TestGoldenSCRCampaign(t *testing.T) {
 	if err := json.Unmarshal(data, &want); err != nil {
 		t.Fatalf("decode golden file: %v", err)
 	}
+	return want
+}
 
+// compareGolden asserts bit-identity of a run against the golden outcome.
+func compareGolden(t *testing.T, got, want goldenSCR) {
+	t.Helper()
 	if got.BaseBEL != want.BaseBEL {
 		t.Errorf("base BEL drifted: got %v, want %v", got.BaseBEL, want.BaseBEL)
 	}

@@ -1,0 +1,397 @@
+package cluster
+
+import (
+	"context"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"disarcloud/internal/actuarial"
+	"disarcloud/internal/alm"
+	"disarcloud/internal/core"
+	"disarcloud/internal/eeb"
+	"disarcloud/internal/fund"
+	"disarcloud/internal/grid"
+	"disarcloud/internal/kb"
+	"disarcloud/internal/policy"
+	"disarcloud/internal/stochastic"
+)
+
+func testMarket(horizon int) stochastic.Config {
+	return stochastic.Config{
+		Horizon:      horizon,
+		StepsPerYear: 1,
+		Rate: stochastic.VasicekParams{
+			R0: 0.02, Speed: 0.3, MeanP: 0.03, MeanQ: 0.025, Sigma: 0.008,
+		},
+		Equities: []stochastic.GBMParams{{S0: 100, Mu: 0.06, Sigma: 0.18}},
+		Credit:   stochastic.CIRParams{L0: 0.008, Speed: 0.5, Mean: 0.012, Sigma: 0.03},
+	}
+}
+
+func testBlocks(t *testing.T, ref *stochastic.Ref, src stochastic.Source) []*eeb.Block {
+	t.Helper()
+	market := testMarket(15)
+	contracts := []policy.Contract{
+		{Kind: policy.Endowment, Age: 45, Gender: actuarial.Male, Term: 10,
+			InsuredSum: 10000, Beta: 0.8, TechnicalRate: 0.02, Count: 50},
+		{Kind: policy.Annuity, Age: 60, Gender: actuarial.Female, Term: 15,
+			InsuredSum: 1500, Beta: 0.8, TechnicalRate: 0.0, Count: 25},
+		{Kind: policy.PureEndowment, Age: 35, Gender: actuarial.Male, Term: 12,
+			InsuredSum: 15000, Beta: 0.9, TechnicalRate: 0.01, Count: 40},
+		{Kind: policy.TermInsurance, Age: 40, Gender: actuarial.Male, Term: 8,
+			InsuredSum: 80000, Beta: 0.8, TechnicalRate: 0.0, Count: 60},
+	}
+	p := &policy.Portfolio{Name: "cluster-test", Contracts: contracts}
+	blocks, err := eeb.SplitPortfolio(p, fund.TypicalItalianFund(4, market), market,
+		eeb.SplitSpec{MaxContractsPerBlock: 2, Outer: 30, Inner: 4, ScenarioRef: ref, Scenarios: src})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return blocks
+}
+
+// startCluster brings up a coordinator (on a real TCP test server) and n
+// workers that join it, and waits until all are registered.
+func startCluster(t *testing.T, n int, cfg CoordinatorConfig) (*Coordinator, []*Worker) {
+	t.Helper()
+	if cfg.HeartbeatEvery == 0 {
+		cfg.HeartbeatEvery = 50 * time.Millisecond
+	}
+	coord := NewCoordinator(cfg)
+	mux := http.NewServeMux()
+	coord.Routes(mux)
+	srv := httptest.NewServer(mux)
+	t.Cleanup(srv.Close)
+
+	workers := make([]*Worker, n)
+	for i := range workers {
+		w := NewWorker(fmt.Sprintf("w%d", i), 2)
+		if err := w.Start("127.0.0.1:0"); err != nil {
+			t.Fatal(err)
+		}
+		if err := w.Join(context.Background(), srv.URL); err != nil {
+			t.Fatal(err)
+		}
+		workers[i] = w
+		t.Cleanup(w.Close)
+	}
+	deadline := time.Now().Add(5 * time.Second)
+	for len(coord.live()) < n {
+		if time.Now().After(deadline) {
+			t.Fatalf("only %d of %d workers registered", len(coord.live()), n)
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	return coord, workers
+}
+
+func assertSameResults(t *testing.T, got, want map[string]*alm.Result) {
+	t.Helper()
+	if len(got) != len(want) {
+		t.Fatalf("%d results, want %d", len(got), len(want))
+	}
+	for id, w := range want {
+		g, ok := got[id]
+		if !ok {
+			t.Fatalf("missing block %s", id)
+		}
+		if g.BEL != w.BEL || g.SCR != w.SCR || g.StdErr != w.StdErr {
+			t.Fatalf("block %s differs: BEL %v vs %v, SCR %v vs %v",
+				id, g.BEL, w.BEL, g.SCR, w.SCR)
+		}
+	}
+}
+
+func TestClusterMatchesSequentialBitForBit(t *testing.T) {
+	blocks := testBlocks(t, nil, nil)
+	want, err := grid.RunSequential(context.Background(), blocks, 42)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, n := range []int{1, 3} {
+		coord, _ := startCluster(t, n, CoordinatorConfig{})
+		got, err := coord.RunBlocks(context.Background(), core.BlockRunRequest{Blocks: blocks, Seed: 42})
+		if err != nil {
+			t.Fatalf("n=%d: %v", n, err)
+		}
+		assertSameResults(t, got, want)
+	}
+}
+
+func TestClusterProgressCountsEveryPathOnce(t *testing.T) {
+	blocks := testBlocks(t, nil, nil)
+	coord, _ := startCluster(t, 2, CoordinatorConfig{})
+	perBlock := map[string]int{}
+	totals := map[string]int{}
+	_, err := coord.RunBlocks(context.Background(), core.BlockRunRequest{
+		Blocks: blocks,
+		Seed:   7,
+		OnProgress: func(ev grid.Progress) {
+			perBlock[ev.BlockID]++
+			totals[ev.BlockID] = ev.Total
+			if ev.Done > ev.Total {
+				t.Errorf("block %s: Done %d exceeds Total %d", ev.BlockID, ev.Done, ev.Total)
+			}
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(perBlock) == 0 {
+		t.Fatal("no progress events observed")
+	}
+	for id, n := range perBlock {
+		if n != totals[id] {
+			t.Errorf("block %s: %d progress events for %d paths", id, n, totals[id])
+		}
+	}
+}
+
+func TestWorkerKillMidRunIsBitIdentical(t *testing.T) {
+	blocks := testBlocks(t, nil, nil)
+	want, err := grid.RunSequential(context.Background(), blocks, 42)
+	if err != nil {
+		t.Fatal(err)
+	}
+	coord, workers := startCluster(t, 3, CoordinatorConfig{})
+	// Kill one worker after the first slice completes somewhere: a small
+	// pace keeps slices in flight long enough for the kill to land mid-run.
+	killed := make(chan struct{})
+	go func() {
+		time.Sleep(30 * time.Millisecond)
+		workers[1].Close()
+		close(killed)
+	}()
+	got, err := coord.RunBlocks(context.Background(), core.BlockRunRequest{
+		Blocks: blocks, Seed: 42, PaceSeconds: 0.4,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	<-killed
+	assertSameResults(t, got, want)
+	st := coord.Status()
+	if st.SliceFailures == 0 {
+		t.Log("note: kill landed between slices; results verified identical anyway")
+	}
+}
+
+func TestAllWorkersLostFallsBackLocally(t *testing.T) {
+	blocks := testBlocks(t, nil, nil)
+	want, err := grid.RunSequential(context.Background(), blocks, 42)
+	if err != nil {
+		t.Fatal(err)
+	}
+	coord, workers := startCluster(t, 1, CoordinatorConfig{})
+	workers[0].Close()
+	got, err := coord.RunBlocks(context.Background(), core.BlockRunRequest{Blocks: blocks, Seed: 42})
+	if err != nil {
+		t.Fatal(err)
+	}
+	assertSameResults(t, got, want)
+}
+
+func TestNoWorkersRunsLocally(t *testing.T) {
+	blocks := testBlocks(t, nil, nil)
+	want, err := grid.RunSequential(context.Background(), blocks, 42)
+	if err != nil {
+		t.Fatal(err)
+	}
+	coord := NewCoordinator(CoordinatorConfig{LocalWorkers: 2})
+	got, err := coord.RunBlocks(context.Background(), core.BlockRunRequest{Blocks: blocks, Seed: 42})
+	if err != nil {
+		t.Fatal(err)
+	}
+	assertSameResults(t, got, want)
+	if coord.Status().LocalFallbacks == 0 {
+		t.Fatal("local fallback not recorded")
+	}
+}
+
+func TestLiveSourceWithoutRefPinsLocally(t *testing.T) {
+	market := testMarket(15)
+	gen, err := stochastic.NewGenerator(market)
+	if err != nil {
+		t.Fatal(err)
+	}
+	set := stochastic.NewSet(gen, 42)
+	blocks := testBlocks(t, nil, set)
+	want, err := grid.RunSequential(context.Background(), blocks, 42)
+	if err != nil {
+		t.Fatal(err)
+	}
+	coord, _ := startCluster(t, 2, CoordinatorConfig{})
+	got, err := coord.RunBlocks(context.Background(), core.BlockRunRequest{Blocks: blocks, Seed: 42})
+	if err != nil {
+		t.Fatal(err)
+	}
+	assertSameResults(t, got, want)
+	st := coord.Status()
+	if st.SlicesDispatched != 0 {
+		t.Fatalf("%d slices shipped for an unshippable job", st.SlicesDispatched)
+	}
+	if st.LocalFallbacks == 0 {
+		t.Fatal("local fallback not recorded")
+	}
+}
+
+func TestScenarioRefJobMatchesLiveSourceJob(t *testing.T) {
+	market := testMarket(15)
+	gen, err := stochastic.NewGenerator(market)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The reference: an in-process run over a live shared set.
+	liveBlocks := testBlocks(t, nil, stochastic.NewSet(gen, 99))
+	want, err := grid.RunSequential(context.Background(), liveBlocks, 42)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The cluster run: same recipe, shipped as a ref and rebuilt per node.
+	ref := &stochastic.Ref{Market: market, Seed: 99, Memoize: true}
+	refBlocks := testBlocks(t, ref, stochastic.NewSet(gen, 99))
+	coord, workers := startCluster(t, 2, CoordinatorConfig{})
+	got, err := coord.RunBlocks(context.Background(), core.BlockRunRequest{Blocks: refBlocks, Seed: 42})
+	if err != nil {
+		t.Fatal(err)
+	}
+	assertSameResults(t, got, want)
+	// With two nodes sharing one base set, at least one scenario should
+	// have travelled instead of being regenerated — unless every shard's
+	// owner happened to execute its own paths, which the ring makes
+	// unlikely across 30 outers on 2 nodes.
+	var fetchedOrServed int64
+	for _, w := range workers {
+		fetchedOrServed += w.served.Load()
+	}
+	t.Logf("scenario shards served across nodes: %d", fetchedOrServed)
+}
+
+func TestRingOwnershipStableUnderGrowth(t *testing.T) {
+	nodes := []string{"a:1", "b:1", "c:1"}
+	r3 := NewRing(nodes, 0)
+	r4 := NewRing(append(nodes, "d:1"), 0)
+	moved := 0
+	const keys = 1000
+	for i := 0; i < keys; i++ {
+		k := fmt.Sprintf("set-abc/%d", i)
+		if r3.Owner(k) != r4.Owner(k) {
+			moved++
+		}
+	}
+	// Adding one node to three should move roughly a quarter of the keys;
+	// anything above half means the hashing is not consistent.
+	if moved > keys/2 {
+		t.Fatalf("%d of %d keys moved on one join", moved, keys)
+	}
+	if r3.Owner("x") == "" || r3.Len() != 3 {
+		t.Fatal("ring misbuilt")
+	}
+	if NewRing(nil, 0).Owner("x") != "" {
+		t.Fatal("empty ring must own nothing")
+	}
+}
+
+func TestKBSyncConvergesPeers(t *testing.T) {
+	mkSample := func(arch string, nodes int, secs float64) kb.Sample {
+		return kb.Sample{
+			Architecture: arch, Nodes: nodes,
+			Params: eeb.CharacteristicParams{
+				RepresentativeContracts: 5, MaxHorizon: 10, FundAssets: 3,
+				RiskFactors: 3, OuterPaths: 50, InnerPaths: 5,
+			},
+			Seconds: secs,
+		}
+	}
+	kbA, kbB := kb.New(), kb.New()
+	for _, s := range []kb.Sample{mkSample("c4", 2, 11), mkSample("g8", 4, 5)} {
+		if err := kbA.Add(s); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for _, s := range []kb.Sample{mkSample("m4", 1, 29), mkSample("c4", 2, 11)} {
+		if err := kbB.Add(s); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	serve := func(c *Coordinator) *httptest.Server {
+		mux := http.NewServeMux()
+		c.Routes(mux)
+		srv := httptest.NewServer(mux)
+		t.Cleanup(srv.Close)
+		return srv
+	}
+	coordA := NewCoordinator(CoordinatorConfig{KB: kbA})
+	coordB := NewCoordinator(CoordinatorConfig{KB: kbB})
+	srvA, srvB := serve(coordA), serve(coordB)
+
+	addedA, err := coordA.SyncKB(context.Background(), []string{srvB.URL})
+	if err != nil {
+		t.Fatal(err)
+	}
+	addedB, err := coordB.SyncKB(context.Background(), []string{srvA.URL})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if addedA != 1 || addedB != 1 {
+		t.Fatalf("added %d/%d, want 1/1", addedA, addedB)
+	}
+	if kbA.Len() != 3 || kbB.Len() != 3 {
+		t.Fatalf("sizes %d/%d after sync, want 3/3 (union of both)", kbA.Len(), kbB.Len())
+	}
+	// A second exchange must be a no-op: the gossip has converged.
+	if n, _ := coordA.SyncKB(context.Background(), []string{srvB.URL}); n != 0 {
+		t.Fatalf("converged sync added %d", n)
+	}
+	if coordA.Status().KBSamplesMerged != 1 {
+		t.Fatalf("merge counter %d, want 1", coordA.Status().KBSamplesMerged)
+	}
+}
+
+type fakeLauncher struct {
+	started atomic.Int64
+	stopped atomic.Int64
+}
+
+func (f *fakeLauncher) StartWorker() (func(), error) {
+	f.started.Add(1)
+	return func() { f.stopped.Add(1) }, nil
+}
+
+func TestScaleToManagesProcesses(t *testing.T) {
+	l := &fakeLauncher{}
+	coord := NewCoordinator(CoordinatorConfig{Launcher: l})
+	coord.ScaleTo(3)
+	if l.started.Load() != 3 {
+		t.Fatalf("started %d, want 3", l.started.Load())
+	}
+	coord.ScaleTo(1)
+	if l.stopped.Load() != 2 {
+		t.Fatalf("stopped %d, want 2", l.stopped.Load())
+	}
+	if coord.Status().ManagedProcesses != 1 {
+		t.Fatalf("managed %d, want 1", coord.Status().ManagedProcesses)
+	}
+	coord.StopWorkers()
+	if l.stopped.Load() != 3 {
+		t.Fatalf("stopped %d after StopWorkers, want 3", l.stopped.Load())
+	}
+	// No launcher: a no-op, never a panic.
+	NewCoordinator(CoordinatorConfig{}).ScaleTo(5)
+}
+
+func TestStatusGuardsEmptyTelemetry(t *testing.T) {
+	st := NewCoordinator(CoordinatorConfig{}).Status()
+	if st.AvgPathsPerSlice != 0 || st.SliceFailureRate != 0 {
+		t.Fatalf("derived stats %v/%v on empty telemetry, want 0/0",
+			st.AvgPathsPerSlice, st.SliceFailureRate)
+	}
+	if st.LiveWorkers != 0 || st.TotalSlots != 0 || len(st.Workers) != 0 {
+		t.Fatal("empty coordinator reports phantom workers")
+	}
+}

@@ -1,0 +1,173 @@
+// Package cluster turns the in-process DISAR grid into a real multi-node
+// system: worker processes that register with a coordinator over plain
+// TCP/HTTP, heartbeat, and execute outer-path slices shipped to them over
+// the wire; a coordinator that scatters type-B blocks across the registered
+// workers, re-slices the work of a lost worker onto the survivors, and
+// plugs into the deployer as its BlockRunner; a node-local scenario cache
+// with consistent-hash shard ownership so a stress campaign's shared
+// scenario set is generated once per cluster rather than once per node; and
+// knowledge-base gossip so every coordinator's self-optimizing loop trains
+// on the whole cluster's measurements.
+//
+// Everything rides the partition-independence contract of the valuation
+// engine: per-path streams are rooted at (seed, index), so any slicing of
+// the outer range — including the re-slicing after a mid-run worker kill —
+// produces bit-identical results.
+package cluster
+
+import (
+	"errors"
+	"fmt"
+
+	"disarcloud/internal/eeb"
+	"disarcloud/internal/fund"
+	"disarcloud/internal/policy"
+	"disarcloud/internal/stochastic"
+)
+
+// blockWire is the network representation of an eeb.Block: the plain
+// workload description plus the serializable scenario-source recipe. Live
+// in-process state (a Source, a panel pool) never travels — the receiving
+// node rebuilds both.
+type blockWire struct {
+	ID          string            `json:"id"`
+	Type        int               `json:"type"`
+	Portfolio   *policy.Portfolio `json:"portfolio"`
+	Fund        fund.Config       `json:"fund"`
+	Market      stochastic.Config `json:"market"`
+	Outer       int               `json:"outer"`
+	Inner       int               `json:"inner"`
+	Biometric   eeb.Biometric     `json:"biometric"`
+	ScenarioRef *stochastic.Ref   `json:"scenarioRef,omitempty"`
+}
+
+// errUnshippable marks a block that cannot leave the process: it carries a
+// live scenario source without the serializable recipe behind it.
+var errUnshippable = errors.New("cluster: block carries a live scenario source without a ScenarioRef")
+
+// encodeBlock converts a block for shipment.
+func encodeBlock(b *eeb.Block) (blockWire, error) {
+	if b.Scenarios != nil && b.ScenarioRef == nil {
+		return blockWire{}, fmt.Errorf("%w: %s", errUnshippable, b.ID)
+	}
+	return blockWire{
+		ID:          b.ID,
+		Type:        int(b.Type),
+		Portfolio:   b.Portfolio,
+		Fund:        b.Fund,
+		Market:      b.Market,
+		Outer:       b.Outer,
+		Inner:       b.Inner,
+		Biometric:   b.Biometric,
+		ScenarioRef: b.ScenarioRef,
+	}, nil
+}
+
+// decode rebuilds the block WITHOUT its scenario source; the worker resolves
+// the ref against its node-local cache separately (it needs the cluster
+// membership of the moment for shard ownership). The block is validated —
+// wire data is never trusted.
+func (w blockWire) decode() (*eeb.Block, error) {
+	b := &eeb.Block{
+		ID:          w.ID,
+		Type:        eeb.Type(w.Type),
+		Portfolio:   w.Portfolio,
+		Fund:        w.Fund,
+		Market:      w.Market,
+		Outer:       w.Outer,
+		Inner:       w.Inner,
+		Biometric:   w.Biometric,
+		ScenarioRef: w.ScenarioRef,
+	}
+	if err := b.Validate(); err != nil {
+		return nil, err
+	}
+	if w.ScenarioRef != nil {
+		if err := w.ScenarioRef.Validate(); err != nil {
+			return nil, err
+		}
+	}
+	return b, nil
+}
+
+// joinRequest registers a worker with the coordinator.
+type joinRequest struct {
+	// Name is the worker's stable identity (ownership on the scenario ring
+	// follows it, so a restarted worker keeps its shards).
+	Name string `json:"name"`
+	// Addr is the worker's reachable base address, e.g. "127.0.0.1:7101".
+	Addr string `json:"addr"`
+	// Slots is how many slices the worker executes concurrently.
+	Slots int `json:"slots"`
+}
+
+func (r joinRequest) validate() error {
+	if r.Name == "" {
+		return errors.New("cluster: join without a worker name")
+	}
+	if r.Addr == "" {
+		return errors.New("cluster: join without a worker address")
+	}
+	if r.Slots < 1 || r.Slots > 1024 {
+		return fmt.Errorf("cluster: join with slot count %d outside [1,1024]", r.Slots)
+	}
+	return nil
+}
+
+// joinResponse acknowledges a registration.
+type joinResponse struct {
+	ID string `json:"id"`
+	// HeartbeatSeconds is the cadence the coordinator expects beats at; a
+	// worker silent for several multiples is declared lost.
+	HeartbeatSeconds float64 `json:"heartbeatSeconds"`
+}
+
+// heartbeatRequest keeps a registration alive.
+type heartbeatRequest struct {
+	ID string `json:"id"`
+}
+
+// executeRequest ships one outer-path slice of a type-B block to a worker.
+type executeRequest struct {
+	Block executeBlock `json:"block"`
+	From  int          `json:"from"`
+	To    int          `json:"to"`
+	Seed  uint64       `json:"seed"`
+	// PaceSeconds is this slice's share of the job's wall-clock occupancy;
+	// the worker holds the slice open that long (concurrently with every
+	// other slice in flight across the cluster).
+	PaceSeconds float64 `json:"paceSeconds,omitempty"`
+	// ScenarioPeers is the cluster membership snapshot (worker addresses)
+	// the scenario ring is built over, so shard ownership is consistent
+	// across every slice of one dispatch.
+	ScenarioPeers []string `json:"scenarioPeers,omitempty"`
+}
+
+// executeBlock aliases blockWire for request-body clarity.
+type executeBlock = blockWire
+
+// executeResponse returns a slice's local Y1 values. JSON float64 encoding
+// is exact (shortest round-trip representation), so the gathered values are
+// bit-identical to an in-process run.
+type executeResponse struct {
+	Y1 []float64 `json:"y1"`
+}
+
+// scenarioRequest asks a node for one outer path of a ref's base set — the
+// fetch half of the fetch-or-generate protocol. The full ref travels so the
+// owner can build the set even when it has not executed a slice of that
+// campaign yet.
+type scenarioRequest struct {
+	Ref   stochastic.Ref `json:"ref"`
+	Index int            `json:"index"`
+}
+
+// scenarioResponse carries the path.
+type scenarioResponse struct {
+	Scenario stochastic.ScenarioWire `json:"scenario"`
+}
+
+// errorResponse is the JSON body of every non-2xx reply.
+type errorResponse struct {
+	Error string `json:"error"`
+}

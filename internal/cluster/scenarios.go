@@ -1,0 +1,131 @@
+package cluster
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+
+	"disarcloud/internal/stochastic"
+)
+
+// scenarioCache is the node-local half of the cluster scenario protocol: one
+// base source per Ref.BaseKey(), built once and shared by every slice of
+// every job that references it. On a campaign this is exactly the
+// scenario-set reuse the single-node service gets from its shared Set —
+// every module's ref maps to the same key, so the node pays one base set no
+// matter how many modules' slices land on it.
+type scenarioCache struct {
+	mu   sync.Mutex
+	sets map[string]stochastic.Source
+
+	// built counts base sources constructed (cache misses); lookups counts
+	// resolutions served. Both feed the cluster status endpoint.
+	built   atomic.Int64
+	lookups atomic.Int64
+}
+
+func newScenarioCache() *scenarioCache {
+	return &scenarioCache{sets: make(map[string]stochastic.Source)}
+}
+
+// base returns the ref's base source, building it on first use.
+func (c *scenarioCache) base(ref *stochastic.Ref) (stochastic.Source, error) {
+	c.lookups.Add(1)
+	key := ref.BaseKey()
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if s, ok := c.sets[key]; ok {
+		return s, nil
+	}
+	s, err := ref.NewBaseSource()
+	if err != nil {
+		return nil, err
+	}
+	c.sets[key] = s
+	c.built.Add(1)
+	return s, nil
+}
+
+// hitRate returns the fraction of resolutions served from cache, guarded
+// for the empty-telemetry case.
+func (c *scenarioCache) hitRate() float64 {
+	n := c.lookups.Load()
+	if n == 0 {
+		return 0
+	}
+	return 1 - float64(c.built.Load())/float64(n)
+}
+
+// fetchFunc retrieves one outer path of a ref's base set from another node.
+type fetchFunc func(addr string, ref stochastic.Ref, index int) (*stochastic.Scenario, error)
+
+// clusterSource implements the fetch-or-generate protocol over a memoizing
+// set: each outer path has one OWNER node on the consistent-hash ring; the
+// owner generates it, everyone else first fetches the owner's copy and only
+// generates locally when the fetch fails (the fallback is bit-identical —
+// generation is deterministic — so a fetch failure costs time, never
+// correctness). Inner paths are always generated locally: they condition on
+// the locally held outer path and dwarf the outers in count, so shipping
+// them would invert the economics.
+type clusterSource struct {
+	set  *stochastic.Set
+	ref  stochastic.Ref
+	ring *Ring
+	self string
+	f    fetchFunc
+
+	fetched   atomic.Int64 // paths obtained from a remote owner
+	generated atomic.Int64 // paths generated locally (owner or fallback)
+}
+
+// Outer implements stochastic.Source.
+func (c *clusterSource) Outer(i int) *stochastic.Scenario {
+	if sc, ok := c.set.Lookup(i); ok {
+		return sc
+	}
+	owner := c.ring.Owner(fmt.Sprintf("%s/%d", c.ref.BaseKey(), i))
+	if owner == "" || owner == c.self || c.f == nil {
+		c.generated.Add(1)
+		return c.set.Outer(i)
+	}
+	sc, err := c.f(owner, c.ref, i)
+	if err != nil {
+		// The owner is unreachable or slow: generate locally. Same bits,
+		// just no sharing for this path.
+		c.generated.Add(1)
+		return c.set.Outer(i)
+	}
+	c.fetched.Add(1)
+	return c.set.Install(i, sc)
+}
+
+// Inner implements stochastic.Source.
+func (c *clusterSource) Inner(i, j int, outer *stochastic.Scenario, branchYear float64) *stochastic.Scenario {
+	return c.set.Inner(i, j, outer, branchYear)
+}
+
+// resolveScenarios builds the scenario source a shipped block executes
+// against: the cached base set, cluster-aware when the membership snapshot
+// has other nodes to share with, with the ref's transform layered on top.
+// A nil ref means the block generates from the valuation seed (plain jobs).
+func resolveScenarios(cache *scenarioCache, ref *stochastic.Ref, peers []string, self string, fetch fetchFunc) (stochastic.Source, error) {
+	if ref == nil {
+		return nil, nil
+	}
+	base, err := cache.base(ref)
+	if err != nil {
+		return nil, err
+	}
+	if set, ok := base.(*stochastic.Set); ok && len(peers) > 1 {
+		baseRef := *ref
+		baseRef.Transform = stochastic.Transform{}
+		base = &clusterSource{
+			set:  set,
+			ref:  baseRef,
+			ring: NewRing(peers, 0),
+			self: self,
+			f:    fetch,
+		}
+	}
+	return ref.Resolve(base), nil
+}

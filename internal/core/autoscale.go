@@ -249,7 +249,15 @@ func (s *Service) Resize(n int) error {
 	}
 	s.mu.Unlock()
 	s.spawn(s.sched.setTarget(n))
+	s.notifyScale(n)
 	return nil
+}
+
+// notifyScale informs the process-scaling hook of a new pool target.
+func (s *Service) notifyScale(target int) {
+	if s.procScale != nil {
+		s.procScale(target)
+	}
 }
 
 // spawn starts n worker goroutines (their live count is already reserved by
@@ -387,4 +395,5 @@ func (s *Service) controlTick(now time.Time) {
 	}
 	s.spawn(s.sched.setTarget(final))
 	s.scaler.record(dec)
+	s.notifyScale(final)
 }

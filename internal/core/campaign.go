@@ -139,9 +139,15 @@ func (s *Service) SubmitCampaign(ctx context.Context, cs CampaignSpec) (Campaign
 	} else {
 		base = stochastic.NewSet(gen, cs.Base.Seed)
 	}
+	// The serializable recipe behind the shared source: every job of the
+	// campaign carries a ref differing only in Transform, so a cluster node
+	// rebuilds ONE base set (the refs share a base key) and all modules
+	// derive from it — scenario reuse survives the trip across the wire.
+	baseRef := stochastic.Ref{Market: cs.Base.Market, Seed: cs.Base.Seed, Memoize: !cs.NoScenarioReuse}
 
 	baseSpec := cs.Base
 	baseSpec.Scenarios = base
+	baseSpec.ScenarioRef = &baseRef
 	// Job pointers are taken at submission time: a lookup through the job
 	// map after the loop could race eviction on a small-retention service.
 	submitted := make([]*job, 0, len(shocks)+1)
@@ -162,6 +168,9 @@ func (s *Service) SubmitCampaign(ctx context.Context, cs CampaignSpec) (Campaign
 		spec.Market = sh.Market.Config(cs.Base.Market)
 		spec.Biometric = cs.Base.Biometric.Compose(sh.Biometric)
 		spec.Scenarios = stochastic.Derived(base, sh.Market)
+		ref := baseRef
+		ref.Transform = sh.Market
+		spec.ScenarioRef = &ref
 		j, err := s.submitJob(ctx, spec)
 		if err != nil {
 			rollback()

@@ -59,6 +59,10 @@ type Deployer struct {
 	// instead of allocating their own.
 	buffers *stochastic.BatchPool
 
+	// runner, when non-nil, executes the distributed part of every non-proxy
+	// valuation (a multi-node cluster) instead of the in-process grid.
+	runner BlockRunner
+
 	// mu serialises the deploy loop (selection randomness, cloud noise,
 	// knowledge-base record, retrain).
 	mu sync.Mutex
@@ -73,6 +77,7 @@ type deployerConfig struct {
 	catalog       []cloud.InstanceType
 	heterogeneous bool
 	retrainEvery  int
+	runner        BlockRunner
 }
 
 // WithRetrainEvery retrains the affected architecture's models only every
@@ -135,6 +140,7 @@ func NewDeployer(seed uint64, opts ...Option) (*Deployer, error) {
 		catalog:      cfg.catalog,
 		retrainEvery: cfg.retrainEvery,
 		buffers:      stochastic.NewBatchPool(),
+		runner:       cfg.runner,
 	}
 	if d.kb.Len() > 0 {
 		if err := d.pred.Retrain(d.kb); err != nil {

@@ -1,0 +1,51 @@
+package core
+
+import (
+	"context"
+
+	"disarcloud/internal/alm"
+	"disarcloud/internal/eeb"
+	"disarcloud/internal/grid"
+)
+
+// BlockRunRequest is one distributed valuation as the deployer hands it to a
+// cluster: the split blocks, the seed rooting every stream, and the deploy's
+// wall-clock occupancy to spread across the executing units.
+type BlockRunRequest struct {
+	// Blocks is the full split (type-A blocks included; runners execute the
+	// type-B blocks and may validate or ignore the rest, like grid.Master).
+	Blocks []*eeb.Block
+	// Seed roots the valuation streams; results must be independent of how
+	// the runner slices or places the work (the partition-independence
+	// contract).
+	Seed uint64
+	// Workers is the slice parallelism the deploy selection sized — a hint;
+	// a cluster spreads slices over however many units it actually has.
+	Workers int
+	// PaceSeconds, when positive, is the total wall-clock occupancy the
+	// valuation must burn (PaceFactor x the deploy's simulated execution
+	// time). The runner distributes it across the executing units
+	// proportionally to their share of the outer paths, so N units pace
+	// concurrently and the wall-clock cost divides by N — the cluster-side
+	// equivalent of RunSimulation's local pace sleep.
+	PaceSeconds float64
+	// OnProgress, when non-nil, receives per-path monitoring events. Calls
+	// must be serialised by the runner.
+	OnProgress func(grid.Progress)
+}
+
+// BlockRunner executes the distributed part of a valuation somewhere other
+// than the in-process grid — the seam the multi-node cluster plugs into the
+// deployer through. Implementations must be safe for concurrent use and must
+// return results bit-identical to grid.Master over the same blocks and seed.
+type BlockRunner interface {
+	RunBlocks(ctx context.Context, req BlockRunRequest) (map[string]*alm.Result, error)
+}
+
+// WithBlockRunner routes every non-proxy valuation of this deployer through
+// the given runner instead of the in-process grid. Proxy-tier jobs keep the
+// local path (the LSMC training set is node-local by design), as does any
+// runner error-free fallback the runner itself chooses to implement.
+func WithBlockRunner(r BlockRunner) Option {
+	return func(c *deployerConfig) { c.runner = r }
+}

@@ -55,6 +55,7 @@ type serviceConfig struct {
 	ticker     TickerFunc
 	estimator  RuntimeEstimator
 	forecast   *forecast.Config
+	procScale  func(target int)
 }
 
 // WithWorkers sets the number of valuations the service runs concurrently —
@@ -111,6 +112,17 @@ func WithAdmissionControl(est RuntimeEstimator) ServiceOption {
 	return func(c *serviceConfig) { c.estimator = est }
 }
 
+// WithProcessScaler registers a hook invoked with the new worker-pool target
+// every time it changes — at service start, on Resize, and on every applied
+// elastic decision. A clustered deployment uses it to scale worker PROCESSES
+// alongside the in-service pool: the hook launches or retires disard worker
+// nodes so cluster capacity tracks the elastic controller. The hook runs on
+// the control loop; implementations must return promptly and kick slow
+// process management off asynchronously.
+func WithProcessScaler(fn func(target int)) ServiceOption {
+	return func(c *serviceConfig) { c.procScale = fn }
+}
+
 // WithQueueDepth sets how many accepted-but-unstarted jobs the service
 // holds before Submit fails with ErrQueueFull.
 func WithQueueDepth(n int) ServiceOption {
@@ -139,6 +151,7 @@ type Service struct {
 	estimator RuntimeEstimator // nil = no admission control
 	scaler    *autoscaler      // nil = fixed pool
 	fc        *forecastState   // nil = reactive-only scaling
+	procScale func(int)        // nil = no process scaling hook
 
 	baseCtx    context.Context
 	baseCancel context.CancelFunc
@@ -187,6 +200,7 @@ func NewService(d *Deployer, opts ...ServiceOption) (*Service, error) {
 		baseCancel: cancel,
 		jobs:       make(map[JobID]*job),
 		campaigns:  make(map[CampaignID]*campaign),
+		procScale:  cfg.procScale,
 	}
 	if cfg.elastic != nil {
 		ec := *cfg.elastic
@@ -237,6 +251,7 @@ func NewService(d *Deployer, opts ...ServiceOption) (*Service, error) {
 		s.fc = fc
 	}
 	s.spawn(s.sched.setTarget(cfg.workers))
+	s.notifyScale(cfg.workers)
 	if s.scaler != nil {
 		s.wg.Add(1)
 		go s.controlLoop()

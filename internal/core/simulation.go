@@ -52,6 +52,11 @@ type SimulationSpec struct {
 	// a shared or derived scenario set (stress-campaign reuse) instead of
 	// generating them fresh from Seed.
 	Scenarios stochastic.Source
+	// ScenarioRef, when non-nil, is the serializable recipe behind Scenarios
+	// — what lets a scenario-sharing job execute on the remote units of a
+	// cluster. SubmitCampaign fills it automatically; jobs carrying a live
+	// Source with no ref run in-process even on a clustered deployer.
+	ScenarioRef *stochastic.Ref
 	// OnProgress, when non-nil, receives grid monitoring events as outer
 	// paths complete. Calls are serialised by the valuation master.
 	OnProgress func(grid.Progress)
@@ -82,6 +87,11 @@ func (s SimulationSpec) Validate() error {
 	}
 	if s.Proxy != nil {
 		if err := s.Proxy.Validate(); err != nil {
+			return err
+		}
+	}
+	if s.ScenarioRef != nil {
+		if err := s.ScenarioRef.Validate(); err != nil {
 			return err
 		}
 	}
@@ -202,11 +212,17 @@ func (d *Deployer) RunSimulation(ctx context.Context, spec SimulationSpec) (*Sim
 			panic(r)
 		}
 	}()
-	if spec.PaceFactor > 0 {
+	// A clustered deployer ships non-proxy work to its runner. Proxy jobs stay
+	// local (the LSMC training set is node-local by design).
+	useRunner := d.runner != nil && spec.Proxy == nil
+	paceSeconds := spec.PaceFactor * deployRep.ActualSeconds
+	if spec.PaceFactor > 0 && !useRunner {
 		// Emulate the wall-clock occupancy of the remote execution (outside
 		// the deployer lock, so concurrent jobs overlap their waits exactly
-		// as concurrent clusters would).
-		pace := time.Duration(spec.PaceFactor * deployRep.ActualSeconds * float64(time.Second))
+		// as concurrent clusters would). Runner-executed jobs skip this: the
+		// runner spreads the same occupancy across its units, so N units pace
+		// concurrently and the wall-clock cost divides by N.
+		pace := time.Duration(paceSeconds * float64(time.Second))
 		timer := time.NewTimer(pace)
 		select {
 		case <-ctx.Done():
@@ -233,6 +249,7 @@ func (d *Deployer) RunSimulation(ctx context.Context, spec SimulationSpec) (*Sim
 		Inner:                spec.Inner,
 		Biometric:            spec.Biometric,
 		Scenarios:            spec.Scenarios,
+		ScenarioRef:          spec.ScenarioRef,
 		Buffers:              d.buffers,
 	})
 	if err != nil {
@@ -241,9 +258,18 @@ func (d *Deployer) RunSimulation(ctx context.Context, spec SimulationSpec) (*Sim
 	}
 	var results map[string]*alm.Result
 	var proxyRep *ProxyReport
-	if spec.Proxy != nil {
+	switch {
+	case spec.Proxy != nil:
 		results, proxyRep, err = runProxyValuation(ctx, blocks, workers, spec.Seed, *spec.Proxy, spec.OnProgress)
-	} else {
+	case useRunner:
+		results, err = d.runner.RunBlocks(ctx, BlockRunRequest{
+			Blocks:      blocks,
+			Seed:        spec.Seed,
+			Workers:     workers,
+			PaceSeconds: paceSeconds,
+			OnProgress:  spec.OnProgress,
+		})
+	default:
 		master := &grid.Master{Workers: workers, Seed: spec.Seed, OnProgress: spec.OnProgress}
 		results, err = master.Run(ctx, blocks)
 	}

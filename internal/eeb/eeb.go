@@ -159,6 +159,11 @@ type Block struct {
 	// or derived scenario sets of a stress campaign. Nil generates fresh
 	// paths from the valuation seed.
 	Scenarios stochastic.Source
+	// ScenarioRef, when non-nil, is the serializable recipe behind Scenarios:
+	// what a remote computing unit needs to rebuild an equivalent source on
+	// its side of the wire (a live Source cannot travel). Blocks carrying only
+	// a live Source without a ref are pinned to in-process execution.
+	ScenarioRef *stochastic.Ref
 	// Buffers, when non-nil, is the panel pool the block's valuation draws
 	// its batched scenario buffers from — shared across the blocks and jobs
 	// of a service so the steady state allocates no panel memory. Nil uses

@@ -21,6 +21,9 @@ type SplitSpec struct {
 	// Scenarios, when non-nil, is the shared scenario source stamped on the
 	// type-B blocks (stress-campaign reuse).
 	Scenarios stochastic.Source
+	// ScenarioRef, when non-nil, is the serializable recipe behind Scenarios,
+	// stamped on the type-B blocks so they remain shippable across a cluster.
+	ScenarioRef *stochastic.Ref
 	// Buffers, when non-nil, is the shared panel pool stamped on every
 	// block, so all slices of all jobs recycle the same scenario buffers.
 	Buffers *stochastic.BatchPool
@@ -60,16 +63,17 @@ func SplitPortfolio(p *policy.Portfolio, f fund.Config, market stochastic.Config
 	})
 	for i, sub := range slices {
 		blocks = append(blocks, &Block{
-			ID:        fmt.Sprintf("%s/B%d", p.Name, i+1),
-			Type:      ALMValuation,
-			Portfolio: sub,
-			Fund:      f,
-			Market:    market,
-			Outer:     spec.Outer,
-			Inner:     spec.Inner,
-			Biometric: spec.Biometric,
-			Scenarios: spec.Scenarios,
-			Buffers:   spec.Buffers,
+			ID:          fmt.Sprintf("%s/B%d", p.Name, i+1),
+			Type:        ALMValuation,
+			Portfolio:   sub,
+			Fund:        f,
+			Market:      market,
+			Outer:       spec.Outer,
+			Inner:       spec.Inner,
+			Biometric:   spec.Biometric,
+			Scenarios:   spec.Scenarios,
+			ScenarioRef: spec.ScenarioRef,
+			Buffers:     spec.Buffers,
 		})
 	}
 	for _, b := range blocks {

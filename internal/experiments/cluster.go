@@ -1,0 +1,229 @@
+package experiments
+
+// Cluster scaling experiment: the same fixed-seed stress campaign executed
+// on multi-worker disard clusters of increasing size. On one CPU the
+// speedup is made observable the same way the elastic experiments make
+// queueing observable — PaceFactor turns each job's simulated execution
+// time into wall-clock occupancy, which remote workers hold CONCURRENTLY
+// for their slices. A worker process holding its slice's pace share while
+// another holds its own is exactly the overlap a real multi-machine cluster
+// gets from distribution, so campaign wall-clock shrinks near-linearly in
+// the worker count while every valuation stays bit-identical.
+
+import (
+	"context"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"time"
+
+	"disarcloud/internal/cluster"
+	"disarcloud/internal/core"
+)
+
+// ClusterScalingPoint is one cluster size's measurement.
+type ClusterScalingPoint struct {
+	Workers int
+	// Wall is the campaign's submission-to-result wall-clock.
+	Wall time.Duration
+	// Throughput is jobs per second (a standard-formula campaign is eight).
+	Throughput float64
+	// Speedup is relative to the one-worker point.
+	Speedup float64
+	// Slices is how many slices the coordinator shipped.
+	Slices int64
+}
+
+// ClusterComparison is the scaling record plus the fault-path probe: the
+// same campaign with a worker killed mid-run, checked bit-identical.
+type ClusterComparison struct {
+	Points []ClusterScalingPoint
+	// KillWorkers is the cluster size of the kill run.
+	KillWorkers int
+	// KillIdentical reports whether the kill run reproduced the one-worker
+	// campaign bit for bit.
+	KillIdentical bool
+	// KillFailures and KillReslices are the fault path's counters.
+	KillFailures int64
+	KillReslices int64
+}
+
+// clusterCampaignSpec is the fixed campaign every cluster size runs: the
+// elastic experiments' small workload with a pace factor large enough that
+// occupancy, not local compute, dominates the wall-clock.
+// clusterPaceFactor sizes each job's wall-clock occupancy: roughly half a
+// second per job — large against the per-slice transport overhead (a few
+// ms), small enough that the whole 1..8 sweep stays under ten seconds. A
+// variable so the short test sweep can shrink it.
+var clusterPaceFactor = 6e-2
+
+func clusterCampaignSpec(seed uint64) core.SimulationSpec {
+	spec := elasticBaseSpec(seed)
+	spec.PaceFactor = clusterPaceFactor
+	return spec
+}
+
+// clusterFixture is one running cluster: a coordinator on a real TCP
+// listener plus n single-slot workers joined to it.
+type clusterFixture struct {
+	coord   *cluster.Coordinator
+	workers []*cluster.Worker
+	srv     *httptest.Server
+}
+
+func startCluster(n int) (*clusterFixture, error) {
+	coord := cluster.NewCoordinator(cluster.CoordinatorConfig{
+		HeartbeatEvery: 100 * time.Millisecond,
+	})
+	mux := http.NewServeMux()
+	coord.Routes(mux)
+	srv := httptest.NewServer(mux)
+	f := &clusterFixture{coord: coord, srv: srv}
+	for i := 0; i < n; i++ {
+		w := cluster.NewWorker(fmt.Sprintf("x%d", i), 1)
+		if err := w.Start("127.0.0.1:0"); err != nil {
+			f.close()
+			return nil, err
+		}
+		if err := w.Join(context.Background(), srv.URL); err != nil {
+			f.close()
+			return nil, err
+		}
+		f.workers = append(f.workers, w)
+	}
+	deadline := time.Now().Add(5 * time.Second)
+	for f.coord.Status().LiveWorkers < n {
+		if time.Now().After(deadline) {
+			f.close()
+			return nil, fmt.Errorf("experiments: only %d of %d workers joined", f.coord.Status().LiveWorkers, n)
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	return f, nil
+}
+
+func (f *clusterFixture) close() {
+	for _, w := range f.workers {
+		w.Close()
+	}
+	f.srv.Close()
+}
+
+// runClusterCampaign executes the fixed campaign on an n-worker cluster and
+// returns the report, the wall-clock, and the coordinator's final counters.
+// killOne closes one worker as soon as slices start flowing.
+func runClusterCampaign(seed uint64, n int, killOne bool) (*core.CampaignReport, time.Duration, cluster.Status, error) {
+	f, err := startCluster(n)
+	if err != nil {
+		return nil, 0, cluster.Status{}, err
+	}
+	defer f.close()
+	d, err := core.NewDeployer(seed, core.WithBlockRunner(f.coord))
+	if err != nil {
+		return nil, 0, cluster.Status{}, err
+	}
+	svc, err := core.NewService(d, core.WithWorkers(8), core.WithQueueDepth(64))
+	if err != nil {
+		return nil, 0, cluster.Status{}, err
+	}
+	defer svc.Close()
+	if killOne {
+		go func() {
+			deadline := time.Now().Add(10 * time.Second)
+			for f.coord.Status().SlicesDispatched == 0 && time.Now().Before(deadline) {
+				time.Sleep(time.Millisecond)
+			}
+			f.workers[0].Close()
+		}()
+	}
+	ctx := context.Background()
+	start := time.Now()
+	id, err := svc.SubmitCampaign(ctx, core.CampaignSpec{Base: clusterCampaignSpec(seed)})
+	if err != nil {
+		return nil, 0, cluster.Status{}, err
+	}
+	rep, err := svc.CampaignResult(ctx, id)
+	if err != nil {
+		return nil, 0, cluster.Status{}, err
+	}
+	return rep, time.Since(start), f.coord.Status(), nil
+}
+
+// sameCampaignReport compares the valuation content of two campaign reports
+// bit for bit.
+func sameCampaignReport(a, b *core.CampaignReport) bool {
+	if a.BaseBEL != b.BaseBEL || a.BaseVaRSCR != b.BaseVaRSCR || a.SCR != b.SCR {
+		return false
+	}
+	if len(a.Modules) != len(b.Modules) {
+		return false
+	}
+	for i := range a.Modules {
+		if a.Modules[i].Module != b.Modules[i].Module || a.Modules[i].DeltaBEL != b.Modules[i].DeltaBEL {
+			return false
+		}
+	}
+	return true
+}
+
+// RunClusterComparison measures the fixed campaign's wall-clock on clusters
+// of each given size (e.g. 1..8), then re-runs it on killWorkers workers
+// with one killed mid-campaign and checks the outcome against the
+// one-worker run bit for bit. The first entry of workerCounts is the
+// speedup baseline.
+func RunClusterComparison(seed uint64, workerCounts []int, killWorkers int) (*ClusterComparison, error) {
+	if len(workerCounts) == 0 {
+		return nil, fmt.Errorf("experiments: no cluster sizes given")
+	}
+	out := &ClusterComparison{KillWorkers: killWorkers}
+	var baseRep *core.CampaignReport
+	var baseWall time.Duration
+	for i, n := range workerCounts {
+		rep, wall, st, err := runClusterCampaign(seed, n, false)
+		if err != nil {
+			return nil, fmt.Errorf("experiments: cluster n=%d: %w", n, err)
+		}
+		if i == 0 {
+			baseRep, baseWall = rep, wall
+		} else if !sameCampaignReport(rep, baseRep) {
+			return nil, fmt.Errorf("experiments: cluster n=%d changed the campaign outcome", n)
+		}
+		jobs := float64(len(rep.Modules) + 1)
+		out.Points = append(out.Points, ClusterScalingPoint{
+			Workers:    n,
+			Wall:       wall,
+			Throughput: jobs / wall.Seconds(),
+			Speedup:    baseWall.Seconds() / wall.Seconds(),
+			Slices:     st.SlicesDispatched,
+		})
+	}
+	if killWorkers > 1 {
+		rep, _, st, err := runClusterCampaign(seed, killWorkers, true)
+		if err != nil {
+			return nil, fmt.Errorf("experiments: kill run: %w", err)
+		}
+		out.KillIdentical = sameCampaignReport(rep, baseRep)
+		out.KillFailures = st.SliceFailures
+		out.KillReslices = st.Reslices
+	}
+	return out, nil
+}
+
+// Print renders the scaling table and the fault-path probe.
+func (c *ClusterComparison) Print(w io.Writer) {
+	fmt.Fprintln(w, "Cluster scaling: fixed-seed stress campaign on N-worker disard clusters")
+	fmt.Fprintln(w, "  N   wall        jobs/s   speedup   slices")
+	for _, p := range c.Points {
+		fmt.Fprintf(w, "  %-3d %-11s %-8.2f %-9.2f %d\n",
+			p.Workers, p.Wall.Round(time.Millisecond), p.Throughput, p.Speedup, p.Slices)
+	}
+	if c.KillWorkers > 1 {
+		verdict := "BIT-IDENTICAL"
+		if !c.KillIdentical {
+			verdict = "DIVERGED"
+		}
+		fmt.Fprintf(w, "  worker killed mid-campaign on N=%d: %s (%d failed slices re-sliced into %d)\n",
+			c.KillWorkers, verdict, c.KillFailures, c.KillReslices)
+	}
+}

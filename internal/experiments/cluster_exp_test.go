@@ -1,0 +1,36 @@
+package experiments
+
+import "testing"
+
+// TestRunClusterComparison runs a short two-point sweep: scaling must be
+// visible (the pace model makes it near-linear), every cluster size must
+// agree bit for bit, and the mid-run worker kill must too.
+func TestRunClusterComparison(t *testing.T) {
+	if testing.Short() {
+		t.Skip("multi-second paced campaign sweep")
+	}
+	defer func(pf float64) { clusterPaceFactor = pf }(clusterPaceFactor)
+	clusterPaceFactor = 1.5e-2
+	cmp, err := RunClusterComparison(99, []int{1, 2}, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(cmp.Points) != 2 {
+		t.Fatalf("%d points, want 2", len(cmp.Points))
+	}
+	one, two := cmp.Points[0], cmp.Points[1]
+	if one.Speedup != 1 {
+		t.Errorf("baseline speedup %v, want 1", one.Speedup)
+	}
+	// Two single-slot workers overlap their pace shares; even with
+	// transport overhead the campaign must get meaningfully faster.
+	if two.Speedup < 1.3 {
+		t.Errorf("N=2 speedup %.2f, want >= 1.3", two.Speedup)
+	}
+	if two.Slices <= one.Slices {
+		t.Errorf("N=2 shipped %d slices vs %d on N=1; expected more, smaller slices", two.Slices, one.Slices)
+	}
+	if !cmp.KillIdentical {
+		t.Error("campaign with a worker killed mid-run diverged from the baseline")
+	}
+}

@@ -1,6 +1,7 @@
 package finmath
 
 import (
+	"encoding/json"
 	"errors"
 	"fmt"
 	"math"
@@ -39,6 +40,39 @@ func NewMatrixFrom(rows [][]float64) *Matrix {
 		copy(m.data[i*m.cols:(i+1)*m.cols], r)
 	}
 	return m
+}
+
+// MarshalJSON encodes the matrix as a JSON array of rows, so configurations
+// carrying a correlation structure can travel over the cluster wire.
+func (m *Matrix) MarshalJSON() ([]byte, error) {
+	rows := make([][]float64, m.rows)
+	for i := range rows {
+		rows[i] = append([]float64(nil), m.data[i*m.cols:(i+1)*m.cols]...)
+	}
+	return json.Marshal(rows)
+}
+
+// UnmarshalJSON decodes the row-array representation written by MarshalJSON.
+// Unlike NewMatrixFrom it rejects empty or ragged input with an error rather
+// than a panic — wire data is never trusted.
+func (m *Matrix) UnmarshalJSON(data []byte) error {
+	var rows [][]float64
+	if err := json.Unmarshal(data, &rows); err != nil {
+		return err
+	}
+	if len(rows) == 0 || len(rows[0]) == 0 {
+		return errors.New("finmath: matrix JSON with no elements")
+	}
+	cols := len(rows[0])
+	flat := make([]float64, 0, len(rows)*cols)
+	for i, r := range rows {
+		if len(r) != cols {
+			return fmt.Errorf("finmath: matrix JSON row %d has %d columns, want %d", i, len(r), cols)
+		}
+		flat = append(flat, r...)
+	}
+	m.rows, m.cols, m.data = len(rows), cols, flat
+	return nil
 }
 
 // Identity returns the n×n identity matrix.

@@ -1,0 +1,48 @@
+package finmath
+
+import (
+	"encoding/json"
+	"testing"
+)
+
+func TestMatrixJSONRoundTrip(t *testing.T) {
+	m := NewMatrixFrom([][]float64{{1, 0.5, 0.2}, {0.5, 1, 0.1}})
+	data, err := json.Marshal(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var back Matrix
+	if err := json.Unmarshal(data, &back); err != nil {
+		t.Fatal(err)
+	}
+	if back.Rows() != m.Rows() || back.Cols() != m.Cols() {
+		t.Fatalf("shape %dx%d != %dx%d", back.Rows(), back.Cols(), m.Rows(), m.Cols())
+	}
+	for i := 0; i < m.Rows(); i++ {
+		for j := 0; j < m.Cols(); j++ {
+			if back.At(i, j) != m.At(i, j) {
+				t.Fatalf("(%d,%d): %v != %v", i, j, back.At(i, j), m.At(i, j))
+			}
+		}
+	}
+}
+
+func TestMatrixJSONRejectsMalformed(t *testing.T) {
+	cases := []struct {
+		name string
+		in   string
+	}{
+		{"empty array", `[]`},
+		{"empty row", `[[]]`},
+		{"ragged", `[[1,2],[3]]`},
+		{"not an array", `{"rows":2}`},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			var m Matrix
+			if err := json.Unmarshal([]byte(tc.in), &m); err == nil {
+				t.Fatal("expected unmarshal error")
+			}
+		})
+	}
+}

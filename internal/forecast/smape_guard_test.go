@@ -1,0 +1,48 @@
+package forecast
+
+import (
+	"math"
+	"testing"
+)
+
+// TestSMAPEGuardTable pins the degenerate-input behaviour of the selector's
+// ranking metric, which the forecast status endpoint surfaces per model:
+// zero-demand stretches must not divide by zero, and unusable inputs must
+// come back NaN (the selector maps NaN to +Inf, never ranking them best).
+func TestSMAPEGuardTable(t *testing.T) {
+	cases := []struct {
+		name      string
+		forecasts []float64
+		actuals   []float64
+		want      float64 // NaN means "expect NaN"
+	}{
+		{name: "empty history", want: math.NaN()},
+		{name: "length mismatch", forecasts: []float64{1, 2}, actuals: []float64{1}, want: math.NaN()},
+		{name: "all-zero demand, all-zero forecast", forecasts: []float64{0, 0, 0}, actuals: []float64{0, 0, 0}, want: 0},
+		{name: "zero demand, nonzero forecast", forecasts: []float64{2}, actuals: []float64{0}, want: 2},
+		{name: "perfect forecast", forecasts: []float64{3, 5}, actuals: []float64{3, 5}, want: 0},
+		// The skipped 0/0 term still counts toward the mean as an exact
+		// hit, so one real miss (smape 2/3) averages down to 1/3.
+		{name: "zeros diluting real misses", forecasts: []float64{0, 4}, actuals: []float64{0, 2}, want: 1.0 / 3},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			got := SMAPE(tc.forecasts, tc.actuals)
+			if math.IsNaN(tc.want) {
+				if !math.IsNaN(got) {
+					t.Fatalf("SMAPE = %v, want NaN", got)
+				}
+				return
+			}
+			if math.IsNaN(got) || math.IsInf(got, 0) {
+				t.Fatalf("SMAPE = %v, want finite", got)
+			}
+			if math.Abs(got-tc.want) > 1e-12 {
+				t.Fatalf("SMAPE = %v, want %v", got, tc.want)
+			}
+			if got < 0 || got > 2 {
+				t.Fatalf("SMAPE = %v outside [0,2]", got)
+			}
+		})
+	}
+}

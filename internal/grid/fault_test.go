@@ -59,6 +59,85 @@ func TestTransientFaultsAbsorbedByRetry(t *testing.T) {
 	}
 }
 
+// midSliceFlakyExecutor completes a prefix of every doomed slice — invoking
+// onDone for each finished path, exactly like the real engine — before
+// erroring out. This is the fault shape that exposed the progress
+// double-count: the retry recomputes (and used to re-report) the prefix.
+type midSliceFlakyExecutor struct {
+	inner    *Engine
+	failures *atomic.Int64
+}
+
+func (f *midSliceFlakyExecutor) ExecuteSlice(ctx context.Context, b *eeb.Block, from, to int, onDone func()) ([]float64, error) {
+	if f.failures.Add(-1) >= 0 {
+		// Walk a real prefix of the slice, reporting per-path progress, then
+		// die "mid-slice" with the work discarded.
+		prefix := (to - from + 1) / 2
+		if prefix > 0 {
+			if _, err := f.inner.ExecuteSlice(ctx, b, from, from+prefix, onDone); err != nil {
+				return nil, err
+			}
+		}
+		return nil, errors.New("injected mid-slice fault")
+	}
+	return f.inner.ExecuteSlice(ctx, b, from, to, onDone)
+}
+
+func TestRetriedSliceDoesNotOvercountProgress(t *testing.T) {
+	blocks := testBlocks(t)
+	want, err := RunSequential(context.Background(), blocks, 42)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	var failures atomic.Int64
+	failures.Store(3)
+	perBlock := map[string]int{}
+	totals := map[string]int{}
+	m := &Master{
+		Workers:    3,
+		Seed:       42,
+		MaxRetries: 4,
+		OnProgress: func(ev Progress) {
+			// OnProgress calls are serialised by the master, no lock needed.
+			perBlock[ev.BlockID]++
+			totals[ev.BlockID] = ev.Total
+			if ev.Done > ev.Total {
+				t.Errorf("block %s: Done %d exceeds Total %d", ev.BlockID, ev.Done, ev.Total)
+			}
+			if ev.Done != perBlock[ev.BlockID] {
+				t.Errorf("block %s: Done %d after %d events", ev.BlockID, ev.Done, perBlock[ev.BlockID])
+			}
+		},
+		newExecutor: func(seed uint64) executor {
+			return &midSliceFlakyExecutor{inner: NewEngine(seed), failures: &failures}
+		},
+	}
+	got, err := m.Run(context.Background(), blocks)
+	if err != nil {
+		t.Fatalf("retries did not absorb mid-slice faults: %v", err)
+	}
+	for id, w := range want {
+		g, ok := got[id]
+		if !ok {
+			t.Fatalf("missing block %s", id)
+		}
+		if g.BEL != w.BEL || g.SCR != w.SCR {
+			t.Fatalf("block %s: faulty run changed the numbers (BEL %v vs %v)", id, g.BEL, w.BEL)
+		}
+	}
+	// Every block must have reported EXACTLY its outer-path total: each path
+	// once, no replays from the failed attempts' completed prefixes.
+	if len(perBlock) == 0 {
+		t.Fatal("no progress events observed")
+	}
+	for id, n := range perBlock {
+		if n != totals[id] {
+			t.Errorf("block %s: %d progress events for %d outer paths", id, n, totals[id])
+		}
+	}
+}
+
 func TestPermanentFaultFailsTheRun(t *testing.T) {
 	blocks := testBlocks(t)
 	var failures atomic.Int64

@@ -123,10 +123,31 @@ func (m *Master) executor() executor {
 // executeWithRetry runs one slice, absorbing up to MaxRetries transient
 // failures. Cancellation is never retried: it propagates immediately and
 // unwrapped so callers can match it with errors.Is.
+//
+// Progress is retry-idempotent: a failed attempt has already invoked onDone
+// for every path it completed before erroring, and the retry recomputes
+// those same paths (the valuation is deterministic per index). Replaying
+// their onDone calls would push the block's Done count past its outer-path
+// total, so a high-water wrapper reports each path position at most once
+// across all attempts — only completions beyond the furthest point any
+// earlier attempt reached reach the caller's callback.
 func (m *Master) executeWithRetry(ctx context.Context, eng executor, b *eeb.Block, from, to int, onDone func()) ([]float64, error) {
+	wrapped := onDone
+	reported := 0
+	attemptDone := 0
+	if onDone != nil {
+		wrapped = func() {
+			attemptDone++
+			if attemptDone > reported {
+				reported = attemptDone
+				onDone()
+			}
+		}
+	}
 	var lastErr error
 	for attempt := 0; attempt <= m.MaxRetries; attempt++ {
-		local, err := eng.ExecuteSlice(ctx, b, from, to, onDone)
+		attemptDone = 0
+		local, err := eng.ExecuteSlice(ctx, b, from, to, wrapped)
 		if err == nil {
 			return local, nil
 		}

@@ -79,6 +79,38 @@ func (k *KB) Remove(s Sample) bool {
 	return false
 }
 
+// Merge folds remote samples into the knowledge base as a multiset
+// maximum-union: for each distinct sample value, the merged store keeps
+// max(local count, remote count) copies. The operation is idempotent,
+// commutative and associative, so the periodic gossip exchange of a cluster
+// converges every node's knowledge base to the same multiset no matter the
+// sync order or how often the same batch is replayed — while genuinely
+// repeated executions (same architecture, nodes, params AND seconds, which
+// jittered measurements make vanishingly rare) are still counted once per
+// occurrence. Invalid samples are skipped. Merge returns how many samples
+// were added.
+func (k *KB) Merge(remote []Sample) int {
+	k.mu.Lock()
+	defer k.mu.Unlock()
+	local := make(map[Sample]int, len(k.samples))
+	for _, s := range k.samples {
+		local[s]++
+	}
+	incoming := make(map[Sample]int, len(remote))
+	added := 0
+	for _, s := range remote {
+		if s.Validate() != nil {
+			continue
+		}
+		incoming[s]++
+		if incoming[s] > local[s] {
+			k.samples = append(k.samples, s)
+			added++
+		}
+	}
+	return added
+}
+
 // Len returns the number of stored samples.
 func (k *KB) Len() int {
 	k.mu.RLock()

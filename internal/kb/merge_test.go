@@ -1,0 +1,120 @@
+package kb
+
+import (
+	"testing"
+
+	"disarcloud/internal/eeb"
+)
+
+func mergeSample(arch string, nodes int, secs float64) Sample {
+	return Sample{
+		Architecture: arch,
+		Nodes:        nodes,
+		Params: eeb.CharacteristicParams{
+			RepresentativeContracts: 10, MaxHorizon: 20, FundAssets: 5,
+			RiskFactors: 4, OuterPaths: 100, InnerPaths: 10,
+		},
+		Seconds: secs,
+	}
+}
+
+func TestMergeUnionAndIdempotence(t *testing.T) {
+	a, b := New(), New()
+	s1 := mergeSample("c4", 2, 10)
+	s2 := mergeSample("c4", 4, 6)
+	s3 := mergeSample("m4", 1, 30)
+	for _, s := range []Sample{s1, s2} {
+		if err := a.Add(s); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for _, s := range []Sample{s2, s3} {
+		if err := b.Add(s); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	if added := a.Merge(b.Samples()); added != 1 {
+		t.Fatalf("first merge added %d, want 1 (only the unseen sample)", added)
+	}
+	if a.Len() != 3 {
+		t.Fatalf("merged size %d, want 3", a.Len())
+	}
+	// Replaying the same batch must be a no-op — the property that lets the
+	// cluster gossip without coordination.
+	if added := a.Merge(b.Samples()); added != 0 {
+		t.Fatalf("replayed merge added %d, want 0", added)
+	}
+	if a.Len() != 3 {
+		t.Fatalf("size after replay %d, want 3", a.Len())
+	}
+}
+
+func TestMergeIsCommutative(t *testing.T) {
+	s1, s2, s3 := mergeSample("c4", 2, 10), mergeSample("c4", 3, 8), mergeSample("m4", 1, 30)
+	build := func(ss ...Sample) *KB {
+		k := New()
+		for _, s := range ss {
+			if err := k.Add(s); err != nil {
+				t.Fatal(err)
+			}
+		}
+		return k
+	}
+	ab := build(s1, s2)
+	ab.Merge(build(s2, s3).Samples())
+	ba := build(s2, s3)
+	ba.Merge(build(s1, s2).Samples())
+
+	count := func(k *KB) map[Sample]int {
+		m := map[Sample]int{}
+		for _, s := range k.Samples() {
+			m[s]++
+		}
+		return m
+	}
+	ca, cb := count(ab), count(ba)
+	if len(ca) != len(cb) {
+		t.Fatalf("merge order changed the multiset: %v vs %v", ca, cb)
+	}
+	for s, n := range ca {
+		if cb[s] != n {
+			t.Fatalf("sample %+v counted %d one way, %d the other", s, n, cb[s])
+		}
+	}
+}
+
+func TestMergeKeepsDuplicateMultiplicity(t *testing.T) {
+	// Two genuinely repeated executions with identical timing on one node,
+	// one on the other: the union keeps the larger multiplicity.
+	s := mergeSample("c4", 2, 10)
+	a, b := New(), New()
+	for i := 0; i < 2; i++ {
+		if err := a.Add(s); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := b.Add(s); err != nil {
+		t.Fatal(err)
+	}
+	if added := a.Merge(b.Samples()); added != 0 {
+		t.Fatalf("lower remote multiplicity added %d, want 0", added)
+	}
+	if added := b.Merge(a.Samples()); added != 1 {
+		t.Fatalf("higher remote multiplicity added %d, want 1", added)
+	}
+	if b.Len() != 2 {
+		t.Fatalf("merged size %d, want 2", b.Len())
+	}
+}
+
+func TestMergeSkipsInvalidSamples(t *testing.T) {
+	k := New()
+	bad := mergeSample("", 2, 10) // no architecture
+	if added := k.Merge([]Sample{bad, mergeSample("c4", 1, 5)}); added != 1 {
+		t.Fatalf("added %d, want 1 (invalid sample skipped)", added)
+	}
+	if k.Len() != 1 {
+		t.Fatalf("size %d, want 1", k.Len())
+	}
+}

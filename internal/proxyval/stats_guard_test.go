@@ -1,0 +1,70 @@
+package proxyval
+
+import (
+	"math"
+	"testing"
+)
+
+// TestHitRateGuardTable pins the empty-telemetry guard on the hit-rate
+// gauge the cluster and proxy status endpoints surface: every degenerate
+// counter state must read as a finite fraction in [0, 1], never NaN.
+func TestHitRateGuardTable(t *testing.T) {
+	cases := []struct {
+		name      string
+		proxied   int
+		evaluated int
+		want      float64
+	}{
+		{name: "nothing evaluated"},
+		{name: "proxied but zero evaluated (inconsistent counters)", proxied: 5},
+		{name: "all escalated", proxied: 0, evaluated: 10, want: 0},
+		{name: "all fast path", proxied: 10, evaluated: 10, want: 1},
+		{name: "mixed", proxied: 3, evaluated: 12, want: 0.25},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			s := Stats{Proxied: tc.proxied, Evaluated: tc.evaluated}
+			got := s.HitRate()
+			if math.IsNaN(got) || math.IsInf(got, 0) {
+				t.Fatalf("HitRate = %v, want finite", got)
+			}
+			if got != tc.want {
+				t.Fatalf("HitRate = %v, want %v", got, tc.want)
+			}
+		})
+	}
+}
+
+// TestStatsMergeGuardTable pins Merge's zero-sample guards: merging empty
+// telemetry into empty telemetry must not manufacture NaNs in the weighted
+// means or the RMSE combination.
+func TestStatsMergeGuardTable(t *testing.T) {
+	cases := []struct {
+		name string
+		a, b Stats
+	}{
+		{name: "both empty"},
+		{name: "empty absorbs data", b: Stats{Evaluated: 4, Proxied: 2, Scale: 100, Validation: 3, ValidationMAE: 1.5, ValidationRMSE: 2}},
+		{name: "data absorbs empty", a: Stats{Evaluated: 4, Proxied: 2, Scale: 100, Validation: 3, ValidationMAE: 1.5, ValidationRMSE: 2}},
+		{name: "escalations only on one side", a: Stats{Escalated: 2, RealizedMAE: 0.5}, b: Stats{Evaluated: 1}},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			s := tc.a
+			s.Merge(tc.b)
+			for label, v := range map[string]float64{
+				"Scale":            s.Scale,
+				"ValidationMAE":    s.ValidationMAE,
+				"ValidationRelMAE": s.ValidationRelMAE,
+				"ValidationRMSE":   s.ValidationRMSE,
+				"RealizedMAE":      s.RealizedMAE,
+				"RealizedRelMAE":   s.RealizedRelMAE,
+				"HitRate":          s.HitRate(),
+			} {
+				if math.IsNaN(v) || math.IsInf(v, 0) {
+					t.Errorf("%s = %v after merge, want finite", label, v)
+				}
+			}
+		})
+	}
+}

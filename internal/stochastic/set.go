@@ -107,10 +107,13 @@ func innerShard(i, j int) uint64 {
 }
 
 // setEntry lets concurrent readers of the same missing path block on one
-// generation instead of holding the shard lock across the simulation.
+// generation instead of holding the shard lock across the simulation. done
+// flips (with release ordering) after s is written, so Lookup can observe a
+// completed entry without touching the once.
 type setEntry struct {
 	once sync.Once
 	s    *Scenario
+	done atomic.Bool
 }
 
 // NewSet returns an empty memoizing source over the generator, rooted at the
@@ -138,6 +141,45 @@ func (s *Set) Outer(i int) *Scenario {
 	e.once.Do(func() {
 		e.s = s.src.Outer(i)
 		s.generated.Add(1)
+		e.done.Store(true)
+	})
+	return e.s
+}
+
+// Lookup returns outer path i if the set has already generated (or
+// installed) it, without triggering generation. An entry whose generation is
+// still in flight reports absent — callers fall back to Outer (which blocks
+// on the single generation) or to a remote fetch.
+func (s *Set) Lookup(i int) (*Scenario, bool) {
+	sh := &s.shards[outerShard(i)]
+	sh.mu.Lock()
+	e, ok := sh.outer[i]
+	sh.mu.Unlock()
+	if !ok || !e.done.Load() {
+		return nil, false
+	}
+	return e.s, true
+}
+
+// Install memoizes an externally obtained outer path i — the cluster's
+// fetch-or-generate protocol installs scenarios fetched from the shard's
+// owner node here. The caller must supply exactly the scenario the set would
+// have generated itself (scenario generation is deterministic per index, so
+// a faithful fetch always does). The canonical entry is returned: when a
+// local generation raced the fetch and won, the generated scenario stays and
+// the fetched copy is dropped.
+func (s *Set) Install(i int, sc *Scenario) *Scenario {
+	sh := &s.shards[outerShard(i)]
+	sh.mu.Lock()
+	e, ok := sh.outer[i]
+	if !ok {
+		e = &setEntry{}
+		sh.outer[i] = e
+	}
+	sh.mu.Unlock()
+	e.once.Do(func() {
+		e.s = sc
+		e.done.Store(true)
 	})
 	return e.s
 }
@@ -158,6 +200,7 @@ func (s *Set) Inner(i, j int, _ *Scenario, branchYear float64) *Scenario {
 	e.once.Do(func() {
 		e.s = s.src.Inner(i, j, s.Outer(i), branchYear)
 		s.generated.Add(1)
+		e.done.Store(true)
 	})
 	return e.s
 }

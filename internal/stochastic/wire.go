@@ -1,0 +1,135 @@
+package stochastic
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"hash/fnv"
+	"math"
+)
+
+// ScenarioWire is the network representation of a generated scenario: the
+// public driver paths only. The cumulative pathwise discount integral is
+// deliberately NOT shipped — Restore recomputes it with the exact
+// trapezoidal recurrence the generator uses, so a restored scenario is
+// bit-identical to the locally generated original while the wire stays a
+// third smaller and a malicious peer cannot ship an inconsistent discount
+// curve.
+type ScenarioWire struct {
+	Dt         float64     `json:"dt"`
+	Rates      []float64   `json:"rates"`
+	Equities   [][]float64 `json:"equities,omitempty"`
+	Currencies [][]float64 `json:"currencies,omitempty"`
+	Credit     []float64   `json:"credit"`
+}
+
+// Wire converts a scenario for shipment. The path slices are shared, not
+// copied: scenarios are read-only by the Source contract.
+func (s *Scenario) Wire() ScenarioWire {
+	return ScenarioWire{
+		Dt:         s.Dt,
+		Rates:      s.Rates,
+		Equities:   s.Equities,
+		Currencies: s.Currencies,
+		Credit:     s.Credit,
+	}
+}
+
+// Restore rebuilds the full scenario, validating the shape and recomputing
+// the discount curve from the rate path by the generator's own trapezoidal
+// recurrence: disc[k] = disc[k-1] * exp(-(r[k-1]+r[k])/2 * dt).
+func (w ScenarioWire) Restore() (*Scenario, error) {
+	if w.Dt <= 0 || math.IsNaN(w.Dt) || math.IsInf(w.Dt, 0) {
+		return nil, fmt.Errorf("stochastic: wire scenario dt %v must be positive and finite", w.Dt)
+	}
+	n := len(w.Rates)
+	if n < 2 {
+		return nil, errors.New("stochastic: wire scenario needs at least two rate points")
+	}
+	if len(w.Credit) != n {
+		return nil, fmt.Errorf("stochastic: wire scenario credit path spans %d points, rates %d", len(w.Credit), n)
+	}
+	for i, p := range w.Equities {
+		if len(p) != n {
+			return nil, fmt.Errorf("stochastic: wire scenario equity %d spans %d points, rates %d", i, len(p), n)
+		}
+	}
+	for i, p := range w.Currencies {
+		if len(p) != n {
+			return nil, fmt.Errorf("stochastic: wire scenario currency %d spans %d points, rates %d", i, len(p), n)
+		}
+	}
+	s := &Scenario{
+		Dt:         w.Dt,
+		Rates:      w.Rates,
+		Equities:   w.Equities,
+		Currencies: w.Currencies,
+		Credit:     w.Credit,
+		discount:   make([]float64, n),
+	}
+	s.discount[0] = 1
+	for k := 1; k < n; k++ {
+		s.discount[k] = s.discount[k-1] * math.Exp(-0.5*(s.Rates[k-1]+s.Rates[k])*w.Dt)
+	}
+	return s, nil
+}
+
+// Ref is a serializable description of a valuation's scenario source — the
+// piece that lets a scenario-sharing stress campaign run on remote workers.
+// A Source is a live in-process object (a memoizing Set shared by the jobs
+// of a campaign); a Ref is the recipe to rebuild an equivalent one anywhere:
+// the BASE market model and seed root the shared streams, Transform is the
+// module's pathwise shock layered on top, and Memoize mirrors the campaign's
+// scenario-reuse switch. Two nodes resolving the same Ref serve bit-identical
+// paths, because generation is deterministic in (market, seed, index).
+type Ref struct {
+	Market    Config    `json:"market"`
+	Seed      uint64    `json:"seed"`
+	Transform Transform `json:"transform"`
+	Memoize   bool      `json:"memoize"`
+}
+
+// Validate reports whether the ref describes a well-posed source.
+func (r *Ref) Validate() error {
+	if err := r.Market.Validate(); err != nil {
+		return err
+	}
+	return r.Transform.Validate()
+}
+
+// BaseKey identifies the SHARED base scenario set behind the ref: every
+// module of one campaign differs only in Transform, so their refs map to the
+// same key and a node-local cache resolves them onto one memoized set —
+// scenario reuse survives the trip across the cluster. The key hashes the
+// canonical JSON of (market, seed, memoize).
+func (r *Ref) BaseKey() string {
+	base := Ref{Market: r.Market, Seed: r.Seed, Memoize: r.Memoize}
+	data, err := json.Marshal(base)
+	if err != nil {
+		// Config is plain data; json.Marshal cannot fail on it.
+		panic(fmt.Sprintf("stochastic: ref marshal: %v", err))
+	}
+	h := fnv.New64a()
+	h.Write(data)
+	return fmt.Sprintf("set-%016x", h.Sum64())
+}
+
+// NewBaseSource builds the ref's base source (the pre-transform streams): a
+// memoizing Set when Memoize is set, a plain PathSource otherwise. Callers
+// layer the transform with Derived.
+func (r *Ref) NewBaseSource() (Source, error) {
+	gen, err := NewGenerator(r.Market)
+	if err != nil {
+		return nil, err
+	}
+	if r.Memoize {
+		return NewSet(gen, r.Seed), nil
+	}
+	return NewPathSource(gen, r.Seed), nil
+}
+
+// Resolve builds the complete source the ref describes over the given base
+// (normally the cached set BaseKey points at).
+func (r *Ref) Resolve(base Source) Source {
+	return Derived(base, r.Transform)
+}
