@@ -1,0 +1,76 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+
+	"disarcloud"
+)
+
+// maxCheckBytes bounds the -check request file: a model-checking request is
+// a few hundred bytes of configuration, so anything near the cap is not a
+// request.
+const maxCheckBytes = 1 << 20
+
+// decodeVerifyRequest decodes one JSON verify request. Strict by design —
+// the file gates CI, so a typoed field name must fail loudly instead of
+// silently checking the default it fell back to.
+func decodeVerifyRequest(r io.Reader) (disarcloud.VerifyRequest, error) {
+	var req disarcloud.VerifyRequest
+	body, err := io.ReadAll(io.LimitReader(r, maxCheckBytes+1))
+	if err != nil {
+		return req, fmt.Errorf("read verify request: %w", err)
+	}
+	if len(body) > maxCheckBytes {
+		return req, fmt.Errorf("verify request exceeds %d bytes", maxCheckBytes)
+	}
+	dec := json.NewDecoder(bytes.NewReader(body))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&req); err != nil {
+		return req, fmt.Errorf("decode verify request: %w", err)
+	}
+	// A second token means trailing garbage after the request object.
+	if _, err := dec.Token(); err != io.EOF {
+		return req, fmt.Errorf("decode verify request: trailing data after the JSON object")
+	}
+	return req, nil
+}
+
+// runCheck is the `disard -check <file>` mode: model-check the scaling
+// policy described by the request file against its SLA and exit. The full
+// report is printed as JSON either way; a violated SLA (or an invalid
+// request) is a non-zero exit, which is what lets CI gate on the shipped
+// default configuration.
+func runCheck(path string, out io.Writer) error {
+	f, err := os.Open(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	req, err := decodeVerifyRequest(f)
+	if err != nil {
+		return err
+	}
+	report, err := disarcloud.VerifyPolicy(req)
+	if err != nil {
+		return err
+	}
+	enc := json.NewEncoder(out)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(report); err != nil {
+		return err
+	}
+	if !report.Pass {
+		return fmt.Errorf(
+			"SLA violated: P(queue >= %d within %d ticks) = %.6f > %.6f",
+			report.Request.SLA.QueueBound, report.Request.SLA.HorizonTicks,
+			report.Properties.PViolation, report.Request.SLA.MaxProbability)
+	}
+	fmt.Fprintf(os.Stderr, "SLA holds: P(queue >= %d within %d ticks) = %.6f <= %.6f\n",
+		report.Request.SLA.QueueBound, report.Request.SLA.HorizonTicks,
+		report.Properties.PViolation, report.Request.SLA.MaxProbability)
+	return nil
+}

@@ -190,6 +190,53 @@ func FuzzCampaignRequestDecode(f *testing.F) {
 	})
 }
 
+// FuzzVerifyRequestDecode drives arbitrary bodies through the `-check`
+// decode path. The decoder is strict (unknown fields and trailing data are
+// rejected), so the invariant is: either a clean decode error, a clean
+// validation error, or a request whose SLA is coherent and whose trace spec
+// actually generates — the same contract runCheck relies on before it
+// spends seconds building the product chain.
+func FuzzVerifyRequestDecode(f *testing.F) {
+	f.Add([]byte(`{}`))
+	f.Add([]byte(`{"policy":"reactive","min_workers":4,"max_workers":16,"tick_ms":100,"mean_runtime_ms":250,"phase_levels":4,"max_queue":64,"trace":{"Kind":"diurnal","Intervals":256,"Seed":1,"BaseRate":1,"PeakRate":5,"Period":64},"sla":{"queue_bound":32,"horizon_ticks":60,"max_probability":0.05}}`))
+	f.Add([]byte(`{"policy":"hybrid","min_workers":2,"max_workers":8,"tick_ms":100,"mean_runtime_ms":200,"headroom":1.3,"trace":{"Kind":"bursty","Intervals":64,"Seed":1,"BaseRate":1.5,"PeakRate":7},"sla":{"queue_bound":16,"horizon_ticks":30,"max_probability":0.5}}`))
+	f.Add([]byte(`{"policy":"psychic"}`))
+	f.Add([]byte(`{"policy":"reactive","min_workers":-1,"max_workers":0}`))
+	f.Add([]byte(`{"policy":"reactive","min_workers":8,"max_workers":4}`))
+	f.Add([]byte(`{"tick_ms":0,"mean_runtime_ms":-5}`))
+	f.Add([]byte(`{"tick_ms":9999999,"max_queue":-1,"phase_levels":1000}`))
+	f.Add([]byte(`{"sla":{"queue_bound":0,"horizon_ticks":-1,"max_probability":2}}`))
+	f.Add([]byte(`{"sla":{"max_probability":1e-308},"headroom":1e308}`))
+	f.Add([]byte(`{"trace":{"Kind":"weird","Intervals":-3}}`))
+	f.Add([]byte(`{"trace":{"Kind":"bursty","BurstProb":2,"CalmProb":-1}}`))
+	f.Add([]byte(`{"initial_workers":99999,"max_step":-2}`))
+	f.Add([]byte(`{"scale_up_pressure":0.1,"scale_down_pressure":0.9}`))
+	f.Add([]byte(`{"unknown_field":1}`))
+	f.Add([]byte(`{"policy":"reactive"} trailing`))
+	f.Add([]byte(`{"policy":`))
+	f.Add([]byte(`[1,2,3]`))
+	f.Add([]byte("\x00\xff garbage"))
+	f.Fuzz(func(t *testing.T, body []byte) {
+		req, err := decodeVerifyRequest(bytes.NewReader(body))
+		if err != nil {
+			return // clean decode rejection
+		}
+		if err := req.Validate(); err != nil {
+			return // clean validation rejection
+		}
+		sla := req.SLA
+		if sla.QueueBound < 1 || sla.HorizonTicks < 1 ||
+			sla.MaxProbability <= 0 || sla.MaxProbability > 1 {
+			t.Fatalf("Validate accepted %q with incoherent SLA %+v", body, sla)
+		}
+		// A validated request's trace spec is what the chain builder and the
+		// replay cross-validator both consume — it must generate.
+		if _, err := disarcloud.GenerateTrace(req.Trace); err != nil {
+			t.Fatalf("Validate accepted %q but its trace does not generate: %v", body, err)
+		}
+	})
+}
+
 // FuzzJoinRequestDecode drives arbitrary bodies through the cluster join
 // endpoint — worker registration is the one place untrusted input reaches
 // the coordinator's membership state. The invariant: never a panic, never a

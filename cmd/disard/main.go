@@ -47,6 +47,13 @@
 // KB-estimated job runtime into the worker target — the hybrid policy
 // applies the maximum of the reactive and proactive targets.
 //
+// With -check <file> the daemon does not serve at all: it model-checks the
+// scaling policy described by the JSON request file against its SLA bound
+// (exact value iteration over the policy x arrival-model product chain, see
+// internal/verify), prints the report and exits non-zero on a violation.
+// CI runs it against testdata/verify_default.json to gate the shipped
+// elastic configuration.
+//
 // Trace body for POST /v1/loadgen/trace (defaults in parentheses):
 //
 //	{
@@ -152,8 +159,13 @@ func run() error {
 		peersFlag   = flag.String("peers", "", "comma-separated peer coordinator base URLs (consistent-hash job routing + KB gossip)")
 		selfURL     = flag.String("self", "", "this coordinator's base URL as peers reach it (required with -peers)")
 		gossipEvery = flag.Duration("gossip-every", 30*time.Second, "knowledge-base sync cadence with -peers")
+
+		check = flag.String("check", "", "model-check the scaling policy in this JSON request file against its SLA and exit (no server)")
 	)
 	flag.Parse()
+	if *check != "" {
+		return runCheck(*check, os.Stdout)
+	}
 	if *fcast && !*elastic {
 		return fmt.Errorf("-forecast requires -elastic: the hybrid policy overlays the reactive controller")
 	}

@@ -727,7 +727,10 @@ func scalingEventJSONOf(ev disarcloud.ScalingEvent) scalingEventJSON {
 }
 
 type autoscalerJSON struct {
-	Enabled           bool    `json:"enabled"`
+	Enabled bool `json:"enabled"`
+	// Policy names the decision layer in force ("reactive", "hybrid", or
+	// a custom WithScalingPolicy implementation); empty on a fixed pool.
+	Policy            string  `json:"policy,omitempty"`
 	Workers           int     `json:"workers"`
 	LiveWorkers       int     `json:"live_workers"`
 	Queued            int     `json:"queued"`
@@ -748,6 +751,7 @@ func (s *server) autoscaler(w http.ResponseWriter, _ *http.Request) {
 	st := s.svc.AutoscalerStatus()
 	out := autoscalerJSON{
 		Enabled:           st.Enabled,
+		Policy:            st.Policy,
 		Workers:           st.Workers,
 		LiveWorkers:       st.LiveWorkers,
 		Queued:            st.Queued,

@@ -10,6 +10,7 @@
 //	ablation ensemble, exploration, retraining and heterogeneity ablations
 //	proxy    LSMC proxy serving tier: throughput-vs-accuracy frontier
 //	cluster  campaign throughput on 1..8-worker clusters + mid-run worker kill
+//	verify   exact MDP model checking of the scaling policies + Pareto sweep
 //	all      everything above
 //
 // A knowledge base of -kb samples is built through the self-optimizing loop
@@ -38,7 +39,7 @@ func main() {
 
 func run() error {
 	var (
-		which   = flag.String("run", "all", "experiment: tableI|tableII|fig2|fig3|fig4|final|ablation|proxy|cluster|all")
+		which   = flag.String("run", "all", "experiment: tableI|tableII|fig2|fig3|fig4|final|ablation|proxy|cluster|verify|all")
 		kbSize  = flag.Int("kb", 1500, "knowledge-base samples to build (paper: ~1500)")
 		kbFile  = flag.String("kbfile", "", "load the knowledge base from this JSON instead of building it")
 		seed    = flag.Uint64("seed", 2016, "root seed")
@@ -53,10 +54,10 @@ func run() error {
 		return err
 	}
 	var base *kb.KB
-	// The proxy frontier and the cluster sweep value blocks directly; only
-	// build the (slow) knowledge base when some requested experiment
-	// consumes it.
-	if *which == "all" || !(strings.EqualFold(*which, "proxy") || strings.EqualFold(*which, "cluster")) {
+	// The proxy frontier, the cluster sweep and the policy verification
+	// value blocks (or pure models) directly; only build the (slow)
+	// knowledge base when some requested experiment consumes it.
+	if *which == "all" || !(strings.EqualFold(*which, "proxy") || strings.EqualFold(*which, "cluster") || strings.EqualFold(*which, "verify")) {
 		if *kbFile != "" {
 			base, err = kb.LoadFile(*kbFile)
 			if err != nil {
@@ -177,6 +178,15 @@ func run() error {
 			return err
 		}
 		pc.Print(out)
+		fmt.Fprintln(out)
+		ranAny = true
+	}
+	if want("verify") {
+		vr, err := experiments.RunVerifySweep()
+		if err != nil {
+			return err
+		}
+		vr.Print(out)
 		fmt.Fprintln(out)
 		ranAny = true
 	}

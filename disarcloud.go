@@ -64,6 +64,7 @@ import (
 	"disarcloud/internal/proxyval"
 	"disarcloud/internal/stochastic"
 	"disarcloud/internal/stress"
+	"disarcloud/internal/verify"
 )
 
 // Liability-side types.
@@ -326,6 +327,55 @@ var (
 	TraceTotal = loadgen.Total
 	// TraceKindsAll lists every trace family.
 	TraceKindsAll = loadgen.Kinds
+)
+
+// Policy verification: probabilistic model checking of the scaling
+// policies. A VerifyRequest composes a policy configuration with a trace
+// spec's Markov arrival model; VerifyPolicy builds the exact product chain
+// and computes the SLA-violation probability, expected worker-seconds and
+// expected resize churn by value iteration (see internal/verify for the
+// state encoding and the soundness caveats of the service abstraction).
+type (
+	// VerifyRequest is one model-checking problem: policy + arrival model
+	// + SLA, decoded from JSON by `disard -check`.
+	VerifyRequest = verify.Request
+	// VerifySLA is the bound being checked: P(queue >= QueueBound within
+	// HorizonTicks) <= MaxProbability.
+	VerifySLA = verify.SLA
+	// VerifyReport is the verdict plus the exact computed properties.
+	VerifyReport = verify.Report
+	// VerifyProperties are the exact quantities value iteration computed.
+	VerifyProperties = verify.Properties
+	// VerifySweepSpec grids a base request over policy parameters.
+	VerifySweepSpec = verify.SweepSpec
+	// VerifySweepPoint is one sweep cell, flagged when Pareto-optimal on
+	// (violation probability, expected worker-seconds).
+	VerifySweepPoint = verify.SweepPoint
+	// VerifyReplayStats summarises an empirical replay cross-validation.
+	VerifyReplayStats = verify.ReplayStats
+	// VerifyArrivalModel is a discretized Markov arrival process.
+	VerifyArrivalModel = verify.ArrivalModel
+	// ScalingPolicy is the pluggable decision layer of the elastic
+	// control loop — the seam internal/verify model-checks.
+	ScalingPolicy = core.ScalingPolicy
+)
+
+var (
+	// VerifyPolicy model-checks one request; an SLA violation is reported
+	// as Pass=false, not as an error.
+	VerifyPolicy = verify.Check
+	// VerifySweep evaluates a parameter grid and marks the Pareto front.
+	VerifySweep = verify.Sweep
+	// VerifyReplay cross-validates a request empirically: seeded trace
+	// replays through the real elastic controller.
+	VerifyReplay = verify.Replay
+	// VerifyModelFromCounts discretizes recorded per-tick arrival counts
+	// (e.g. forecast.Recorder telemetry) into an arrival model, so live
+	// demand can be verified against, not just synthetic specs.
+	VerifyModelFromCounts = verify.ModelFromCounts
+	// WithScalingPolicy injects a custom scaling policy into the control
+	// loop (requires WithElastic).
+	WithScalingPolicy = core.WithScalingPolicy
 )
 
 // Service construction.

@@ -102,6 +102,9 @@ type ScalingEvent = elastic.Decision
 type AutoscalerStatus struct {
 	// Enabled is false when the service runs a fixed pool (no controller).
 	Enabled bool
+	// Policy names the decision layer in force ("reactive", "hybrid", or a
+	// custom WithScalingPolicy implementation); empty on a fixed pool.
+	Policy string
 	// Workers is the pool's current target; LiveWorkers counts goroutines
 	// still draining after a shrink decision.
 	Workers     int
@@ -285,6 +288,7 @@ func (s *Service) AutoscalerStatus() AutoscalerStatus {
 	}
 	if s.scaler != nil {
 		out.Enabled = true
+		out.Policy = s.policy.Name()
 		out.Config = s.scaler.ctrl.Config()
 		out.DroppedEvents = s.scaler.dropped()
 		out.Recent = s.scaler.snapshotRecent()
@@ -328,19 +332,11 @@ func (s *Service) controlLoop() {
 }
 
 // controlTick is one control-loop iteration: sample the scheduler, feed the
-// forecast recorder, take the reactive controller's decision, and overlay
-// the proactive planner. The hybrid policy applies the MAXIMUM of the
-// reactive decision (or the current pool when the controller is silent)
-// and the planner target — feed-forward provisioning can only ever add
-// capacity, and a planner target above a reactive shrink overrides the
-// shrink ("forecast" decisions; the forecast says the demand is coming
-// back, so releasing now would thrash). Downward, when the reactive
-// controller is silent and the planner's target has sat persistently
-// below the pool with the queue no deeper than the pool itself, one
-// worker per tick is released ("forecast-idle" decisions) — the forecast
-// knows the demand is gone before the reactive pressure gauge, which
-// hovers at its threshold on a right-sized pool, manages to detect
-// idleness.
+// forecast recorder, ask the scaling policy for a decision, and apply it.
+// The decision logic itself lives behind the ScalingPolicy seam
+// (scalepolicy.go): reactivePolicy wraps the elastic controller,
+// hybridPolicy overlays the forecast planner, and WithScalingPolicy can
+// substitute anything else.
 func (s *Service) controlTick(now time.Time) {
 	st := s.sched.stats()
 	if s.fc != nil {
@@ -356,44 +352,11 @@ func (s *Service) controlTick(now time.Time) {
 	if !st.EarliestDeadline.IsZero() {
 		sig.SlackSeconds = st.EarliestDeadline.Sub(now).Seconds()
 	}
-	dec, act := s.scaler.ctrl.Decide(sig)
-	final := st.Target
-	if act {
-		final = dec.Target
-	}
-	if s.fc != nil {
-		cfg := s.scaler.ctrl.Config()
-		p, shed := s.fc.plan(s.scaler.tick, cfg.MaxWorkers, st.Target)
-		// Forecast grows obey the controller's MaxStep per tick — the
-		// planner replaces the grow *cooldown* (its persistence and horizon
-		// smoothing already damp decision churn, and capacity ordered ahead
-		// of demand is the subsystem's point), but the per-decision step
-		// bound is a provisioning rate limit, not damping, and bypassing it
-		// would let one plan slam a 1-worker pool to the ceiling.
-		if p > st.Target+cfg.MaxStep {
-			p = st.Target + cfg.MaxStep
-		}
-		switch {
-		case p > final:
-			final = p
-			dec = elastic.Decision{At: now, From: st.Target, Target: p, Reason: "forecast", Signals: sig}
-			act = true
-		case shed && !act && st.Target > cfg.MinWorkers && st.Queued <= st.Target:
-			final = st.Target - 1
-			dec = elastic.Decision{At: now, From: st.Target, Target: final, Reason: "forecast-idle", Signals: sig}
-			act = true
-		}
-	}
-	if act && s.fc != nil && dec.Reason != "forecast-idle" {
-		// Any other applied decision — reactive grow/shrink or a forecast
-		// grow — restarts the release path's persistence window, so a shed
-		// can never land on the heels of a grow.
-		s.fc.resetShed()
-	}
-	if !act || final == st.Target {
+	dec, act := s.policy.Decide(sig)
+	if !act || dec.Target == st.Target {
 		return
 	}
-	s.spawn(s.sched.setTarget(final))
+	s.spawn(s.sched.setTarget(dec.Target))
 	s.scaler.record(dec)
-	s.notifyScale(final)
+	s.notifyScale(dec.Target)
 }

@@ -1,0 +1,93 @@
+package core
+
+import (
+	"time"
+
+	"disarcloud/internal/elastic"
+)
+
+// ScalingPolicy is the pluggable decision layer of the elastic control
+// loop, extracted from the control tick so alternative policies — the
+// built-in reactive controller, the hybrid forecast overlay, or a future
+// learned policy — share one seam. Decide is called once per control tick
+// with the sampled signals and returns the capacity change to apply, if
+// any; it runs on the control loop, so implementations must not block, and
+// they are never called concurrently. The same seam is what
+// internal/verify model-checks: its Policy FSMs are finite-state
+// re-encodings of these implementations, pinned to them by the boundary
+// test suite.
+type ScalingPolicy interface {
+	// Name identifies the policy in status reports.
+	Name() string
+	// Decide evaluates one observation; the second return is false when the
+	// pool should stay as it is.
+	Decide(sig elastic.Signals) (elastic.Decision, bool)
+}
+
+// reactivePolicy is the elastic controller alone: the default policy when
+// WithForecast is not given.
+type reactivePolicy struct {
+	ctrl *elastic.Controller
+}
+
+func (p reactivePolicy) Name() string { return "reactive" }
+
+func (p reactivePolicy) Decide(sig elastic.Signals) (elastic.Decision, bool) {
+	return p.ctrl.Decide(sig)
+}
+
+// hybridPolicy overlays the feed-forward forecast planner on the reactive
+// controller. The hybrid applies the MAXIMUM of the reactive decision (or
+// the current pool when the controller is silent) and the planner target —
+// feed-forward provisioning can only ever add capacity, and a planner
+// target above a reactive shrink overrides the shrink ("forecast"
+// decisions; the forecast says the demand is coming back, so releasing now
+// would thrash). Downward, when the reactive controller is silent and the
+// planner's target has sat persistently below the pool with the queue no
+// deeper than the pool itself, one worker per tick is released
+// ("forecast-idle" decisions) — the forecast knows the demand is gone
+// before the reactive pressure gauge, which hovers at its threshold on a
+// right-sized pool, manages to detect idleness.
+type hybridPolicy struct {
+	ctrl *elastic.Controller
+	fc   *forecastState
+	tick time.Duration
+}
+
+func (p *hybridPolicy) Name() string { return "hybrid" }
+
+func (p *hybridPolicy) Decide(sig elastic.Signals) (elastic.Decision, bool) {
+	dec, act := p.ctrl.Decide(sig)
+	final := sig.Workers
+	if act {
+		final = dec.Target
+	}
+	cfg := p.ctrl.Config()
+	plan, shed := p.fc.plan(p.tick, cfg.MaxWorkers, sig.Workers)
+	// Forecast grows obey the controller's MaxStep per tick — the planner
+	// replaces the grow *cooldown* (its persistence and horizon smoothing
+	// already damp decision churn, and capacity ordered ahead of demand is
+	// the subsystem's point), but the per-decision step bound is a
+	// provisioning rate limit, not damping, and bypassing it would let one
+	// plan slam a 1-worker pool to the ceiling.
+	if plan > sig.Workers+cfg.MaxStep {
+		plan = sig.Workers + cfg.MaxStep
+	}
+	switch {
+	case plan > final:
+		final = plan
+		dec = elastic.Decision{At: sig.Now, From: sig.Workers, Target: plan, Reason: "forecast", Signals: sig}
+		act = true
+	case shed && !act && sig.Workers > cfg.MinWorkers && sig.Queued <= sig.Workers:
+		final = sig.Workers - 1
+		dec = elastic.Decision{At: sig.Now, From: sig.Workers, Target: final, Reason: "forecast-idle", Signals: sig}
+		act = true
+	}
+	if act && dec.Reason != "forecast-idle" {
+		// Any other applied decision — reactive grow/shrink or a forecast
+		// grow — restarts the release path's persistence window, so a shed
+		// can never land on the heels of a grow.
+		p.fc.resetShed()
+	}
+	return dec, act
+}

@@ -56,6 +56,7 @@ type serviceConfig struct {
 	estimator  RuntimeEstimator
 	forecast   *forecast.Config
 	procScale  func(target int)
+	policy     ScalingPolicy
 }
 
 // WithWorkers sets the number of valuations the service runs concurrently —
@@ -100,6 +101,16 @@ func WithControlTicker(fn TickerFunc) ServiceOption {
 // the forecast misses still falls through to the reactive path.
 func WithForecast(cfg forecast.Config) ServiceOption {
 	return func(c *serviceConfig) { c.forecast = &cfg }
+}
+
+// WithScalingPolicy replaces the control loop's decision layer with a
+// custom ScalingPolicy (it requires WithElastic, which supplies the loop
+// itself and the pool bounds status reports). The built-in policies —
+// reactive, and hybrid under WithForecast — cover production; this seam
+// exists for policies developed and verified out of tree, e.g. a learned
+// policy checked by internal/verify before it is allowed to ship.
+func WithScalingPolicy(p ScalingPolicy) ServiceOption {
+	return func(c *serviceConfig) { c.policy = p }
 }
 
 // WithAdmissionControl enables deadline-aware admission: every submission is
@@ -151,6 +162,7 @@ type Service struct {
 	estimator RuntimeEstimator // nil = no admission control
 	scaler    *autoscaler      // nil = fixed pool
 	fc        *forecastState   // nil = reactive-only scaling
+	policy    ScalingPolicy    // nil = fixed pool; set alongside scaler
 	procScale func(int)        // nil = no process scaling hook
 
 	baseCtx    context.Context
@@ -249,6 +261,18 @@ func NewService(d *Deployer, opts ...ServiceOption) (*Service, error) {
 			return nil, err
 		}
 		s.fc = fc
+	}
+	switch {
+	case cfg.policy != nil:
+		if s.scaler == nil {
+			cancel()
+			return nil, errors.New("core: WithScalingPolicy requires WithElastic (the policy needs the control loop)")
+		}
+		s.policy = cfg.policy
+	case s.fc != nil:
+		s.policy = &hybridPolicy{ctrl: s.scaler.ctrl, fc: s.fc, tick: s.scaler.tick}
+	case s.scaler != nil:
+		s.policy = reactivePolicy{ctrl: s.scaler.ctrl}
 	}
 	s.spawn(s.sched.setTarget(cfg.workers))
 	s.notifyScale(cfg.workers)

@@ -74,6 +74,12 @@ type Spec struct {
 // or an attack, not an experiment.
 const MaxIntervals = 1 << 20
 
+// WithDefaults returns the spec with zero fields replaced by the defaults
+// Rates and Generate actually run with — exported so model builders
+// (internal/verify) can mirror the generator's regime parameters exactly
+// instead of re-guessing them.
+func (s Spec) WithDefaults() Spec { return s.withDefaults() }
+
 // withDefaults returns the spec with zero fields replaced by defaults.
 func (s Spec) withDefaults() Spec {
 	if s.PeakRate == 0 {

@@ -1,0 +1,75 @@
+package verify
+
+import (
+	"testing"
+
+	"disarcloud/internal/loadgen"
+)
+
+func benchMDP(b *testing.B) *MDP {
+	b.Helper()
+	req := Request{
+		Policy:        PolicyReactive,
+		MinWorkers:    4,
+		MaxWorkers:    16,
+		TickMS:        100,
+		MeanRuntimeMS: 250,
+		Trace:         loadgen.Spec{Kind: loadgen.Bursty, Intervals: 128, Seed: 1, BaseRate: 1.5, PeakRate: 7},
+		SLA:           SLA{QueueBound: 16, HorizonTicks: 60, MaxProbability: 1},
+		MaxQueue:      32,
+	}.withDefaults()
+	am, err := ModelFromSpec(req.Trace, req.PhaseLevels)
+	if err != nil {
+		b.Fatal(err)
+	}
+	sm, err := req.model(am)
+	if err != nil {
+		b.Fatal(err)
+	}
+	mdp, err := Build(sm)
+	if err != nil {
+		b.Fatal(err)
+	}
+	return mdp
+}
+
+// BenchmarkValueIteration measures the analysis hot path: one bounded-until
+// pass plus two accumulated-reward passes over the composed chain.
+func BenchmarkValueIteration(b *testing.B) {
+	mdp := benchMDP(b)
+	b.ReportMetric(float64(mdp.Chain.Len()), "states")
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := mdp.Analyze(16, 60); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkBuild measures state enumeration and chain assembly.
+func BenchmarkBuild(b *testing.B) {
+	req := Request{
+		Policy:        PolicyReactive,
+		MinWorkers:    4,
+		MaxWorkers:    16,
+		TickMS:        100,
+		MeanRuntimeMS: 250,
+		Trace:         loadgen.Spec{Kind: loadgen.Bursty, Intervals: 128, Seed: 1, BaseRate: 1.5, PeakRate: 7},
+		SLA:           SLA{QueueBound: 16, HorizonTicks: 60, MaxProbability: 1},
+		MaxQueue:      32,
+	}.withDefaults()
+	am, err := ModelFromSpec(req.Trace, req.PhaseLevels)
+	if err != nil {
+		b.Fatal(err)
+	}
+	sm, err := req.model(am)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := Build(sm); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

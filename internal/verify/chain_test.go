@@ -1,0 +1,298 @@
+package verify
+
+import (
+	"math"
+	"testing"
+
+	"disarcloud/internal/finmath"
+)
+
+func mustChain(t *testing.T, rows [][]Edge) *Chain {
+	t.Helper()
+	c, err := NewChain(rows)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return c
+}
+
+func TestNewChainRejectsMalformedRows(t *testing.T) {
+	cases := []struct {
+		name string
+		rows [][]Edge
+	}{
+		{"no states", nil},
+		{"empty row", [][]Edge{{}}},
+		{"out of range", [][]Edge{{{To: 1, P: 1}}}},
+		{"negative probability", [][]Edge{{{To: 0, P: -0.5}, {To: 0, P: 1.5}}}},
+		{"NaN probability", [][]Edge{{{To: 0, P: math.NaN()}}}},
+		{"row sum short", [][]Edge{{{To: 0, P: 0.5}}}},
+		{"row sum long", [][]Edge{{{To: 0, P: 0.7}, {To: 0, P: 0.7}}}},
+		{"duplicate successor", [][]Edge{{{To: 0, P: 0.5}, {To: 0, P: 0.5}}}},
+	}
+	for _, tc := range cases {
+		if _, err := NewChain(tc.rows); err == nil {
+			t.Errorf("%s: NewChain accepted a malformed chain", tc.name)
+		}
+	}
+}
+
+// Two-state reference: from state 0, stay with probability p, move to the
+// absorbing target 1 with 1-p. P(reach within h) = 1 - p^h, which is exact
+// in floats for p = 1/2.
+func TestReachWithinTwoStateClosedForm(t *testing.T) {
+	c := mustChain(t, [][]Edge{
+		{{To: 0, P: 0.5}, {To: 1, P: 0.5}},
+		{{To: 1, P: 1}},
+	})
+	target := []bool{false, true}
+	for _, h := range []int{0, 1, 2, 5, 10, 30} {
+		v, err := c.ReachWithin(target, h)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want := 1 - math.Pow(0.5, float64(h))
+		if v[0] != want {
+			t.Fatalf("h=%d: P(reach)=%v, closed form %v", h, v[0], want)
+		}
+		if v[1] != 1 {
+			t.Fatalf("h=%d: target state has reach probability %v", h, v[1])
+		}
+	}
+}
+
+// Three-state birth chain: 0 -> 1 with a (else stay), 1 -> 2 with b (else
+// stay), 2 absorbing target. Within 2 steps the only path is 0->1->2, so
+// P = a*b; within 3 steps P = a*b*(2-a-b+a*b)... the h=2 case is the exact
+// product and the h=3 case is checked against the hand-expanded sum of the
+// two disjoint path families.
+func TestReachWithinThreeStateClosedForm(t *testing.T) {
+	a, b := 0.25, 0.5
+	c := mustChain(t, [][]Edge{
+		{{To: 0, P: 1 - a}, {To: 1, P: a}},
+		{{To: 1, P: 1 - b}, {To: 2, P: b}},
+		{{To: 2, P: 1}},
+	})
+	target := []bool{false, false, true}
+	v2, err := c.ReachWithin(target, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v2[0] != a*b {
+		t.Fatalf("h=2: P=%v, want a*b=%v", v2[0], a*b)
+	}
+	// h=3: move at step 1 or 2, then succeed in the remaining steps:
+	// P = a*(1-(1-b)^2) + (1-a)*a*b.
+	v3, err := c.ReachWithin(target, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := a*(1-(1-b)*(1-b)) + (1-a)*a*b
+	if math.Abs(v3[0]-want) > 1e-15 {
+		t.Fatalf("h=3: P=%v, want %v", v3[0], want)
+	}
+}
+
+func TestAccumulatedRewardClosedForm(t *testing.T) {
+	// Deterministic two-state cycle with rewards 2 and 5: over an even
+	// horizon each state is visited horizon/2 times from either start.
+	c := mustChain(t, [][]Edge{
+		{{To: 1, P: 1}},
+		{{To: 0, P: 1}},
+	})
+	v, err := c.AccumulatedReward([]float64{2, 5}, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v[0] != 35 || v[1] != 35 {
+		t.Fatalf("cycle rewards %v, want [35 35]", v)
+	}
+	// Absorbing self-loop with unit reward accumulates exactly the horizon.
+	loop := mustChain(t, [][]Edge{{{To: 0, P: 1}}})
+	v, err = loop.AccumulatedReward([]float64{1}, 17)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v[0] != 17 {
+		t.Fatalf("self-loop reward %v, want 17", v[0])
+	}
+}
+
+// randomChain builds a deterministic pseudo-random dense-ish chain for the
+// contraction and permutation properties.
+func randomChain(t *testing.T, n int, seed uint64) (*Chain, []float64) {
+	t.Helper()
+	rng := finmath.NewRNG(seed)
+	rows := make([][]Edge, n)
+	reward := make([]float64, n)
+	for i := range rows {
+		k := 2 + int(rng.Float64()*3)
+		weights := make([]float64, k)
+		total := 0.0
+		for j := range weights {
+			weights[j] = 0.1 + rng.Float64()
+			total += weights[j]
+		}
+		seen := map[int]bool{}
+		for j := range weights {
+			to := int(rng.Float64() * float64(n))
+			for seen[to] {
+				to = (to + 1) % n
+			}
+			seen[to] = true
+			rows[i] = append(rows[i], Edge{To: to, P: weights[j] / total})
+		}
+		// Re-normalize exactly: push rounding into the last edge.
+		sum := 0.0
+		for _, e := range rows[i][:len(rows[i])-1] {
+			sum += e.P
+		}
+		rows[i][len(rows[i])-1].P = 1 - sum
+		reward[i] = rng.Float64() * 10
+	}
+	return mustChain(t, rows), reward
+}
+
+func TestDiscountedRewardContractionBound(t *testing.T) {
+	c, reward := randomChain(t, 40, 99)
+	gamma := 0.9
+	v, diffs, err := c.DiscountedReward(reward, gamma, 1e-10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(diffs) < 2 {
+		t.Fatalf("converged in %d iterations — too fast to witness contraction", len(diffs))
+	}
+	// The Bellman operator is a gamma-contraction in sup norm: successive
+	// sup-norm differences must shrink by at least gamma (float slack).
+	for k := 1; k < len(diffs); k++ {
+		if diffs[k] > gamma*diffs[k-1]+1e-12 {
+			t.Fatalf("iteration %d: diff %v exceeds gamma * previous %v", k, diffs[k], diffs[k-1])
+		}
+	}
+	// The fixed point satisfies V = r + gamma*P*V.
+	n := c.Len()
+	pv := make([]float64, n)
+	c.step(pv, v)
+	for i := 0; i < n; i++ {
+		if math.Abs(v[i]-(reward[i]+gamma*pv[i])) > 1e-8 {
+			t.Fatalf("state %d: V=%v violates the Bellman fixed point", i, v[i])
+		}
+	}
+	// Closed form on a self-loop: V = r / (1-gamma).
+	loop := mustChain(t, [][]Edge{{{To: 0, P: 1}}})
+	lv, _, err := loop.DiscountedReward([]float64{3}, 0.5, 1e-12)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(lv[0]-6) > 1e-10 {
+		t.Fatalf("self-loop discounted value %v, want 6", lv[0])
+	}
+}
+
+func TestChainBitDeterminism(t *testing.T) {
+	build := func(reversed bool) *Chain {
+		rows := [][]Edge{
+			{{To: 0, P: 0.25}, {To: 1, P: 0.5}, {To: 2, P: 0.25}},
+			{{To: 2, P: 0.375}, {To: 0, P: 0.625}},
+			{{To: 2, P: 1}},
+		}
+		if reversed {
+			// Present every row's edges in reverse order: NewChain must
+			// canonicalize away the presentation order.
+			for i := range rows {
+				for a, b := 0, len(rows[i])-1; a < b; a, b = a+1, b-1 {
+					rows[i][a], rows[i][b] = rows[i][b], rows[i][a]
+				}
+			}
+		}
+		return mustChain(t, rows)
+	}
+	a, b := build(false), build(true)
+	target := []bool{false, false, true}
+	reward := []float64{1.5, 2.5, 0.25}
+	for trial := 0; trial < 3; trial++ {
+		ra, err := a.ReachWithin(target, 25)
+		if err != nil {
+			t.Fatal(err)
+		}
+		rb, err := b.ReachWithin(target, 25)
+		if err != nil {
+			t.Fatal(err)
+		}
+		wa, err := a.AccumulatedReward(reward, 25)
+		if err != nil {
+			t.Fatal(err)
+		}
+		wb, err := b.AccumulatedReward(reward, 25)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := range ra {
+			if math.Float64bits(ra[i]) != math.Float64bits(rb[i]) {
+				t.Fatalf("trial %d state %d: reach bits differ: %x vs %x", trial, i, math.Float64bits(ra[i]), math.Float64bits(rb[i]))
+			}
+			if math.Float64bits(wa[i]) != math.Float64bits(wb[i]) {
+				t.Fatalf("trial %d state %d: reward bits differ", trial, i)
+			}
+		}
+	}
+}
+
+// Relabeling the states must not change any computed value beyond float
+// noise: the chain is the same mathematical object under any permutation.
+func TestChainPermutationInvariance(t *testing.T) {
+	n := 30
+	c, reward := randomChain(t, n, 7)
+	// Deterministic permutation: reverse.
+	perm := make([]int, n)
+	for i := range perm {
+		perm[i] = n - 1 - i
+	}
+	rows := make([][]Edge, n)
+	permReward := make([]float64, n)
+	target := make([]bool, n)
+	permTarget := make([]bool, n)
+	for i := 0; i < n; i++ {
+		target[i] = i%5 == 0
+		permTarget[perm[i]] = target[i]
+		permReward[perm[i]] = reward[i]
+		for k := c.Start[i]; k < c.Start[i+1]; k++ {
+			rows[perm[i]] = append(rows[perm[i]], Edge{To: perm[c.Succ[k]], P: c.Prob[k]})
+		}
+	}
+	p := mustChain(t, rows)
+	va, err := c.ReachWithin(target, 40)
+	if err != nil {
+		t.Fatal(err)
+	}
+	vb, err := p.ReachWithin(permTarget, 40)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wa, err := c.AccumulatedReward(reward, 40)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wb, err := p.AccumulatedReward(permReward, 40)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < n; i++ {
+		if relDiff(va[i], vb[perm[i]]) > 1e-12 {
+			t.Fatalf("state %d: reach %v vs permuted %v", i, va[i], vb[perm[i]])
+		}
+		if relDiff(wa[i], wb[perm[i]]) > 1e-12 {
+			t.Fatalf("state %d: reward %v vs permuted %v", i, wa[i], wb[perm[i]])
+		}
+	}
+}
+
+func relDiff(a, b float64) float64 {
+	d := math.Abs(a - b)
+	scale := math.Max(math.Abs(a), math.Abs(b))
+	if scale < 1 {
+		return d
+	}
+	return d / scale
+}

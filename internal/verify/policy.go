@@ -1,0 +1,300 @@
+package verify
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"time"
+
+	"disarcloud/internal/elastic"
+	"disarcloud/internal/forecast"
+)
+
+// Obs is what a policy observes at one control tick of the model: the jobs
+// in the system (queued plus running — the same total the live controller's
+// pressure gauge divides by the pool), the current pool size, and the mean
+// arrival rate of the current phase. RatePerTick is the perfect-forecast
+// abstraction of the hybrid planner's demand signal; reactive policies
+// ignore it.
+type Obs struct {
+	Queue       int
+	Workers     int
+	RatePerTick float64
+}
+
+// PolicyState is a policy's internal state as a fixed-size comparable key,
+// so the MDP builder can enumerate and deduplicate it. Policies own the
+// slot layout; unused slots stay zero.
+type PolicyState [4]int32
+
+// Policy is the clock-free finite-state view of a scaling policy: the
+// common interface extracted from the service control tick (see
+// core.ScalingPolicy for the live side). One Step is one control tick —
+// observe, decide a worker target, advance the internal counters. A policy
+// must be a pure function of (state, observation): the builder replays
+// Step from enumerated states, so any hidden mutable state would break the
+// exhaustive analysis.
+type Policy interface {
+	// Name identifies the policy family in reports.
+	Name() string
+	// Init returns the internal state of a freshly constructed policy.
+	Init() PolicyState
+	// Bounds returns the pool floor and ceiling the policy targets within.
+	Bounds() (minWorkers, maxWorkers int)
+	// UsesRate reports whether Step reads Obs.RatePerTick — a policy that
+	// does requires an arrival model with phase-resolved rates.
+	UsesRate() bool
+	// Step evaluates one control tick and returns the successor internal
+	// state and the worker target (equal to Obs.Workers when holding).
+	Step(st PolicyState, obs Obs) (PolicyState, int)
+}
+
+// ticksOf converts a duration threshold to control ticks, rounding up:
+// with decisions at exact tick multiples, elapsed >= d first holds at
+// ceil(d/tick) ticks — the same boundary the live controller's time
+// subtraction crosses.
+func ticksOf(d, tick time.Duration) int32 {
+	if d <= 0 {
+		return 0
+	}
+	return int32((d + tick - 1) / tick)
+}
+
+// ReactivePolicy is the tick-indexed finite-state encoding of
+// elastic.Controller: cooldown stamps and the shrink-stability window
+// become saturating tick counters, and every threshold comparison uses the
+// same float expressions as the controller, so the two agree step for step
+// when driven at a fixed tick (pinned by the boundary test suite). The
+// deadline-pressure trigger is the one controller input outside the model:
+// the MDP's arrival stream carries no per-job deadlines, so SlackSeconds
+// is identically zero and that branch never fires.
+type ReactivePolicy struct {
+	cfg  elastic.Config
+	tick time.Duration
+	// Cooldown thresholds in ticks; capUp also bounds the sinceUp counter
+	// (the shrink path compares sinceUp against the shrink cooldown).
+	upCd, downCd, stable, capUp int32
+}
+
+// Reactive state slots.
+const (
+	slotSinceUp   = 0 // ticks since the last grow, saturating at capUp
+	slotSinceDown = 1 // ticks since the last shrink, saturating at downCd
+	slotLow       = 2 // 0 = load not below the shrink threshold; k>0 = below for k-1 ticks
+	slotShed      = 3 // hybrid only: consecutive ticks the planner sat below the pool
+)
+
+// NewReactivePolicy builds the finite-state view of an elastic.Controller
+// with the given configuration, decided every tick.
+func NewReactivePolicy(cfg elastic.Config, tick time.Duration) (*ReactivePolicy, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	if tick <= 0 {
+		return nil, errors.New("verify: control tick must be positive")
+	}
+	// Re-derive the defaulted config the controller itself would run.
+	ctrl, err := elastic.NewController(cfg)
+	if err != nil {
+		return nil, err
+	}
+	c := ctrl.Config()
+	p := &ReactivePolicy{cfg: c, tick: tick}
+	p.upCd = ticksOf(c.ScaleUpCooldown, tick)
+	p.downCd = ticksOf(c.ScaleDownCooldown, tick)
+	p.stable = ticksOf(c.ShrinkStableFor, tick)
+	p.capUp = p.upCd
+	if p.downCd > p.capUp {
+		p.capUp = p.downCd
+	}
+	return p, nil
+}
+
+// Name implements Policy.
+func (p *ReactivePolicy) Name() string { return "reactive" }
+
+// Config returns the defaulted controller configuration in force.
+func (p *ReactivePolicy) Config() elastic.Config { return p.cfg }
+
+// Bounds implements Policy.
+func (p *ReactivePolicy) Bounds() (int, int) { return p.cfg.MinWorkers, p.cfg.MaxWorkers }
+
+// UsesRate implements Policy.
+func (p *ReactivePolicy) UsesRate() bool { return false }
+
+// Init implements Policy: a fresh controller has zero-time cooldown stamps,
+// so both cooldowns read as long expired, and no low-load window is open.
+func (p *ReactivePolicy) Init() PolicyState {
+	var st PolicyState
+	st[slotSinceUp] = p.capUp
+	st[slotSinceDown] = p.downCd
+	return st
+}
+
+// Step implements Policy.
+func (p *ReactivePolicy) Step(st PolicyState, obs Obs) (PolicyState, int) {
+	next, target, _, _ := p.step(st, obs)
+	return next, target
+}
+
+// step is the shared decision body: it returns the successor state, the
+// target, whether the controller acted, and the decision reason — the extra
+// detail the hybrid overlay and the boundary tests need.
+func (p *ReactivePolicy) step(st PolicyState, obs Obs) (PolicyState, int, bool, string) {
+	w, q := obs.Workers, obs.Queue
+	target, acted, reason := w, false, ""
+	low := st[slotLow]
+	sinceUp, sinceDown := st[slotSinceUp], st[slotSinceDown]
+	switch {
+	case w < p.cfg.MinWorkers:
+		// Bound enforcement mirrors the controller: immediate, no cooldown
+		// stamps, and no low-window tracking on the way out.
+		target, acted, reason = p.cfg.MinWorkers, true, "floor"
+	case w > p.cfg.MaxWorkers:
+		target, acted, reason = p.cfg.MaxWorkers, true, "ceiling"
+	default:
+		div := w
+		if div < 1 {
+			div = 1
+		}
+		pressure := float64(q) / float64(div)
+		if pressure < p.cfg.ScaleDownPressure {
+			if low == 0 {
+				low = 1 // window opens now (age 0)
+			}
+		} else {
+			low = 0
+		}
+		if w < p.cfg.MaxWorkers && sinceUp >= p.upCd && pressure > p.cfg.ScaleUpPressure {
+			want := int(math.Ceil(float64(q) / p.cfg.ScaleUpPressure))
+			if want <= w {
+				want = w + 1
+			}
+			if want > w+p.cfg.MaxStep {
+				want = w + p.cfg.MaxStep
+			}
+			if want > p.cfg.MaxWorkers {
+				want = p.cfg.MaxWorkers
+			}
+			target, acted, reason = want, true, "backlog"
+			sinceUp = 0
+		} else if w > p.cfg.MinWorkers && low > 0 && low-1 >= p.stable &&
+			sinceDown >= p.downCd && sinceUp >= p.downCd {
+			target, acted, reason = w-1, true, "idle"
+			sinceDown = 0
+			low = 1 // the stability window restarts at this decision
+		}
+	}
+	var next PolicyState
+	next[slotSinceUp] = satInc(sinceUp, p.capUp)
+	next[slotSinceDown] = satInc(sinceDown, p.downCd)
+	if low > 0 {
+		next[slotLow] = satInc(low, p.stable+1)
+	}
+	next[slotShed] = st[slotShed] // untouched by the reactive body
+	return next, target, acted, reason
+}
+
+// satInc increments a saturating counter.
+func satInc(v, cap int32) int32 {
+	if v < cap {
+		return v + 1
+	}
+	return cap
+}
+
+// HybridPolicy is the finite-state view of the service's hybrid control
+// tick (core's ScalingPolicy with WithForecast): the reactive decision
+// overlaid with a feed-forward planner target, taking the maximum upward
+// and a gated one-worker release when the planner sits persistently below
+// the pool. The planner is idealized as a PERFECT forecaster: it reads the
+// current phase's true mean arrival rate instead of a fitted model's
+// extrapolation, so verified properties bound what the hybrid policy does
+// when its forecast is right — forecast-model error is cross-validated
+// separately (internal/forecast's backtests), not inside the MDP.
+type HybridPolicy struct {
+	reactive *ReactivePolicy
+	planner  forecast.Planner
+	// meanRuntime is the per-job worker occupancy the planner multiplies
+	// the arrival rate by; tickSeconds converts per-tick rates to per-second.
+	meanRuntime, tickSeconds float64
+}
+
+// shedStableTicks mirrors core's release-path persistence gate: the planner
+// must sit below the pool for this many consecutive ticks before a
+// forecast-idle release fires.
+const shedStableTicks = 2
+
+// NewHybridPolicy composes a reactive policy with the idealized
+// feed-forward planner. Headroom below 1 selects the forecast default, as
+// in the live subsystem.
+func NewHybridPolicy(cfg elastic.Config, tick time.Duration, headroom, meanRuntimeSeconds float64) (*HybridPolicy, error) {
+	r, err := NewReactivePolicy(cfg, tick)
+	if err != nil {
+		return nil, err
+	}
+	if !(meanRuntimeSeconds > 0) || math.IsInf(meanRuntimeSeconds, 0) {
+		return nil, fmt.Errorf("verify: mean runtime %g must be positive and finite", meanRuntimeSeconds)
+	}
+	return &HybridPolicy{
+		reactive:    r,
+		planner:     forecast.NewPlanner(headroom),
+		meanRuntime: meanRuntimeSeconds,
+		tickSeconds: tick.Seconds(),
+	}, nil
+}
+
+// Name implements Policy.
+func (p *HybridPolicy) Name() string { return "hybrid" }
+
+// Bounds implements Policy.
+func (p *HybridPolicy) Bounds() (int, int) { return p.reactive.Bounds() }
+
+// UsesRate implements Policy.
+func (p *HybridPolicy) UsesRate() bool { return true }
+
+// Init implements Policy.
+func (p *HybridPolicy) Init() PolicyState { return p.reactive.Init() }
+
+// Step implements Policy, mirroring the service control tick's overlay
+// order exactly: plan (planner target capped at the ceiling, shed
+// persistence updated against the pre-decision pool), reactive decision,
+// MaxStep cap on the forecast grow, max-overlay upward, gated release
+// downward, and a shed-window reset on any other applied decision.
+func (p *HybridPolicy) Step(st PolicyState, obs Obs) (PolicyState, int) {
+	w, q := obs.Workers, obs.Queue
+	cfg := p.reactive.cfg
+	// plan: the idealized forecast is the phase's true rate.
+	plan := p.planner.Target(obs.RatePerTick/p.tickSeconds, p.meanRuntime)
+	if plan > cfg.MaxWorkers {
+		plan = cfg.MaxWorkers
+	}
+	shedLow := st[slotShed]
+	if plan > 0 && plan < w-1 {
+		shedLow = satInc(shedLow, shedStableTicks)
+	} else {
+		shedLow = 0
+	}
+	shed := shedLow >= shedStableTicks
+	next, target, acted, reason := p.reactive.step(st, obs)
+	if plan > w+cfg.MaxStep {
+		plan = w + cfg.MaxStep
+	}
+	// queued is the waiting portion of the system total: the release gate
+	// compares it to the pool, not the in-flight jobs.
+	queued := q - w
+	if queued < 0 {
+		queued = 0
+	}
+	switch {
+	case plan > target:
+		target, acted, reason = plan, true, "forecast"
+	case shed && !acted && w > cfg.MinWorkers && queued <= w:
+		target, acted, reason = w-1, true, "forecast-idle"
+	}
+	if acted && reason != "forecast-idle" {
+		shedLow = 0
+	}
+	next[slotShed] = shedLow
+	return next, target
+}

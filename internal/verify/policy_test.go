@@ -1,0 +1,261 @@
+package verify
+
+import (
+	"testing"
+	"time"
+
+	"disarcloud/internal/elastic"
+	"disarcloud/internal/finmath"
+)
+
+// driveBoth steps the FSM encoding and a real controller through the same
+// queue observations at exact tick multiples and fails on the first
+// divergent decision. It returns the final pool size so callers can chain
+// scenarios.
+func driveBoth(t *testing.T, cfg elastic.Config, tick time.Duration, startWorkers int, queues []int) int {
+	t.Helper()
+	pol, err := NewReactivePolicy(cfg, tick)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctrl, err := elastic.NewController(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	st := pol.Init()
+	w := startWorkers
+	now := time.Unix(0, 0)
+	for i, q := range queues {
+		inFlight := q
+		if inFlight > w {
+			inFlight = w
+		}
+		dec, act := ctrl.Decide(elastic.Signals{Now: now, Queued: q - inFlight, InFlight: inFlight, Workers: w})
+		want := w
+		if act {
+			want = dec.Target
+		}
+		var got int
+		st, got = pol.Step(st, Obs{Queue: q, Workers: w})
+		if got != want {
+			reason := "hold"
+			if act {
+				reason = dec.Reason
+			}
+			t.Fatalf("tick %d (q=%d w=%d): FSM decided %d, controller decided %d (%s)", i, q, w, got, want, reason)
+		}
+		w = want
+		now = now.Add(tick)
+	}
+	return w
+}
+
+// The boundary table pins the MDP's transition function to the
+// controller's step-for-step behavior at the exact edges that matter:
+// hysteresis band boundaries, cooldown expiry ticks, MaxStep clamping, and
+// out-of-bounds pool corrections.
+func TestReactivePolicyBoundaryTable(t *testing.T) {
+	base := elastic.Config{
+		MinWorkers:        2,
+		MaxWorkers:        12,
+		ScaleUpPressure:   1.5,
+		ScaleDownPressure: 0.5,
+		ScaleUpCooldown:   60 * time.Millisecond, // 3 ticks at 20ms
+		ScaleDownCooldown: 100 * time.Millisecond,
+		ShrinkStableFor:   100 * time.Millisecond,
+		MaxStep:           3,
+	}
+	tick := 20 * time.Millisecond
+	cases := []struct {
+		name   string
+		start  int
+		queues []int
+	}{
+		// pressure == ScaleUpPressure exactly must hold (strict >); one job
+		// more must grow.
+		{"hysteresis upper edge", 4, []int{6, 6, 7}},
+		// pressure == ScaleDownPressure exactly keeps the low window shut
+		// (strict <); below it must open, and the shrink fires only after
+		// the stability window AND both cooldowns.
+		{"hysteresis lower edge", 4, []int{2, 2, 2, 2, 2, 2, 2, 2, 1, 1, 1, 1, 1, 1, 1}},
+		// A huge backlog wants far more than MaxStep allows.
+		{"MaxStep clamp", 4, []int{40, 40, 40, 40, 40, 40, 40}},
+		// Growth at the ceiling, shrink at the floor: both must hold.
+		{"bounds saturate", 12, []int{40, 40, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0}},
+		// Out-of-bounds pools are corrected immediately, cooldowns ignored.
+		{"floor correction", 1, []int{0, 0, 0}},
+		{"ceiling correction", 15, []int{0, 0, 0}},
+		// Cooldown expiry: grow, hold under cooldown for exactly its tick
+		// count, then grow again the first admissible tick.
+		{"cooldown expiry ticks", 4, []int{8, 9, 9, 9, 14, 14, 14, 14}},
+		// Low window interrupted right before the shrink would fire.
+		{"shrink window reset", 6, []int{1, 1, 1, 1, 9, 1, 1, 1, 1, 1, 1, 1}},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			driveBoth(t, base, tick, tc.start, tc.queues)
+		})
+	}
+}
+
+// Randomized equivalence over skewed workloads and several configurations,
+// including cooldowns that are not tick multiples (where the ceil rounding
+// must match the controller's real-time comparison).
+func TestReactivePolicyMatchesControllerRandomized(t *testing.T) {
+	configs := []elastic.Config{
+		{MinWorkers: 1, MaxWorkers: 16},
+		{MinWorkers: 2, MaxWorkers: 8, ScaleUpPressure: 2, ScaleDownPressure: 0.25,
+			ScaleUpCooldown: 30 * time.Millisecond, ScaleDownCooldown: 170 * time.Millisecond,
+			ShrinkStableFor: 90 * time.Millisecond, MaxStep: 2},
+		{MinWorkers: 4, MaxWorkers: 32, ScaleUpPressure: 1.2, ScaleDownPressure: 0.8,
+			ScaleUpCooldown: 50 * time.Millisecond, ScaleDownCooldown: 50 * time.Millisecond,
+			ShrinkStableFor: 50 * time.Millisecond, MaxStep: 8},
+	}
+	ticks := []time.Duration{20 * time.Millisecond, 35 * time.Millisecond}
+	for ci, cfg := range configs {
+		for ti, tick := range ticks {
+			rng := finmath.NewRNG(uint64(ci*10 + ti))
+			queues := make([]int, 3000)
+			level := 0.0
+			for i := range queues {
+				// A wandering load level with occasional idle spells and
+				// spikes, so every decision branch gets exercised.
+				level += (rng.Float64() - 0.5) * 6
+				if level < 0 {
+					level = 0
+				}
+				switch {
+				case rng.Float64() < 0.1:
+					queues[i] = 0
+				case rng.Float64() < 0.05:
+					queues[i] = 60 + int(rng.Float64()*60)
+				default:
+					queues[i] = int(level)
+				}
+			}
+			driveBoth(t, cfg, tick, cfg.MinWorkers, queues)
+		}
+	}
+}
+
+// The FSM must also agree when the walk starts outside the configured
+// bounds (config shrank underneath a running pool).
+func TestReactivePolicyStartsOutOfBounds(t *testing.T) {
+	cfg := elastic.Config{MinWorkers: 3, MaxWorkers: 6}
+	queues := []int{20, 20, 20, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0}
+	driveBoth(t, cfg, 50*time.Millisecond, 9, queues)
+	driveBoth(t, cfg, 50*time.Millisecond, 1, queues)
+}
+
+func TestTicksOfRounding(t *testing.T) {
+	cases := []struct {
+		d, tick time.Duration
+		want    int32
+	}{
+		{0, 20 * time.Millisecond, 0},
+		{20 * time.Millisecond, 20 * time.Millisecond, 1},
+		{50 * time.Millisecond, 20 * time.Millisecond, 3},
+		{60 * time.Millisecond, 20 * time.Millisecond, 3},
+		{61 * time.Millisecond, 20 * time.Millisecond, 4},
+	}
+	for _, tc := range cases {
+		if got := ticksOf(tc.d, tc.tick); got != tc.want {
+			t.Errorf("ticksOf(%v, %v) = %d, want %d", tc.d, tc.tick, got, tc.want)
+		}
+	}
+}
+
+func TestNewPolicyRejectsBadInputs(t *testing.T) {
+	good := elastic.Config{MinWorkers: 1, MaxWorkers: 4}
+	if _, err := NewReactivePolicy(elastic.Config{MinWorkers: 5, MaxWorkers: 2}, time.Millisecond); err == nil {
+		t.Error("accepted inverted bounds")
+	}
+	if _, err := NewReactivePolicy(good, 0); err == nil {
+		t.Error("accepted zero tick")
+	}
+	if _, err := NewHybridPolicy(good, time.Millisecond, 1.2, 0); err == nil {
+		t.Error("accepted zero mean runtime")
+	}
+	if _, err := NewHybridPolicy(good, time.Millisecond, 1.2, 0.1); err != nil {
+		t.Errorf("rejected a valid hybrid policy: %v", err)
+	}
+}
+
+// The hybrid FSM must track the live overlay (real controller + the
+// service's forecast overlay transcribed in Replay) decision for decision.
+// This drive re-implements the overlay around a REAL controller — the same
+// code path Replay uses — and diffs it against HybridPolicy.Step.
+func TestHybridPolicyMatchesOverlayStepForStep(t *testing.T) {
+	cfg := elastic.Config{MinWorkers: 2, MaxWorkers: 16}
+	tick := 50 * time.Millisecond
+	headroom := 1.3
+	meanRuntime := 0.08
+	pol, err := NewHybridPolicy(cfg, tick, headroom, meanRuntime)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctrl, err := elastic.NewController(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dcfg := ctrl.Config()
+	planner := pol.planner
+	rng := finmath.NewRNG(21)
+	st := pol.Init()
+	w, now := 2, time.Unix(0, 0)
+	shedLow := 0
+	rate := 1.0
+	for i := 0; i < 2500; i++ {
+		rate += (rng.Float64() - 0.5) * 2
+		if rate < 0 {
+			rate = 0
+		}
+		if rate > 12 {
+			rate = 12
+		}
+		q := int(rate * float64(1+int(rng.Float64()*3)))
+		if rng.Float64() < 0.1 {
+			q = 0
+		}
+		inFlight := q
+		if inFlight > w {
+			inFlight = w
+		}
+		dec, act := ctrl.Decide(elastic.Signals{Now: now, Queued: q - inFlight, InFlight: inFlight, Workers: w})
+		want, reason := w, ""
+		if act {
+			want, reason = dec.Target, dec.Reason
+		}
+		plan := planner.Target(rate/tick.Seconds(), meanRuntime)
+		if plan > dcfg.MaxWorkers {
+			plan = dcfg.MaxWorkers
+		}
+		if plan > 0 && plan < w-1 {
+			if shedLow < shedStableTicks {
+				shedLow++
+			}
+		} else {
+			shedLow = 0
+		}
+		shed := shedLow >= shedStableTicks
+		if plan > w+dcfg.MaxStep {
+			plan = w + dcfg.MaxStep
+		}
+		switch {
+		case plan > want:
+			want, act, reason = plan, true, "forecast"
+		case shed && !act && w > dcfg.MinWorkers && q-inFlight <= w:
+			want, act, reason = w-1, true, "forecast-idle"
+		}
+		if act && reason != "forecast-idle" {
+			shedLow = 0
+		}
+		var got int
+		st, got = pol.Step(st, Obs{Queue: q, Workers: w, RatePerTick: rate})
+		if got != want {
+			t.Fatalf("tick %d (q=%d w=%d rate=%.3f): FSM decided %d, overlay decided %d (%s)", i, q, w, rate, got, want, reason)
+		}
+		w = want
+		now = now.Add(tick)
+	}
+}

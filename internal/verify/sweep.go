@@ -1,0 +1,139 @@
+package verify
+
+import (
+	"errors"
+	"fmt"
+)
+
+// SweepSpec is a configuration grid around a base request: every listed
+// dimension is swept over its values (an empty dimension keeps the base
+// value), and each combination is verified against the base trace and SLA.
+type SweepSpec struct {
+	Base Request `json:"base"`
+	// UpPressures and DownPressures sweep the hysteresis band edges.
+	UpPressures   []float64 `json:"up_pressures,omitempty"`
+	DownPressures []float64 `json:"down_pressures,omitempty"`
+	// UpCooldownsMS and DownCooldownsMS sweep the rate limits.
+	UpCooldownsMS   []int `json:"up_cooldowns_ms,omitempty"`
+	DownCooldownsMS []int `json:"down_cooldowns_ms,omitempty"`
+	// Headrooms sweeps the hybrid planner multiplier.
+	Headrooms []float64 `json:"headrooms,omitempty"`
+}
+
+// maxSweepPoints bounds the grid: the sweep is exhaustive by design, but a
+// six-figure cartesian product is a typo.
+const maxSweepPoints = 4096
+
+// SweepPoint is one verified grid cell.
+type SweepPoint struct {
+	UpPressure     float64    `json:"up_pressure"`
+	DownPressure   float64    `json:"down_pressure"`
+	UpCooldownMS   int        `json:"up_cooldown_ms"`
+	DownCooldownMS int        `json:"down_cooldown_ms"`
+	Headroom       float64    `json:"headroom"`
+	Properties     Properties `json:"properties"`
+	Pass           bool       `json:"pass"`
+	// Pareto marks the cell as Pareto-optimal in (PViolation,
+	// ExpectedWorkerSeconds): no other cell is at least as good on both
+	// axes and strictly better on one.
+	Pareto bool `json:"pareto"`
+}
+
+// Sweep verifies every cell of the grid and marks the Pareto front of
+// SLA-violation probability versus expected cost. The arrival model is
+// derived once from the base trace and shared across the grid, and cells
+// are evaluated in a fixed order, so the sweep is as deterministic as a
+// single check.
+func Sweep(spec SweepSpec) ([]SweepPoint, error) {
+	if err := spec.Base.Validate(); err != nil {
+		return nil, err
+	}
+	base := spec.Base.withDefaults()
+	am, err := ModelFromSpec(base.Trace, base.PhaseLevels)
+	if err != nil {
+		return nil, err
+	}
+	ups := orDefaultF(spec.UpPressures, base.ScaleUpPressure)
+	downs := orDefaultF(spec.DownPressures, base.ScaleDownPressure)
+	upCds := orDefaultI(spec.UpCooldownsMS, base.ScaleUpCooldownMS)
+	downCds := orDefaultI(spec.DownCooldownsMS, base.ScaleDownCooldownMS)
+	heads := orDefaultF(spec.Headrooms, base.Headroom)
+	total := len(ups) * len(downs) * len(upCds) * len(downCds) * len(heads)
+	if total > maxSweepPoints {
+		return nil, fmt.Errorf("verify: sweep grid has %d cells, limit %d", total, maxSweepPoints)
+	}
+	var points []SweepPoint
+	for _, up := range ups {
+		for _, down := range downs {
+			for _, upCd := range upCds {
+				for _, downCd := range downCds {
+					for _, head := range heads {
+						req := base
+						req.ScaleUpPressure = up
+						req.ScaleDownPressure = down
+						req.ScaleUpCooldownMS = upCd
+						req.ScaleDownCooldownMS = downCd
+						req.Headroom = head
+						if err := req.Validate(); err != nil {
+							return nil, fmt.Errorf("verify: sweep cell (up=%g down=%g upCd=%d downCd=%d head=%g): %w",
+								up, down, upCd, downCd, head, err)
+						}
+						rep, err := checkWithModel(req.withDefaults(), am)
+						if err != nil {
+							return nil, err
+						}
+						points = append(points, SweepPoint{
+							UpPressure:     up,
+							DownPressure:   down,
+							UpCooldownMS:   upCd,
+							DownCooldownMS: downCd,
+							Headroom:       head,
+							Properties:     rep.Properties,
+							Pass:           rep.Pass,
+						})
+					}
+				}
+			}
+		}
+	}
+	if len(points) == 0 {
+		return nil, errors.New("verify: empty sweep grid")
+	}
+	markPareto(points)
+	return points, nil
+}
+
+// markPareto flags the non-dominated cells: minimize violation probability
+// and expected worker-seconds jointly.
+func markPareto(points []SweepPoint) {
+	for i := range points {
+		dominated := false
+		pi := points[i].Properties
+		for j := range points {
+			if i == j {
+				continue
+			}
+			pj := points[j].Properties
+			if pj.PViolation <= pi.PViolation && pj.ExpectedWorkerSeconds <= pi.ExpectedWorkerSeconds &&
+				(pj.PViolation < pi.PViolation || pj.ExpectedWorkerSeconds < pi.ExpectedWorkerSeconds) {
+				dominated = true
+				break
+			}
+		}
+		points[i].Pareto = !dominated
+	}
+}
+
+func orDefaultF(vals []float64, def float64) []float64 {
+	if len(vals) == 0 {
+		return []float64{def}
+	}
+	return vals
+}
+
+func orDefaultI(vals []int, def int) []int {
+	if len(vals) == 0 {
+		return []int{def}
+	}
+	return vals
+}

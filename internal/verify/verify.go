@@ -1,0 +1,247 @@
+package verify
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"time"
+
+	"disarcloud/internal/elastic"
+	"disarcloud/internal/loadgen"
+)
+
+// SLA is a bound the verified policy must meet: the probability that the
+// jobs-in-system count reaches QueueBound within HorizonTicks control
+// ticks must not exceed MaxProbability.
+type SLA struct {
+	QueueBound     int     `json:"queue_bound"`
+	HorizonTicks   int     `json:"horizon_ticks"`
+	MaxProbability float64 `json:"max_probability"`
+}
+
+// Validate reports whether the SLA is well-formed.
+func (s SLA) Validate() error {
+	if s.QueueBound < 1 {
+		return errors.New("verify: SLA queue bound must be at least 1")
+	}
+	if s.HorizonTicks < 1 || s.HorizonTicks > maxHorizonTicks {
+		return fmt.Errorf("verify: SLA horizon %d outside [1, %d]", s.HorizonTicks, maxHorizonTicks)
+	}
+	if !(s.MaxProbability >= 0) || s.MaxProbability > 1 {
+		return fmt.Errorf("verify: SLA probability bound %g outside [0,1]", s.MaxProbability)
+	}
+	return nil
+}
+
+// Request is one verification job, JSON-decodable for the cmd/disard
+// -check path. Duration knobs are in milliseconds (the natural unit at
+// control-loop scale); zero elastic fields take the controller's defaults,
+// exactly as the live service would run them.
+type Request struct {
+	// Policy selects the family: "reactive" (elastic controller alone) or
+	// "hybrid" (controller + feed-forward forecast planner).
+	Policy string `json:"policy"`
+
+	// Elastic controller configuration; zeros take elastic defaults.
+	MinWorkers          int     `json:"min_workers"`
+	MaxWorkers          int     `json:"max_workers"`
+	ScaleUpPressure     float64 `json:"scale_up_pressure,omitempty"`
+	ScaleDownPressure   float64 `json:"scale_down_pressure,omitempty"`
+	ScaleUpCooldownMS   int     `json:"scale_up_cooldown_ms,omitempty"`
+	ScaleDownCooldownMS int     `json:"scale_down_cooldown_ms,omitempty"`
+	ShrinkStableForMS   int     `json:"shrink_stable_for_ms,omitempty"`
+	MaxStep             int     `json:"max_step,omitempty"`
+
+	// Headroom is the hybrid planner's multiplier (zero takes the forecast
+	// default); ignored for the reactive policy.
+	Headroom float64 `json:"headroom,omitempty"`
+
+	// TickMS is the control period; one trace interval is one tick.
+	TickMS int `json:"tick_ms"`
+	// MeanRuntimeMS is the mean per-job worker occupancy.
+	MeanRuntimeMS float64 `json:"mean_runtime_ms"`
+	// InitialWorkers defaults to the (defaulted) MinWorkers.
+	InitialWorkers int `json:"initial_workers,omitempty"`
+	// MaxQueue truncates the jobs-in-system count; defaults to four times
+	// the SLA queue bound, with a floor of 32.
+	MaxQueue int `json:"max_queue,omitempty"`
+	// PhaseLevels is the arrival discretization grid (default 6).
+	PhaseLevels int `json:"phase_levels,omitempty"`
+
+	// Trace selects the arrival scenario.
+	Trace loadgen.Spec `json:"trace"`
+	SLA   SLA          `json:"sla"`
+}
+
+// Request bounds.
+const (
+	maxHorizonTicks = 100_000
+	maxTickMS       = 60_000
+	defaultLevels   = 6
+)
+
+// PolicyReactive and PolicyHybrid are the Request.Policy values.
+const (
+	PolicyReactive = "reactive"
+	PolicyHybrid   = "hybrid"
+)
+
+// elasticConfig assembles the controller configuration the request
+// describes.
+func (r Request) elasticConfig() elastic.Config {
+	return elastic.Config{
+		MinWorkers:        r.MinWorkers,
+		MaxWorkers:        r.MaxWorkers,
+		ScaleUpPressure:   r.ScaleUpPressure,
+		ScaleDownPressure: r.ScaleDownPressure,
+		ScaleUpCooldown:   time.Duration(r.ScaleUpCooldownMS) * time.Millisecond,
+		ScaleDownCooldown: time.Duration(r.ScaleDownCooldownMS) * time.Millisecond,
+		ShrinkStableFor:   time.Duration(r.ShrinkStableForMS) * time.Millisecond,
+		MaxStep:           r.MaxStep,
+	}
+}
+
+// withDefaults resolves the request's zero knobs.
+func (r Request) withDefaults() Request {
+	if r.PhaseLevels == 0 {
+		r.PhaseLevels = defaultLevels
+	}
+	if r.MaxQueue == 0 {
+		r.MaxQueue = 4 * r.SLA.QueueBound
+		if r.MaxQueue < 32 {
+			r.MaxQueue = 32
+		}
+	}
+	if r.InitialWorkers == 0 {
+		if ctrl, err := elastic.NewController(r.elasticConfig()); err == nil {
+			r.InitialWorkers = ctrl.Config().MinWorkers
+		}
+	}
+	return r
+}
+
+// Validate reports whether the (defaulted) request is admissible.
+func (r Request) Validate() error {
+	d := r.withDefaults()
+	switch d.Policy {
+	case PolicyReactive, PolicyHybrid:
+	default:
+		return fmt.Errorf("verify: unknown policy %q (want %q or %q)", d.Policy, PolicyReactive, PolicyHybrid)
+	}
+	if err := d.elasticConfig().Validate(); err != nil {
+		return err
+	}
+	if d.ScaleUpCooldownMS < 0 || d.ScaleDownCooldownMS < 0 || d.ShrinkStableForMS < 0 {
+		return errors.New("verify: cooldown milliseconds must be non-negative")
+	}
+	if d.TickMS < 1 || d.TickMS > maxTickMS {
+		return fmt.Errorf("verify: tick %dms outside [1, %d]", d.TickMS, maxTickMS)
+	}
+	if !(d.MeanRuntimeMS > 0) || math.IsInf(d.MeanRuntimeMS, 0) || d.MeanRuntimeMS > 1e9 {
+		return fmt.Errorf("verify: mean runtime %gms must be positive, finite, and sane", d.MeanRuntimeMS)
+	}
+	if !(d.Headroom >= 0) || math.IsInf(d.Headroom, 0) || d.Headroom > 100 {
+		return fmt.Errorf("verify: headroom %g outside [0, 100]", d.Headroom)
+	}
+	if d.InitialWorkers < 1 || d.InitialWorkers > maxModelWorkers {
+		return fmt.Errorf("verify: initial workers %d outside [1, %d]", d.InitialWorkers, maxModelWorkers)
+	}
+	if d.MaxQueue < 1 || d.MaxQueue > maxModelQueue {
+		return fmt.Errorf("verify: max queue %d outside [1, %d]", d.MaxQueue, maxModelQueue)
+	}
+	if d.PhaseLevels < 1 || d.PhaseLevels > loadgen.MaxPhaseLevels {
+		return fmt.Errorf("verify: phase levels %d outside [1, %d]", d.PhaseLevels, loadgen.MaxPhaseLevels)
+	}
+	if err := d.Trace.Validate(); err != nil {
+		return err
+	}
+	if err := d.SLA.Validate(); err != nil {
+		return err
+	}
+	if d.SLA.QueueBound > d.MaxQueue {
+		return fmt.Errorf("verify: SLA queue bound %d exceeds max queue %d", d.SLA.QueueBound, d.MaxQueue)
+	}
+	return nil
+}
+
+// buildPolicy constructs the requested policy over the defaulted request.
+func (r Request) buildPolicy() (Policy, error) {
+	cfg := r.elasticConfig()
+	tick := time.Duration(r.TickMS) * time.Millisecond
+	switch r.Policy {
+	case PolicyReactive:
+		return NewReactivePolicy(cfg, tick)
+	case PolicyHybrid:
+		return NewHybridPolicy(cfg, tick, r.Headroom, r.MeanRuntimeMS/1000)
+	default:
+		return nil, fmt.Errorf("verify: unknown policy %q", r.Policy)
+	}
+}
+
+// model assembles the ServiceModel for the defaulted request and a
+// pre-built arrival model.
+func (r Request) model(am ArrivalModel) (ServiceModel, error) {
+	pol, err := r.buildPolicy()
+	if err != nil {
+		return ServiceModel{}, err
+	}
+	return ServiceModel{
+		Policy:             pol,
+		Arrivals:           am,
+		Tick:               time.Duration(r.TickMS) * time.Millisecond,
+		MeanRuntimeSeconds: r.MeanRuntimeMS / 1000,
+		InitialWorkers:     r.InitialWorkers,
+		MaxQueue:           r.MaxQueue,
+	}, nil
+}
+
+// Report is the result of one verification: the resolved request, the
+// exact properties, and the SLA verdict.
+type Report struct {
+	Request    Request    `json:"request"`
+	Policy     string     `json:"policy"`
+	Arrivals   string     `json:"arrival_model"`
+	Properties Properties `json:"properties"`
+	Pass       bool       `json:"pass"`
+}
+
+// Check runs one verification end to end: validate, derive the arrival
+// model from the trace spec, build the composed chain, compute the
+// properties, and compare against the SLA. The error path is for malformed
+// requests or infeasible models; an SLA violation is a successful check
+// with Pass=false.
+func Check(req Request) (Report, error) {
+	if err := req.Validate(); err != nil {
+		return Report{}, err
+	}
+	d := req.withDefaults()
+	am, err := ModelFromSpec(d.Trace, d.PhaseLevels)
+	if err != nil {
+		return Report{}, err
+	}
+	return checkWithModel(d, am)
+}
+
+// checkWithModel is Check past arrival-model derivation — the sweeper
+// re-enters here so a whole configuration grid shares one discretization.
+func checkWithModel(d Request, am ArrivalModel) (Report, error) {
+	sm, err := d.model(am)
+	if err != nil {
+		return Report{}, err
+	}
+	mdp, err := Build(sm)
+	if err != nil {
+		return Report{}, err
+	}
+	props, err := mdp.Analyze(d.SLA.QueueBound, d.SLA.HorizonTicks)
+	if err != nil {
+		return Report{}, err
+	}
+	return Report{
+		Request:    d,
+		Policy:     sm.Policy.Name(),
+		Arrivals:   am.Source,
+		Properties: props,
+		Pass:       props.PViolation <= d.SLA.MaxProbability,
+	}, nil
+}
