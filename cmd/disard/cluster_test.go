@@ -72,7 +72,7 @@ func newClusterServer(t *testing.T, self string, peers []string) (*httptest.Serv
 	if err != nil {
 		t.Fatal(err)
 	}
-	srv := httptest.NewServer(newHandler(svc, d, 2016, nil, newClusterState(coord, self, peers)))
+	srv := httptest.NewServer(newHandler(svc, d, 2016, nil, newClusterState(coord, self, peers), nil, 0))
 	t.Cleanup(func() {
 		srv.Close()
 		svc.Close()
@@ -178,7 +178,7 @@ func peeredClusterServer(t *testing.T) (srv *httptest.Server, url string, wire f
 	srv = httptest.NewUnstartedServer(nil)
 	url = "http://" + srv.Listener.Addr().String()
 	wire = func(self string, peers []string) {
-		srv.Config.Handler = newHandler(svc, d, 2016, nil, newClusterState(coord, self, peers))
+		srv.Config.Handler = newHandler(svc, d, 2016, nil, newClusterState(coord, self, peers), nil, 0)
 		srv.Start()
 	}
 	t.Cleanup(func() {

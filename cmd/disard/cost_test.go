@@ -1,0 +1,246 @@
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+
+	"disarcloud"
+)
+
+// trainWorkloads is a small EEB mix for Bootstrap: enough spread that the
+// predictors train, small enough that the handler tests stay fast.
+func trainWorkloads() []disarcloud.CharacteristicParams {
+	base := disarcloud.CharacteristicParams{
+		RepresentativeContracts: 15, MaxHorizon: 25, FundAssets: 8,
+		RiskFactors: 3, OuterPaths: 1000, InnerPaths: 50,
+	}
+	var out []disarcloud.CharacteristicParams
+	for _, contracts := range []int{5, 15, 40, 70} {
+		for _, horizon := range []int{10, 25, 40} {
+			f := base
+			f.RepresentativeContracts = contracts
+			f.MaxHorizon = horizon
+			out = append(out, f)
+		}
+	}
+	return out
+}
+
+// newCostTestServer wires the handler with a TRAINED deployer plus the
+// -spot / -max-cost defaults, so budget admission runs up front rather than
+// falling back to the bootstrap path.
+func newCostTestServer(t *testing.T, defaultTiers []disarcloud.Tier, defaultBudget float64) *httptest.Server {
+	t.Helper()
+	d, err := disarcloud.NewDeployer(2016)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := d.Bootstrap(context.Background(), trainWorkloads(), disarcloud.MinSamplesToTrain, 6); err != nil {
+		t.Fatal(err)
+	}
+	svc, err := disarcloud.NewService(d, disarcloud.WithWorkers(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := httptest.NewServer(newHandler(svc, d, 2016, nil, nil, defaultTiers, defaultBudget))
+	t.Cleanup(func() {
+		srv.Close()
+		svc.Close()
+	})
+	return srv
+}
+
+func TestCostEndpointPriceCard(t *testing.T) {
+	srv := newCostTestServer(t, disarcloud.AllTiers(), 25)
+
+	resp, err := http.Get(srv.URL + "/v1/cost")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("cost status %d, want 200", resp.StatusCode)
+	}
+	out := decodeJSON[map[string]any](t, resp)
+	if out["spot_enabled"] != true {
+		t.Fatalf("spot_enabled = %v on a -spot daemon", out["spot_enabled"])
+	}
+	if got, _ := out["default_max_cost_usd"].(float64); got != 25 {
+		t.Fatalf("default_max_cost_usd = %v, want 25", got)
+	}
+	prices, _ := out["prices"].([]any)
+	if len(prices) != len(disarcloud.Catalog()) {
+		t.Fatalf("%d price rows, want one per catalog type (%d)", len(prices), len(disarcloud.Catalog()))
+	}
+	for _, p := range prices {
+		row := p.(map[string]any)
+		od := row["on_demand_usd"].(float64)
+		res := row["reserved_usd"].(float64)
+		spot := row["spot_expected_usd"].(float64)
+		if !(spot < res && res < od) {
+			t.Fatalf("%v: tier prices not ordered spot %v < reserved %v < on-demand %v",
+				row["type"], spot, res, od)
+		}
+	}
+}
+
+func TestCostEndpointDefaultsOff(t *testing.T) {
+	srv, _ := newTestServer(t)
+	resp, err := http.Get(srv.URL + "/v1/cost")
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := decodeJSON[map[string]any](t, resp)
+	if out["spot_enabled"] != false {
+		t.Fatalf("spot_enabled = %v without -spot", out["spot_enabled"])
+	}
+	if _, present := out["default_max_cost_usd"]; present {
+		t.Fatal("default_max_cost_usd present on an unbounded daemon")
+	}
+}
+
+func TestSubmitBudgetRejectedStructured(t *testing.T) {
+	srv := newCostTestServer(t, nil, 0)
+
+	job := smallJob()
+	job["budget"] = 0.001 // below one billing hour of the cheapest node
+	resp := postJSON(t, srv.URL+"/v1/jobs", job)
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("submit status %d, want 400", resp.StatusCode)
+	}
+	if ra := resp.Header.Get("Retry-After"); ra != "" {
+		// A budget rejection is not backpressure: retrying the same request
+		// can never succeed, so the header would mislead clients into a loop.
+		t.Fatalf("budget rejection carries Retry-After %q", ra)
+	}
+	body := decodeJSON[map[string]any](t, resp)
+	cheapest, _ := body["cheapest_usd"].(float64)
+	if cheapest <= 0.001 {
+		t.Fatalf("cheapest_usd %v missing or not above the budget", body["cheapest_usd"])
+	}
+	if got, _ := body["max_cost_usd"].(float64); got != 0.001 {
+		t.Fatalf("max_cost_usd = %v, want 0.001", body["max_cost_usd"])
+	}
+	if body["error"] == "" {
+		t.Fatal("rejection body without an error message")
+	}
+
+	// The figure in the body is actionable: resubmitting above it succeeds,
+	// and the result carries the money fields.
+	job["budget"] = cheapest * 3
+	resp = postJSON(t, srv.URL+"/v1/jobs", job)
+	if resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("adequate-budget submit status %d, want 202", resp.StatusCode)
+	}
+	id := decodeJSON[map[string]string](t, resp)["id"]
+	resp, err := http.Get(srv.URL + "/v1/jobs/" + id + "/result?wait=1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var res resultJSON
+	if err := json.NewDecoder(resp.Body).Decode(&res); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if res.Deploy.Tier == "" {
+		t.Fatal("result deploy record without a tier")
+	}
+	if res.Cost.Jobs != 1 || res.Cost.BilledUSD <= 0 || res.Cost.BilledUSD > job["budget"].(float64) {
+		t.Fatalf("cost report %+v vs budget %v", res.Cost, job["budget"])
+	}
+}
+
+func TestSubmitCampaignBudgetRejectedStructured(t *testing.T) {
+	srv := newCostTestServer(t, nil, 0)
+
+	job := smallJob()
+	job["budget"] = 0.01
+	resp := postJSON(t, srv.URL+"/v1/campaigns", job)
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("campaign submit status %d, want 400", resp.StatusCode)
+	}
+	if ra := resp.Header.Get("Retry-After"); ra != "" {
+		t.Fatalf("campaign budget rejection carries Retry-After %q", ra)
+	}
+	body := decodeJSON[map[string]any](t, resp)
+	// The campaign rejection is sized for all eight jobs, so the cheapest
+	// figure is the whole-campaign floor, well above a single job's.
+	if cheapest, _ := body["cheapest_usd"].(float64); cheapest <= 0.01 {
+		t.Fatalf("campaign cheapest_usd %v not above the budget", body["cheapest_usd"])
+	}
+}
+
+func TestSubmitTierAndBudgetValidation(t *testing.T) {
+	srv, _ := newTestServer(t)
+
+	job := smallJob()
+	job["tier"] = "preemptible"
+	resp := postJSON(t, srv.URL+"/v1/jobs", job)
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("unknown tier status %d, want 400", resp.StatusCode)
+	}
+	resp.Body.Close()
+
+	job = smallJob()
+	job["budget"] = -1.0
+	resp = postJSON(t, srv.URL+"/v1/jobs", job)
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("negative budget status %d, want 400", resp.StatusCode)
+	}
+	resp.Body.Close()
+
+	// An absurd budget clamps to the request ceiling instead of failing.
+	job = smallJob()
+	job["budget"] = 1e12
+	resp = postJSON(t, srv.URL+"/v1/jobs", job)
+	if resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("huge budget status %d, want 202 (clamped)", resp.StatusCode)
+	}
+	resp.Body.Close()
+}
+
+func TestSubmitSpotTierRunsAndReportsSavings(t *testing.T) {
+	srv := newCostTestServer(t, nil, 0)
+
+	job := smallJob()
+	job["tier"] = "any"
+	job["epsilon"] = 0.0
+	job["tmax_seconds"] = 3600.0
+	resp := postJSON(t, srv.URL+"/v1/jobs", job)
+	if resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("spot submit status %d, want 202", resp.StatusCode)
+	}
+	id := decodeJSON[map[string]string](t, resp)["id"]
+	resp, err := http.Get(srv.URL + "/v1/jobs/" + id + "/result?wait=1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var res resultJSON
+	if err := json.NewDecoder(resp.Body).Decode(&res); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if res.Deploy.Tier != "spot" {
+		t.Fatalf("generous deadline with all tiers picked %q, want spot", res.Deploy.Tier)
+	}
+	if !(res.Deploy.BilledUSD < res.Deploy.OnDemandUSD) {
+		t.Fatalf("spot bill %v not below on-demand counterfactual %v",
+			res.Deploy.BilledUSD, res.Deploy.OnDemandUSD)
+	}
+
+	// The service-lifetime totals on /v1/cost reflect the job.
+	resp, err = http.Get(srv.URL + "/v1/cost")
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := decodeJSON[map[string]any](t, resp)
+	totals := out["totals"].(map[string]any)
+	if jobs, _ := totals["jobs"].(float64); jobs != 1 {
+		t.Fatalf("cost totals cover %v jobs, want 1", totals["jobs"])
+	}
+	if savings, _ := totals["savings_usd"].(float64); savings <= 0 {
+		t.Fatalf("spot job recorded no savings: %+v", totals)
+	}
+}

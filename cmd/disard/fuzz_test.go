@@ -160,6 +160,55 @@ func FuzzProxyRequestDecode(f *testing.F) {
 	})
 }
 
+// FuzzCostRequestDecode drives arbitrary bodies carrying the cost-plane
+// fields (budget, tier) through the submit decode path. The invariant: an
+// accepted body must resolve to a non-negative, ceiling-clamped MaxCost and
+// a tier list the selector recognises — and an unknown tier name or a
+// negative/NaN budget must be a clean rejection, never a spec.
+func FuzzCostRequestDecode(f *testing.F) {
+	f.Add([]byte(`{"budget":10,"tier":"spot"}`))
+	f.Add([]byte(`{"budget":0}`))
+	f.Add([]byte(`{"budget":0.0001,"tier":"on-demand"}`))
+	f.Add([]byte(`{"tier":"reserved"}`))
+	f.Add([]byte(`{"tier":"any"}`))
+	f.Add([]byte(`{"tier":"ANY"}`))
+	f.Add([]byte(`{"tier":"preemptible"}`))
+	f.Add([]byte(`{"budget":-1}`))
+	f.Add([]byte(`{"budget":1e308,"tier":"spot"}`))
+	f.Add([]byte(`{"budget":1e-308}`))
+	f.Add([]byte(`{"budget":null,"tier":null}`))
+	f.Add([]byte(`{"budget":"12"}`))
+	f.Add([]byte(`{"tier":3}`))
+	f.Add([]byte(`{"budget":`))
+	f.Add([]byte("\x00\xff garbage"))
+	s := fuzzServer()
+	f.Fuzz(func(t *testing.T, body []byte) {
+		var req jobRequest
+		if err := json.Unmarshal(body, &req); err != nil {
+			return
+		}
+		spec, err := s.buildSpec(&req)
+		if err != nil {
+			return // clean rejection
+		}
+		if err := spec.Validate(); err != nil {
+			t.Fatalf("buildSpec accepted %q but the spec does not validate: %v", body, err)
+		}
+		mc := spec.Constraints.MaxCost
+		if mc < 0 || mc != mc || mc > maxReqBudget {
+			t.Fatalf("buildSpec accepted %q with max cost %v outside [0,%v]", body, mc, maxReqBudget)
+		}
+		for _, tier := range spec.Constraints.Tiers {
+			if _, err := disarcloud.ParseTier(tier.String()); err != nil {
+				t.Fatalf("buildSpec accepted %q with unknown tier %v", body, tier)
+			}
+		}
+		if req.Tier != "" && len(spec.Constraints.Tiers) == 0 {
+			t.Fatalf("accepted tier %q lost on the way to the spec", req.Tier)
+		}
+	})
+}
+
 // FuzzCampaignRequestDecode drives arbitrary bodies through the campaign
 // submit decode path, including the campaign-only switches and the shock
 // list construction.

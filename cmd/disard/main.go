@@ -21,6 +21,7 @@
 //	GET    /v1/autoscaler/events       NDJSON stream of scaling decisions
 //	GET    /v1/forecast                proactive-provisioning status (model scoreboard + planner target)
 //	GET    /v1/proxy                   LSMC proxy-tier status (default spec + hit-rate/error telemetry)
+//	GET    /v1/cost                    cost plane: purchasing defaults, lifetime spend, per-tier price card
 //	POST   /v1/loadgen/trace           generate a seeded synthetic load trace from a spec
 //	GET    /v1/cluster                 cluster status: workers, slices, fault-path counters (-cluster)
 //	POST   /v1/join                    worker registration (-cluster; called by disard -join)
@@ -79,6 +80,8 @@
 //	  "max_workers":  8,      // in-process valuation workers (0 = derive)
 //	  "seed":         42,     // valuation seed (0 = server-assigned)
 //	  "pace_factor":  0,      // wall-clock occupancy per simulated second (load testing)
+//	  "budget":       0,      // max billed USD; explicit 0 lifts the -max-cost default
+//	  "tier":         "",     // purchasing tiers: on-demand / reserved / spot / any ("" = daemon default)
 //	  "proxy": {              // optional: route through the LSMC proxy serving tier
 //	    "train_outer":    128,     // full nested valuations sampled for training
 //	    "train_inner":    0,       // inner paths per training valuation (0 = job's inner)
@@ -97,6 +100,14 @@
 // proxy tier with -proxy-budget, -proxy-sample and -proxy-model; GET
 // /v1/proxy reports the tier's aggregate hit-rate and error telemetry either
 // way.
+//
+// With -spot, jobs that do not pick their own "tier" may be placed on
+// reserved or revocable spot capacity whenever the deadline affords the
+// revocation risk; with -max-cost every job defaults to that billed-dollar
+// budget. A budget no tier mix can meet is rejected up front with 400 and a
+// body naming the cheapest feasible cost — no Retry-After, because waiting
+// does not make the same budget sufficient. GET /v1/cost reports the price
+// card and the service-lifetime spend.
 package main
 
 import (
@@ -104,6 +115,7 @@ import (
 	"flag"
 	"fmt"
 	"log"
+	"math"
 	"net/http"
 	"os"
 	"os/signal"
@@ -150,6 +162,8 @@ func run() error {
 		proxyBud  = flag.Float64("proxy-budget", 0, "default proxy relative error budget in (0,1] (0 = proxyval default)")
 		proxySamp = flag.Int("proxy-sample", 0, "default proxy training-sample size (0 = proxyval default)")
 		proxyMod  = flag.String("proxy-model", "", "default proxy model family: forest / poly / linear / mlp (empty = forest)")
+		spot      = flag.Bool("spot", false, "offer reserved and revocable spot capacity to jobs without their own tier field")
+		maxCost   = flag.Float64("max-cost", 0, "default per-job budget in USD; infeasible budgets are rejected up front (0 = unlimited)")
 
 		join        = flag.String("join", "", "worker mode: register with this coordinator base URL and execute shipped slices")
 		workerName  = flag.String("worker-name", "", "worker identity on the scenario ring (default <host>-<pid>)")
@@ -168,6 +182,9 @@ func run() error {
 	}
 	if *fcast && !*elastic {
 		return fmt.Errorf("-forecast requires -elastic: the hybrid policy overlays the reactive controller")
+	}
+	if *maxCost < 0 || math.IsNaN(*maxCost) {
+		return fmt.Errorf("-max-cost %v is not a non-negative dollar amount", *maxCost)
 	}
 	if *join != "" {
 		if *clusterMode || *spawn > 0 || *peersFlag != "" {
@@ -265,7 +282,11 @@ func run() error {
 	if coord != nil {
 		cl = newClusterState(coord, *selfURL, peers)
 	}
-	srv := &http.Server{Addr: *addr, Handler: newHandler(svc, d, *seed, defaultProxy, cl)}
+	var defaultTiers []disarcloud.Tier
+	if *spot {
+		defaultTiers = disarcloud.AllTiers()
+	}
+	srv := &http.Server{Addr: *addr, Handler: newHandler(svc, d, *seed, defaultProxy, cl, defaultTiers, *maxCost)}
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
 	defer stop()
 	errCh := make(chan error, 1)

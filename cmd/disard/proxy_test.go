@@ -20,7 +20,7 @@ func proxyTestServer(t *testing.T, def *disarcloud.ProxySpec, opts ...disarcloud
 	if err != nil {
 		t.Fatal(err)
 	}
-	srv := httptest.NewServer(newHandler(svc, d, 2016, def, nil))
+	srv := httptest.NewServer(newHandler(svc, d, 2016, def, nil, nil, 0))
 	t.Cleanup(func() {
 		srv.Close()
 		svc.Close()

@@ -23,6 +23,12 @@ type server struct {
 	// defaultProxy, when non-nil, routes every job that does not carry its
 	// own "proxy" section through the LSMC proxy serving tier (-proxy flag).
 	defaultProxy *disarcloud.ProxySpec
+	// defaultTiers are the purchasing tiers offered to jobs without their own
+	// "tier" field (-spot flag); nil means on-demand only.
+	defaultTiers []disarcloud.Tier
+	// defaultBudget, when positive, caps jobs that do not carry their own
+	// "budget" field (-max-cost flag).
+	defaultBudget float64
 	// cluster, when non-nil, attaches coordinator mode: the cluster API and
 	// status endpoint, and consistent-hash submission routing across peer
 	// coordinators (-cluster / -peers flags).
@@ -32,8 +38,9 @@ type server struct {
 	jobSeq atomic.Uint64
 }
 
-func newHandler(svc *disarcloud.Service, d *disarcloud.Deployer, seed uint64, defaultProxy *disarcloud.ProxySpec, cl *clusterState) http.Handler {
-	s := &server{svc: svc, d: d, seed: seed, defaultProxy: defaultProxy, cluster: cl}
+func newHandler(svc *disarcloud.Service, d *disarcloud.Deployer, seed uint64, defaultProxy *disarcloud.ProxySpec, cl *clusterState, defaultTiers []disarcloud.Tier, defaultBudget float64) http.Handler {
+	s := &server{svc: svc, d: d, seed: seed, defaultProxy: defaultProxy, cluster: cl,
+		defaultTiers: defaultTiers, defaultBudget: defaultBudget}
 	mux := http.NewServeMux()
 	if cl != nil && cl.coord != nil {
 		cl.coord.Routes(mux)
@@ -55,6 +62,7 @@ func newHandler(svc *disarcloud.Service, d *disarcloud.Deployer, seed uint64, de
 	mux.HandleFunc("GET /v1/forecast", s.forecast)
 	mux.HandleFunc("GET /v1/proxy", s.proxy)
 	mux.HandleFunc("POST /v1/loadgen/trace", s.loadgenTrace)
+	mux.HandleFunc("GET /v1/cost", s.cost)
 	mux.HandleFunc("GET /healthz", s.health)
 	return mux
 }
@@ -82,6 +90,15 @@ type jobRequest struct {
 	// {} selects the tier with all defaults; omitting the field uses the
 	// daemon's -proxy default (if any).
 	Proxy *proxyRequest `json:"proxy"`
+	// Budget caps the job's billed dollars; a pointer so an explicit 0
+	// (unlimited — lifts the daemon's -max-cost default for this job) is
+	// distinguishable from an omitted field (which takes that default).
+	// Values above the request ceiling are clamped, not rejected.
+	Budget *float64 `json:"budget"`
+	// Tier names the purchasing tiers the selector may buy: "on-demand",
+	// "reserved" (on-demand + reserved), "spot" (on-demand + spot) or "any".
+	// Empty uses the daemon's default (-spot selects "any").
+	Tier string `json:"tier"`
 }
 
 // proxyRequest is the per-job proxy-tier section of a submit body; zero
@@ -127,6 +144,10 @@ const (
 	// maxReqProxyDegree mirrors the proxyval basis-degree ceiling: the
 	// tensor basis is exponential in the degree.
 	maxReqProxyDegree = 6
+	// maxReqBudget caps a per-job budget: past a million dollars the field is
+	// not a constraint any more, and a finite ceiling keeps degenerate huge
+	// values out of the accountant's arithmetic. Larger budgets clamp here.
+	maxReqBudget = 1e6
 )
 
 // validate rejects proxy sections that are out of range before they reach
@@ -228,10 +249,49 @@ func (r *jobRequest) validate() error {
 	case r.PaceFactor < 0 || r.PaceFactor > maxReqPace || math.IsNaN(r.PaceFactor):
 		return fmt.Errorf("pace_factor %v outside [0,%v]", r.PaceFactor, maxReqPace)
 	}
+	if r.Budget != nil && (math.IsNaN(*r.Budget) || *r.Budget < 0) {
+		return fmt.Errorf("budget %v is not a non-negative dollar amount", *r.Budget)
+	}
+	if _, err := tiersOf(r.Tier, nil); err != nil {
+		return err
+	}
 	if r.Proxy != nil {
 		return r.Proxy.validate()
 	}
 	return nil
+}
+
+// tiersOf maps the request's tier name onto the purchasing tiers the
+// selector may buy. The empty name takes the daemon default (on-demand when
+// none was configured).
+func tiersOf(name string, serverDefault []disarcloud.Tier) ([]disarcloud.Tier, error) {
+	switch name {
+	case "":
+		return serverDefault, nil
+	case "on-demand":
+		return []disarcloud.Tier{disarcloud.TierOnDemand}, nil
+	case "reserved":
+		return []disarcloud.Tier{disarcloud.TierOnDemand, disarcloud.TierReserved}, nil
+	case "spot":
+		return []disarcloud.Tier{disarcloud.TierOnDemand, disarcloud.TierSpot}, nil
+	case "any":
+		return disarcloud.AllTiers(), nil
+	default:
+		return nil, fmt.Errorf("tier %q not one of on-demand, reserved, spot, any", name)
+	}
+}
+
+// budgetOf resolves a request's budget against the daemon default, clamping
+// at the request ceiling. +Inf means "explicitly unlimited" and clamps too.
+func (s *server) budgetOf(req *jobRequest) float64 {
+	b := s.defaultBudget
+	if req.Budget != nil {
+		b = *req.Budget
+	}
+	if b > maxReqBudget {
+		b = maxReqBudget
+	}
+	return b
 }
 
 // buildSpec decodes, defaults and validates a job request into a simulation
@@ -259,6 +319,10 @@ func (s *server) buildSpec(req *jobRequest) (disarcloud.SimulationSpec, error) {
 		cp := *s.defaultProxy
 		proxy = &cp
 	}
+	tiers, err := tiersOf(req.Tier, s.defaultTiers)
+	if err != nil {
+		return disarcloud.SimulationSpec{}, err
+	}
 	return disarcloud.SimulationSpec{
 		Portfolio: p,
 		Fund:      disarcloud.TypicalItalianFund(req.FundAssets, market),
@@ -267,12 +331,31 @@ func (s *server) buildSpec(req *jobRequest) (disarcloud.SimulationSpec, error) {
 		Inner:     req.Inner,
 		Constraints: disarcloud.Constraints{
 			TmaxSeconds: req.TmaxSeconds, MaxNodes: req.MaxNodes, Epsilon: *req.Epsilon,
+			MaxCost: s.budgetOf(req), Tiers: tiers,
 		},
 		MaxWorkers: req.MaxWorkers,
 		Seed:       req.Seed,
 		PaceFactor: req.PaceFactor,
 		Proxy:      proxy,
 	}, nil
+}
+
+// writeSubmitError maps a Submit/SubmitCampaign error onto the response.
+// Budget rejections get their own structured body: the client asked for
+// something the money cannot buy, so the body names the cheapest feasible
+// cost to resubmit with — a 400 without Retry-After, because no amount of
+// waiting makes the same budget sufficient.
+func writeSubmitError(w http.ResponseWriter, err error) {
+	var be *disarcloud.BudgetError
+	if errors.As(err, &be) {
+		writeJSON(w, http.StatusBadRequest, map[string]any{
+			"error":        be.Error(),
+			"cheapest_usd": be.CheapestUSD,
+			"max_cost_usd": be.MaxCostUSD,
+		})
+		return
+	}
+	httpError(w, submitStatus(w, err), err)
 }
 
 // submitStatus maps a Submit/SubmitCampaign error to its HTTP status and
@@ -367,7 +450,7 @@ func (s *server) submit(w http.ResponseWriter, r *http.Request) {
 	// context, not the request's, so clients can fire and poll.
 	id, err := s.svc.Submit(context.Background(), spec)
 	if err != nil {
-		httpError(w, submitStatus(w, err), err)
+		writeSubmitError(w, err)
 		return
 	}
 	writeJSON(w, http.StatusAccepted, map[string]string{"id": string(id)})
@@ -403,6 +486,9 @@ type resultJSON struct {
 	SCR    float64                    `json:"scr"`
 	Blocks map[string]blockResultJSON `json:"blocks"`
 	Deploy deployJSON                 `json:"deploy"`
+	// Cost is the money side of the deploy, including the budget state when
+	// the job carried one.
+	Cost disarcloud.CostReport `json:"cost"`
 	// Proxy carries the serving telemetry when the job ran through the
 	// LSMC proxy tier; absent for plain nested valuations.
 	Proxy *proxyReportJSON `json:"proxy,omitempty"`
@@ -435,10 +521,13 @@ func proxyReportJSONOf(rep *disarcloud.ProxyReport) *proxyReportJSON {
 
 type deployJSON struct {
 	Choice           string  `json:"choice"`
+	Tier             string  `json:"tier"`
 	PredictedSeconds float64 `json:"predicted_seconds"`
 	ActualSeconds    float64 `json:"actual_seconds"`
 	ProRataUSD       float64 `json:"prorata_usd"`
 	BilledUSD        float64 `json:"billed_usd"`
+	OnDemandUSD      float64 `json:"on_demand_usd"`
+	Revocations      int     `json:"revocations"`
 	Bootstrap        bool    `json:"bootstrap"`
 	Fallback         bool    `json:"fallback"`
 	KBSize           int     `json:"kb_size"`
@@ -477,14 +566,18 @@ func (s *server) result(w http.ResponseWriter, r *http.Request) {
 		Blocks: make(map[string]blockResultJSON, len(rep.Results)),
 		Deploy: deployJSON{
 			Choice:           rep.Deploy.Choice.String(),
+			Tier:             rep.Deploy.Choice.Tier.String(),
 			PredictedSeconds: rep.Deploy.PredictedSeconds,
 			ActualSeconds:    rep.Deploy.ActualSeconds,
 			ProRataUSD:       rep.Deploy.ProRataUSD,
 			BilledUSD:        rep.Deploy.BilledUSD,
+			OnDemandUSD:      rep.Deploy.OnDemandUSD,
+			Revocations:      rep.Deploy.Revocations,
 			Bootstrap:        rep.Deploy.Bootstrap,
 			Fallback:         rep.Deploy.Fallback,
 			KBSize:           rep.Deploy.KBSize,
 		},
+		Cost:  rep.Cost,
 		Proxy: proxyReportJSONOf(rep.Proxy),
 	}
 	for bid, res := range rep.Results {
@@ -630,7 +723,7 @@ func (s *server) submitCampaign(w http.ResponseWriter, r *http.Request) {
 		NoScenarioReuse: req.NoReuse,
 	})
 	if err != nil {
-		httpError(w, submitStatus(w, err), err)
+		writeSubmitError(w, err)
 		return
 	}
 	writeJSON(w, http.StatusAccepted, map[string]string{"id": string(id)})
@@ -888,6 +981,56 @@ func (s *server) proxy(w http.ResponseWriter, _ *http.Request) {
 			Model:         d.Model,
 			Degree:        d.Degree,
 		}
+	}
+	writeJSON(w, http.StatusOK, out)
+}
+
+// priceJSON is one catalog row of the cost endpoint: the hourly price of the
+// instance type under each purchasing tier. Spot is the mean-reverting
+// process's expected hourly rate, not a point-in-time quote.
+type priceJSON struct {
+	Type            string  `json:"type"`
+	VCPUs           int     `json:"vcpus"`
+	OnDemandUSD     float64 `json:"on_demand_usd"`
+	ReservedUSD     float64 `json:"reserved_usd"`
+	SpotExpectedUSD float64 `json:"spot_expected_usd"`
+}
+
+type costJSON struct {
+	// SpotEnabled says whether jobs without their own "tier" field may buy
+	// spot capacity (-spot flag).
+	SpotEnabled bool `json:"spot_enabled"`
+	// DefaultMaxCostUSD is the daemon's per-job budget default (-max-cost);
+	// absent when jobs are unbounded by default.
+	DefaultMaxCostUSD float64 `json:"default_max_cost_usd,omitempty"`
+	// Totals aggregates the money side of every completed deploy.
+	Totals disarcloud.CostReport `json:"totals"`
+	Prices []priceJSON           `json:"prices"`
+}
+
+// cost reports the cost-aware provisioning plane: the daemon's purchasing
+// defaults, the service-lifetime spend, and the per-tier price card.
+func (s *server) cost(w http.ResponseWriter, _ *http.Request) {
+	ps := s.d.Provider().PriceSchedule()
+	spot := false
+	for _, tier := range s.defaultTiers {
+		if tier == disarcloud.TierSpot {
+			spot = true
+		}
+	}
+	out := costJSON{
+		SpotEnabled:       spot,
+		DefaultMaxCostUSD: s.defaultBudget,
+		Totals:            s.svc.CostStatus(),
+	}
+	for _, it := range disarcloud.Catalog() {
+		out.Prices = append(out.Prices, priceJSON{
+			Type:            it.Name,
+			VCPUs:           it.VCPUs,
+			OnDemandUSD:     ps.HourlyUSD(it, disarcloud.TierOnDemand, 0),
+			ReservedUSD:     ps.HourlyUSD(it, disarcloud.TierReserved, 0),
+			SpotExpectedUSD: ps.ExpectedHourlyUSD(it, disarcloud.TierSpot),
+		})
 	}
 	writeJSON(w, http.StatusOK, out)
 }

@@ -26,7 +26,7 @@ func newTestServer(t *testing.T, opts ...disarcloud.ServiceOption) (*httptest.Se
 	if err != nil {
 		t.Fatal(err)
 	}
-	srv := httptest.NewServer(newHandler(svc, d, 2016, nil, nil))
+	srv := httptest.NewServer(newHandler(svc, d, 2016, nil, nil, nil, 0))
 	t.Cleanup(func() {
 		srv.Close()
 		svc.Close()

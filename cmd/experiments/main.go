@@ -11,6 +11,7 @@
 //	proxy    LSMC proxy serving tier: throughput-vs-accuracy frontier
 //	cluster  campaign throughput on 1..8-worker clusters + mid-run worker kill
 //	verify   exact MDP model checking of the scaling policies + Pareto sweep
+//	cost     on-demand vs spot-heavy fleet: billed cost, revocations, SCR bit-compare
 //	all      everything above
 //
 // A knowledge base of -kb samples is built through the self-optimizing loop
@@ -39,7 +40,7 @@ func main() {
 
 func run() error {
 	var (
-		which   = flag.String("run", "all", "experiment: tableI|tableII|fig2|fig3|fig4|final|ablation|proxy|cluster|verify|all")
+		which   = flag.String("run", "all", "experiment: tableI|tableII|fig2|fig3|fig4|final|ablation|proxy|cluster|verify|cost|all")
 		kbSize  = flag.Int("kb", 1500, "knowledge-base samples to build (paper: ~1500)")
 		kbFile  = flag.String("kbfile", "", "load the knowledge base from this JSON instead of building it")
 		seed    = flag.Uint64("seed", 2016, "root seed")
@@ -57,7 +58,7 @@ func run() error {
 	// The proxy frontier, the cluster sweep and the policy verification
 	// value blocks (or pure models) directly; only build the (slow)
 	// knowledge base when some requested experiment consumes it.
-	if *which == "all" || !(strings.EqualFold(*which, "proxy") || strings.EqualFold(*which, "cluster") || strings.EqualFold(*which, "verify")) {
+	if *which == "all" || !(strings.EqualFold(*which, "proxy") || strings.EqualFold(*which, "cluster") || strings.EqualFold(*which, "verify") || strings.EqualFold(*which, "cost")) {
 		if *kbFile != "" {
 			base, err = kb.LoadFile(*kbFile)
 			if err != nil {
@@ -196,6 +197,15 @@ func run() error {
 			return err
 		}
 		cc.Print(out)
+		fmt.Fprintln(out)
+		ranAny = true
+	}
+	if want("cost") {
+		cmp, err := experiments.RunCostComparison(*seed+8, 30)
+		if err != nil {
+			return err
+		}
+		cmp.PrintCostComparison(out)
 		fmt.Fprintln(out)
 		ranAny = true
 	}

@@ -401,6 +401,58 @@ var (
 	PredictorEstimator = core.PredictorEstimator
 )
 
+// Cost-aware provisioning plane: per-provider price schedules (on-demand,
+// reserved-discount and a seeded mean-reverting spot market with Poisson
+// revocations), the cost-vs-deadline Pareto selector behind Constraints.Tiers
+// and Constraints.MaxCost, and campaign-wide budget accounting. Tier and
+// budget choices move money, never valuation bits: the golden SCR is
+// byte-identical under every tier mix.
+type (
+	// Tier is a purchasing tier of the simulated cloud.
+	Tier = cloud.Tier
+	// PriceSchedule prices the catalog per tier, with a seeded spot-price walk.
+	PriceSchedule = cloud.PriceSchedule
+	// SpotMarket parameterises the spot price process and revocation rate.
+	SpotMarket = cloud.SpotMarket
+	// CostReport totals the money side of a job or campaign: billed dollars,
+	// the all-on-demand counterfactual, savings, revocations survived, and
+	// the budget state when one was set.
+	CostReport = core.CostReport
+	// BudgetError carries the numbers behind a budget rejection: the cheapest
+	// feasible cost and the budget that could not cover it.
+	BudgetError = core.BudgetError
+	// OverBudgetError is the selector-level form of the same rejection.
+	OverBudgetError = provision.OverBudgetError
+)
+
+// Purchasing tiers.
+const (
+	TierOnDemand = cloud.TierOnDemand
+	TierReserved = cloud.TierReserved
+	TierSpot     = cloud.TierSpot
+)
+
+// MinSamplesToTrain is the smallest per-architecture knowledge-base sample
+// after which the predictors train — the floor for Deployer.Bootstrap runs.
+const MinSamplesToTrain = provision.MinSamplesToTrain
+
+// Cost-plane construction and errors.
+var (
+	// AllTiers lists every purchasing tier.
+	AllTiers = cloud.AllTiers
+	// ParseTier maps a tier name ("on-demand", "reserved", "spot") to its Tier.
+	ParseTier = cloud.ParseTier
+	// DefaultPriceSchedule returns the calibrated per-tier price schedule.
+	DefaultPriceSchedule = cloud.DefaultPriceSchedule
+	// DefaultSpotMarket returns the calibrated spot market parameters.
+	DefaultSpotMarket = cloud.DefaultSpotMarket
+	// ErrBudgetRejected means a budget cannot cover the cheapest feasible
+	// deploy (or is exhausted); every *BudgetError wraps it.
+	ErrBudgetRejected = core.ErrBudgetRejected
+	// ErrOverBudget is the selector-level sentinel *OverBudgetError wraps.
+	ErrOverBudget = provision.ErrOverBudget
+)
+
 // Service errors.
 var (
 	// ErrServiceClosed is returned by Submit after Close.

@@ -54,19 +54,27 @@ func startGoldenCluster(t *testing.T, n int) (*disarcloud.ClusterCoordinator, []
 }
 
 // goldenClusterRun executes the pinned campaign with the cluster as the
-// deployer's block runner. With killOne set, one worker is closed as soon
-// as slices start flowing, forcing dead-worker detection and re-slicing
-// mid-campaign.
-func goldenClusterRun(t *testing.T, n int, killOne bool) goldenSCR {
+// deployer's block runner. disrupt selects a mid-campaign fault injected as
+// soon as slices start flowing: "kill" closes a worker process (dead-worker
+// detection and re-slicing), "revoke" reclaims its spot instance while the
+// process keeps running (in-flight results discarded and re-sliced).
+func goldenClusterRun(t *testing.T, n int, disrupt string) goldenSCR {
 	t.Helper()
 	coord, workers := startGoldenCluster(t, n)
-	if killOne {
+	if disrupt != "" {
 		go func() {
 			deadline := time.Now().Add(10 * time.Second)
 			for coord.Status().SlicesDispatched == 0 && time.Now().Before(deadline) {
 				time.Sleep(time.Millisecond)
 			}
-			workers[0].Close()
+			switch disrupt {
+			case "kill":
+				workers[0].Close()
+			case "revoke":
+				if !coord.Revoke("golden-0") {
+					t.Error("Revoke(golden-0) found no live member")
+				}
+			}
 		}()
 	}
 	d, err := disarcloud.NewDeployer(goldenSeed, disarcloud.WithBlockRunner(coord))
@@ -78,19 +86,26 @@ func goldenClusterRun(t *testing.T, n int, killOne bool) goldenSCR {
 	if st.SlicesDispatched == 0 {
 		t.Fatal("golden campaign ran without shipping a single slice to the cluster")
 	}
-	t.Logf("cluster n=%d kill=%v: %d slices, %d failures, %d reslices, %d local fallbacks",
-		n, killOne, st.SlicesDispatched, st.SliceFailures, st.Reslices, st.LocalFallbacks)
+	if disrupt == "revoke" && st.Revocations != 1 {
+		t.Fatalf("revocation counter %d, want 1", st.Revocations)
+	}
+	t.Logf("cluster n=%d disrupt=%q: %d slices, %d failures, %d reslices, %d revocations, %d local fallbacks",
+		n, disrupt, st.SlicesDispatched, st.SliceFailures, st.Reslices, st.Revocations, st.LocalFallbacks)
 	return got
 }
 
 func TestGoldenSCRClusterOneWorker(t *testing.T) {
-	compareGolden(t, goldenClusterRun(t, 1, false), readGolden(t))
+	compareGolden(t, goldenClusterRun(t, 1, ""), readGolden(t))
 }
 
 func TestGoldenSCRClusterFourWorkers(t *testing.T) {
-	compareGolden(t, goldenClusterRun(t, 4, false), readGolden(t))
+	compareGolden(t, goldenClusterRun(t, 4, ""), readGolden(t))
 }
 
 func TestGoldenSCRClusterSurvivesWorkerKill(t *testing.T) {
-	compareGolden(t, goldenClusterRun(t, 4, true), readGolden(t))
+	compareGolden(t, goldenClusterRun(t, 4, "kill"), readGolden(t))
+}
+
+func TestGoldenSCRClusterSurvivesRevocation(t *testing.T) {
+	compareGolden(t, goldenClusterRun(t, 4, "revoke"), readGolden(t))
 }

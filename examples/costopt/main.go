@@ -1,13 +1,22 @@
-// Costopt reproduces the closing experiment of the paper's Section IV: for
-// a large valuation, force the deploy onto (a) the higher-end VM and (b)
-// the most cost-effective one, and compare with the ML-selected
-// configuration. The paper reports the ML choice cutting cost by up to 54%
-// versus the high-end machine while cutting execution time by up to 48%
-// versus the cost-effective one — a point between the two extremes that
-// only configuration exploration finds.
+// Costopt reproduces the closing experiment of the paper's Section IV and
+// then walks the cost-aware provisioning plane built on top of it.
+//
+// Part 1 (the paper): for a large valuation, force the deploy onto (a) the
+// higher-end VM and (b) the most cost-effective one, and compare with the
+// ML-selected configuration. The paper reports the ML choice cutting cost
+// by up to 54% versus the high-end machine while cutting execution time by
+// up to 48% versus the cost-effective one — a point between the two
+// extremes that only configuration exploration finds.
+//
+// Part 2 (the cost plane): the same workload priced through the Pareto
+// selector — the cost-vs-deadline frontier across purchasing tiers, an
+// on-demand versus spot-enabled deploy of the same job, and a budget cap
+// tight enough to be rejected up front with the cheapest feasible figure.
 package main
 
 import (
+	"context"
+	"errors"
 	"fmt"
 	"log"
 	"os"
@@ -39,8 +48,6 @@ func main() {
 		f.RepresentativeContracts, f.MaxHorizon, f.FundAssets, f.RiskFactors,
 		f.OuterPaths, f.InnerPaths)
 
-	// A binding deadline (75% of the cheapest machine's time) forces the
-	// money-vs-speed trade-off of the paper's comparison.
 	res, err := experiments.EvaluateFinalComparison(
 		campaign.Deployer.Selector(), cloud.DefaultPerfModel(), f,
 		provision.Constraints{TmaxSeconds: 0, MaxNodes: 8, Epsilon: 0})
@@ -48,4 +55,67 @@ func main() {
 		log.Fatal(err)
 	}
 	res.PrintFinal(os.Stdout)
+
+	// --- Part 2: the cost-aware provisioning plane. -----------------------
+
+	ctx := context.Background()
+	sel := campaign.Deployer.Selector()
+	cons := provision.Constraints{
+		TmaxSeconds: 3600, MaxNodes: 8, Epsilon: 0, Tiers: cloud.AllTiers(),
+	}
+
+	// The Pareto frontier across every (type, nodes, tier) candidate inside
+	// the deadline: each successive point buys strictly more speed for
+	// strictly more money. Algorithm 1 picks its cheapest point.
+	cands, err := sel.Candidates(ctx, f, cons)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\ncost-vs-deadline Pareto frontier (Tmax %.0fs, all tiers, %d candidates):\n",
+		cons.TmaxSeconds, len(cands))
+	for i, ch := range provision.Frontier(cands) {
+		fmt.Printf("  %d. %-40s %8.1fs  %7.2f$ billed\n",
+			i+1, ch.String(), ch.PredictedSeconds, ch.PredictedBilledUSD)
+	}
+
+	// The same job deployed twice: once on-demand only, once with the spot
+	// market open. Tier choice moves the bill, never the valuation.
+	fmt.Println("\ndeploying the workload on each fleet:")
+	for _, fleet := range []struct {
+		name  string
+		tiers []cloud.Tier
+	}{
+		{"on-demand", nil},
+		{"spot-enabled", cloud.AllTiers()},
+	} {
+		c := cons
+		c.Tiers = fleet.tiers
+		rep, err := campaign.Deployer.Deploy(ctx, f, c)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("  %-12s %-40s %8.1fs  %6.2f$ billed (on-demand equiv %.2f$, %d revocations)\n",
+			fleet.name, rep.Choice.String(), rep.ActualSeconds,
+			rep.BilledUSD, rep.OnDemandUSD, rep.Revocations)
+	}
+
+	// A budget below the cheapest feasible deploy is rejected up front; the
+	// error names the figure to resubmit with.
+	tight := cons
+	tight.MaxCost = 0.05
+	_, err = campaign.Deployer.Deploy(ctx, f, tight)
+	var be *core.BudgetError
+	if !errors.As(err, &be) {
+		log.Fatalf("expected a budget rejection, got %v", err)
+	}
+	fmt.Printf("\nbudget %.2f$ rejected up front: cheapest feasible deploy costs %.2f$\n",
+		be.MaxCostUSD, be.CheapestUSD)
+	ok := cons
+	ok.MaxCost = be.CheapestUSD * 1.5
+	rep, err := campaign.Deployer.Deploy(ctx, f, ok)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("budget %.2f$ accepted: %s billed %.2f$\n",
+		ok.MaxCost, rep.Choice.String(), rep.BilledUSD)
 }

@@ -33,7 +33,7 @@ func BenchmarkClusterLifecycle(b *testing.B) {
 	rng := finmath.NewRNG(1)
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		c, err := p.Launch(rng, it, 4)
+		c, err := p.Launch(rng, it, 4, TierOnDemand)
 		if err != nil {
 			b.Fatal(err)
 		}

@@ -208,7 +208,7 @@ func TestLaunchAndBilling(t *testing.T) {
 	}
 	it, _ := TypeByName("c3.4xlarge")
 	rng := finmath.NewRNG(1)
-	c, err := p.Launch(rng, it, 4)
+	c, err := p.Launch(rng, it, 4, TierOnDemand)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -247,10 +247,10 @@ func TestLaunchValidation(t *testing.T) {
 	p, _ := NewProvider(DefaultPerfModel())
 	rng := finmath.NewRNG(2)
 	it, _ := TypeByName("c3.4xlarge")
-	if _, err := p.Launch(rng, it, 0); err == nil {
+	if _, err := p.Launch(rng, it, 0, TierOnDemand); err == nil {
 		t.Fatal("zero-size cluster accepted")
 	}
-	if _, err := p.Launch(rng, InstanceType{Name: "x1.fake"}, 1); err == nil {
+	if _, err := p.Launch(rng, InstanceType{Name: "x1.fake"}, 1, TierOnDemand); err == nil {
 		t.Fatal("unknown type accepted")
 	}
 }
@@ -265,11 +265,11 @@ func TestBootRetriesLengthenStartup(t *testing.T) {
 	it, _ := TypeByName("m4.4xlarge")
 	var flakySum, reliableSum float64
 	for i := 0; i < 50; i++ {
-		cf, err := p.Launch(finmath.NewRNG(uint64(i)), it, 3)
+		cf, err := p.Launch(finmath.NewRNG(uint64(i)), it, 3, TierOnDemand)
 		if err != nil {
 			t.Fatal(err)
 		}
-		cr, _ := reliable.Launch(finmath.NewRNG(uint64(i)), it, 3)
+		cr, _ := reliable.Launch(finmath.NewRNG(uint64(i)), it, 3, TierOnDemand)
 		flakySum += cf.ElapsedSeconds()
 		reliableSum += cr.ElapsedSeconds()
 	}
@@ -283,7 +283,7 @@ func TestLaunchFailsAfterRetryBudget(t *testing.T) {
 	p.BootFailureProb = 1.0
 	p.MaxBootRetries = 2
 	it, _ := TypeByName("c4.4xlarge")
-	if _, err := p.Launch(finmath.NewRNG(3), it, 1); err == nil {
+	if _, err := p.Launch(finmath.NewRNG(3), it, 1, TierOnDemand); err == nil {
 		t.Fatal("permanently failing boot accepted")
 	}
 }
@@ -322,7 +322,7 @@ func TestRunBlockRejectsBadParams(t *testing.T) {
 	p, _ := NewProvider(DefaultPerfModel())
 	it, _ := TypeByName("c3.4xlarge")
 	rng := finmath.NewRNG(5)
-	c, _ := p.Launch(rng, it, 1)
+	c, _ := p.Launch(rng, it, 1, TierOnDemand)
 	bad := typicalParams()
 	bad.MaxHorizon = 0
 	if _, err := c.RunBlock(rng, bad); err == nil {

@@ -1,0 +1,291 @@
+package cloud
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"sync"
+
+	"disarcloud/internal/finmath"
+)
+
+// Tier is the purchase tier a cluster is provisioned under. The tier changes
+// what the VMs cost and how reliable they are — never what they compute.
+type Tier uint8
+
+const (
+	// TierOnDemand is the classic pay-per-hour tier: the catalog price, no
+	// revocation risk. The zero value, so every pre-existing caller keeps
+	// its 2016 on-demand semantics.
+	TierOnDemand Tier = iota
+	// TierReserved models a reservation commitment: a flat discount off the
+	// on-demand rate, same reliability.
+	TierReserved
+	// TierSpot bids on the spare-capacity market: the hourly price follows a
+	// seeded mean-reverting process well below on-demand, but the provider
+	// may revoke instances mid-run (a seeded Poisson process per cluster).
+	TierSpot
+)
+
+// AllTiers lists every purchase tier in ascending enum order.
+func AllTiers() []Tier { return []Tier{TierOnDemand, TierReserved, TierSpot} }
+
+// String implements fmt.Stringer with the request-vocabulary names.
+func (t Tier) String() string {
+	switch t {
+	case TierOnDemand:
+		return "on-demand"
+	case TierReserved:
+		return "reserved"
+	case TierSpot:
+		return "spot"
+	default:
+		return fmt.Sprintf("tier(%d)", uint8(t))
+	}
+}
+
+// Valid reports whether t names a known tier.
+func (t Tier) Valid() bool { return t <= TierSpot }
+
+// ParseTier maps a request-vocabulary tier name onto its Tier.
+func ParseTier(s string) (Tier, error) {
+	for _, t := range AllTiers() {
+		if t.String() == s {
+			return t, nil
+		}
+	}
+	return 0, fmt.Errorf("cloud: unknown tier %q (want on-demand, reserved or spot)", s)
+}
+
+// SpotMarket parameterises the spot tier of a price schedule: the hourly
+// price is OnDemand * fraction, where the fraction follows a discretized
+// mean-reverting (Ornstein-Uhlenbeck) process per instance type, stepped
+// once per billing hour and clamped to [Floor, Cap].
+type SpotMarket struct {
+	// MeanFraction is the long-run spot price as a fraction of on-demand
+	// (2016 us-east-1 spot hovered around a third of on-demand).
+	MeanFraction float64
+	// Reversion is the per-hour pull toward MeanFraction.
+	Reversion float64
+	// Volatility is the per-hour Gaussian noise in fraction space.
+	Volatility float64
+	// FloorFraction / CapFraction clamp the fraction; the cap at 1 encodes
+	// "spot never costs more than on-demand" (past that you would just buy
+	// on-demand).
+	FloorFraction float64
+	CapFraction   float64
+	// RevocationsPerHour is the Poisson rate of the per-cluster revocation
+	// process: how often the provider reclaims a spot instance, per hour of
+	// cluster lifetime.
+	RevocationsPerHour float64
+}
+
+// Validate reports whether the spot market is admissible.
+func (m SpotMarket) Validate() error {
+	switch {
+	case !(m.MeanFraction > 0) || m.MeanFraction > 1:
+		return errors.New("cloud: spot mean fraction outside (0,1]")
+	case m.Reversion < 0 || m.Reversion > 1 || math.IsNaN(m.Reversion):
+		return errors.New("cloud: spot reversion outside [0,1]")
+	case m.Volatility < 0 || math.IsNaN(m.Volatility) || math.IsInf(m.Volatility, 0):
+		return errors.New("cloud: spot volatility must be finite and non-negative")
+	case !(m.FloorFraction > 0) || m.CapFraction < m.FloorFraction || m.CapFraction > 1:
+		return errors.New("cloud: spot floor/cap must satisfy 0 < floor <= cap <= 1")
+	case m.RevocationsPerHour < 0 || math.IsNaN(m.RevocationsPerHour) || math.IsInf(m.RevocationsPerHour, 0):
+		return errors.New("cloud: revocation rate must be finite and non-negative")
+	}
+	return nil
+}
+
+// DefaultSpotMarket returns the calibrated 2016-flavoured spot market:
+// prices around a third of on-demand, moderate hourly wander, and a
+// revocation every ~2 cluster-hours — flaky enough that the fault path
+// earns its keep, cheap enough that the Pareto selector wants it.
+func DefaultSpotMarket() SpotMarket {
+	return SpotMarket{
+		MeanFraction:       0.32,
+		Reversion:          0.25,
+		Volatility:         0.06,
+		FloorFraction:      0.10,
+		CapFraction:        1.00,
+		RevocationsPerHour: 0.5,
+	}
+}
+
+// PriceSchedule is a provider's pricing plan across purchase tiers:
+// on-demand straight from the catalog, reserved at a flat discount, and a
+// spot tier whose per-hour price follows a seeded mean-reverting process
+// per instance type. All spot prices are deterministic functions of
+// (schedule seed, instance type, hour index), so billing is reproducible
+// across processes and runs.
+type PriceSchedule struct {
+	// Seed roots every per-type spot price path.
+	Seed uint64
+	// ReservedDiscount is the flat fraction off on-demand for TierReserved.
+	ReservedDiscount float64
+	// Spot parameterises the spot tier.
+	Spot SpotMarket
+
+	// mu guards the lazily extended per-type spot fraction paths.
+	mu    sync.Mutex
+	paths map[string]*spotPath
+}
+
+// spotPath is one instance type's memoized spot fraction series plus the
+// RNG that extends it.
+type spotPath struct {
+	rng       *finmath.RNG
+	fractions []float64
+}
+
+// DefaultPriceScheduleSeed pins the default spot price paths; like the
+// golden seed it is the paper's conference year and must not change
+// casually — recorded spot bills depend on it.
+const DefaultPriceScheduleSeed = 2016
+
+// DefaultPriceSchedule returns the calibrated default schedule.
+func DefaultPriceSchedule() *PriceSchedule {
+	return &PriceSchedule{
+		Seed:             DefaultPriceScheduleSeed,
+		ReservedDiscount: 0.38,
+		Spot:             DefaultSpotMarket(),
+	}
+}
+
+// Validate reports whether the schedule is admissible.
+func (ps *PriceSchedule) Validate() error {
+	if ps == nil {
+		return errors.New("cloud: nil price schedule")
+	}
+	if ps.ReservedDiscount < 0 || ps.ReservedDiscount >= 1 || math.IsNaN(ps.ReservedDiscount) {
+		return errors.New("cloud: reserved discount outside [0,1)")
+	}
+	return ps.Spot.Validate()
+}
+
+// SpotFraction returns the spot price as a fraction of on-demand for the
+// given instance type during billing hour h (hours count from the cluster
+// epoch, hour 0 first). The underlying OU recurrence is seeded per
+// (schedule, type) and memoized, so the call is O(1) amortised.
+func (ps *PriceSchedule) SpotFraction(inst InstanceType, h int) float64 {
+	if h < 0 {
+		h = 0
+	}
+	ps.mu.Lock()
+	defer ps.mu.Unlock()
+	if ps.paths == nil {
+		ps.paths = make(map[string]*spotPath)
+	}
+	p, ok := ps.paths[inst.Name]
+	if !ok {
+		p = &spotPath{
+			rng:       finmath.NewRNG(ps.Seed ^ fnv64(inst.Name)),
+			fractions: []float64{ps.Spot.MeanFraction},
+		}
+		ps.paths[inst.Name] = p
+	}
+	m := ps.Spot
+	for len(p.fractions) <= h {
+		prev := p.fractions[len(p.fractions)-1]
+		next := prev + m.Reversion*(m.MeanFraction-prev) + m.Volatility*p.rng.NormFloat64()
+		if next < m.FloorFraction {
+			next = m.FloorFraction
+		}
+		if next > m.CapFraction {
+			next = m.CapFraction
+		}
+		p.fractions = append(p.fractions, next)
+	}
+	return p.fractions[h]
+}
+
+// HourlyUSD returns the per-VM price of one billing hour under the tier in
+// effect: the catalog rate, the reserved discount off it, or the spot
+// price of that specific hour.
+func (ps *PriceSchedule) HourlyUSD(inst InstanceType, tier Tier, hour int) float64 {
+	switch tier {
+	case TierReserved:
+		return inst.HourlyUSD * (1 - ps.ReservedDiscount)
+	case TierSpot:
+		return inst.HourlyUSD * ps.SpotFraction(inst, hour)
+	default:
+		return inst.HourlyUSD
+	}
+}
+
+// ExpectedHourlyUSD is the tier's long-run hourly price — what cost
+// prediction (Algorithm 1's hour_cost) uses before the specific billing
+// hours are known. For spot this is the process mean, not any realised hour.
+func (ps *PriceSchedule) ExpectedHourlyUSD(inst InstanceType, tier Tier) float64 {
+	switch tier {
+	case TierReserved:
+		return inst.HourlyUSD * (1 - ps.ReservedDiscount)
+	case TierSpot:
+		return inst.HourlyUSD * ps.Spot.MeanFraction
+	default:
+		return inst.HourlyUSD
+	}
+}
+
+// BilledCost accrues n VMs for the given duration against the schedule in
+// effect: every occupied billing hour is charged at that hour's tier price
+// (2016 EC2 hour-ceil rounding, minimum one hour for any positive usage).
+func (ps *PriceSchedule) BilledCost(inst InstanceType, tier Tier, n int, seconds float64) float64 {
+	hours := billableHours(seconds)
+	if hours == 0 {
+		return 0
+	}
+	if tier != TierSpot {
+		// Flat-rate tiers need no per-hour walk.
+		return float64(hours) * ps.HourlyUSD(inst, tier, 0) * float64(n)
+	}
+	total := 0.0
+	for h := 0; h < hours; h++ {
+		total += ps.HourlyUSD(inst, tier, h) * float64(n)
+	}
+	return total
+}
+
+// ProRataCost is the exact-duration cost attribution under the tier's
+// expected hourly price — the Table II currency, generalised across tiers.
+func (ps *PriceSchedule) ProRataCost(inst InstanceType, tier Tier, n int, seconds float64) float64 {
+	if seconds <= 0 {
+		return 0
+	}
+	return ps.ExpectedHourlyUSD(inst, tier) * float64(n) * seconds / 3600
+}
+
+// billingSlackSeconds absorbs float drift when a virtual clock lands a hair
+// past an hour boundary through accumulated additions: without it a cluster
+// whose elapsed time sums to 3600.0000000004s is billed a second full hour,
+// and CostReport totals stop being exact against hand-computed expectations.
+const billingSlackSeconds = 1e-6
+
+// billableHours is the shared 2016 EC2 rounding rule: hour-ceil with a
+// drift-absorbing slack, minimum one hour for any positive usage, zero
+// hours for zero (or degenerate negative) usage.
+func billableHours(seconds float64) int {
+	if !(seconds > 0) { // also rejects NaN
+		return 0
+	}
+	hours := math.Ceil((seconds - billingSlackSeconds) / 3600)
+	if hours < 1 {
+		hours = 1
+	}
+	return int(hours)
+}
+
+// fnv64 hashes a string with FNV-1a, used to derive per-type spot streams
+// from the schedule seed.
+func fnv64(s string) uint64 {
+	const (
+		offset = 14695981039346656037
+		prime  = 1099511628211
+	)
+	h := uint64(offset)
+	for i := 0; i < len(s); i++ {
+		h ^= uint64(s[i])
+		h *= prime
+	}
+	return h
+}

@@ -1,0 +1,272 @@
+package cloud
+
+import (
+	"math"
+	"testing"
+
+	"disarcloud/internal/finmath"
+)
+
+func TestTierStringParseRoundTrip(t *testing.T) {
+	for _, tier := range AllTiers() {
+		got, err := ParseTier(tier.String())
+		if err != nil || got != tier {
+			t.Fatalf("round trip %v -> %q -> %v (%v)", tier, tier.String(), got, err)
+		}
+		if !tier.Valid() {
+			t.Fatalf("%v not valid", tier)
+		}
+	}
+	if _, err := ParseTier("preemptible"); err == nil {
+		t.Fatal("unknown tier name accepted")
+	}
+	if Tier(99).Valid() {
+		t.Fatal("tier 99 valid")
+	}
+}
+
+func TestDefaultScheduleValidates(t *testing.T) {
+	if err := DefaultPriceSchedule().Validate(); err != nil {
+		t.Fatal(err)
+	}
+	var nilPS *PriceSchedule
+	if err := nilPS.Validate(); err == nil {
+		t.Fatal("nil schedule validated")
+	}
+	bad := DefaultPriceSchedule()
+	bad.ReservedDiscount = 1
+	if err := bad.Validate(); err == nil {
+		t.Fatal("full discount accepted")
+	}
+	bad = DefaultPriceSchedule()
+	bad.Spot.MeanFraction = 0
+	if err := bad.Validate(); err == nil {
+		t.Fatal("zero spot mean accepted")
+	}
+	bad = DefaultPriceSchedule()
+	bad.Spot.RevocationsPerHour = -1
+	if err := bad.Validate(); err == nil {
+		t.Fatal("negative revocation rate accepted")
+	}
+}
+
+func TestSpotFractionDeterministicAndBounded(t *testing.T) {
+	it, _ := TypeByName("c3.4xlarge")
+	a := DefaultPriceSchedule()
+	b := DefaultPriceSchedule()
+	for h := 0; h < 200; h++ {
+		fa := a.SpotFraction(it, h)
+		if fa != b.SpotFraction(it, h) {
+			t.Fatalf("spot fraction not deterministic at hour %d", h)
+		}
+		if fa < a.Spot.FloorFraction || fa > a.Spot.CapFraction {
+			t.Fatalf("hour %d fraction %v escapes [floor, cap]", h, fa)
+		}
+	}
+	// Out-of-order access must agree with sequential access.
+	c := DefaultPriceSchedule()
+	if c.SpotFraction(it, 150) != a.SpotFraction(it, 150) {
+		t.Fatal("random access diverges from sequential")
+	}
+	// Negative hours clamp to hour 0.
+	if a.SpotFraction(it, -5) != a.SpotFraction(it, 0) {
+		t.Fatal("negative hour not clamped")
+	}
+}
+
+func TestSpotFractionMeanNearTarget(t *testing.T) {
+	ps := DefaultPriceSchedule()
+	it, _ := TypeByName("m4.10xlarge")
+	n := 5000
+	sum := 0.0
+	for h := 0; h < n; h++ {
+		sum += ps.SpotFraction(it, h)
+	}
+	avg := sum / float64(n)
+	if math.Abs(avg-ps.Spot.MeanFraction) > 0.05 {
+		t.Fatalf("long-run spot fraction %v far from mean %v", avg, ps.Spot.MeanFraction)
+	}
+}
+
+func TestSpotPathsDifferPerTypeAndSeed(t *testing.T) {
+	ps := DefaultPriceSchedule()
+	a, _ := TypeByName("c3.4xlarge")
+	b, _ := TypeByName("c4.4xlarge")
+	same := true
+	for h := 1; h < 50; h++ {
+		if ps.SpotFraction(a, h) != ps.SpotFraction(b, h) {
+			same = false
+			break
+		}
+	}
+	if same {
+		t.Fatal("different instance types share a spot path")
+	}
+	other := DefaultPriceSchedule()
+	other.Seed = 99
+	if other.SpotFraction(a, 10) == ps.SpotFraction(a, 10) {
+		t.Fatal("different seeds share a spot path")
+	}
+}
+
+func TestHourlyUSDPerTier(t *testing.T) {
+	ps := DefaultPriceSchedule()
+	it, _ := TypeByName("c3.8xlarge")
+	if got := ps.HourlyUSD(it, TierOnDemand, 0); got != it.HourlyUSD {
+		t.Fatalf("on-demand hourly %v", got)
+	}
+	wantRes := it.HourlyUSD * (1 - ps.ReservedDiscount)
+	if got := ps.HourlyUSD(it, TierReserved, 7); math.Abs(got-wantRes) > 1e-12 {
+		t.Fatalf("reserved hourly %v want %v", got, wantRes)
+	}
+	spot := ps.HourlyUSD(it, TierSpot, 0)
+	if !(spot > 0 && spot < it.HourlyUSD) {
+		t.Fatalf("spot hourly %v not below on-demand %v", spot, it.HourlyUSD)
+	}
+	if got := ps.ExpectedHourlyUSD(it, TierSpot); math.Abs(got-it.HourlyUSD*ps.Spot.MeanFraction) > 1e-12 {
+		t.Fatalf("expected spot hourly %v", got)
+	}
+}
+
+// TestBillingEdgeCases pins the satellite audit: zero-duration runs bill
+// nothing, billing-period rounding follows 2016 hour-ceil with a minimum
+// of one hour, and float drift a hair past an hour boundary does not buy
+// a phantom extra hour.
+func TestBillingEdgeCases(t *testing.T) {
+	ps := DefaultPriceSchedule()
+	it, _ := TypeByName("c4.4xlarge")
+	cases := []struct {
+		name      string
+		tier      Tier
+		n         int
+		seconds   float64
+		wantHours int
+	}{
+		{"zero duration", TierOnDemand, 3, 0, 0},
+		{"negative duration", TierOnDemand, 3, -10, 0},
+		{"NaN duration", TierOnDemand, 1, math.NaN(), 0},
+		{"one virtual second", TierOnDemand, 1, 1, 1},
+		{"half hour", TierReserved, 2, 1800, 1},
+		{"exactly one hour", TierOnDemand, 1, 3600, 1},
+		{"hour plus float drift", TierOnDemand, 1, 3600.0000000004, 1},
+		{"hour plus a real second", TierOnDemand, 1, 3601, 2},
+		{"61 minutes", TierOnDemand, 1, 3660, 2},
+		{"two hours exact", TierReserved, 4, 7200, 2},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			if got := billableHours(tc.seconds); got != tc.wantHours {
+				t.Fatalf("billableHours(%v) = %d, want %d", tc.seconds, got, tc.wantHours)
+			}
+			got := ps.BilledCost(it, tc.tier, tc.n, tc.seconds)
+			want := float64(tc.wantHours) * ps.HourlyUSD(it, tc.tier, 0) * float64(tc.n)
+			if tc.tier == TierSpot {
+				return // spot verified separately per-hour below
+			}
+			if math.Abs(got-want) > 1e-9 {
+				t.Fatalf("BilledCost = %v, want %v", got, want)
+			}
+			// The legacy on-demand helper must agree with the schedule.
+			if tc.tier == TierOnDemand {
+				if legacy := BilledCost(it, tc.n, tc.seconds); math.Abs(legacy-got) > 1e-12 {
+					t.Fatalf("legacy BilledCost %v != schedule %v", legacy, got)
+				}
+			}
+		})
+	}
+}
+
+func TestSpotBilledCostSumsHourPrices(t *testing.T) {
+	ps := DefaultPriceSchedule()
+	it, _ := TypeByName("m4.4xlarge")
+	// 2.5 hours on 3 VMs: hours 0, 1, 2 at each hour's spot price.
+	got := ps.BilledCost(it, TierSpot, 3, 9000)
+	want := 0.0
+	for h := 0; h < 3; h++ {
+		want += ps.HourlyUSD(it, TierSpot, h) * 3
+	}
+	if math.Abs(got-want) > 1e-9 {
+		t.Fatalf("spot billed %v, want %v", got, want)
+	}
+	if got >= BilledCost(it, 3, 9000) {
+		t.Fatalf("spot bill %v not below on-demand %v", got, BilledCost(it, 3, 9000))
+	}
+}
+
+func TestProRataCostTiers(t *testing.T) {
+	ps := DefaultPriceSchedule()
+	it, _ := TypeByName("c3.4xlarge")
+	if got := ps.ProRataCost(it, TierOnDemand, 2, 1800); math.Abs(got-it.HourlyUSD) > 1e-12 {
+		t.Fatalf("on-demand pro-rata %v", got)
+	}
+	if got := ps.ProRataCost(it, TierSpot, 1, 0); got != 0 {
+		t.Fatalf("zero-duration pro-rata %v", got)
+	}
+	if legacy := ProRataCost(it, 1, 0); legacy != 0 {
+		t.Fatalf("legacy zero-duration pro-rata %v", legacy)
+	}
+	spot := ps.ProRataCost(it, TierSpot, 2, 1800)
+	if math.Abs(spot-it.HourlyUSD*DefaultSpotMarket().MeanFraction) > 1e-12 {
+		t.Fatalf("spot pro-rata %v", spot)
+	}
+}
+
+// TestIdleGapAccrual pins the satellite audit's idle-gap case: idle time
+// on a kept-warm cluster advances the billing meter exactly like run time.
+func TestIdleGapAccrual(t *testing.T) {
+	p, _ := NewProvider(DefaultPerfModel())
+	it, _ := TypeByName("c3.4xlarge")
+	c, err := p.Launch(finmath.NewRNG(11), it, 2, TierOnDemand)
+	if err != nil {
+		t.Fatal(err)
+	}
+	boot := c.ElapsedSeconds()
+	if err := c.AddIdleSeconds(5400); err != nil {
+		t.Fatal(err)
+	}
+	if got := c.ElapsedSeconds(); math.Abs(got-(boot+5400)) > 1e-9 {
+		t.Fatalf("idle gap not accrued: %v", got)
+	}
+	if err := c.AddIdleSeconds(-1); err == nil {
+		t.Fatal("negative idle accepted")
+	}
+	cost := c.Terminate()
+	want := BilledCost(it, 2, boot+5400)
+	if math.Abs(cost-want) > 1e-9 {
+		t.Fatalf("billed %v after idle, want %v", cost, want)
+	}
+	if err := c.AddIdleSeconds(10); err == nil {
+		t.Fatal("idle on terminated cluster accepted")
+	}
+}
+
+func TestReservedAndSpotLaunchBillCheaper(t *testing.T) {
+	p, _ := NewProvider(DefaultPerfModel())
+	it, _ := TypeByName("c4.8xlarge")
+	f := typicalParams()
+	run := func(tier Tier) (elapsed, cost float64) {
+		c, err := p.Launch(finmath.NewRNG(21), it, 4, tier)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if c.Tier() != tier {
+			t.Fatalf("tier %v recorded as %v", tier, c.Tier())
+		}
+		if _, err := c.RunBlock(finmath.NewRNG(22), f); err != nil {
+			t.Fatal(err)
+		}
+		return c.ElapsedSeconds(), c.Terminate()
+	}
+	odElapsed, od := run(TierOnDemand)
+	resElapsed, res := run(TierReserved)
+	if odElapsed != resElapsed {
+		t.Fatalf("tier changed virtual time without revocations: %v vs %v", odElapsed, resElapsed)
+	}
+	if !(res < od) {
+		t.Fatalf("reserved %v not cheaper than on-demand %v", res, od)
+	}
+	_, spot := run(TierSpot)
+	if !(spot < od) {
+		t.Fatalf("spot %v not cheaper than on-demand %v", spot, od)
+	}
+}

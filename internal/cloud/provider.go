@@ -3,7 +3,6 @@ package cloud
 import (
 	"errors"
 	"fmt"
-	"math"
 
 	"disarcloud/internal/eeb"
 	"disarcloud/internal/finmath"
@@ -16,6 +15,9 @@ import (
 // durations look like the real thing.
 type Provider struct {
 	perf PerfModel
+	// Schedule prices every cluster the provider launches; nil falls back
+	// to the calibrated default schedule on first use.
+	Schedule *PriceSchedule
 	// BootMeanSeconds / BootSigma parameterise the per-VM boot latency.
 	BootMeanSeconds float64
 	BootSigma       float64
@@ -35,6 +37,7 @@ func NewProvider(perf PerfModel) (*Provider, error) {
 	}
 	return &Provider{
 		perf:            perf,
+		Schedule:        DefaultPriceSchedule(),
 		BootMeanSeconds: 95,
 		BootSigma:       0.25,
 		BootFailureProb: 0.02,
@@ -45,23 +48,43 @@ func NewProvider(perf PerfModel) (*Provider, error) {
 // Perf returns the provider's performance model.
 func (p *Provider) Perf() PerfModel { return p.perf }
 
+// PriceSchedule returns the schedule billing this provider's clusters.
+func (p *Provider) PriceSchedule() *PriceSchedule {
+	if p.Schedule == nil {
+		p.Schedule = DefaultPriceSchedule()
+	}
+	return p.Schedule
+}
+
 // Cluster is a set of n booted VMs of one instance type. Its lifetime
 // accumulates virtual seconds: boot, runs, and idle gaps the caller adds.
 type Cluster struct {
 	inst     InstanceType
 	n        int
+	tier     Tier
 	provider *Provider
 	elapsed  float64 // virtual seconds since launch request
 	booted   bool
 	runs     int
+	rev      *RevocationProcess // spot only; nil otherwise
+	revoked  int                // spot revocations survived so far
 }
 
-// Launch boots a cluster of n VMs of the given type. The cluster is ready
-// when the slowest VM is up (Starcluster blocks on the full set); failed
-// boots are retried up to MaxBootRetries times each.
-func (p *Provider) Launch(rng *finmath.RNG, inst InstanceType, n int) (*Cluster, error) {
+// Launch boots a cluster of n VMs of the given type under the given
+// purchase tier. The cluster is ready when the slowest VM is up
+// (Starcluster blocks on the full set); failed boots are retried up to
+// MaxBootRetries times each.
+//
+// The boot loop draws from rng identically for every tier; the spot tier's
+// extra draw (seeding its revocation process) happens only after the loop,
+// so an on-demand launch consumes the exact same RNG sequence it always
+// has — tier choice moves money, never the golden valuation stream.
+func (p *Provider) Launch(rng *finmath.RNG, inst InstanceType, n int, tier Tier) (*Cluster, error) {
 	if n <= 0 {
 		return nil, errors.New("cloud: cluster size must be positive")
+	}
+	if !tier.Valid() {
+		return nil, fmt.Errorf("cloud: invalid tier %v", tier)
 	}
 	if _, ok := TypeByName(inst.Name); !ok {
 		return nil, fmt.Errorf("cloud: unknown instance type %q", inst.Name)
@@ -85,7 +108,11 @@ func (p *Provider) Launch(rng *finmath.RNG, inst InstanceType, n int) (*Cluster,
 			slowest = t
 		}
 	}
-	return &Cluster{inst: inst, n: n, provider: p, elapsed: slowest, booted: true}, nil
+	c := &Cluster{inst: inst, n: n, tier: tier, provider: p, elapsed: slowest, booted: true}
+	if tier == TierSpot {
+		c.rev = NewRevocationProcess(rng.Uint64(), p.PriceSchedule().Spot.RevocationsPerHour)
+	}
+	return c, nil
 }
 
 // InstanceType returns the cluster's instance type.
@@ -94,14 +121,27 @@ func (c *Cluster) InstanceType() InstanceType { return c.inst }
 // Size returns the number of VMs.
 func (c *Cluster) Size() int { return c.n }
 
+// Tier returns the purchase tier the cluster was launched under.
+func (c *Cluster) Tier() Tier { return c.tier }
+
 // ElapsedSeconds returns the cluster's virtual lifetime so far.
 func (c *Cluster) ElapsedSeconds() float64 { return c.elapsed }
 
 // Runs returns how many block executions the cluster has performed.
 func (c *Cluster) Runs() int { return c.runs }
 
+// Revocations returns how many spot revocations the cluster has survived.
+func (c *Cluster) Revocations() int { return c.revoked }
+
 // RunBlock executes one type-B workload on the cluster and returns its
 // simulated duration in seconds, advancing the cluster clock.
+//
+// On a spot cluster, every revocation that fires during the run reclaims
+// one VM's worth of progress: the survivors re-execute the lost share, so
+// the wall-clock duration stretches by remaining/(n-1) per event (the whole
+// remainder when the cluster is a single VM). The numeric results are
+// untouched — re-sliced work is recomputed bit-identically — only time and
+// therefore money move.
 func (c *Cluster) RunBlock(rng *finmath.RNG, f eeb.CharacteristicParams) (float64, error) {
 	if !c.booted {
 		return 0, errors.New("cloud: cluster already terminated")
@@ -110,34 +150,74 @@ func (c *Cluster) RunBlock(rng *finmath.RNG, f eeb.CharacteristicParams) (float6
 		return 0, err
 	}
 	d := c.provider.perf.ExecSeconds(rng, c.inst, c.n, f)
-	c.elapsed += d
+	total := d
+	if c.rev != nil {
+		end := c.elapsed + total
+		for {
+			next := c.rev.NextSeconds()
+			if next >= end {
+				break
+			}
+			c.rev.Advance(next)
+			c.revoked++
+			remaining := end - next
+			var penalty float64
+			if c.n > 1 {
+				penalty = remaining / float64(c.n-1)
+			} else {
+				penalty = remaining
+			}
+			total += penalty
+			end += penalty
+		}
+	}
+	c.elapsed += total
 	c.runs++
-	return d, nil
+	return total, nil
+}
+
+// AddIdleSeconds advances the cluster clock without running work — the
+// idle gap between jobs on a kept-warm cluster. Idle time still accrues
+// against the billing meter (and can still eat spot revocations).
+func (c *Cluster) AddIdleSeconds(seconds float64) error {
+	if !c.booted {
+		return errors.New("cloud: cluster already terminated")
+	}
+	if seconds < 0 {
+		return errors.New("cloud: idle seconds must be non-negative")
+	}
+	end := c.elapsed + seconds
+	if c.rev != nil {
+		c.revoked += c.rev.Advance(end)
+	}
+	c.elapsed = end
+	return nil
 }
 
 // Terminate shuts the cluster down and returns the total billed cost under
-// EC2's 2016 per-hour rounding.
+// the provider's price schedule in effect for the cluster's tier (2016
+// EC2 per-hour rounding).
 func (c *Cluster) Terminate() float64 {
 	if !c.booted {
 		return 0
 	}
 	c.booted = false
-	return BilledCost(c.inst, c.n, c.elapsed)
+	return c.provider.PriceSchedule().BilledCost(c.inst, c.tier, c.n, c.elapsed)
 }
 
-// BilledCost is the hour-rounded (2016 EC2) cost of running n VMs of the
-// given type for the given duration.
+// BilledCost is the hour-rounded (2016 EC2) on-demand cost of running n
+// VMs of the given type for the given duration — the all-on-demand
+// counterfactual that CostReport savings are measured against.
 func BilledCost(inst InstanceType, n int, seconds float64) float64 {
-	hours := math.Ceil(seconds / 3600)
-	if hours < 1 && seconds > 0 {
-		hours = 1
-	}
-	return hours * inst.HourlyUSD * float64(n)
+	return float64(billableHours(seconds)) * inst.HourlyUSD * float64(n)
 }
 
-// ProRataCost is the exact-duration cost attribution used by the paper's
-// Table II (average per-simulation cost): hourly price scaled by the
-// simulation's share of the hour.
+// ProRataCost is the exact-duration on-demand cost attribution used by the
+// paper's Table II (average per-simulation cost): hourly price scaled by
+// the simulation's share of the hour.
 func ProRataCost(inst InstanceType, n int, seconds float64) float64 {
+	if seconds <= 0 {
+		return 0
+	}
 	return inst.HourlyUSD * float64(n) * seconds / 3600
 }

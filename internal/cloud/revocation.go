@@ -1,0 +1,53 @@
+package cloud
+
+import "disarcloud/internal/finmath"
+
+// RevocationProcess is a seeded Poisson-style arrival process describing
+// when a spot provider reclaims instances from one cluster. Inter-arrival
+// times are exponential with the configured hourly rate, drawn from a
+// dedicated RNG so the event times are a bit-deterministic function of
+// (seed, rate) alone — independent of what work the cluster runs between
+// events.
+type RevocationProcess struct {
+	rng  *finmath.RNG
+	rate float64 // events per hour
+	next float64 // absolute event time, seconds from cluster epoch
+}
+
+// NewRevocationProcess builds the process. A non-positive rate yields a
+// process that never fires.
+func NewRevocationProcess(seed uint64, perHour float64) *RevocationProcess {
+	p := &RevocationProcess{rng: finmath.NewRNG(seed), rate: perHour}
+	p.next = p.draw(0)
+	return p
+}
+
+// draw returns the absolute time of the next event after `from`.
+func (p *RevocationProcess) draw(from float64) float64 {
+	if p.rate <= 0 {
+		return maxEventSeconds
+	}
+	// Exponential takes a rate; ours is per hour, event times are seconds.
+	return from + p.rng.Exponential(p.rate)*3600
+}
+
+// maxEventSeconds stands in for "never" (about 3e5 years of cluster time).
+const maxEventSeconds = 1e13
+
+// NextSeconds peeks at the absolute time (seconds from the cluster epoch)
+// of the next revocation without consuming it.
+func (p *RevocationProcess) NextSeconds() float64 { return p.next }
+
+// Advance consumes every event at or before t (seconds from the cluster
+// epoch) and returns how many fired.
+func (p *RevocationProcess) Advance(t float64) int {
+	fired := 0
+	for p.next <= t {
+		fired++
+		p.next = p.draw(p.next)
+	}
+	return fired
+}
+
+// Rate returns the configured hourly revocation rate.
+func (p *RevocationProcess) Rate() float64 { return p.rate }

@@ -1,0 +1,185 @@
+package cloud
+
+import (
+	"math"
+	"testing"
+
+	"disarcloud/internal/finmath"
+)
+
+// TestRevocationProcessBitDeterministic is the satellite property test:
+// for a spread of seeds, replaying the process yields the identical event
+// sequence bit for bit, however the caller interleaves peeks and advances.
+func TestRevocationProcessBitDeterministic(t *testing.T) {
+	for seed := uint64(0); seed < 40; seed++ {
+		a := NewRevocationProcess(seed, 0.5)
+		b := NewRevocationProcess(seed, 0.5)
+		var eventsA []float64
+		for i := 0; i < 200; i++ {
+			eventsA = append(eventsA, a.NextSeconds())
+			a.Advance(a.NextSeconds())
+		}
+		// Replay b by advancing in coarse jumps; the consumed events must
+		// be the same times.
+		i := 0
+		for i < len(eventsA) {
+			target := eventsA[i]
+			if b.NextSeconds() != target {
+				t.Fatalf("seed %d: event %d is %v, want %v", seed, i, b.NextSeconds(), target)
+			}
+			b.Advance(target)
+			i++
+		}
+	}
+}
+
+func TestRevocationProcessMatchesRate(t *testing.T) {
+	// The satellite rate-property test: over a long horizon the empirical
+	// event rate converges to the configured Poisson rate.
+	for _, rate := range []float64{0.25, 0.5, 2.0} {
+		p := NewRevocationProcess(7, rate)
+		hours := 20000.0
+		n := p.Advance(hours * 3600)
+		got := float64(n) / hours
+		if math.Abs(got-rate)/rate > 0.05 {
+			t.Fatalf("rate %v: empirical %v after %v hours", rate, got, hours)
+		}
+	}
+}
+
+func TestRevocationProcessZeroRateNeverFires(t *testing.T) {
+	p := NewRevocationProcess(3, 0)
+	if n := p.Advance(1e9); n != 0 {
+		t.Fatalf("zero-rate process fired %d times", n)
+	}
+	if p.Rate() != 0 {
+		t.Fatalf("rate %v", p.Rate())
+	}
+}
+
+func TestRevocationProcessInterArrivalsPositive(t *testing.T) {
+	p := NewRevocationProcess(99, 3)
+	prev := 0.0
+	for i := 0; i < 1000; i++ {
+		next := p.NextSeconds()
+		if next <= prev {
+			t.Fatalf("event %d at %v not after %v", i, next, prev)
+		}
+		prev = next
+		p.Advance(next)
+	}
+}
+
+// TestSpotRunBlockSurvivesRevocations drives a spot cluster with a hot
+// revocation rate and checks the mechanical contract: events stretch the
+// wall clock by the re-slice penalty, the survival counter ticks, and an
+// identical seed replays the identical stretched duration.
+func TestSpotRunBlockSurvivesRevocations(t *testing.T) {
+	p, _ := NewProvider(DefaultPerfModel())
+	hot := DefaultPriceSchedule()
+	hot.Spot.RevocationsPerHour = 30 // several per typical run
+	p.Schedule = hot
+	it, _ := TypeByName("c3.4xlarge")
+	f := typicalParams()
+
+	run := func() (d float64, revs int) {
+		c, err := p.Launch(finmath.NewRNG(5), it, 4, TierSpot)
+		if err != nil {
+			t.Fatal(err)
+		}
+		d, err = c.RunBlock(finmath.NewRNG(6), f)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return d, c.Revocations()
+	}
+	d1, r1 := run()
+	d2, r2 := run()
+	if d1 != d2 || r1 != r2 {
+		t.Fatalf("spot run not reproducible: (%v,%d) vs (%v,%d)", d1, r1, d2, r2)
+	}
+	if r1 == 0 {
+		t.Fatal("hot revocation rate produced no events")
+	}
+
+	// The same workload on a calm spot market must be strictly faster.
+	calm, _ := NewProvider(DefaultPerfModel())
+	calmPS := DefaultPriceSchedule()
+	calmPS.Spot.RevocationsPerHour = 0
+	calm.Schedule = calmPS
+	c, _ := calm.Launch(finmath.NewRNG(5), it, 4, TierSpot)
+	base, _ := c.RunBlock(finmath.NewRNG(6), f)
+	if !(d1 > base) {
+		t.Fatalf("revocations did not stretch runtime: %v vs %v", d1, base)
+	}
+	if c.Revocations() != 0 {
+		t.Fatal("calm market revoked")
+	}
+}
+
+func TestSpotSingleVMRevocationRepeatsRemainder(t *testing.T) {
+	// n=1 has no survivors to absorb the lost share: the penalty is the
+	// whole remaining duration at the event time.
+	p, _ := NewProvider(DefaultPerfModel())
+	hot := DefaultPriceSchedule()
+	hot.Spot.RevocationsPerHour = 6
+	p.Schedule = hot
+	it, _ := TypeByName("c4.4xlarge")
+	c, err := p.Launch(finmath.NewRNG(8), it, 1, TierSpot)
+	if err != nil {
+		t.Fatal(err)
+	}
+	base := p.Perf().ExecSeconds(finmath.NewRNG(9), it, 1, typicalParams())
+	d, err := c.RunBlock(finmath.NewRNG(9), typicalParams())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.Revocations() > 0 && !(d > base) {
+		t.Fatalf("single-VM revocation did not extend run: %v vs %v", d, base)
+	}
+}
+
+// TestOnDemandRNGSequenceUnchangedByTierSupport is the golden-safety
+// invariant at the cloud layer: launching on-demand consumes exactly the
+// RNG draws the pre-tier code consumed, so a shared RNG stream downstream
+// of Launch sees identical values.
+func TestOnDemandRNGSequenceUnchangedByTierSupport(t *testing.T) {
+	p, _ := NewProvider(DefaultPerfModel())
+	it, _ := TypeByName("m4.4xlarge")
+	f := typicalParams()
+
+	rng := finmath.NewRNG(31)
+	c, err := p.Launch(rng, it, 3, TierOnDemand)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d, err := c.RunBlock(rng, f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	after := rng.Uint64()
+
+	// Replay the legacy draw sequence by hand against a fresh RNG: boot
+	// loop draws only, then the block, then the probe.
+	ref := finmath.NewRNG(31)
+	slowest := 0.0
+	for vm := 0; vm < 3; vm++ {
+		t0 := 0.0
+		for {
+			t0 += p.BootMeanSeconds * ref.LogNormal(-0.5*p.BootSigma*p.BootSigma, p.BootSigma)
+			if ref.Float64() >= p.BootFailureProb {
+				break
+			}
+		}
+		if t0 > slowest {
+			slowest = t0
+		}
+	}
+	refD := p.Perf().ExecSeconds(ref, it, 3, f)
+	if refD != d || ref.Uint64() != after {
+		t.Fatal("on-demand launch consumes different RNG draws than the legacy path")
+	}
+	if c.ElapsedSeconds() != slowest+d {
+		t.Fatalf("elapsed %v, want %v", c.ElapsedSeconds(), slowest+d)
+	}
+}

@@ -395,3 +395,120 @@ func TestStatusGuardsEmptyTelemetry(t *testing.T) {
 		t.Fatal("empty coordinator reports phantom workers")
 	}
 }
+
+func TestRevocationMidRunIsBitIdentical(t *testing.T) {
+	blocks := testBlocks(t, nil, nil)
+	want, err := grid.RunSequential(context.Background(), blocks, 42)
+	if err != nil {
+		t.Fatal(err)
+	}
+	coord, _ := startCluster(t, 3, CoordinatorConfig{})
+	// Revoke one worker once slices are in flight: unlike a kill, the worker
+	// process stays up and keeps returning results — the coordinator must
+	// discard them and re-slice the ranges onto the survivors.
+	go func() {
+		time.Sleep(30 * time.Millisecond)
+		if !coord.Revoke("w1") {
+			t.Error("Revoke(w1) found no live member")
+		}
+	}()
+	got, err := coord.RunBlocks(context.Background(), core.BlockRunRequest{
+		Blocks: blocks, Seed: 42, PaceSeconds: 0.4,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	assertSameResults(t, got, want)
+	st := coord.Status()
+	if st.Revocations != 1 {
+		t.Fatalf("revocation counter %d, want 1", st.Revocations)
+	}
+	if len(coord.live()) != 2 {
+		t.Fatalf("%d live members after revocation, want 2", len(coord.live()))
+	}
+}
+
+func TestRevokeLifecycle(t *testing.T) {
+	coord := NewCoordinator(CoordinatorConfig{HeartbeatEvery: 20 * time.Millisecond})
+	mux := http.NewServeMux()
+	coord.Routes(mux)
+	srv := httptest.NewServer(mux)
+	t.Cleanup(srv.Close)
+	w := NewWorker("spot-0", 2)
+	if err := w.Start("127.0.0.1:0"); err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(w.Close)
+	if err := w.Join(context.Background(), srv.URL); err != nil {
+		t.Fatal(err)
+	}
+	if !coord.Revoke("spot-0") {
+		t.Fatal("Revoke refused a live member")
+	}
+	if coord.Revoke("spot-0") {
+		t.Fatal("double revocation accepted")
+	}
+	if coord.Revoke("ghost") {
+		t.Fatal("Revoke invented a member")
+	}
+	// The reclaimed instance keeps heartbeating (stale process), but beats
+	// must not revive it.
+	time.Sleep(120 * time.Millisecond)
+	if n := len(coord.live()); n != 0 {
+		t.Fatalf("%d live members after revocation despite heartbeats", n)
+	}
+	st := coord.Status()
+	if st.Revocations != 1 {
+		t.Fatalf("revocation counter %d", st.Revocations)
+	}
+	if len(st.Workers) != 1 || !st.Workers[0].Revoked || st.Workers[0].Alive {
+		t.Fatalf("worker row %+v, want revoked and not alive", st.Workers)
+	}
+	// A replacement instance re-joining under the same identity clears the
+	// revocation and takes over the shard ownership.
+	replacement := NewWorker("spot-0", 2)
+	if err := replacement.Start("127.0.0.1:0"); err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(replacement.Close)
+	if err := replacement.Join(context.Background(), srv.URL); err != nil {
+		t.Fatal(err)
+	}
+	deadline := time.Now().Add(5 * time.Second)
+	for len(coord.live()) != 1 {
+		if time.Now().After(deadline) {
+			t.Fatal("replacement never became live")
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	if st := coord.Status(); st.Workers[0].Revoked {
+		t.Fatal("re-join did not clear the revocation")
+	}
+}
+
+func TestRevocationReprovisionsWhenSlackAllows(t *testing.T) {
+	l := &fakeLauncher{}
+	coord := NewCoordinator(CoordinatorConfig{Launcher: l})
+	// No deadline: slack is unbounded, a replacement is worth booting.
+	coord.maybeReprovision(context.Background())
+	deadline := time.Now().Add(2 * time.Second)
+	for l.started.Load() != 1 {
+		if time.Now().After(deadline) {
+			t.Fatalf("launcher started %d workers, want 1", l.started.Load())
+		}
+		time.Sleep(time.Millisecond)
+	}
+	if coord.Status().Reprovisions != 1 {
+		t.Fatalf("reprovision counter %d", coord.Status().Reprovisions)
+	}
+	// Deadline closer than the boot-and-join window: don't bother.
+	tight, cancel := context.WithTimeout(context.Background(), time.Millisecond)
+	defer cancel()
+	coord.maybeReprovision(tight)
+	time.Sleep(20 * time.Millisecond)
+	if l.started.Load() != 1 {
+		t.Fatalf("launcher started %d workers under a tight deadline, want still 1", l.started.Load())
+	}
+	// No launcher: a no-op, never a panic.
+	NewCoordinator(CoordinatorConfig{}).maybeReprovision(context.Background())
+}

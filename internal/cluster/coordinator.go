@@ -56,6 +56,7 @@ type member struct {
 
 	lastBeat time.Time
 	dead     bool // set on a failed dispatch; a fresh heartbeat revives
+	revoked  bool // spot instance reclaimed; only a re-join clears this
 }
 
 // Coordinator is the cluster-side DiMaS: it owns worker membership, scatters
@@ -81,6 +82,8 @@ type Coordinator struct {
 	slicesDispatched atomic.Int64
 	sliceFailures    atomic.Int64
 	reslices         atomic.Int64
+	revocations      atomic.Int64
+	reprovisions     atomic.Int64
 	pathsDone        atomic.Int64
 	jobsRun          atomic.Int64
 	localFallbacks   atomic.Int64
@@ -140,6 +143,10 @@ func (c *Coordinator) handleJoin(rw http.ResponseWriter, r *http.Request) {
 	m.slots = req.Slots
 	m.lastBeat = time.Now()
 	m.dead = false
+	// A re-join under a revoked name is a replacement instance claiming the
+	// identity (and with it the scenario-shard ownership), not the reclaimed
+	// VM coming back — so revocation is cleared here and only here.
+	m.revoked = false
 	id := m.id
 	c.mu.Unlock()
 	writeJSON(rw, http.StatusOK, joinResponse{ID: id, HeartbeatSeconds: c.heartbeat.Seconds()})
@@ -155,6 +162,13 @@ func (c *Coordinator) handleHeartbeat(rw http.ResponseWriter, r *http.Request) {
 	for _, m := range c.members {
 		if m.id == req.ID {
 			m.lastBeat = time.Now()
+			// A heartbeat revives a member marked dead by a failed dispatch —
+			// but never a revoked one: beats from a reclaimed spot instance
+			// are stale by definition. 410 tells the worker its lease is gone.
+			if m.revoked {
+				writeError(rw, http.StatusGone, errors.New("cluster: instance revoked (re-join as a replacement)"))
+				return
+			}
 			m.dead = false
 			writeJSON(rw, http.StatusOK, map[string]string{"status": "ok"})
 			return
@@ -172,7 +186,7 @@ func (c *Coordinator) live() []*member {
 	now := time.Now()
 	var out []*member
 	for _, m := range c.members {
-		if !m.dead && now.Sub(m.lastBeat) <= c.deadAfter {
+		if !m.dead && !m.revoked && now.Sub(m.lastBeat) <= c.deadAfter {
 			out = append(out, m)
 		}
 	}
@@ -185,6 +199,50 @@ func (c *Coordinator) markDead(m *member) {
 	c.mu.Lock()
 	m.dead = true
 	c.mu.Unlock()
+}
+
+// Revoke simulates the cloud reclaiming a worker's spot instance: the member
+// is excluded from scheduling immediately, results of its in-flight slices
+// are discarded on arrival and re-sliced onto the survivors, and heartbeats
+// no longer revive it — only a fresh Join (a replacement instance claiming
+// the same identity) does. Returns false when no live member has that name.
+func (c *Coordinator) Revoke(name string) bool {
+	c.mu.Lock()
+	m, ok := c.members[name]
+	if !ok || m.revoked {
+		c.mu.Unlock()
+		return false
+	}
+	m.revoked = true
+	c.mu.Unlock()
+	c.revocations.Add(1)
+	return true
+}
+
+// isRevoked reports whether a member's instance has been reclaimed.
+func (c *Coordinator) isRevoked(m *member) bool {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return m.revoked
+}
+
+// maybeReprovision asks the launcher for one replacement worker after a
+// revocation — but only when the request's deadline leaves enough slack for
+// the replacement to boot, join and heartbeat before it could take a slice.
+// Without a launcher (or with the deadline too close) the survivors simply
+// absorb the re-sliced range.
+func (c *Coordinator) maybeReprovision(ctx context.Context) {
+	if c.launcher == nil {
+		return
+	}
+	if dl, ok := ctx.Deadline(); ok && time.Until(dl) < 4*c.heartbeat {
+		return
+	}
+	c.scaleMu.Lock()
+	target := len(c.launched) + 1
+	c.scaleMu.Unlock()
+	c.reprovisions.Add(1)
+	go c.ScaleTo(target)
 }
 
 // sliceRange is a contiguous outer-path range awaiting execution.
@@ -389,13 +447,22 @@ func (c *Coordinator) runBlock(ctx context.Context, b *eeb.Block, req core.Block
 		case r := <-resCh:
 			outstanding--
 			inflight[r.m]--
-			if r.err != nil {
+			if revoked := c.isRevoked(r.m); r.err != nil || revoked {
 				if ctx.Err() != nil {
 					drain()
 					return nil, ctx.Err()
 				}
-				c.sliceFailures.Add(1)
-				c.markDead(r.m)
+				if revoked {
+					// The instance was reclaimed while the slice was in
+					// flight: whatever it returned is void, exactly as if the
+					// VM had vanished. Re-running the range elsewhere is
+					// bit-identical because every path is a deterministic
+					// function of (seed, index).
+					c.maybeReprovision(ctx)
+				} else {
+					c.sliceFailures.Add(1)
+					c.markDead(r.m)
+				}
 				// Re-slice the lost range across the survivors so it does not
 				// become one straggler slice on a single node.
 				survivors := len(c.live())
@@ -509,11 +576,12 @@ func (c *Coordinator) StopWorkers() { c.ScaleTo(0) }
 
 // WorkerStatus is one membership row of the cluster status.
 type WorkerStatus struct {
-	Name  string  `json:"name"`
-	Addr  string  `json:"addr"`
-	Slots int     `json:"slots"`
-	Alive bool    `json:"alive"`
-	AgeMS float64 `json:"lastHeartbeatAgeMs"`
+	Name    string  `json:"name"`
+	Addr    string  `json:"addr"`
+	Slots   int     `json:"slots"`
+	Alive   bool    `json:"alive"`
+	Revoked bool    `json:"revoked"`
+	AgeMS   float64 `json:"lastHeartbeatAgeMs"`
 }
 
 // Status is the cluster's point-in-time view, every derived figure guarded
@@ -526,6 +594,8 @@ type Status struct {
 	SlicesDispatched int64          `json:"slicesDispatched"`
 	SliceFailures    int64          `json:"sliceFailures"`
 	Reslices         int64          `json:"reslices"`
+	Revocations      int64          `json:"revocations"`
+	Reprovisions     int64          `json:"reprovisions"`
 	PathsDone        int64          `json:"pathsDone"`
 	LocalFallbacks   int64          `json:"localFallbacks"`
 	KBSamplesMerged  int64          `json:"kbSamplesMerged"`
@@ -544,6 +614,8 @@ func (c *Coordinator) Status() Status {
 		SlicesDispatched: c.slicesDispatched.Load(),
 		SliceFailures:    c.sliceFailures.Load(),
 		Reslices:         c.reslices.Load(),
+		Revocations:      c.revocations.Load(),
+		Reprovisions:     c.reprovisions.Load(),
 		PathsDone:        c.pathsDone.Load(),
 		LocalFallbacks:   c.localFallbacks.Load(),
 		KBSamplesMerged:  c.kbSamplesMerged.Load(),
@@ -556,13 +628,14 @@ func (c *Coordinator) Status() Status {
 	sort.Strings(names)
 	for _, name := range names {
 		m := c.members[name]
-		alive := !m.dead && now.Sub(m.lastBeat) <= c.deadAfter
+		alive := !m.dead && !m.revoked && now.Sub(m.lastBeat) <= c.deadAfter
 		st.Workers = append(st.Workers, WorkerStatus{
-			Name:  m.name,
-			Addr:  m.addr,
-			Slots: m.slots,
-			Alive: alive,
-			AgeMS: float64(now.Sub(m.lastBeat).Milliseconds()),
+			Name:    m.name,
+			Addr:    m.addr,
+			Slots:   m.slots,
+			Alive:   alive,
+			Revoked: m.revoked,
+			AgeMS:   float64(now.Sub(m.lastBeat).Milliseconds()),
 		})
 		if alive {
 			st.LiveWorkers++

@@ -1,0 +1,155 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+)
+
+// ErrBudgetRejected is the sentinel wrapped by every *BudgetError: the
+// submission was turned away (or a deploy refused) because no feasible
+// configuration fits the money budget. It sits next to
+// ErrAdmissionRejected, which is about time; this one is about dollars.
+var ErrBudgetRejected = errors.New("core: submission rejected by budget control")
+
+// BudgetError reports a budget-infeasible submission. Unlike admission
+// backpressure there is no retry story: waiting does not make compute
+// cheaper, so the error names the cheapest feasible figure instead of a
+// retry hint — callers can resubmit with at least that budget.
+type BudgetError struct {
+	// CheapestUSD is the cheapest conservative billed estimate that would
+	// have satisfied the request (0 when no feasible configuration exists
+	// at all or the figure is unknown).
+	CheapestUSD float64
+	// MaxCostUSD is the budget the request offered.
+	MaxCostUSD float64
+	// Jobs is how many deploys the figure covers (1 for a single job, the
+	// module count for a campaign).
+	Jobs int
+}
+
+// Error implements error.
+func (e *BudgetError) Error() string {
+	jobs := e.Jobs
+	if jobs < 1 {
+		jobs = 1
+	}
+	if e.CheapestUSD > 0 {
+		return fmt.Sprintf("core: budget $%.2f below cheapest feasible $%.2f for %d deploy(s)",
+			e.MaxCostUSD, e.CheapestUSD, jobs)
+	}
+	return fmt.Sprintf("core: budget $%.2f exhausted", e.MaxCostUSD)
+}
+
+// Unwrap lets errors.Is(err, ErrBudgetRejected) work.
+func (e *BudgetError) Unwrap() error { return ErrBudgetRejected }
+
+// CostReport summarises the money side of a job or campaign: what the
+// deploys billed, what the same virtual hours would have billed all
+// on-demand, and how rough the spot ride was.
+type CostReport struct {
+	// Jobs is the number of deploys covered.
+	Jobs int `json:"jobs"`
+	// BilledUSD is the hour-rounded total actually accrued.
+	BilledUSD float64 `json:"billed_usd"`
+	// OnDemandUSD is the all-on-demand counterfactual for the same cluster
+	// hours — what the bill would have been with no tiers at all.
+	OnDemandUSD float64 `json:"on_demand_usd"`
+	// SavingsUSD is OnDemandUSD - BilledUSD (0 for pure on-demand fleets).
+	SavingsUSD float64 `json:"savings_usd"`
+	// Revocations counts spot revocations survived across the deploys.
+	Revocations int `json:"revocations"`
+	// BudgetUSD is the enforced cap (0 = unbounded).
+	BudgetUSD float64 `json:"budget_usd,omitempty"`
+	// RemainingUSD is what the accountant still held free at reporting
+	// time (meaningful only when BudgetUSD > 0).
+	RemainingUSD float64 `json:"remaining_usd,omitempty"`
+}
+
+// add folds one deploy report into the running totals.
+func (r *CostReport) add(rep *Report) {
+	if rep == nil {
+		return
+	}
+	r.Jobs++
+	r.BilledUSD += rep.BilledUSD
+	r.OnDemandUSD += rep.OnDemandUSD
+	r.SavingsUSD = r.OnDemandUSD - r.BilledUSD
+	r.Revocations += rep.Revocations
+}
+
+// merge folds another report's totals in (campaign = base + modules).
+func (r *CostReport) merge(o CostReport) {
+	r.Jobs += o.Jobs
+	r.BilledUSD += o.BilledUSD
+	r.OnDemandUSD += o.OnDemandUSD
+	r.SavingsUSD = r.OnDemandUSD - r.BilledUSD
+	r.Revocations += o.Revocations
+}
+
+// costAccountant is the campaign-wide shared budget: every module's deploy
+// reserves its conservative billed estimate before launching and settles
+// to the actual bill after, so concurrent modules can never jointly
+// overshoot the cap. A nil accountant means "no budget".
+type costAccountant struct {
+	mu        sync.Mutex
+	limit     float64 // hard cap, > 0
+	committed float64 // outstanding reservations
+	spent     float64 // settled actual bills
+	report    CostReport
+}
+
+// newCostAccountant returns an accountant enforcing limit, or nil when the
+// limit is zero (unbounded).
+func newCostAccountant(limit float64) *costAccountant {
+	if limit <= 0 {
+		return nil
+	}
+	return &costAccountant{limit: limit}
+}
+
+// budgetSlackUSD absorbs float drift in reserve/settle arithmetic so a
+// reservation that sums to the limit plus 1e-13 dollars is not refused.
+const budgetSlackUSD = 1e-9
+
+// remaining returns the uncommitted balance (may be negative after an
+// actual bill overran its reservation).
+func (a *costAccountant) remaining() float64 {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	return a.limit - a.spent - a.committed
+}
+
+// reserve holds usd against the budget; false means the balance cannot
+// cover it.
+func (a *costAccountant) reserve(usd float64) bool {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	if a.spent+a.committed+usd > a.limit+budgetSlackUSD {
+		return false
+	}
+	a.committed += usd
+	return true
+}
+
+// settle releases a reservation and records what the deploy actually
+// billed (0 for a failed deploy), folding the report into the totals.
+func (a *costAccountant) settle(reserved float64, rep *Report) {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	a.committed -= reserved
+	if rep != nil {
+		a.spent += rep.BilledUSD
+		a.report.add(rep)
+	}
+}
+
+// snapshot returns the totals so far, stamped with the budget state.
+func (a *costAccountant) snapshot() CostReport {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	r := a.report
+	r.BudgetUSD = a.limit
+	r.RemainingUSD = a.limit - a.spent - a.committed
+	return r
+}

@@ -1,0 +1,291 @@
+package core
+
+import (
+	"context"
+	"errors"
+	"strings"
+	"sync"
+	"testing"
+
+	"disarcloud/internal/cloud"
+	"disarcloud/internal/provision"
+)
+
+func TestBudgetErrorShape(t *testing.T) {
+	err := &BudgetError{CheapestUSD: 12.5, MaxCostUSD: 5, Jobs: 8}
+	if !errors.Is(err, ErrBudgetRejected) {
+		t.Fatal("BudgetError does not unwrap to ErrBudgetRejected")
+	}
+	msg := err.Error()
+	if !strings.Contains(msg, "12.50") || !strings.Contains(msg, "5.00") || !strings.Contains(msg, "8") {
+		t.Fatalf("message %q missing figures", msg)
+	}
+	exhausted := &BudgetError{MaxCostUSD: 3}
+	if !strings.Contains(exhausted.Error(), "exhausted") {
+		t.Fatalf("exhausted message %q", exhausted.Error())
+	}
+}
+
+func TestCostAccountantReserveSettle(t *testing.T) {
+	if newCostAccountant(0) != nil {
+		t.Fatal("zero limit should mean no accountant")
+	}
+	a := newCostAccountant(10)
+	if !a.reserve(6) {
+		t.Fatal("first reservation refused")
+	}
+	if a.reserve(5) {
+		t.Fatal("over-committing reservation accepted")
+	}
+	if !a.reserve(4) {
+		t.Fatal("exact fit refused")
+	}
+	if got := a.remaining(); got != 0 {
+		t.Fatalf("remaining %v with full commitment", got)
+	}
+	// Settle the $6 reservation to a $3 actual: $3 of headroom returns.
+	a.settle(6, &Report{BilledUSD: 3, OnDemandUSD: 5, Revocations: 1})
+	if got := a.remaining(); got != 3 {
+		t.Fatalf("remaining %v after settle", got)
+	}
+	a.settle(4, nil) // failed deploy: reservation released, nothing spent
+	snap := a.snapshot()
+	if snap.Jobs != 1 || snap.BilledUSD != 3 || snap.OnDemandUSD != 5 ||
+		snap.SavingsUSD != 2 || snap.Revocations != 1 {
+		t.Fatalf("snapshot %+v", snap)
+	}
+	if snap.BudgetUSD != 10 || snap.RemainingUSD != 7 {
+		t.Fatalf("budget stamps %+v", snap)
+	}
+}
+
+func TestDeployRejectsUnmeetableBudget(t *testing.T) {
+	d, err := NewDeployer(42)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Bootstrap phase: the conservative one-hour-minimum estimate already
+	// exceeds a cent.
+	c := constraints()
+	c.MaxCost = 0.01
+	_, err = d.Deploy(context.Background(), workload(), c)
+	if !errors.Is(err, ErrBudgetRejected) {
+		t.Fatalf("bootstrap deploy under impossible budget: %v", err)
+	}
+	// Trained phase: Select's budget filter produces the same rejection,
+	// carrying the cheapest feasible figure.
+	if err := d.Bootstrap(context.Background(), workloadMix(), provision.MinSamplesToTrain, 6); err != nil {
+		t.Fatal(err)
+	}
+	_, err = d.Deploy(context.Background(), workload(), c)
+	var be *BudgetError
+	if !errors.As(err, &be) {
+		t.Fatalf("want *BudgetError, got %v", err)
+	}
+	if be.CheapestUSD <= c.MaxCost {
+		t.Fatalf("cheapest figure %v not above budget %v", be.CheapestUSD, c.MaxCost)
+	}
+	// An adequate budget deploys and stays inside it.
+	c.MaxCost = be.CheapestUSD * 2
+	rep, err := d.Deploy(context.Background(), workload(), c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.BilledUSD > c.MaxCost {
+		t.Fatalf("billed %v over budget %v", rep.BilledUSD, c.MaxCost)
+	}
+}
+
+func TestDeployReportCostFields(t *testing.T) {
+	d, err := NewDeployer(9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := d.Bootstrap(context.Background(), workloadMix(), provision.MinSamplesToTrain, 6); err != nil {
+		t.Fatal(err)
+	}
+	c := constraints()
+	c.Epsilon = 0
+	c.Tiers = cloud.AllTiers()
+	c.TmaxSeconds = 3600
+	rep, err := d.Deploy(context.Background(), workload(), c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Choice.Tier != cloud.TierSpot {
+		t.Fatalf("generous deadline picked %v, want spot", rep.Choice)
+	}
+	if !(rep.BilledUSD < rep.OnDemandUSD) {
+		t.Fatalf("spot bill %v not below on-demand counterfactual %v", rep.BilledUSD, rep.OnDemandUSD)
+	}
+	// On-demand deploys have a counterfactual equal to the bill.
+	od, err := d.Deploy(context.Background(), workload(), constraints())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if od.Choice.Tier == cloud.TierOnDemand && od.BilledUSD != od.OnDemandUSD {
+		t.Fatalf("on-demand counterfactual %v != bill %v", od.OnDemandUSD, od.BilledUSD)
+	}
+}
+
+func TestServiceSubmitBudgetRejectedUpFront(t *testing.T) {
+	d, err := NewDeployer(11)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := d.Bootstrap(context.Background(), workloadMix(), provision.MinSamplesToTrain, 6); err != nil {
+		t.Fatal(err)
+	}
+	svc, err := NewService(d, WithWorkers(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer svc.Close()
+	spec := serviceSpec("budget", 20, 5)
+	spec.Constraints.MaxCost = 0.01
+	_, err = svc.Submit(context.Background(), spec)
+	var be *BudgetError
+	if !errors.As(err, &be) {
+		t.Fatalf("want *BudgetError, got %v", err)
+	}
+	if be.CheapestUSD <= 0 {
+		t.Fatalf("rejection without a cheapest figure: %+v", be)
+	}
+	// The same spec with an adequate budget runs to completion within it.
+	spec.Constraints.MaxCost = be.CheapestUSD * 3
+	id, err := svc.Submit(context.Background(), spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, err := svc.Result(context.Background(), id)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Cost.BilledUSD <= 0 || rep.Cost.BilledUSD > spec.Constraints.MaxCost {
+		t.Fatalf("cost report %+v vs budget %v", rep.Cost, spec.Constraints.MaxCost)
+	}
+	if got := svc.CostStatus(); got.Jobs == 0 || got.BilledUSD <= 0 {
+		t.Fatalf("service cost totals empty: %+v", got)
+	}
+}
+
+func campaignBudgetSpec(seed uint64) SimulationSpec {
+	spec := serviceSpec("campbudget", 20, seed)
+	spec.Constraints.Epsilon = 0
+	return spec
+}
+
+func TestCampaignBudgetRejectedUpFront(t *testing.T) {
+	d, err := NewDeployer(13)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := d.Bootstrap(context.Background(), workloadMix(), provision.MinSamplesToTrain, 6); err != nil {
+		t.Fatal(err)
+	}
+	svc, err := NewService(d, WithWorkers(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer svc.Close()
+	base := campaignBudgetSpec(3)
+	base.Constraints.MaxCost = 1 // one dollar for eight deploys
+	_, err = svc.SubmitCampaign(context.Background(), CampaignSpec{Base: base})
+	var be *BudgetError
+	if !errors.As(err, &be) {
+		t.Fatalf("want *BudgetError, got %v", err)
+	}
+	if be.Jobs != 8 { // base + seven standard-formula modules
+		t.Fatalf("rejection sized for %d jobs", be.Jobs)
+	}
+	if svc.JobCount() != 0 {
+		t.Fatal("rejected campaign left jobs behind")
+	}
+}
+
+// TestCampaignSharedBudgetUnderConcurrency is the acceptance-criteria race
+// test: a campaign with an adequate budget, executed by four concurrent
+// workers drawing from the shared accountant, never exceeds the cap — and
+// the report's totals agree with the accountant's books. Run under -race
+// (the CI suite does) to catch unguarded accountant state.
+func TestCampaignSharedBudgetUnderConcurrency(t *testing.T) {
+	d, err := NewDeployer(15)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := d.Bootstrap(context.Background(), workloadMix(), provision.MinSamplesToTrain, 6); err != nil {
+		t.Fatal(err)
+	}
+	svc, err := NewService(d, WithWorkers(4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer svc.Close()
+	base := campaignBudgetSpec(4)
+	base.Constraints.Tiers = cloud.AllTiers()
+	base.Constraints.MaxCost = 60
+	var wg sync.WaitGroup
+	ids := make([]CampaignID, 2)
+	errs := make([]error, 2)
+	for i := range ids {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			spec := base
+			spec.Seed = uint64(40 + i)
+			ids[i], errs[i] = svc.SubmitCampaign(context.Background(), CampaignSpec{Base: spec})
+		}(i)
+	}
+	wg.Wait()
+	for i, err := range errs {
+		if err != nil {
+			t.Fatalf("campaign %d: %v", i, err)
+		}
+	}
+	for _, id := range ids {
+		rep, err := svc.CampaignResult(context.Background(), id)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if rep.Cost.BudgetUSD != base.Constraints.MaxCost {
+			t.Fatalf("budget stamp %v", rep.Cost.BudgetUSD)
+		}
+		if rep.Cost.BilledUSD > base.Constraints.MaxCost {
+			t.Fatalf("campaign billed %v over budget %v", rep.Cost.BilledUSD, base.Constraints.MaxCost)
+		}
+		if rep.Cost.Jobs != 8 {
+			t.Fatalf("cost report covers %d jobs, want 8", rep.Cost.Jobs)
+		}
+		if rep.Cost.RemainingUSD < 0 {
+			t.Fatalf("accountant balance negative: %+v", rep.Cost)
+		}
+	}
+}
+
+// TestCampaignCostWithoutBudget checks the unbounded path still totals the
+// money: per-job reports merge into the campaign report.
+func TestCampaignCostWithoutBudget(t *testing.T) {
+	d, err := NewDeployer(19)
+	if err != nil {
+		t.Fatal(err)
+	}
+	svc, err := NewService(d, WithWorkers(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer svc.Close()
+	id, err := svc.SubmitCampaign(context.Background(), CampaignSpec{Base: campaignBudgetSpec(6)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, err := svc.CampaignResult(context.Background(), id)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Cost.Jobs != 8 || rep.Cost.BilledUSD <= 0 {
+		t.Fatalf("cost report %+v", rep.Cost)
+	}
+	if rep.Cost.BudgetUSD != 0 {
+		t.Fatalf("unbounded campaign stamped with budget %v", rep.Cost.BudgetUSD)
+	}
+}

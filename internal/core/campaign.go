@@ -57,6 +57,9 @@ type CampaignReport struct {
 	Modules []ModuleResult
 	// SCR is the standard-formula aggregation of the module charges.
 	SCR stress.SCR
+	// Cost totals the money side across the base and module deploys,
+	// stamped with the campaign budget when one was set.
+	Cost CostReport
 }
 
 // CampaignSnapshot is a point-in-time view of a campaign.
@@ -81,6 +84,9 @@ type campaign struct {
 	modules     []stress.Module
 	jobs        []*job // aligned with modules
 	submittedAt time.Time
+	// budget is the campaign-wide accountant every job's deploy reserves
+	// from; nil when the campaign is unbounded.
+	budget *costAccountant
 }
 
 // all returns base plus module jobs.
@@ -128,6 +134,22 @@ func (s *Service) SubmitCampaign(ctx context.Context, cs CampaignSpec) (Campaign
 	if err != nil {
 		return "", err
 	}
+	// The campaign-wide budget accountant: every module's deploy reserves
+	// from one shared balance. An unmeetable budget is rejected up front —
+	// the cheapest feasible single deploy times the job count must fit.
+	acct := newCostAccountant(cs.Base.Constraints.MaxCost)
+	if acct != nil {
+		whole := aggregateBlock(cs.Base, "/sim")
+		if err := whole.Validate(); err != nil {
+			return "", err
+		}
+		if cheapest, ok := s.d.CheapestFeasibleUSD(ctx, whole.Params(), cs.Base.Constraints); ok {
+			jobs := 1 + len(shocks)
+			if need := cheapest * float64(jobs); need > cs.Base.Constraints.MaxCost {
+				return "", &BudgetError{CheapestUSD: need, MaxCostUSD: cs.Base.Constraints.MaxCost, Jobs: jobs}
+			}
+		}
+	}
 	// The campaign's scenario backbone: a memoizing shared set, or a plain
 	// per-access generator when reuse is off. Either way every module's
 	// paths derive from the SAME base streams (common random numbers), so
@@ -148,6 +170,7 @@ func (s *Service) SubmitCampaign(ctx context.Context, cs CampaignSpec) (Campaign
 	baseSpec := cs.Base
 	baseSpec.Scenarios = base
 	baseSpec.ScenarioRef = &baseRef
+	baseSpec.budget = acct
 	// Job pointers are taken at submission time: a lookup through the job
 	// map after the loop could race eviction on a small-retention service.
 	submitted := make([]*job, 0, len(shocks)+1)
@@ -171,6 +194,7 @@ func (s *Service) SubmitCampaign(ctx context.Context, cs CampaignSpec) (Campaign
 		ref := baseRef
 		ref.Transform = sh.Market
 		spec.ScenarioRef = &ref
+		spec.budget = acct
 		j, err := s.submitJob(ctx, spec)
 		if err != nil {
 			rollback()
@@ -189,7 +213,7 @@ func (s *Service) SubmitCampaign(ctx context.Context, cs CampaignSpec) (Campaign
 	}
 	s.nextCampaign++
 	cid := CampaignID(fmt.Sprintf("camp-%04d", s.nextCampaign))
-	c := &campaign{id: cid, base: baseJob, modules: modules, jobs: moduleJobs, submittedAt: time.Now()}
+	c := &campaign{id: cid, base: baseJob, modules: modules, jobs: moduleJobs, submittedAt: time.Now(), budget: acct}
 	s.campaigns[cid] = c
 	s.campaignOrder = append(s.campaignOrder, cid)
 	return cid, nil
@@ -292,6 +316,17 @@ func (s *Service) CampaignResult(ctx context.Context, id CampaignID) (*CampaignR
 		deltas[c.modules[k]] = delta
 	}
 	rep.SCR = stress.Aggregate(deltas)
+	if c.budget != nil {
+		rep.Cost = c.budget.snapshot()
+	} else {
+		rep.Cost.add(baseRep.Deploy)
+		for k := range c.jobs {
+			r, _ := awaitJob(ctx, c.jobs[k])
+			if r != nil {
+				rep.Cost.add(r.Deploy)
+			}
+		}
+	}
 	return rep, nil
 }
 

@@ -167,8 +167,10 @@ type Report struct {
 	Choice           provision.Choice
 	PredictedSeconds float64 // 0 when bootstrapped without a model
 	ActualSeconds    float64
-	ProRataUSD       float64 // cost attributed to the simulation (Table II)
-	BilledUSD        float64 // hour-rounded bill including boot time
+	ProRataUSD       float64 // cost attributed to the simulation (Table II), at the tier's expected rate
+	BilledUSD        float64 // hour-rounded bill including boot time, at the tier in effect
+	OnDemandUSD      float64 // all-on-demand counterfactual bill for the same cluster hours
+	Revocations      int     // spot revocations survived during the deploy
 	Bootstrap        bool    // true when the config was chosen without ML
 	Fallback         bool    // true when no config met Tmax and the fastest was used
 	KBSize           int     // knowledge-base size after recording
@@ -187,7 +189,7 @@ type Report struct {
 func (d *Deployer) Deploy(ctx context.Context, f eeb.CharacteristicParams, c provision.Constraints) (*Report, error) {
 	d.mu.Lock()
 	defer d.mu.Unlock()
-	return d.deployLocked(ctx, f, c, d.rng)
+	return d.deployLocked(ctx, f, c, d.rng, nil)
 }
 
 // DeploySeeded is Deploy with the cloud-side noise (boot latency, execution
@@ -196,15 +198,22 @@ func (d *Deployer) Deploy(ctx context.Context, f eeb.CharacteristicParams, c pro
 // is a deterministic function of its own seed, independent of how the jobs
 // interleave.
 func (d *Deployer) DeploySeeded(ctx context.Context, f eeb.CharacteristicParams, c provision.Constraints, seed uint64) (*Report, error) {
+	return d.deployBudgeted(ctx, f, c, seed, nil)
+}
+
+// deployBudgeted is DeploySeeded drawing against a shared budget
+// accountant (nil = none). Campaign jobs route through here so concurrent
+// modules reserve from, and settle into, one campaign-wide balance.
+func (d *Deployer) deployBudgeted(ctx context.Context, f eeb.CharacteristicParams, c provision.Constraints, seed uint64, acct *costAccountant) (*Report, error) {
 	rng := finmath.NewRNG(seed ^ 0x9d15a7c10bd5eed5)
 	d.mu.Lock()
 	defer d.mu.Unlock()
-	return d.deployLocked(ctx, f, c, rng)
+	return d.deployLocked(ctx, f, c, rng, acct)
 }
 
 // deployLocked is the body of Deploy; d.mu must be held. The execution rng
 // is passed explicitly so per-job seed splits can bypass the shared stream.
-func (d *Deployer) deployLocked(ctx context.Context, f eeb.CharacteristicParams, c provision.Constraints, rng *finmath.RNG) (*Report, error) {
+func (d *Deployer) deployLocked(ctx context.Context, f eeb.CharacteristicParams, c provision.Constraints, rng *finmath.RNG, acct *costAccountant) (*Report, error) {
 	if err := f.Validate(); err != nil {
 		return nil, err
 	}
@@ -214,11 +223,39 @@ func (d *Deployer) deployLocked(ctx context.Context, f eeb.CharacteristicParams,
 	if err := ctx.Err(); err != nil {
 		return nil, err
 	}
+	if acct != nil {
+		// The cap this deploy sees is the campaign's remaining balance, not
+		// the original figure: earlier modules have already drawn on it.
+		rem := acct.remaining()
+		if rem <= 0 {
+			return nil, &BudgetError{MaxCostUSD: acct.limit, Jobs: 1}
+		}
+		c.MaxCost = rem
+	}
 	choice, bootstrap, fallback, err := d.choose(ctx, f, c)
 	if err != nil {
+		var obe *provision.OverBudgetError
+		if errors.As(err, &obe) {
+			return nil, &BudgetError{CheapestUSD: obe.CheapestUSD, MaxCostUSD: obe.MaxCostUSD, Jobs: 1}
+		}
 		return nil, err
 	}
+	// Bootstrap and fallback choices bypass Select's budget filter; price
+	// them here so a money cap binds every path into the cloud.
+	reserveUSD := choice.PredictedBilledUSD
+	if reserveUSD == 0 {
+		reserveUSD = provision.BilledEstimate(d.provider.PriceSchedule(), choice)
+	}
+	if c.MaxCost > 0 && reserveUSD > c.MaxCost {
+		return nil, &BudgetError{CheapestUSD: reserveUSD, MaxCostUSD: c.MaxCost, Jobs: 1}
+	}
+	if acct != nil && !acct.reserve(reserveUSD) {
+		return nil, &BudgetError{CheapestUSD: reserveUSD, MaxCostUSD: acct.limit, Jobs: 1}
+	}
 	rep, err := d.execute(choice, f, rng, true)
+	if acct != nil {
+		acct.settle(reserveUSD, rep)
+	}
 	if err != nil {
 		return nil, err
 	}
@@ -284,6 +321,28 @@ func (d *Deployer) choose(ctx context.Context, f eeb.CharacteristicParams, c pro
 	}
 }
 
+// CheapestFeasibleUSD returns the lowest conservative billed reservation
+// among deadline-feasible candidates for the workload, and whether the
+// figure is known. Untrained predictors return (0, false): like admission
+// control, budget control admits bootstrap-phase work on faith rather
+// than rejecting what it cannot price.
+func (d *Deployer) CheapestFeasibleUSD(ctx context.Context, f eeb.CharacteristicParams, c provision.Constraints) (float64, bool) {
+	probe := c
+	probe.Epsilon = 0
+	probe.MaxCost = 0
+	cands, err := d.sel.Candidates(ctx, f, probe)
+	if err != nil || len(cands) == 0 {
+		return 0, false
+	}
+	cheapest := math.Inf(1)
+	for _, ch := range cands {
+		if ch.PredictedBilledUSD < cheapest {
+			cheapest = ch.PredictedBilledUSD
+		}
+	}
+	return cheapest, true
+}
+
 // execute launches the chosen deploy, runs the workload, terminates the
 // cluster, records the sample(s) and — when retrain is set — rebuilds the
 // models of the affected architecture (the incremental self-optimizing
@@ -293,7 +352,7 @@ func (d *Deployer) execute(choice provision.Choice, f eeb.CharacteristicParams, 
 	switch len(choice.Slots) {
 	case 1:
 		slot := choice.Slots[0]
-		cluster, err := d.provider.Launch(rng, slot.Type, slot.Nodes)
+		cluster, err := d.provider.Launch(rng, slot.Type, slot.Nodes, choice.Tier)
 		if err != nil {
 			return nil, err
 		}
@@ -305,8 +364,17 @@ func (d *Deployer) execute(choice provision.Choice, f eeb.CharacteristicParams, 
 			return nil, err
 		}
 		rep.ActualSeconds = secs
-		rep.ProRataUSD = cloud.ProRataCost(slot.Type, slot.Nodes, secs)
+		rep.ProRataUSD = d.provider.PriceSchedule().ProRataCost(slot.Type, choice.Tier, slot.Nodes, secs)
+		rep.OnDemandUSD = cloud.BilledCost(slot.Type, slot.Nodes, cluster.ElapsedSeconds())
+		rep.Revocations = cluster.Revocations()
 		rep.BilledUSD = cluster.Terminate()
+		if rep.Revocations > 0 {
+			// A revocation-stretched duration is not an architecture
+			// measurement — recording it would teach the predictor that
+			// this (type, nodes) is slower than it is. Skip the sample;
+			// the valuation results are unaffected.
+			break
+		}
 		sample := kb.Sample{
 			Architecture: slot.Type.Name, Nodes: slot.Nodes, Params: f, Seconds: secs,
 		}
@@ -322,9 +390,9 @@ func (d *Deployer) execute(choice provision.Choice, f eeb.CharacteristicParams, 
 	case 2:
 		// Heterogeneous extension: both slots run the proportional split and
 		// finish together; the combined duration composes the slot rates.
-		var rates, prorata, billed float64
+		var rates, prorata, billed, onDemand float64
 		for _, slot := range choice.Slots {
-			cluster, err := d.provider.Launch(rng, slot.Type, slot.Nodes)
+			cluster, err := d.provider.Launch(rng, slot.Type, slot.Nodes, choice.Tier)
 			if err != nil {
 				return nil, err
 			}
@@ -336,12 +404,15 @@ func (d *Deployer) execute(choice provision.Choice, f eeb.CharacteristicParams, 
 				return nil, err
 			}
 			rates += 1 / secs
+			onDemand += cloud.BilledCost(slot.Type, slot.Nodes, cluster.ElapsedSeconds())
+			rep.Revocations += cluster.Revocations()
 			billed += cluster.Terminate()
 			prorata += slot.Type.HourlyUSD * float64(slot.Nodes)
 		}
 		rep.ActualSeconds = 1 / rates
 		rep.ProRataUSD = prorata * rep.ActualSeconds / 3600
 		rep.BilledUSD = billed
+		rep.OnDemandUSD = onDemand
 		// Heterogeneous runs are not recorded: the per-architecture training
 		// sets assume a full-workload execution on one architecture.
 	default:

@@ -173,6 +173,9 @@ type Service struct {
 	proxyJobs   int
 	proxyTotals proxyval.Stats
 
+	costMu     sync.Mutex
+	costTotals CostReport
+
 	mu            sync.Mutex
 	jobs          map[JobID]*job
 	order         []JobID
@@ -287,6 +290,15 @@ func NewService(d *Deployer, opts ...ServiceOption) (*Service, error) {
 // persistence).
 func (s *Service) Deployer() *Deployer { return s.d }
 
+// CostStatus returns the service-lifetime cost totals across completed
+// jobs: billed dollars, the all-on-demand counterfactual, spot savings and
+// revocations survived.
+func (s *Service) CostStatus() CostReport {
+	s.costMu.Lock()
+	defer s.costMu.Unlock()
+	return s.costTotals
+}
+
 // Submit validates and enqueues a valuation job. The given context governs
 // the job's whole lifetime: cancelling it — before or during execution —
 // stops the job, and Result then returns context.Canceled. Submit never
@@ -309,6 +321,20 @@ func (s *Service) submitJob(ctx context.Context, spec SimulationSpec) (*job, err
 	}
 	if err := ctx.Err(); err != nil {
 		return nil, err
+	}
+	// Budget control, like admission control, rejects up front what can
+	// never fit: a standalone job whose cheapest feasible deploy already
+	// exceeds its MaxCost fails with *BudgetError instead of queueing to
+	// fail. Campaign jobs (spec.budget set) are pre-checked campaign-wide
+	// by SubmitCampaign against the shared accountant.
+	if spec.budget == nil && spec.Constraints.MaxCost > 0 {
+		whole := aggregateBlock(spec, "/sim")
+		if err := whole.Validate(); err != nil {
+			return nil, err
+		}
+		if cheapest, ok := s.d.CheapestFeasibleUSD(ctx, whole.Params(), spec.Constraints); ok && cheapest > spec.Constraints.MaxCost {
+			return nil, &BudgetError{CheapestUSD: cheapest, MaxCostUSD: spec.Constraints.MaxCost, Jobs: 1}
+		}
 	}
 	// Runtime-estimate outside the service lock: the predictor-backed
 	// estimator walks the whole catalog. Non-finite estimates (a degenerate
@@ -532,6 +558,11 @@ func (s *Service) run(j *job) {
 	}
 	if err == nil && rep != nil && rep.Proxy != nil {
 		s.recordProxy(rep.Proxy)
+	}
+	if err == nil && rep != nil && rep.Deploy != nil {
+		s.costMu.Lock()
+		s.costTotals.add(rep.Deploy)
+		s.costMu.Unlock()
 	}
 	j.finish(rep, err)
 	j.cancel() // release the job context's resources

@@ -66,6 +66,11 @@ type SimulationSpec struct {
 	// predictions whose uncertainty band busts the error budget to the full
 	// nested pipeline. The report then carries a ProxyReport.
 	Proxy *ProxySpec
+	// budget, when non-nil, is the shared accountant this job's deploy
+	// draws from. SubmitCampaign attaches the campaign-wide accountant to
+	// every module's spec; standalone jobs with Constraints.MaxCost > 0 get
+	// a private one inside RunSimulation.
+	budget *costAccountant
 }
 
 // Validate reports whether the spec is well-formed.
@@ -115,6 +120,9 @@ type SimulationReport struct {
 	// Proxy carries the serving telemetry when the job ran through the
 	// proxy tier (nil for plain nested valuations).
 	Proxy *ProxyReport
+	// Cost is the money side of the deploy: billed dollars, the
+	// all-on-demand counterfactual, and revocations survived.
+	Cost CostReport
 }
 
 // aggregateBlock describes the whole simulation as one type-B block — the
@@ -196,7 +204,13 @@ func (d *Deployer) RunSimulation(ctx context.Context, spec SimulationSpec) (*Sim
 	}
 	f := whole.Params()
 
-	deployRep, err := d.DeploySeeded(ctx, f, spec.Constraints, spec.Seed)
+	acct := spec.budget
+	if acct == nil {
+		// Standalone jobs enforce their own MaxCost with a private
+		// accountant; campaign jobs arrive with the shared one attached.
+		acct = newCostAccountant(spec.Constraints.MaxCost)
+	}
+	deployRep, err := d.deployBudgeted(ctx, f, spec.Constraints, spec.Seed, acct)
 	if err != nil {
 		return nil, err
 	}
@@ -285,6 +299,11 @@ func (d *Deployer) RunSimulation(ctx context.Context, spec SimulationSpec) (*Sim
 	}
 
 	rep := &SimulationReport{Results: results, Deploy: deployRep, Params: f, Proxy: proxyRep}
+	rep.Cost.add(deployRep)
+	if acct != nil {
+		rep.Cost.BudgetUSD = acct.limit
+		rep.Cost.RemainingUSD = acct.remaining()
+	}
 	for _, r := range results {
 		rep.BEL += r.BEL
 		rep.SCR += r.SCR

@@ -1,0 +1,48 @@
+package experiments
+
+import "testing"
+
+// TestRunCostComparison pins the headline claims of the cost-aware
+// provisioning plane: with the same deadline met, the spot-enabled fleet is
+// at least 30% cheaper than all-on-demand, survives at least one revocation,
+// and the check valuation's SCR is bit-identical across tier mixes.
+func TestRunCostComparison(t *testing.T) {
+	r, err := RunCostComparison(8, 30)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.SavingsPct < 0.30 {
+		t.Fatalf("spot fleet saved %.1f%%, want >= 30%%", 100*r.SavingsPct)
+	}
+	if r.SpotHeavy.Revocations < 1 {
+		t.Fatal("spot fleet survived no revocations; the comparison exercised nothing")
+	}
+	if r.OnDemand.Revocations != 0 {
+		t.Fatalf("on-demand fleet reported %d revocations", r.OnDemand.Revocations)
+	}
+	if r.OnDemand.DeadlineMisses != 0 || r.SpotHeavy.DeadlineMisses != 0 {
+		t.Fatalf("deadline misses od=%d spot=%d, want none under the shared Tmax",
+			r.OnDemand.DeadlineMisses, r.SpotHeavy.DeadlineMisses)
+	}
+	if !r.SCRIdentical {
+		t.Fatalf("SCR differs across tier mixes: %v vs %v — tiers moved valuation bits",
+			r.OnDemand.SCR, r.SpotHeavy.SCR)
+	}
+	// The counterfactual must be self-consistent: an on-demand fleet's billed
+	// total IS its on-demand total.
+	if r.OnDemand.BilledUSD != r.OnDemand.OnDemandUSD {
+		t.Fatalf("on-demand fleet billed %v vs counterfactual %v", r.OnDemand.BilledUSD, r.OnDemand.OnDemandUSD)
+	}
+	if r.SpotHeavy.BilledUSD >= r.SpotHeavy.OnDemandUSD {
+		t.Fatalf("spot fleet billed %v not below its on-demand counterfactual %v",
+			r.SpotHeavy.BilledUSD, r.SpotHeavy.OnDemandUSD)
+	}
+	// Rerunning the same seed must reproduce the figures exactly.
+	again, err := RunCostComparison(8, 30)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if again.SpotHeavy.BilledUSD != r.SpotHeavy.BilledUSD || again.SpotHeavy.Revocations != r.SpotHeavy.Revocations {
+		t.Fatal("cost comparison is not deterministic in its seed")
+	}
+}

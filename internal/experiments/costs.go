@@ -1,12 +1,18 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"io"
 	"sort"
 
 	"disarcloud/internal/cloud"
+	"disarcloud/internal/core"
+	"disarcloud/internal/finmath"
+	"disarcloud/internal/fund"
 	"disarcloud/internal/kb"
+	"disarcloud/internal/policy"
+	"disarcloud/internal/provision"
 )
 
 // CostResult is Table II: the average pro-rata cost of one simulation on
@@ -69,4 +75,146 @@ func (r *CostResult) PrintTableII(w io.Writer) {
 		fmt.Fprintf(w, "%-14s %7.3f$  (%d runs)\n", a, r.AvgCostUSD[a], r.RunsPerArch[a])
 	}
 	fmt.Fprintf(w, "total: %d runs, %.0f$\n", r.TotalRuns, r.TotalUSD)
+}
+
+// FleetCost aggregates the money and fault record of one purchasing-tier
+// fleet across a batch of identical deploys.
+type FleetCost struct {
+	Name        string
+	Deploys     int
+	BilledUSD   float64
+	OnDemandUSD float64
+	Revocations int
+	// DeadlineMisses counts deploys whose measured execution time (including
+	// revocation re-slice penalties) overran the shared Tmax.
+	DeadlineMisses int
+	// SCR is the fleet's check valuation, run with the fleet's tiers: tier
+	// choice moves money, never valuation bits, so it must be bit-identical
+	// across fleets.
+	SCR float64
+}
+
+// CostComparison is the cost/latency frontier experiment of the cost-aware
+// provisioning plane: the same deploy batch priced on an all-on-demand fleet
+// versus a spot-enabled one, under one shared Solvency II deadline.
+type CostComparison struct {
+	Seed        uint64
+	TmaxSeconds float64
+	OnDemand    FleetCost
+	SpotHeavy   FleetCost
+	// SavingsPct is 1 - spot billed / on-demand billed.
+	SavingsPct float64
+	// SCRIdentical records the bit-compare of the two check valuations.
+	SCRIdentical bool
+}
+
+// RunCostComparison trains one knowledge base, then replays the same batch
+// of `runs` deploys (cycling the 15 EEBs, epsilon 0, shared deadline) on two
+// fleets that differ only in the tiers the selector may buy: pure on-demand
+// versus on-demand+reserved+spot. Each fleet gets a fresh deployer seeded
+// identically with a clone of the trained KB, so predictions and RNG draws
+// match and the measured difference is purely the purchasing tier. A small
+// check valuation per fleet pins SCR bit-identity across tier mixes.
+func RunCostComparison(seed uint64, runs int) (*CostComparison, error) {
+	if runs <= 0 {
+		return nil, fmt.Errorf("experiments: non-positive cost-comparison batch")
+	}
+	camp, err := NewCampaign(seed)
+	if err != nil {
+		return nil, err
+	}
+	ctx := context.Background()
+	if err := camp.Deployer.Bootstrap(ctx, camp.Workloads, provision.MinSamplesToTrain, 8); err != nil {
+		return nil, err
+	}
+	trained := camp.Deployer.KB().Samples()
+
+	// A generous deadline keeps every tier feasible, so the selector's
+	// cheapest-first frontier walk decides — the regime where spot capacity
+	// pays for its revocation risk.
+	const tmax = 3600.0
+	res := &CostComparison{Seed: seed, TmaxSeconds: tmax}
+	fleets := []struct {
+		name  string
+		tiers []cloud.Tier
+		out   *FleetCost
+	}{
+		{"on-demand", nil, &res.OnDemand},
+		{"spot-heavy", cloud.AllTiers(), &res.SpotHeavy},
+	}
+	for _, fl := range fleets {
+		kbClone := kb.New()
+		kbClone.Merge(trained)
+		d, err := core.NewDeployer(seed+1, core.WithKnowledgeBase(kbClone))
+		if err != nil {
+			return nil, err
+		}
+		fc := fl.out
+		fc.Name = fl.name
+		for i := 0; i < runs; i++ {
+			f := camp.Workloads[i%len(camp.Workloads)]
+			cons := provision.Constraints{
+				TmaxSeconds: tmax, MaxNodes: 8, Epsilon: 0, Tiers: fl.tiers,
+			}
+			rep, err := d.Deploy(ctx, f, cons)
+			if err != nil {
+				return nil, fmt.Errorf("experiments: %s deploy %d: %w", fl.name, i, err)
+			}
+			fc.Deploys++
+			fc.BilledUSD += rep.BilledUSD
+			fc.OnDemandUSD += rep.OnDemandUSD
+			fc.Revocations += rep.Revocations
+			if rep.ActualSeconds > tmax {
+				fc.DeadlineMisses++
+			}
+		}
+		scr, err := checkValuation(d, seed, fl.tiers)
+		if err != nil {
+			return nil, err
+		}
+		fc.SCR = scr
+	}
+	if res.OnDemand.BilledUSD > 0 {
+		res.SavingsPct = 1 - res.SpotHeavy.BilledUSD/res.OnDemand.BilledUSD
+	}
+	res.SCRIdentical = res.OnDemand.SCR == res.SpotHeavy.SCR
+	return res, nil
+}
+
+// checkValuation runs one small end-to-end valuation with the fleet's tiers;
+// its SCR is the bit-identity probe of the comparison.
+func checkValuation(d *core.Deployer, seed uint64, tiers []cloud.Tier) (float64, error) {
+	gen := policy.ItalianCompanySpecs()[0]
+	gen.NumContracts = 12
+	p, err := policy.Generate(finmath.NewRNG(seed+2), gen)
+	if err != nil {
+		return 0, err
+	}
+	market := marketFor(0, p.MaxTerm())
+	rep, err := d.RunSimulation(context.Background(), core.SimulationSpec{
+		Portfolio: p,
+		Fund:      fund.TypicalItalianFund(4, market),
+		Market:    market,
+		Outer:     60,
+		Inner:     5,
+		Constraints: provision.Constraints{
+			TmaxSeconds: 3600, MaxNodes: 4, Epsilon: 0, Tiers: tiers,
+		},
+		MaxWorkers: 2,
+		Seed:       seed + 3,
+	})
+	if err != nil {
+		return 0, err
+	}
+	return rep.SCR, nil
+}
+
+// PrintCostComparison writes the two-fleet frontier table.
+func (r *CostComparison) PrintCostComparison(w io.Writer) {
+	fmt.Fprintf(w, "COST COMPARISON: on-demand vs spot-heavy fleet (Tmax %.0fs, seed %d)\n", r.TmaxSeconds, r.Seed)
+	for _, fc := range []*FleetCost{&r.OnDemand, &r.SpotHeavy} {
+		fmt.Fprintf(w, "%-10s %3d deploys  billed %8.2f$  on-demand-equiv %8.2f$  revocations %2d  deadline misses %d  SCR %.6f\n",
+			fc.Name, fc.Deploys, fc.BilledUSD, fc.OnDemandUSD, fc.Revocations, fc.DeadlineMisses, fc.SCR)
+	}
+	fmt.Fprintf(w, "spot savings: %.1f%%  SCR bit-identical: %v\n", 100*r.SavingsPct, r.SCRIdentical)
 }

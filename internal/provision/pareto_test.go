@@ -1,0 +1,290 @@
+package provision
+
+import (
+	"context"
+	"errors"
+	"math"
+	"strings"
+	"testing"
+
+	"disarcloud/internal/cloud"
+	"disarcloud/internal/finmath"
+)
+
+func allTierConstraints(tmax float64) Constraints {
+	return Constraints{
+		TmaxSeconds: tmax, MaxNodes: 8, Epsilon: 0,
+		Tiers: cloud.AllTiers(),
+	}
+}
+
+func TestConstraintsValidateCostFields(t *testing.T) {
+	good := allTierConstraints(600)
+	good.MaxCost = 12.5
+	if err := good.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	bad := good
+	bad.MaxCost = -1
+	if err := bad.Validate(); err == nil {
+		t.Fatal("negative MaxCost accepted")
+	}
+	bad = good
+	bad.MaxCost = math.Inf(1)
+	if err := bad.Validate(); err == nil {
+		t.Fatal("infinite MaxCost accepted")
+	}
+	bad = good
+	bad.Tiers = []cloud.Tier{cloud.Tier(77)}
+	if err := bad.Validate(); err == nil {
+		t.Fatal("invalid tier accepted")
+	}
+	if tiers := (Constraints{}).EffectiveTiers(); len(tiers) != 1 || tiers[0] != cloud.TierOnDemand {
+		t.Fatalf("default tiers = %v", tiers)
+	}
+}
+
+func TestCandidatesEnumerateTiers(t *testing.T) {
+	s, _ := NewSelector(newOracle(), nil, finmath.NewRNG(1))
+	cands, err := s.Candidates(context.Background(), params(), allTierConstraints(600))
+	if err != nil {
+		t.Fatal(err)
+	}
+	seen := map[cloud.Tier]int{}
+	for _, ch := range cands {
+		seen[ch.Tier]++
+		if ch.PredictedBilledUSD <= 0 {
+			t.Fatalf("candidate without billed estimate: %v", ch)
+		}
+	}
+	for _, tier := range cloud.AllTiers() {
+		if seen[tier] == 0 {
+			t.Fatalf("no %v candidates: %v", tier, seen)
+		}
+	}
+	// Spot candidates carry the revocation inflation: for the same (type,
+	// nodes) the spot duration is strictly longer and the cost lower than
+	// the on-demand twin.
+	byKey := map[string]Choice{}
+	for _, ch := range cands {
+		if len(ch.Slots) == 1 && ch.Tier == cloud.TierOnDemand {
+			byKey[ch.Primary().Type.Name+string(rune(ch.Primary().Nodes))] = ch
+		}
+	}
+	comparedSome := false
+	for _, ch := range cands {
+		if ch.Tier != cloud.TierSpot {
+			continue
+		}
+		od, ok := byKey[ch.Primary().Type.Name+string(rune(ch.Primary().Nodes))]
+		if !ok {
+			continue
+		}
+		comparedSome = true
+		if !(ch.PredictedSeconds > od.PredictedSeconds) {
+			t.Fatalf("spot not inflated: %v vs %v", ch, od)
+		}
+		if !(ch.PredictedCost < od.PredictedCost) {
+			t.Fatalf("spot not cheaper: %v vs %v", ch, od)
+		}
+	}
+	if !comparedSome {
+		t.Fatal("no spot/on-demand twin pairs compared")
+	}
+}
+
+// TestSelectBackCompatRNGSequence is the golden-safety invariant at the
+// provision layer: with default tiers and no budget, the rebuilt Select
+// must pick the same configurations from the same RNG stream as the
+// pre-Pareto implementation (cheapest-first scan, Float64 then Intn).
+func TestSelectBackCompatRNGSequence(t *testing.T) {
+	c := Constraints{TmaxSeconds: 600, MaxNodes: 8, Epsilon: 0.3}
+	s, _ := NewSelector(newOracle(), nil, finmath.NewRNG(1234))
+	ref := finmath.NewRNG(1234)
+	refSel, _ := NewSelector(newOracle(), nil, finmath.NewRNG(999)) // candidates only
+	cands, err := refSel.Candidates(context.Background(), params(), c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 100; i++ {
+		got, err := s.Select(context.Background(), params(), c)
+		if err != nil {
+			t.Fatal(err)
+		}
+		// Legacy algorithm replayed by hand on the reference RNG.
+		var want Choice
+		if ref.Float64() < c.Epsilon {
+			want = cands[ref.Intn(len(cands))]
+			want.Explored = true
+		} else {
+			want = cands[0]
+			for _, ch := range cands[1:] {
+				if ch.PredictedCost < want.PredictedCost {
+					want = ch
+				}
+			}
+		}
+		if got.String() != want.String() || got.Explored != want.Explored {
+			t.Fatalf("iter %d: got %v (explored %v), want %v (explored %v)",
+				i, got, got.Explored, want, want.Explored)
+		}
+	}
+}
+
+func TestFrontierShape(t *testing.T) {
+	s, _ := NewSelector(newOracle(), nil, finmath.NewRNG(1))
+	cands, err := s.Candidates(context.Background(), params(), allTierConstraints(2000))
+	if err != nil {
+		t.Fatal(err)
+	}
+	fr := Frontier(cands)
+	if len(fr) == 0 || len(fr) > len(cands) {
+		t.Fatalf("frontier size %d of %d", len(fr), len(cands))
+	}
+	for i := 1; i < len(fr); i++ {
+		if !(fr[i].PredictedCost >= fr[i-1].PredictedCost) {
+			t.Fatalf("frontier not cost-ordered at %d", i)
+		}
+		if !(fr[i].PredictedSeconds < fr[i-1].PredictedSeconds) {
+			t.Fatalf("frontier point %d not faster than predecessor", i)
+		}
+	}
+	// No candidate may dominate a frontier point.
+	for _, p := range fr {
+		for _, ch := range cands {
+			if ch.PredictedCost < p.PredictedCost && ch.PredictedSeconds <= p.PredictedSeconds {
+				t.Fatalf("frontier point %v dominated by %v", p, ch)
+			}
+		}
+	}
+	// The frontier's first point is the global cheapest (first occurrence).
+	want := cands[0]
+	for _, ch := range cands[1:] {
+		if ch.PredictedCost < want.PredictedCost {
+			want = ch
+		}
+	}
+	if fr[0].String() != want.String() {
+		t.Fatalf("frontier[0] = %v, want cheapest %v", fr[0], want)
+	}
+	if Frontier(nil) != nil {
+		t.Fatal("empty frontier not nil")
+	}
+}
+
+func TestSelectPrefersSpotWhenSlackAllows(t *testing.T) {
+	s, _ := NewSelector(newOracle(), nil, finmath.NewRNG(1))
+	// Generous deadline: the cheapest feasible point should be a spot
+	// deploy (spot mean fraction is far below the reserved discount).
+	loose, err := s.Select(context.Background(), params(), allTierConstraints(3000))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if loose.Tier != cloud.TierSpot {
+		t.Fatalf("loose deadline picked %v, want spot", loose)
+	}
+	od, err := s.Select(context.Background(), params(), Constraints{TmaxSeconds: 3000, MaxNodes: 8, Epsilon: 0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !(loose.PredictedCost < od.PredictedCost) {
+		t.Fatalf("spot selection %v not cheaper than on-demand %v", loose, od)
+	}
+}
+
+func TestSelectBudgetFilter(t *testing.T) {
+	s, _ := NewSelector(newOracle(), nil, finmath.NewRNG(1))
+	c := allTierConstraints(600)
+	unconstrained, err := s.Select(context.Background(), params(), c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// A budget exactly at the cheapest reservation admits it.
+	c.MaxCost = unconstrained.PredictedBilledUSD
+	got, err := s.Select(context.Background(), params(), c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.PredictedBilledUSD > c.MaxCost {
+		t.Fatalf("selected over budget: %v > %v", got.PredictedBilledUSD, c.MaxCost)
+	}
+	// A budget below every reservation is an OverBudgetError carrying the
+	// cheapest feasible figure.
+	c.MaxCost = unconstrained.PredictedBilledUSD / 2
+	_, err = s.Select(context.Background(), params(), c)
+	if !errors.Is(err, ErrOverBudget) {
+		t.Fatalf("want ErrOverBudget, got %v", err)
+	}
+	var obe *OverBudgetError
+	if !errors.As(err, &obe) {
+		t.Fatalf("want *OverBudgetError, got %T", err)
+	}
+	if obe.CheapestUSD != unconstrained.PredictedBilledUSD || obe.MaxCostUSD != c.MaxCost {
+		t.Fatalf("error figures %v vs cheapest %v budget %v", obe, unconstrained.PredictedBilledUSD, c.MaxCost)
+	}
+	if !strings.Contains(obe.Error(), "$") {
+		t.Fatalf("error message %q lacks dollars", obe.Error())
+	}
+}
+
+func TestSelectExplorationRespectsBudget(t *testing.T) {
+	s, _ := NewSelector(newOracle(), nil, finmath.NewRNG(77))
+	c := allTierConstraints(2000)
+	c.Epsilon = 1 // always explore
+	cheapest, err := s.Select(context.Background(), params(), Constraints{
+		TmaxSeconds: 2000, MaxNodes: 8, Epsilon: 0, Tiers: cloud.AllTiers(),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	c.MaxCost = cheapest.PredictedBilledUSD * 1.5
+	for i := 0; i < 300; i++ {
+		ch, err := s.Select(context.Background(), params(), c)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !ch.Explored {
+			t.Fatal("epsilon=1 did not explore")
+		}
+		if ch.PredictedBilledUSD > c.MaxCost {
+			t.Fatalf("exploration escaped the budget: %v > %v", ch.PredictedBilledUSD, c.MaxCost)
+		}
+	}
+}
+
+func TestBilledEstimateFloorsAtOneHour(t *testing.T) {
+	ps := cloud.DefaultPriceSchedule()
+	it, _ := cloud.TypeByName("c3.4xlarge")
+	ch := Choice{Slots: []Slot{{Type: it, Nodes: 2}}, Tier: cloud.TierOnDemand, PredictedSeconds: 10}
+	got := BilledEstimate(ps, ch)
+	if math.Abs(got-2*it.HourlyUSD) > 1e-9 {
+		t.Fatalf("short-run estimate %v, want one billed hour per VM", got)
+	}
+	long := ch
+	long.PredictedSeconds = 6000 // 1.25x + 600 = 8100 s -> 3 hours
+	if got := BilledEstimate(ps, long); math.Abs(got-3*2*it.HourlyUSD) > 1e-9 {
+		t.Fatalf("long-run estimate %v", got)
+	}
+}
+
+// BenchmarkSelectorPareto is the CI smoke guard: one full Select at
+// catalog × 64-node × 3-tier scale must stay comfortably sub-millisecond.
+func BenchmarkSelectorPareto(b *testing.B) {
+	s, err := NewSelector(newOracle(), nil, finmath.NewRNG(1))
+	if err != nil {
+		b.Fatal(err)
+	}
+	c := Constraints{
+		TmaxSeconds: 1e9, MaxNodes: 64, Epsilon: 0,
+		MaxCost: 1e9, Tiers: cloud.AllTiers(),
+	}
+	f := params()
+	ctx := context.Background()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := s.Select(ctx, f, c); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
