@@ -6,6 +6,7 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"path/filepath"
 
 	"disarcloud"
 )
@@ -53,6 +54,11 @@ func runCheck(path string, out io.Writer) error {
 	req, err := decodeVerifyRequest(f)
 	if err != nil {
 		return err
+	}
+	// A relative qtable path is resolved against the request file's own
+	// directory: the request names its artifact, wherever -check runs from.
+	if req.QTable != "" && !filepath.IsAbs(req.QTable) {
+		req.QTable = filepath.Join(filepath.Dir(path), req.QTable)
 	}
 	report, err := disarcloud.VerifyPolicy(req)
 	if err != nil {

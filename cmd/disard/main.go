@@ -48,17 +48,29 @@
 // KB-estimated job runtime into the worker target — the hybrid policy
 // applies the maximum of the reactive and proactive targets.
 //
+// With -policy the daemon names its scaling decision layer explicitly:
+// "reactive" (the elastic controller alone), "hybrid" (equivalent to
+// -forecast), or "learned" — a Q-table trained offline by cmd/qtrain
+// (internal/rl) and loaded from -qtable. A learned daemon takes its
+// unflagged -min-workers/-max-workers from the table's own spec. The same
+// selection can live in a JSON "policy" config section loaded with
+// -policy-config ({"policy": "learned", "qtable": "qtable_v1.json"});
+// explicit flags override the file's fields. GET /v1/autoscaler reports
+// the active policy and its hyperparameters either way.
+//
 // With -check <file> the daemon does not serve at all: it model-checks the
 // scaling policy described by the JSON request file against its SLA bound
 // (exact value iteration over the policy x arrival-model product chain, see
 // internal/verify), prints the report and exits non-zero on a violation.
 // CI runs it against testdata/verify_default.json to gate the shipped
-// elastic configuration.
+// elastic configuration and testdata/verify_learned.json to gate the
+// shipped Q-table artifact; a learned request names its qtable path,
+// resolved relative to the request file's directory.
 //
 // Trace body for POST /v1/loadgen/trace (defaults in parentheses):
 //
 //	{
-//	  "kind":       "mixed", // diurnal / bursty / ramp / flash / mixed
+//	  "kind":       "mixed", // diurnal / bursty / ramp / flash / mixed / weekly
 //	  "intervals":  120,     // trace length
 //	  "seed":       0,       // 0 = server-assigned
 //	  "base_rate":  2,       // mean arrivals per interval, calm regime
@@ -158,6 +170,9 @@ func run() error {
 		fcWindow  = flag.Int("forecast-window", 0, "telemetry ring capacity in control ticks (0 = default)")
 		fcHead    = flag.Float64("forecast-headroom", 0, "planner headroom factor >= 1 (0 = default)")
 		fcSeason  = flag.Int("forecast-season", 0, "seasonality hint in control ticks for the Holt-Winters candidate (0 = no seasonal model)")
+		policySel = flag.String("policy", "", "scaling policy: reactive, hybrid (implies -forecast) or learned (requires -qtable); all require -elastic")
+		qtable    = flag.String("qtable", "", "trained Q-table artifact for -policy learned")
+		policyCfg = flag.String("policy-config", "", "JSON file with the \"policy\" config section (-policy/-qtable override its fields)")
 		proxy     = flag.Bool("proxy", false, "route jobs without their own proxy section through the LSMC proxy serving tier")
 		proxyBud  = flag.Float64("proxy-budget", 0, "default proxy relative error budget in (0,1] (0 = proxyval default)")
 		proxySamp = flag.Int("proxy-sample", 0, "default proxy training-sample size (0 = proxyval default)")
@@ -179,6 +194,61 @@ func run() error {
 	flag.Parse()
 	if *check != "" {
 		return runCheck(*check, os.Stdout)
+	}
+	pol := policyRequest{}
+	if *policyCfg != "" {
+		loaded, err := loadPolicyConfig(*policyCfg)
+		if err != nil {
+			return err
+		}
+		pol = loaded
+	}
+	if *policySel != "" {
+		pol.Policy = *policySel
+	}
+	if *qtable != "" {
+		pol.QTable = *qtable
+	}
+	if err := pol.validate(); err != nil {
+		return err
+	}
+	var learnedTable *disarcloud.QTable
+	switch pol.Policy {
+	case "reactive":
+		if !*elastic {
+			return fmt.Errorf("-policy reactive requires -elastic")
+		}
+		if *fcast {
+			return fmt.Errorf("-policy reactive conflicts with -forecast (forecast overlay IS the hybrid policy)")
+		}
+	case "hybrid":
+		if !*elastic {
+			return fmt.Errorf("-policy hybrid requires -elastic")
+		}
+		*fcast = true
+		if pol.Headroom != 0 && !flagWasSet("forecast-headroom") {
+			*fcHead = pol.Headroom
+		}
+	case "learned":
+		if !*elastic {
+			return fmt.Errorf("-policy learned requires -elastic")
+		}
+		if *fcast {
+			return fmt.Errorf("-policy learned conflicts with -forecast (one decision layer at a time)")
+		}
+		t, err := loadQTable(pol.QTable)
+		if err != nil {
+			return err
+		}
+		learnedTable = t
+		// The artifact knows the pool it was trained for; unflagged bounds
+		// follow it so the policy is never boxed into bounds it never saw.
+		if !flagWasSet("min-workers") {
+			*minW = t.Spec.MinWorkers
+		}
+		if !flagWasSet("max-workers") {
+			*maxW = t.Spec.MaxWorkers
+		}
 	}
 	if *fcast && !*elastic {
 		return fmt.Errorf("-forecast requires -elastic: the hybrid policy overlays the reactive controller")
@@ -272,6 +342,9 @@ func run() error {
 			Headroom:     *fcHead,
 			SeasonPeriod: *fcSeason,
 		}))
+	}
+	if learnedTable != nil {
+		svcOpts = append(svcOpts, disarcloud.WithLearnedPolicy(learnedTable))
 	}
 	svc, err := disarcloud.NewService(d, svcOpts...)
 	if err != nil {

@@ -1,0 +1,104 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+
+	"disarcloud"
+)
+
+// maxPolicyBytes bounds the -policy-config file: a policy section is a few
+// lines of JSON, so anything near the cap is not one.
+const maxPolicyBytes = 1 << 20
+
+// policyRequest is the daemon's "policy" config section: which scaling
+// policy the control loop runs and the knobs that belong to it. It arrives
+// either from the -policy-config JSON file or assembled from the -policy /
+// -qtable flags (flags override file fields).
+type policyRequest struct {
+	// Policy selects the decision layer: "reactive", "hybrid" or "learned".
+	// Empty keeps the legacy flag behavior (-forecast selects hybrid).
+	Policy string `json:"policy,omitempty"`
+	// QTable is the trained artifact path for the learned policy.
+	QTable string `json:"qtable,omitempty"`
+	// Headroom is the hybrid planner's multiplier (0 = forecast default);
+	// rejected for other policies.
+	Headroom float64 `json:"headroom,omitempty"`
+}
+
+// decodePolicyRequest decodes one policy section, strictly: the section
+// selects the decision layer a daemon ships with, so a typoed field must
+// fail loudly instead of silently running the default it fell back to.
+func decodePolicyRequest(data []byte) (policyRequest, error) {
+	var req policyRequest
+	if len(data) > maxPolicyBytes {
+		return req, fmt.Errorf("policy config exceeds %d bytes", maxPolicyBytes)
+	}
+	dec := json.NewDecoder(bytes.NewReader(data))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&req); err != nil {
+		return req, fmt.Errorf("decode policy config: %w", err)
+	}
+	if _, err := dec.Token(); err != io.EOF {
+		return req, fmt.Errorf("decode policy config: trailing data after the JSON object")
+	}
+	if err := req.validate(); err != nil {
+		return req, err
+	}
+	return req, nil
+}
+
+// validate checks the section's internal consistency; the daemon-level
+// interactions (-elastic, -forecast) are checked in run.
+func (r policyRequest) validate() error {
+	switch r.Policy {
+	case "", "reactive", "hybrid", "learned":
+	default:
+		return fmt.Errorf("unknown policy %q (want reactive, hybrid or learned)", r.Policy)
+	}
+	if r.QTable != "" && r.Policy != "learned" {
+		return fmt.Errorf("a qtable only drives the learned policy (got policy %q)", r.Policy)
+	}
+	if r.Policy == "learned" && r.QTable == "" {
+		return fmt.Errorf("the learned policy needs a qtable path")
+	}
+	if r.Headroom != 0 && r.Policy != "hybrid" {
+		return fmt.Errorf("headroom only tunes the hybrid policy (got policy %q)", r.Policy)
+	}
+	if r.Headroom < 0 {
+		return fmt.Errorf("headroom %g must be non-negative", r.Headroom)
+	}
+	return nil
+}
+
+// loadPolicyConfig reads and decodes a -policy-config file. The returned
+// request's QTable path, when relative, is resolved against the config
+// file's own directory — the file names its artifact, wherever the daemon
+// is started from.
+func loadPolicyConfig(path string) (policyRequest, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return policyRequest{}, err
+	}
+	req, err := decodePolicyRequest(data)
+	if err != nil {
+		return policyRequest{}, fmt.Errorf("%s: %w", path, err)
+	}
+	if req.QTable != "" && !filepath.IsAbs(req.QTable) {
+		req.QTable = filepath.Join(filepath.Dir(path), req.QTable)
+	}
+	return req, nil
+}
+
+// loadQTable loads and validates the learned policy's artifact.
+func loadQTable(path string) (*disarcloud.QTable, error) {
+	t, err := disarcloud.LoadQTable(path)
+	if err != nil {
+		return nil, fmt.Errorf("load qtable: %w", err)
+	}
+	return t, nil
+}

@@ -1,0 +1,188 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"net/http"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"disarcloud"
+)
+
+// shippedQTablePath is the committed learned-policy artifact, relative to
+// this package.
+const shippedQTablePath = "../../testdata/qtable_v1.json"
+
+// TestDecodePolicyRequest: the policy section decodes strictly and enforces
+// its internal consistency rules.
+func TestDecodePolicyRequest(t *testing.T) {
+	good := []string{
+		`{}`,
+		`{"policy":"reactive"}`,
+		`{"policy":"hybrid"}`,
+		`{"policy":"hybrid","headroom":1.4}`,
+		`{"policy":"learned","qtable":"q.json"}`,
+	}
+	for _, body := range good {
+		if _, err := decodePolicyRequest([]byte(body)); err != nil {
+			t.Errorf("%s rejected: %v", body, err)
+		}
+	}
+	bad := []struct {
+		name string
+		body string
+	}{
+		{"unknown policy", `{"policy":"psychic"}`},
+		{"qtable on reactive", `{"policy":"reactive","qtable":"q.json"}`},
+		{"qtable without policy", `{"qtable":"q.json"}`},
+		{"learned without qtable", `{"policy":"learned"}`},
+		{"headroom on learned", `{"policy":"learned","qtable":"q.json","headroom":1.2}`},
+		{"headroom on reactive", `{"policy":"reactive","headroom":1.2}`},
+		{"negative headroom", `{"policy":"hybrid","headroom":-1}`},
+		{"unknown field", `{"policy":"reactive","qtbale":"q.json"}`},
+		{"trailing data", `{"policy":"reactive"}{"policy":"hybrid"}`},
+		{"not an object", `[1,2,3]`},
+		{"truncated", `{"policy":`},
+	}
+	for _, tc := range bad {
+		if _, err := decodePolicyRequest([]byte(tc.body)); err == nil {
+			t.Errorf("%s: decodePolicyRequest accepted %s", tc.name, tc.body)
+		}
+	}
+}
+
+// TestLoadPolicyConfig: a relative qtable path in a config file resolves
+// against the file's own directory; an absolute path is untouched.
+func TestLoadPolicyConfig(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "policy.json")
+	if err := os.WriteFile(path, []byte(`{"policy":"learned","qtable":"tables/q.json"}`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	req, err := loadPolicyConfig(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want := filepath.Join(dir, "tables", "q.json"); req.QTable != want {
+		t.Fatalf("relative qtable resolved to %q, want %q", req.QTable, want)
+	}
+
+	abs := filepath.Join(dir, "elsewhere.json")
+	body := `{"policy":"learned","qtable":` + string(mustJSON(t, abs)) + `}`
+	if err := os.WriteFile(path, []byte(body), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if req, err = loadPolicyConfig(path); err != nil {
+		t.Fatal(err)
+	}
+	if req.QTable != abs {
+		t.Fatalf("absolute qtable rewritten to %q", req.QTable)
+	}
+
+	if _, err := loadPolicyConfig(filepath.Join(dir, "missing.json")); err == nil {
+		t.Fatal("loadPolicyConfig accepted a missing file")
+	}
+	if err := os.WriteFile(path, []byte(`{"policy":"weird"}`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := loadPolicyConfig(path); err == nil || !strings.Contains(err.Error(), path) {
+		t.Fatalf("invalid config error %v does not name the file", err)
+	}
+}
+
+func mustJSON(t *testing.T, v any) []byte {
+	t.Helper()
+	data, err := json.Marshal(v)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return data
+}
+
+// TestLoadQTableShippedArtifact: the committed artifact loads through the
+// daemon's path and carries the version this build reads.
+func TestLoadQTableShippedArtifact(t *testing.T) {
+	tbl, err := loadQTable(shippedQTablePath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tbl.Version != disarcloud.QTableVersion {
+		t.Fatalf("artifact version %d, build reads %d", tbl.Version, disarcloud.QTableVersion)
+	}
+	if _, err := loadQTable(filepath.Join(t.TempDir(), "missing.json")); err == nil {
+		t.Fatal("loadQTable accepted a missing file")
+	}
+}
+
+// TestLearnedGateFilesDecode pins the learned CI gate inputs: both committed
+// request files decode strictly, their qtable resolves to the shipped
+// artifact, they validate with the table attached, and they differ only in
+// the queue bound under test (the violation file is the negative control).
+func TestLearnedGateFilesDecode(t *testing.T) {
+	var reqs [2]disarcloud.VerifyRequest
+	for i, name := range []string{"verify_learned.json", "verify_learned_violation.json"} {
+		f, err := os.Open(filepath.Join("testdata", name))
+		if err != nil {
+			t.Fatal(err)
+		}
+		req, err := decodeVerifyRequest(f)
+		f.Close()
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if req.Policy != "learned" || req.QTable == "" {
+			t.Fatalf("%s is not a learned request with a qtable: %+v", name, req)
+		}
+		tbl, err := disarcloud.LoadQTable(filepath.Join("testdata", req.QTable))
+		if err != nil {
+			t.Fatalf("%s: qtable does not load: %v", name, err)
+		}
+		req.Table = tbl
+		if err := req.Validate(); err != nil {
+			t.Fatalf("%s does not validate: %v", name, err)
+		}
+		reqs[i] = req
+	}
+	if reqs[0].SLA.QueueBound <= reqs[1].SLA.QueueBound {
+		t.Fatalf("violation file must test a tighter queue bound: default %d vs violation %d",
+			reqs[0].SLA.QueueBound, reqs[1].SLA.QueueBound)
+	}
+	reqs[0].Table, reqs[1].Table = nil, nil
+	reqs[1].SLA.QueueBound = reqs[0].SLA.QueueBound
+	a, b := mustJSON(t, reqs[0]), mustJSON(t, reqs[1])
+	if !bytes.Equal(a, b) {
+		t.Fatalf("learned gate files differ beyond the queue bound:\n%s\n%s", a, b)
+	}
+}
+
+// TestLearnedPolicyStatusEndpoint: a daemon running the shipped Q-table
+// reports the learned policy and its hyperparameters on /v1/autoscaler.
+func TestLearnedPolicyStatusEndpoint(t *testing.T) {
+	tbl, err := loadQTable(shippedQTablePath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv, _ := newTestServer(t,
+		disarcloud.WithWorkers(tbl.Spec.MinWorkers),
+		disarcloud.WithElastic(disarcloud.ElasticConfig{
+			MinWorkers: tbl.Spec.MinWorkers,
+			MaxWorkers: tbl.Spec.MaxWorkers,
+		}),
+		disarcloud.WithLearnedPolicy(tbl),
+	)
+	resp, err := http.Get(srv.URL + "/v1/autoscaler")
+	if err != nil {
+		t.Fatal(err)
+	}
+	st := decodeJSON[autoscalerJSON](t, resp)
+	if !st.Enabled || st.Policy != "learned" {
+		t.Fatalf("autoscaler status %+v, want the learned policy", st)
+	}
+	if st.PolicyParams["states"] != float64(tbl.Spec.NumStates()) ||
+		st.PolicyParams["alpha"] != tbl.Spec.Alpha {
+		t.Fatalf("policy_params %v missing the table hyperparameters", st.PolicyParams)
+	}
+}

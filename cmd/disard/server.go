@@ -821,16 +821,21 @@ func scalingEventJSONOf(ev disarcloud.ScalingEvent) scalingEventJSON {
 
 type autoscalerJSON struct {
 	Enabled bool `json:"enabled"`
-	// Policy names the decision layer in force ("reactive", "hybrid", or
-	// a custom WithScalingPolicy implementation); empty on a fixed pool.
-	Policy            string  `json:"policy,omitempty"`
-	Workers           int     `json:"workers"`
-	LiveWorkers       int     `json:"live_workers"`
-	Queued            int     `json:"queued"`
-	InFlight          int     `json:"in_flight"`
-	BacklogETASeconds float64 `json:"backlog_eta_seconds"`
-	MinWorkers        int     `json:"min_workers,omitempty"`
-	MaxWorkers        int     `json:"max_workers,omitempty"`
+	// Policy names the decision layer in force ("reactive", "hybrid",
+	// "learned", or a custom WithScalingPolicy implementation); empty on a
+	// fixed pool.
+	Policy string `json:"policy,omitempty"`
+	// PolicyParams are the active policy's hyperparameters — controller
+	// thresholds for reactive/hybrid, the Q-table's training
+	// hyperparameters for learned.
+	PolicyParams      map[string]float64 `json:"policy_params,omitempty"`
+	Workers           int                `json:"workers"`
+	LiveWorkers       int                `json:"live_workers"`
+	Queued            int                `json:"queued"`
+	InFlight          int                `json:"in_flight"`
+	BacklogETASeconds float64            `json:"backlog_eta_seconds"`
+	MinWorkers        int                `json:"min_workers,omitempty"`
+	MaxWorkers        int                `json:"max_workers,omitempty"`
 	// DroppedEvents counts scaling events lost to slow subscribers over
 	// the service lifetime — the NDJSON events stream below is itself the
 	// likeliest laggard, so the daemon's operators need the gauge here.
@@ -845,6 +850,7 @@ func (s *server) autoscaler(w http.ResponseWriter, _ *http.Request) {
 	out := autoscalerJSON{
 		Enabled:           st.Enabled,
 		Policy:            st.Policy,
+		PolicyParams:      st.PolicyParams,
 		Workers:           st.Workers,
 		LiveWorkers:       st.LiveWorkers,
 		Queued:            st.Queued,

@@ -12,6 +12,7 @@
 //	cluster  campaign throughput on 1..8-worker clusters + mid-run worker kill
 //	verify   exact MDP model checking of the scaling policies + Pareto sweep
 //	cost     on-demand vs spot-heavy fleet: billed cost, revocations, SCR bit-compare
+//	policy   reactive vs hybrid vs learned Q-table over the trace families
 //	all      everything above
 //
 // A knowledge base of -kb samples is built through the self-optimizing loop
@@ -29,6 +30,7 @@ import (
 	"disarcloud/internal/experiments"
 	"disarcloud/internal/kb"
 	"disarcloud/internal/provision"
+	"disarcloud/internal/rl"
 )
 
 func main() {
@@ -40,7 +42,8 @@ func main() {
 
 func run() error {
 	var (
-		which   = flag.String("run", "all", "experiment: tableI|tableII|fig2|fig3|fig4|final|ablation|proxy|cluster|verify|cost|all")
+		which   = flag.String("run", "all", "experiment: tableI|tableII|fig2|fig3|fig4|final|ablation|proxy|cluster|verify|cost|policy|all")
+		qtable  = flag.String("qtable", "testdata/qtable_v1.json", "trained Q-table for the policy experiment (trains the default spec when the file is absent)")
 		kbSize  = flag.Int("kb", 1500, "knowledge-base samples to build (paper: ~1500)")
 		kbFile  = flag.String("kbfile", "", "load the knowledge base from this JSON instead of building it")
 		seed    = flag.Uint64("seed", 2016, "root seed")
@@ -55,10 +58,10 @@ func run() error {
 		return err
 	}
 	var base *kb.KB
-	// The proxy frontier, the cluster sweep and the policy verification
+	// The proxy frontier, the cluster sweep and the policy experiments
 	// value blocks (or pure models) directly; only build the (slow)
 	// knowledge base when some requested experiment consumes it.
-	if *which == "all" || !(strings.EqualFold(*which, "proxy") || strings.EqualFold(*which, "cluster") || strings.EqualFold(*which, "verify") || strings.EqualFold(*which, "cost")) {
+	if *which == "all" || !(strings.EqualFold(*which, "proxy") || strings.EqualFold(*which, "cluster") || strings.EqualFold(*which, "verify") || strings.EqualFold(*which, "cost") || strings.EqualFold(*which, "policy")) {
 		if *kbFile != "" {
 			base, err = kb.LoadFile(*kbFile)
 			if err != nil {
@@ -206,6 +209,25 @@ func run() error {
 			return err
 		}
 		cmp.PrintCostComparison(out)
+		fmt.Fprintln(out)
+		ranAny = true
+	}
+	if want("policy") {
+		table, err := rl.LoadTableFile(*qtable)
+		if err != nil {
+			if !os.IsNotExist(err) {
+				return err
+			}
+			fmt.Fprintf(out, "no Q-table at %s; training the default spec...\n", *qtable)
+			if table, err = rl.Train(rl.DefaultSpec()); err != nil {
+				return err
+			}
+		}
+		pc, err := experiments.RunPolicyComparison(table)
+		if err != nil {
+			return err
+		}
+		pc.Print(out)
 		fmt.Fprintln(out)
 		ranAny = true
 	}

@@ -1,0 +1,51 @@
+// Command qtrain trains the shipped learned-autoscaling artifact: it runs
+// tabular Q-learning with the frozen default spec against the offline
+// simulator and writes the greedy policy as a versioned Q-table JSON file.
+// Training is deterministic — same spec, same seed, byte-identical output —
+// which is what lets testdata/qtable_v1.json live in the repository and a
+// freshness test assert the committed artifact matches a retrain.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"disarcloud"
+	"disarcloud/internal/experiments"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "qtrain:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	var (
+		out     = flag.String("o", "testdata/qtable_v1.json", "output path for the trained Q-table")
+		compare = flag.Bool("compare", false, "after training, print the reactive/hybrid/learned comparison")
+	)
+	flag.Parse()
+
+	spec := disarcloud.DefaultQTableSpec()
+	table, err := disarcloud.TrainQTable(spec)
+	if err != nil {
+		return err
+	}
+	if err := table.SaveFile(*out); err != nil {
+		return err
+	}
+	fmt.Printf("trained %d episodes over %d traces; %d states x %d actions -> %s\n",
+		spec.Episodes, len(spec.Traces), spec.NumStates(), len(spec.Steps), *out)
+
+	if *compare {
+		cmp, err := experiments.RunPolicyComparison(table)
+		if err != nil {
+			return err
+		}
+		cmp.Print(os.Stdout)
+	}
+	return nil
+}

@@ -62,6 +62,7 @@ import (
 	"disarcloud/internal/policy"
 	"disarcloud/internal/provision"
 	"disarcloud/internal/proxyval"
+	"disarcloud/internal/rl"
 	"disarcloud/internal/stochastic"
 	"disarcloud/internal/stress"
 	"disarcloud/internal/verify"
@@ -307,6 +308,7 @@ const (
 	TraceRamp    = loadgen.Ramp
 	TraceFlash   = loadgen.Flash
 	TraceMixed   = loadgen.Mixed
+	TraceWeekly  = loadgen.Weekly
 )
 
 // Forecasting and load generation.
@@ -358,6 +360,45 @@ type (
 	// ScalingPolicy is the pluggable decision layer of the elastic
 	// control loop — the seam internal/verify model-checks.
 	ScalingPolicy = core.ScalingPolicy
+)
+
+// Learned autoscaling policy (internal/rl): a tabular Q-learning policy
+// trained offline against a deterministic simulator that replays loadgen
+// traces through the scheduler's backlog dynamics, shipped as a versioned
+// Q-table artifact, installed as the third built-in scaling policy with
+// WithLearnedPolicy, and model-checked by the same verifier as the
+// threshold policies (a learned VerifyRequest carries the qtable path).
+type (
+	// QTable is a trained learned-policy artifact: the training spec plus
+	// the learned action values; its greedy Step is the policy.
+	QTable = rl.Table
+	// QTableSpec fixes a learned policy's discretization, action set,
+	// reward weights and training hyperparameters.
+	QTableSpec = rl.Spec
+	// PolicySimResult is one deterministic policy-replay scorecard
+	// (latency quantiles, worker-seconds, resizes, violations).
+	PolicySimResult = rl.SimResult
+	// ParameterizedPolicy is the optional ScalingPolicy interface that
+	// surfaces hyperparameters through AutoscalerStatus.
+	ParameterizedPolicy = core.ParameterizedPolicy
+)
+
+// QTableVersion is the Q-table artifact format this build reads and writes.
+const QTableVersion = rl.TableVersion
+
+var (
+	// TrainQTable runs offline Q-learning for the spec; the same spec and
+	// seed always produce a byte-identical table.
+	TrainQTable = rl.Train
+	// DefaultQTableSpec is the shipped training configuration.
+	DefaultQTableSpec = rl.DefaultSpec
+	// LoadQTable reads a Q-table artifact from disk (strict decode).
+	LoadQTable = rl.LoadTableFile
+	// DecodeQTable reads a serialized Q-table (strict decode).
+	DecodeQTable = rl.DecodeTable
+	// WithLearnedPolicy installs a trained Q-table as the control loop's
+	// decision layer (requires WithElastic).
+	WithLearnedPolicy = core.WithLearnedPolicy
 )
 
 var (

@@ -102,9 +102,15 @@ type ScalingEvent = elastic.Decision
 type AutoscalerStatus struct {
 	// Enabled is false when the service runs a fixed pool (no controller).
 	Enabled bool
-	// Policy names the decision layer in force ("reactive", "hybrid", or a
-	// custom WithScalingPolicy implementation); empty on a fixed pool.
+	// Policy names the decision layer in force ("reactive", "hybrid",
+	// "learned", or a custom WithScalingPolicy implementation); empty on a
+	// fixed pool.
 	Policy string
+	// PolicyParams reports the active policy's hyperparameters when it
+	// implements ParameterizedPolicy (all built-in policies do): controller
+	// thresholds for reactive, thresholds plus headroom for hybrid, the
+	// Q-table's training hyperparameters for learned. Nil otherwise.
+	PolicyParams map[string]float64
 	// Workers is the pool's current target; LiveWorkers counts goroutines
 	// still draining after a shrink decision.
 	Workers     int
@@ -289,6 +295,9 @@ func (s *Service) AutoscalerStatus() AutoscalerStatus {
 	if s.scaler != nil {
 		out.Enabled = true
 		out.Policy = s.policy.Name()
+		if pp, ok := s.policy.(ParameterizedPolicy); ok {
+			out.PolicyParams = pp.PolicyParams()
+		}
 		out.Config = s.scaler.ctrl.Config()
 		out.DroppedEvents = s.scaler.dropped()
 		out.Recent = s.scaler.snapshotRecent()
@@ -341,6 +350,11 @@ func (s *Service) controlTick(now time.Time) {
 	st := s.sched.stats()
 	if s.fc != nil {
 		s.fc.record(now, st)
+	}
+	if lp, ok := s.policy.(*learnedPolicy); ok {
+		// The learned policy measures its arrival rate by differencing the
+		// scheduler's monotone submission counter across ticks.
+		lp.observe(st)
 	}
 	sig := elastic.Signals{
 		Now:               now,

@@ -1,0 +1,141 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+
+	"disarcloud/internal/elastic"
+	"disarcloud/internal/rl"
+)
+
+// ParameterizedPolicy is the optional interface a ScalingPolicy implements
+// to surface its hyperparameters through AutoscalerStatus (and from there
+// GET /v1/autoscaler): a flat name->value map, stable enough to diff across
+// deploys. All three built-in policies implement it.
+type ParameterizedPolicy interface {
+	PolicyParams() map[string]float64
+}
+
+// learnedPolicy adapts a trained rl.Table to the ScalingPolicy seam. The
+// table's decision core is pure and clock-free; this adapter supplies the
+// live observation — jobs in system from the sampled signals, and the
+// arrival rate measured by differencing the scheduler's monotone submission
+// counter across control ticks (the live stand-in for the trace profile the
+// policy observed in training and verification).
+type learnedPolicy struct {
+	rt *rl.Runtime
+
+	lastSubmitted uint64
+	primed        bool
+	ratePerTick   float64
+}
+
+func newLearnedPolicy(t *rl.Table) (*learnedPolicy, error) {
+	if err := t.Validate(); err != nil {
+		return nil, err
+	}
+	return &learnedPolicy{rt: rl.NewRuntime(t)}, nil
+}
+
+// observe feeds one control-tick scheduler sample; called by controlTick
+// before Decide, on the control loop (never concurrently with Decide).
+func (p *learnedPolicy) observe(st schedStats) {
+	if p.primed {
+		p.ratePerTick = float64(st.SubmittedTotal - p.lastSubmitted)
+	}
+	p.lastSubmitted = st.SubmittedTotal
+	p.primed = true
+}
+
+// Name implements ScalingPolicy.
+func (p *learnedPolicy) Name() string { return "learned" }
+
+// Table exposes the artifact driving the policy.
+func (p *learnedPolicy) Table() *rl.Table { return p.rt.Table() }
+
+// PolicyParams implements ParameterizedPolicy.
+func (p *learnedPolicy) PolicyParams() map[string]float64 { return p.rt.Table().Params() }
+
+// Decide implements ScalingPolicy: one greedy table step per control tick.
+func (p *learnedPolicy) Decide(sig elastic.Signals) (elastic.Decision, bool) {
+	spec := p.rt.Table().Spec
+	target := p.rt.Decide(sig.Queued+sig.InFlight, sig.Workers, p.ratePerTick)
+	if target == sig.Workers {
+		return elastic.Decision{}, false
+	}
+	reason := "learned-grow"
+	switch {
+	case sig.Workers < spec.MinWorkers:
+		reason = "learned-floor"
+	case sig.Workers > spec.MaxWorkers:
+		reason = "learned-ceiling"
+	case target < sig.Workers:
+		reason = "learned-shrink"
+	}
+	return elastic.Decision{
+		At:      sig.Now,
+		From:    sig.Workers,
+		Target:  target,
+		Reason:  reason,
+		Signals: sig,
+	}, true
+}
+
+// PolicyParams implements ParameterizedPolicy for the reactive policy: the
+// controller thresholds in force.
+func (p reactivePolicy) PolicyParams() map[string]float64 {
+	return elasticParams(p.ctrl.Config())
+}
+
+// PolicyParams implements ParameterizedPolicy for the hybrid policy: the
+// controller thresholds plus the planner's headroom.
+func (p *hybridPolicy) PolicyParams() map[string]float64 {
+	m := elasticParams(p.ctrl.Config())
+	m["headroom"] = p.fc.planner.Headroom
+	return m
+}
+
+// elasticParams flattens a controller configuration.
+func elasticParams(cfg elastic.Config) map[string]float64 {
+	return map[string]float64{
+		"min_workers":            float64(cfg.MinWorkers),
+		"max_workers":            float64(cfg.MaxWorkers),
+		"scale_up_pressure":      cfg.ScaleUpPressure,
+		"scale_down_pressure":    cfg.ScaleDownPressure,
+		"scale_up_cooldown_ms":   float64(cfg.ScaleUpCooldown.Milliseconds()),
+		"scale_down_cooldown_ms": float64(cfg.ScaleDownCooldown.Milliseconds()),
+		"max_step":               float64(cfg.MaxStep),
+	}
+}
+
+// WithLearnedPolicy installs a trained Q-table (internal/rl) as the control
+// loop's decision layer — the third built-in policy next to reactive and
+// hybrid. It requires WithElastic (the loop and the pool gauges), and the
+// table's own pool bounds must lie within the elastic configuration's, so
+// the policy can never target capacity the controller configuration forbids.
+// It conflicts with WithForecast and WithScalingPolicy — one decision layer
+// at a time.
+func WithLearnedPolicy(t *rl.Table) ServiceOption {
+	return func(c *serviceConfig) { c.qtable = t }
+}
+
+// buildLearnedPolicy validates the WithLearnedPolicy wiring at NewService
+// time.
+func buildLearnedPolicy(cfg *serviceConfig, scaler *autoscaler, fc *forecastState) (*learnedPolicy, error) {
+	if scaler == nil {
+		return nil, errors.New("core: WithLearnedPolicy requires WithElastic (the policy needs the control loop)")
+	}
+	if fc != nil {
+		return nil, errors.New("core: WithLearnedPolicy conflicts with WithForecast (one decision layer at a time)")
+	}
+	if cfg.policy != nil {
+		return nil, errors.New("core: WithLearnedPolicy conflicts with WithScalingPolicy (one decision layer at a time)")
+	}
+	ec := scaler.ctrl.Config()
+	spec := cfg.qtable.Spec
+	if spec.MinWorkers < ec.MinWorkers || spec.MaxWorkers > ec.MaxWorkers {
+		return nil, fmt.Errorf("core: Q-table pool bounds [%d,%d] outside the elastic bounds [%d,%d]",
+			spec.MinWorkers, spec.MaxWorkers, ec.MinWorkers, ec.MaxWorkers)
+	}
+	return newLearnedPolicy(cfg.qtable)
+}

@@ -13,6 +13,7 @@ import (
 	"disarcloud/internal/forecast"
 	"disarcloud/internal/grid"
 	"disarcloud/internal/proxyval"
+	"disarcloud/internal/rl"
 )
 
 // ErrServiceClosed is returned by Submit after Close.
@@ -57,6 +58,7 @@ type serviceConfig struct {
 	forecast   *forecast.Config
 	procScale  func(target int)
 	policy     ScalingPolicy
+	qtable     *rl.Table
 }
 
 // WithWorkers sets the number of valuations the service runs concurrently —
@@ -266,6 +268,13 @@ func NewService(d *Deployer, opts ...ServiceOption) (*Service, error) {
 		s.fc = fc
 	}
 	switch {
+	case cfg.qtable != nil:
+		lp, err := buildLearnedPolicy(&cfg, s.scaler, s.fc)
+		if err != nil {
+			cancel()
+			return nil, err
+		}
+		s.policy = lp
 	case cfg.policy != nil:
 		if s.scaler == nil {
 			cancel()

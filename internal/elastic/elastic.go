@@ -266,3 +266,17 @@ func (c *Controller) Decide(sig Signals) (Decision, bool) {
 func (c *Controller) take(sig Signals, target int, reason string) Decision {
 	return Decision{At: sig.Now, From: sig.Workers, Target: target, Reason: reason, Signals: sig}
 }
+
+// TicksOf converts a duration threshold to whole control ticks, rounding
+// up: with decisions taken at exact tick multiples, elapsed >= d first
+// holds at ceil(d/tick) ticks — the same boundary the controller's
+// timestamp subtraction crosses. The finite-state re-encodings of this
+// controller (internal/verify's FSMs, internal/rl's learned policy) count
+// ticks instead of subtracting timestamps, and this is the one conversion
+// that keeps them pinned to the live cooldown behaviour.
+func TicksOf(d, tick time.Duration) int {
+	if d <= 0 || tick <= 0 {
+		return 0
+	}
+	return int((d + tick - 1) / tick)
+}

@@ -1,0 +1,82 @@
+package experiments
+
+import (
+	"bytes"
+	"reflect"
+	"strings"
+	"testing"
+
+	"disarcloud/internal/loadgen"
+	"disarcloud/internal/rl"
+)
+
+// policyTestTable trains a small two-family table for the comparison tests.
+func policyTestTable(t *testing.T) *rl.Table {
+	t.Helper()
+	spec := rl.DefaultSpec()
+	spec.Episodes = 60
+	spec.Traces = []loadgen.Spec{
+		{Kind: loadgen.Diurnal, Intervals: 64, Seed: 1, BaseRate: 0.3, PeakRate: 1.2, Period: 16},
+		{Kind: loadgen.Weekly, Intervals: 112, Seed: 4, BaseRate: 0.3, PeakRate: 1.2, Period: 8},
+	}
+	tbl, err := rl.Train(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return tbl
+}
+
+// TestRunPolicyComparison: all three policies replay every trace family,
+// the run is bit-reproducible, and the report renders.
+func TestRunPolicyComparison(t *testing.T) {
+	tbl := policyTestTable(t)
+	a, err := RunPolicyComparison(tbl)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want := 3 * len(tbl.Spec.Traces); len(a.Rows) != want {
+		t.Fatalf("%d rows, want %d", len(a.Rows), want)
+	}
+	for _, trace := range tbl.Spec.Traces {
+		for _, pol := range []string{"reactive", "hybrid", "learned"} {
+			r, ok := a.row(string(trace.Kind), pol)
+			if !ok {
+				t.Fatalf("no %s/%s row", trace.Kind, pol)
+			}
+			if r.Result.Jobs == 0 || r.Result.WorkerSeconds <= 0 {
+				t.Fatalf("%s/%s replay degenerate: %+v", trace.Kind, pol, r.Result)
+			}
+		}
+	}
+	b, err := RunPolicyComparison(tbl)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(a.Rows, b.Rows) {
+		t.Fatal("two identical comparisons produced different rows")
+	}
+
+	// Every win must actually satisfy the acceptance inequality.
+	for _, trace := range a.LearnedWins() {
+		l, _ := a.row(trace, "learned")
+		h, _ := a.row(trace, "hybrid")
+		if l.Result.P95LatencyTicks >= h.Result.P95LatencyTicks ||
+			l.Result.WorkerSeconds > h.Result.WorkerSeconds {
+			t.Fatalf("%s reported as a win but learned %+v vs hybrid %+v", trace, l.Result, h.Result)
+		}
+	}
+
+	var out bytes.Buffer
+	a.Print(&out)
+	for _, needle := range []string{"trace", "reactive", "hybrid", "learned", "beats hybrid"} {
+		if !strings.Contains(out.String(), needle) {
+			t.Fatalf("report missing %q:\n%s", needle, out.String())
+		}
+	}
+
+	bad := *tbl
+	bad.Q = bad.Q[:1]
+	if _, err := RunPolicyComparison(&bad); err == nil {
+		t.Fatal("RunPolicyComparison accepted a malformed table")
+	}
+}

@@ -38,10 +38,16 @@ const (
 	Flash Kind = "flash"
 	// Mixed overlays the diurnal cycle with MMPP bursts and one flash spike.
 	Mixed Kind = "mixed"
+	// Weekly is the diurnal cycle modulated by a weekday/weekend amplitude:
+	// one Period is a "day", every seventh-day block's last two days swing
+	// with WeekendFactor of the weekday amplitude — the multi-scale
+	// seasonality Holt-Winters and the learned scaling policy claim to
+	// exploit.
+	Weekly Kind = "weekly"
 )
 
 // Kinds returns every trace family, in a stable order.
-func Kinds() []Kind { return []Kind{Diurnal, Bursty, Ramp, Flash, Mixed} }
+func Kinds() []Kind { return []Kind{Diurnal, Bursty, Ramp, Flash, Mixed, Weekly} }
 
 // Spec parameterises one synthetic trace.
 type Spec struct {
@@ -67,6 +73,10 @@ type Spec struct {
 	// Intervals/10, minimum 1).
 	FlashAt    float64
 	FlashWidth int
+	// WeekendFactor scales the weekly family's diurnal amplitude on the
+	// last two days of each seven-day week (default 0.35); must be in
+	// [0, 1].
+	WeekendFactor float64
 }
 
 // MaxIntervals bounds a single trace: loadgen exists for experiments and
@@ -87,6 +97,11 @@ func (s Spec) withDefaults() Spec {
 	}
 	if s.Period == 0 {
 		s.Period = s.Intervals / 3
+		if s.Kind == Weekly {
+			// A weekly trace should hold a few full weeks of Period-long
+			// days, as the diurnal default holds a few full cycles.
+			s.Period = s.Intervals / 21
+		}
 		if s.Period < 2 {
 			s.Period = 2
 		}
@@ -106,6 +121,9 @@ func (s Spec) withDefaults() Spec {
 			s.FlashWidth = 1
 		}
 	}
+	if s.WeekendFactor == 0 {
+		s.WeekendFactor = 0.35
+	}
 	return s
 }
 
@@ -113,7 +131,7 @@ func (s Spec) withDefaults() Spec {
 func (s Spec) Validate() error {
 	d := s.withDefaults()
 	switch d.Kind {
-	case Diurnal, Bursty, Ramp, Flash, Mixed:
+	case Diurnal, Bursty, Ramp, Flash, Mixed, Weekly:
 	default:
 		return fmt.Errorf("loadgen: unknown trace kind %q", d.Kind)
 	}
@@ -144,6 +162,9 @@ func (s Spec) Validate() error {
 	}
 	if d.FlashWidth < 1 || d.FlashWidth > d.Intervals {
 		return fmt.Errorf("loadgen: FlashWidth %d outside [1, Intervals=%d]", d.FlashWidth, d.Intervals)
+	}
+	if d.WeekendFactor < 0 || d.WeekendFactor > 1 || math.IsNaN(d.WeekendFactor) {
+		return errors.New("loadgen: WeekendFactor must be in [0,1]")
 	}
 	return nil
 }
@@ -184,6 +205,12 @@ func Rates(s Spec) ([]float64, error) {
 			if i >= flashStart && i < flashStart+s.FlashWidth {
 				rates[i] = s.PeakRate
 			}
+		case Weekly:
+			amp := amplitude
+			if day := (i / s.Period) % 7; day >= 5 {
+				amp *= s.WeekendFactor
+			}
+			rates[i] = s.BaseRate + amp*(1-math.Cos(2*math.Pi*float64(i)/float64(s.Period)))
 		case Mixed:
 			rates[i] = s.BaseRate + amplitude*(1-math.Cos(2*math.Pi*float64(i)/float64(s.Period)))
 			bursting = nextRegime(rng, bursting, s.BurstProb, s.CalmProb)

@@ -120,6 +120,44 @@ func TestRateProfiles(t *testing.T) {
 	}
 }
 
+// TestWeeklyProfile: the weekly family is the diurnal cycle with the
+// amplitude scaled by WeekendFactor on days 5 and 6 of each 7-day week.
+func TestWeeklyProfile(t *testing.T) {
+	spec := Spec{Kind: Weekly, Intervals: 140, Seed: 1, BaseRate: 3, PeakRate: 12, Period: 10}
+	rates, err := Rates(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// A weekday peak (mid-period, day 0) reaches PeakRate.
+	if math.Abs(rates[5]-12) > 1e-9 {
+		t.Fatalf("weekday peak %g, want 12", rates[5])
+	}
+	// The same phase on a weekend day (day 5 spans intervals 50..59) only
+	// reaches BaseRate + WeekendFactor * amplitude * 2.
+	want := 3 + 0.35*4.5*2
+	if math.Abs(rates[55]-want) > 1e-9 {
+		t.Fatalf("weekend peak %g, want %g", rates[55], want)
+	}
+	// Troughs sit at BaseRate on both day types.
+	if math.Abs(rates[0]-3) > 1e-9 || math.Abs(rates[50]-3) > 1e-9 {
+		t.Fatalf("troughs %g / %g, want 3", rates[0], rates[50])
+	}
+	// The pattern repeats week over week (one week = 7 periods).
+	if math.Abs(rates[75]-rates[5]) > 1e-9 {
+		t.Fatalf("week 2 weekday peak %g differs from week 1's %g", rates[75], rates[5])
+	}
+
+	// Defaults: the period divides the trace into ~3 weeks of days, and the
+	// weekend factor lands at 0.35.
+	d := Spec{Kind: Weekly, Intervals: 210, BaseRate: 2}.WithDefaults()
+	if d.Period != 10 {
+		t.Fatalf("default weekly period %d, want 10", d.Period)
+	}
+	if math.Abs(d.WeekendFactor-0.35) > 1e-9 {
+		t.Fatalf("default weekend factor %g, want 0.35", d.WeekendFactor)
+	}
+}
+
 // TestGenerateTracksRates: over a long trace the Poisson counts average out
 // to the rate profile (law of large numbers, loose tolerance).
 func TestGenerateTracksRates(t *testing.T) {
@@ -170,6 +208,8 @@ func TestValidate(t *testing.T) {
 		{Kind: Bursty, Intervals: 30, BaseRate: 2, CalmProb: -0.2},
 		{Kind: Flash, Intervals: 30, BaseRate: 2, FlashAt: 1.2},
 		{Kind: Flash, Intervals: 30, BaseRate: 2, FlashWidth: 31},
+		{Kind: Weekly, Intervals: 30, BaseRate: 2, WeekendFactor: 1.5},
+		{Kind: Weekly, Intervals: 30, BaseRate: 2, WeekendFactor: -0.1},
 	}
 	for i, spec := range bad {
 		if err := spec.Validate(); err == nil {

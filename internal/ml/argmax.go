@@ -1,0 +1,18 @@
+package ml
+
+// Argmax returns the index of the largest value, breaking ties toward the
+// lowest index. The deterministic tie-break matters more than it looks:
+// greedy policy extraction (internal/rl reads the best action out of a
+// Q-table row, the forecast selector picks a scoreboard winner) must pick
+// the same action for the same table bytes on every run and platform, or
+// "bit-reproducible under a fixed seed" dies in a map-order or
+// float-comparison corner. An empty slice returns -1.
+func Argmax(values []float64) int {
+	best := -1
+	for i, v := range values {
+		if best < 0 || v > values[best] {
+			best = i
+		}
+	}
+	return best
+}

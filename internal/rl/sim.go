@@ -1,0 +1,175 @@
+package rl
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"sort"
+
+	"disarcloud/internal/finmath"
+)
+
+// SimPolicy is what the simulator drives: one Decide per control tick,
+// observing (jobs in system, pool size, arrival rate) and returning the
+// worker target. Runtime implements it for learned tables; the experiments
+// package adapts the verifier's reactive/hybrid FSMs to it, so all three
+// policy families replay the identical dynamics.
+type SimPolicy interface {
+	Reset()
+	Decide(queue, workers int, ratePerTick float64) int
+}
+
+// SimConfig fixes the simulated control plane: the same queue recursion
+// internal/verify's Replay steps (service completions are per-worker
+// Bernoulli draws with probability min(1, tick/meanRuntime); arrivals land
+// after completions; the jobs-in-system count clamps at MaxQueue), plus
+// FIFO per-job latency tracking the MDP abstracts away.
+type SimConfig struct {
+	TickMS         int
+	MeanRuntimeMS  float64
+	MaxQueue       int
+	QueueBound     int
+	InitialWorkers int
+	// Seed drives the completion draws; the arrival counts come in from
+	// the caller already drawn.
+	Seed uint64
+}
+
+// SimResult is one deterministic replay's scorecard.
+type SimResult struct {
+	// Ticks includes the drain tail after the trace ends.
+	Ticks int
+	// Jobs completed; Dropped counts arrivals refused at MaxQueue;
+	// Unfinished counts jobs still queued when the drain cap hit.
+	Jobs       int
+	Dropped    int
+	Unfinished int
+	// Latency quantiles over completed jobs, in ticks from arrival to
+	// completion (a job completing the tick it arrives scores 1).
+	P50LatencyTicks float64
+	P95LatencyTicks float64
+	MaxLatencyTicks int
+	// WorkerSeconds integrates the pool target over time; Resizes counts
+	// target changes; ViolationTicks counts ticks with the jobs-in-system
+	// count at or past QueueBound.
+	WorkerSeconds  float64
+	Resizes        int
+	ViolationTicks int
+	PeakWorkers    int
+	MeanQueue      float64
+}
+
+// drainFactor caps the post-trace drain at this multiple of the trace
+// length (plus a fixed floor), so a policy that starves the pool cannot
+// hang the simulation; whatever remains queued is reported as Unfinished.
+const drainFactor = 4
+
+// Simulate replays one trace (per-tick arrival counts plus the
+// deterministic rate profile the policy observes) through the backlog
+// dynamics under the given policy. Everything is deterministic in
+// (counts, rates, cfg.Seed, policy), which is what makes the policy
+// comparison experiment bit-reproducible.
+func Simulate(counts []int, rates []float64, pol SimPolicy, cfg SimConfig) (SimResult, error) {
+	if len(counts) == 0 || len(counts) != len(rates) {
+		return SimResult{}, fmt.Errorf("rl: trace has %d counts and %d rates", len(counts), len(rates))
+	}
+	if cfg.TickMS < 1 || !(cfg.MeanRuntimeMS > 0) || math.IsInf(cfg.MeanRuntimeMS, 0) {
+		return SimResult{}, errors.New("rl: simulation needs a positive tick and mean runtime")
+	}
+	if cfg.MaxQueue < 1 || cfg.QueueBound < 1 || cfg.QueueBound > cfg.MaxQueue {
+		return SimResult{}, errors.New("rl: simulation needs 1 <= QueueBound <= MaxQueue")
+	}
+	if cfg.InitialWorkers < 1 {
+		return SimResult{}, errors.New("rl: simulation needs at least one initial worker")
+	}
+	tickSec := float64(cfg.TickMS) / 1000
+	mu := tickSec / (cfg.MeanRuntimeMS / 1000)
+	if mu > 1 {
+		mu = 1
+	}
+	rng := finmath.NewRNG(cfg.Seed ^ 0x51a7e51a)
+	pol.Reset()
+
+	// FIFO of arrival ticks: completions pop the oldest jobs, which is how
+	// the scheduler's queue serves and what p95 latency means here.
+	fifo := make([]int, 0, cfg.MaxQueue)
+	var latencies []int
+	var res SimResult
+	w := cfg.InitialWorkers
+	queueSum := 0
+	maxTicks := drainFactor*len(counts) + 1000
+	for i := 0; ; i++ {
+		rate, arr := 0.0, 0
+		if i < len(counts) {
+			rate, arr = rates[i], counts[i]
+		} else if len(fifo) == 0 || i >= maxTicks {
+			res.Ticks = i
+			break
+		}
+		target := pol.Decide(len(fifo), w, rate)
+		if target != w {
+			res.Resizes++
+		}
+		busy := len(fifo)
+		if busy > target {
+			busy = target
+		}
+		completed := 0
+		for b := 0; b < busy; b++ {
+			if rng.Float64() < mu {
+				completed++
+			}
+		}
+		for c := 0; c < completed; c++ {
+			latencies = append(latencies, i-fifo[c]+1)
+		}
+		fifo = fifo[completed:]
+		for a := 0; a < arr; a++ {
+			if len(fifo) >= cfg.MaxQueue {
+				res.Dropped++
+				continue
+			}
+			fifo = append(fifo, i)
+		}
+		w = target
+		if w > res.PeakWorkers {
+			res.PeakWorkers = w
+		}
+		res.WorkerSeconds += float64(w) * tickSec
+		queueSum += len(fifo)
+		if len(fifo) >= cfg.QueueBound {
+			res.ViolationTicks++
+		}
+	}
+	res.Jobs = len(latencies)
+	res.Unfinished = len(fifo)
+	if res.Ticks > 0 {
+		res.MeanQueue = float64(queueSum) / float64(res.Ticks)
+	}
+	if len(latencies) > 0 {
+		sort.Ints(latencies)
+		res.P50LatencyTicks = quantile(latencies, 0.50)
+		res.P95LatencyTicks = quantile(latencies, 0.95)
+		res.MaxLatencyTicks = latencies[len(latencies)-1]
+	}
+	return res, nil
+}
+
+// quantile reads the q-th quantile of sorted ints with linear
+// interpolation between order statistics (the numpy/R-7 convention):
+// latencies are whole ticks, and interpolating is what lets a p95 resolve
+// "more of the mass sits below 5 ticks" instead of collapsing every policy
+// to the same integer. Deterministic in its inputs.
+func quantile(sorted []int, q float64) float64 {
+	if len(sorted) == 0 {
+		return 0
+	}
+	pos := q * float64(len(sorted)-1)
+	lo := int(math.Floor(pos))
+	hi := int(math.Ceil(pos))
+	if hi >= len(sorted) {
+		hi = len(sorted) - 1
+	}
+	frac := pos - float64(lo)
+	return float64(sorted[lo]) + frac*float64(sorted[hi]-sorted[lo])
+}

@@ -1,0 +1,300 @@
+package rl
+
+import (
+	"bytes"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"math"
+	"os"
+
+	"disarcloud/internal/ml"
+)
+
+// TableVersion is the serialized artifact format this package writes and
+// accepts. Bump it on any change to the state encoding, the action
+// semantics or the JSON layout — a learned policy is its decision function,
+// and silently reinterpreting an old table would ship a different policy
+// than the one that was verified.
+const TableVersion = 1
+
+// maxTableBytes bounds a serialized artifact: the shipped table is a few
+// tens of kilobytes, so anything near the cap is not a Q-table.
+const maxTableBytes = 8 << 20
+
+// Table is a trained policy: the spec that fixes its decision function and
+// the learned action values, Q[state][action]. The greedy policy it induces
+// is pure — Step is a function of (State, Obs) only — which is what lets
+// training, live serving and the verifier's exhaustive enumeration all run
+// the identical decision logic.
+type Table struct {
+	Version int         `json:"version"`
+	Spec    Spec        `json:"spec"`
+	Q       [][]float64 `json:"q"`
+}
+
+// NewTable allocates a zero-valued table for the spec.
+func NewTable(spec Spec) (*Table, error) {
+	if err := spec.Validate(); err != nil {
+		return nil, err
+	}
+	q := make([][]float64, spec.NumStates())
+	for i := range q {
+		q[i] = make([]float64, spec.NumActions())
+	}
+	return &Table{Version: TableVersion, Spec: spec, Q: q}, nil
+}
+
+// Validate reports whether the table is well-formed: a valid spec, matching
+// Q dimensions, finite values.
+func (t *Table) Validate() error {
+	if t == nil {
+		return errors.New("rl: nil table")
+	}
+	if t.Version != TableVersion {
+		return fmt.Errorf("rl: table version %d, this build reads version %d", t.Version, TableVersion)
+	}
+	if err := t.Spec.Validate(); err != nil {
+		return err
+	}
+	if len(t.Q) != t.Spec.NumStates() {
+		return fmt.Errorf("rl: table has %d states, spec needs %d", len(t.Q), t.Spec.NumStates())
+	}
+	for i, row := range t.Q {
+		if len(row) != t.Spec.NumActions() {
+			return fmt.Errorf("rl: state %d has %d actions, spec needs %d", i, len(row), t.Spec.NumActions())
+		}
+		for _, v := range row {
+			if math.IsNaN(v) || math.IsInf(v, 0) {
+				return fmt.Errorf("rl: state %d holds a non-finite action value", i)
+			}
+		}
+	}
+	return nil
+}
+
+// capUp is the SinceUp counter's saturation point: the grow path compares
+// it against the grow cooldown, the shrink path against the shrink
+// cooldown, so it must count at least to the larger of the two.
+func (t *Table) capUp() int32 {
+	c := int32(t.Spec.GrowCooldownTicks)
+	if s := int32(t.Spec.ShrinkCooldownTicks); s > c {
+		c = s
+	}
+	return c
+}
+
+// Init returns the state of a freshly deployed policy: both cooldowns read
+// as long expired (as a fresh elastic controller's zero-time stamps do)
+// and no previous rate observation.
+func (t *Table) Init() State {
+	return State{SinceUp: t.capUp(), SinceDown: int32(t.Spec.ShrinkCooldownTicks)}
+}
+
+// rateBucket discretizes an arrival rate.
+func (t *Table) rateBucket(rate float64) int32 {
+	if math.IsNaN(rate) || rate < 0 {
+		rate = 0
+	}
+	return int32(bucket(rate, t.Spec.RateCuts))
+}
+
+// StateIndex maps (state, observation) to the Q-table row: queue-pressure
+// bucket x rate bucket x forecast-slope bucket x pool-size bucket. The
+// absolute rate bucket is what lets the policy learn a per-load staffing
+// level (the hybrid planner's edge) instead of only reacting to pressure.
+// The cooldown counters deliberately stay out of the index — they gate
+// which actions can act, not which state the agent is in, and keeping them
+// out keeps the table small enough for tabular learning to converge in
+// seconds.
+func (t *Table) StateIndex(st State, obs Obs) int {
+	w := obs.Workers
+	div := w
+	if div < 1 {
+		div = 1
+	}
+	q := obs.Queue
+	if q < 0 {
+		q = 0
+	}
+	qb := bucket(float64(q)/float64(div), t.Spec.PressureCuts)
+
+	cur := t.rateBucket(obs.RatePerTick)
+	sb := 1 // flat, also the first-ever observation
+	if st.PrevRate > 0 {
+		switch prev := st.PrevRate - 1; {
+		case cur < prev:
+			sb = 0
+		case cur > prev:
+			sb = 2
+		}
+	}
+
+	span := t.Spec.MaxWorkers - t.Spec.MinWorkers + 1
+	wb := (w - t.Spec.MinWorkers) * t.Spec.PoolBuckets / span
+	if wb < 0 {
+		wb = 0
+	} else if wb >= t.Spec.PoolBuckets {
+		wb = t.Spec.PoolBuckets - 1
+	}
+
+	rb := int(cur)
+	return ((qb*(len(t.Spec.RateCuts)+1)+rb)*3+sb)*t.Spec.PoolBuckets + wb
+}
+
+// Apply executes one chosen action under the controller's execution
+// semantics and advances the internal counters. It is the shared tail of
+// the greedy Step and the trainer's exploratory step: bounds enforcement
+// is immediate (and, like the live controller's, stamps no cooldowns);
+// a positive step grows by up to that step, gated by the grow cooldown; a
+// negative step releases exactly one worker, gated by the shrink cooldown
+// on both counters; everything else holds.
+func (t *Table) Apply(st State, obs Obs, action int) (State, int) {
+	s := t.Spec
+	w := obs.Workers
+	target := w
+	sinceUp, sinceDown := st.SinceUp, st.SinceDown
+	switch {
+	case w < s.MinWorkers:
+		target = s.MinWorkers
+	case w > s.MaxWorkers:
+		target = s.MaxWorkers
+	default:
+		step := s.Steps[action]
+		if step > 0 && w < s.MaxWorkers && sinceUp >= int32(s.GrowCooldownTicks) {
+			target = w + step
+			if target > s.MaxWorkers {
+				target = s.MaxWorkers
+			}
+			sinceUp = 0
+		} else if step < 0 && w > s.MinWorkers &&
+			sinceDown >= int32(s.ShrinkCooldownTicks) && st.SinceUp >= int32(s.ShrinkCooldownTicks) {
+			target = w - 1
+			sinceDown = 0
+		}
+	}
+	next := State{
+		SinceUp:   satInc(sinceUp, t.capUp()),
+		SinceDown: satInc(sinceDown, int32(s.ShrinkCooldownTicks)),
+		PrevRate:  t.rateBucket(obs.RatePerTick) + 1,
+	}
+	return next, target
+}
+
+// satInc increments a saturating counter.
+func satInc(v, cap int32) int32 {
+	if v < cap {
+		return v + 1
+	}
+	return cap
+}
+
+// Step is the greedy policy: pick the learned best action for the
+// discretized state (deterministic lowest-index tie-break) and apply it.
+// One call is one control tick; the function is pure in (st, obs).
+func (t *Table) Step(st State, obs Obs) (State, int) {
+	return t.Apply(st, obs, ml.Argmax(t.Q[t.StateIndex(st, obs)]))
+}
+
+// Params reports the policy's hyperparameters for status surfaces
+// (AutoscalerStatus, GET /v1/autoscaler).
+func (t *Table) Params() map[string]float64 {
+	s := t.Spec
+	gamma := s.Gamma
+	if s.Bandit {
+		gamma = 0
+	}
+	return map[string]float64{
+		"version":      float64(t.Version),
+		"states":       float64(s.NumStates()),
+		"actions":      float64(s.NumActions()),
+		"min_workers":  float64(s.MinWorkers),
+		"max_workers":  float64(s.MaxWorkers),
+		"alpha":        s.Alpha,
+		"gamma":        gamma,
+		"epsilon":      s.Epsilon,
+		"episodes":     float64(s.Episodes),
+		"sla_weight":   s.SLAWeight,
+		"cost_weight":  s.CostWeight,
+		"churn_weight": s.ChurnWeight,
+	}
+}
+
+// Encode serializes the table. encoding/json writes struct fields and
+// slices in declaration order with a deterministic float encoding, so two
+// identical trainings produce byte-identical artifacts — the determinism
+// contract the freshness test and the experiments lean on.
+func (t *Table) Encode() ([]byte, error) {
+	if err := t.Validate(); err != nil {
+		return nil, err
+	}
+	data, err := json.MarshalIndent(t, "", " ")
+	if err != nil {
+		return nil, err
+	}
+	return append(data, '\n'), nil
+}
+
+// DecodeTable reads a serialized table, strictly: unknown fields, trailing
+// data, dimension mismatches and non-finite values are all errors, because
+// a Q-table artifact is a policy about to be given a worker pool.
+func DecodeTable(data []byte) (*Table, error) {
+	if len(data) > maxTableBytes {
+		return nil, fmt.Errorf("rl: table exceeds %d bytes", maxTableBytes)
+	}
+	dec := json.NewDecoder(bytes.NewReader(data))
+	dec.DisallowUnknownFields()
+	var t Table
+	if err := dec.Decode(&t); err != nil {
+		return nil, fmt.Errorf("rl: decode table: %w", err)
+	}
+	if _, err := dec.Token(); err != io.EOF {
+		return nil, errors.New("rl: decode table: trailing data after the JSON object")
+	}
+	if err := t.Validate(); err != nil {
+		return nil, err
+	}
+	return &t, nil
+}
+
+// LoadTableFile reads a table artifact from disk.
+func LoadTableFile(path string) (*Table, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	return DecodeTable(data)
+}
+
+// SaveFile writes the serialized table to disk.
+func (t *Table) SaveFile(path string) error {
+	data, err := t.Encode()
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, data, 0o644)
+}
+
+// Runtime drives a table tick by tick, carrying the State between calls —
+// the stateful wrapper the live service adapter and the simulator share.
+type Runtime struct {
+	t  *Table
+	st State
+}
+
+// NewRuntime starts a runtime at the table's initial state.
+func NewRuntime(t *Table) *Runtime { return &Runtime{t: t, st: t.Init()} }
+
+// Table exposes the underlying artifact.
+func (r *Runtime) Table() *Table { return r.t }
+
+// Reset returns the runtime to the initial state.
+func (r *Runtime) Reset() { r.st = r.t.Init() }
+
+// Decide runs one greedy control tick and returns the worker target.
+func (r *Runtime) Decide(queue, workers int, ratePerTick float64) int {
+	var target int
+	r.st, target = r.t.Step(r.st, Obs{Queue: queue, Workers: workers, RatePerTick: ratePerTick})
+	return target
+}

@@ -1,0 +1,72 @@
+package verify
+
+import (
+	"errors"
+
+	"disarcloud/internal/rl"
+)
+
+// LearnedPolicy is the finite-state view of a trained rl.Table: the policy
+// IS already a tick FSM — a pure function of (cooldown counters, previous
+// rate bucket) and the observation — so the re-encoding is a straight
+// repack of rl.State into PolicyState slots. Slots 0 and 1 carry the same
+// since-grow / since-shrink semantics as the reactive FSM; slot 2 holds
+// the previous rate bucket (plus one; zero = no observation yet). Like the
+// hybrid FSM, the policy reads the current phase's true mean rate — the
+// perfect-forecast idealization — so the verified bound covers the learned
+// policy under the demand signal it was trained to observe.
+type LearnedPolicy struct {
+	t *rl.Table
+}
+
+// slotPrevRate is the learned policy's third state slot.
+const slotPrevRate = 2
+
+// NewLearnedPolicy wraps a validated table.
+func NewLearnedPolicy(t *rl.Table) (*LearnedPolicy, error) {
+	if err := t.Validate(); err != nil {
+		return nil, err
+	}
+	return &LearnedPolicy{t: t}, nil
+}
+
+// Name implements Policy.
+func (p *LearnedPolicy) Name() string { return "learned" }
+
+// Table exposes the artifact driving the policy.
+func (p *LearnedPolicy) Table() *rl.Table { return p.t }
+
+// Bounds implements Policy.
+func (p *LearnedPolicy) Bounds() (int, int) { return p.t.Spec.MinWorkers, p.t.Spec.MaxWorkers }
+
+// UsesRate implements Policy.
+func (p *LearnedPolicy) UsesRate() bool { return true }
+
+// Init implements Policy.
+func (p *LearnedPolicy) Init() PolicyState { return packLearned(p.t.Init()) }
+
+// Step implements Policy by running the table's pure greedy step.
+func (p *LearnedPolicy) Step(st PolicyState, obs Obs) (PolicyState, int) {
+	next, target := p.t.Step(unpackLearned(st), rl.Obs{
+		Queue:       obs.Queue,
+		Workers:     obs.Workers,
+		RatePerTick: obs.RatePerTick,
+	})
+	return packLearned(next), target
+}
+
+func packLearned(s rl.State) PolicyState {
+	var st PolicyState
+	st[slotSinceUp] = s.SinceUp
+	st[slotSinceDown] = s.SinceDown
+	st[slotPrevRate] = s.PrevRate
+	return st
+}
+
+func unpackLearned(st PolicyState) rl.State {
+	return rl.State{SinceUp: st[slotSinceUp], SinceDown: st[slotSinceDown], PrevRate: st[slotPrevRate]}
+}
+
+// errLearnedTable is the Validate error for a learned request with no
+// table attached.
+var errLearnedTable = errors.New("verify: the learned policy needs a Q-table (set the qtable path or attach a loaded table)")

@@ -49,15 +49,9 @@ type Policy interface {
 	Step(st PolicyState, obs Obs) (PolicyState, int)
 }
 
-// ticksOf converts a duration threshold to control ticks, rounding up:
-// with decisions at exact tick multiples, elapsed >= d first holds at
-// ceil(d/tick) ticks — the same boundary the live controller's time
-// subtraction crosses.
+// ticksOf is elastic.TicksOf in the int32 currency of PolicyState slots.
 func ticksOf(d, tick time.Duration) int32 {
-	if d <= 0 {
-		return 0
-	}
-	return int32((d + tick - 1) / tick)
+	return int32(elastic.TicksOf(d, tick))
 }
 
 // ReactivePolicy is the tick-indexed finite-state encoding of

@@ -9,6 +9,7 @@ import (
 	"disarcloud/internal/finmath"
 	"disarcloud/internal/forecast"
 	"disarcloud/internal/loadgen"
+	"disarcloud/internal/rl"
 )
 
 // ReplayStats is the empirical side of cross-validation: the violation
@@ -52,13 +53,18 @@ func Replay(req Request, replays int) (ReplayStats, error) {
 		return ReplayStats{}, fmt.Errorf("verify: trace has %d intervals, horizon needs %d",
 			d.Trace.WithDefaults().Intervals, d.SLA.HorizonTicks)
 	}
+	learned := d.Policy == PolicyLearned
+	var dcfg elastic.Config
 	cfg := d.elasticConfig()
-	seed0, err := elastic.NewController(cfg)
-	if err != nil {
-		return ReplayStats{}, err
+	if !learned {
+		seed0, err := elastic.NewController(cfg)
+		if err != nil {
+			return ReplayStats{}, err
+		}
+		// The overlay compares against the defaulted bounds, as the service
+		// does.
+		dcfg = seed0.Config()
 	}
-	// The overlay compares against the defaulted bounds, as the service does.
-	dcfg := seed0.Config()
 	tick := time.Duration(d.TickMS) * time.Millisecond
 	tickSec := tick.Seconds()
 	meanRuntime := d.MeanRuntimeMS / 1000
@@ -77,9 +83,18 @@ func Replay(req Request, replays int) (ReplayStats, error) {
 		if err != nil {
 			return ReplayStats{}, err
 		}
-		ctrl, err := elastic.NewController(cfg)
-		if err != nil {
-			return ReplayStats{}, err
+		var ctrl *elastic.Controller
+		var rt *rl.Runtime
+		if learned {
+			// The learned policy's "real implementation" is the table itself:
+			// the replay drives the same greedy runtime the service adapter
+			// runs, cross-validating the FSM product chain empirically.
+			rt = rl.NewRuntime(d.Table)
+		} else {
+			ctrl, err = elastic.NewController(cfg)
+			if err != nil {
+				return ReplayStats{}, err
+			}
 		}
 		rng := finmath.NewRNG(spec.Seed ^ 0x5e71ca11)
 		now := time.Unix(0, 0)
@@ -92,15 +107,23 @@ func Replay(req Request, replays int) (ReplayStats, error) {
 			if inFlight > w {
 				inFlight = w
 			}
-			dec, act := ctrl.Decide(elastic.Signals{
-				Now:      now,
-				Queued:   q - inFlight,
-				InFlight: inFlight,
-				Workers:  w,
-			})
-			target, reason := w, ""
-			if act {
-				target, reason = dec.Target, dec.Reason
+			var target int
+			var reason string
+			var act bool
+			if learned {
+				target = rt.Decide(q, w, rates[i])
+			} else {
+				var dec elastic.Decision
+				dec, act = ctrl.Decide(elastic.Signals{
+					Now:      now,
+					Queued:   q - inFlight,
+					InFlight: inFlight,
+					Workers:  w,
+				})
+				target, reason = w, ""
+				if act {
+					target, reason = dec.Target, dec.Reason
+				}
 			}
 			if hybrid {
 				// The service control tick's forecast overlay, verbatim.

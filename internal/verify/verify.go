@@ -8,6 +8,7 @@ import (
 
 	"disarcloud/internal/elastic"
 	"disarcloud/internal/loadgen"
+	"disarcloud/internal/rl"
 )
 
 // SLA is a bound the verified policy must meet: the probability that the
@@ -38,8 +39,9 @@ func (s SLA) Validate() error {
 // control-loop scale); zero elastic fields take the controller's defaults,
 // exactly as the live service would run them.
 type Request struct {
-	// Policy selects the family: "reactive" (elastic controller alone) or
-	// "hybrid" (controller + feed-forward forecast planner).
+	// Policy selects the family: "reactive" (elastic controller alone),
+	// "hybrid" (controller + feed-forward forecast planner), or "learned"
+	// (a trained Q-table, internal/rl).
 	Policy string `json:"policy"`
 
 	// Elastic controller configuration; zeros take elastic defaults.
@@ -55,6 +57,14 @@ type Request struct {
 	// Headroom is the hybrid planner's multiplier (zero takes the forecast
 	// default); ignored for the reactive policy.
 	Headroom float64 `json:"headroom,omitempty"`
+
+	// QTable is the learned policy's serialized artifact path (Check loads
+	// it); Table is the already-loaded form and takes precedence. The
+	// learned policy's pool bounds, cooldowns and discretization all come
+	// from the table's own spec — the elastic fields above are rejected
+	// for it.
+	QTable string    `json:"qtable,omitempty"`
+	Table  *rl.Table `json:"-"`
 
 	// TickMS is the control period; one trace interval is one tick.
 	TickMS int `json:"tick_ms"`
@@ -80,10 +90,12 @@ const (
 	defaultLevels   = 6
 )
 
-// PolicyReactive and PolicyHybrid are the Request.Policy values.
+// PolicyReactive, PolicyHybrid and PolicyLearned are the Request.Policy
+// values.
 const (
 	PolicyReactive = "reactive"
 	PolicyHybrid   = "hybrid"
+	PolicyLearned  = "learned"
 )
 
 // elasticConfig assembles the controller configuration the request
@@ -113,7 +125,11 @@ func (r Request) withDefaults() Request {
 		}
 	}
 	if r.InitialWorkers == 0 {
-		if ctrl, err := elastic.NewController(r.elasticConfig()); err == nil {
+		if r.Policy == PolicyLearned {
+			if r.Table != nil {
+				r.InitialWorkers = r.Table.Spec.MinWorkers
+			}
+		} else if ctrl, err := elastic.NewController(r.elasticConfig()); err == nil {
 			r.InitialWorkers = ctrl.Config().MinWorkers
 		}
 	}
@@ -125,14 +141,35 @@ func (r Request) Validate() error {
 	d := r.withDefaults()
 	switch d.Policy {
 	case PolicyReactive, PolicyHybrid:
+		if d.QTable != "" || d.Table != nil {
+			return fmt.Errorf("verify: a Q-table only drives the %q policy", PolicyLearned)
+		}
+		if err := d.elasticConfig().Validate(); err != nil {
+			return err
+		}
+		if d.ScaleUpCooldownMS < 0 || d.ScaleDownCooldownMS < 0 || d.ShrinkStableForMS < 0 {
+			return errors.New("verify: cooldown milliseconds must be non-negative")
+		}
+	case PolicyLearned:
+		if d.Table == nil {
+			return errLearnedTable
+		}
+		if err := d.Table.Validate(); err != nil {
+			return err
+		}
+		if d.MinWorkers != 0 || d.MaxWorkers != 0 || d.ScaleUpPressure != 0 || d.ScaleDownPressure != 0 ||
+			d.ScaleUpCooldownMS != 0 || d.ScaleDownCooldownMS != 0 || d.ShrinkStableForMS != 0 ||
+			d.MaxStep != 0 || d.Headroom != 0 {
+			return errors.New("verify: the learned policy takes its bounds and cooldowns from the Q-table spec; leave the elastic fields zero")
+		}
+		// The artifact is a decision function trained at one control scale;
+		// verifying it at another would bound a policy nobody runs.
+		if d.TickMS != d.Table.Spec.TickMS || d.MeanRuntimeMS != d.Table.Spec.MeanRuntimeMS {
+			return fmt.Errorf("verify: request runs %dms ticks with %gms jobs, the Q-table was trained at %dms/%gms",
+				d.TickMS, d.MeanRuntimeMS, d.Table.Spec.TickMS, d.Table.Spec.MeanRuntimeMS)
+		}
 	default:
-		return fmt.Errorf("verify: unknown policy %q (want %q or %q)", d.Policy, PolicyReactive, PolicyHybrid)
-	}
-	if err := d.elasticConfig().Validate(); err != nil {
-		return err
-	}
-	if d.ScaleUpCooldownMS < 0 || d.ScaleDownCooldownMS < 0 || d.ShrinkStableForMS < 0 {
-		return errors.New("verify: cooldown milliseconds must be non-negative")
+		return fmt.Errorf("verify: unknown policy %q (want %q, %q or %q)", d.Policy, PolicyReactive, PolicyHybrid, PolicyLearned)
 	}
 	if d.TickMS < 1 || d.TickMS > maxTickMS {
 		return fmt.Errorf("verify: tick %dms outside [1, %d]", d.TickMS, maxTickMS)
@@ -173,6 +210,8 @@ func (r Request) buildPolicy() (Policy, error) {
 		return NewReactivePolicy(cfg, tick)
 	case PolicyHybrid:
 		return NewHybridPolicy(cfg, tick, r.Headroom, r.MeanRuntimeMS/1000)
+	case PolicyLearned:
+		return NewLearnedPolicy(r.Table)
 	default:
 		return nil, fmt.Errorf("verify: unknown policy %q", r.Policy)
 	}
@@ -211,6 +250,13 @@ type Report struct {
 // requests or infeasible models; an SLA violation is a successful check
 // with Pass=false.
 func Check(req Request) (Report, error) {
+	if req.Policy == PolicyLearned && req.Table == nil && req.QTable != "" {
+		t, err := rl.LoadTableFile(req.QTable)
+		if err != nil {
+			return Report{}, err
+		}
+		req.Table = t
+	}
 	if err := req.Validate(); err != nil {
 		return Report{}, err
 	}
